@@ -1,0 +1,258 @@
+//! Minimal complex arithmetic for small-signal AC analysis.
+//!
+//! Implemented in-crate (rather than pulling `num-complex`) to keep the
+//! simulator dependency-free; only the operations the AC solver and the
+//! link two-port analysis need are provided.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + j·im` over `f64`.
+///
+/// ```
+/// use analog::Complex;
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form (magnitude, angle in radians).
+    pub fn from_polar(magnitude: f64, angle: f64) -> Self {
+        Complex { re: magnitude * angle.cos(), im: magnitude * angle.sin() }
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns an infinite value if `z` is zero, mirroring `f64` division.
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Magnitude in decibels, `20·log10|z|`.
+    pub fn db(self) -> f64 {
+        20.0 * self.abs().log10()
+    }
+
+    /// Phase in degrees.
+    pub fn phase_degrees(self) -> f64 {
+        self.arg().to_degrees()
+    }
+
+    /// True when both parts are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+j{}", self.re, self.im)
+        } else {
+            write!(f, "{}-j{}", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Division via the reciprocal is the intended arithmetic here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Self {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Self {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        let inv = a.recip();
+        let one = a * inv;
+        assert!((one.re - 1.0).abs() < 1e-15 && one.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-15);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-4.0, 3.0);
+        let r = z.sqrt();
+        let back = r * r;
+        assert!((back.re - z.re).abs() < 1e-12);
+        assert!((back.im - z.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_of_unity_gain() {
+        assert!(Complex::ONE.db().abs() < 1e-12);
+        assert!((Complex::new(0.0, 10.0).db() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_matches_multiplication() {
+        let a = Complex::new(5.0, -2.0);
+        let b = Complex::new(0.25, 4.0);
+        let q = a / b;
+        let back = q * b;
+        assert!((back.re - a.re).abs() < 1e-12);
+        assert!((back.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_sign_handling() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-j2");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+j2");
+    }
+}

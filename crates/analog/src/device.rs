@@ -1,0 +1,519 @@
+//! Device models and their small-signal/large-signal evaluation math.
+//!
+//! The model set is exactly what the paper's circuits require:
+//!
+//! * [`DiodeModel`] — Shockley diode for the rectifier's clamping diodes
+//!   and the demodulator's D6–D8;
+//! * [`MosModel`] — level-1 (square-law) MOSFET with bulk terminal, body
+//!   effect and optional bulk junction diodes, sufficient for the Fig. 8
+//!   rectifier switches (M1/M2), the triple-well bulk-bias pairs (Ma/Mb)
+//!   and the Fig. 9 demodulator;
+//! * [`SwitchModel`] — smooth voltage-controlled switch used for ideal
+//!   clocking (the two-phase demodulator clock) and the class-E power
+//!   transistor when transistor-level detail is not the point.
+
+use std::fmt;
+
+/// Shockley diode model.
+///
+/// `i = is·(exp(v/(n·vt)) − 1)`; the engine adds its `gmin` in parallel.
+///
+/// ```
+/// use analog::DiodeModel;
+/// let d = DiodeModel::silicon();
+/// let (i, g) = d.eval(0.65, 0.025852);
+/// assert!(i > 1.0e-5 && g > 0.0); // forward-biased silicon conducts
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Saturation current in amperes.
+    pub is: f64,
+    /// Emission coefficient (ideality factor).
+    pub n: f64,
+}
+
+impl DiodeModel {
+    /// A generic small-signal silicon diode (`is` = 1 fA, `n` = 1).
+    pub fn silicon() -> Self {
+        DiodeModel { is: 1.0e-15, n: 1.0 }
+    }
+
+    /// A Schottky-like diode with higher saturation current and therefore
+    /// lower forward drop — what an integrated rectifier diode looks like.
+    pub fn schottky() -> Self {
+        DiodeModel { is: 1.0e-9, n: 1.05 }
+    }
+
+    /// The model re-evaluated at `t_celsius` (SPICE first-order junction
+    /// temperature model: `IS(T) = IS·(T/T₀)^(XTI/N)·exp(Eg/(N·Vt₀) −
+    /// Eg/(N·Vt))` with XTI = 3, Eg = 1.11 eV, T₀ = 27 °C).
+    pub fn at_temperature(&self, t_celsius: f64) -> DiodeModel {
+        const T0: f64 = 300.15;
+        const EG: f64 = 1.11;
+        const XTI: f64 = 3.0;
+        const K_OVER_Q: f64 = 8.617333262e-5;
+        let t = t_celsius + 273.15;
+        let ratio = t / T0;
+        let vt0 = K_OVER_Q * T0;
+        let vt = K_OVER_Q * t;
+        let is = self.is
+            * ratio.powf(XTI / self.n)
+            * ((EG / (self.n * vt0)) - (EG / (self.n * vt))).exp();
+        DiodeModel { is, n: self.n }
+    }
+
+    /// Critical voltage for junction limiting (SPICE `vcrit`).
+    pub fn vcrit(&self, vt: f64) -> f64 {
+        let nvt = self.n * vt;
+        nvt * (nvt / (std::f64::consts::SQRT_2 * self.is)).ln()
+    }
+
+    /// Large-signal evaluation: returns `(id, gd)` at junction voltage `v`.
+    ///
+    /// The exponential is linearized above `v_explode` (40·n·vt) to avoid
+    /// overflow during wild Newton excursions.
+    pub fn eval(&self, v: f64, vt: f64) -> (f64, f64) {
+        let nvt = self.n * vt;
+        let v_explode = 40.0 * nvt;
+        if v > v_explode {
+            let i_max = self.is * (v_explode / nvt).exp();
+            let g = i_max / nvt;
+            (i_max - self.is + g * (v - v_explode), g)
+        } else if v > -5.0 * nvt {
+            let e = (v / nvt).exp();
+            (self.is * (e - 1.0), self.is * e / nvt)
+        } else {
+            // Deep reverse: flat −is with a tiny slope for stability.
+            (-self.is, self.is / nvt * (-5.0f64).exp())
+        }
+    }
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel::silicon()
+    }
+}
+
+/// MOSFET channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl fmt::Display for MosPolarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MosPolarity::Nmos => "nmos",
+            MosPolarity::Pmos => "pmos",
+        })
+    }
+}
+
+/// Level-1 (Shichman–Hodges) MOSFET model with body effect.
+///
+/// Generic 0.18 µm-class parameters are provided by [`MosModel::n018`] and
+/// [`MosModel::p018`]; the paper's circuits are fabricated in 0.18 µm CMOS.
+///
+/// ```
+/// use analog::MosModel;
+/// let m = MosModel::n018(10.0e-6, 0.18e-6);
+/// // Saturation current follows the square law.
+/// let (id, gm, _, _) = m.eval_normalized(1.0, 1.5, 0.0);
+/// assert!(id > 0.0 && gm > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosModel {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Zero-bias threshold voltage (positive for NMOS, negative for PMOS).
+    pub vto: f64,
+    /// Transconductance parameter µ·Cox in A/V².
+    pub kp: f64,
+    /// Channel-length modulation in 1/V.
+    pub lambda: f64,
+    /// Body-effect coefficient in V^0.5.
+    pub gamma: f64,
+    /// Surface potential 2φF in volts.
+    pub phi: f64,
+    /// Channel width in metres.
+    pub w: f64,
+    /// Channel length in metres.
+    pub l: f64,
+    /// Bulk junction saturation current; `0` disables the body diodes.
+    pub junction_is: f64,
+}
+
+impl MosModel {
+    /// Generic 0.18 µm NMOS (vto 0.45 V, kp 300 µA/V²).
+    pub fn n018(w: f64, l: f64) -> Self {
+        MosModel {
+            polarity: MosPolarity::Nmos,
+            vto: 0.45,
+            kp: 300.0e-6,
+            lambda: 0.06,
+            gamma: 0.45,
+            phi: 0.8,
+            w,
+            l,
+            junction_is: 1.0e-16,
+        }
+    }
+
+    /// Generic 0.18 µm PMOS (vto −0.45 V, kp 120 µA/V²).
+    pub fn p018(w: f64, l: f64) -> Self {
+        MosModel {
+            polarity: MosPolarity::Pmos,
+            vto: -0.45,
+            kp: 120.0e-6,
+            lambda: 0.08,
+            gamma: 0.4,
+            phi: 0.8,
+            w,
+            l,
+            junction_is: 1.0e-16,
+        }
+    }
+
+    /// Disables the bulk junction diodes (e.g. for ideal-device studies).
+    pub fn without_junctions(mut self) -> Self {
+        self.junction_is = 0.0;
+        self
+    }
+
+    /// The model re-evaluated at `t_celsius`: threshold magnitude shifts
+    /// by −2 mV/°C and mobility (kp) scales as `(T/T₀)^−1.5` (the
+    /// standard level-1 temperature model, T₀ = 27 °C).
+    pub fn at_temperature(&self, t_celsius: f64) -> MosModel {
+        const T0: f64 = 300.15;
+        let t = t_celsius + 273.15;
+        let dt = t_celsius - 27.0;
+        let mut m = *self;
+        // |vto| decreases with temperature for both polarities.
+        m.vto = self.vto - self.sign() * 2.0e-3 * dt;
+        m.kp = self.kp * (t / T0).powf(-1.5);
+        m.junction_is = DiodeModel { is: self.junction_is.max(1e-300), n: 1.0 }
+            .at_temperature(t_celsius)
+            .is
+            * if self.junction_is > 0.0 { 1.0 } else { 0.0 };
+        m
+    }
+
+    /// β = kp·W/L.
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+
+    /// Polarity sign: +1 for NMOS, −1 for PMOS.
+    pub fn sign(&self) -> f64 {
+        match self.polarity {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+
+    /// Threshold voltage magnitude in the NMOS-equivalent frame, given the
+    /// (already polarity-normalized) bulk-source voltage `vbs`.
+    ///
+    /// Returns `(vth, dvth_dvbs)`.
+    pub fn vth(&self, vbs: f64) -> (f64, f64) {
+        let vto = self.vto * self.sign(); // positive in the normalized frame
+        if self.gamma == 0.0 {
+            return (vto, 0.0);
+        }
+        let arg = (self.phi - vbs).max(1.0e-4);
+        let vth = vto + self.gamma * (arg.sqrt() - self.phi.sqrt());
+        let dvth = -self.gamma / (2.0 * arg.sqrt());
+        (vth, dvth)
+    }
+
+    /// Large-signal square-law evaluation in the NMOS-equivalent,
+    /// source-referenced frame (all voltages already multiplied by
+    /// [`MosModel::sign`] and drain/source oriented so `vds ≥ 0`).
+    ///
+    /// Returns `(id, gm, gds, gmbs)` where `id` flows drain→source.
+    pub fn eval_normalized(&self, vgs: f64, vds: f64, vbs: f64) -> (f64, f64, f64, f64) {
+        debug_assert!(vds >= 0.0);
+        let (vth, dvth_dvbs) = self.vth(vbs);
+        let beta = self.beta();
+        let vov = vgs - vth;
+        if vov <= 0.0 {
+            // Cutoff.
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let clm = 1.0 + self.lambda * vds;
+        let (id, gm, gds);
+        if vds < vov {
+            // Triode.
+            id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+            gm = beta * vds * clm;
+            gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * self.lambda;
+        } else {
+            // Saturation.
+            id = 0.5 * beta * vov * vov * clm;
+            gm = beta * vov * clm;
+            gds = 0.5 * beta * vov * vov * self.lambda;
+        }
+        // gmbs = ∂id/∂vbs = gm · (−dvth/dvbs)
+        let gmbs = gm * (-dvth_dvbs);
+        (id, gm, gds, gmbs)
+    }
+}
+
+/// Voltage-controlled switch with a smooth resistance transition.
+///
+/// The conductance interpolates log-linearly (via a smoothstep) between
+/// `1/roff` below `voff` and `1/ron` above `von`, which keeps Newton
+/// iterations well-behaved — the same approach as ngspice's `sw` model.
+///
+/// ```
+/// use analog::SwitchModel;
+/// let s = SwitchModel::logic();
+/// assert_eq!(s.conductance(3.0).0, 1.0);      // fully on: 1/ron
+/// assert!(s.conductance(0.0).0 < 1.0e-6);     // fully off
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchModel {
+    /// Control voltage at/above which the switch is fully on.
+    pub von: f64,
+    /// Control voltage at/below which the switch is fully off.
+    pub voff: f64,
+    /// On resistance in ohms.
+    pub ron: f64,
+    /// Off resistance in ohms.
+    pub roff: f64,
+}
+
+impl SwitchModel {
+    /// A logic-driven switch: off below 0.5 V, on above 1.5 V, 1 Ω / 10 MΩ.
+    pub fn logic() -> Self {
+        SwitchModel { von: 1.5, voff: 0.5, ron: 1.0, roff: 1.0e7 }
+    }
+
+    /// Conductance and its derivative w.r.t. the control voltage.
+    pub fn conductance(&self, vc: f64) -> (f64, f64) {
+        let gon = 1.0 / self.ron;
+        let goff = 1.0 / self.roff;
+        let (lo, hi) = (self.voff, self.von);
+        debug_assert!(hi > lo, "switch von must exceed voff");
+        if vc <= lo {
+            (goff, 0.0)
+        } else if vc >= hi {
+            (gon, 0.0)
+        } else {
+            let u = (vc - lo) / (hi - lo);
+            let s = u * u * (3.0 - 2.0 * u);
+            let ds_du = 6.0 * u * (1.0 - u);
+            let ln_g = s * gon.ln() + (1.0 - s) * goff.ln();
+            let g = ln_g.exp();
+            let dg = g * (gon.ln() - goff.ln()) * ds_du / (hi - lo);
+            (g, dg)
+        }
+    }
+}
+
+impl Default for SwitchModel {
+    fn default() -> Self {
+        SwitchModel::logic()
+    }
+}
+
+/// SPICE `pnjlim`: limits a junction-voltage Newton update to keep the
+/// exponential well-conditioned. `vnew`/`vold` are the candidate and the
+/// previous iteration's junction voltages.
+pub fn pnjlim(vnew: f64, vold: f64, vt: f64, vcrit: f64) -> f64 {
+    if vnew > vcrit && (vnew - vold).abs() > 2.0 * vt {
+        if vold > 0.0 {
+            let arg = 1.0 + (vnew - vold) / vt;
+            if arg > 0.0 {
+                vold + vt * arg.ln()
+            } else {
+                vcrit
+            }
+        } else {
+            vt * (vnew / vt).max(1e-10).ln()
+        }
+    } else {
+        vnew
+    }
+}
+
+/// SPICE `fetlim`: limits a gate-voltage Newton update around `vto`.
+pub fn fetlim(vnew: f64, vold: f64, vto: f64) -> f64 {
+    let vtsthi = 2.0 * (vold - vto).abs() + 2.0;
+    let vtstlo = vtsthi / 2.0 + 2.0;
+    let vtox = vto + 3.5;
+    let delv = vnew - vold;
+    if vold >= vto {
+        if vold >= vtox {
+            if delv <= 0.0 {
+                if vnew >= vtox {
+                    (-delv).min(vtsthi).mul_add(-1.0, vold)
+                } else {
+                    vnew.max(vto + 2.0)
+                }
+            } else {
+                vold + delv.min(vtsthi)
+            }
+        } else if delv <= 0.0 {
+            vold + delv.max(-vtstlo)
+        } else {
+            vnew.min(vto + 4.0)
+        }
+    } else if delv <= 0.0 {
+        vold + delv.max(-vtsthi)
+    } else if vnew <= vto + 0.5 {
+        vold + delv.min(vtstlo)
+    } else {
+        vto + 0.5
+    }
+}
+
+/// Limits a drain-source voltage Newton update (SPICE `limvds`).
+pub fn limvds(vnew: f64, vold: f64) -> f64 {
+    if vold >= 3.5 {
+        if vnew > vold {
+            vnew.min(3.0 * vold + 2.0)
+        } else if vnew < 3.5 {
+            vnew.max(2.0)
+        } else {
+            vnew
+        }
+    } else if vnew > vold {
+        vnew.min(4.0)
+    } else {
+        vnew.max(-0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VT: f64 = 0.02585;
+
+    #[test]
+    fn diode_forward_current_matches_shockley() {
+        let d = DiodeModel::silicon();
+        let (i, g) = d.eval(0.6, VT);
+        let expect = 1.0e-15 * ((0.6 / VT).exp() - 1.0);
+        assert!((i - expect).abs() / expect < 1e-12);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn diode_reverse_saturates() {
+        let d = DiodeModel::silicon();
+        let (i, g) = d.eval(-2.0, VT);
+        assert!((i + 1.0e-15).abs() < 1e-16);
+        assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn diode_overflow_guard() {
+        let d = DiodeModel::silicon();
+        let (i, g) = d.eval(100.0, VT);
+        assert!(i.is_finite() && g.is_finite());
+        // Still monotone past the knee.
+        let (i2, _) = d.eval(101.0, VT);
+        assert!(i2 > i);
+    }
+
+    #[test]
+    fn mos_cutoff_triode_saturation_regions() {
+        let m = MosModel::n018(10.0e-6, 0.18e-6);
+        // Cutoff.
+        let (id, ..) = m.eval_normalized(0.2, 1.0, 0.0);
+        assert_eq!(id, 0.0);
+        // Saturation: vds > vov.
+        let (id_sat, gm, gds, _) = m.eval_normalized(1.0, 1.5, 0.0);
+        assert!(id_sat > 0.0 && gm > 0.0 && gds > 0.0);
+        // Triode: vds small, conductive.
+        let (id_tri, ..) = m.eval_normalized(1.0, 0.05, 0.0);
+        assert!(id_tri > 0.0 && id_tri < id_sat);
+    }
+
+    #[test]
+    fn mos_continuity_at_triode_saturation_boundary() {
+        let m = MosModel::n018(10.0e-6, 0.18e-6);
+        let (vth, _) = m.vth(0.0);
+        let vov = 1.0 - vth;
+        let (id_a, gm_a, ..) = m.eval_normalized(1.0, vov - 1e-9, 0.0);
+        let (id_b, gm_b, ..) = m.eval_normalized(1.0, vov + 1e-9, 0.0);
+        assert!((id_a - id_b).abs() / id_b < 1e-6);
+        assert!((gm_a - gm_b).abs() / gm_b < 1e-6);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let m = MosModel::n018(10.0e-6, 0.18e-6);
+        let (vth0, _) = m.vth(0.0);
+        let (vth_rb, dvth) = m.vth(-1.0); // reverse body bias
+        assert!(vth_rb > vth0);
+        assert!(dvth < 0.0);
+    }
+
+    #[test]
+    fn mos_derivatives_match_finite_differences() {
+        let m = MosModel::n018(4.0e-6, 0.36e-6);
+        let (vgs, vds, vbs) = (1.2, 0.4, -0.3);
+        let h = 1e-7;
+        let (id, gm, gds, gmbs) = m.eval_normalized(vgs, vds, vbs);
+        let (id_g, ..) = m.eval_normalized(vgs + h, vds, vbs);
+        let (id_d, ..) = m.eval_normalized(vgs, vds + h, vbs);
+        let (id_b, ..) = m.eval_normalized(vgs, vds, vbs + h);
+        assert!(((id_g - id) / h - gm).abs() / gm < 1e-4);
+        assert!(((id_d - id) / h - gds).abs() / gds < 1e-4);
+        assert!(((id_b - id) / h - gmbs).abs() / gmbs.max(1e-12) < 1e-3);
+    }
+
+    #[test]
+    fn switch_endpoints_and_smoothness() {
+        let s = SwitchModel::logic();
+        assert_eq!(s.conductance(0.0).0, 1.0 / s.roff);
+        assert_eq!(s.conductance(3.0).0, 1.0 / s.ron);
+        let (g_mid, dg_mid) = s.conductance(1.0);
+        assert!(g_mid > 1.0 / s.roff && g_mid < 1.0 / s.ron);
+        assert!(dg_mid > 0.0);
+        // Monotone through the transition.
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let vc = 0.4 + i as f64 * 0.06;
+            let (g, _) = s.conductance(vc);
+            assert!(g >= last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn pnjlim_caps_large_steps() {
+        let d = DiodeModel::silicon();
+        let vcrit = d.vcrit(VT);
+        let limited = pnjlim(5.0, 0.6, VT, vcrit);
+        assert!(limited < 1.0, "limited = {limited}");
+        // Small steps pass through.
+        assert_eq!(pnjlim(0.61, 0.6, VT, vcrit), 0.61);
+    }
+
+    #[test]
+    fn fetlim_and_limvds_bound_updates() {
+        let v = fetlim(10.0, 1.0, 0.45);
+        assert!(v < 10.0);
+        let v2 = limvds(50.0, 1.0);
+        assert!(v2 <= 4.0);
+        let v3 = limvds(-10.0, 0.5);
+        assert!(v3 >= -0.5);
+    }
+
+    #[test]
+    fn pmos_sign_convention() {
+        let m = MosModel::p018(10.0e-6, 0.18e-6);
+        assert_eq!(m.sign(), -1.0);
+        // In the normalized frame a PMOS with |vgs| above |vto| conducts.
+        let (id, ..) = m.eval_normalized(1.0, 0.5, 0.0);
+        assert!(id > 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types returned by circuit construction and the analyses.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building or simulating a circuit.
+///
+/// Every public fallible function in this crate returns `Result<_, SimError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The circuit description is inconsistent (duplicate device name,
+    /// dangling reference, non-physical parameter value, ...).
+    InvalidCircuit(String),
+    /// The MNA matrix was singular — typically a floating node or a loop
+    /// of ideal voltage sources.
+    SingularMatrix {
+        /// Index of the MNA unknown at which elimination broke down; a
+        /// hint for locating the floating node.
+        unknown: usize,
+    },
+    /// Newton–Raphson failed to converge.
+    NoConvergence {
+        /// Analysis that failed ("dc", "transient", ...).
+        analysis: &'static str,
+        /// Simulation time at the failure, if the analysis was time-based.
+        time: Option<f64>,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The transient time step was reduced below the hard floor without
+    /// reaching convergence.
+    TimestepTooSmall {
+        /// Simulation time at the failure.
+        time: f64,
+        /// Step size that was rejected.
+        step: f64,
+    },
+    /// A device parameter or analysis parameter is outside its valid range.
+    InvalidParameter {
+        /// Offending parameter name.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The requested trace/device/node does not exist in the result set.
+    NotFound(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SimError::SingularMatrix { unknown } => {
+                write!(f, "singular MNA matrix at unknown {unknown} (floating node or voltage-source loop)")
+            }
+            SimError::NoConvergence { analysis, time, iterations } => match time {
+                Some(t) => write!(
+                    f,
+                    "{analysis} analysis failed to converge at t = {t:.6e} s after {iterations} iterations"
+                ),
+                None => write!(f, "{analysis} analysis failed to converge after {iterations} iterations"),
+            },
+            SimError::TimestepTooSmall { time, step } => {
+                write!(f, "transient step underflow at t = {time:.6e} s (dt = {step:.3e} s)")
+            }
+            SimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SimError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SimError::InvalidCircuit("two devices named R1".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid circuit"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn convergence_display_mentions_time() {
+        let e = SimError::NoConvergence { analysis: "transient", time: Some(1e-6), iterations: 50 };
+        assert!(e.to_string().contains("1.000000e-6"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Dense linear algebra for the MNA solver.
+//!
+//! Circuits in this workspace have tens of unknowns, so a dense LU with
+//! partial pivoting is both simpler and faster than a sparse solver. The
+//! factorization is generic over [`Scalar`] so the same code serves the
+//! real-valued Newton iterations and the complex-valued AC analysis.
+
+use crate::complex::Complex;
+use crate::error::SimError;
+
+/// Field-like scalar usable by the dense solver.
+///
+/// Implemented for `f64` and [`Complex`]; the trait is sealed in spirit —
+/// downstream crates have no reason to implement it, but it is left open
+/// since the solver is a generic utility.
+pub trait Scalar: Copy + Default + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection.
+    fn magnitude(self) -> f64;
+    /// Sum.
+    fn add(self, rhs: Self) -> Self;
+    /// Difference.
+    fn sub(self, rhs: Self) -> Self;
+    /// Product.
+    fn mul(self, rhs: Self) -> Self;
+    /// Quotient.
+    fn div(self, rhs: Self) -> Self;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+}
+
+impl Scalar for Complex {
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    fn one() -> Self {
+        Complex::ONE
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+}
+
+/// A dense, square, row-major matrix.
+///
+/// ```
+/// use analog::linalg::Matrix;
+/// let mut m: Matrix<f64> = Matrix::zeros(2);
+/// m.add(0, 0, 2.0);
+/// m.add(1, 1, 4.0);
+/// let x = m.solve(&[2.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T: Scalar> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, data: vec![T::zero(); n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(T::zero());
+    }
+
+    /// Reads entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Overwrites entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` into entry `(row, col)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        let cell = &mut self.data[row * self.n + col];
+        *cell = cell.add(value);
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting, consuming neither
+    /// operand (the matrix is copied; callers in the Newton loop reuse the
+    /// matrix buffer between iterations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SingularMatrix`] when no usable pivot exists,
+    /// which for MNA systems means a floating node or a voltage-source loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, SimError> {
+        assert_eq!(b.len(), self.n, "rhs length must match matrix dimension");
+        let mut lu = self.data.clone();
+        let mut x: Vec<T> = b.to_vec();
+        let n = self.n;
+        // Scaled partial pivoting improves robustness on badly conditioned
+        // MNA systems that mix siemens (~1e-12) and volt (~1) rows.
+        let mut scale = vec![0.0f64; n];
+        for (r, s) in scale.iter_mut().enumerate() {
+            let row_max = (0..n).map(|c| lu[r * n + c].magnitude()).fold(0.0f64, f64::max);
+            *s = if row_max > 0.0 { 1.0 / row_max } else { 0.0 };
+        }
+        for k in 0..n {
+            // Pivot search on scaled magnitudes.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[k * n + k].magnitude() * scale[k];
+            for r in (k + 1)..n {
+                let mag = lu[r * n + k].magnitude() * scale[r];
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag <= 0.0 || !pivot_mag.is_finite() || lu[pivot_row * n + k].magnitude() < 1e-300 {
+                return Err(SimError::SingularMatrix { unknown: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pivot_row * n + c);
+                }
+                x.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k].div(pivot);
+                if factor.magnitude() == 0.0 {
+                    continue;
+                }
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    let sub = factor.mul(lu[k * n + c]);
+                    lu[r * n + c] = lu[r * n + c].sub(sub);
+                }
+                x[r] = x[r].sub(factor.mul(x[k]));
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            for c in (k + 1)..n {
+                let sub = lu[k * n + c].mul(x[c]);
+                x[k] = x[k].sub(sub);
+            }
+            x[k] = x[k].div(lu[k * n + k]);
+        }
+        Ok(x)
+    }
+
+    /// Computes the residual `A·x − b`, useful for verifying solutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `b` length differs from the matrix dimension.
+    pub fn residual(&self, x: &[T], b: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        (0..self.n)
+            .map(|r| {
+                let mut acc = T::zero();
+                for (c, &xc) in x.iter().enumerate() {
+                    acc = acc.add(self.data[r * self.n + c].mul(xc));
+                }
+                acc.sub(b[r])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m: Matrix<f64> = Matrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_system_needing_pivot() {
+        // First pivot is zero: forces a row swap.
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let x = m.solve(&[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert!(matches!(m.solve(&[1.0, 2.0]), Err(SimError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn complex_solve() {
+        // (1+j)·x = 2 → x = 1 - j
+        let mut m: Matrix<Complex> = Matrix::zeros(1);
+        m.set(0, 0, Complex::new(1.0, 1.0));
+        let x = m.solve(&[Complex::from_real(2.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-14);
+        assert!((x[0].im + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn badly_scaled_system() {
+        // Rows differing by 12 orders of magnitude, as in MNA with gmin.
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m.set(0, 0, 1e-12);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 1.0);
+        let b = [1.0, 2.0];
+        let x = m.solve(&b).unwrap();
+        let r = m.residual(&x, &b);
+        assert!(r.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn random_systems_have_small_residuals() {
+        // Deterministic pseudo-random fill (LCG) — no rand dependency here.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 2, 5, 12, 30] {
+            let mut m: Matrix<f64> = Matrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.set(r, c, next());
+                }
+                // Diagonal dominance guarantees solvability.
+                m.add(r, r, n as f64);
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = m.solve(&b).unwrap();
+            let res = m.residual(&x, &b);
+            assert!(res.iter().all(|v| v.abs() < 1e-10), "n = {n}");
+        }
+    }
+}

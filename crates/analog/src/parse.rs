@@ -1,0 +1,695 @@
+//! SPICE-style text netlist parser.
+//!
+//! Lets circuits be written in the familiar card format instead of the
+//! builder API — handy for regression decks and for porting the paper's
+//! schematics verbatim:
+//!
+//! ```
+//! use analog::parse::parse_netlist;
+//!
+//! # fn main() -> Result<(), analog::parse::ParseError> {
+//! let ckt = parse_netlist(
+//!     "* half-wave rectifier
+//!      Vin in 0 SIN(0 3 5MEG)
+//!      D1  in out
+//!      C1  out 0 10n IC=0
+//!      R1  out 0 10k
+//!      .end",
+//! )?;
+//! assert_eq!(ckt.device_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Supported cards (case-insensitive, first letter selects the device):
+//!
+//! | card | syntax |
+//! |---|---|
+//! | resistor | `Rxxx n1 n2 value` |
+//! | capacitor | `Cxxx n1 n2 value [IC=v]` |
+//! | inductor | `Lxxx n1 n2 value [IC=i]` |
+//! | coupling | `Kxxx Laaa Lbbb k` |
+//! | V source | `Vxxx n+ n- [DC] v` \| `SIN(off amp freq [delay [phase°]])` \| `PULSE(v1 v2 td tr tf pw per)` \| `PWL(t1 v1 …)` — each optionally followed by `AC mag [phase°]` |
+//! | I source | as V source |
+//! | diode | `Dxxx a k [IS=x] [N=x]` |
+//! | MOSFET | `Mxxx d g s b NMOS\|PMOS [W=x] [L=x] [VTO=x] [KP=x] [LAMBDA=x] [GAMMA=x] [PHI=x]` |
+//! | switch | `Sxxx p n cp cn [VON=x] [VOFF=x] [RON=x] [ROFF=x]` |
+//! | VCVS | `Exxx p n cp cn gain` |
+//! | VCCS | `Gxxx p n cp cn gm` |
+//!
+//! Values accept SPICE suffixes (`f p n u m k meg g t`, `M` = milli,
+//! `MEG` = mega). Lines starting with `*` or `;` are comments; `.end`
+//! terminates; `+` continues the previous card.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::device::{DiodeModel, MosModel, MosPolarity, SwitchModel};
+use crate::netlist::{Circuit, DeviceId};
+use crate::source::{Pwl, SourceFn};
+
+/// Error raised while parsing a netlist, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending card.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Parses a SPICE-suffixed value like `10k`, `2.2n`, `5MEG`.
+pub fn parse_value(token: &str) -> Option<f64> {
+    let t = token.trim();
+    let lower = t.to_ascii_lowercase();
+    // Longest suffix first.
+    const SUFFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("t", 1e12),
+        ("g", 1e9),
+        ("k", 1e3),
+        ("m", 1e-3),
+        ("u", 1e-6),
+        ("n", 1e-9),
+        ("p", 1e-12),
+        ("f", 1e-15),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stem) = lower.strip_suffix(suffix) {
+            if let Ok(v) = stem.parse::<f64>() {
+                return Some(v * scale);
+            }
+        }
+    }
+    lower.parse::<f64>().ok()
+}
+
+/// One tokenized card with its source line number.
+struct Card {
+    line: usize,
+    tokens: Vec<String>,
+}
+
+fn tokenize(text: &str) -> Vec<Card> {
+    let mut cards: Vec<Card> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        // Strip comments.
+        let body = raw.split(';').next().unwrap_or("");
+        let trimmed = body.trim();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        // Normalize parentheses/commas/equals into spaced tokens.
+        let normalized: String = trimmed
+            .chars()
+            .flat_map(|c| match c {
+                '(' | ')' | ',' => vec![' '],
+                '=' => vec![' ', '=', ' '],
+                other => vec![other],
+            })
+            .collect();
+        let tokens: Vec<String> = normalized.split_whitespace().map(str::to_string).collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens[0] == "+" {
+            if let Some(last) = cards.last_mut() {
+                last.tokens.extend(tokens.into_iter().skip(1));
+                continue;
+            }
+        }
+        cards.push(Card { line, tokens });
+    }
+    cards
+}
+
+/// Reads `KEY = value` pairs from the tail of a card into a map,
+/// returning the tokens that were not part of a pair.
+fn split_params(
+    tokens: &[String],
+    line: usize,
+) -> Result<(Vec<String>, HashMap<String, f64>), ParseError> {
+    let mut plain = Vec::new();
+    let mut params = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if i + 2 < tokens.len() + 1 && tokens.get(i + 1).map(String::as_str) == Some("=") {
+            let key = tokens[i].to_ascii_uppercase();
+            let Some(raw) = tokens.get(i + 2) else {
+                return err(line, format!("missing value after `{key}=`"));
+            };
+            let Some(v) = parse_value(raw) else {
+                return err(line, format!("invalid value `{raw}` for `{key}`"));
+            };
+            params.insert(key, v);
+            i += 3;
+        } else {
+            plain.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    Ok((plain, params))
+}
+
+fn parse_source_spec(tokens: &[String], line: usize) -> Result<(SourceFn, Option<(f64, f64)>), ParseError> {
+    let mut i = 0;
+    let mut wave: Option<SourceFn> = None;
+    let mut ac: Option<(f64, f64)> = None;
+    let numbers_from = |tokens: &[String], start: usize| -> (Vec<f64>, usize) {
+        let mut vals = Vec::new();
+        let mut j = start;
+        while j < tokens.len() {
+            match parse_value(&tokens[j]) {
+                Some(v) => {
+                    vals.push(v);
+                    j += 1;
+                }
+                None => break,
+            }
+        }
+        (vals, j)
+    };
+    while i < tokens.len() {
+        let key = tokens[i].to_ascii_uppercase();
+        match key.as_str() {
+            "DC" => {
+                let Some(v) = tokens.get(i + 1).and_then(|t| parse_value(t)) else {
+                    return err(line, "DC requires a value");
+                };
+                wave = Some(SourceFn::dc(v));
+                i += 2;
+            }
+            "SIN" => {
+                let (vals, next) = numbers_from(tokens, i + 1);
+                if vals.len() < 3 {
+                    return err(line, "SIN needs at least (offset amplitude frequency)");
+                }
+                wave = Some(SourceFn::Sine {
+                    offset: vals[0],
+                    amplitude: vals[1],
+                    frequency: vals[2],
+                    delay: vals.get(3).copied().unwrap_or(0.0),
+                    phase: vals.get(4).copied().unwrap_or(0.0).to_radians(),
+                });
+                i = next;
+            }
+            "PULSE" => {
+                let (vals, next) = numbers_from(tokens, i + 1);
+                if vals.len() < 7 {
+                    return err(line, "PULSE needs (v1 v2 delay rise fall width period)");
+                }
+                wave = Some(SourceFn::Pulse {
+                    v1: vals[0],
+                    v2: vals[1],
+                    delay: vals[2],
+                    rise: vals[3],
+                    fall: vals[4],
+                    width: vals[5],
+                    period: vals[6],
+                });
+                i = next;
+            }
+            "PWL" => {
+                let (vals, next) = numbers_from(tokens, i + 1);
+                if vals.len() < 2 || vals.len() % 2 != 0 {
+                    return err(line, "PWL needs an even number of (t v) values");
+                }
+                let points: Vec<(f64, f64)> =
+                    vals.chunks(2).map(|c| (c[0], c[1])).collect();
+                if !points.windows(2).all(|w| w[1].0 > w[0].0) {
+                    return err(line, "PWL times must be strictly increasing");
+                }
+                wave = Some(SourceFn::Pwl(Pwl::new(points)));
+                i = next;
+            }
+            "AC" => {
+                let (vals, next) = numbers_from(tokens, i + 1);
+                if vals.is_empty() {
+                    return err(line, "AC requires a magnitude");
+                }
+                ac = Some((vals[0], vals.get(1).copied().unwrap_or(0.0).to_radians()));
+                i = next;
+            }
+            _ => {
+                // A bare number is an implicit DC value.
+                if let Some(v) = parse_value(&tokens[i]) {
+                    wave = Some(SourceFn::dc(v));
+                    i += 1;
+                } else {
+                    return err(line, format!("unrecognized source token `{}`", tokens[i]));
+                }
+            }
+        }
+    }
+    let wave = wave.unwrap_or(SourceFn::Dc(0.0));
+    Ok((wave, ac))
+}
+
+/// Parses a complete netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// [`ParseError`] with the offending line for any malformed card,
+/// duplicate device name, unknown card type or unsupported dot-command.
+pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
+    let mut ckt = Circuit::new();
+    // Couplings are resolved after all inductors exist.
+    let mut pending_couplings: Vec<(usize, String, String, String, f64)> = Vec::new();
+    let mut seen: HashMap<String, DeviceId> = HashMap::new();
+
+    for card in tokenize(text) {
+        let line = card.line;
+        let name = card.tokens[0].clone();
+        let upper = name.to_ascii_uppercase();
+        if upper.starts_with('.') {
+            if upper == ".END" {
+                break;
+            }
+            if upper == ".TEMP" {
+                let Some(t) = card.tokens.get(1).and_then(|t| parse_value(t)) else {
+                    return err(line, ".temp requires a value in °C");
+                };
+                ckt.set_temperature(t);
+                continue;
+            }
+            return err(line, format!("unsupported dot-command `{name}`"));
+        }
+        if seen.contains_key(&upper) {
+            return err(line, format!("duplicate device name `{name}`"));
+        }
+        let rest = &card.tokens[1..];
+        let kind = upper.chars().next().unwrap_or('?');
+        let need = |n: usize| -> Result<(), ParseError> {
+            if rest.len() < n {
+                err(line, format!("`{name}` needs at least {n} fields"))
+            } else {
+                Ok(())
+            }
+        };
+        let id = match kind {
+            'R' => {
+                need(3)?;
+                let Some(v) = parse_value(&rest[2]) else {
+                    return err(line, format!("invalid resistance `{}`", rest[2]));
+                };
+                if v <= 0.0 {
+                    return err(line, "resistance must be positive");
+                }
+                let (a, b) = (ckt.node(&rest[0]), ckt.node(&rest[1]));
+                ckt.resistor(&name, a, b, v)
+            }
+            'C' => {
+                need(3)?;
+                let (plain, params) = split_params(&rest[2..], line)?;
+                let Some(v) = plain.first().and_then(|t| parse_value(t)) else {
+                    return err(line, "invalid or missing capacitance");
+                };
+                if v <= 0.0 {
+                    return err(line, "capacitance must be positive");
+                }
+                let (a, b) = (ckt.node(&rest[0]), ckt.node(&rest[1]));
+                match params.get("IC") {
+                    Some(&ic) => ckt.capacitor_with_ic(&name, a, b, v, ic),
+                    None => ckt.capacitor(&name, a, b, v),
+                }
+            }
+            'L' => {
+                need(3)?;
+                let (plain, params) = split_params(&rest[2..], line)?;
+                let Some(v) = plain.first().and_then(|t| parse_value(t)) else {
+                    return err(line, "invalid or missing inductance");
+                };
+                if v <= 0.0 {
+                    return err(line, "inductance must be positive");
+                }
+                let (a, b) = (ckt.node(&rest[0]), ckt.node(&rest[1]));
+                match params.get("IC") {
+                    Some(&ic) => ckt.inductor_with_ic(&name, a, b, v, ic),
+                    None => ckt.inductor(&name, a, b, v),
+                }
+            }
+            'K' => {
+                need(3)?;
+                let Some(k) = parse_value(&rest[2]) else {
+                    return err(line, format!("invalid coupling `{}`", rest[2]));
+                };
+                pending_couplings.push((
+                    line,
+                    name.clone(),
+                    rest[0].to_ascii_uppercase(),
+                    rest[1].to_ascii_uppercase(),
+                    k,
+                ));
+                // K cards create no device; remember the name anyway.
+                seen.insert(upper.clone(), DeviceId(usize::MAX));
+                continue;
+            }
+            'V' | 'I' => {
+                need(2)?;
+                let (p, n) = (ckt.node(&rest[0]), ckt.node(&rest[1]));
+                let (wave, ac) = parse_source_spec(&rest[2..], line)?;
+                match (kind, ac) {
+                    ('V', None) => ckt.voltage_source(&name, p, n, wave),
+                    ('V', Some((m, ph))) => ckt.voltage_source_ac(&name, p, n, wave, m, ph),
+                    ('I', None) => ckt.current_source(&name, p, n, wave),
+                    ('I', Some((m, ph))) => ckt.current_source_ac(&name, p, n, wave, m, ph),
+                    _ => unreachable!(),
+                }
+            }
+            'D' => {
+                need(2)?;
+                let (_, params) = split_params(&rest[2..], line)?;
+                let mut model = DiodeModel::silicon();
+                if let Some(&is) = params.get("IS") {
+                    model.is = is;
+                }
+                if let Some(&n) = params.get("N") {
+                    model.n = n;
+                }
+                let (a, k) = (ckt.node(&rest[0]), ckt.node(&rest[1]));
+                ckt.diode(&name, a, k, model)
+            }
+            'M' => {
+                need(5)?;
+                let polarity = match rest[4].to_ascii_uppercase().as_str() {
+                    "NMOS" => MosPolarity::Nmos,
+                    "PMOS" => MosPolarity::Pmos,
+                    other => return err(line, format!("unknown MOS model `{other}`")),
+                };
+                let (_, params) = split_params(&rest[5..], line)?;
+                let mut model = match polarity {
+                    MosPolarity::Nmos => MosModel::n018(10.0e-6, 1.0e-6),
+                    MosPolarity::Pmos => MosModel::p018(10.0e-6, 1.0e-6),
+                };
+                if let Some(&w) = params.get("W") {
+                    model.w = w;
+                }
+                if let Some(&l) = params.get("L") {
+                    model.l = l;
+                }
+                if let Some(&vto) = params.get("VTO") {
+                    model.vto = vto;
+                }
+                if let Some(&kp) = params.get("KP") {
+                    model.kp = kp;
+                }
+                if let Some(&lambda) = params.get("LAMBDA") {
+                    model.lambda = lambda;
+                }
+                if let Some(&gamma) = params.get("GAMMA") {
+                    model.gamma = gamma;
+                }
+                if let Some(&phi) = params.get("PHI") {
+                    model.phi = phi;
+                }
+                if let Some(&jis) = params.get("JIS") {
+                    model.junction_is = jis;
+                }
+                let (d, g, s, b) = (
+                    ckt.node(&rest[0]),
+                    ckt.node(&rest[1]),
+                    ckt.node(&rest[2]),
+                    ckt.node(&rest[3]),
+                );
+                ckt.mosfet(&name, d, g, s, b, model)
+            }
+            'S' => {
+                need(4)?;
+                let (_, params) = split_params(&rest[4..], line)?;
+                let mut model = SwitchModel::logic();
+                if let Some(&v) = params.get("VON") {
+                    model.von = v;
+                }
+                if let Some(&v) = params.get("VOFF") {
+                    model.voff = v;
+                }
+                if let Some(&v) = params.get("RON") {
+                    model.ron = v;
+                }
+                if let Some(&v) = params.get("ROFF") {
+                    model.roff = v;
+                }
+                if model.von <= model.voff {
+                    return err(line, "switch VON must exceed VOFF");
+                }
+                let (p, n, cp, cn) = (
+                    ckt.node(&rest[0]),
+                    ckt.node(&rest[1]),
+                    ckt.node(&rest[2]),
+                    ckt.node(&rest[3]),
+                );
+                ckt.switch(&name, p, n, cp, cn, model)
+            }
+            'E' | 'G' => {
+                need(5)?;
+                let Some(gain) = parse_value(&rest[4]) else {
+                    return err(line, format!("invalid gain `{}`", rest[4]));
+                };
+                let (p, n, cp, cn) = (
+                    ckt.node(&rest[0]),
+                    ckt.node(&rest[1]),
+                    ckt.node(&rest[2]),
+                    ckt.node(&rest[3]),
+                );
+                if kind == 'E' {
+                    ckt.vcvs(&name, p, n, cp, cn, gain)
+                } else {
+                    ckt.vccs(&name, p, n, cp, cn, gain)
+                }
+            }
+            other => return err(line, format!("unknown card type `{other}`")),
+        };
+        seen.insert(upper, id);
+    }
+
+    for (line, _kname, l1, l2, k) in pending_couplings {
+        let Some(&d1) = seen.get(&l1) else {
+            return err(line, format!("coupling references unknown inductor `{l1}`"));
+        };
+        let Some(&d2) = seen.get(&l2) else {
+            return err(line, format!("coupling references unknown inductor `{l2}`"));
+        };
+        if !(0.0..1.0).contains(&k) {
+            return err(line, format!("coupling coefficient {k} outside [0, 1)"));
+        }
+        ckt.couple(d1, d2, k);
+    }
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TransientSpec;
+
+    #[test]
+    fn value_suffixes() {
+        let close = |t: &str, expect: f64| {
+            let v = parse_value(t).unwrap_or_else(|| panic!("`{t}` should parse"));
+            assert!((v - expect).abs() <= 1e-12 * expect.abs(), "{t}: {v} vs {expect}");
+        };
+        close("10k", 10.0e3);
+        close("2.2n", 2.2e-9);
+        close("5MEG", 5.0e6);
+        close("5meg", 5.0e6);
+        close("3m", 3.0e-3);
+        close("1.5", 1.5);
+        close("-4u", -4.0e-6);
+        close("100f", 100.0e-15);
+        close("1T", 1.0e12);
+        assert_eq!(parse_value("abc"), None);
+    }
+
+    #[test]
+    fn divider_deck_solves() {
+        let ckt = parse_netlist(
+            "V1 in 0 DC 10
+             R1 in out 3k
+             R2 out 0 7k",
+        )
+        .unwrap();
+        let op = ckt.dc_op().unwrap();
+        assert!((op.voltage("out").unwrap() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let ckt = parse_netlist(
+            "* a divider
+             V1 in 0
+             + DC 10        ; continued card
+             R1 in out 1k   ; inline comment
+             ; full-line comment
+             R2 out 0 1k
+             .end
+             R3 ignored 0 1k",
+        )
+        .unwrap();
+        assert_eq!(ckt.device_count(), 3, ".end stops parsing");
+        let op = ckt.dc_op().unwrap();
+        assert!((op.voltage("out").unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sin_source_and_transient() {
+        let ckt = parse_netlist(
+            "V1 in 0 SIN(0 2 1k)
+             R1 in 0 1k",
+        )
+        .unwrap();
+        let res = ckt
+            .transient(&TransientSpec::new(1.0e-3).with_max_step(2.0e-6))
+            .unwrap();
+        let w = res.trace("in").unwrap();
+        assert!((w.max() - 2.0).abs() < 0.01);
+        assert!((w.min() + 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rectifier_deck_end_to_end() {
+        let ckt = parse_netlist(
+            "Vin in 0 SIN(0 3 5MEG)
+             D1  in out IS=1n N=1.05
+             C1  out 0 10n IC=0
+             R1  out 0 10k",
+        )
+        .unwrap();
+        let res = ckt
+            .transient(&TransientSpec::new(4.0e-6).with_max_step(8.0e-9))
+            .unwrap();
+        let vo = res.trace("out").unwrap().final_value();
+        assert!(vo > 2.0, "rectified to {vo}");
+    }
+
+    #[test]
+    fn coupled_inductor_deck() {
+        let ckt = parse_netlist(
+            "V1 p 0 SIN(0 1 10k)
+             R1 p a 1
+             L1 a 0 1m IC=0
+             L2 b 0 16m IC=0
+             K1 L1 L2 0.999
+             RL b 0 100k",
+        )
+        .unwrap();
+        let res = ckt
+            .transient(&TransientSpec::new(0.5e-3).with_max_step(2.0e-7))
+            .unwrap();
+        let (amp, _) = res.trace("b").unwrap().tone(10.0e3, 0.25e-3, 0.5e-3);
+        assert!((amp - 4.0).abs() < 0.5, "transformer gain ≈ 4: {amp}");
+    }
+
+    #[test]
+    fn mosfet_and_switch_cards() {
+        let ckt = parse_netlist(
+            "VDD vdd 0 1.8
+             VIN g 0 0.9
+             M1 d g 0 0 NMOS W=2u L=0.18u
+             R1 vdd d 10k
+             S1 d 0 ctl 0 VON=1.5 VOFF=0.5 RON=10
+             VC ctl 0 0",
+        )
+        .unwrap();
+        let op = ckt.dc_op().unwrap();
+        let vd = op.voltage("d").unwrap();
+        assert!(vd < 1.8 && vd > 0.0, "inverter-ish output {vd}");
+    }
+
+    #[test]
+    fn ac_spec_parses() {
+        let ckt = parse_netlist(
+            "V1 in 0 DC 0 AC 1
+             R1 in out 1k
+             C1 out 0 159.15n",
+        )
+        .unwrap();
+        let res = ckt.ac(&crate::analysis::AcSpec::log_sweep(10.0, 100.0e3, 20)).unwrap();
+        let f3 = res.corner_frequency("out").unwrap();
+        assert!((f3 - 1.0e3).abs() / 1.0e3 < 0.05, "corner {f3}");
+    }
+
+    #[test]
+    fn pwl_and_pulse_sources() {
+        let ckt = parse_netlist(
+            "V1 a 0 PWL(0 0 1m 5 2m 5)
+             V2 b 0 PULSE(0 1 0 1n 1n 0.5u 1u)
+             R1 a 0 1k
+             R2 b 0 1k",
+        )
+        .unwrap();
+        assert_eq!(ckt.device_count(), 4);
+    }
+
+    #[test]
+    fn controlled_sources() {
+        let ckt = parse_netlist(
+            "V1 a 0 DC 0.5
+             E1 b 0 a 0 10
+             RB b 0 1k
+             G1 0 c a 0 2m
+             RC c 0 1k",
+        )
+        .unwrap();
+        let op = ckt.dc_op().unwrap();
+        assert!((op.voltage("b").unwrap() - 5.0).abs() < 1e-6);
+        assert!((op.voltage("c").unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_netlist("R1 a 0 1k\nR2 a 0 oops").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = parse_netlist("R1 a 0 1k\nr1 b 0 2k").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_cards_rejected() {
+        assert!(parse_netlist("Q1 c b e model").is_err());
+        assert!(parse_netlist(".tran 1n 1u").is_err());
+    }
+
+    #[test]
+    fn negative_component_values_rejected() {
+        assert!(parse_netlist("R1 a 0 -5").is_err());
+        assert!(parse_netlist("C1 a 0 -1n").is_err());
+        assert!(parse_netlist("L1 a 0 0").is_err());
+    }
+
+    #[test]
+    fn coupling_errors() {
+        assert!(parse_netlist("L1 a 0 1m\nK1 L1 L9 0.5").is_err());
+        assert!(parse_netlist("L1 a 0 1m\nL2 b 0 1m\nK1 L1 L2 1.5").is_err());
+    }
+
+    #[test]
+    fn pwl_validation() {
+        assert!(parse_netlist("V1 a 0 PWL(0 0 1m)").is_err(), "odd count");
+        assert!(parse_netlist("V1 a 0 PWL(1m 0 0 1)").is_err(), "unsorted");
+    }
+
+    #[test]
+    fn bare_number_is_dc() {
+        let ckt = parse_netlist("V1 a 0 3.3\nR1 a 0 1k").unwrap();
+        let op = ckt.dc_op().unwrap();
+        assert!((op.voltage("a").unwrap() - 3.3).abs() < 1e-9);
+    }
+}

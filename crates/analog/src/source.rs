@@ -1,0 +1,367 @@
+//! Time-domain waveforms for independent sources.
+//!
+//! [`SourceFn`] mirrors the SPICE source zoo (DC, SIN, PULSE, PWL) and adds
+//! an amplitude-modulated carrier, which is how the `comms` crate injects
+//! ASK downlink bitstreams into the power carrier: the bit envelope is
+//! rendered to a piecewise-linear amplitude and wrapped in [`SourceFn::am`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Piecewise-linear time series used by [`SourceFn::Pwl`] and as the AM
+/// envelope of [`SourceFn::Am`].
+///
+/// Points must be sorted by time; evaluation holds the first/last value
+/// outside the covered range.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pwl {
+    points: Vec<(f64, f64)>,
+}
+
+impl Pwl {
+    /// Creates a piecewise-linear series from `(time, value)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are not sorted by strictly increasing time.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "PWL points must have strictly increasing times"
+        );
+        Pwl { points }
+    }
+
+    /// A constant envelope.
+    pub fn constant(value: f64) -> Self {
+        Pwl { points: vec![(0.0, value)] }
+    }
+
+    /// Linear interpolation at `t`, clamped to the end values.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self.points.as_slice() {
+            [] => 0.0,
+            [only] => only.1,
+            points => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let idx = points.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// The corner times, used as transient breakpoints.
+    pub fn corner_times(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(t, _)| t)
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Opaque wrapper for user-supplied waveform closures.
+#[derive(Clone)]
+pub struct CustomFn(Arc<dyn Fn(f64) -> f64 + Send + Sync>);
+
+impl fmt::Debug for CustomFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CustomFn(..)")
+    }
+}
+
+/// Waveform of an independent voltage or current source.
+///
+/// ```
+/// use analog::SourceFn;
+/// let gate = SourceFn::square(0.0, 3.0, 5.0e6); // the class-E drive
+/// assert!(gate.eval(0.05e-6) > 2.9);  // high half of the 200 ns period
+/// assert!(gate.eval(0.15e-6) < 0.1);  // low half
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SourceFn {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amplitude·sin(2πf(t − delay) + phase)` for `t ≥ delay`,
+    /// `offset` before.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+        /// Turn-on delay in seconds.
+        delay: f64,
+        /// Initial phase in radians.
+        phase: f64,
+    },
+    /// SPICE-style trapezoidal pulse train.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time (0 is replaced by 1 ps).
+        rise: f64,
+        /// Fall time (0 is replaced by 1 ps).
+        fall: f64,
+        /// Pulse width at `v2`.
+        width: f64,
+        /// Repetition period; non-positive means a single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear waveform.
+    Pwl(Pwl),
+    /// Amplitude-modulated carrier: `envelope(t)·sin(2πf·t + phase)`.
+    ///
+    /// This is the ASK power carrier of the paper: the `comms` crate turns
+    /// a downlink bitstream into the envelope.
+    Am {
+        /// Instantaneous amplitude.
+        envelope: Pwl,
+        /// Carrier frequency in hertz.
+        carrier_frequency: f64,
+        /// Carrier phase in radians.
+        phase: f64,
+    },
+    /// Arbitrary closure `f(t)`.
+    Custom(CustomFn),
+}
+
+impl SourceFn {
+    /// A DC source.
+    pub fn dc(value: f64) -> Self {
+        SourceFn::Dc(value)
+    }
+
+    /// A zero-offset, zero-phase sine starting at `t = 0`.
+    pub fn sine(amplitude: f64, frequency: f64) -> Self {
+        SourceFn::Sine { offset: 0.0, amplitude, frequency, delay: 0.0, phase: 0.0 }
+    }
+
+    /// A square-ish pulse train with 1 ns edges — e.g. the 5 MHz, 50 %
+    /// duty-cycle gate drive of the class-E amplifier.
+    pub fn square(v1: f64, v2: f64, frequency: f64) -> Self {
+        let period = 1.0 / frequency;
+        let edge = (period * 0.01).min(1e-9);
+        SourceFn::Pulse {
+            v1,
+            v2,
+            delay: 0.0,
+            rise: edge,
+            fall: edge,
+            width: period / 2.0 - edge,
+            period,
+        }
+    }
+
+    /// A piecewise-linear source.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        SourceFn::Pwl(Pwl::new(points))
+    }
+
+    /// An amplitude-modulated sine carrier.
+    pub fn am(envelope: Pwl, carrier_frequency: f64) -> Self {
+        SourceFn::Am { envelope, carrier_frequency, phase: 0.0 }
+    }
+
+    /// A source defined by an arbitrary closure.
+    pub fn custom<F>(f: F) -> Self
+    where
+        F: Fn(f64) -> f64 + Send + Sync + 'static,
+    {
+        SourceFn::Custom(CustomFn(Arc::new(f)))
+    }
+
+    /// Value at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            SourceFn::Dc(v) => *v,
+            SourceFn::Sine { offset, amplitude, frequency, delay, phase } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude
+                            * (2.0 * std::f64::consts::PI * frequency * (t - delay) + phase).sin()
+                }
+            }
+            SourceFn::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tl = t - delay;
+                if *period > 0.0 {
+                    tl %= period;
+                }
+                if tl < rise {
+                    v1 + (v2 - v1) * tl / rise
+                } else if tl < rise + width {
+                    *v2
+                } else if tl < rise + width + fall {
+                    v2 + (v1 - v2) * (tl - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            SourceFn::Pwl(pwl) => pwl.eval(t),
+            SourceFn::Am { envelope, carrier_frequency, phase } => {
+                envelope.eval(t)
+                    * (2.0 * std::f64::consts::PI * carrier_frequency * t + phase).sin()
+            }
+            SourceFn::Custom(f) => (f.0)(t),
+        }
+    }
+
+    /// The DC value used in operating-point analysis (the value at `t = 0`).
+    pub fn dc_value(&self) -> f64 {
+        self.eval(0.0)
+    }
+
+    /// Times at which the waveform has corners; the transient engine must
+    /// not step over these.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        match self {
+            SourceFn::Dc(_) | SourceFn::Custom(_) => Vec::new(),
+            SourceFn::Sine { delay, .. } => {
+                if *delay > 0.0 && *delay < t_stop {
+                    vec![*delay]
+                } else {
+                    Vec::new()
+                }
+            }
+            SourceFn::Pulse { delay, rise, fall, width, period, .. } => {
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                let mut out = Vec::new();
+                let mut cycle_start = *delay;
+                loop {
+                    for c in [
+                        cycle_start,
+                        cycle_start + rise,
+                        cycle_start + rise + width,
+                        cycle_start + rise + width + fall,
+                    ] {
+                        if c > 0.0 && c < t_stop {
+                            out.push(c);
+                        }
+                    }
+                    if *period <= 0.0 {
+                        break;
+                    }
+                    cycle_start += period;
+                    if cycle_start >= t_stop || out.len() > 1_000_000 {
+                        break;
+                    }
+                }
+                out
+            }
+            SourceFn::Pwl(pwl) => pwl.corner_times().filter(|&t| t > 0.0 && t < t_stop).collect(),
+            SourceFn::Am { envelope, .. } => {
+                envelope.corner_times().filter(|&t| t > 0.0 && t < t_stop).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let s = SourceFn::dc(2.5);
+        assert_eq!(s.eval(0.0), 2.5);
+        assert_eq!(s.eval(1.0), 2.5);
+        assert!(s.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn sine_respects_delay_and_phase() {
+        let s = SourceFn::Sine { offset: 1.0, amplitude: 2.0, frequency: 1.0, delay: 0.5, phase: 0.0 };
+        assert_eq!(s.eval(0.25), 1.0);
+        // Quarter period after the delay: peak.
+        assert!((s.eval(0.75) - 3.0).abs() < 1e-12);
+        assert_eq!(s.breakpoints(1.0), vec![0.5]);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let s = SourceFn::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 1.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.8,
+            period: 2.0,
+        };
+        assert_eq!(s.eval(0.5), 0.0);
+        assert!((s.eval(1.05) - 2.5).abs() < 1e-12); // mid-rise
+        assert_eq!(s.eval(1.5), 5.0); // flat top
+        assert!((s.eval(1.95) - 2.5).abs() < 1e-12); // mid-fall
+        assert_eq!(s.eval(2.5), 0.0); // back low
+        assert_eq!(s.eval(3.5), 5.0); // second cycle top
+    }
+
+    #[test]
+    fn square_has_half_duty() {
+        let s = SourceFn::square(0.0, 1.0, 5.0e6);
+        let period = 2.0e-7;
+        assert!(s.eval(0.25 * period) > 0.99);
+        assert!(s.eval(0.75 * period) < 0.01);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let s = SourceFn::pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, 10.0)]);
+        assert_eq!(s.eval(-1.0), 0.0);
+        assert!((s.eval(0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(s.eval(5.0), 10.0);
+        assert_eq!(s.breakpoints(10.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted() {
+        let _ = Pwl::new(vec![(1.0, 0.0), (0.5, 1.0)]);
+    }
+
+    #[test]
+    fn am_modulates_carrier() {
+        let env = Pwl::new(vec![(0.0, 1.0), (1e-5, 0.5)]);
+        let s = SourceFn::am(env, 1.0e6);
+        // At t = 0.25 µs the carrier (1 MHz) is at its peak; envelope ≈ 0.9875.
+        let v = s.eval(0.25e-6);
+        assert!((v - 0.9875).abs() < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn pulse_breakpoints_cover_edges() {
+        let s = SourceFn::square(0.0, 1.0, 1.0e6);
+        let bps = s.breakpoints(3.0e-6);
+        // Each 1 µs cycle contributes 4 corners.
+        assert!(bps.len() >= 10);
+        assert!(bps.iter().all(|&t| t > 0.0 && t < 3.0e-6));
+    }
+
+    #[test]
+    fn custom_closure() {
+        let s = SourceFn::custom(|t| t * t);
+        assert_eq!(s.eval(3.0), 9.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! SI quantity newtypes used at the public APIs of the domain crates.
+//!
+//! The solver internals work on raw `f64` for speed; the domain crates
+//! (`coils`, `link`, `pmu`, ...) accept and return these newtypes so that
+//! a coupling coefficient can never be passed where a quality factor was
+//! expected ([C-NEWTYPE]).
+//!
+//! Each quantity wraps a value in the base SI unit (volts, amperes, ohms,
+//! farads, henries, seconds, hertz, watts, joules, metres, kelvins) and
+//! offers engineering-notation constructors and `Display` with an SI
+//! prefix:
+//!
+//! ```
+//! use analog::units::{Farads, Hertz};
+//! let c = Farads::from_nano(2.2);
+//! assert_eq!(c.to_string(), "2.2 nF");
+//! assert_eq!(Hertz::from_mega(5.0).0, 5.0e6);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Formats `value` with an SI prefix and the unit `symbol`.
+pub fn si_format(value: f64, symbol: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {symbol}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {symbol}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "\u{00b5}"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| mag >= *s)
+        .copied()
+        .unwrap_or((1e-12, "p"));
+    let scaled = value / scale;
+    // Up to 4 significant digits, trailing zeros trimmed.
+    let s = format!("{scaled:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    format!("{s} {prefix}{symbol}")
+}
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates the quantity from a value in the base SI unit.
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// Creates the quantity from a value expressed in units of 10⁻³.
+            pub fn from_milli(value: f64) -> Self {
+                $name(value * 1e-3)
+            }
+
+            /// Creates the quantity from a value expressed in units of 10⁻⁶.
+            pub fn from_micro(value: f64) -> Self {
+                $name(value * 1e-6)
+            }
+
+            /// Creates the quantity from a value expressed in units of 10⁻⁹.
+            pub fn from_nano(value: f64) -> Self {
+                $name(value * 1e-9)
+            }
+
+            /// Creates the quantity from a value expressed in units of 10⁻¹².
+            pub fn from_pico(value: f64) -> Self {
+                $name(value * 1e-12)
+            }
+
+            /// Creates the quantity from a value expressed in units of 10³.
+            pub fn from_kilo(value: f64) -> Self {
+                $name(value * 1e3)
+            }
+
+            /// Creates the quantity from a value expressed in units of 10⁶.
+            pub fn from_mega(value: f64) -> Self {
+                $name(value * 1e6)
+            }
+
+            /// Value in the base SI unit.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Value expressed in units of 10⁻³ (milli).
+            pub fn to_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Value expressed in units of 10⁻⁶ (micro).
+            pub fn to_micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Value expressed in units of 10⁻⁹ (nano).
+            pub fn to_nano(self) -> f64 {
+                self.0 * 1e9
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Largest of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Smallest of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&si_format(self.0, $symbol))
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                $name(value)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: Self) -> Self {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: Self) -> Self {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> Self {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> Self {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> Self {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "\u{03a9}"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Inductance in henries.
+    Henries,
+    "H"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Length in metres.
+    Metres,
+    "m"
+);
+quantity!(
+    /// Thermodynamic temperature in kelvins.
+    Kelvin,
+    "K"
+);
+
+impl Volts {
+    /// Power dissipated by this voltage across a current.
+    pub fn power(self, current: Amps) -> Watts {
+        Watts(self.0 * current.0)
+    }
+
+    /// Current through a resistance at this voltage (Ohm's law).
+    pub fn over(self, resistance: Ohms) -> Amps {
+        Amps(self.0 / resistance.0)
+    }
+}
+
+impl Amps {
+    /// Voltage developed across a resistance by this current (Ohm's law).
+    pub fn through(self, resistance: Ohms) -> Volts {
+        Volts(self.0 * resistance.0)
+    }
+}
+
+impl Watts {
+    /// Energy delivered over a duration at this constant power.
+    pub fn for_duration(self, duration: Seconds) -> Joules {
+        Joules(self.0 * duration.0)
+    }
+}
+
+impl Hertz {
+    /// Angular frequency ω = 2πf in rad/s.
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+
+    /// The period 1/f.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "period of a 0 Hz signal is undefined");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Kelvin {
+    /// Conversion from degrees Celsius.
+    pub fn from_celsius(celsius: f64) -> Self {
+        Kelvin(celsius + 273.15)
+    }
+
+    /// Value in degrees Celsius.
+    pub fn to_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+
+    /// Thermal voltage kT/q at this temperature, in volts.
+    pub fn thermal_voltage(self) -> Volts {
+        const K_OVER_Q: f64 = 1.380649e-23 / 1.602176634e-19;
+        Volts(K_OVER_Q * self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_format_picks_prefix() {
+        assert_eq!(si_format(2.2e-9, "F"), "2.2 nF");
+        assert_eq!(si_format(5.0e6, "Hz"), "5 MHz");
+        assert_eq!(si_format(0.0, "V"), "0 V");
+        assert_eq!(si_format(-3.3e-3, "A"), "-3.3 mA");
+        assert_eq!(si_format(150.0, "\u{03a9}"), "150 \u{03a9}");
+    }
+
+    #[test]
+    fn engineering_constructors_round_trip() {
+        assert!((Volts::from_milli(650.0).0 - 0.65).abs() < 1e-15);
+        assert!((Amps::from_micro(45.0).to_micro() - 45.0).abs() < 1e-12);
+        assert!((Farads::from_pico(250.0).0 - 250.0e-12).abs() < 1e-24);
+        assert!((Hertz::from_mega(5.0).period().0 - 2.0e-7).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ohms_law_helpers() {
+        let i = Volts(1.8).over(Ohms(1.0e3));
+        assert!((i.0 - 1.8e-3).abs() < 1e-15);
+        assert!((i.through(Ohms(1.0e3)).0 - 1.8).abs() < 1e-12);
+        let p = Volts(1.8).power(i);
+        assert!((p.0 - 3.24e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = Kelvin::from_celsius(27.0).thermal_voltage();
+        assert!((vt.0 - 0.02585).abs() < 1e-4);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Watts = [Watts(1.0e-3), Watts(2.0e-3)].into_iter().sum();
+        assert!((total.0 - 3.0e-3).abs() < 1e-15);
+        assert_eq!((Volts(2.0) - Volts(0.5)) * 2.0, Volts(3.0));
+        assert_eq!(Volts(3.0) / Volts(1.5), 2.0);
+    }
+
+    #[test]
+    fn quantity_ordering() {
+        assert!(Volts(2.1) < Volts(2.75));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+    }
+}

@@ -1,0 +1,574 @@
+//! Sampled waveforms and measurement helpers.
+//!
+//! [`Waveform`] is the lingua franca between the simulator and the
+//! experiment harness: every claim the paper makes about Fig. 11 ("Vo is
+//! always above 2.1 V", "bits are detected at every rising clock edge")
+//! is checked by a measurement on a `Waveform`.
+
+use std::fmt;
+
+/// Edge direction for level-crossing searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Crossing from below to above the level.
+    Rising,
+    /// Crossing from above to below the level.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A non-uniformly sampled real-valued waveform.
+///
+/// Invariant: time points are strictly increasing and both axes have the
+/// same length.
+///
+/// ```
+/// use analog::Waveform;
+/// let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]);
+/// assert_eq!(w.value_at(0.5), 5.0);
+/// assert_eq!(w.max_in(0.0, 2.0), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    time: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from matching time and value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, fewer than one sample is given, or
+    /// the time axis is not strictly increasing.
+    pub fn new(time: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(time.len(), values.len(), "time and value lengths differ");
+        assert!(!time.is_empty(), "waveform needs at least one sample");
+        assert!(
+            time.windows(2).all(|w| w[1] > w[0]),
+            "waveform time axis must be strictly increasing"
+        );
+        Waveform { time, values }
+    }
+
+    /// Builds a waveform by sampling `f` at `n` uniform points over
+    /// `[t0, t1]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0` and `n ≥ 2`.
+    pub fn from_fn<F: FnMut(f64) -> f64>(t0: f64, t1: f64, n: usize, mut f: F) -> Self {
+        assert!(t1 > t0 && n >= 2);
+        let dt = (t1 - t0) / (n - 1) as f64;
+        let time: Vec<f64> = (0..n).map(|i| t0 + dt * i as f64).collect();
+        let values = time.iter().map(|&t| f(t)).collect();
+        Waveform { time, values }
+    }
+
+    /// The time axis.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// True when the waveform holds exactly one sample.
+    pub fn is_empty(&self) -> bool {
+        false // the constructor guarantees ≥ 1 sample
+    }
+
+    /// First time point.
+    pub fn t_start(&self) -> f64 {
+        self.time[0]
+    }
+
+    /// Last time point.
+    pub fn t_end(&self) -> f64 {
+        *self.time.last().expect("non-empty")
+    }
+
+    /// Last sample value.
+    pub fn final_value(&self) -> f64 {
+        *self.values.last().expect("non-empty")
+    }
+
+    /// Linear interpolation at `t`, clamped to the end samples outside the
+    /// covered range.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.time[0] {
+            return self.values[0];
+        }
+        if t >= self.t_end() {
+            return self.final_value();
+        }
+        let idx = self.time.partition_point(|&pt| pt <= t);
+        let (t0, v0) = (self.time[idx - 1], self.values[idx - 1]);
+        let (t1, v1) = (self.time[idx], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    fn window_indices(&self, t0: f64, t1: f64) -> (usize, usize) {
+        let lo = self.time.partition_point(|&t| t < t0);
+        let hi = self.time.partition_point(|&t| t <= t1);
+        (lo, hi)
+    }
+
+    /// Minimum sample value in `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window contains no samples.
+    pub fn min_in(&self, t0: f64, t1: f64) -> f64 {
+        let (lo, hi) = self.window_indices(t0, t1);
+        assert!(hi > lo, "window [{t0}, {t1}] contains no samples");
+        self.values[lo..hi].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value in `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window contains no samples.
+    pub fn max_in(&self, t0: f64, t1: f64) -> f64 {
+        let (lo, hi) = self.window_indices(t0, t1);
+        assert!(hi > lo, "window [{t0}, {t1}] contains no samples");
+        self.values[lo..hi].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Global minimum.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Global maximum.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Peak-to-peak amplitude over the whole waveform.
+    pub fn peak_to_peak(&self) -> f64 {
+        self.max() - self.min()
+    }
+
+    /// Time-weighted (trapezoidal) average over `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0` and the window overlaps the waveform.
+    pub fn average_in(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "average window must have positive width");
+        self.integrate_in(t0, t1) / (t1 - t0)
+    }
+
+    /// Trapezoidal integral of the waveform over `[t0, t1]` (the waveform
+    /// is extended by its end values if the window exceeds it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0`.
+    pub fn integrate_in(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "integration window must have positive width");
+        let (lo, hi) = self.window_indices(t0, t1);
+        let mut acc = 0.0;
+        let mut prev_t = t0;
+        let mut prev_v = self.value_at(t0);
+        for i in lo..hi {
+            let (t, v) = (self.time[i], self.values[i]);
+            acc += 0.5 * (prev_v + v) * (t - prev_t);
+            (prev_t, prev_v) = (t, v);
+        }
+        acc += 0.5 * (prev_v + self.value_at(t1)) * (t1 - prev_t);
+        acc
+    }
+
+    /// Root-mean-square over `[t0, t1]` (time-weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0`.
+    pub fn rms_in(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "rms window must have positive width");
+        let (lo, hi) = self.window_indices(t0, t1);
+        let mut acc = 0.0;
+        let mut prev_t = t0;
+        let mut prev_v = self.value_at(t0);
+        for i in lo..hi {
+            let (t, v) = (self.time[i], self.values[i]);
+            acc += 0.5 * (prev_v * prev_v + v * v) * (t - prev_t);
+            (prev_t, prev_v) = (t, v);
+        }
+        let v1 = self.value_at(t1);
+        acc += 0.5 * (prev_v * prev_v + v1 * v1) * (t1 - prev_t);
+        (acc / (t1 - t0)).sqrt()
+    }
+
+    /// Times at which the waveform crosses `level` with the given edge,
+    /// linearly interpolated between samples.
+    pub fn crossings(&self, level: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        for w in 1..self.len() {
+            let (v0, v1) = (self.values[w - 1], self.values[w]);
+            let rising = v0 < level && v1 >= level;
+            let falling = v0 > level && v1 <= level;
+            let hit = match edge {
+                Edge::Rising => rising,
+                Edge::Falling => falling,
+                Edge::Any => rising || falling,
+            };
+            if hit {
+                let (t0, t1) = (self.time[w - 1], self.time[w]);
+                out.push(t0 + (t1 - t0) * (level - v0) / (v1 - v0));
+            }
+        }
+        out
+    }
+
+    /// First time at/after `t_from` where the waveform reaches `level`
+    /// with the given edge.
+    pub fn first_crossing_after(&self, t_from: f64, level: f64, edge: Edge) -> Option<f64> {
+        self.crossings(level, edge).into_iter().find(|&t| t >= t_from)
+    }
+
+    /// Extracts the upper envelope by taking the maximum of `|v|` over
+    /// consecutive windows of `window` seconds — the software analogue of
+    /// an ideal peak detector, used to read ASK envelopes off a carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive.
+    pub fn envelope(&self, window: f64) -> Waveform {
+        assert!(window > 0.0, "envelope window must be positive");
+        let mut times = Vec::new();
+        let mut vals = Vec::new();
+        let mut w_start = self.t_start();
+        let mut w_max = 0.0f64;
+        let mut any = false;
+        for (&t, &v) in self.time.iter().zip(&self.values) {
+            if t - w_start >= window && any {
+                times.push(w_start + window / 2.0);
+                vals.push(w_max);
+                // Advance by whole windows so long gaps don't smear.
+                while t - w_start >= window {
+                    w_start += window;
+                }
+                w_max = 0.0;
+            }
+            w_max = w_max.max(v.abs());
+            any = true;
+        }
+        if any {
+            times.push(w_start + window / 2.0);
+            vals.push(w_max);
+        }
+        Waveform::new(times, vals)
+    }
+
+    /// Resamples onto a uniform grid of `n` points spanning the waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the waveform spans zero time.
+    pub fn resample(&self, n: usize) -> Waveform {
+        assert!(n >= 2, "resample needs at least 2 points");
+        let (t0, t1) = (self.t_start(), self.t_end());
+        assert!(t1 > t0, "cannot resample a zero-length waveform");
+        let dt = (t1 - t0) / (n - 1) as f64;
+        let time: Vec<f64> = (0..n).map(|i| t0 + dt * i as f64).collect();
+        let values = time.iter().map(|&t| self.value_at(t)).collect();
+        Waveform { time, values }
+    }
+
+    /// Single-frequency Fourier coefficient (Goertzel-style direct
+    /// integration): returns `(magnitude, phase)` of the component at
+    /// `frequency` over `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0` and `frequency > 0`.
+    pub fn tone(&self, frequency: f64, t0: f64, t1: f64) -> (f64, f64) {
+        assert!(t1 > t0 && frequency > 0.0);
+        // Integrate v(t)·e^{-jωt} with the trapezoid rule on the sample grid.
+        let omega = 2.0 * std::f64::consts::PI * frequency;
+        let (lo, hi) = self.window_indices(t0, t1);
+        let mut re = 0.0;
+        let mut im = 0.0;
+        let mut prev_t = t0;
+        let mut prev_v = self.value_at(t0);
+        let push = |t: f64, v: f64, prev_t: f64, prev_v: f64, re: &mut f64, im: &mut f64| {
+            let dt = t - prev_t;
+            let f0 = prev_v * (omega * prev_t).cos() + v * (omega * t).cos();
+            let f1 = -(prev_v * (omega * prev_t).sin() + v * (omega * t).sin());
+            *re += 0.5 * f0 * dt;
+            *im += 0.5 * f1 * dt;
+        };
+        for i in lo..hi {
+            let (t, v) = (self.time[i], self.values[i]);
+            push(t, v, prev_t, prev_v, &mut re, &mut im);
+            (prev_t, prev_v) = (t, v);
+        }
+        push(t1, self.value_at(t1), prev_t, prev_v, &mut re, &mut im);
+        let span = t1 - t0;
+        let mag = 2.0 * (re * re + im * im).sqrt() / span;
+        let phase = im.atan2(re);
+        (mag, phase)
+    }
+
+    /// Rise time between the 10 % and 90 % levels of the first rising
+    /// transition spanning `low → high`, or `None` if either level is
+    /// never crossed in order.
+    pub fn rise_time(&self, low: f64, high: f64) -> Option<f64> {
+        let span = high - low;
+        let t10 = self.first_crossing_after(self.t_start(), low + 0.1 * span, Edge::Rising)?;
+        let t90 = self.first_crossing_after(t10, low + 0.9 * span, Edge::Rising)?;
+        Some(t90 - t10)
+    }
+
+    /// Time after `t_from` at which the waveform settles to within
+    /// `tolerance` (absolute) of `target` and stays there until the end,
+    /// measured from `t_from`. `None` if it never settles.
+    pub fn settling_time(&self, t_from: f64, target: f64, tolerance: f64) -> Option<f64> {
+        let mut last_violation: Option<f64> = None;
+        for (&t, &v) in self.time.iter().zip(&self.values) {
+            if t < t_from {
+                continue;
+            }
+            if (v - target).abs() > tolerance {
+                last_violation = Some(t);
+            }
+        }
+        match last_violation {
+            None => Some(0.0),
+            Some(t) if t < self.t_end() => Some(t - t_from),
+            _ => None,
+        }
+    }
+
+    /// Overshoot beyond `target` after `t_from`, as a fraction of
+    /// `target` (0 when the waveform never exceeds it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn overshoot(&self, t_from: f64, target: f64) -> f64 {
+        assert!(target != 0.0, "overshoot is relative to a non-zero target");
+        let peak = self.max_in(t_from, self.t_end());
+        ((peak - target) / target).max(0.0)
+    }
+
+    /// Duty cycle of a (roughly) two-level waveform over `[t0, t1]`: the
+    /// fraction of time spent above the midpoint of its extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0`.
+    pub fn duty_cycle(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "duty window must have positive width");
+        let mid = 0.5 * (self.min_in(t0, t1) + self.max_in(t0, t1));
+        let above = self.map(|v| if v > mid { 1.0 } else { 0.0 });
+        above.average_in(t0, t1)
+    }
+
+    /// Writes the waveform as two-column CSV (`time,value`) to any
+    /// writer; a `&mut` reference works where ownership is inconvenient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "time,value")?;
+        for (&t, &v) in self.time.iter().zip(&self.values) {
+            writeln!(writer, "{t},{v}")?;
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to every sample, keeping the time axis.
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> Waveform {
+        Waveform { time: self.time.clone(), values: self.values.iter().copied().map(f).collect() }
+    }
+
+    /// Pointwise binary combination of two waveforms on the union of the
+    /// two time grids (each operand interpolated where needed).
+    pub fn zip_with<F: FnMut(f64, f64) -> f64>(&self, other: &Waveform, mut f: F) -> Waveform {
+        let mut grid: Vec<f64> = self.time.iter().chain(other.time.iter()).copied().collect();
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        grid.dedup();
+        let values = grid.iter().map(|&t| f(self.value_at(t), other.value_at(t))).collect();
+        Waveform { time: grid, values }
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "waveform: {} samples over [{:.3e}, {:.3e}] s, range [{:.4}, {:.4}]",
+            self.len(),
+            self.t_start(),
+            self.t_end(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp();
+        assert_eq!(w.value_at(1.5), 1.5);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(9.0), 3.0);
+    }
+
+    #[test]
+    fn window_stats() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, -2.0, 4.0, 0.0]);
+        assert_eq!(w.min_in(0.0, 3.0), -2.0);
+        assert_eq!(w.max_in(0.0, 1.5), 1.0);
+        assert_eq!(w.peak_to_peak(), 6.0);
+    }
+
+    #[test]
+    fn average_of_ramp() {
+        let w = ramp();
+        assert!((w.average_in(0.0, 3.0) - 1.5).abs() < 1e-12);
+        assert!((w.average_in(1.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_sine_is_amplitude_over_sqrt2() {
+        let w = Waveform::from_fn(0.0, 1.0, 10_001, |t| {
+            (2.0 * std::f64::consts::PI * 5.0 * t).sin()
+        });
+        let rms = w.rms_in(0.0, 1.0);
+        assert!((rms - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-4, "rms = {rms}");
+    }
+
+    #[test]
+    fn crossings_with_edges() {
+        let w = Waveform::from_fn(0.0, 1.0, 2001, |t| (2.0 * std::f64::consts::PI * t).sin());
+        let rising = w.crossings(0.5, Edge::Rising);
+        let falling = w.crossings(0.5, Edge::Falling);
+        // sin reaches 0.5 upward at t = 1/12 and downward at t = 5/12.
+        assert_eq!(rising.len(), 1);
+        assert_eq!(falling.len(), 1);
+        assert!((rising[0] - 1.0 / 12.0).abs() < 1e-3);
+        assert!((falling[0] - 5.0 / 12.0).abs() < 1e-3);
+        let any = w.crossings(0.5, Edge::Any);
+        assert_eq!(any.len(), rising.len() + falling.len());
+    }
+
+    #[test]
+    fn envelope_tracks_am() {
+        // 100 kHz carrier whose amplitude steps from 1.0 to 0.5 at t = 0.5 ms.
+        let w = Waveform::from_fn(0.0, 1.0e-3, 20_001, |t| {
+            let a = if t < 0.5e-3 { 1.0 } else { 0.5 };
+            a * (2.0 * std::f64::consts::PI * 1.0e5 * t).sin()
+        });
+        let env = w.envelope(2.0e-5);
+        assert!((env.value_at(0.25e-3) - 1.0).abs() < 0.05);
+        assert!((env.value_at(0.75e-3) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn tone_extracts_fourier_component() {
+        let w = Waveform::from_fn(0.0, 1.0e-3, 50_001, |t| {
+            2.5 * (2.0 * std::f64::consts::PI * 10.0e3 * t).sin()
+                + 0.3 * (2.0 * std::f64::consts::PI * 30.0e3 * t).sin()
+        });
+        let (mag, _) = w.tone(10.0e3, 0.0, 1.0e-3);
+        assert!((mag - 2.5).abs() < 1e-2, "mag = {mag}");
+        let (mag3, _) = w.tone(30.0e3, 0.0, 1.0e-3);
+        assert!((mag3 - 0.3).abs() < 1e-2, "mag3 = {mag3}");
+    }
+
+    #[test]
+    fn integrate_ramp() {
+        let w = ramp();
+        assert!((w.integrate_in(0.0, 3.0) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_preserves_shape() {
+        let w = ramp().resample(7);
+        assert_eq!(w.len(), 7);
+        assert!((w.value_at(1.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zip_with_merges_grids() {
+        let a = Waveform::new(vec![0.0, 2.0], vec![0.0, 2.0]);
+        let b = Waveform::new(vec![0.0, 1.0, 2.0], vec![1.0, 1.0, 1.0]);
+        let s = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value_at(1.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_time() {
+        let _ = Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn rise_time_of_exponential() {
+        // 10–90 % rise of an RC exponential is τ·ln(9) ≈ 2.197τ.
+        let tau = 1.0e-3;
+        let w = Waveform::from_fn(0.0, 10.0 * tau, 20_001, |t| 1.0 - (-t / tau).exp());
+        let tr = w.rise_time(0.0, 1.0).expect("crosses both levels");
+        assert!((tr - tau * 9.0f64.ln()).abs() < 1e-5, "tr = {tr}");
+    }
+
+    #[test]
+    fn settling_time_of_damped_ring() {
+        let w = Waveform::from_fn(0.0, 10.0, 10_001, |t| {
+            1.0 + (-t).exp() * (10.0 * t).sin()
+        });
+        let ts = w.settling_time(0.0, 1.0, 0.05).expect("settles");
+        // e^{-t} < 0.05 at t ≈ 3.0.
+        assert!((2.0..4.0).contains(&ts), "ts = {ts}");
+        // Never settles to the wrong target.
+        assert!(w.settling_time(0.0, 5.0, 0.05).is_none());
+    }
+
+    #[test]
+    fn overshoot_of_second_order_step() {
+        let w = Waveform::from_fn(0.0, 10.0, 10_001, |t| {
+            1.0 - (-0.5 * t).exp() * (2.0 * t).cos()
+        });
+        let os = w.overshoot(0.0, 1.0);
+        assert!(os > 0.2 && os < 0.8, "overshoot = {os}");
+        let flat = Waveform::from_fn(0.0, 1.0, 101, |_| 0.5);
+        assert_eq!(flat.overshoot(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn duty_cycle_of_square() {
+        let w = Waveform::from_fn(0.0, 1.0, 100_001, |t| {
+            if (t * 10.0).fract() < 0.3 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let d = w.duty_cycle(0.0, 1.0);
+        assert!((d - 0.3).abs() < 0.01, "duty = {d}");
+    }
+}

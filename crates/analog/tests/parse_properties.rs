@@ -1,0 +1,77 @@
+//! Property tests of the netlist parser/writer round trip.
+
+use analog::parse::{parse_netlist, parse_value};
+use analog::{Circuit, SourceFn};
+use proptest::prelude::*;
+
+/// A random linear resistive network with one source: node count and
+/// per-node resistor values.
+fn random_network() -> impl Strategy<Value = (f64, Vec<(u8, u8, f64)>)> {
+    (
+        -50.0f64..50.0,
+        proptest::collection::vec((0u8..6, 0u8..6, 1.0f64..1.0e6), 1..12),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// write → parse preserves the DC solution of arbitrary resistive
+    /// networks (self-loops filtered; connectivity via the gshunt).
+    #[test]
+    fn resistive_round_trip((v, edges) in random_network()) {
+        let mut ckt = Circuit::new();
+        let nodes: Vec<_> = (0..6).map(|i| ckt.node(&format!("n{i}"))).collect();
+        ckt.voltage_source("V1", nodes[0], Circuit::GND, SourceFn::dc(v));
+        let mut count = 0;
+        for (idx, &(a, b, r)) in edges.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            ckt.resistor(&format!("R{idx}"), nodes[a as usize], nodes[b as usize], r);
+            count += 1;
+        }
+        prop_assume!(count > 0);
+        // Tie every node weakly to ground so both solves are well-posed
+        // beyond the gshunt.
+        for (i, &n) in nodes.iter().enumerate() {
+            ckt.resistor(&format!("RT{i}"), n, Circuit::GND, 1.0e7);
+        }
+        let text = ckt.to_netlist();
+        let back = parse_netlist(&text).expect("round-trips");
+        let (op1, op2) = (ckt.dc_op().unwrap(), back.dc_op().unwrap());
+        for i in 0..6 {
+            let name = format!("n{i}");
+            let (a, b) = (op1.voltage(&name).unwrap(), op2.voltage(&name).unwrap());
+            prop_assert!((a - b).abs() < 1e-9 + 1e-9 * a.abs(), "{name}: {a} vs {b}");
+        }
+    }
+
+    /// parse_value round-trips plain decimal renderings of any float.
+    #[test]
+    fn value_parses_plain_floats(v in -1.0e12f64..1.0e12) {
+        let s = format!("{v}");
+        let parsed = parse_value(&s).expect("plain float parses");
+        prop_assert!((parsed - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    /// Suffix scaling is exact for integer mantissas.
+    #[test]
+    fn suffix_scaling(mantissa in 1u32..1000) {
+        let cases = [("k", 1.0e3), ("u", 1.0e-6), ("meg", 1.0e6), ("p", 1.0e-12)];
+        for (suffix, scale) in cases {
+            let s = format!("{mantissa}{suffix}");
+            let parsed = parse_value(&s).expect("suffixed value parses");
+            let expect = mantissa as f64 * scale;
+            prop_assert!((parsed - expect).abs() <= 1e-12 * expect);
+        }
+    }
+
+    /// Garbage tokens never parse as values.
+    #[test]
+    fn garbage_rejected(s in "[a-zA-Z_]{1,8}") {
+        prop_assume!(!s.eq_ignore_ascii_case("inf") && !s.eq_ignore_ascii_case("infinity") && !s.eq_ignore_ascii_case("nan"));
+        // A trailing valid suffix on a non-numeric stem must still fail.
+        prop_assert!(parse_value(&s).is_none() || s.to_lowercase().trim_end_matches(char::is_alphabetic).parse::<f64>().is_ok());
+    }
+}

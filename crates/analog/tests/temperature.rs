@@ -1,0 +1,96 @@
+//! Temperature-dependence tests: the implant runs at body temperature,
+//! not the 27 °C SPICE default, so the junction and threshold models
+//! must move the right way.
+
+use analog::parse::parse_netlist;
+use analog::{Circuit, DiodeModel, MosModel, SourceFn, TransientSpec};
+
+/// Diode forward drop at a fixed bias current and temperature.
+fn diode_drop_at(t_celsius: f64) -> f64 {
+    let mut ckt = Circuit::new();
+    ckt.set_temperature(t_celsius);
+    let a = ckt.node("a");
+    ckt.current_source("I1", a, Circuit::GND, SourceFn::dc(1.0e-3));
+    ckt.diode("D1", a, Circuit::GND, DiodeModel::silicon());
+    ckt.dc_op().unwrap().voltage("a").unwrap()
+}
+
+#[test]
+fn diode_drop_falls_about_2mv_per_degree() {
+    let v27 = diode_drop_at(27.0);
+    let v77 = diode_drop_at(77.0);
+    let tempco = (v77 - v27) / 50.0;
+    assert!(
+        (-2.5e-3..-1.2e-3).contains(&tempco),
+        "diode tempco {tempco} V/°C should be ≈ −2 mV/°C ({v27} → {v77})"
+    );
+}
+
+#[test]
+fn body_temperature_rectifier_output_is_higher() {
+    // Lower diode drops at 37 °C mean slightly *more* rectified voltage —
+    // the implant works a little better inside the body than on the bench.
+    let run = |t: f64| -> f64 {
+        let mut ckt = Circuit::new();
+        ckt.set_temperature(t);
+        let src = ckt.node("src");
+        let out = ckt.node("out");
+        ckt.voltage_source("V1", src, Circuit::GND, SourceFn::sine(3.0, 5.0e6));
+        ckt.diode("D1", src, out, DiodeModel::silicon());
+        ckt.capacitor("C1", out, Circuit::GND, 5.0e-9);
+        ckt.resistor("RL", out, Circuit::GND, 10.0e3);
+        let res = ckt
+            .transient(&TransientSpec::new(10.0e-6).with_max_step(8.0e-9))
+            .unwrap();
+        res.trace("out").unwrap().average_in(8.0e-6, 10.0e-6)
+    };
+    let bench = run(27.0);
+    let body = run(37.0);
+    assert!(body > bench, "37 °C output {body} vs 27 °C {bench}");
+    assert!(body - bench < 0.1, "effect stays small: {}", body - bench);
+}
+
+#[test]
+fn mosfet_threshold_shifts_down_with_temperature() {
+    let m27 = MosModel::n018(10.0e-6, 1.0e-6);
+    let m87 = m27.at_temperature(87.0);
+    assert!((m87.vto - (m27.vto - 0.12)).abs() < 1e-9, "vto = {}", m87.vto);
+    assert!(m87.kp < m27.kp, "mobility degrades");
+    // PMOS threshold becomes less negative.
+    let p27 = MosModel::p018(10.0e-6, 1.0e-6);
+    let p87 = p27.at_temperature(87.0);
+    assert!(p87.vto > p27.vto);
+    assert!(p87.vto < 0.0);
+}
+
+#[test]
+fn diode_current_rises_at_fixed_bias() {
+    // At a fixed forward voltage the current rises steeply with T.
+    let d = DiodeModel::silicon();
+    let hot = d.at_temperature(87.0);
+    let (i_cold, _) = d.eval(0.55, 0.025852);
+    let vt_hot = 0.025852 / 300.15 * (87.0 + 273.15);
+    let (i_hot, _) = hot.eval(0.55, vt_hot);
+    assert!(i_hot > 5.0 * i_cold, "{i_hot} vs {i_cold}");
+}
+
+#[test]
+fn temp_card_parses_and_round_trips() {
+    let ckt = parse_netlist(
+        ".temp 37
+         I1 a 0 DC 1m
+         D1 a 0",
+    )
+    .unwrap();
+    assert!((ckt.temperature() - 37.0).abs() < 1e-12);
+    let text = ckt.to_netlist();
+    assert!(text.contains(".temp 37"), "{text}");
+    let back = parse_netlist(&text).unwrap();
+    assert!((back.temperature() - 37.0).abs() < 1e-12);
+    // And the temperature actually changes the solution.
+    let v37 = ckt.dc_op().unwrap().voltage("a").unwrap();
+    let mut cold = ckt.clone();
+    cold.set_temperature(0.0);
+    let v0 = cold.dc_op().unwrap().voltage("a").unwrap();
+    assert!(v0 > v37, "colder diode drops more: {v0} vs {v37}");
+}

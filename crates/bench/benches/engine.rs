@@ -1,0 +1,60 @@
+//! Criterion benches of the analog engine — the computational cost
+//! behind every experiment (transient step rate on the paper's circuits,
+//! DC solves, AC sweeps).
+
+use analog::{AcSpec, Circuit, SourceFn, TransientSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmu::rectifier::RectifierCircuit;
+use std::hint::black_box;
+
+fn rectifier_bench_circuit() -> Circuit {
+    let cfg = RectifierCircuit { c_out: 5.0e-9, ..RectifierCircuit::ironic() };
+    let (ckt, _) = cfg.bench(
+        SourceFn::sine(3.0, 5.0e6),
+        10.0,
+        7.8e3,
+        SourceFn::dc(0.0),
+        SourceFn::dc(1.8),
+    );
+    ckt
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(10);
+    group.bench_function("rectifier_10us_at_5mhz", |b| {
+        let ckt = rectifier_bench_circuit();
+        let spec = TransientSpec::new(10.0e-6).with_max_step(8.0e-9);
+        b.iter(|| black_box(ckt.transient(&spec).expect("simulates")));
+    });
+    group.bench_function("rc_step_1000_points", |b| {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(5.0));
+        ckt.resistor("R1", vin, out, 1.0e3);
+        ckt.capacitor_with_ic("C1", out, Circuit::GND, 1.0e-6, 0.0);
+        let spec = TransientSpec::new(5.0e-3).with_max_step(5.0e-6);
+        b.iter(|| black_box(ckt.transient(&spec).expect("simulates")));
+    });
+    group.finish();
+}
+
+fn bench_dc(c: &mut Criterion) {
+    c.bench_function("dc_op_rectifier", |b| {
+        let ckt = rectifier_bench_circuit();
+        b.iter(|| black_box(ckt.dc_op().expect("solves")));
+    });
+}
+
+fn bench_ac(c: &mut Criterion) {
+    c.bench_function("ac_sweep_401_points_matching_network", |b| {
+        let m = link::matching::CapacitiveMatch::design(10.0e-6, 3.0, 5.0e6, 150.0);
+        let ckt = m.bench(1.0);
+        let spec = AcSpec::linear_sweep(2.5e6, 7.5e6, 401);
+        b.iter(|| black_box(ckt.ac(&spec).expect("solves")));
+    });
+}
+
+criterion_group!(benches, bench_transient, bench_dc, bench_ac);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — Fig. 4: lactate calibration curves for the two enzymes.
+//!
+//! Prints ΔCurrent (µA/cm²) versus Log\[lactate\] (log mM) for SPE-based
+//! cLODx and wtLODx sensors, the same series the paper plots, plus the
+//! paper's qualitative checks (cLODx above wtLODx everywhere; ~0–4.5
+//! µA/cm² over the −0.8…0 range).
+
+use bench::{banner, verdict};
+use biosensor::cell::{ElectrochemicalCell, Enzyme};
+use implant_core::report::Table;
+
+fn main() {
+    banner("E1", "Fig. 4 (lactate measurement with cLODx / wtLODx)");
+    let clodx = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+    let wtlodx = ElectrochemicalCell::screen_printed(Enzyme::wtlodx());
+    let n = 9;
+    let c_curve = clodx.fig4_curve(n);
+    let w_curve = wtlodx.fig4_curve(n);
+
+    let mut table = Table::new(
+        "ΔCurrent (µA/cm²) vs Log[lactate] (Log[mM])",
+        &["log[lactate]", "SPE cLODx", "SPE wtLODx"],
+    );
+    for ((log_c, jc), (_, jw)) in c_curve.iter().zip(&w_curve) {
+        table.row_owned(vec![
+            format!("{log_c:+.2}"),
+            format!("{jc:.2}"),
+            format!("{jw:.2}"),
+        ]);
+    }
+    println!("{table}");
+
+    let ordering = c_curve.iter().zip(&w_curve).all(|((_, jc), (_, jw))| jc > jw);
+    let range_ok = c_curve.last().expect("non-empty").1 <= 4.8
+        && c_curve.last().expect("non-empty").1 >= 3.8
+        && c_curve.first().expect("non-empty").1 < 1.2;
+    println!("cLODx above wtLODx across the sweep:        {}", verdict(ordering));
+    println!("magnitudes match Fig. 4 (≈0.9→4.3 µA/cm²):  {}", verdict(range_ok));
+}

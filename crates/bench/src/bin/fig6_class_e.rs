@@ -1,0 +1,71 @@
+//! E7 — Fig. 6 / §III-A: the class-E transmitter.
+//!
+//! The paper drives the transmitting inductor with a class-E amplifier
+//! at 5 MHz, 50 % duty cycle, "due to the high efficiency, theoretically
+//! equal to 100 %: by properly tuning C3 and C4, the current and the
+//! voltage across the switch M2 are never non-zero at the same time."
+//! This harness synthesizes the stage from Sokal's equations, simulates
+//! it on the MNA engine, and measures efficiency and the ZVS property.
+
+use bench::{banner, verdict};
+use implant_core::report::{eng, Table};
+use link::classe::ClassEDesign;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("E7", "Fig. 6 / §III-A class-E amplifier (5 MHz, 50% duty)");
+    let design = ClassEDesign::ironic();
+    let amp = design.synthesize();
+
+    let mut comps = Table::new("synthesized components (Sokal 2001)", &["component", "value"]);
+    comps.row_owned(vec!["optimal load R".into(), format!("{:.2} Ω", amp.r_load)]);
+    comps.row_owned(vec!["C3 (switch shunt)".into(), eng(amp.c_shunt, "F")]);
+    comps.row_owned(vec!["C4 (series tuning)".into(), eng(amp.c_series, "F")]);
+    comps.row_owned(vec!["L2 (series/coil)".into(), eng(amp.l_series, "H")]);
+    comps.row_owned(vec!["RF choke".into(), eng(amp.l_choke, "H")]);
+    println!("{comps}");
+
+    println!("simulating 80 carrier cycles…");
+    let m = amp.simulate(80)?;
+    let mut meas = Table::new("measured stage metrics", &["metric", "ideal", "model", "check"]);
+    meas.row_owned(vec![
+        "drain efficiency".into(),
+        "→ 100 %".into(),
+        format!("{:.1} %", m.efficiency * 100.0),
+        verdict(m.efficiency > 0.80).into(),
+    ]);
+    meas.row_owned(vec![
+        "ZVS residual at switch-on".into(),
+        "0 % of peak".into(),
+        format!("{:.1} %", m.zvs_residual * 100.0),
+        verdict(m.zvs_residual < 0.25).into(),
+    ]);
+    meas.row_owned(vec![
+        "peak drain voltage".into(),
+        format!("3.56·Vdd = {}", eng(amp.peak_switch_voltage(), "V")),
+        eng(m.drain_peak, "V"),
+        verdict((m.drain_peak - amp.peak_switch_voltage()).abs() / amp.peak_switch_voltage() < 0.35)
+            .into(),
+    ]);
+    meas.row_owned(vec![
+        "delivered power".into(),
+        eng(design.p_out, "W"),
+        eng(m.p_out, "W"),
+        verdict((m.p_out - design.p_out).abs() / design.p_out < 0.35).into(),
+    ]);
+    println!("{meas}");
+
+    // Detuning ablation: break C3 and watch ZVS/efficiency degrade —
+    // the "properly tuning the amplifier capacitors" claim in reverse.
+    println!("detuning ablation (C3 scaled):");
+    for scale in [0.5, 1.0, 2.0] {
+        let mut detuned = amp;
+        detuned.c_shunt = amp.c_shunt * scale;
+        let md = detuned.simulate(80)?;
+        println!(
+            "  C3 × {scale:>3.1}: efficiency {:>5.1} %, ZVS residual {:>5.1} %",
+            md.efficiency * 100.0,
+            md.zvs_residual * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! E3 — §III-B: received power versus distance, and tissue ≈ air.
+//!
+//! Paper anchors: **15 mW at 6 mm** in air (maximum transmitted power);
+//! **1.17 mW at 17 mm**, with a 17 mm slice of beef sirloin between the
+//! coils giving "a value similar to that obtained in air". The model is
+//! calibrated once at the 6 mm anchor; everything else is prediction.
+
+use bench::{banner, verdict};
+use coils::tissue::TissueStack;
+use implant_core::report::{eng, Table};
+use link::budget::PowerBudget;
+
+fn main() {
+    banner("E3", "§III-B received power vs distance (15 mW @ 6 mm anchor)");
+    let air = PowerBudget::ironic_air();
+    let sirloin = PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm());
+
+    let mut table = Table::new(
+        "received power vs coaxial distance",
+        &["distance", "P_rx air", "P_rx sirloin", "k(d)"],
+    );
+    for mm in [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 17.0, 20.0, 25.0, 30.0] {
+        let d = mm * 1e-3;
+        table.row_owned(vec![
+            format!("{mm:>4.0} mm"),
+            eng(air.received_power(d), "W"),
+            eng(sirloin.received_power(d), "W"),
+            format!("{:.4}", air.pair().coupling_at(d)),
+        ]);
+    }
+    println!("{table}");
+
+    let p6 = air.received_power(6.0e-3);
+    let p17 = air.received_power(17.0e-3);
+    let p17_meat = sirloin.received_power(17.0e-3);
+    println!("paper: P(6 mm)  = 15 mW    model: {}", eng(p6, "W"));
+    println!("paper: P(17 mm) = 1.17 mW  model: {}", eng(p17, "W"));
+    println!(
+        "paper: sirloin ≈ air at 17 mm; model ratio = {:.3}",
+        p17_meat / p17
+    );
+    println!();
+    println!("anchor reproduced exactly:            {}", verdict((p6 - 15.0e-3).abs() < 1e-6));
+    println!(
+        "17 mm power within 3× of the paper:   {}",
+        verdict(p17 > 1.17e-3 / 3.0 && p17 < 1.17e-3 * 3.0)
+    );
+    println!("tissue within 15 % of air:            {}", verdict(p17_meat / p17 > 0.85));
+    println!(
+        "monotone steep falloff (P6/P17 > 4):  {}",
+        verdict(p6 / p17 > 4.0)
+    );
+}

@@ -1,0 +1,181 @@
+//! Ablations A1–A5: the design rules the paper states, knocked out one
+//! at a time (see DESIGN.md §4).
+//!
+//! * A1 — remove the clamping diodes → overvoltage at light load;
+//! * A2 — keep M2 closed during uplink zeros → Co discharges through
+//!   the clamp leakage;
+//! * A3 — trapezoidal vs backward-Euler integration accuracy;
+//! * A4 — ΣΔ modulator order 1 vs 2 → resolution collapse;
+//! * A5 — LSK rate sweep against the tank settling time.
+
+use bench::{banner, verdict};
+use analog::analysis::Integration;
+use analog::{Circuit, SourceFn, TransientSpec};
+use biosensor::SigmaDeltaAdc;
+use comms::bits::BitStream;
+use comms::lsk::{reflected_current, LskDetector};
+use implant_core::report::Table;
+use pmu::rectifier::RectifierCircuit;
+
+fn a1_clamps() -> (f64, f64) {
+    let run = |n_clamps: usize| -> f64 {
+        let cfg = RectifierCircuit {
+            c_out: 2.0e-9,
+            n_clamp_diodes: n_clamps,
+            ..RectifierCircuit::ironic()
+        };
+        let (ckt, _) = cfg.bench(
+            SourceFn::sine(8.0, 5.0e6),
+            5.0,
+            1.0e6,
+            SourceFn::dc(0.0),
+            SourceFn::dc(1.8),
+        );
+        let res = ckt
+            .transient(&TransientSpec::new(10.0e-6).with_max_step(8.0e-9))
+            .expect("a1 simulates");
+        res.trace("vo").expect("vo").max()
+    };
+    (run(4), run(12)) // 12 diodes ≈ clamp disabled at these levels
+}
+
+fn a2_m2_rule() -> (f64, f64) {
+    let run = |m2_always_closed: bool| -> f64 {
+        let cfg = RectifierCircuit {
+            c_out: 20.0e-9,
+            m2_always_closed,
+            clamp_diode: analog::DiodeModel { is: 5.0e-8, n: 1.0 },
+            ..RectifierCircuit::ironic()
+        }
+        .with_initial_voltage(2.6);
+        let (ckt, _) = cfg.bench(
+            SourceFn::sine(3.0, 5.0e6),
+            5.0,
+            1.0e6,
+            SourceFn::dc(1.8), // input shorted throughout (long uplink zero)
+            SourceFn::dc(0.0),
+        );
+        let res = ckt
+            .transient(&TransientSpec::new(50.0e-6).with_max_step(10.0e-9))
+            .expect("a2 simulates");
+        let vo = res.trace("vo").expect("vo");
+        vo.value_at(0.0) - vo.final_value()
+    };
+    (run(false), run(true))
+}
+
+fn a3_integration() -> (f64, f64) {
+    // RC charge accuracy at a deliberately coarse step.
+    let run = |method: Integration| -> f64 {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(1.0));
+        ckt.resistor("R1", vin, out, 1.0e3);
+        ckt.capacitor_with_ic("C1", out, Circuit::GND, 1.0e-6, 0.0);
+        let spec = TransientSpec::new(3.0e-3)
+            .with_max_step(100.0e-6)
+            .with_method(method)
+            .without_lte();
+        let res = ckt.transient(&spec).expect("a3 simulates");
+        let w = res.trace("out").expect("out");
+        let mut worst: f64 = 0.0;
+        for k in 1..=20 {
+            let t = k as f64 * 1.5e-4;
+            let exact = 1.0 - (-t / 1.0e-3f64).exp();
+            worst = worst.max((w.value_at(t) - exact).abs());
+        }
+        worst
+    };
+    (run(Integration::Trapezoidal), run(Integration::BackwardEuler))
+}
+
+fn a4_adc_order() -> (f64, f64) {
+    let adc2 = SigmaDeltaAdc::ironic();
+    let adc1 = SigmaDeltaAdc::ironic().first_order();
+    (adc2.sine_sndr_db(64), adc1.sine_sndr_db(64))
+}
+
+fn a5_lsk_rates() -> Vec<(f64, usize)> {
+    let bits = BitStream::prbs9(256, 0x133);
+    let tau = 4.0e-6; // slow tank settling
+    [40.0e3, 66.6e3, 100.0e3, 200.0e3, 400.0e3]
+        .into_iter()
+        .map(|rate| {
+            let det = LskDetector { bit_rate: rate, processing_time: 1e-9, sample_phase: 0.6, invert: false };
+            let t_start = 20.0e-6;
+            let t_stop = t_start + (bits.len() + 2) as f64 / rate;
+            let shunt = reflected_current(
+                &bits, rate, t_start, t_stop, 20.0e-3, 8.0e-3, tau, 600_000,
+            );
+            let decoded = det.detect(&shunt, t_start, bits.len());
+            (rate, decoded.hamming_distance(&bits))
+        })
+        .collect()
+}
+
+fn main() {
+    banner("A1–A5", "design-rule ablations");
+
+    let (vo_clamped, vo_unclamped) = a1_clamps();
+    let mut t = Table::new("A1 — clamping diodes at light load, 8 V drive", &["variant", "max Vo"]);
+    t.row_owned(vec!["4 clamp diodes (paper)".into(), format!("{vo_clamped:.2} V")]);
+    t.row_owned(vec!["clamps disabled".into(), format!("{vo_unclamped:.2} V")]);
+    println!("{t}");
+    println!(
+        "clamps prevent overvoltage: {}\n",
+        verdict(vo_clamped < 3.8 && vo_unclamped > 4.5)
+    );
+
+    let (droop_open, droop_closed) = a2_m2_rule();
+    let mut t = Table::new(
+        "A2 — M2 state during a long uplink zero (50 µs, leaky clamps)",
+        &["variant", "Co droop"],
+    );
+    t.row_owned(vec!["M2 opened (paper rule)".into(), format!("{:.1} mV", droop_open * 1e3)]);
+    t.row_owned(vec!["M2 kept closed".into(), format!("{:.1} mV", droop_closed * 1e3)]);
+    println!("{t}");
+    println!(
+        "the M2-open rule protects Co: {}\n",
+        verdict(droop_closed > 4.0 * droop_open.max(1e-4))
+    );
+
+    let (err_trap, err_be) = a3_integration();
+    let mut t = Table::new(
+        "A3 — integration method at a coarse 100 µs step (RC vs analytic)",
+        &["method", "worst error"],
+    );
+    t.row_owned(vec!["trapezoidal".into(), format!("{:.2} mV", err_trap * 1e3)]);
+    t.row_owned(vec!["backward Euler".into(), format!("{:.2} mV", err_be * 1e3)]);
+    println!("{t}");
+    println!("trapezoidal is the more accurate default: {}\n", verdict(err_trap < err_be));
+
+    let (sndr2, sndr1) = a4_adc_order();
+    let mut t = Table::new(
+        "A4 — ΣΔ order at OSR 256 (sine SNDR; 14 bits needs ≈ 86 dB)",
+        &["order", "SNDR"],
+    );
+    t.row_owned(vec!["2 (paper)".into(), format!("{sndr2:.1} dB")]);
+    t.row_owned(vec!["1".into(), format!("{sndr1:.1} dB")]);
+    println!("{t}");
+    println!(
+        "second order is required for 14 bits: {}\n",
+        verdict(sndr2 > sndr1 + 10.0 && sndr2 > 70.0)
+    );
+
+    let mut t = Table::new(
+        "A5 — LSK rate vs tank settling (τ = 4 µs), 256 PRBS bits",
+        &["rate", "bit errors"],
+    );
+    let results = a5_lsk_rates();
+    for &(rate, errors) in &results {
+        t.row_owned(vec![format!("{:.1} kbps", rate / 1e3), errors.to_string()]);
+    }
+    println!("{t}");
+    let ok_at_paper_rate = results.iter().any(|&(r, e)| (r - 66.6e3).abs() < 1.0 && e == 0);
+    let fails_fast = results.last().map(|&(_, e)| e > 0).unwrap_or(false);
+    println!(
+        "error-free at the paper's 66.6 kbps, failing at 400 kbps: {}",
+        verdict(ok_at_paper_rate && fails_fast)
+    );
+}

@@ -1,0 +1,49 @@
+//! E4 — §III-B: patch battery life in the three reported states.
+//!
+//! Paper: ≈ 10 h disconnected/idle, ≈ 3.5 h with bluetooth connected,
+//! ≈ 1.5 h sending power continuously. The harness runs the battery
+//! model to depletion in each state (not just the analytic division) so
+//! the discharge curve and cutoff participate.
+
+use bench::{banner, verdict};
+use implant_core::report::Table;
+use patch::power_states::PatchState;
+use patch::{Battery, Patch};
+
+fn simulate_life(state: PatchState) -> f64 {
+    let mut p = Patch::new();
+    p.set_bluetooth(state.bluetooth);
+    p.set_powering(state.powering);
+    while p.advance(30.0) {}
+    p.time() / 3600.0
+}
+
+fn main() {
+    banner("E4", "§III-B battery duration (10 h / 3.5 h / 1.5 h)");
+    let cases = [
+        ("idle (BT off, not powering)", PatchState::idle(), 10.0),
+        ("bluetooth connected", PatchState::connected(), 3.5),
+        ("continuous power transfer", PatchState::powering(), 1.5),
+    ];
+    let mut table = Table::new(
+        "battery life by state (120 mAh Li-Po, simulated to cutoff)",
+        &["state", "draw", "paper", "model", "error"],
+    );
+    let mut all_ok = true;
+    for (name, state, paper_hours) in cases {
+        let analytic = Battery::ironic_patch().runtime(state.current()) / 3600.0;
+        let simulated = simulate_life(state);
+        let err = (simulated - paper_hours).abs() / paper_hours;
+        all_ok &= err < 0.08;
+        let _ = analytic;
+        table.row_owned(vec![
+            name.to_string(),
+            format!("{:.1} mA", state.current() * 1e3),
+            format!("{paper_hours:.1} h"),
+            format!("{simulated:.2} h"),
+            format!("{:.1} %", err * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("all three figures within 8 %: {}", verdict(all_ok));
+}

@@ -1,0 +1,93 @@
+//! E8 — §III-A: the bidirectional data link rates.
+//!
+//! Paper: downlink ASK at 100 kbps; uplink LSK at 66.6 kbps, "slightly
+//! lower than the downlink bit-rate due to the computational time
+//! required to perform a real-time threshold check". This harness runs
+//! both links end to end on PRBS data, measures error-free recovery at
+//! the paper's rates, and reproduces the uplink's real-time ceiling.
+
+use bench::{banner, verdict};
+use comms::ask::{AskDemodulator, AskModulator};
+use comms::bits::BitStream;
+use comms::lsk::{reflected_current, LskDetector};
+use comms::noise::add_awgn;
+use implant_core::report::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("E8", "§III-A ASK downlink 100 kbps / LSK uplink 66.6 kbps");
+    let mut rng = StdRng::seed_from_u64(2013);
+
+    // Downlink: 1024 PRBS bits through the envelope channel with noise.
+    let bits = BitStream::prbs9(1024, 0x1B7);
+    let tx = AskModulator::ironic_downlink().scaled(3.9);
+    let rx = AskDemodulator::ironic_downlink();
+    let env = tx.envelope(&bits, 10.0e-6);
+    let t_end = 10.0e-6 + bits.len() as f64 * tx.bit_period() + 10.0e-6;
+    let clean = analog::Waveform::from_fn(0.0, t_end, 400_000, |t| env.eval(t));
+    let noisy = add_awgn(&clean, 0.08, &mut rng);
+    let decoded = rx.demodulate_waveform(&noisy.map(f64::abs), 10.0e-6, bits.len());
+    let down_errors = decoded.hamming_distance(&bits);
+
+    // Uplink: 512 PRBS bits through the reflected-current channel.
+    let up_bits = BitStream::prbs9(512, 0x0C3);
+    let det = LskDetector::ironic_uplink();
+    let t_start = 30.0e-6;
+    let t_stop = t_start + (up_bits.len() + 4) as f64 * det.bit_period();
+    let shunt = reflected_current(
+        &up_bits,
+        det.bit_rate,
+        t_start,
+        t_stop,
+        20.0e-3,
+        8.0e-3,
+        1.5e-6,
+        800_000,
+    );
+    let shunt_noisy = add_awgn(&shunt, 0.4e-3, &mut rng);
+    let up_decoded = det.detect_averaging(&shunt_noisy, t_start, up_bits.len());
+    let up_errors = up_decoded.hamming_distance(&up_bits);
+
+    let mut table = Table::new(
+        "link performance at the paper's rates",
+        &["link", "rate", "bits", "errors", "check"],
+    );
+    table.row_owned(vec![
+        "downlink (ASK, noisy envelope)".into(),
+        "100 kbps".into(),
+        bits.len().to_string(),
+        down_errors.to_string(),
+        verdict(down_errors == 0).into(),
+    ]);
+    table.row_owned(vec![
+        "uplink (LSK, noisy R9 shunt)".into(),
+        "66.6 kbps".into(),
+        up_bits.len().to_string(),
+        up_errors.to_string(),
+        verdict(up_errors == 0).into(),
+    ]);
+    println!("{table}");
+
+    // Why 66.6 kbps: the MCU's per-bit threshold computation.
+    let mut why = Table::new(
+        "uplink real-time feasibility (15 µs threshold check per bit)",
+        &["bit rate", "bit period", "feasible"],
+    );
+    for rate in [50.0e3, 66.6e3, 80.0e3, 100.0e3] {
+        let d = LskDetector { bit_rate: rate, ..det };
+        why.row_owned(vec![
+            format!("{:.1} kbps", rate / 1e3),
+            format!("{:.1} µs", 1e6 / rate),
+            if d.is_real_time_feasible() { "yes".into() } else { "no".to_string() },
+        ]);
+    }
+    println!("{why}");
+    println!(
+        "paper's asymmetry reproduced (66.6 feasible, 100 not): {}",
+        verdict(
+            LskDetector { bit_rate: 66.6e3, ..det }.is_real_time_feasible()
+                && !LskDetector { bit_rate: 100.0e3, ..det }.is_real_time_feasible()
+        )
+    );
+}

@@ -1,0 +1,68 @@
+//! E2 — §II-B: electronic-interface consumption and ADC resolution.
+//!
+//! The paper reports: potentiostat + readout draw 45 µA at 1.8 V; the
+//! 2nd-order ΣΔ ADC draws 240 µA, digitizes 4 µA full scale at 250 pA
+//! resolution (14 bits). This harness measures the model's numbers.
+
+use bench::{banner, verdict};
+use biosensor::{Enzyme, MetaboliteSensor, SigmaDeltaAdc};
+use implant_core::report::{eng, Table};
+
+fn main() {
+    banner("E2", "§II-B electronic-interface power and ADC resolution");
+    let sensor = MetaboliteSensor::lactate(Enzyme::clodx());
+    let adc = SigmaDeltaAdc::ironic();
+
+    let mut power = Table::new("supply currents at 1.8 V", &["block", "paper", "model"]);
+    power.row_owned(vec![
+        "potentiostat + readout".into(),
+        "45 µA".into(),
+        eng(sensor.readout.supply_current(), "A"),
+    ]);
+    power.row_owned(vec![
+        "sigma-delta ADC".into(),
+        "240 µA".into(),
+        eng(adc.supply_current(), "A"),
+    ]);
+    power.row_owned(vec![
+        "total EI".into(),
+        "285 µA".into(),
+        eng(sensor.supply_current(), "A"),
+    ]);
+    println!("{power}");
+
+    let mut res = Table::new("ADC characteristics", &["quantity", "paper", "model"]);
+    res.row_owned(vec!["full scale".into(), "4 µA".into(), eng(adc.full_scale, "A")]);
+    res.row_owned(vec![
+        "resolution (1 LSB)".into(),
+        "250 pA".into(),
+        eng(adc.lsb(), "A"),
+    ]);
+    res.row_owned(vec![
+        "order / OSR".into(),
+        "2 / —".into(),
+        format!("{} / {}", adc.order, adc.osr),
+    ]);
+    res.row_owned(vec![
+        "peak SQNR (theory)".into(),
+        "≥ 86 dB (14 bit)".into(),
+        format!("{:.1} dB", adc.theoretical_sqnr_db()),
+    ]);
+    println!("{res}");
+
+    // Measured resolution: average code step across forty 250 pA steps.
+    let base = 1.0e-6;
+    let steps = 40;
+    let first = adc.convert_current(base).value() as f64;
+    let last = adc.convert_current(base + steps as f64 * 250.0e-12).value() as f64;
+    let lsb_per_step = (last - first) / steps as f64;
+    println!("measured code step per 250 pA: {lsb_per_step:.2} LSB");
+    println!(
+        "resolves the paper's 250 pA steps: {}",
+        verdict((0.6..1.6).contains(&lsb_per_step))
+    );
+    println!(
+        "supply figures match the paper:   {}",
+        verdict((sensor.supply_current() - 285.0e-6).abs() < 1.0e-6)
+    );
+}

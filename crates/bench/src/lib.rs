@@ -1,0 +1,41 @@
+//! Experiment harness for the DATE 2013 reproduction.
+//!
+//! Each binary in `src/bin` regenerates one figure or table of the paper
+//! (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig4_lactate` | Fig. 4 — lactate calibration curves |
+//! | `tab_ei_power` | §II-B — electronic-interface consumption and ADC resolution |
+//! | `fig_power_vs_distance` | §III-B — 15 mW @ 6 mm, 1.17 mW @ 17 mm, sirloin ≈ air |
+//! | `tab_battery_life` | §III-B — 10 h / 3.5 h / 1.5 h battery lives |
+//! | `tab_matching` | §IV-C — ≈ 150 Ω rectifier impedance and CA/CB selection |
+//! | `fig11_transient` | Fig. 11 — the full power-management transient |
+//! | `fig6_class_e` | Fig. 6 / §III-A — class-E ZVS and efficiency |
+//! | `tab_datalink` | §III-A — 100 kbps ASK down, 66.6 kbps LSK up |
+//! | `fig_misalignment` | Fig. 5 context — power vs lateral patch offset |
+//! | `tab_ablations` | design-rule ablations (A1–A5 in DESIGN.md) |
+//!
+//! The Criterion benches in `benches/` measure the computational cost of
+//! the substrate (transient steps, conversions, filament sums) rather
+//! than reproducing paper numbers.
+
+/// Prints the standard harness banner for experiment `id` reproducing
+/// `artifact`.
+pub fn banner(id: &str, artifact: &str) {
+    println!("================================================================");
+    println!("{id}: reproducing {artifact}");
+    println!("  (Olivo et al., \"Electronic Implants: Power Delivery and");
+    println!("   Management\", DATE 2013)");
+    println!("================================================================");
+}
+
+/// Formats a pass/fail marker.
+pub fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

@@ -1,0 +1,136 @@
+//! Bandgap voltage references.
+//!
+//! Two references bias the cell (Fig. 3): a regular bandgap at 1.2 V on
+//! the working electrode and a sub-1V Banba-style bandgap (the paper's
+//! ref \[22\]) at 550 mV on the reference electrode. Both are modelled
+//! with the characteristic parabolic temperature curvature about a trim
+//! point and a small supply-sensitivity term.
+
+/// A curvature-limited bandgap reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandgapReference {
+    /// Output at the trim temperature and nominal supply, volts.
+    pub nominal: f64,
+    /// Trim (zero-tempco) temperature, °C.
+    pub t_trim: f64,
+    /// Parabolic curvature, V/°C².
+    pub curvature: f64,
+    /// Line sensitivity, V per volt of supply deviation.
+    pub line_sensitivity: f64,
+    /// Nominal supply, volts.
+    pub vdd_nominal: f64,
+    /// Minimum supply for regulation, volts.
+    pub vdd_min: f64,
+}
+
+impl BandgapReference {
+    /// The regular 1.2 V bandgap driving the working electrode.
+    pub fn regular() -> Self {
+        BandgapReference {
+            nominal: 1.2,
+            t_trim: 37.0,
+            curvature: -2.0e-6,
+            line_sensitivity: 1.0e-3,
+            vdd_nominal: crate::VDD,
+            vdd_min: 1.4,
+        }
+    }
+
+    /// The sub-1V (Banba) bandgap putting 550 mV on the reference
+    /// electrode — sub-1V operation is what makes a 550 mV reference
+    /// possible from a 1.8 V supply with headroom to spare.
+    pub fn sub_1v() -> Self {
+        BandgapReference {
+            nominal: 0.550,
+            t_trim: 37.0,
+            curvature: -1.0e-6,
+            line_sensitivity: 0.5e-3,
+            vdd_nominal: crate::VDD,
+            vdd_min: 0.9,
+        }
+    }
+
+    /// Output voltage at temperature `t_celsius` and supply `vdd`.
+    /// Below `vdd_min` the reference collapses proportionally (headroom
+    /// starvation).
+    pub fn voltage(&self, t_celsius: f64, vdd: f64) -> f64 {
+        let dt = t_celsius - self.t_trim;
+        let v = self.nominal
+            + self.curvature * dt * dt
+            + self.line_sensitivity * (vdd - self.vdd_nominal);
+        if vdd >= self.vdd_min {
+            v
+        } else {
+            v * (vdd / self.vdd_min).max(0.0)
+        }
+    }
+
+    /// Temperature coefficient in ppm/°C over `[t0, t1]` (box method).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t1 > t0`.
+    pub fn tempco_ppm(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "need a positive temperature span");
+        let n = 101;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..n {
+            let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+            let v = self.voltage(t, self.vdd_nominal);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (hi - lo) / self.nominal / (t1 - t0) * 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_outputs() {
+        assert!((BandgapReference::regular().voltage(37.0, 1.8) - 1.2).abs() < 1e-12);
+        assert!((BandgapReference::sub_1v().voltage(37.0, 1.8) - 0.550).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_is_650mv() {
+        let we = BandgapReference::regular();
+        let re = BandgapReference::sub_1v();
+        let v = we.voltage(37.0, 1.8) - re.voltage(37.0, 1.8);
+        assert!((v - 0.650).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tempco_in_bandgap_class() {
+        // Good bandgaps are tens of ppm/°C.
+        let tc = BandgapReference::regular().tempco_ppm(0.0, 70.0);
+        assert!(tc < 100.0, "tempco {tc} ppm/°C");
+        assert!(tc > 0.0);
+    }
+
+    #[test]
+    fn supply_insensitivity_above_vdd_min() {
+        let bg = BandgapReference::sub_1v();
+        let v_lo = bg.voltage(37.0, 1.6);
+        let v_hi = bg.voltage(37.0, 2.0);
+        assert!((v_hi - v_lo).abs() < 1.0e-3, "line regulation: {}", v_hi - v_lo);
+    }
+
+    #[test]
+    fn collapses_below_minimum_supply() {
+        let bg = BandgapReference::regular();
+        assert!(bg.voltage(37.0, 1.0) < 0.9 * bg.nominal);
+        assert_eq!(bg.voltage(37.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sub_1v_works_at_low_supply_where_regular_fails() {
+        let regular = BandgapReference::regular();
+        let banba = BandgapReference::sub_1v();
+        let vdd = 1.0;
+        assert!(banba.voltage(37.0, vdd) > 0.5, "Banba still regulates at 1 V");
+        assert!(regular.voltage(37.0, vdd) < 1.0, "regular has collapsed");
+    }
+}

@@ -1,0 +1,409 @@
+//! Three-electrode electrochemical cell with enzyme kinetics.
+//!
+//! The oxidation current of an enzymatic amperometric sensor follows
+//! Michaelis–Menten kinetics: `J = J_max·C/(K_m + C)` with `J` the
+//! current density and `C` the metabolite concentration. The two enzyme
+//! parameter sets reproduce the Fig. 4 calibration curves (commercial
+//! cLODx above wild-type wtLODx over log[lactate] −0.8…0) on MWCNT
+//! screen-printed electrodes.
+
+/// An immobilized oxidase enzyme layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enzyme {
+    /// Display name.
+    pub name: String,
+    /// Saturation current density, A/cm² (at the MWCNT-enhanced
+    /// electrode, i.e. already including the nanotube factor when built
+    /// via [`Enzyme::clodx`]/[`Enzyme::wtlodx`]).
+    pub j_max: f64,
+    /// Michaelis constant, mM.
+    pub km: f64,
+}
+
+impl Enzyme {
+    /// Commercial lactate oxidase (cLODx) on MWCNT — the upper curve of
+    /// Fig. 4 (≈ 4.3 µA/cm² at 1 mM).
+    pub fn clodx() -> Self {
+        Enzyme { name: "cLODx".to_string(), j_max: 15.0e-6, km: 2.5 }
+    }
+
+    /// Wild-type lactate oxidase (wtLODx) on MWCNT — the lower curve of
+    /// Fig. 4 (≈ 2.4 µA/cm² at 1 mM).
+    pub fn wtlodx() -> Self {
+        Enzyme { name: "wtLODx".to_string(), j_max: 8.0e-6, km: 2.3 }
+    }
+
+    /// The same enzyme on a bare (non-MWCNT) electrode: the nanotube
+    /// coating improves electron transfer by roughly 3× (the paper's
+    /// refs [20][21]); removing it divides the saturation density.
+    #[must_use]
+    pub fn without_mwcnt(mut self) -> Self {
+        self.j_max /= 3.0;
+        self.name.push_str(" (no MWCNT)");
+        self
+    }
+
+    /// Current density at concentration `c_mm` (mM), A/cm².
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative concentration.
+    pub fn current_density(&self, c_mm: f64) -> f64 {
+        assert!(c_mm >= 0.0, "concentration cannot be negative");
+        self.j_max * c_mm / (self.km + c_mm)
+    }
+
+    /// The enzyme layer after `days` of implantation — the stability
+    /// problem the paper's Section II calls "a main issue of metabolite
+    /// biosensors". Activity decays exponentially; MWCNT immobilization
+    /// (refs [20][21]) slows the decay, which the half-life reflects:
+    /// ≈ 30 days on MWCNT electrodes versus ≈ 10 days for plain
+    /// adsorption. Only `j_max` is affected (fewer active sites); `K_m`
+    /// is a property of the surviving enzyme.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative `days`.
+    #[must_use]
+    pub fn aged(mut self, days: f64, mwcnt: bool) -> Self {
+        assert!(days >= 0.0, "age cannot be negative");
+        let half_life = if mwcnt { 30.0 } else { 10.0 };
+        self.j_max *= 0.5f64.powf(days / half_life);
+        self
+    }
+
+    /// Days until the sensitivity falls to `fraction` of its initial
+    /// value (the recalibration/replacement interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn lifetime_to(&self, fraction: f64, mwcnt: bool) -> f64 {
+        assert!((0.0..1.0).contains(&fraction) && fraction > 0.0, "fraction in (0,1)");
+        let half_life = if mwcnt { 30.0 } else { 10.0 };
+        -half_life * fraction.log2()
+    }
+}
+
+/// An electroactive interferent present in the sample.
+///
+/// Real interstitial fluid contains species (ascorbate, urate,
+/// acetaminophen) that oxidize directly at the electrode around the
+/// 650 mV working potential, adding current the enzyme never produced —
+/// the selectivity problem the paper addresses by enzyme choice and the
+/// oxidation-potential setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interferent {
+    /// Display name.
+    pub name: String,
+    /// Concentration in the sample, mM.
+    pub concentration: f64,
+    /// Direct-oxidation sensitivity at the electrode, A/cm² per mM.
+    pub sensitivity: f64,
+    /// Half-wave potential of the direct oxidation, volts.
+    pub half_wave: f64,
+}
+
+impl Interferent {
+    /// Ascorbate (vitamin C) at a physiological 0.05 mM — oxidizes from
+    /// ≈ 0.2 V, so it contributes fully at the 650 mV working point.
+    pub fn ascorbate(concentration_mm: f64) -> Self {
+        Interferent {
+            name: "ascorbate".to_string(),
+            concentration: concentration_mm,
+            sensitivity: 2.0e-6,
+            half_wave: 0.2,
+        }
+    }
+
+    /// Acetaminophen (paracetamol) — oxidizes from ≈ 0.4 V.
+    pub fn acetaminophen(concentration_mm: f64) -> Self {
+        Interferent {
+            name: "acetaminophen".to_string(),
+            concentration: concentration_mm,
+            sensitivity: 3.0e-6,
+            half_wave: 0.4,
+        }
+    }
+
+    /// Current density contributed at an applied potential, A/cm².
+    pub fn current_density(&self, v_applied: f64) -> f64 {
+        let activation = 1.0 / (1.0 + ((self.half_wave - v_applied) / 0.025).exp());
+        self.sensitivity * self.concentration * activation
+    }
+}
+
+/// A three-electrode cell: working (WE), reference (RE) and counter (CE)
+/// electrodes in solution, with an enzyme layer on the WE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectrochemicalCell {
+    /// The enzyme layer.
+    pub enzyme: Enzyme,
+    /// Working-electrode area, cm².
+    pub area_cm2: f64,
+    /// Oxidation potential applied in operation, volts.
+    pub v_ox: f64,
+    /// Half-wave potential of the redox couple, volts: the sigmoid centre
+    /// of the current-vs-potential activation. The applied `v_ox` sits
+    /// well above it, so the cell operates on the diffusion plateau.
+    pub half_wave: f64,
+    /// Solution (uncompensated) resistance between CE and WE, ohms.
+    pub solution_resistance: f64,
+    /// Electroactive interferents in the sample.
+    pub interferents: Vec<Interferent>,
+}
+
+impl ElectrochemicalCell {
+    /// A screen-printed electrode cell (≈ 0.25 cm² working electrode).
+    pub fn screen_printed(enzyme: Enzyme) -> Self {
+        ElectrochemicalCell {
+            enzyme,
+            area_cm2: 0.25,
+            v_ox: crate::V_OX,
+            half_wave: crate::V_OX - 0.15,
+            solution_resistance: 1.0e3,
+            interferents: Vec::new(),
+        }
+    }
+
+    /// Adds an interferent species to the sample.
+    #[must_use]
+    pub fn with_interferent(mut self, interferent: Interferent) -> Self {
+        self.interferents.push(interferent);
+        self
+    }
+
+    /// Faradaic current at `c_mm` (mM) when the applied WE–RE potential
+    /// is `v_applied`: full Michaelis–Menten current above the oxidation
+    /// potential, rolling off sigmoidally (25 mV scale) below it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative concentration.
+    pub fn current(&self, c_mm: f64, v_applied: f64) -> f64 {
+        let j = self.enzyme.current_density(c_mm);
+        let activation = 1.0 / (1.0 + ((self.half_wave - v_applied) / 0.025).exp());
+        let j_interference: f64 = self
+            .interferents
+            .iter()
+            .map(|i| i.current_density(v_applied))
+            .sum();
+        (j * activation + j_interference) * self.area_cm2
+    }
+
+    /// Current at the nominal oxidation potential.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative concentration.
+    pub fn current_at_vox(&self, c_mm: f64) -> f64 {
+        self.current(c_mm, self.v_ox)
+    }
+
+    /// Inverts the calibration: concentration (mM) that produces
+    /// `current` amperes at the nominal potential, or `None` if the
+    /// current exceeds the saturation plateau.
+    pub fn concentration_from_current(&self, current: f64) -> Option<f64> {
+        let j = current / self.area_cm2;
+        if j <= 0.0 {
+            return Some(0.0);
+        }
+        if j >= self.enzyme.j_max {
+            return None;
+        }
+        Some(self.enzyme.km * j / (self.enzyme.j_max - j))
+    }
+
+    /// The Fig. 4 sweep: `(log10(c), ΔJ in µA/cm²)` over
+    /// log[lactate] ∈ [−0.8, 0] in `n` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn fig4_curve(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two sweep points");
+        (0..n)
+            .map(|i| {
+                let log_c = -0.8 + 0.8 * i as f64 / (n - 1) as f64;
+                let c = 10f64.powf(log_c);
+                (log_c, self.enzyme.current_density(c) * 1.0e6)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn michaelis_menten_limits() {
+        let e = Enzyme::clodx();
+        assert_eq!(e.current_density(0.0), 0.0);
+        // Saturation approaches j_max.
+        assert!(e.current_density(1000.0) > 0.99 * e.j_max);
+        // Half of j_max at C = Km.
+        let half = e.current_density(e.km);
+        assert!((half - e.j_max / 2.0).abs() / e.j_max < 1e-12);
+    }
+
+    #[test]
+    fn fig4_magnitudes_match_paper() {
+        // At 1 mM (log = 0): cLODx ≈ 4.3 µA/cm², wtLODx ≈ 2.4 µA/cm².
+        let c = Enzyme::clodx().current_density(1.0) * 1e6;
+        let w = Enzyme::wtlodx().current_density(1.0) * 1e6;
+        assert!((3.8..4.8).contains(&c), "cLODx at 1 mM: {c}");
+        assert!((2.0..2.9).contains(&w), "wtLODx at 1 mM: {w}");
+        // At 0.16 mM (log = −0.8): both below 1 µA/cm².
+        let c_lo = Enzyme::clodx().current_density(0.158) * 1e6;
+        assert!(c_lo < 1.1, "cLODx at 0.16 mM: {c_lo}");
+    }
+
+    #[test]
+    fn clodx_dominates_wtlodx_everywhere() {
+        let cell_c = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+        let cell_w = ElectrochemicalCell::screen_printed(Enzyme::wtlodx());
+        for ((_, jc), (_, jw)) in cell_c.fig4_curve(30).into_iter().zip(cell_w.fig4_curve(30)) {
+            assert!(jc > jw, "cLODx curve must lie above wtLODx");
+        }
+    }
+
+    #[test]
+    fn mwcnt_enhancement() {
+        let with = Enzyme::clodx();
+        let without = Enzyme::clodx().without_mwcnt();
+        assert!((with.current_density(1.0) / without.current_density(1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_gates_current_below_vox() {
+        let cell = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+        let on = cell.current(1.0, 0.65);
+        let off = cell.current(1.0, 0.3);
+        assert!(on > 100.0 * off.max(1e-18), "reaction gated by potential");
+    }
+
+    #[test]
+    fn calibration_inversion_round_trip() {
+        let cell = ElectrochemicalCell::screen_printed(Enzyme::wtlodx());
+        for c in [0.05, 0.2, 0.5, 1.0, 3.0] {
+            let i = cell.current_at_vox(c);
+            let back = cell.concentration_from_current(i).expect("below saturation");
+            // The activation sigmoid at v_ox (150 mV above the half-wave
+            // potential) is ≈ 0.9975, so the pure-MM inversion carries
+            // that residual.
+            assert!((back - c).abs() / c < 2e-2, "{back} vs {c}");
+        }
+        assert!(cell.concentration_from_current(1.0).is_none(), "beyond saturation");
+    }
+
+    #[test]
+    fn curve_is_monotone_in_log_concentration() {
+        let cell = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+        let curve = cell.fig4_curve(50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn aging_halves_sensitivity_at_half_life() {
+        let fresh = Enzyme::clodx();
+        let aged = Enzyme::clodx().aged(30.0, true);
+        let ratio = aged.current_density(1.0) / fresh.current_density(1.0);
+        assert!((ratio - 0.5).abs() < 1e-12, "ratio = {ratio}");
+        // Km unchanged: shape preserved.
+        assert_eq!(aged.km, fresh.km);
+    }
+
+    #[test]
+    fn mwcnt_extends_operational_lifetime() {
+        let e = Enzyme::wtlodx();
+        let t_mwcnt = e.lifetime_to(0.7, true);
+        let t_plain = e.lifetime_to(0.7, false);
+        assert!((t_mwcnt / t_plain - 3.0).abs() < 1e-9, "3× half-life ratio");
+        assert!(t_mwcnt > 14.0, "usable for two weeks on MWCNT: {t_mwcnt}");
+        // Consistency: aging to that day lands at the fraction.
+        let aged = e.clone().aged(t_mwcnt, true);
+        assert!((aged.j_max / e.j_max - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_days_is_identity() {
+        let e = Enzyme::clodx();
+        let same = e.clone().aged(0.0, true);
+        assert_eq!(e, same);
+    }
+
+    #[test]
+    fn currents_fit_the_adc_range() {
+        // Paper: I_WE maximum set to 4 µA. A 0.25 cm² SPE at physiological
+        // lactate (≈ 1–2 mM) stays within range.
+        let cell = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+        let i = cell.current_at_vox(2.0);
+        assert!(i < 4.0e-6, "i = {i}");
+    }
+}
+
+#[cfg(test)]
+mod interferent_tests {
+    use super::*;
+
+    #[test]
+    fn ascorbate_adds_background_current() {
+        let clean = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+        let dirty = ElectrochemicalCell::screen_printed(Enzyme::clodx())
+            .with_interferent(Interferent::ascorbate(0.05));
+        let i_clean = clean.current_at_vox(1.0);
+        let i_dirty = dirty.current_at_vox(1.0);
+        assert!(i_dirty > i_clean);
+        // Physiological ascorbate biases the reading by a few percent —
+        // visible but not overwhelming at 1 mM lactate.
+        let bias = (i_dirty - i_clean) / i_clean;
+        assert!((0.005..0.2).contains(&bias), "bias = {bias}");
+    }
+
+    #[test]
+    fn interference_maps_to_concentration_error() {
+        // The calibration inversion attributes the extra current to
+        // lactate — quantifying the selectivity error.
+        let dirty = ElectrochemicalCell::screen_printed(Enzyme::wtlodx())
+            .with_interferent(Interferent::acetaminophen(0.1));
+        let i = dirty.current_at_vox(1.0);
+        let apparent = dirty.concentration_from_current(i).expect("below saturation");
+        assert!(apparent > 1.05, "over-reads lactate: {apparent} mM");
+    }
+
+    #[test]
+    fn mediated_chemistry_enables_potentiostatic_rejection() {
+        // With the paper's first-generation chemistry (H₂O₂ oxidation,
+        // half-wave 0.5 V) the applied potential cannot be dropped below
+        // acetaminophen's 0.4 V without losing the signal too — which is
+        // exactly why mediated sensors (half-wave ≈ 0.1 V) exist: at a
+        // 0.3 V working point they keep the signal and shed the
+        // interferent.
+        let mut mediated = ElectrochemicalCell::screen_printed(Enzyme::clodx())
+            .with_interferent(Interferent::acetaminophen(0.1));
+        mediated.half_wave = 0.1;
+        let clean = {
+            let mut c = ElectrochemicalCell::screen_printed(Enzyme::clodx());
+            c.half_wave = 0.1;
+            c
+        };
+        let frac_at = |v: f64| mediated.current(1.0, v) / clean.current(1.0, v) - 1.0;
+        let frac_650 = frac_at(0.65);
+        let frac_300 = frac_at(0.30);
+        assert!(
+            frac_300 < 0.1 * frac_650,
+            "mediated rejection: {frac_650} → {frac_300}"
+        );
+        // Signal retained at the lower working point.
+        assert!(clean.current(1.0, 0.30) > 0.99 * clean.current(1.0, 0.65));
+    }
+
+    #[test]
+    fn interferent_gated_by_its_half_wave() {
+        let asc = Interferent::ascorbate(0.1);
+        assert!(asc.current_density(0.65) > 100.0 * asc.current_density(0.0).max(1e-18));
+    }
+}

@@ -1,0 +1,128 @@
+//! Current-mirror readout (Fig. 3 right half).
+//!
+//! The cell current is copied by the MP/MN mirrors (isolating the cell
+//! from the measurement) and converted to a voltage across R for the
+//! ADC. Potentiostat + readout together draw the paper's 45 µA from
+//! 1.8 V.
+
+use crate::VDD;
+
+/// The mirror-and-resistor current readout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentReadout {
+    /// Mirror current gain (copy ratio).
+    pub mirror_gain: f64,
+    /// Conversion resistance, ohms.
+    pub r_convert: f64,
+    /// Mirror copy accuracy (one-sigma gain error, fractional).
+    pub gain_error: f64,
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Static supply current of potentiostat + readout.
+    pub quiescent_current: f64,
+}
+
+impl CurrentReadout {
+    /// The paper's readout: unity mirror, R sized so the 4 µA full-scale
+    /// cell current spans most of the 1.8 V ADC input range, 45 µA
+    /// quiescent.
+    pub fn ironic() -> Self {
+        CurrentReadout {
+            mirror_gain: 1.0,
+            r_convert: 400.0e3, // 4 µA × 400 kΩ = 1.6 V
+            gain_error: 0.0,
+            vdd: VDD,
+            quiescent_current: 45.0e-6,
+        }
+    }
+
+    /// Output voltage for a cell current `i_we`, clipped to the rails.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative input current (the oxidation current is
+    /// anodic/positive by construction).
+    pub fn convert(&self, i_we: f64) -> f64 {
+        assert!(i_we >= 0.0, "oxidation current is non-negative");
+        (i_we * self.mirror_gain * (1.0 + self.gain_error) * self.r_convert).clamp(0.0, self.vdd)
+    }
+
+    /// Inverse conversion (voltage back to current), ignoring clipping.
+    pub fn current_from_voltage(&self, v_out: f64) -> f64 {
+        v_out / (self.mirror_gain * (1.0 + self.gain_error) * self.r_convert)
+    }
+
+    /// The largest cell current measurable before the output clips.
+    pub fn clip_current(&self) -> f64 {
+        self.vdd / (self.mirror_gain * (1.0 + self.gain_error) * self.r_convert)
+    }
+
+    /// Supply current drawn by the potentiostat + readout (cell current
+    /// adds on top: it is mirrored once).
+    pub fn supply_current(&self) -> f64 {
+        self.quiescent_current
+    }
+
+    /// Supply current including the mirrored copy of `i_we`.
+    pub fn supply_current_at(&self, i_we: f64) -> f64 {
+        self.quiescent_current + i_we * (1.0 + self.mirror_gain)
+    }
+}
+
+impl Default for CurrentReadout {
+    fn default() -> Self {
+        CurrentReadout::ironic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_is_linear_until_clip() {
+        let r = CurrentReadout::ironic();
+        let v1 = r.convert(1.0e-6);
+        let v2 = r.convert(2.0e-6);
+        assert!((v2 / v1 - 2.0).abs() < 1e-12);
+        assert!((v1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_scale_within_rails() {
+        let r = CurrentReadout::ironic();
+        // The 4 µA ADC full scale maps to 1.6 V < 1.8 V.
+        assert!((r.convert(4.0e-6) - 1.6).abs() < 1e-12);
+        assert!(r.clip_current() > 4.0e-6);
+    }
+
+    #[test]
+    fn clipping_at_rails() {
+        let r = CurrentReadout::ironic();
+        assert_eq!(r.convert(100.0e-6), r.vdd);
+    }
+
+    #[test]
+    fn round_trip_inversion() {
+        let r = CurrentReadout::ironic();
+        let i = 2.7e-6;
+        let back = r.current_from_voltage(r.convert(i));
+        assert!((back - i).abs() < 1e-15);
+    }
+
+    #[test]
+    fn supply_current_tracks_mirrored_cell_current() {
+        let r = CurrentReadout::ironic();
+        assert_eq!(r.supply_current(), 45.0e-6);
+        let at_load = r.supply_current_at(4.0e-6);
+        assert!((at_load - 53.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_error_propagates() {
+        let mut r = CurrentReadout::ironic();
+        r.gain_error = 0.01;
+        let v = r.convert(1.0e-6);
+        assert!((v - 0.404).abs() < 1e-9);
+    }
+}

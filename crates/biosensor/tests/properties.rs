@@ -1,0 +1,75 @@
+//! Property-based tests of the biosensor chain.
+
+use biosensor::adc::SigmaDeltaAdc;
+use biosensor::cell::{ElectrochemicalCell, Enzyme};
+use biosensor::readout::CurrentReadout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Michaelis–Menten current density is monotone in concentration and
+    /// bounded by j_max, for any physical enzyme.
+    #[test]
+    fn mm_monotone_and_bounded(
+        jmax_ua in 1.0f64..50.0,
+        km in 0.1f64..10.0,
+        c1 in 0.0f64..50.0,
+        dc in 0.001f64..10.0,
+    ) {
+        let e = Enzyme { name: "p".into(), j_max: jmax_ua * 1e-6, km };
+        let j1 = e.current_density(c1);
+        let j2 = e.current_density(c1 + dc);
+        prop_assert!(j2 > j1);
+        prop_assert!(j2 < e.j_max);
+    }
+
+    /// Calibration inversion is the exact inverse of the MM curve.
+    #[test]
+    fn calibration_inverse(
+        km in 0.5f64..5.0,
+        c in 0.01f64..20.0,
+    ) {
+        let enzyme = Enzyme { name: "p".into(), j_max: 12.0e-6, km };
+        let cell = ElectrochemicalCell::screen_printed(enzyme);
+        let i = cell.enzyme.current_density(c) * cell.area_cm2;
+        let back = cell.concentration_from_current(i).expect("below saturation");
+        prop_assert!((back - c).abs() / c < 1e-9);
+    }
+
+    /// The readout conversion is linear until the rail and inverts.
+    #[test]
+    fn readout_linearity(i_na in 0.0f64..4000.0) {
+        let r = CurrentReadout::ironic();
+        let i = i_na * 1e-9;
+        let v = r.convert(i);
+        if v < r.vdd {
+            prop_assert!((r.current_from_voltage(v) - i).abs() < 1e-15);
+        }
+        prop_assert!(v <= r.vdd);
+    }
+
+    /// ADC codes are monotone for comfortably spaced inputs and accurate
+    /// to a few LSB.
+    #[test]
+    fn adc_monotone_and_accurate(base_frac in 0.1f64..0.8) {
+        let adc = SigmaDeltaAdc::ironic();
+        let i1 = base_frac * adc.full_scale;
+        let i2 = (base_frac + 0.05) * adc.full_scale;
+        let c1 = adc.convert_current(i1).value();
+        let c2 = adc.convert_current(i2).value();
+        prop_assert!(c2 > c1);
+        let ideal = base_frac * 16383.0;
+        prop_assert!((c1 as f64 - ideal).abs() < 8.0, "code {c1} vs {ideal}");
+    }
+
+    /// The bitstream mean of the modulator equals the (scaled) input for
+    /// any DC level in range.
+    #[test]
+    fn modulator_mean_tracks_dc(u in -0.9f64..0.9) {
+        let adc = SigmaDeltaAdc::ironic();
+        let bits = adc.modulate(u, 16384);
+        let mean = bits.iter().map(|&b| b as f64).sum::<f64>() / bits.len() as f64;
+        prop_assert!((mean - u * adc.input_scaling).abs() < 0.01);
+    }
+}

@@ -1,0 +1,155 @@
+//! Complete elliptic integrals via the arithmetic–geometric mean.
+//!
+//! Maxwell's mutual-inductance formula for coaxial circular loops needs
+//! K(m) and E(m); no offline crate provides them, so they are implemented
+//! here with the classic AGM iteration (quadratic convergence, ~5
+//! iterations to machine precision).
+
+/// Complete elliptic integral of the first kind, K(m), with parameter
+/// `m = k²` (not the modulus `k`).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ m < 1`.
+///
+/// ```
+/// use coils::elliptic::ellip_k;
+/// // K(0) = π/2
+/// assert!((ellip_k(0.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+/// ```
+pub fn ellip_k(m: f64) -> f64 {
+    assert!((0.0..1.0).contains(&m), "K(m) requires 0 <= m < 1, got {m}");
+    let mut a = 1.0f64;
+    let mut b = (1.0 - m).sqrt();
+    // Quadratic convergence: bounded iterations avoid any stall at
+    // machine epsilon.
+    for _ in 0..40 {
+        if (a - b).abs() <= 1e-15 * a {
+            break;
+        }
+        let an = 0.5 * (a + b);
+        let bn = (a * b).sqrt();
+        a = an;
+        b = bn;
+    }
+    std::f64::consts::FRAC_PI_2 / a
+}
+
+/// Complete elliptic integral of the second kind, E(m), with parameter
+/// `m = k²`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ m ≤ 1`.
+///
+/// ```
+/// use coils::elliptic::ellip_e;
+/// // E(1) = 1
+/// assert!((ellip_e(1.0) - 1.0).abs() < 1e-15);
+/// ```
+pub fn ellip_e(m: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&m), "E(m) requires 0 <= m <= 1, got {m}");
+    if m == 1.0 {
+        return 1.0;
+    }
+    // AGM with the sum of squared differences (Abramowitz & Stegun 17.6).
+    let mut a = 1.0f64;
+    let mut b = (1.0 - m).sqrt();
+    let mut c = m.sqrt();
+    let mut sum = c * c / 2.0;
+    let mut pow2 = 1.0f64;
+    // Quadratic convergence: 40 iterations is far beyond f64 precision;
+    // the relative threshold avoids stalling at machine epsilon.
+    for _ in 0..40 {
+        if c.abs() <= 1e-15 * a {
+            break;
+        }
+        let an = 0.5 * (a + b);
+        let bn = (a * b).sqrt();
+        c = 0.5 * (a - b);
+        pow2 *= 2.0;
+        sum += pow2 * c * c / 2.0;
+        a = an;
+        b = bn;
+    }
+    ellip_k(m) * (1.0 - sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct numerical quadrature of the defining integrals, as an
+    /// independent reference.
+    fn k_quadrature(m: f64) -> f64 {
+        let n = 200_000;
+        let h = std::f64::consts::FRAC_PI_2 / n as f64;
+        (0..n)
+            .map(|i| {
+                let theta = (i as f64 + 0.5) * h;
+                h / (1.0 - m * theta.sin().powi(2)).sqrt()
+            })
+            .sum()
+    }
+
+    fn e_quadrature(m: f64) -> f64 {
+        let n = 200_000;
+        let h = std::f64::consts::FRAC_PI_2 / n as f64;
+        (0..n)
+            .map(|i| {
+                let theta = (i as f64 + 0.5) * h;
+                h * (1.0 - m * theta.sin().powi(2)).sqrt()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn agm_matches_quadrature() {
+        for m in [0.05, 0.3, 0.5, 0.8, 0.95] {
+            assert!((ellip_k(m) - k_quadrature(m)).abs() < 1e-8, "K({m})");
+            assert!((ellip_e(m) - e_quadrature(m)).abs() < 1e-8, "E({m})");
+        }
+        // K(0.5) from Abramowitz & Stegun: 1.85407467730137...
+        assert!((ellip_k(0.5) - 1.854_074_677_301_37).abs() < 1e-12);
+        assert!((ellip_e(0.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn legendre_relation() {
+        // K(m)·E(1−m) + E(m)·K(1−m) − K(m)·K(1−m) = π/2 for all m.
+        for m in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let lhs = ellip_k(m) * ellip_e(1.0 - m) + ellip_e(m) * ellip_k(1.0 - m)
+                - ellip_k(m) * ellip_k(1.0 - m);
+            assert!(
+                (lhs - std::f64::consts::FRAC_PI_2).abs() < 1e-12,
+                "legendre relation fails at m = {m}: {lhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_diverges_near_one() {
+        assert!(ellip_k(0.999999) > 7.0);
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut prev_k = ellip_k(0.0);
+        let mut prev_e = ellip_e(0.0);
+        for i in 1..100 {
+            let m = i as f64 / 100.0;
+            let k = ellip_k(m);
+            let e = ellip_e(m);
+            assert!(k > prev_k, "K must increase with m");
+            assert!(e < prev_e, "E must decrease with m");
+            prev_k = k;
+            prev_e = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 0 <= m < 1")]
+    fn k_rejects_m_of_one() {
+        let _ = ellip_k(1.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Mutual inductance and coupling coefficient of coil pairs.
+//!
+//! Coaxial circular filaments use Maxwell's closed form in terms of
+//! complete elliptic integrals; laterally misaligned loops fall back to a
+//! discretized Neumann double integral. Whole spirals are decomposed into
+//! filament loops ([`crate::SpiralCoil::filaments`]) and summed pairwise —
+//! the same filament method a coil designer would use in place of a VNA
+//! measurement.
+
+use crate::elliptic::{ellip_e, ellip_k};
+use crate::spiral::SpiralCoil;
+use crate::MU_0;
+
+/// Mutual inductance of two coaxial circular filament loops of radii
+/// `r1`, `r2` separated axially by `z` (Maxwell's formula).
+///
+/// # Panics
+///
+/// Panics if either radius is non-positive or all of `z` ≈ 0 with
+/// `r1` ≈ `r2` (coincident loops have no finite mutual inductance).
+///
+/// ```
+/// use coils::mutual::mutual_coaxial_loops;
+/// let near = mutual_coaxial_loops(10e-3, 10e-3, 2e-3);
+/// let far = mutual_coaxial_loops(10e-3, 10e-3, 20e-3);
+/// assert!(near > far);
+/// ```
+pub fn mutual_coaxial_loops(r1: f64, r2: f64, z: f64) -> f64 {
+    assert!(r1 > 0.0 && r2 > 0.0, "loop radii must be positive");
+    let z = z.abs();
+    let denom = (r1 + r2) * (r1 + r2) + z * z;
+    let m = 4.0 * r1 * r2 / denom; // elliptic parameter m = k²
+    assert!(
+        m < 1.0 - 1e-12,
+        "coincident filaments (r1 = r2, z = 0) have no finite mutual inductance"
+    );
+    let k = m.sqrt();
+    MU_0 * (r1 * r2).sqrt() * ((2.0 / k - k) * ellip_k(m) - (2.0 / k) * ellip_e(m))
+}
+
+/// Mutual inductance of two circular loops with axial separation `z` and
+/// lateral centre offset `offset`, by discretizing the Neumann double
+/// integral with `segments` points per loop.
+///
+/// At `offset = 0` this converges to [`mutual_coaxial_loops`]; it exists
+/// for the misalignment studies (the patch sliding on the skin).
+///
+/// # Panics
+///
+/// Panics if radii are non-positive or `segments < 8`.
+pub fn mutual_offset_loops(r1: f64, r2: f64, z: f64, offset: f64, segments: usize) -> f64 {
+    assert!(r1 > 0.0 && r2 > 0.0, "loop radii must be positive");
+    assert!(segments >= 8, "need at least 8 segments per loop");
+    let n = segments;
+    let two_pi = std::f64::consts::TAU;
+    let dphi = two_pi / n as f64;
+    let mut sum = 0.0;
+    for i in 0..n {
+        let phi1 = (i as f64 + 0.5) * dphi;
+        // Loop 1 point and tangent (dl1).
+        let (s1, c1) = phi1.sin_cos();
+        let p1 = (r1 * c1, r1 * s1, 0.0);
+        let t1 = (-s1, c1);
+        for j in 0..n {
+            let phi2 = (j as f64 + 0.5) * dphi;
+            let (s2, c2) = phi2.sin_cos();
+            let p2 = (offset + r2 * c2, r2 * s2, z);
+            let t2 = (-s2, c2);
+            let dx = p1.0 - p2.0;
+            let dy = p1.1 - p2.1;
+            let dz = p1.2 - p2.2;
+            let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+            let dot = t1.0 * t2.0 + t1.1 * t2.1;
+            sum += dot / dist;
+        }
+    }
+    MU_0 / (4.0 * std::f64::consts::PI) * r1 * r2 * dphi * dphi * sum
+}
+
+/// Mutual inductance of two circular loops with the second loop tilted
+/// by `tilt` radians about an axis through its centre (plus axial
+/// separation `z` and lateral offset `offset`), by the discretized
+/// Neumann integral — the patch resting on a curved body part (the
+/// paper's Fig. 5) tilts the transmitting coil relative to the implant.
+///
+/// # Panics
+///
+/// Panics if radii are non-positive, `segments < 8`, or |tilt| ≥ π/2.
+pub fn mutual_tilted_loops(
+    r1: f64,
+    r2: f64,
+    z: f64,
+    offset: f64,
+    tilt: f64,
+    segments: usize,
+) -> f64 {
+    assert!(r1 > 0.0 && r2 > 0.0, "loop radii must be positive");
+    assert!(segments >= 8, "need at least 8 segments per loop");
+    assert!(tilt.abs() < std::f64::consts::FRAC_PI_2, "tilt must stay below 90°");
+    let n = segments;
+    let dphi = std::f64::consts::TAU / n as f64;
+    let (st, ct) = tilt.sin_cos();
+    let mut sum = 0.0;
+    for i in 0..n {
+        let phi1 = (i as f64 + 0.5) * dphi;
+        let (s1, c1) = phi1.sin_cos();
+        let p1 = (r1 * c1, r1 * s1, 0.0);
+        let t1 = (-s1, c1, 0.0);
+        for j in 0..n {
+            let phi2 = (j as f64 + 0.5) * dphi;
+            let (s2, c2) = phi2.sin_cos();
+            // Tilt about the y-axis: x' = x·cosθ, z' = x·sinθ.
+            let p2 = (offset + r2 * c2 * ct, r2 * s2, z + r2 * c2 * st);
+            let t2 = (-s2 * ct, c2, -s2 * st);
+            let dx = p1.0 - p2.0;
+            let dy = p1.1 - p2.1;
+            let dz = p1.2 - p2.2;
+            let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+            let dot = t1.0 * t2.0 + t1.1 * t2.1 + t1.2 * t2.2;
+            sum += dot / dist;
+        }
+    }
+    MU_0 / (4.0 * std::f64::consts::PI) * r1 * r2 * dphi * dphi * sum
+}
+
+/// Coupling coefficient `k = M / √(L1·L2)`.
+///
+/// # Panics
+///
+/// Panics if either inductance is non-positive.
+pub fn coupling_coefficient(m: f64, l1: f64, l2: f64) -> f64 {
+    assert!(l1 > 0.0 && l2 > 0.0, "inductances must be positive");
+    m / (l1 * l2).sqrt()
+}
+
+/// A transmitter/receiver coil pair with precomputed self-inductances.
+///
+/// ```
+/// use coils::CoilPair;
+/// let pair = CoilPair::ironic();
+/// let k6 = pair.coupling_at(6.0e-3);
+/// let k17 = pair.coupling_at(17.0e-3);
+/// assert!(k6 > k17 && k17 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CoilPair {
+    tx: SpiralCoil,
+    rx: SpiralCoil,
+    l_tx: f64,
+    l_rx: f64,
+}
+
+impl CoilPair {
+    /// Builds a pair from two coils, caching their self-inductances.
+    pub fn new(tx: SpiralCoil, rx: SpiralCoil) -> Self {
+        let l_tx = tx.inductance();
+        let l_rx = rx.inductance();
+        CoilPair { tx, rx, l_tx, l_rx }
+    }
+
+    /// The paper's coil pair: patch transmitter + implanted receiver.
+    pub fn ironic() -> Self {
+        CoilPair::new(SpiralCoil::ironic_transmitter(), SpiralCoil::ironic_receiver())
+    }
+
+    /// The transmitting coil.
+    pub fn tx(&self) -> &SpiralCoil {
+        &self.tx
+    }
+
+    /// The receiving coil.
+    pub fn rx(&self) -> &SpiralCoil {
+        &self.rx
+    }
+
+    /// Transmitter self-inductance (cached).
+    pub fn l_tx(&self) -> f64 {
+        self.l_tx
+    }
+
+    /// Receiver self-inductance (cached).
+    pub fn l_rx(&self) -> f64 {
+        self.l_rx
+    }
+
+    /// Mutual inductance at coaxial separation `distance` (filament sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive.
+    pub fn mutual_at(&self, distance: f64) -> f64 {
+        assert!(distance > 0.0, "coil distance must be positive");
+        let f_tx = self.tx.filaments();
+        let f_rx = self.rx.filaments();
+        let mut m = 0.0;
+        for &(r1, z1) in &f_tx {
+            for &(r2, z2) in &f_rx {
+                m += mutual_coaxial_loops(r1, r2, distance + z2 - z1);
+            }
+        }
+        m
+    }
+
+    /// Mutual inductance at separation `distance` with lateral offset
+    /// `lateral` between the coil axes (Neumann integration, coarser).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive or `lateral` is negative.
+    pub fn mutual_misaligned(&self, distance: f64, lateral: f64) -> f64 {
+        assert!(distance > 0.0, "coil distance must be positive");
+        assert!(lateral >= 0.0, "lateral offset cannot be negative");
+        if lateral == 0.0 {
+            return self.mutual_at(distance);
+        }
+        let f_tx = self.tx.filaments();
+        let f_rx = self.rx.filaments();
+        let mut m = 0.0;
+        for &(r1, z1) in &f_tx {
+            for &(r2, z2) in &f_rx {
+                m += mutual_offset_loops(r1, r2, distance + z2 - z1, lateral, 48);
+            }
+        }
+        m
+    }
+
+    /// Coupling coefficient `k(d)` at coaxial separation `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive.
+    pub fn coupling_at(&self, distance: f64) -> f64 {
+        coupling_coefficient(self.mutual_at(distance), self.l_tx, self.l_rx)
+    }
+
+    /// Coupling coefficient with lateral misalignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive or `lateral` is negative.
+    pub fn coupling_misaligned(&self, distance: f64, lateral: f64) -> f64 {
+        coupling_coefficient(self.mutual_misaligned(distance, lateral), self.l_tx, self.l_rx)
+    }
+
+    /// Coupling coefficient with the patch tilted by `tilt` radians on a
+    /// curved placement (Neumann integration over all filament pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive, `lateral` negative, or
+    /// |tilt| ≥ π/2.
+    pub fn coupling_tilted(&self, distance: f64, lateral: f64, tilt: f64) -> f64 {
+        assert!(distance > 0.0, "coil distance must be positive");
+        assert!(lateral >= 0.0, "lateral offset cannot be negative");
+        let f_tx = self.tx.filaments();
+        let f_rx = self.rx.filaments();
+        let mut m = 0.0;
+        for &(r1, z1) in &f_tx {
+            for &(r2, z2) in &f_rx {
+                m += mutual_tilted_loops(r1, r2, distance + z2 - z1, lateral, tilt, 40);
+            }
+        }
+        coupling_coefficient(m, self.l_tx, self.l_rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxwell_matches_dipole_far_field() {
+        // Far apart, M → µ0·π·r1²·r2²/(2·z³) (magnetic dipole limit).
+        let (r1, r2, z) = (5.0e-3, 4.0e-3, 200.0e-3);
+        let m = mutual_coaxial_loops(r1, r2, z);
+        let dipole = MU_0 * std::f64::consts::PI * r1 * r1 * r2 * r2 / (2.0 * z * z * z);
+        assert!((m - dipole).abs() / dipole < 0.01, "m = {m}, dipole = {dipole}");
+    }
+
+    #[test]
+    fn neumann_matches_maxwell_at_zero_offset() {
+        let (r1, r2, z) = (10.0e-3, 6.0e-3, 8.0e-3);
+        let maxwell = mutual_coaxial_loops(r1, r2, z);
+        let neumann = mutual_offset_loops(r1, r2, z, 0.0, 128);
+        assert!(
+            (neumann - maxwell).abs() / maxwell < 0.01,
+            "neumann {neumann} vs maxwell {maxwell}"
+        );
+    }
+
+    #[test]
+    fn mutual_decreases_with_distance() {
+        let mut prev = f64::INFINITY;
+        for mm in 1..30 {
+            let m = mutual_coaxial_loops(10.0e-3, 5.0e-3, mm as f64 * 1.0e-3);
+            assert!(m < prev && m > 0.0);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn mutual_decreases_with_lateral_offset_then_reverses() {
+        // Sliding one loop sideways reduces coupling; far enough out the
+        // flux linkage reverses sign (the classic null).
+        let (r1, r2, z) = (10.0e-3, 10.0e-3, 5.0e-3);
+        let m0 = mutual_offset_loops(r1, r2, z, 0.0, 64);
+        let m_half = mutual_offset_loops(r1, r2, z, 8.0e-3, 64);
+        let m_past = mutual_offset_loops(r1, r2, z, 25.0e-3, 64);
+        assert!(m0 > m_half, "m0 {m0} vs offset {m_half}");
+        assert!(m_past < 0.1 * m0, "far offset keeps little coupling: {m_past}");
+    }
+
+    #[test]
+    fn symmetry_in_radii() {
+        let a = mutual_coaxial_loops(7.0e-3, 3.0e-3, 4.0e-3);
+        let b = mutual_coaxial_loops(3.0e-3, 7.0e-3, 4.0e-3);
+        assert!((a - b).abs() / a < 1e-12);
+    }
+
+    #[test]
+    fn ironic_pair_coupling_magnitudes() {
+        let pair = CoilPair::ironic();
+        let k6 = pair.coupling_at(6.0e-3);
+        let k17 = pair.coupling_at(17.0e-3);
+        // Loosely coupled biomedical links live around k = 0.01…0.3.
+        assert!((0.01..0.5).contains(&k6), "k(6mm) = {k6}");
+        assert!(k17 < k6 / 2.0, "k drops steeply: {k17} vs {k6}");
+        assert!(k17 > 0.0);
+    }
+
+    #[test]
+    fn misalignment_reduces_ironic_coupling() {
+        let pair = CoilPair::ironic();
+        let k_centered = pair.coupling_misaligned(6.0e-3, 0.0);
+        let k_off = pair.coupling_misaligned(6.0e-3, 10.0e-3);
+        assert!(k_off < k_centered);
+    }
+
+    #[test]
+    fn coupling_coefficient_bounds() {
+        // k of physically coupled coils must be below 1.
+        let pair = CoilPair::ironic();
+        for mm in [2.0e-3, 6.0e-3, 10.0e-3, 17.0e-3] {
+            let k = pair.coupling_at(mm);
+            assert!(k > 0.0 && k < 1.0, "k({mm}) = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coincident filaments")]
+    fn coincident_loops_rejected() {
+        let _ = mutual_coaxial_loops(5.0e-3, 5.0e-3, 0.0);
+    }
+
+    #[test]
+    fn tilted_matches_flat_at_zero_tilt() {
+        let (r1, r2, z) = (10.0e-3, 6.0e-3, 8.0e-3);
+        let flat = mutual_offset_loops(r1, r2, z, 0.0, 96);
+        let tilted = mutual_tilted_loops(r1, r2, z, 0.0, 0.0, 96);
+        assert!((flat - tilted).abs() / flat < 1e-9);
+    }
+
+    #[test]
+    fn tilt_follows_cosine_to_first_order() {
+        // Small-coil limit: M(θ) ≈ M(0)·cosθ.
+        let (r1, r2, z) = (10.0e-3, 3.0e-3, 12.0e-3);
+        let m0 = mutual_tilted_loops(r1, r2, z, 0.0, 0.0, 96);
+        let m30 = mutual_tilted_loops(r1, r2, z, 0.0, 30.0f64.to_radians(), 96);
+        let ratio = m30 / m0;
+        let cos30 = 30.0f64.to_radians().cos();
+        assert!(
+            (ratio - cos30).abs() < 0.06,
+            "M(30°)/M(0°) = {ratio} vs cos30° = {cos30}"
+        );
+    }
+
+    #[test]
+    fn tilt_reduces_coupling_monotonically() {
+        let (r1, r2, z) = (10.0e-3, 5.0e-3, 6.0e-3);
+        let mut prev = f64::INFINITY;
+        for deg in [0.0f64, 15.0, 30.0, 45.0, 60.0] {
+            let m = mutual_tilted_loops(r1, r2, z, 0.0, deg.to_radians(), 64);
+            assert!(m < prev, "tilt {deg}°: {m}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below 90")]
+    fn edge_on_tilt_rejected() {
+        let _ = mutual_tilted_loops(5.0e-3, 5.0e-3, 5.0e-3, 0.0, 1.6, 32);
+    }
+}
+
+#[cfg(test)]
+mod pair_tilt_tests {
+    use super::*;
+
+    #[test]
+    fn pair_tilt_reduces_coupling() {
+        let pair = CoilPair::ironic();
+        let flat = pair.coupling_tilted(8.0e-3, 0.0, 0.0);
+        let tilted = pair.coupling_tilted(8.0e-3, 0.0, 30.0f64.to_radians());
+        assert!(tilted < flat, "{tilted} vs {flat}");
+        assert!(tilted > 0.5 * flat, "30° keeps most of the coupling");
+    }
+
+    #[test]
+    fn pair_tilt_consistent_with_misaligned_at_zero() {
+        let pair = CoilPair::ironic();
+        let a = pair.coupling_tilted(8.0e-3, 4.0e-3, 0.0);
+        let b = pair.coupling_misaligned(8.0e-3, 4.0e-3);
+        assert!((a - b).abs() / b < 0.05, "{a} vs {b}");
+    }
+}

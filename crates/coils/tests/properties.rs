@@ -1,0 +1,114 @@
+//! Property-based tests of the magnetics invariants.
+
+use coils::elliptic::{ellip_e, ellip_k};
+use coils::mutual::{coupling_coefficient, mutual_coaxial_loops, mutual_offset_loops};
+use coils::spiral::{SpiralCoil, SpiralShape};
+use coils::tissue::{TissueLayer, TissueStack};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Legendre's relation holds across the whole parameter range.
+    #[test]
+    fn legendre_relation(m in 0.001f64..0.999) {
+        let lhs = ellip_k(m) * ellip_e(1.0 - m) + ellip_e(m) * ellip_k(1.0 - m)
+            - ellip_k(m) * ellip_k(1.0 - m);
+        prop_assert!((lhs - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    /// Mutual inductance is symmetric, positive for coaxial loops, and
+    /// decreasing in separation.
+    #[test]
+    fn coaxial_mutual_properties(
+        r1 in 1.0e-3f64..30.0e-3,
+        r2 in 1.0e-3f64..30.0e-3,
+        z in 1.0e-3f64..50.0e-3,
+    ) {
+        let m = mutual_coaxial_loops(r1, r2, z);
+        prop_assert!(m > 0.0);
+        let m_swap = mutual_coaxial_loops(r2, r1, z);
+        prop_assert!((m - m_swap).abs() <= 1e-12 * m);
+        let m_far = mutual_coaxial_loops(r1, r2, z * 1.5);
+        prop_assert!(m_far < m);
+    }
+
+    /// The coupling coefficient of any physical loop pair stays in (0, 1):
+    /// M ≤ √(L1·L2) with L for a single loop ≈ µ0·r·(ln(8r/a) − 2).
+    #[test]
+    fn filament_k_below_unity(
+        r1 in 2.0e-3f64..20.0e-3,
+        r2 in 2.0e-3f64..20.0e-3,
+        z in 0.5e-3f64..30.0e-3,
+    ) {
+        let wire = 0.1e-3; // wire radius for the loop self-inductance
+        let l_self = |r: f64| coils::MU_0 * r * ((8.0 * r / wire).ln() - 2.0);
+        let m = mutual_coaxial_loops(r1, r2, z);
+        let k = coupling_coefficient(m, l_self(r1), l_self(r2));
+        prop_assert!(k > 0.0 && k < 1.0, "k = {k}");
+    }
+
+    /// Neumann integration converges to Maxwell's closed form.
+    #[test]
+    fn neumann_matches_maxwell(
+        r1 in 3.0e-3f64..15.0e-3,
+        r2 in 3.0e-3f64..15.0e-3,
+        z in 3.0e-3f64..20.0e-3,
+    ) {
+        let exact = mutual_coaxial_loops(r1, r2, z);
+        let numeric = mutual_offset_loops(r1, r2, z, 0.0, 96);
+        prop_assert!(
+            (numeric - exact).abs() / exact < 0.02,
+            "{numeric} vs {exact}"
+        );
+    }
+
+    /// Current-sheet inductance scales as n² and grows with diameter.
+    #[test]
+    fn inductance_scaling(
+        n in 2u32..20,
+        dout_mm in 6.0f64..50.0,
+    ) {
+        let dout = dout_mm * 1e-3;
+        let din = dout * 0.5;
+        let coil = SpiralCoil::planar(SpiralShape::Circular, n, dout, din, 0.2e-3, 35e-6);
+        let double = SpiralCoil::planar(SpiralShape::Circular, 2 * n, dout, din, 0.2e-3, 35e-6);
+        let ratio = double.layer_inductance() / coil.layer_inductance();
+        prop_assert!((ratio - 4.0).abs() < 1e-9);
+        let bigger =
+            SpiralCoil::planar(SpiralShape::Circular, n, dout * 1.3, din * 1.3, 0.2e-3, 35e-6);
+        prop_assert!(bigger.layer_inductance() > coil.layer_inductance());
+    }
+
+    /// Q is positive and the AC resistance never drops below DC.
+    #[test]
+    fn resistance_and_q(
+        n in 2u32..15,
+        f_mhz in 0.5f64..30.0,
+    ) {
+        let coil = SpiralCoil::planar(SpiralShape::Circular, n, 30.0e-3, 12.0e-3, 0.5e-3, 35e-6);
+        let f = f_mhz * 1e6;
+        prop_assert!(coil.ac_resistance(f) >= coil.dc_resistance() * 0.999);
+        prop_assert!(coil.quality_factor(f) > 0.0);
+    }
+
+    /// Tissue attenuation lies in (0, 1] and composes multiplicatively.
+    #[test]
+    fn tissue_attenuation_composes(
+        t1_mm in 1.0f64..20.0,
+        t2_mm in 1.0f64..20.0,
+        f_mhz in 1.0f64..100.0,
+    ) {
+        let f = f_mhz * 1e6;
+        let a = TissueStack::from_layers(vec![TissueLayer::muscle(t1_mm * 1e-3)]);
+        let b = TissueStack::from_layers(vec![TissueLayer::fat(t2_mm * 1e-3)]);
+        let both = TissueStack::from_layers(vec![
+            TissueLayer::muscle(t1_mm * 1e-3),
+            TissueLayer::fat(t2_mm * 1e-3),
+        ]);
+        let (fa, fb, fab) =
+            (a.attenuation_factor(f), b.attenuation_factor(f), both.attenuation_factor(f));
+        prop_assert!(fa > 0.0 && fa <= 1.0);
+        prop_assert!((fab - fa * fb).abs() < 1e-12);
+    }
+}

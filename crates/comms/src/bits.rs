@@ -1,0 +1,263 @@
+//! Bitstreams and pseudo-random bit generation.
+
+use std::fmt;
+
+/// An ordered sequence of bits, the payload type of both links.
+///
+/// ```
+/// use comms::BitStream;
+/// let b = BitStream::from_str("1010");
+/// assert_eq!(b.len(), 4);
+/// assert!(b.get(0).unwrap());
+/// assert!(!b.get(1).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitStream {
+    bits: Vec<bool>,
+}
+
+impl BitStream {
+    /// An empty bitstream.
+    pub fn new() -> Self {
+        BitStream { bits: Vec::new() }
+    }
+
+    /// Builds from a slice of booleans.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        BitStream { bits: bits.to_vec() }
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters (other characters are
+    /// ignored, so `"1010 1100"` is accepted). Also available through the
+    /// standard [`std::str::FromStr`] (never fails).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Self {
+        BitStream { bits: s.chars().filter_map(|c| match c {
+            '0' => Some(false),
+            '1' => Some(true),
+            _ => None,
+        }).collect() }
+    }
+
+    /// Unpacks bytes MSB-first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bits = Vec::with_capacity(bytes.len() * 8);
+        for &byte in bytes {
+            for k in (0..8).rev() {
+                bits.push((byte >> k) & 1 == 1);
+            }
+        }
+        BitStream { bits }
+    }
+
+    /// A maximal-length PRBS-9 sequence (x⁹ + x⁵ + 1) of `n` bits starting
+    /// from the given non-zero 9-bit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed & 0x1ff == 0` (the all-zero LFSR state is absorbing).
+    pub fn prbs9(n: usize, seed: u16) -> Self {
+        assert!(seed & 0x1ff != 0, "PRBS-9 seed must be non-zero in its low 9 bits");
+        let mut state = seed & 0x1ff;
+        let mut bits = Vec::with_capacity(n);
+        for _ in 0..n {
+            let newbit = ((state >> 8) ^ (state >> 4)) & 1;
+            bits.push(newbit == 1);
+            state = ((state << 1) | newbit) & 0x1ff;
+        }
+        BitStream { bits }
+    }
+
+    /// The 18-bit pattern used in the paper's Fig. 11 downlink burst
+    /// (the exact bits are not published; an alternating-rich pattern
+    /// exercising both symbols and runs is used).
+    pub fn fig11_pattern() -> Self {
+        BitStream::from_str("110100101100111010")
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the stream holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at `index`.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        self.bits.get(index).copied()
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// View as a boolean slice.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Concatenates another stream onto this one.
+    pub fn extend_from(&mut self, other: &BitStream) {
+        self.bits.extend_from_slice(&other.bits);
+    }
+
+    /// Packs MSB-first into bytes, zero-padding the final byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.bits
+            .chunks(8)
+            .map(|chunk| {
+                chunk.iter().enumerate().fold(0u8, |acc, (i, &b)| {
+                    if b {
+                        acc | (0x80 >> i)
+                    } else {
+                        acc
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Number of bit positions differing from `other` (compared over the
+    /// shorter length) plus the length difference — the raw error count of
+    /// a BER measurement.
+    pub fn hamming_distance(&self, other: &BitStream) -> usize {
+        let common = self.bits.len().min(other.bits.len());
+        let mismatched = self.bits[..common]
+            .iter()
+            .zip(&other.bits[..common])
+            .filter(|(a, b)| a != b)
+            .count();
+        mismatched + self.bits.len().abs_diff(other.bits.len())
+    }
+
+    /// Longest run of identical bits, which stresses AC-coupled detectors.
+    pub fn longest_run(&self) -> usize {
+        let mut best = 0;
+        let mut run = 0;
+        let mut last: Option<bool> = None;
+        for &b in &self.bits {
+            if Some(b) == last {
+                run += 1;
+            } else {
+                run = 1;
+                last = Some(b);
+            }
+            best = best.max(run);
+        }
+        best
+    }
+}
+
+impl fmt::Display for BitStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for BitStream {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(BitStream::from_str(s))
+    }
+}
+
+impl FromIterator<bool> for BitStream {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitStream { bits: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<bool> for BitStream {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_round_trip() {
+        let b = BitStream::from_str("1011 0010");
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.to_string(), "10110010");
+        assert_eq!(b.to_bytes(), vec![0b1011_0010]);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = BitStream::from_bytes(&[0xA5, 0x3C]);
+        assert_eq!(b.to_bytes(), vec![0xA5, 0x3C]);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn prbs9_has_balanced_statistics() {
+        let b = BitStream::prbs9(511, 0x1FF);
+        // Maximal-length: 256 ones, 255 zeros per period.
+        let ones = b.iter().filter(|&x| x).count();
+        assert_eq!(ones, 256);
+        // No run longer than 9.
+        assert!(b.longest_run() <= 9);
+    }
+
+    #[test]
+    fn prbs9_is_periodic_with_511() {
+        let b = BitStream::prbs9(1022, 0x0AB);
+        let (first, second) = (&b.as_slice()[..511], &b.as_slice()[511..]);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn hamming_distance_counts_length_difference() {
+        let a = BitStream::from_str("1010");
+        let b = BitStream::from_str("1110");
+        assert_eq!(a.hamming_distance(&b), 1);
+        let c = BitStream::from_str("10");
+        assert_eq!(a.hamming_distance(&c), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn fig11_pattern_is_18_bits() {
+        let b = BitStream::fig11_pattern();
+        assert_eq!(b.len(), 18);
+        assert!(b.iter().any(|x| x) && b.iter().any(|x| !x));
+    }
+
+    #[test]
+    fn longest_run_detection() {
+        assert_eq!(BitStream::from_str("110001").longest_run(), 3);
+        assert_eq!(BitStream::from_str("1").longest_run(), 1);
+        assert_eq!(BitStream::new().longest_run(), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let b: BitStream = [true, false, true].into_iter().collect();
+        assert_eq!(b.to_string(), "101");
+        let mut c = b.clone();
+        c.extend([false, false]);
+        assert_eq!(c.to_string(), "10100");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn prbs_rejects_zero_seed() {
+        let _ = BitStream::prbs9(10, 0x200); // low 9 bits zero
+    }
+}

@@ -1,0 +1,152 @@
+//! Line coding and whitening.
+//!
+//! Two extensions beyond the paper's raw bitstreams:
+//!
+//! * **Manchester coding** — each bit becomes a transition (1 → `10`,
+//!   0 → `01`), giving the ASK envelope a guaranteed edge per bit. The
+//!   rectifier's storage capacitor then never sees a long run of
+//!   low-amplitude symbols — directly relaxing the Co-droop constraint
+//!   the Fig. 11 compliance check guards (at the cost of 2× bandwidth).
+//! * **PRBS whitening** — XOR with a PRBS-9 keystream. The paper's
+//!   introduction lists data security/privacy among the key challenges;
+//!   whitening is the minimal link-layer measure: it removes payload
+//!   structure from the on-air waveform and is self-inverting.
+
+use crate::bits::BitStream;
+
+/// Manchester-encodes a bitstream (IEEE convention: 1 → `10`, 0 → `01`).
+pub fn manchester_encode(bits: &BitStream) -> BitStream {
+    let mut out = BitStream::new();
+    for b in bits.iter() {
+        out.push(b);
+        out.push(!b);
+    }
+    out
+}
+
+/// Errors raised when decoding a Manchester stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManchesterError {
+    /// The stream length is odd — half a symbol is missing.
+    OddLength {
+        /// Offending length.
+        length: usize,
+    },
+    /// A symbol pair was `00` or `11` (no mid-bit transition).
+    InvalidSymbol {
+        /// Index of the first half of the bad pair.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for ManchesterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManchesterError::OddLength { length } => {
+                write!(f, "manchester stream has odd length {length}")
+            }
+            ManchesterError::InvalidSymbol { position } => {
+                write!(f, "missing mid-bit transition at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManchesterError {}
+
+/// Decodes a Manchester stream back to data bits.
+///
+/// # Errors
+///
+/// [`ManchesterError`] on odd length or a missing mid-bit transition —
+/// the built-in error detection that makes Manchester attractive for
+/// noisy ASK links.
+pub fn manchester_decode(coded: &BitStream) -> Result<BitStream, ManchesterError> {
+    if !coded.len().is_multiple_of(2) {
+        return Err(ManchesterError::OddLength { length: coded.len() });
+    }
+    let mut out = BitStream::new();
+    for (i, pair) in coded.as_slice().chunks(2).enumerate() {
+        match (pair[0], pair[1]) {
+            (true, false) => out.push(true),
+            (false, true) => out.push(false),
+            _ => return Err(ManchesterError::InvalidSymbol { position: 2 * i }),
+        }
+    }
+    Ok(out)
+}
+
+/// XORs the stream with a PRBS-9 keystream from `seed` — self-inverting
+/// whitening (`whiten(whiten(x)) == x`).
+///
+/// # Panics
+///
+/// Panics if `seed & 0x1ff == 0` (absorbing LFSR state).
+pub fn whiten(bits: &BitStream, seed: u16) -> BitStream {
+    let key = BitStream::prbs9(bits.len(), seed);
+    bits.iter().zip(key.iter()).map(|(b, k)| b ^ k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manchester_round_trip() {
+        let data = BitStream::prbs9(257, 0x171);
+        let coded = manchester_encode(&data);
+        assert_eq!(coded.len(), 2 * data.len());
+        assert_eq!(manchester_decode(&coded).unwrap(), data);
+    }
+
+    #[test]
+    fn manchester_bounds_run_length() {
+        // Even all-ones data yields no run longer than 2 on the air.
+        let data = BitStream::from_bits(&[true; 64]);
+        let coded = manchester_encode(&data);
+        assert!(coded.longest_run() <= 2);
+        let zeros = BitStream::from_bits(&[false; 64]);
+        assert!(manchester_encode(&zeros).longest_run() <= 2);
+    }
+
+    #[test]
+    fn manchester_detects_corruption() {
+        let data = BitStream::from_str("1011");
+        let coded = manchester_encode(&data);
+        let mut raw: Vec<bool> = coded.as_slice().to_vec();
+        raw[3] = !raw[3]; // turn a pair into 00 or 11
+        let res = manchester_decode(&BitStream::from_bits(&raw));
+        assert!(matches!(res, Err(ManchesterError::InvalidSymbol { .. })));
+    }
+
+    #[test]
+    fn manchester_rejects_odd_length() {
+        let res = manchester_decode(&BitStream::from_str("101"));
+        assert_eq!(res, Err(ManchesterError::OddLength { length: 3 }));
+    }
+
+    #[test]
+    fn whitening_is_self_inverting() {
+        let data = BitStream::from_bytes(b"attack at dawn");
+        let white = whiten(&data, 0x0D3);
+        assert_ne!(white, data);
+        assert_eq!(whiten(&white, 0x0D3), data);
+    }
+
+    #[test]
+    fn whitening_removes_structure() {
+        // A pathological all-zeros payload becomes balanced on the air.
+        let zeros = BitStream::from_bits(&[false; 511]);
+        let white = whiten(&zeros, 0x1FF);
+        let ones = white.iter().filter(|&b| b).count();
+        assert!((200..312).contains(&ones), "balanced: {ones}/511");
+        assert!(white.longest_run() <= 9);
+    }
+
+    #[test]
+    fn wrong_seed_fails_to_dewhiten() {
+        let data = BitStream::from_bytes(&[0x42; 8]);
+        let white = whiten(&data, 0x0AB);
+        assert_ne!(whiten(&white, 0x0AC), data);
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal packet framing for the examples: preamble, sync, length,
+//! payload, CRC-8.
+//!
+//! The paper transmits raw bitstreams; the example applications layer
+//! this frame on top so command/response exchanges (set oxidation
+//! potential, request a measurement, return an ADC code) are realistic.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bits::BitStream;
+
+/// Alternating preamble byte for detector settling.
+pub const PREAMBLE: u8 = 0xAA;
+/// Frame sync byte.
+pub const SYNC: u8 = 0x7E;
+/// Maximum payload length in bytes.
+pub const MAX_PAYLOAD: usize = 64;
+
+/// CRC-8 (polynomial 0x07, init 0x00) over a byte slice.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Errors raised while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// No preamble+sync pattern was found in the bitstream.
+    SyncNotFound,
+    /// The length field exceeds [`MAX_PAYLOAD`] or runs past the stream.
+    BadLength {
+        /// The offending declared length.
+        declared: usize,
+    },
+    /// The CRC check failed.
+    BadCrc {
+        /// CRC computed over the received payload.
+        computed: u8,
+        /// CRC received in the frame trailer.
+        received: u8,
+    },
+    /// Payload larger than [`MAX_PAYLOAD`] on the encode side.
+    PayloadTooLarge {
+        /// Attempted payload size.
+        size: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::SyncNotFound => write!(f, "frame sync not found"),
+            FrameError::BadLength { declared } => {
+                write!(f, "invalid frame length {declared}")
+            }
+            FrameError::BadCrc { computed, received } => {
+                write!(f, "crc mismatch: computed {computed:#04x}, received {received:#04x}")
+            }
+            FrameError::PayloadTooLarge { size } => {
+                write!(f, "payload of {size} bytes exceeds the {MAX_PAYLOAD}-byte maximum")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// A link-layer frame: `[PREAMBLE, SYNC, len, payload…, crc8]`.
+///
+/// ```
+/// use comms::{Frame, BitStream};
+/// # fn main() -> Result<(), comms::FrameError> {
+/// let f = Frame::new(&[0x01, 0x42])?;
+/// let bits = f.encode();
+/// let back = Frame::decode(&bits)?;
+/// assert_eq!(back.payload(), &[0x01, 0x42]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame around a payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::PayloadTooLarge`] beyond [`MAX_PAYLOAD`] bytes.
+    pub fn new(payload: &[u8]) -> Result<Self, FrameError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(FrameError::PayloadTooLarge { size: payload.len() });
+        }
+        Ok(Frame { payload: payload.to_vec() })
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Serializes to a bitstream, MSB-first.
+    pub fn encode(&self) -> BitStream {
+        let mut bytes = vec![PREAMBLE, SYNC, self.payload.len() as u8];
+        bytes.extend_from_slice(&self.payload);
+        bytes.push(crc8(&self.payload));
+        BitStream::from_bytes(&bytes)
+    }
+
+    /// Parses the first frame found in a bitstream (scanning bit-by-bit
+    /// for the preamble+sync pattern, as a receiver with no byte
+    /// alignment must).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::SyncNotFound`], [`FrameError::BadLength`] or
+    /// [`FrameError::BadCrc`].
+    pub fn decode(bits: &BitStream) -> Result<Self, FrameError> {
+        let pattern = BitStream::from_bytes(&[PREAMBLE, SYNC]);
+        let pat = pattern.as_slice();
+        let raw = bits.as_slice();
+        let start = (0..raw.len().saturating_sub(pat.len()))
+            .find(|&i| &raw[i..i + pat.len()] == pat)
+            .ok_or(FrameError::SyncNotFound)?;
+        let after = start + pat.len();
+        let byte_at = |bit_index: usize| -> Option<u8> {
+            if bit_index + 8 > raw.len() {
+                return None;
+            }
+            Some(raw[bit_index..bit_index + 8]
+                .iter()
+                .fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+        };
+        let len = byte_at(after).ok_or(FrameError::SyncNotFound)? as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::BadLength { declared: len });
+        }
+        let mut payload = Vec::with_capacity(len);
+        for k in 0..len {
+            payload.push(
+                byte_at(after + 8 + 8 * k).ok_or(FrameError::BadLength { declared: len })?,
+            );
+        }
+        let received =
+            byte_at(after + 8 + 8 * len).ok_or(FrameError::BadLength { declared: len })?;
+        let computed = crc8(&payload);
+        if computed != received {
+            return Err(FrameError::BadCrc { computed, received });
+        }
+        Ok(Frame { payload })
+    }
+
+    /// Total encoded length in bits.
+    pub fn encoded_len(&self) -> usize {
+        (3 + self.payload.len() + 1) * 8
+    }
+
+    /// Airtime at a given bit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate` is not positive.
+    pub fn airtime(&self, bit_rate: f64) -> f64 {
+        assert!(bit_rate > 0.0, "bit rate must be positive");
+        self.encoded_len() as f64 / bit_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc8_known_vector() {
+        // CRC-8/ATM of "123456789" is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(&[]), 0x00);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = Frame::new(&[1, 2, 3, 0xFF, 0x00]).unwrap();
+        let bits = f.encode();
+        assert_eq!(bits.len(), f.encoded_len());
+        let back = Frame::decode(&bits).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn decode_with_leading_garbage() {
+        let f = Frame::new(&[0x42]).unwrap();
+        let mut bits = BitStream::from_str("0011010");
+        bits.extend_from(&f.encode());
+        let back = Frame::decode(&bits).unwrap();
+        assert_eq!(back.payload(), &[0x42]);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let f = Frame::new(&[0x10, 0x20]).unwrap();
+        let bits = f.encode();
+        // Flip one payload bit (after preamble+sync+len = 24 bits).
+        let mut raw: Vec<bool> = bits.as_slice().to_vec();
+        raw[26] = !raw[26];
+        let res = Frame::decode(&BitStream::from_bits(&raw));
+        assert!(matches!(res, Err(FrameError::BadCrc { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn missing_sync_reported() {
+        let bits = BitStream::prbs9(64, 0x1AA);
+        // Possible but vanishingly unlikely to contain AA7E; use a fixed
+        // pattern guaranteed not to.
+        let zeros = BitStream::from_bits(&[false; 64]);
+        assert_eq!(Frame::decode(&zeros), Err(FrameError::SyncNotFound));
+        let _ = bits;
+    }
+
+    #[test]
+    fn truncated_frame_is_bad_length() {
+        let f = Frame::new(&[9; 10]).unwrap();
+        let bits = f.encode();
+        let cut = BitStream::from_bits(&bits.as_slice()[..40]);
+        assert!(matches!(
+            Frame::decode(&cut),
+            Err(FrameError::BadLength { .. }) | Err(FrameError::SyncNotFound)
+        ));
+    }
+
+    #[test]
+    fn payload_size_limit() {
+        assert!(Frame::new(&[0; 64]).is_ok());
+        assert!(matches!(
+            Frame::new(&[0; 65]),
+            Err(FrameError::PayloadTooLarge { size: 65 })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_valid() {
+        let f = Frame::new(&[]).unwrap();
+        let back = Frame::decode(&f.encode()).unwrap();
+        assert!(back.payload().is_empty());
+    }
+
+    #[test]
+    fn airtime_at_paper_rates() {
+        let f = Frame::new(&[0; 14]).unwrap(); // e.g. a 14-bit ADC result + header
+        let t_down = f.airtime(crate::DOWNLINK_BPS);
+        let t_up = f.airtime(crate::UPLINK_BPS);
+        assert!(t_up > t_down, "uplink is slower");
+        assert!((t_down - 1.44e-3).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,60 @@
+//! ASK/LSK data links riding on the inductive power carrier.
+//!
+//! The paper's patch communicates bidirectionally through the same
+//! inductive link that delivers power:
+//!
+//! * **Downlink** (patch → implant): the 5 MHz power carrier is amplitude
+//!   modulated (ASK) at **100 kbps**; the modulation depth is set on the
+//!   patch by the R7/R8 divider and detected in the implant by the
+//!   switched-capacitor demodulator of Fig. 9.
+//! * **Uplink** (implant → patch): the implant short-circuits the input of
+//!   its rectifier (LSK, Fig. 8); the patch sees the reflected load change
+//!   as a step in the class-E supply current on its R9 shunt and slices it
+//!   against a threshold in the microcontroller — the real-time threshold
+//!   computation caps the uplink at **66.6 kbps**.
+//!
+//! This crate provides both links at the behavioural level — bitstreams,
+//! modulators, envelope/current detectors, clock recovery by mid-bit
+//! sampling, framing with CRC — and the bridge that renders an ASK
+//! bitstream into an [`analog::SourceFn`] envelope so the transistor-level
+//! PMU netlists can be driven with real modulated carriers.
+//!
+//! # Example
+//!
+//! ```
+//! use comms::bits::BitStream;
+//! use comms::ask::{AskModulator, AskDemodulator};
+//!
+//! let bits = BitStream::from_str("110100101011001111");
+//! let modem = AskModulator::ironic_downlink();
+//! let envelope = modem.envelope(&bits, 0.0);
+//! let rx = AskDemodulator::ironic_downlink();
+//! let decoded = rx.demodulate_envelope(&envelope, bits.len());
+//! assert_eq!(decoded, bits);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ask;
+pub mod ber;
+pub mod bits;
+pub mod coding;
+pub mod frame;
+pub mod lsk;
+pub mod noise;
+
+pub use ask::{AskDemodulator, AskModulator};
+pub use bits::BitStream;
+pub use frame::{Frame, FrameError};
+pub use lsk::{LskDetector, LskModulator};
+
+/// Downlink bit rate of the paper, bits per second.
+pub const DOWNLINK_BPS: f64 = 100.0e3;
+
+/// Uplink bit rate of the paper, bits per second (limited by the
+/// patch-side real-time threshold computation).
+pub const UPLINK_BPS: f64 = 66.6e3;
+
+/// Power carrier frequency, hertz.
+pub const CARRIER_HZ: f64 = 5.0e6;

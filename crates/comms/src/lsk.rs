@@ -1,0 +1,303 @@
+//! LSK uplink: implant-side load modulator timing and patch-side
+//! current detector.
+//!
+//! Bit convention (paper, Section IV-A): while the implant transmits a
+//! **low** logic value, switch M1 short-circuits the rectifier input (and
+//! M2 opens to protect Co); the patch then measures a **low** voltage
+//! drop on its R9 supply shunt. A high logic value leaves the rectifier
+//! connected and the patch sees a high drop.
+
+use analog::source::Pwl;
+use analog::Waveform;
+
+use crate::bits::BitStream;
+use crate::UPLINK_BPS;
+
+/// Implant-side LSK modulator: renders gate-control timelines for the
+/// rectifier's M1 (shorting switch) and M2 (series protection switch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LskModulator {
+    /// Bit rate in bits per second.
+    pub bit_rate: f64,
+    /// Gate logic swing in volts.
+    pub logic_high: f64,
+    /// Gate edge time in seconds.
+    pub edge_time: f64,
+}
+
+impl LskModulator {
+    /// The paper's 66.6 kbps uplink with 1.8 V logic.
+    pub fn ironic_uplink() -> Self {
+        LskModulator { bit_rate: UPLINK_BPS, logic_high: 1.8, edge_time: 50.0e-9 }
+    }
+
+    /// Bit period.
+    pub fn bit_period(&self) -> f64 {
+        1.0 / self.bit_rate
+    }
+
+    fn timeline(&self, bits: &BitStream, t_start: f64, active_on_zero: bool, idle_high: bool) -> Pwl {
+        let tb = self.bit_period();
+        let te = self.edge_time;
+        let lvl = |b: bool| {
+            let active = if active_on_zero { !b } else { b };
+            if active {
+                self.logic_high
+            } else {
+                0.0
+            }
+        };
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        let push = |t: f64, v: f64, pts: &mut Vec<(f64, f64)>| {
+            if pts.last().is_none_or(|&(pt, _)| t > pt) {
+                pts.push((t, v));
+            }
+        };
+        let inactive = if idle_high { self.logic_high } else { 0.0 };
+        push(0.0, inactive, &mut pts);
+        if t_start > 0.0 {
+            push(t_start, inactive, &mut pts);
+        }
+        for (i, b) in bits.iter().enumerate() {
+            let t0 = t_start + i as f64 * tb;
+            push(t0 + te, lvl(b), &mut pts);
+            push(t0 + tb - te, lvl(b), &mut pts);
+        }
+        push(t_start + bits.len() as f64 * tb + te, inactive, &mut pts);
+        Pwl::new(pts)
+    }
+
+    /// Gate drive of the shorting switch M1: high while transmitting a
+    /// low logic value (the paper's `Vup` convention inverted onto the
+    /// switch).
+    pub fn m1_gate(&self, bits: &BitStream, t_start: f64) -> Pwl {
+        self.timeline(bits, t_start, true, false)
+    }
+
+    /// Gate drive of the series switch M2: open (gate low) while M1
+    /// shorts, to keep the clamp diodes from discharging Co; closed
+    /// (gate high) at all other times, including outside the burst.
+    pub fn m2_gate(&self, bits: &BitStream, t_start: f64) -> Pwl {
+        self.timeline(bits, t_start, false, true)
+    }
+
+    /// The raw uplink data waveform `Vup` (high = logic 1).
+    pub fn vup(&self, bits: &BitStream, t_start: f64) -> Pwl {
+        self.timeline(bits, t_start, false, false)
+    }
+}
+
+/// Patch-side LSK detector: digitizes the voltage drop across the R9
+/// supply shunt and slices it against a real-time threshold in the
+/// microcontroller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LskDetector {
+    /// Expected bit rate in bits per second.
+    pub bit_rate: f64,
+    /// Per-bit processing time of the threshold check on the patch MCU.
+    pub processing_time: f64,
+    /// Sampling point within the bit period (0–1).
+    pub sample_phase: f64,
+    /// Inverted polarity: a *low* sense value decodes as logic 1.
+    ///
+    /// The sign of the reflected-load change depends on where the implant
+    /// shorts relative to its matching network: shorting the coil's load
+    /// directly raises the reflected resistance (primary current drops —
+    /// the paper's convention, `invert = false`), while shorting after a
+    /// tapped-capacitor match detunes the secondary and *lowers* the
+    /// reflection (primary current rises — `invert = true`). The patch
+    /// MCU calibrates this once per link.
+    pub invert: bool,
+}
+
+impl LskDetector {
+    /// The paper's detector: the MCU needs ≈ 15 µs per real-time
+    /// threshold decision, capping the uplink at 66.6 kbps even though
+    /// the downlink runs at 100 kbps.
+    pub fn ironic_uplink() -> Self {
+        LskDetector { bit_rate: UPLINK_BPS, processing_time: 15.0e-6, sample_phase: 0.6, invert: false }
+    }
+
+    /// Highest sustainable bit rate given the per-bit processing time.
+    pub fn max_bit_rate(&self) -> f64 {
+        1.0 / self.processing_time
+    }
+
+    /// True when the configured bit rate is sustainable in real time.
+    pub fn is_real_time_feasible(&self) -> bool {
+        self.bit_rate <= self.max_bit_rate() * (1.0 + 1e-9)
+    }
+
+    /// Bit period.
+    pub fn bit_period(&self) -> f64 {
+        1.0 / self.bit_rate
+    }
+
+    /// Slices a supply-current (or R9 voltage-drop) waveform into bits:
+    /// high drop ⇒ logic 1 (rectifier connected), low drop ⇒ logic 0.
+    ///
+    /// The threshold adapts to the observed extremes over the burst.
+    pub fn detect(&self, shunt: &Waveform, t_start: f64, n_bits: usize) -> BitStream {
+        let t_end = t_start + n_bits as f64 * self.bit_period();
+        let lo = shunt.min_in(t_start, t_end);
+        let hi = shunt.max_in(t_start, t_end);
+        let threshold = 0.5 * (lo + hi);
+        let tb = self.bit_period();
+        (0..n_bits)
+            .map(|i| {
+                let t = t_start + (i as f64 + self.sample_phase) * tb;
+                (shunt.value_at(t) > threshold) != self.invert
+            })
+            .collect()
+    }
+
+    /// Averaging variant of [`LskDetector::detect`]: integrates the shunt
+    /// waveform over the central 60 % of each bit before slicing, which is
+    /// what the MCU's multi-sample ADC burst approximates.
+    pub fn detect_averaging(&self, shunt: &Waveform, t_start: f64, n_bits: usize) -> BitStream {
+        let tb = self.bit_period();
+        let t_end = t_start + n_bits as f64 * tb;
+        let lo = shunt.min_in(t_start, t_end);
+        let hi = shunt.max_in(t_start, t_end);
+        let threshold = 0.5 * (lo + hi);
+        (0..n_bits)
+            .map(|i| {
+                let t0 = t_start + (i as f64 + 0.2) * tb;
+                let t1 = t_start + (i as f64 + 0.8) * tb;
+                (shunt.average_in(t0, t1) > threshold) != self.invert
+            })
+            .collect()
+    }
+}
+
+/// Renders an idealized patch-side supply-current waveform for a given
+/// uplink bitstream: `i_high` while the rectifier is connected (logic 1),
+/// `i_low` while shorted (logic 0), with exponential settling of time
+/// constant `tau` at each transition — the reflected-load step as the
+/// class-E tank re-settles.
+///
+/// # Panics
+///
+/// Panics unless `i_high > i_low` and `tau` is positive.
+#[allow(clippy::too_many_arguments)] // a plain parameter list reads better than a one-shot config struct here
+pub fn reflected_current(
+    bits: &BitStream,
+    bit_rate: f64,
+    t_start: f64,
+    t_stop: f64,
+    i_high: f64,
+    i_low: f64,
+    tau: f64,
+    samples: usize,
+) -> Waveform {
+    assert!(i_high > i_low, "connected-load current must exceed shorted");
+    assert!(tau > 0.0, "settling time constant must be positive");
+    let tb = 1.0 / bit_rate;
+    let target = |t: f64| -> f64 {
+        if t < t_start {
+            return i_high;
+        }
+        let idx = ((t - t_start) / tb) as usize;
+        match bits.get(idx) {
+            Some(true) | None => i_high,
+            Some(false) => i_low,
+        }
+    };
+    // First-order tracking of the target level.
+    let mut v = i_high;
+    let dt = (t_stop) / samples as f64;
+    let mut time = Vec::with_capacity(samples + 1);
+    let mut vals = Vec::with_capacity(samples + 1);
+    for k in 0..=samples {
+        let t = k as f64 * dt;
+        let tgt = target(t);
+        v += (tgt - v) * (1.0 - (-dt / tau).exp());
+        time.push(t);
+        vals.push(v);
+    }
+    Waveform::new(time, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_timelines_are_complementary() {
+        let m = LskModulator::ironic_uplink();
+        let bits = BitStream::from_str("1011001");
+        let m1 = m.m1_gate(&bits, 100.0e-6);
+        let m2 = m.m2_gate(&bits, 100.0e-6);
+        // Sample mid-bit: exactly one of the two gates is high.
+        for i in 0..bits.len() {
+            let t = 100.0e-6 + (i as f64 + 0.5) * m.bit_period();
+            let g1 = m1.eval(t) > 0.9;
+            let g2 = m2.eval(t) > 0.9;
+            assert_ne!(g1, g2, "bit {i}: M1 and M2 must be complementary");
+            assert_eq!(g2, bits.get(i).unwrap(), "M2 follows the data");
+        }
+    }
+
+    #[test]
+    fn uplink_rate_limited_by_processing() {
+        let d = LskDetector::ironic_uplink();
+        assert!(d.is_real_time_feasible());
+        assert!((d.max_bit_rate() - 66.7e3).abs() < 1.0e3);
+        // The downlink rate would NOT be sustainable by the same MCU loop.
+        let too_fast = LskDetector { bit_rate: 100.0e3, ..d };
+        assert!(!too_fast.is_real_time_feasible());
+    }
+
+    #[test]
+    fn detector_recovers_bits_from_reflected_current() {
+        let bits = BitStream::prbs9(48, 0x111);
+        let d = LskDetector::ironic_uplink();
+        let t_start = 50.0e-6;
+        let t_stop = t_start + 49.0 * d.bit_period() + 50e-6;
+        let shunt = reflected_current(
+            &bits,
+            d.bit_rate,
+            t_start,
+            t_stop,
+            20.0e-3,
+            8.0e-3,
+            1.0e-6,
+            200_000,
+        );
+        let decoded = d.detect(&shunt, t_start, bits.len());
+        assert_eq!(decoded, bits);
+        let decoded_avg = d.detect_averaging(&shunt, t_start, bits.len());
+        assert_eq!(decoded_avg, bits);
+    }
+
+    #[test]
+    fn slow_settling_breaks_fast_signaling() {
+        // With a tank settling constant comparable to the bit period the
+        // detector starts failing — why LSK rates stay modest.
+        let bits = BitStream::from_str("1010101010101010");
+        let d = LskDetector { bit_rate: 400.0e3, processing_time: 1e-6, sample_phase: 0.6, invert: false };
+        let shunt = reflected_current(
+            &bits,
+            d.bit_rate,
+            10.0e-6,
+            100.0e-6,
+            20.0e-3,
+            8.0e-3,
+            4.0e-6,
+            100_000,
+        );
+        let decoded = d.detect(&shunt, 10.0e-6, bits.len());
+        assert!(decoded.hamming_distance(&bits) > 0, "fast signaling should degrade");
+    }
+
+    #[test]
+    fn vup_matches_data() {
+        let m = LskModulator::ironic_uplink();
+        let bits = BitStream::from_str("101");
+        let vup = m.vup(&bits, 0.0);
+        let tb = m.bit_period();
+        assert!(vup.eval(0.5 * tb) > 1.7);
+        assert!(vup.eval(1.5 * tb) < 0.1);
+        assert!(vup.eval(2.5 * tb) > 1.7);
+    }
+}

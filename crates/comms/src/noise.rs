@@ -1,0 +1,80 @@
+//! Noise injection for link robustness studies.
+
+use analog::Waveform;
+use rand::Rng;
+
+/// Draws one sample from a zero-mean unit-variance Gaussian using the
+/// Box–Muller transform (implemented here; `rand` offers only uniform
+/// draws without `rand_distr`).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Returns a copy of `w` with additive white Gaussian noise of standard
+/// deviation `sigma` on every sample.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn add_awgn<R: Rng + ?Sized>(w: &Waveform, sigma: f64, rng: &mut R) -> Waveform {
+    assert!(sigma >= 0.0, "noise sigma cannot be negative");
+    w.map(|v| v + sigma * gaussian(rng))
+}
+
+/// Signal-to-noise ratio in dB for a signal of RMS `signal_rms` against
+/// noise of standard deviation `sigma`.
+///
+/// # Panics
+///
+/// Panics unless both arguments are positive.
+pub fn snr_db(signal_rms: f64, sigma: f64) -> f64 {
+    assert!(signal_rms > 0.0 && sigma > 0.0, "need positive rms and sigma");
+    20.0 * (signal_rms / sigma).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn awgn_perturbs_with_right_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Waveform::from_fn(0.0, 1.0, 10_000, |_| 0.0);
+        let noisy = add_awgn(&w, 0.5, &mut rng);
+        let rms = noisy.rms_in(0.0, 1.0);
+        assert!((rms - 0.5).abs() < 0.03, "rms = {rms}");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Waveform::from_fn(0.0, 1.0, 100, |t| t);
+        let same = add_awgn(&w, 0.0, &mut rng);
+        assert_eq!(w, same);
+    }
+
+    #[test]
+    fn snr_formula() {
+        assert!((snr_db(1.0, 0.1) - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,314 @@
+//! Monte Carlo process-variation study of the power-management module.
+//!
+//! The paper's future work is "circuit characterization by means of
+//! measurements" — i.e. finding out whether fabricated parts still meet
+//! the Fig. 11 claims under process variation. This module answers the
+//! simulated version of that question: components are perturbed with
+//! realistic 0.18 µm-class tolerances (threshold voltage σ, diode
+//! saturation-current spread, passive tolerances, link-gain variation)
+//! and the three Fig. 11 pass criteria are re-evaluated per sample,
+//! yielding a parametric-yield estimate.
+//!
+//! The per-trial model is the envelope-level chain (behavioural
+//! rectifier + clocked demodulator), so thousands of trials run in
+//! milliseconds; the transistor-level scenario validates the nominal
+//! point (see [`crate::scenario`]).
+
+use comms::bits::BitStream;
+use comms::noise::gaussian;
+use pmu::demodulator::ClockedDemodulator;
+use pmu::rectifier::BehavioralRectifier;
+use pmu::V_O_MIN;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One-sigma variations applied per Monte Carlo sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Relative σ of each diode's forward drop (process + temperature).
+    pub diode_drop_sigma: f64,
+    /// Absolute σ of the inverter logic threshold, volts (tracks ΔVTO).
+    pub threshold_sigma: f64,
+    /// Relative tolerance (uniform ±) of capacitors.
+    pub capacitor_tolerance: f64,
+    /// Relative tolerance (uniform ±) of the effective source resistance.
+    pub resistance_tolerance: f64,
+    /// Relative σ of the received carrier amplitude (link-gain spread:
+    /// coil geometry, alignment, matching drift).
+    pub amplitude_sigma: f64,
+}
+
+impl VariationModel {
+    /// Typical mature-process 0.18 µm corner widths.
+    pub fn typical_018um() -> Self {
+        VariationModel {
+            diode_drop_sigma: 0.05,
+            threshold_sigma: 0.030,
+            capacitor_tolerance: 0.10,
+            resistance_tolerance: 0.10,
+            amplitude_sigma: 0.05,
+        }
+    }
+
+    /// Every width scaled by `factor` (for sensitivity sweeps).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        VariationModel {
+            diode_drop_sigma: self.diode_drop_sigma * factor,
+            threshold_sigma: self.threshold_sigma * factor,
+            capacitor_tolerance: self.capacitor_tolerance * factor,
+            resistance_tolerance: self.resistance_tolerance * factor,
+            amplitude_sigma: self.amplitude_sigma * factor,
+        }
+    }
+
+    /// No variation (every trial is the nominal design).
+    pub fn none() -> Self {
+        VariationModel {
+            diode_drop_sigma: 0.0,
+            threshold_sigma: 0.0,
+            capacitor_tolerance: 0.0,
+            resistance_tolerance: 0.0,
+            amplitude_sigma: 0.0,
+        }
+    }
+}
+
+/// Outcome of one Monte Carlo trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// Time for Co to reach 2.75 V (∞ when it never did).
+    pub t_charge: f64,
+    /// Worst Vo through the communication phases.
+    pub vo_min: f64,
+    /// Downlink bit errors out of eighteen.
+    pub downlink_errors: usize,
+    /// All three Fig. 11 criteria met.
+    pub pass: bool,
+}
+
+/// Aggregate yield report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials passing all criteria.
+    pub passing: usize,
+    /// Trials that charged in time.
+    pub charge_ok: usize,
+    /// Trials with zero downlink bit errors.
+    pub downlink_ok: usize,
+    /// Trials keeping Vo ≥ 2.1 V.
+    pub vo_ok: usize,
+    /// Mean of the per-trial worst Vo.
+    pub vo_min_mean: f64,
+    /// Smallest worst-Vo seen.
+    pub vo_min_worst: f64,
+}
+
+impl YieldReport {
+    /// Parametric yield in [0, 1].
+    pub fn yield_fraction(&self) -> f64 {
+        self.passing as f64 / self.trials.max(1) as f64
+    }
+}
+
+/// The Monte Carlo study: nominal operating point plus a variation model.
+#[derive(Debug, Clone)]
+pub struct MonteCarloStudy {
+    /// Nominal rectifier.
+    pub rectifier: BehavioralRectifier,
+    /// Nominal demodulator.
+    pub demodulator: ClockedDemodulator,
+    /// Nominal idle carrier amplitude at the rectifier input.
+    pub idle_amplitude: f64,
+    /// Low-power load current during communication.
+    pub i_load: f64,
+    /// Downlink pattern evaluated per trial.
+    pub downlink_bits: BitStream,
+    /// Charging budget before the burst (the paper's 300 µs).
+    pub charge_budget: f64,
+    /// Variations applied.
+    pub variation: VariationModel,
+    /// RNG seed (same seed ⇒ identical report).
+    pub seed: u64,
+}
+
+impl MonteCarloStudy {
+    /// The Fig. 11 operating point under typical 0.18 µm variation.
+    pub fn ironic() -> Self {
+        MonteCarloStudy {
+            rectifier: BehavioralRectifier::ironic(),
+            demodulator: ClockedDemodulator::ironic(),
+            idle_amplitude: 3.9,
+            i_load: 355.0e-6,
+            downlink_bits: BitStream::fig11_pattern(),
+            charge_budget: 300.0e-6,
+            variation: VariationModel::typical_018um(),
+            seed: 0x1201_2013,
+        }
+    }
+
+    /// Runs `trials` samples and aggregates the yield.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn run(&self, trials: usize) -> YieldReport {
+        assert!(trials > 0, "need at least one trial");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut report = YieldReport {
+            trials,
+            passing: 0,
+            charge_ok: 0,
+            downlink_ok: 0,
+            vo_ok: 0,
+            vo_min_mean: 0.0,
+            vo_min_worst: f64::INFINITY,
+        };
+        for _ in 0..trials {
+            let outcome = self.trial(&mut rng);
+            if outcome.t_charge.is_finite() {
+                report.charge_ok += 1;
+            }
+            if outcome.downlink_errors == 0 {
+                report.downlink_ok += 1;
+            }
+            if outcome.vo_min >= V_O_MIN {
+                report.vo_ok += 1;
+            }
+            if outcome.pass {
+                report.passing += 1;
+            }
+            report.vo_min_mean += outcome.vo_min;
+            report.vo_min_worst = report.vo_min_worst.min(outcome.vo_min);
+        }
+        report.vo_min_mean /= trials as f64;
+        report
+    }
+
+    /// Runs a single perturbed trial.
+    pub fn trial(&self, rng: &mut StdRng) -> TrialOutcome {
+        let v = &self.variation;
+        let uniform = |rng: &mut StdRng, tol: f64| 1.0 + tol * (2.0 * rand::Rng::random::<f64>(rng) - 1.0);
+        let lognorm = |rng: &mut StdRng, sigma: f64| (sigma * gaussian(rng)).exp();
+
+        // Perturbed components.
+        let mut rect = self.rectifier;
+        rect.diode_drop *= lognorm(rng, v.diode_drop_sigma);
+        rect.source_resistance *= uniform(rng, v.resistance_tolerance);
+        rect.c_out *= uniform(rng, v.capacitor_tolerance);
+        let mut demod = self.demodulator;
+        demod.diode_shift *= lognorm(rng, v.diode_drop_sigma);
+        demod.inverter_threshold += v.threshold_sigma * gaussian(rng);
+        let amp = self.idle_amplitude * lognorm(rng, v.amplitude_sigma);
+
+        // Phase 1: charge to 2.75 V within the budget.
+        let t_charge = rect
+            .charge_time(amp, self.i_load, 0.0, 2.75, self.charge_budget)
+            .unwrap_or(f64::INFINITY);
+
+        // Phase 2: the 18-bit downlink — envelope levels from the 5/3/1 mW
+        // structure, Vo trajectory under the communication load.
+        let hi = amp * (3.0f64 / 5.0).sqrt();
+        let lo = amp * (1.0f64 / 5.0).sqrt();
+        let tb = 10.0e-6;
+        let mut vo = if t_charge.is_finite() { 2.75 } else { 0.0 };
+        let mut vo_min = vo;
+        let mut errors = 0usize;
+        for bit in self.downlink_bits.iter() {
+            let level = if bit { hi } else { lo };
+            // The demodulator samples the level-shifted envelope.
+            let vc2 = (level - demod.diode_shift).max(0.0);
+            if (vc2 > demod.inverter_threshold) != bit {
+                errors += 1;
+            }
+            // Vo evolves over the bit period.
+            let steps = 20;
+            for _ in 0..steps {
+                vo = rect.step(vo, tb / steps as f64, level, self.i_load);
+            }
+            vo_min = vo_min.min(vo);
+        }
+
+        let pass = t_charge.is_finite() && errors == 0 && vo_min >= V_O_MIN;
+        TrialOutcome { t_charge, vo_min, downlink_errors: errors, pass }
+    }
+}
+
+impl Default for MonteCarloStudy {
+    fn default() -> Self {
+        MonteCarloStudy::ironic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_has_full_yield_without_variation() {
+        let mut study = MonteCarloStudy::ironic();
+        study.variation = VariationModel::none();
+        let report = study.run(50);
+        assert_eq!(report.passing, 50, "nominal point must pass: {report:?}");
+        assert!(report.vo_min_mean > V_O_MIN);
+    }
+
+    #[test]
+    fn typical_variation_keeps_high_yield() {
+        let study = MonteCarloStudy::ironic();
+        let report = study.run(500);
+        assert!(
+            report.yield_fraction() > 0.9,
+            "design should be robust at typical corners: {}",
+            report.yield_fraction()
+        );
+    }
+
+    #[test]
+    fn extreme_variation_collapses_yield() {
+        let mut study = MonteCarloStudy::ironic();
+        study.variation = VariationModel::typical_018um().scaled(6.0);
+        let report = study.run(500);
+        assert!(
+            report.yield_fraction() < 0.7,
+            "6σ-wide corners must hurt: {}",
+            report.yield_fraction()
+        );
+    }
+
+    #[test]
+    fn yield_monotone_in_variation_scale() {
+        let mut yields = Vec::new();
+        for scale in [0.5, 2.0, 8.0] {
+            let mut study = MonteCarloStudy::ironic();
+            study.variation = VariationModel::typical_018um().scaled(scale);
+            yields.push(study.run(400).yield_fraction());
+        }
+        assert!(yields[0] >= yields[1] && yields[1] >= yields[2], "{yields:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let study = MonteCarloStudy::ironic();
+        assert_eq!(study.run(100), study.run(100));
+        let mut other = MonteCarloStudy::ironic();
+        other.seed += 1;
+        // Different seed gives (almost surely) different aggregates.
+        assert_ne!(study.run(100).vo_min_worst, other.run(100).vo_min_worst);
+    }
+
+    #[test]
+    fn failure_mode_attribution() {
+        // Huge threshold variation should break the downlink first.
+        let mut study = MonteCarloStudy::ironic();
+        study.variation = VariationModel {
+            threshold_sigma: 0.5,
+            ..VariationModel::none()
+        };
+        let report = study.run(300);
+        assert!(report.downlink_ok < report.trials, "thresholds must miss");
+        assert_eq!(report.charge_ok, report.trials, "charging unaffected");
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A simple aligned table with a title, headers and string rows.
+///
+/// ```
+/// use implant_core::report::Table;
+/// let mut t = Table::new("battery life", &["state", "hours"]);
+/// t.row(&["idle", "10.0"]);
+/// t.row(&["bluetooth", "3.5"]);
+/// let s = t.to_string();
+/// assert!(s.contains("battery life"));
+/// assert!(s.contains("bluetooth"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a number in engineering notation with the given unit, e.g.
+/// `eng(1.5e-3, "W") == "1.5 mW"`.
+pub fn eng(value: f64, unit: &str) -> String {
+    analog::units::si_format(value, unit)
+}
+
+/// Formats a paper-vs-measured comparison cell.
+pub fn compare(paper: f64, measured: f64, unit: &str) -> String {
+    format!("{} vs {}", eng(paper, unit), eng(measured, unit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["xxxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("a    "));
+        assert!(lines.len() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(15.0e-3, "W"), "15 mW");
+        assert_eq!(eng(5.0e6, "Hz"), "5 MHz");
+    }
+
+    #[test]
+    fn compare_cell() {
+        let s = compare(15.0e-3, 14.2e-3, "W");
+        assert!(s.contains("15 mW") && s.contains("14.2 mW"));
+    }
+}

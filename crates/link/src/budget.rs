@@ -1,0 +1,207 @@
+//! End-to-end received-power budget versus distance, misalignment and
+//! tissue (paper Section III-B).
+//!
+//! The paper anchors the link at two measured points: **15 mW at 6 mm**
+//! (air) and **1.17 mW at 17 mm**, with a 17 mm slice of sirloin behaving
+//! like air. The budget model combines the geometric coupling `k(d)` from
+//! [`coils`], the resonant-link transfer of [`crate::resonant`], and the
+//! tissue attenuation, with the transmitter coil current calibrated once
+//! at the 6 mm anchor — exactly how a bench engineer would fit the one
+//! free parameter (PA drive) to a power meter reading.
+
+use coils::mutual::CoilPair;
+use coils::tissue::TissueStack;
+
+use crate::resonant::ResonantLink;
+
+/// The assembled power link with a calibrated transmitter drive.
+#[derive(Debug, Clone)]
+pub struct PowerBudget {
+    pair: CoilPair,
+    link: ResonantLink,
+    tissue: TissueStack,
+    i_tx_rms: f64,
+    r_load: f64,
+}
+
+impl PowerBudget {
+    /// Builds a budget with an explicit transmitter coil current (RMS)
+    /// and secondary series load.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the drive and load are positive.
+    pub fn new(pair: CoilPair, frequency: f64, tissue: TissueStack, i_tx_rms: f64, r_load: f64) -> Self {
+        assert!(i_tx_rms > 0.0 && r_load > 0.0, "drive and load must be positive");
+        let link = ResonantLink::from_pair(&pair, frequency);
+        PowerBudget { pair, link, tissue, i_tx_rms, r_load }
+    }
+
+    /// The paper's link in air, calibrated to deliver 15 mW at 6 mm into
+    /// the optimally matched load.
+    pub fn ironic_air() -> Self {
+        let pair = CoilPair::ironic();
+        let link = ResonantLink::from_pair(&pair, crate::CARRIER_HZ);
+        let k6 = pair.coupling_at(6.0e-3);
+        let r_load = link.optimal_load(k6);
+        let mut budget = PowerBudget {
+            pair,
+            link,
+            tissue: TissueStack::new(),
+            i_tx_rms: 0.1,
+            r_load,
+        };
+        budget.calibrate(6.0e-3, crate::P_RX_6MM);
+        budget
+    }
+
+    /// Replaces the tissue stack between the coils.
+    #[must_use]
+    pub fn with_tissue(mut self, tissue: TissueStack) -> Self {
+        self.tissue = tissue;
+        self
+    }
+
+    /// The coil pair.
+    pub fn pair(&self) -> &CoilPair {
+        &self.pair
+    }
+
+    /// The resonant-link parameters.
+    pub fn link(&self) -> &ResonantLink {
+        &self.link
+    }
+
+    /// Calibrated transmitter coil current (RMS).
+    pub fn i_tx_rms(&self) -> f64 {
+        self.i_tx_rms
+    }
+
+    /// Scales the transmitter current so that [`PowerBudget::received_power`]
+    /// equals `p_target` at `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn calibrate(&mut self, distance: f64, p_target: f64) {
+        assert!(distance > 0.0 && p_target > 0.0, "need positive anchor point");
+        let p_now = self.received_power(distance);
+        self.i_tx_rms *= (p_target / p_now).sqrt();
+    }
+
+    /// Received power at coaxial separation `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive.
+    pub fn received_power(&self, distance: f64) -> f64 {
+        let k = self.pair.coupling_at(distance);
+        let p = self.link.received_power(k, self.i_tx_rms, self.r_load);
+        p * self.tissue.power_attenuation(self.link.frequency)
+    }
+
+    /// Received power with lateral misalignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive or `lateral` negative.
+    pub fn received_power_misaligned(&self, distance: f64, lateral: f64) -> f64 {
+        let k = self.pair.coupling_misaligned(distance, lateral);
+        if k <= 0.0 {
+            return 0.0;
+        }
+        let p = self.link.received_power(k, self.i_tx_rms, self.r_load);
+        p * self.tissue.power_attenuation(self.link.frequency)
+    }
+
+    /// Link efficiency upper bound at `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive.
+    pub fn efficiency_bound(&self, distance: f64) -> f64 {
+        self.link.max_efficiency(self.pair.coupling_at(distance))
+    }
+
+    /// `(distance, received_power)` series over `[d0, d1]` in `n` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < d0 < d1` and `n ≥ 2`.
+    pub fn distance_sweep(&self, d0: f64, d1: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(d0 > 0.0 && d1 > d0 && n >= 2, "bad sweep range");
+        (0..n)
+            .map(|i| {
+                let d = d0 + (d1 - d0) * i as f64 / (n - 1) as f64;
+                (d, self.received_power(d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coils::tissue::TissueStack;
+
+    #[test]
+    fn calibrated_anchor_holds() {
+        let b = PowerBudget::ironic_air();
+        let p6 = b.received_power(6.0e-3);
+        assert!((p6 - crate::P_RX_6MM).abs() / crate::P_RX_6MM < 1e-6, "p6 = {p6}");
+    }
+
+    #[test]
+    fn power_decreases_monotonically_with_distance() {
+        let b = PowerBudget::ironic_air();
+        let sweep = b.distance_sweep(2.0e-3, 30.0e-3, 15);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 < w[0].1, "power must fall with distance: {w:?}");
+        }
+    }
+
+    #[test]
+    fn power_at_17mm_is_milliwatt_scale() {
+        // Paper: 1.17 mW at 17 mm. The filament model should land within
+        // a small factor — same order, steep decade-per-decade falloff.
+        let b = PowerBudget::ironic_air();
+        let p17 = b.received_power(17.0e-3);
+        assert!(
+            (0.2e-3..6.0e-3).contains(&p17),
+            "p(17 mm) = {p17} should be ~1 mW scale"
+        );
+        assert!(p17 < b.received_power(6.0e-3) / 4.0);
+    }
+
+    #[test]
+    fn tissue_behaves_like_air_at_5mhz() {
+        let air = PowerBudget::ironic_air();
+        let meat = PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm());
+        let ratio = meat.received_power(17.0e-3) / air.received_power(17.0e-3);
+        assert!(ratio > 0.85, "sirloin ≈ air: ratio {ratio}");
+    }
+
+    #[test]
+    fn misalignment_reduces_power() {
+        let b = PowerBudget::ironic_air();
+        let centered = b.received_power_misaligned(6.0e-3, 0.0);
+        let off = b.received_power_misaligned(6.0e-3, 10.0e-3);
+        assert!(off < centered);
+    }
+
+    #[test]
+    fn efficiency_bound_reasonable() {
+        let b = PowerBudget::ironic_air();
+        let eta6 = b.efficiency_bound(6.0e-3);
+        assert!(eta6 > 0.01 && eta6 < 1.0, "η(6mm) = {eta6}");
+        assert!(b.efficiency_bound(20.0e-3) < eta6);
+    }
+
+    #[test]
+    fn recalibration_scales_quadratically() {
+        let mut b = PowerBudget::ironic_air();
+        let i_before = b.i_tx_rms();
+        b.calibrate(6.0e-3, 4.0 * crate::P_RX_6MM);
+        assert!((b.i_tx_rms() / i_before - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! Class-E power amplifier synthesis and simulation.
+//!
+//! The patch drives its transmitting inductor with a class-E stage — the
+//! standard choice for inductive links because the switch turns on at
+//! zero voltage (theoretically 100 % efficiency). Component values follow
+//! N. Sokal, *"Class-E RF Power Amplifiers"*, QEX Jan/Feb 2001 (the
+//! paper's reference \[26\]), including the finite-Q correction
+//! polynomials.
+
+use analog::{Circuit, NodeId, SourceFn, SwitchModel, TransientSpec};
+use analog::SimError;
+
+/// Input specification of a class-E design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEDesign {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Target output power, watts.
+    pub p_out: f64,
+    /// Switching frequency, hertz.
+    pub frequency: f64,
+    /// Loaded quality factor of the series output network.
+    pub q_loaded: f64,
+}
+
+impl ClassEDesign {
+    /// The IronIC patch's operating point: 3.7 V Li-Po supply, enough RF
+    /// power to deliver 15 mW to the implant through the loosely coupled
+    /// link, 5 MHz, Q = 7.
+    pub fn ironic() -> Self {
+        ClassEDesign { vdd: 3.7, p_out: 250.0e-3, frequency: 5.0e6, q_loaded: 7.0 }
+    }
+
+    /// Synthesizes component values (Sokal 2001, eqs. 6–10).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all specification fields are positive and
+    /// `q_loaded > 1.7879` (below which the series-capacitor equation
+    /// has no solution).
+    pub fn synthesize(&self) -> ClassEAmplifier {
+        assert!(
+            self.vdd > 0.0 && self.p_out > 0.0 && self.frequency > 0.0,
+            "class-E spec fields must be positive"
+        );
+        let q = self.q_loaded;
+        assert!(q > 1.7879, "loaded Q must exceed 1.7879 for a realizable design");
+        let f = self.frequency;
+        let omega = std::f64::consts::TAU * f;
+        // Optimal load resistance.
+        let r = 0.576801 * self.vdd * self.vdd / self.p_out
+            * (1.001245 - 0.451759 / q - 0.402444 / (q * q));
+        // Shunt capacitance at the switch.
+        let c_shunt = 0.18366 / (omega * r) * (0.99866 + 0.91424 / q - 1.03175 / (q * q));
+        // Series (DC-blocking / tuning) capacitance.
+        let c_series = 1.0 / (omega * r) * (1.0 / (q - 0.104823))
+            * (1.00121 + 1.01468 / (q - 1.7879));
+        // Series inductance from the loaded Q.
+        let l_series = q * r / omega;
+        // RF choke: ≥ 10× the series reactance.
+        let l_choke = 10.0 * l_series;
+        ClassEAmplifier {
+            design: *self,
+            r_load: r,
+            c_shunt,
+            c_series,
+            l_series,
+            l_choke,
+        }
+    }
+}
+
+/// A synthesized class-E stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEAmplifier {
+    /// The input specification.
+    pub design: ClassEDesign,
+    /// Optimal load resistance, ohms.
+    pub r_load: f64,
+    /// Switch shunt capacitance (the paper's C3), farads.
+    pub c_shunt: f64,
+    /// Series tuning capacitance (the paper's C4), farads.
+    pub c_series: f64,
+    /// Series inductance of the output network (the transmitting coil
+    /// plus any tuning inductance), henries.
+    pub l_series: f64,
+    /// Supply RF choke, henries.
+    pub l_choke: f64,
+}
+
+/// Node handles of a built class-E stage.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassENodes {
+    /// Switch drain node.
+    pub drain: NodeId,
+    /// Output node across the load resistance.
+    pub output: NodeId,
+}
+
+impl ClassEAmplifier {
+    /// Ideal peak switch voltage, ≈ 3.562·Vdd.
+    pub fn peak_switch_voltage(&self) -> f64 {
+        3.562 * self.design.vdd
+    }
+
+    /// DC supply current at the design point, `P/Vdd`.
+    pub fn supply_current(&self) -> f64 {
+        self.design.p_out / self.design.vdd
+    }
+
+    /// Builds the stage into a fresh circuit: supply, choke, ideal-switch
+    /// transistor driven at 50 % duty, shunt/series network and the load.
+    /// Returns the circuit and node handles.
+    pub fn build(&self) -> (Circuit, ClassENodes) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let drain = ckt.node("drain");
+        let series = ckt.node("series");
+        let output = ckt.node("output");
+        let gate = ckt.node("gate");
+        let d = &self.design;
+        ckt.voltage_source("VDD", vdd, Circuit::GND, SourceFn::dc(d.vdd));
+        ckt.voltage_source("VGATE", gate, Circuit::GND, SourceFn::square(0.0, 3.0, d.frequency));
+        ckt.inductor("Lchoke", vdd, drain, self.l_choke);
+        ckt.switch(
+            "M2",
+            drain,
+            Circuit::GND,
+            gate,
+            Circuit::GND,
+            SwitchModel { von: 2.0, voff: 1.0, ron: 0.3, roff: 1.0e7 },
+        );
+        ckt.capacitor("C3", drain, Circuit::GND, self.c_shunt);
+        ckt.capacitor("C4", drain, series, self.c_series);
+        ckt.inductor("L2", series, output, self.l_series);
+        ckt.resistor("Rload", output, Circuit::GND, self.r_load);
+        (ckt, ClassENodes { drain, output })
+    }
+
+    /// Simulates `cycles` carrier cycles and measures the stage:
+    /// returns [`ClassEMetrics`] with the drain efficiency, ZVS residual
+    /// and waveform extremes, using the last 20 % of the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis failures.
+    pub fn simulate(&self, cycles: usize) -> Result<ClassEMetrics, SimError> {
+        let d = &self.design;
+        let period = 1.0 / d.frequency;
+        let t_stop = cycles as f64 * period;
+        let (ckt, _) = self.build();
+        let spec = TransientSpec::new(t_stop).with_max_step(period / 60.0);
+        let res = ckt.transient(&spec)?;
+        let drain = res.trace("drain").expect("drain traced");
+        let out = res.trace("output").expect("output traced");
+        let i_vdd = res.current_trace("VDD").expect("supply current traced");
+        let (t0, t1) = (0.8 * t_stop, t_stop);
+        // Delivered power: v²/R averaged over the window.
+        let p_out = out.map(|v| v * v / self.r_load).average_in(t0, t1);
+        // Supply power: Vdd × average draw (branch current is p→n, so
+        // delivery into the circuit is −i).
+        let p_in = d.vdd * i_vdd.map(|i| -i).average_in(t0, t1);
+        // ZVS residual: drain voltage at the switch-on instants (gate
+        // rising edges at t = k·T) relative to the peak.
+        let peak = drain.max_in(t0, t1);
+        let mut zvs_worst: f64 = 0.0;
+        let mut k = (t0 / period).ceil() as usize;
+        while (k as f64) * period < t1 {
+            let v_on = drain.value_at(k as f64 * period);
+            zvs_worst = zvs_worst.max(v_on / peak);
+            k += 1;
+        }
+        Ok(ClassEMetrics {
+            p_out,
+            p_in,
+            efficiency: p_out / p_in,
+            drain_peak: peak,
+            zvs_residual: zvs_worst,
+        })
+    }
+}
+
+/// Measured figures of a simulated class-E stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEMetrics {
+    /// Average power delivered to the load, watts.
+    pub p_out: f64,
+    /// Average power drawn from the supply, watts.
+    pub p_in: f64,
+    /// Drain efficiency `p_out/p_in`.
+    pub efficiency: f64,
+    /// Peak drain voltage, volts.
+    pub drain_peak: f64,
+    /// Worst drain voltage at switch turn-on, as a fraction of the peak
+    /// (0 = perfect zero-voltage switching).
+    pub zvs_residual: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_produces_positive_components() {
+        let amp = ClassEDesign::ironic().synthesize();
+        assert!(amp.r_load > 0.0);
+        assert!(amp.c_shunt > 0.0 && amp.c_series > 0.0);
+        assert!(amp.l_series > 0.0 && amp.l_choke > amp.l_series);
+    }
+
+    #[test]
+    fn load_scales_inversely_with_power() {
+        let lo = ClassEDesign { p_out: 0.1, ..ClassEDesign::ironic() }.synthesize();
+        let hi = ClassEDesign { p_out: 0.4, ..ClassEDesign::ironic() }.synthesize();
+        let ratio = lo.r_load / hi.r_load;
+        assert!((ratio - 4.0).abs() < 1e-9, "R ∝ 1/P: {ratio}");
+    }
+
+    #[test]
+    fn infinite_q_limit_matches_classic_coefficients() {
+        // As Q → ∞ the classic results hold: R = 0.5768·V²/P and
+        // C1 = 0.1836/(ωR).
+        let d = ClassEDesign { vdd: 1.0, p_out: 1.0, frequency: 1.0e6, q_loaded: 1.0e6 };
+        let amp = d.synthesize();
+        assert!((amp.r_load - 0.576801 * 1.001245).abs() < 1e-3);
+        let omega = std::f64::consts::TAU * 1.0e6;
+        assert!((amp.c_shunt * omega * amp.r_load - 0.18366 * 0.99866).abs() < 1e-3);
+    }
+
+    #[test]
+    fn simulated_stage_is_efficient_and_near_zvs() {
+        let amp = ClassEDesign::ironic().synthesize();
+        let m = amp.simulate(60).unwrap();
+        assert!(
+            m.efficiency > 0.80 && m.efficiency <= 1.02,
+            "class-E efficiency {:.3} should approach 1",
+            m.efficiency
+        );
+        assert!(
+            m.zvs_residual < 0.25,
+            "switch-on drain residual {:.3} of peak breaks ZVS",
+            m.zvs_residual
+        );
+        // Peak drain voltage near the theoretical 3.56·Vdd.
+        let expect = amp.peak_switch_voltage();
+        assert!(
+            (m.drain_peak - expect).abs() / expect < 0.35,
+            "drain peak {} vs ideal {}",
+            m.drain_peak,
+            expect
+        );
+    }
+
+    #[test]
+    fn delivered_power_near_design_target() {
+        let amp = ClassEDesign::ironic().synthesize();
+        let m = amp.simulate(60).unwrap();
+        let err = (m.p_out - amp.design.p_out).abs() / amp.design.p_out;
+        assert!(err < 0.35, "P_out {} vs target {}", m.p_out, amp.design.p_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "loaded Q must exceed")]
+    fn rejects_too_low_q() {
+        let _ = ClassEDesign { q_loaded: 1.5, ..ClassEDesign::ironic() }.synthesize();
+    }
+}

@@ -1,0 +1,188 @@
+//! Carrier-frequency design space: why the paper runs at 5 MHz.
+//!
+//! The carrier frequency of a transcutaneous link trades three effects:
+//!
+//! * coil quality factors **rise** with frequency (Q = ωL/R, with skin
+//!   effect eroding the gain as √f) — favouring higher f;
+//! * tissue attenuation **worsens** with frequency (skin depth ∝ 1/√f)
+//!   — favouring lower f;
+//! * the coils' self-resonance caps usable frequency (practice: stay
+//!   below about a third of the SRF) — a hard upper limit for
+//!   multi-layer implant coils.
+//!
+//! The product `η(k, Q1(f), Q2(f)) · A²(f)` peaks in the low-MHz decade
+//! for millimetre-scale implanted coils — exactly where the paper (and
+//! most biomedical links) operate.
+
+use coils::mutual::CoilPair;
+use coils::tissue::TissueStack;
+
+use crate::resonant::ResonantLink;
+
+/// One evaluated frequency point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyPoint {
+    /// Carrier frequency, hertz.
+    pub frequency: f64,
+    /// Transmitter coil Q.
+    pub q1: f64,
+    /// Receiver coil Q.
+    pub q2: f64,
+    /// Maximum link efficiency at the study's coupling.
+    pub efficiency: f64,
+    /// Tissue power attenuation (1 = transparent).
+    pub attenuation: f64,
+    /// Below a third of the receiving coil's self-resonance.
+    pub usable: bool,
+    /// The figure of merit `efficiency · attenuation` (0 when unusable).
+    pub figure: f64,
+}
+
+/// Frequency design-space study for a coil pair through tissue.
+#[derive(Debug, Clone)]
+pub struct FrequencyStudy {
+    pair: CoilPair,
+    tissue: TissueStack,
+    distance: f64,
+    srf_limit: f64,
+}
+
+impl FrequencyStudy {
+    /// Builds a study at the given coil separation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not positive.
+    pub fn new(pair: CoilPair, tissue: TissueStack, distance: f64) -> Self {
+        assert!(distance > 0.0, "coil distance must be positive");
+        let srf_limit = pair.rx().self_resonance() / 3.0;
+        FrequencyStudy { pair, tissue, distance, srf_limit }
+    }
+
+    /// The paper's deployment: IronIC coils at 10 mm through a
+    /// subcutaneous tissue stack.
+    pub fn ironic() -> Self {
+        FrequencyStudy::new(
+            CoilPair::ironic(),
+            TissueStack::subcutaneous(),
+            10.0e-3,
+        )
+    }
+
+    /// The usable-frequency ceiling (SRF/3 of the receiving coil).
+    pub fn srf_limit(&self) -> f64 {
+        self.srf_limit
+    }
+
+    /// Evaluates one frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not positive.
+    pub fn evaluate(&self, f: f64) -> FrequencyPoint {
+        assert!(f > 0.0, "frequency must be positive");
+        let link = ResonantLink::from_pair(&self.pair, f);
+        let k = self.pair.coupling_at(self.distance);
+        let efficiency = link.max_efficiency(k);
+        let attenuation = self.tissue.power_attenuation(f);
+        let usable = f <= self.srf_limit;
+        FrequencyPoint {
+            frequency: f,
+            q1: link.q1,
+            q2: link.q2,
+            efficiency,
+            attenuation,
+            usable,
+            figure: if usable { efficiency * attenuation } else { 0.0 },
+        }
+    }
+
+    /// Log-spaced sweep from `f_lo` to `f_hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f_lo < f_hi` and `n ≥ 2`.
+    pub fn sweep(&self, f_lo: f64, f_hi: f64, n: usize) -> Vec<FrequencyPoint> {
+        assert!(f_lo > 0.0 && f_hi > f_lo && n >= 2, "bad sweep range");
+        (0..n)
+            .map(|i| {
+                let f = f_lo * (f_hi / f_lo).powf(i as f64 / (n - 1) as f64);
+                self.evaluate(f)
+            })
+            .collect()
+    }
+
+    /// The frequency with the best figure of merit over the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f_lo < f_hi` and `n ≥ 2`.
+    pub fn optimal_frequency(&self, f_lo: f64, f_hi: f64, n: usize) -> FrequencyPoint {
+        self.sweep(f_lo, f_hi, n)
+            .into_iter()
+            .max_by(|a, b| a.figure.partial_cmp(&b.figure).expect("finite figures"))
+            .expect("non-empty sweep")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_rises_and_attenuation_falls_with_frequency() {
+        let study = FrequencyStudy::ironic();
+        let lo = study.evaluate(1.0e6);
+        let hi = study.evaluate(20.0e6);
+        assert!(hi.q2 > lo.q2, "Q grows with f: {} vs {}", hi.q2, lo.q2);
+        assert!(hi.attenuation < lo.attenuation, "tissue worsens with f");
+    }
+
+    #[test]
+    fn optimum_sits_in_the_low_mhz_decade() {
+        let study = FrequencyStudy::ironic();
+        let best = study.optimal_frequency(100.0e3, 100.0e6, 61);
+        assert!(
+            (1.0e6..40.0e6).contains(&best.frequency),
+            "optimal f = {} should be low-MHz",
+            best.frequency
+        );
+    }
+
+    #[test]
+    fn five_mhz_is_near_optimal() {
+        // The paper's choice achieves ≥ 60 % of the best figure of merit.
+        let study = FrequencyStudy::ironic();
+        let best = study.optimal_frequency(100.0e3, 100.0e6, 61);
+        let five = study.evaluate(5.0e6);
+        assert!(five.usable, "5 MHz below SRF/3 = {}", study.srf_limit());
+        assert!(
+            five.figure > 0.6 * best.figure,
+            "5 MHz figure {} vs best {} at {}",
+            five.figure,
+            best.figure,
+            best.frequency
+        );
+    }
+
+    #[test]
+    fn srf_caps_the_usable_band() {
+        let study = FrequencyStudy::ironic();
+        let limit = study.srf_limit();
+        assert!(limit > 5.0e6, "the paper's carrier is within the cap: {limit}");
+        let beyond = study.evaluate(limit * 1.5);
+        assert!(!beyond.usable);
+        assert_eq!(beyond.figure, 0.0);
+    }
+
+    #[test]
+    fn sweep_is_log_spaced_and_ordered() {
+        let study = FrequencyStudy::ironic();
+        let sweep = study.sweep(1.0e6, 100.0e6, 21);
+        assert_eq!(sweep.len(), 21);
+        assert!(sweep.windows(2).all(|w| w[1].frequency > w[0].frequency));
+        let ratio0 = sweep[1].frequency / sweep[0].frequency;
+        let ratio1 = sweep[2].frequency / sweep[1].frequency;
+        assert!((ratio0 - ratio1).abs() < 1e-9, "log spacing");
+    }
+}

@@ -1,0 +1,39 @@
+//! The inductive power link of the IronIC patch (paper Section III).
+//!
+//! * [`classe`] — class-E power-amplifier synthesis from Sokal's design
+//!   equations (the paper drives its transmitting inductor with a class-E
+//!   stage at 5 MHz, 50 % duty cycle), plus a netlist builder that
+//!   simulates the synthesized stage in the [`analog`] engine to verify
+//!   zero-voltage switching and drain efficiency;
+//! * [`resonant`] — series/parallel resonant link two-port theory: link
+//!   efficiency versus `k·√(Q1·Q2)`, optimal load, reflected impedance
+//!   (the quantity the LSK uplink modulates);
+//! * [`matching`] — the purely capacitive CA/CB matching network between
+//!   the receiving inductor and the rectifier's ≈ 150 Ω average input
+//!   impedance (paper Section IV-C);
+//! * [`budget`] — the end-to-end received-power budget versus distance
+//!   and misalignment, anchored to the paper's measured 15 mW at 6 mm.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod budget;
+pub mod classe;
+pub mod frequency;
+pub mod matching;
+pub mod resonant;
+
+pub use budget::PowerBudget;
+pub use frequency::FrequencyStudy;
+pub use classe::{ClassEAmplifier, ClassEDesign};
+pub use matching::CapacitiveMatch;
+pub use resonant::ResonantLink;
+
+/// The paper's carrier frequency, hertz.
+pub const CARRIER_HZ: f64 = 5.0e6;
+
+/// The paper's headline received power at 6 mm, watts.
+pub const P_RX_6MM: f64 = 15.0e-3;
+
+/// The paper's received power through 17 mm of tissue, watts.
+pub const P_RX_17MM: f64 = 1.17e-3;

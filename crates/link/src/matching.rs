@@ -1,0 +1,218 @@
+//! The purely capacitive CA/CB matching network (paper Section IV-C).
+//!
+//! Between the receiving inductor and the rectifier the paper inserts two
+//! capacitors: CA in series from the coil, CB in shunt across the
+//! rectifier input (Fig. 7). The pair simultaneously resonates the coil
+//! reactance at the carrier and steps the rectifier's ≈ 150 Ω average
+//! input impedance down to the coil's ESR — a conjugate match, so the
+//! rectifier absorbs the coil's full available power.
+//!
+//! Design (classic capacitive L-match, load side high):
+//!
+//! * `Q_p = √(R_load/R₂ − 1)` — the tap quality factor;
+//! * `CB = Q_p/(ω·R_load)` — shunt across the rectifier;
+//! * `CA = 1/(ω·(ωL₂ − Q_p·R₂))` — series, absorbing the coil reactance
+//!   left after the transformed-load reactance.
+
+use analog::{AcSpec, Circuit, SimError, SourceFn};
+
+/// A designed CA/CB capacitive L-match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitiveMatch {
+    /// Series capacitor between the coil and the rectifier input, farads.
+    pub ca: f64,
+    /// Shunt capacitor across the rectifier input, farads.
+    pub cb: f64,
+    /// Tap quality factor `Q_p = √(R_load/R₂ − 1)`.
+    pub q_tap: f64,
+    /// Receiver inductance being matched, henries.
+    pub l2: f64,
+    /// Coil ESR the network was designed against, ohms.
+    pub r2: f64,
+    /// Design frequency, hertz.
+    pub frequency: f64,
+    /// Load (rectifier input) resistance, ohms.
+    pub r_load: f64,
+}
+
+impl CapacitiveMatch {
+    /// Designs the conjugate match from the coil (`l2`, ESR `r2`) to the
+    /// rectifier input resistance `r_load` at frequency `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all arguments are positive, `r_load > r2`
+    /// (capacitive L-match steps down toward the coil), and the coil's
+    /// reactance exceeds `Q_p·r2` (equivalently, unloaded coil Q above
+    /// the tap Q — otherwise CA would need to be inductive).
+    pub fn design(l2: f64, r2: f64, f: f64, r_load: f64) -> Self {
+        assert!(l2 > 0.0 && r2 > 0.0 && f > 0.0 && r_load > 0.0, "all parameters positive");
+        assert!(r_load > r2, "load {r_load} Ω must exceed the coil ESR {r2} Ω");
+        let omega = std::f64::consts::TAU * f;
+        let q_tap = (r_load / r2 - 1.0).sqrt();
+        let x_left = omega * l2 - q_tap * r2;
+        assert!(
+            x_left > 0.0,
+            "coil Q {} below tap Q {q_tap}: capacitive match impossible",
+            omega * l2 / r2
+        );
+        CapacitiveMatch {
+            ca: 1.0 / (omega * x_left),
+            cb: q_tap / (omega * r_load),
+            q_tap,
+            l2,
+            r2,
+            frequency: f,
+            r_load,
+        }
+    }
+
+    /// Series-equivalent resistance the coil sees through the network,
+    /// `R_load/(1 + Q_p²)` — equal to `r2` for a conjugate match.
+    pub fn series_equivalent(&self) -> f64 {
+        self.r_load / (1.0 + self.q_tap * self.q_tap)
+    }
+
+    /// Voltage magnification from coil EMF to rectifier input at
+    /// resonance, `≈ Q_coil/(2·Q_p)·√(1+Q_p²)/Q_p`… reported simply as
+    /// the simulated ratio; this helper returns the first-order estimate
+    /// `√(r_load/(4·r2))` from power conservation at match.
+    pub fn voltage_gain_estimate(&self) -> f64 {
+        (self.r_load / (4.0 * self.r2)).sqrt()
+    }
+
+    /// Builds the receive tank for verification: EMF source in series
+    /// with the coil (`l2`, `r2`), CA in series, CB and the load at the
+    /// rectifier node (`"vi"`).
+    pub fn bench(&self, emf_amplitude: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let emf = ckt.node("emf");
+        let coil = ckt.node("coil");
+        let vi = ckt.node("vi");
+        ckt.voltage_source_ac(
+            "Vemf",
+            emf,
+            Circuit::GND,
+            SourceFn::sine(emf_amplitude, self.frequency),
+            1.0,
+            0.0,
+        );
+        ckt.resistor("R2", emf, coil, self.r2);
+        let n_mid = ckt.node("coil_tap");
+        ckt.inductor("L2", coil, n_mid, self.l2);
+        ckt.capacitor("CA", n_mid, vi, self.ca);
+        ckt.capacitor("CB", vi, Circuit::GND, self.cb);
+        ckt.resistor("Rload", vi, Circuit::GND, self.r_load);
+        ckt
+    }
+
+    /// Verifies the design by AC analysis: returns
+    /// `(f_peak, p_load_at_design_f, p_available)` where
+    /// `p_available = emf²/(8·r2)`. A conjugate match delivers nearly the
+    /// whole available power at the design frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates AC-analysis failures.
+    pub fn verify(&self) -> Result<(f64, f64, f64), SimError> {
+        let ckt = self.bench(1.0);
+        let spec = AcSpec::linear_sweep(0.5 * self.frequency, 1.5 * self.frequency, 401);
+        let res = ckt.ac(&spec)?;
+        let phasors = res.phasors("vi").expect("rectifier node traced");
+        let powers: Vec<f64> = phasors
+            .iter()
+            .map(|v| v.norm_sqr() / (2.0 * self.r_load))
+            .collect();
+        let k_max = powers
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite powers"))
+            .map(|(k, _)| k)
+            .expect("non-empty sweep");
+        let f_peak = res.frequencies()[k_max];
+        let k_design = res
+            .frequencies()
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - self.frequency)
+                    .abs()
+                    .partial_cmp(&(*b - self.frequency).abs())
+                    .expect("finite frequencies")
+            })
+            .map(|(k, _)| k)
+            .expect("non-empty sweep");
+        let p_design = powers[k_design];
+        let p_avail = 1.0 / (8.0 * self.r2);
+        Ok((f_peak, p_design, p_avail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L2: f64 = 10.0e-6;
+    const R2: f64 = 3.0;
+    const F: f64 = 5.0e6;
+
+    #[test]
+    fn design_values_match_hand_calculation() {
+        let m = CapacitiveMatch::design(L2, R2, F, 150.0);
+        let omega = std::f64::consts::TAU * F;
+        // Q_p = √(150/3 − 1) = 7.
+        assert!((m.q_tap - 7.0).abs() < 1e-12);
+        // CB = 7/(ω·150).
+        assert!((m.cb - 7.0 / (omega * 150.0)).abs() / m.cb < 1e-12);
+        // CA absorbs ωL2 − Q_p·R2 = 314.16 − 21 Ω.
+        let x_ca = 1.0 / (omega * m.ca);
+        assert!((x_ca - (omega * L2 - 21.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn series_equivalent_equals_coil_esr() {
+        let m = CapacitiveMatch::design(L2, R2, F, 150.0);
+        assert!((m.series_equivalent() - R2).abs() / R2 < 1e-9);
+    }
+
+    #[test]
+    fn ac_verification_peaks_at_design_frequency() {
+        let m = CapacitiveMatch::design(L2, R2, F, 150.0);
+        let (f_peak, p_design, p_avail) = m.verify().unwrap();
+        assert!(
+            (f_peak - F).abs() / F < 0.02,
+            "response peaks at {f_peak}, designed for {F}"
+        );
+        assert!(
+            p_design > 0.9 * p_avail,
+            "conjugate match delivers {p_design} of available {p_avail}"
+        );
+    }
+
+    #[test]
+    fn voltage_gain_boosts_small_emf() {
+        // The matched tank magnifies the induced EMF — how a ~0.9 V EMF
+        // becomes a ~3 V carrier at the rectifier input.
+        let m = CapacitiveMatch::design(L2, R2, F, 150.0);
+        let gain = m.voltage_gain_estimate();
+        assert!(gain > 2.0, "gain = {gain}");
+        // Cross-check against the simulated transfer at resonance.
+        let ckt = m.bench(1.0);
+        let res = ckt.ac(&AcSpec::single(F)).unwrap();
+        let v = res.phasors("vi").unwrap()[0].abs();
+        assert!((v - gain).abs() / gain < 0.25, "simulated {v} vs estimate {gain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the coil ESR")]
+    fn step_up_rejected() {
+        let _ = CapacitiveMatch::design(L2, R2, F, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitive match impossible")]
+    fn low_coil_q_rejected() {
+        // Huge load → tap Q beyond the coil's own Q.
+        let _ = CapacitiveMatch::design(1.0e-6, 3.0, F, 20.0e3);
+    }
+}

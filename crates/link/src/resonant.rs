@@ -1,0 +1,221 @@
+//! Resonant inductive link two-port theory.
+//!
+//! Standard results for a series-resonated transmitter driving a
+//! resonated receiver (e.g. Lenaerts & Puers, *Omnidirectional Inductive
+//! Powering for Biomedical Implants*, the paper's reference \[25\]):
+//!
+//! * figure of merit `α = k²·Q1·Q2`;
+//! * maximum link efficiency `η = α / (1 + √(1+α))²`;
+//! * reflected impedance `Z_r = (ωM)² / Z_secondary` — the quantity the
+//!   LSK uplink switches between two values.
+
+use coils::mutual::CoilPair;
+
+/// A tuned coil pair with loss parameters at the carrier frequency.
+#[derive(Debug, Clone, Copy)]
+pub struct ResonantLink {
+    /// Transmitter self-inductance, henries.
+    pub l1: f64,
+    /// Receiver self-inductance, henries.
+    pub l2: f64,
+    /// Transmitter unloaded quality factor at the carrier.
+    pub q1: f64,
+    /// Receiver unloaded quality factor at the carrier.
+    pub q2: f64,
+    /// Carrier frequency, hertz.
+    pub frequency: f64,
+}
+
+impl ResonantLink {
+    /// Builds the link from a [`CoilPair`], evaluating coil Q at `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not positive.
+    pub fn from_pair(pair: &CoilPair, f: f64) -> Self {
+        ResonantLink {
+            l1: pair.l_tx(),
+            l2: pair.l_rx(),
+            q1: pair.tx().quality_factor(f),
+            q2: pair.rx().quality_factor(f),
+            frequency: f,
+        }
+    }
+
+    /// ω = 2πf.
+    pub fn omega(&self) -> f64 {
+        std::f64::consts::TAU * self.frequency
+    }
+
+    /// Transmitter coil ESR implied by Q1.
+    pub fn r1(&self) -> f64 {
+        self.omega() * self.l1 / self.q1
+    }
+
+    /// Receiver coil ESR implied by Q2.
+    pub fn r2(&self) -> f64 {
+        self.omega() * self.l2 / self.q2
+    }
+
+    /// Link figure of merit `α = k²·Q1·Q2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1`.
+    pub fn figure_of_merit(&self, k: f64) -> f64 {
+        assert!(k > 0.0 && k < 1.0, "coupling must be in (0,1)");
+        k * k * self.q1 * self.q2
+    }
+
+    /// Maximum achievable link efficiency at coupling `k` (both sides
+    /// resonated, optimally loaded): `η = α/(1+√(1+α))²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1`.
+    pub fn max_efficiency(&self, k: f64) -> f64 {
+        let alpha = self.figure_of_merit(k);
+        alpha / (1.0 + (1.0 + alpha).sqrt()).powi(2)
+    }
+
+    /// The optimal load resistance (series-equivalent, in the secondary
+    /// loop) maximizing efficiency: `R_L = R2·√(1+α)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1`.
+    pub fn optimal_load(&self, k: f64) -> f64 {
+        self.r2() * (1.0 + self.figure_of_merit(k)).sqrt()
+    }
+
+    /// Mutual inductance at coupling `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1`.
+    pub fn mutual(&self, k: f64) -> f64 {
+        assert!(k > 0.0 && k < 1.0, "coupling must be in (0,1)");
+        k * (self.l1 * self.l2).sqrt()
+    }
+
+    /// Impedance reflected into the transmitter loop when the (resonated)
+    /// secondary carries total series resistance `r_secondary`:
+    /// `R_r = (ωM)²/r_secondary`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1` and `r_secondary > 0`.
+    pub fn reflected_resistance(&self, k: f64, r_secondary: f64) -> f64 {
+        assert!(r_secondary > 0.0, "secondary resistance must be positive");
+        let wm = self.omega() * self.mutual(k);
+        wm * wm / r_secondary
+    }
+
+    /// The LSK contrast: ratio of transmitter-side reflected resistance
+    /// between the rectifier-connected state (secondary loaded with
+    /// `r_load + R2`) and the shorted state (only `R2`).
+    ///
+    /// Shorting the secondary *raises* the reflected resistance (lower
+    /// secondary loop resistance reflects larger), which lowers the PA
+    /// supply current — matching the paper's "low voltage drop across R9
+    /// when the receiving inductor is short-circuited".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1` and `r_load > 0`.
+    pub fn lsk_contrast(&self, k: f64, r_load: f64) -> f64 {
+        assert!(r_load > 0.0, "load must be positive");
+        let connected = self.reflected_resistance(k, self.r2() + r_load);
+        let shorted = self.reflected_resistance(k, self.r2());
+        shorted / connected
+    }
+
+    /// Received power for a transmitter loop current of RMS `i1` with the
+    /// secondary resonated and loaded with series resistance `r_load`:
+    /// the induced EMF `ωM·I1` drives the loop `R2 + R_L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < 1`, `i1 ≥ 0` and `r_load > 0`.
+    pub fn received_power(&self, k: f64, i1_rms: f64, r_load: f64) -> f64 {
+        assert!(i1_rms >= 0.0 && r_load > 0.0, "non-physical drive or load");
+        let emf = self.omega() * self.mutual(k) * i1_rms; // RMS EMF
+        let loop_r = self.r2() + r_load;
+        let i2 = emf / loop_r;
+        i2 * i2 * r_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> ResonantLink {
+        ResonantLink { l1: 10.0e-6, l2: 10.0e-6, q1: 80.0, q2: 30.0, frequency: 5.0e6 }
+    }
+
+    #[test]
+    fn efficiency_monotone_in_coupling() {
+        let l = link();
+        let mut prev = 0.0;
+        for k in [0.01, 0.03, 0.1, 0.3, 0.6] {
+            let eta = l.max_efficiency(k);
+            assert!(eta > prev && eta < 1.0, "η({k}) = {eta}");
+            prev = eta;
+        }
+    }
+
+    #[test]
+    fn efficiency_limits() {
+        let l = link();
+        // Very weak coupling: η ≈ α/4.
+        let k = 1.0e-3;
+        let alpha = l.figure_of_merit(k);
+        assert!((l.max_efficiency(k) - alpha / 4.0).abs() / (alpha / 4.0) < 1e-2);
+        // Strong coupling with high Q: η approaches 1.
+        let strong = ResonantLink { q1: 500.0, q2: 500.0, ..l };
+        assert!(strong.max_efficiency(0.9) > 0.99);
+    }
+
+    #[test]
+    fn optimal_load_reduces_to_r2_uncoupled() {
+        let l = link();
+        let r_opt_weak = l.optimal_load(1.0e-4);
+        assert!((r_opt_weak - l.r2()).abs() / l.r2() < 1e-2);
+        assert!(l.optimal_load(0.3) > l.r2());
+    }
+
+    #[test]
+    fn received_power_peaks_at_matched_load() {
+        let l = link();
+        let k = 0.05;
+        let p_match = l.received_power(k, 0.1, l.r2());
+        let p_low = l.received_power(k, 0.1, l.r2() / 10.0);
+        let p_high = l.received_power(k, 0.1, l.r2() * 10.0);
+        assert!(p_match > p_low && p_match > p_high);
+    }
+
+    #[test]
+    fn lsk_contrast_exceeds_unity() {
+        let l = link();
+        let contrast = l.lsk_contrast(0.05, 5.0 * l.r2());
+        assert!(contrast > 2.0, "shorting must change the reflection: {contrast}");
+    }
+
+    #[test]
+    fn reflected_resistance_scaling() {
+        let l = link();
+        // R_r ∝ k².
+        let r1 = l.reflected_resistance(0.02, 10.0);
+        let r2 = l.reflected_resistance(0.04, 10.0);
+        assert!((r2 / r1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_pair_uses_coil_properties() {
+        let pair = CoilPair::ironic();
+        let l = ResonantLink::from_pair(&pair, 5.0e6);
+        assert!(l.q1 > 1.0 && l.q2 > 1.0);
+        assert!((l.l1 - pair.l_tx()).abs() < 1e-12);
+    }
+}

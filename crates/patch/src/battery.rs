@@ -1,0 +1,157 @@
+//! Li-Po battery model with a realistic discharge curve.
+
+/// A single-cell Li-Po battery.
+///
+/// The open-circuit voltage follows the characteristic curve: 4.2 V at
+/// full charge, a long ≈ 3.7 V plateau, and a steep knee below 10 %
+/// state of charge down to the 3.0 V cutoff.
+///
+/// ```
+/// use patch::Battery;
+/// let mut b = Battery::new(120.0);
+/// assert!((b.voltage() - 4.2).abs() < 1e-9);
+/// b.drain(0.012, 3600.0); // 12 mA for one hour
+/// assert!(b.state_of_charge() < 0.91);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity_coulombs: f64,
+    charge_coulombs: f64,
+}
+
+impl Battery {
+    /// The discharge cutoff voltage.
+    pub const V_CUTOFF: f64 = 3.0;
+
+    /// A fully charged battery of the given capacity in mAh.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacity is positive.
+    pub fn new(capacity_mah: f64) -> Self {
+        assert!(capacity_mah > 0.0, "battery capacity must be positive");
+        let c = capacity_mah * 3.6; // mAh → coulombs
+        Battery { capacity_coulombs: c, charge_coulombs: c }
+    }
+
+    /// The patch's battery (sized so the paper's three battery-life
+    /// figures emerge from the component power draws).
+    pub fn ironic_patch() -> Self {
+        Battery::new(120.0)
+    }
+
+    /// Capacity in mAh.
+    pub fn capacity_mah(&self) -> f64 {
+        self.capacity_coulombs / 3.6
+    }
+
+    /// State of charge in [0, 1].
+    pub fn state_of_charge(&self) -> f64 {
+        self.charge_coulombs / self.capacity_coulombs
+    }
+
+    /// Terminal voltage from the state of charge (piecewise-linear Li-Po
+    /// curve, no internal-resistance sag).
+    pub fn voltage(&self) -> f64 {
+        let soc = self.state_of_charge();
+        // (soc, voltage) corners of a typical 1-cell discharge curve.
+        const CURVE: [(f64, f64); 6] = [
+            (0.00, 3.00),
+            (0.05, 3.45),
+            (0.10, 3.60),
+            (0.50, 3.72),
+            (0.90, 3.95),
+            (1.00, 4.20),
+        ];
+        let mut prev = CURVE[0];
+        for &pt in &CURVE[1..] {
+            if soc <= pt.0 {
+                let f = (soc - prev.0) / (pt.0 - prev.0);
+                return prev.1 + f * (pt.1 - prev.1);
+            }
+            prev = pt;
+        }
+        CURVE[CURVE.len() - 1].1
+    }
+
+    /// True when the battery has reached the cutoff.
+    pub fn is_depleted(&self) -> bool {
+        self.charge_coulombs <= 0.0 || self.voltage() <= Self::V_CUTOFF
+    }
+
+    /// Draws `current` amperes for `dt` seconds; charge floors at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative current or time.
+    pub fn drain(&mut self, current: f64, dt: f64) {
+        assert!(current >= 0.0 && dt >= 0.0, "need non-negative current and time");
+        self.charge_coulombs = (self.charge_coulombs - current * dt).max(0.0);
+    }
+
+    /// Analytic runtime in seconds at a constant current draw, ignoring
+    /// the knee (charge-limited).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `current` is positive.
+    pub fn runtime(&self, current: f64) -> f64 {
+        assert!(current > 0.0, "load current must be positive");
+        self.charge_coulombs / current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_battery_at_4v2() {
+        let b = Battery::new(100.0);
+        assert!((b.voltage() - 4.2).abs() < 1e-9);
+        assert_eq!(b.state_of_charge(), 1.0);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn plateau_near_3v7() {
+        let mut b = Battery::new(100.0);
+        b.drain(0.1, 100.0 * 3.6 * 0.5 / 0.1); // drain to 50 %
+        assert!((b.voltage() - 3.72).abs() < 0.02, "v = {}", b.voltage());
+    }
+
+    #[test]
+    fn voltage_monotone_in_charge() {
+        let mut b = Battery::new(100.0);
+        let mut prev = b.voltage();
+        for _ in 0..20 {
+            b.drain(0.1, 100.0 * 3.6 * 0.05 / 0.1);
+            let v = b.voltage();
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn depletion_and_floor() {
+        let mut b = Battery::new(1.0);
+        b.drain(1.0, 10.0);
+        assert!(b.is_depleted());
+        assert_eq!(b.state_of_charge(), 0.0);
+        assert!((b.voltage() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_analytic() {
+        let b = Battery::new(120.0);
+        // 120 mAh at 12 mA = 10 h.
+        let t = b.runtime(0.012);
+        assert!((t - 36000.0).abs() < 1.0, "t = {t}");
+    }
+
+    #[test]
+    fn capacity_round_trip() {
+        let b = Battery::new(77.0);
+        assert!((b.capacity_mah() - 77.0).abs() < 1e-9);
+    }
+}

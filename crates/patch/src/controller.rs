@@ -1,0 +1,272 @@
+//! Patch session controller: a time-stepped state machine spending
+//! battery energy while powering the implant and exchanging data.
+
+use comms::{BitStream, Frame, DOWNLINK_BPS, UPLINK_BPS};
+
+use crate::battery::Battery;
+use crate::power_states::{BtMode, PatchState};
+
+/// One logged event of a patch session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Bluetooth mode changed.
+    Bluetooth {
+        /// Session time, seconds.
+        at: f64,
+        /// New mode.
+        mode: BtMode,
+    },
+    /// Power carrier switched on or off.
+    Powering {
+        /// Session time, seconds.
+        at: f64,
+        /// New carrier state.
+        on: bool,
+    },
+    /// A downlink frame was transmitted.
+    DownlinkSent {
+        /// Session time at completion, seconds.
+        at: f64,
+        /// Bits on the air.
+        bits: usize,
+    },
+    /// An uplink burst was received.
+    UplinkReceived {
+        /// Session time at completion, seconds.
+        at: f64,
+        /// Bits received.
+        bits: usize,
+    },
+    /// The battery reached cutoff.
+    BatteryDepleted {
+        /// Session time, seconds.
+        at: f64,
+    },
+}
+
+/// The patch with its battery, radio state and event log.
+#[derive(Debug, Clone)]
+pub struct Patch {
+    battery: Battery,
+    state: PatchState,
+    time: f64,
+    events: Vec<SessionEvent>,
+}
+
+impl Patch {
+    /// A fresh patch with a full battery, idle.
+    pub fn new() -> Self {
+        Patch {
+            battery: Battery::ironic_patch(),
+            state: PatchState::idle(),
+            time: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Current session time, seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The battery.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The present power state.
+    pub fn state(&self) -> PatchState {
+        self.state
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[SessionEvent] {
+        &self.events
+    }
+
+    /// Advances time by `dt` seconds in the present state, draining the
+    /// battery. Returns `false` once the battery is depleted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative `dt`.
+    pub fn advance(&mut self, dt: f64) -> bool {
+        assert!(dt >= 0.0, "time cannot run backwards");
+        if self.battery.is_depleted() {
+            return false;
+        }
+        self.battery.drain(self.state.current(), dt);
+        self.time += dt;
+        if self.battery.is_depleted() {
+            self.events.push(SessionEvent::BatteryDepleted { at: self.time });
+            return false;
+        }
+        true
+    }
+
+    /// Switches the bluetooth mode.
+    pub fn set_bluetooth(&mut self, mode: BtMode) {
+        self.state.bluetooth = mode;
+        self.events.push(SessionEvent::Bluetooth { at: self.time, mode });
+    }
+
+    /// Switches the power carrier.
+    pub fn set_powering(&mut self, on: bool) {
+        self.state.powering = on;
+        self.events.push(SessionEvent::Powering { at: self.time, on });
+    }
+
+    /// Transmits a downlink frame (requires the carrier to be on);
+    /// advances time by its airtime at 100 kbps.
+    ///
+    /// Returns `false` if the carrier is off or the battery dies mid-send.
+    pub fn send_downlink(&mut self, frame: &Frame) -> bool {
+        if !self.state.powering {
+            return false;
+        }
+        let bits = frame.encoded_len();
+        let ok = self.advance(bits as f64 / DOWNLINK_BPS);
+        if ok {
+            self.events.push(SessionEvent::DownlinkSent { at: self.time, bits });
+        }
+        ok
+    }
+
+    /// Receives an uplink burst of `bits` length (requires the carrier —
+    /// LSK only works while power flows); advances time at 66.6 kbps.
+    ///
+    /// Returns the airtime on success.
+    pub fn receive_uplink(&mut self, bits: &BitStream) -> Option<f64> {
+        if !self.state.powering || bits.is_empty() {
+            return None;
+        }
+        let airtime = bits.len() as f64 / UPLINK_BPS;
+        if self.advance(airtime) {
+            self.events.push(SessionEvent::UplinkReceived { at: self.time, bits: bits.len() });
+            Some(airtime)
+        } else {
+            None
+        }
+    }
+
+    /// Runs a complete measurement exchange: power up for `precharge`
+    /// seconds (implant Co charging), send a command frame, wait for the
+    /// measurement (`measure_time`), receive an `n_up`-bit reading, and
+    /// power down. Returns the total exchange duration, or `None` if the
+    /// battery died.
+    pub fn measurement_cycle(
+        &mut self,
+        command: &Frame,
+        precharge: f64,
+        measure_time: f64,
+        n_up: usize,
+    ) -> Option<f64> {
+        let t0 = self.time;
+        self.set_powering(true);
+        if !self.advance(precharge) {
+            return None;
+        }
+        if !self.send_downlink(command) {
+            return None;
+        }
+        if !self.advance(measure_time) {
+            return None;
+        }
+        let reading = BitStream::prbs9(n_up.max(1), 0x1A5);
+        self.receive_uplink(&reading)?;
+        self.set_powering(false);
+        Some(self.time - t0)
+    }
+}
+
+impl Default for Patch {
+    fn default() -> Self {
+        Patch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_patch_runs_about_ten_hours() {
+        let mut p = Patch::new();
+        let mut hours = 0.0;
+        while p.advance(60.0) {
+            hours += 1.0 / 60.0;
+            assert!(hours < 12.0, "should deplete before 12 h");
+        }
+        assert!((9.0..11.0).contains(&hours), "idle life {hours} h");
+    }
+
+    #[test]
+    fn downlink_requires_carrier() {
+        let mut p = Patch::new();
+        let f = Frame::new(&[1, 2, 3]).unwrap();
+        assert!(!p.send_downlink(&f));
+        p.set_powering(true);
+        assert!(p.send_downlink(&f));
+        // Airtime advanced the clock by bits/100 kbps.
+        let expect = f.encoded_len() as f64 / DOWNLINK_BPS;
+        assert!((p.time() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uplink_slower_than_downlink() {
+        let mut p = Patch::new();
+        p.set_powering(true);
+        let bits = BitStream::prbs9(100, 0x0FF);
+        let t_up = p.receive_uplink(&bits).unwrap();
+        assert!(t_up > 100.0 / DOWNLINK_BPS, "uplink airtime {t_up}");
+    }
+
+    #[test]
+    fn measurement_cycle_completes_and_logs() {
+        let mut p = Patch::new();
+        let cmd = Frame::new(&[0x01]).unwrap();
+        let dur = p.measurement_cycle(&cmd, 300.0e-6, 50.0e-3, 22).unwrap();
+        assert!(dur > 0.05, "cycle duration {dur}");
+        let kinds: Vec<_> = p.events().iter().map(std::mem::discriminant).collect();
+        assert!(kinds.len() >= 4, "events logged: {:?}", p.events());
+        // Carrier returned off.
+        assert!(!p.state().powering);
+    }
+
+    #[test]
+    fn session_log_replays_in_order() {
+        let mut p = Patch::new();
+        p.set_bluetooth(BtMode::Connected);
+        p.advance(10.0);
+        p.set_powering(true);
+        p.advance(5.0);
+        p.set_powering(false);
+        let times: Vec<f64> = p
+            .events()
+            .iter()
+            .map(|e| match e {
+                SessionEvent::Bluetooth { at, .. }
+                | SessionEvent::Powering { at, .. }
+                | SessionEvent::DownlinkSent { at, .. }
+                | SessionEvent::UplinkReceived { at, .. }
+                | SessionEvent::BatteryDepleted { at } => *at,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[1] >= w[0]), "monotone log: {times:?}");
+    }
+
+    #[test]
+    fn depleted_battery_stops_everything() {
+        let mut p = Patch::new();
+        p.set_powering(true);
+        // Burn far beyond the 1.5 h powering life.
+        while p.advance(600.0) {}
+        assert!(p.battery().is_depleted());
+        let f = Frame::new(&[0]).unwrap();
+        assert!(!p.send_downlink(&f));
+        assert!(matches!(
+            p.events().last(),
+            Some(SessionEvent::DownlinkSent { .. }) | Some(SessionEvent::BatteryDepleted { .. })
+        ));
+    }
+}

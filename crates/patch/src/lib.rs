@@ -1,0 +1,28 @@
+//! The external IronIC patch (paper Section III).
+//!
+//! A flexible skin patch containing the class-E transmitter, an ASK
+//! modulator, the R9-shunt LSK detector, a microcontroller and a
+//! bluetooth radio, powered by a small Li-Po battery. The paper reports
+//! three battery-life figures (Section III-B):
+//!
+//! * ≈ **10 h** idle (bluetooth disconnected, not powering);
+//! * ≈ **3.5 h** with the bluetooth link connected;
+//! * ≈ **1.5 h** while continuously transmitting power.
+//!
+//! [`battery`] models the Li-Po discharge curve, [`power_states`] the
+//! component power draws whose sums reproduce those three figures, and
+//! [`controller`] a session state machine that spends battery energy as
+//! it powers the implant and exchanges data with it.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod battery;
+pub mod controller;
+pub mod power_states;
+pub mod thermal;
+
+pub use battery::Battery;
+pub use controller::{Patch, SessionEvent};
+pub use power_states::{BtMode, PatchState};
+pub use thermal::{ThermalPath, ThermalReport};

@@ -1,0 +1,130 @@
+//! Component power draws and the patch's aggregate power state.
+//!
+//! The component currents are chosen so that the three battery-life
+//! figures the paper measured (10 h idle / 3.5 h bluetooth / 1.5 h
+//! continuous powering, from a 120 mAh cell) emerge from the sums:
+//!
+//! | state                      | draw      | life     |
+//! |----------------------------|-----------|----------|
+//! | MCU + board (always)       | 12 mA     | 10 h     |
+//! | + bluetooth connected      | + 22.3 mA | 3.5 h    |
+//! | + class-E PA transmitting  | + 68 mA   | 1.5 h    |
+//!
+//! The 68 mA PA draw at 3.7 V is ≈ 252 mW — consistent with the class-E
+//! design point in [`link::classe`] (250 mW RF at near-unity drain
+//! efficiency).
+//!
+//! [`link::classe`]: ../../link/classe/index.html
+
+/// Bluetooth radio mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BtMode {
+    /// Radio off.
+    #[default]
+    Off,
+    /// Advertising, waiting for a central to connect.
+    Advertising,
+    /// Connected to a remote device (laptop/smartphone).
+    Connected,
+}
+
+impl BtMode {
+    /// Supply current of the radio in this mode.
+    pub fn current(self) -> f64 {
+        match self {
+            BtMode::Off => 0.0,
+            BtMode::Advertising => 8.0e-3,
+            BtMode::Connected => 22.3e-3,
+        }
+    }
+}
+
+/// Aggregate power state of the patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PatchState {
+    /// Bluetooth mode.
+    pub bluetooth: BtMode,
+    /// Class-E transmitter enabled (powering the implant).
+    pub powering: bool,
+}
+
+/// Baseline current of MCU + board, amperes.
+pub const I_BASE: f64 = 12.0e-3;
+
+/// Class-E PA supply current while transmitting, amperes.
+pub const I_PA: f64 = 68.0e-3;
+
+impl PatchState {
+    /// Idle: bluetooth off, not powering.
+    pub fn idle() -> Self {
+        PatchState { bluetooth: BtMode::Off, powering: false }
+    }
+
+    /// Bluetooth connected, not powering.
+    pub fn connected() -> Self {
+        PatchState { bluetooth: BtMode::Connected, powering: false }
+    }
+
+    /// Continuously powering, bluetooth off.
+    pub fn powering() -> Self {
+        PatchState { bluetooth: BtMode::Off, powering: true }
+    }
+
+    /// Total battery current in this state.
+    pub fn current(self) -> f64 {
+        I_BASE + self.bluetooth.current() + if self.powering { I_PA } else { 0.0 }
+    }
+
+    /// Battery power at the given cell voltage.
+    pub fn power(self, v_batt: f64) -> f64 {
+        self.current() * v_batt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery::Battery;
+
+    fn life_hours(state: PatchState) -> f64 {
+        Battery::ironic_patch().runtime(state.current()) / 3600.0
+    }
+
+    #[test]
+    fn idle_life_is_10_hours() {
+        let h = life_hours(PatchState::idle());
+        assert!((h - 10.0).abs() < 0.3, "idle life {h} h");
+    }
+
+    #[test]
+    fn connected_life_is_3_5_hours() {
+        let h = life_hours(PatchState::connected());
+        assert!((h - 3.5).abs() < 0.15, "connected life {h} h");
+    }
+
+    #[test]
+    fn powering_life_is_1_5_hours() {
+        let h = life_hours(PatchState::powering());
+        assert!((h - 1.5).abs() < 0.1, "powering life {h} h");
+    }
+
+    #[test]
+    fn pa_power_matches_class_e_design() {
+        // 68 mA at the 3.7 V plateau ≈ 252 mW.
+        let p = I_PA * 3.7;
+        assert!((p - 0.2516).abs() < 0.01, "PA supply power {p} W");
+    }
+
+    #[test]
+    fn worst_case_everything_on() {
+        let all = PatchState { bluetooth: BtMode::Connected, powering: true };
+        assert!(all.current() > PatchState::powering().current());
+        let h = life_hours(all);
+        assert!(h < 1.5, "everything on lives {h} h");
+    }
+
+    #[test]
+    fn advertising_cheaper_than_connected() {
+        assert!(BtMode::Advertising.current() < BtMode::Connected.current());
+    }
+}

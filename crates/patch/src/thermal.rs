@@ -1,0 +1,158 @@
+//! Thermal safety of the patch and implant.
+//!
+//! "Low thermal dissipation" is one of the key challenges the paper's
+//! introduction lists for implantable biosensors, and the regulatory
+//! limit is concrete: ISO 14708-1 bounds the surface of an implant to
+//! **2 °C above body temperature**; a skin-worn device is conventionally
+//! held below ≈ 41 °C (1 °C above the 40 °C low-burn threshold for long
+//! exposures). This module provides first-order steady-state estimates:
+//! dissipated power through a thermal resistance to tissue.
+
+/// A lumped thermal path from a heat source to tissue/ambient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalPath {
+    /// Thermal resistance, kelvin per watt.
+    pub resistance_k_per_w: f64,
+    /// Sink (body or ambient) temperature, °C.
+    pub sink_celsius: f64,
+}
+
+impl ThermalPath {
+    /// A 6 cm flexible patch on skin: ≈ 28 cm² of contact at a combined
+    /// convection/conduction coefficient near 40 W/(m²·K) → ≈ 9 K/W,
+    /// sinking into 33 °C skin.
+    pub fn patch_on_skin() -> Self {
+        ThermalPath { resistance_k_per_w: 9.0, sink_celsius: 33.0 }
+    }
+
+    /// A subcutaneous implant of ≈ 1 cm² surface perfused by tissue:
+    /// ≈ 45 K/W into 37 °C body core.
+    pub fn subcutaneous_implant() -> Self {
+        ThermalPath { resistance_k_per_w: 45.0, sink_celsius: 37.0 }
+    }
+
+    /// Steady-state temperature of the source dissipating `power` watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative power.
+    pub fn temperature(&self, power: f64) -> f64 {
+        assert!(power >= 0.0, "dissipation cannot be negative");
+        self.sink_celsius + power * self.resistance_k_per_w
+    }
+
+    /// Temperature rise above the sink for `power` watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative power.
+    pub fn rise(&self, power: f64) -> f64 {
+        self.temperature(power) - self.sink_celsius
+    }
+
+    /// Largest dissipation keeping the rise at or below `limit_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `limit_k` is positive.
+    pub fn power_budget(&self, limit_k: f64) -> f64 {
+        assert!(limit_k > 0.0, "thermal limit must be positive");
+        limit_k / self.resistance_k_per_w
+    }
+}
+
+/// The ISO 14708-1 limit on implant surface temperature rise, kelvin.
+pub const IMPLANT_RISE_LIMIT_K: f64 = 2.0;
+
+/// Thermal verdict for the paper's two heat sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalReport {
+    /// Patch surface temperature while powering, °C.
+    pub patch_celsius: f64,
+    /// Implant surface temperature rise, kelvin.
+    pub implant_rise_k: f64,
+    /// Both within their limits.
+    pub safe: bool,
+}
+
+/// Evaluates the paper's operating point: the patch dissipates what the
+/// battery delivers minus the RF that leaves the coil; the implant
+/// dissipates everything it receives (all received power ends as heat in
+/// the tissue around it).
+///
+/// # Panics
+///
+/// Panics if `p_received > p_battery` (non-physical).
+pub fn evaluate(p_battery: f64, p_received: f64) -> ThermalReport {
+    assert!(
+        p_received <= p_battery,
+        "the implant cannot receive more than the patch spends"
+    );
+    let patch = ThermalPath::patch_on_skin();
+    let implant = ThermalPath::subcutaneous_implant();
+    let patch_celsius = patch.temperature(p_battery - p_received);
+    let implant_rise_k = implant.rise(p_received);
+    ThermalReport {
+        patch_celsius,
+        implant_rise_k,
+        safe: patch_celsius <= 41.0 && implant_rise_k <= IMPLANT_RISE_LIMIT_K,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_states::PatchState;
+
+    #[test]
+    fn implant_at_paper_operating_point_is_safe() {
+        // §IV-C: 5 mW delivered to the implant. ΔT = 5 mW · 45 K/W = 0.23 K.
+        let implant = ThermalPath::subcutaneous_implant();
+        let rise = implant.rise(5.0e-3);
+        assert!(rise < IMPLANT_RISE_LIMIT_K, "rise = {rise} K");
+        assert!(rise > 0.1, "but not negligible: {rise} K");
+    }
+
+    #[test]
+    fn implant_budget_is_tens_of_milliwatts() {
+        // The 2 K ISO limit corresponds to ≈ 44 mW — the paper's 15 mW
+        // maximum transfer fits with 3× margin.
+        let budget = ThermalPath::subcutaneous_implant().power_budget(IMPLANT_RISE_LIMIT_K);
+        assert!((0.02..0.08).contains(&budget), "budget = {budget} W");
+        assert!(15.0e-3 < budget);
+    }
+
+    #[test]
+    fn patch_while_powering_stays_below_burn_threshold() {
+        // Continuous powering: ≈ 80 mA × 3.7 V battery draw, 15 mW leaves.
+        let p_batt = PatchState::powering().power(3.7);
+        let report = evaluate(p_batt, 15.0e-3);
+        assert!(
+            report.patch_celsius < 41.0,
+            "patch at {:.1} °C while powering",
+            report.patch_celsius
+        );
+        assert!(report.safe);
+    }
+
+    #[test]
+    fn runaway_dissipation_flagged() {
+        let report = evaluate(2.0, 40.0e-3);
+        assert!(!report.safe, "2 W in a patch must trip the limit");
+        assert!(report.patch_celsius > 41.0);
+    }
+
+    #[test]
+    fn budget_scales_inversely_with_resistance() {
+        let tight = ThermalPath { resistance_k_per_w: 90.0, sink_celsius: 37.0 };
+        assert!(
+            tight.power_budget(2.0) < ThermalPath::subcutaneous_implant().power_budget(2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot receive more")]
+    fn non_physical_split_rejected() {
+        let _ = evaluate(1.0e-3, 2.0e-3);
+    }
+}

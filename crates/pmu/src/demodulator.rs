@@ -1,0 +1,346 @@
+//! The switched-capacitor ASK demodulator of Figs. 9/10.
+//!
+//! Operating principle (paper, Section IV-B): a two-phase non-overlapping
+//! clock alternates the circuit between two configurations. While ϕ1 is
+//! high, capacitor C2 charges toward the carrier amplitude through the
+//! pass device M10 and the series diodes D6–D8 — the diode drops level-
+//! shift the amplitude so that a *high* ASK symbol lands above and a
+//! *low* symbol below the logic threshold of the inverter pair I3/I4
+//! reading C2. While ϕ2 is high, C1 forces M10's gate-source voltage to
+//! zero (the switch opens regardless of Vi) and C2 is discharged, arming
+//! the next sample. Bits are therefore valid at each rising edge of ϕ1.
+
+use analog::{Circuit, DiodeModel, MosModel, NodeId, SourceFn, SwitchModel};
+use comms::bits::BitStream;
+
+/// Two-phase non-overlapping clock generator.
+///
+/// ```
+/// use pmu::TwoPhaseClock;
+/// let clk = TwoPhaseClock::ironic();
+/// let (p1, p2) = (clk.phi1(), clk.phi2());
+/// // Never both high:
+/// for i in 0..100 {
+///     let t = i as f64 * 1.0e-7;
+///     assert!(!(p1.eval(t) > 0.9 && p2.eval(t) > 0.9));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseClock {
+    /// Clock frequency (one ϕ1/ϕ2 pair per period) in hertz.
+    pub frequency: f64,
+    /// Dead time between the phases in seconds.
+    pub dead_time: f64,
+    /// Logic swing in volts.
+    pub amplitude: f64,
+    /// Delay of the first ϕ1 rising edge.
+    pub start_delay: f64,
+}
+
+impl TwoPhaseClock {
+    /// The paper's demodulator clock: one sample per 100 kbps bit, with
+    /// ϕ1 centred on the bit so its rising edge lands in the settled part
+    /// of the symbol.
+    pub fn ironic() -> Self {
+        TwoPhaseClock {
+            frequency: 100.0e3,
+            dead_time: 200.0e-9,
+            amplitude: 1.8,
+            start_delay: 0.0,
+        }
+    }
+
+    /// Shifts the first ϕ1 edge to `delay` seconds.
+    #[must_use]
+    pub fn delayed(mut self, delay: f64) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// Clock period.
+    pub fn period(&self) -> f64 {
+        1.0 / self.frequency
+    }
+
+    /// ϕ1: high for the first half-period (minus dead time).
+    pub fn phi1(&self) -> SourceFn {
+        let p = self.period();
+        SourceFn::Pulse {
+            v1: 0.0,
+            v2: self.amplitude,
+            delay: self.start_delay,
+            rise: 10.0e-9,
+            fall: 10.0e-9,
+            width: p / 2.0 - self.dead_time,
+            period: p,
+        }
+    }
+
+    /// ϕ2: high for the second half-period (minus dead time).
+    pub fn phi2(&self) -> SourceFn {
+        let p = self.period();
+        SourceFn::Pulse {
+            v1: 0.0,
+            v2: self.amplitude,
+            delay: self.start_delay + p / 2.0,
+            rise: 10.0e-9,
+            fall: 10.0e-9,
+            width: p / 2.0 - self.dead_time,
+            period: p,
+        }
+    }
+
+    /// Times of the ϕ1 rising edges within `[0, t_stop]` — the instants
+    /// at which the demodulated bit is valid (paper: "bits are correctly
+    /// detected at the output at every rising edge of ϕ1").
+    pub fn phi1_rising_edges(&self, t_stop: f64) -> Vec<f64> {
+        let p = self.period();
+        let mut out = Vec::new();
+        let mut t = self.start_delay;
+        while t < t_stop {
+            out.push(t);
+            t += p;
+        }
+        out
+    }
+}
+
+/// Behavioural clocked demodulator: samples a carrier envelope at each
+/// ϕ1 rising edge (plus an aperture for C2 to settle), level-shifts it by
+/// the D6–D8 drops, and slices against the inverter threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockedDemodulator {
+    /// The two-phase clock.
+    pub clock: TwoPhaseClock,
+    /// Total level shift of the diode string, volts.
+    pub diode_shift: f64,
+    /// Logic threshold of the I3/I4 inverter reading C2, volts.
+    pub inverter_threshold: f64,
+    /// Sampling aperture after the ϕ1 edge, seconds.
+    pub aperture: f64,
+}
+
+impl ClockedDemodulator {
+    /// Matches the paper's operating point: three ≈ 0.55 V drops and a
+    /// 1.8 V-supply inverter threshold near 0.85 V.
+    pub fn ironic() -> Self {
+        ClockedDemodulator {
+            clock: TwoPhaseClock::ironic(),
+            diode_shift: 1.65,
+            inverter_threshold: 0.85,
+            aperture: 1.0e-6,
+        }
+    }
+
+    /// Demodulates `n_bits` from an envelope function, with the clock
+    /// already aligned to the burst (first ϕ1 edge inside the first bit).
+    /// Returns the bits and the C2 sample voltages for inspection.
+    pub fn run<F: Fn(f64) -> f64>(&self, envelope: F, n_bits: usize) -> (BitStream, Vec<f64>) {
+        let edges = self
+            .clock
+            .phi1_rising_edges(self.clock.start_delay + n_bits as f64 * self.clock.period());
+        let mut bits = BitStream::new();
+        let mut samples = Vec::new();
+        for &e in edges.iter().take(n_bits) {
+            let vc2 = (envelope(e + self.aperture) - self.diode_shift).max(0.0);
+            samples.push(vc2);
+            bits.push(vc2 > self.inverter_threshold);
+        }
+        (bits, samples)
+    }
+}
+
+impl Default for ClockedDemodulator {
+    fn default() -> Self {
+        ClockedDemodulator::ironic()
+    }
+}
+
+/// Node handles returned by [`DemodulatorCircuit::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct DemodulatorNodes {
+    /// Sampling capacitor C2's top plate.
+    pub c2: NodeId,
+    /// Demodulated logic output (after I3/I4).
+    pub vdem: NodeId,
+}
+
+/// Transistor-level builder for the Fig. 9 demodulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemodulatorCircuit {
+    /// Sampling capacitance C2.
+    pub c2: f64,
+    /// Series level-shift diode model (D6–D8).
+    pub diode: DiodeModel,
+    /// Number of series diodes.
+    pub n_diodes: usize,
+    /// The two-phase clock.
+    pub clock: TwoPhaseClock,
+}
+
+impl DemodulatorCircuit {
+    /// The paper's configuration.
+    pub fn ironic() -> Self {
+        DemodulatorCircuit {
+            c2: 2.0e-12,
+            diode: DiodeModel::silicon(),
+            n_diodes: 3,
+            clock: TwoPhaseClock::ironic(),
+        }
+    }
+
+    /// Builds the demodulator into `ckt`: input from the carrier node
+    /// `vi`, logic supply from `vdd`. M10 is modelled as a ϕ1-gated
+    /// switch (its C1 bootstrap guarantees hard turn-off in the real
+    /// circuit); the ϕ2 reset switch discharges C2; I3/I4 are CMOS
+    /// inverters.
+    pub fn build(&self, ckt: &mut Circuit, vi: NodeId, vdd: NodeId) -> DemodulatorNodes {
+        let phi1 = ckt.node("phi1");
+        let phi2 = ckt.node("phi2");
+        ckt.voltage_source("Vphi1", phi1, Circuit::GND, self.clock.phi1());
+        ckt.voltage_source("Vphi2", phi2, Circuit::GND, self.clock.phi2());
+        // Series level-shift diodes D6..D8.
+        let mut prev = vi;
+        for k in 0..self.n_diodes {
+            let next = ckt.node(&format!("dem_d{k}"));
+            ckt.diode(&format!("D{}", 6 + k), prev, next, self.diode);
+            prev = next;
+        }
+        let c2 = ckt.node("c2");
+        // M10 as a ϕ1-gated pass switch.
+        ckt.switch(
+            "M10",
+            prev,
+            c2,
+            phi1,
+            Circuit::GND,
+            SwitchModel { von: 1.2, voff: 0.6, ron: 200.0, roff: 1.0e9 },
+        );
+        ckt.capacitor_with_ic("C2", c2, Circuit::GND, self.c2, 0.0);
+        // ϕ2 reset discharges C2.
+        ckt.switch(
+            "Sreset",
+            c2,
+            Circuit::GND,
+            phi2,
+            Circuit::GND,
+            SwitchModel { von: 1.2, voff: 0.6, ron: 500.0, roff: 1.0e9 },
+        );
+        // Bleed resistor representing the sampling network's leakage.
+        ckt.resistor("Rbleed", c2, Circuit::GND, 50.0e6);
+        // Inverter I3.
+        let i3_out = ckt.node("i3_out");
+        ckt.mosfet("MI3N", i3_out, c2, Circuit::GND, Circuit::GND, MosModel::n018(2.0e-6, 0.18e-6).without_junctions());
+        ckt.mosfet("MI3P", i3_out, c2, vdd, vdd, MosModel::p018(4.0e-6, 0.18e-6).without_junctions());
+        // Inverter I4.
+        let vdem = ckt.node("vdem");
+        ckt.mosfet("MI4N", vdem, i3_out, Circuit::GND, Circuit::GND, MosModel::n018(2.0e-6, 0.18e-6).without_junctions());
+        ckt.mosfet("MI4P", vdem, i3_out, vdd, vdd, MosModel::p018(4.0e-6, 0.18e-6).without_junctions());
+        DemodulatorNodes { c2, vdem }
+    }
+}
+
+impl Default for DemodulatorCircuit {
+    fn default() -> Self {
+        DemodulatorCircuit::ironic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analog::{TransientSpec, Waveform};
+    use comms::ask::AskModulator;
+
+    #[test]
+    fn clock_phases_never_overlap() {
+        let clk = TwoPhaseClock::ironic();
+        let (p1, p2) = (clk.phi1(), clk.phi2());
+        for k in 0..2000 {
+            let t = k as f64 * 17.3e-9; // incommensurate sampling
+            let h1 = p1.eval(t) > 0.9;
+            let h2 = p2.eval(t) > 0.9;
+            assert!(!(h1 && h2), "overlap at t = {t}");
+        }
+    }
+
+    #[test]
+    fn clock_edges_at_bit_rate() {
+        let clk = TwoPhaseClock::ironic().delayed(5.0e-6);
+        let edges = clk.phi1_rising_edges(100.0e-6);
+        assert_eq!(edges.len(), 10);
+        assert!((edges[1] - edges[0] - 10.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn behavioral_demodulator_decodes_fig11_pattern() {
+        let bits = BitStream::fig11_pattern();
+        let tx = AskModulator::ironic_downlink().scaled(3.0 / 0.7745966692414834);
+        // Envelope: idle 3.9 V? No — scale such that high = 3 V, low ≈ 1.73 V.
+        let env = tx.envelope(&bits, 0.0);
+        let demod = ClockedDemodulator {
+            clock: TwoPhaseClock::ironic().delayed(4.0e-6),
+            ..ClockedDemodulator::ironic()
+        };
+        let (decoded, samples) = demod.run(|t| env.eval(t), bits.len());
+        assert_eq!(decoded, bits, "samples: {samples:?}");
+    }
+
+    #[test]
+    fn diode_shift_separates_symbols() {
+        let d = ClockedDemodulator::ironic();
+        // High symbol 3.0 V → C2 ≈ 1.35 V (above threshold);
+        // low symbol 1.73 V → C2 ≈ 0.08 V (below threshold).
+        let hi = (3.0f64 - d.diode_shift).max(0.0);
+        let lo = (1.73f64 - d.diode_shift).max(0.0);
+        assert!(hi > d.inverter_threshold);
+        assert!(lo < d.inverter_threshold);
+    }
+
+    #[test]
+    fn circuit_demodulator_tracks_symbols() {
+        // Carrier with two bits: high (3 V) then low (1.7 V) at 100 kbps.
+        let bits = BitStream::from_str("10");
+        let tx = AskModulator {
+            amplitude_high: 3.0,
+            amplitude_low: 1.7,
+            amplitude_idle: 3.0,
+            ..AskModulator::ironic_downlink()
+        };
+        let mut ckt = Circuit::new();
+        let vi = ckt.node("vi");
+        let vdd = ckt.node("vdd");
+        ckt.voltage_source("Vc", vi, Circuit::GND, tx.carrier_source(&bits, 0.0));
+        ckt.voltage_source("Vdd", vdd, Circuit::GND, SourceFn::dc(1.8));
+        let dem = DemodulatorCircuit {
+            clock: TwoPhaseClock::ironic().delayed(4.0e-6),
+            ..DemodulatorCircuit::ironic()
+        };
+        dem.build(&mut ckt, vi, vdd);
+        let spec = TransientSpec::new(20.0e-6).with_max_step(10.0e-9);
+        let res = ckt.transient(&spec).unwrap();
+        let vdem: Waveform = res.trace("vdem").unwrap();
+        // Sampled shortly after each ϕ1 rising edge (C2 settles fast).
+        let v_bit1 = vdem.value_at(6.0e-6);
+        let v_bit0 = vdem.value_at(16.0e-6);
+        assert!(v_bit1 > 1.4, "high symbol detected: vdem = {v_bit1}");
+        assert!(v_bit0 < 0.4, "low symbol detected: vdem = {v_bit0}");
+    }
+
+    #[test]
+    fn reset_phase_discharges_c2() {
+        let mut ckt = Circuit::new();
+        let vi = ckt.node("vi");
+        let vdd = ckt.node("vdd");
+        ckt.voltage_source("Vc", vi, Circuit::GND, SourceFn::sine(3.0, 5.0e6));
+        ckt.voltage_source("Vdd", vdd, Circuit::GND, SourceFn::dc(1.8));
+        let dem = DemodulatorCircuit::ironic();
+        dem.build(&mut ckt, vi, vdd);
+        let spec = TransientSpec::new(10.0e-6).with_max_step(10.0e-9);
+        let res = ckt.transient(&spec).unwrap();
+        let c2 = res.trace("c2").unwrap();
+        // Charged during ϕ1 (first half period), near zero during ϕ2.
+        assert!(c2.max_in(1.0e-6, 4.5e-6) > 0.9, "charged in ϕ1: {}", c2.max_in(1.0e-6, 4.5e-6));
+        assert!(c2.value_at(9.0e-6) < 0.2, "reset in ϕ2: {}", c2.value_at(9.0e-6));
+    }
+}

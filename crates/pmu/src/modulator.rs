@@ -1,0 +1,100 @@
+//! LSK load-modulation control (implant side of the uplink).
+//!
+//! The timing logic lives in [`comms::lsk::LskModulator`]; this module
+//! binds it to the rectifier's switches as gate-drive [`SourceFn`]s and
+//! encodes the paper's two design rules:
+//!
+//! 1. while a **low** symbol is transmitted, M1 shorts the rectifier
+//!    input (no power reaches the load);
+//! 2. M2 is **opened** during those intervals so the clamp-diode leakage
+//!    cannot discharge Co.
+
+use analog::SourceFn;
+use comms::bits::BitStream;
+use comms::lsk::LskModulator;
+
+/// Gate-drive generator for the rectifier's M1/M2 switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadModulator {
+    timing: LskModulator,
+}
+
+impl LoadModulator {
+    /// The paper's 66.6 kbps uplink timing with 1.8 V gate logic.
+    pub fn ironic() -> Self {
+        LoadModulator { timing: LskModulator::ironic_uplink() }
+    }
+
+    /// Builds from explicit timing.
+    pub fn with_timing(timing: LskModulator) -> Self {
+        LoadModulator { timing }
+    }
+
+    /// The underlying timing parameters.
+    pub fn timing(&self) -> &LskModulator {
+        &self.timing
+    }
+
+    /// Gate-drive waveforms `(m1_gate, m2_gate)` for an uplink burst of
+    /// `bits` starting at `t_start`.
+    pub fn gates(&self, bits: &BitStream, t_start: f64) -> (SourceFn, SourceFn) {
+        let m1 = SourceFn::Pwl(self.timing.m1_gate(bits, t_start));
+        let m2 = SourceFn::Pwl(self.timing.m2_gate(bits, t_start));
+        (m1, m2)
+    }
+
+    /// The raw uplink data waveform `Vup` as a source (for tracing).
+    pub fn vup(&self, bits: &BitStream, t_start: f64) -> SourceFn {
+        SourceFn::Pwl(self.timing.vup(bits, t_start))
+    }
+
+    /// Idle gate drives (no uplink): M1 off, M2 on.
+    pub fn idle(&self) -> (SourceFn, SourceFn) {
+        (SourceFn::dc(0.0), SourceFn::dc(self.timing.logic_high))
+    }
+
+    /// Duration of a burst of `n` bits.
+    pub fn burst_duration(&self, n: usize) -> f64 {
+        n as f64 * self.timing.bit_period()
+    }
+}
+
+impl Default for LoadModulator {
+    fn default() -> Self {
+        LoadModulator::ironic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_keeps_power_path_closed() {
+        let lm = LoadModulator::ironic();
+        let (m1, m2) = lm.idle();
+        assert_eq!(m1.eval(1.0), 0.0);
+        assert!(m2.eval(1.0) > 1.7);
+    }
+
+    #[test]
+    fn rules_encoded_in_gates() {
+        let lm = LoadModulator::ironic();
+        let bits = BitStream::from_str("10");
+        let (m1, m2) = lm.gates(&bits, 0.0);
+        let tb = lm.timing().bit_period();
+        // Bit 1 (high): power flows — M1 off, M2 on.
+        assert!(m1.eval(0.5 * tb) < 0.1);
+        assert!(m2.eval(0.5 * tb) > 1.7);
+        // Bit 0 (low): input shorted and Co isolated — M1 on, M2 off.
+        assert!(m1.eval(1.5 * tb) > 1.7);
+        assert!(m2.eval(1.5 * tb) < 0.1);
+    }
+
+    #[test]
+    fn burst_duration_at_paper_rate() {
+        let lm = LoadModulator::ironic();
+        let d = lm.burst_duration(10);
+        assert!((d - 10.0 / 66.6e3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,269 @@
+//! Low-dropout regulator model.
+//!
+//! The paper's compliance criterion for Fig. 11 derives from this block:
+//! the LDO drops 300 mV, so the rectifier output must stay above
+//! 1.8 V + 0.3 V = 2.1 V for the sensor supply to hold.
+
+use analog::{Circuit, MosModel, NodeId, SourceFn, Waveform};
+
+/// A low-dropout linear regulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ldo {
+    /// Regulated output voltage.
+    pub v_out: f64,
+    /// Dropout voltage: minimum input-output differential.
+    pub dropout: f64,
+    /// Quiescent (ground) current.
+    pub i_quiescent: f64,
+}
+
+impl Ldo {
+    /// The paper's regulator: 1.8 V output, 300 mV dropout.
+    pub fn ironic() -> Self {
+        Ldo { v_out: 1.8, dropout: 0.3, i_quiescent: 5.0e-6 }
+    }
+
+    /// Minimum input voltage for regulation.
+    pub fn min_input(&self) -> f64 {
+        self.v_out + self.dropout
+    }
+
+    /// Output voltage for a given input: regulated when the input is
+    /// above [`Ldo::min_input`], tracking `v_in − dropout` in dropout
+    /// (the LDO's pass device is fully on), clamped at zero.
+    pub fn output(&self, v_in: f64) -> f64 {
+        if v_in >= self.min_input() {
+            self.v_out
+        } else {
+            (v_in - self.dropout).max(0.0)
+        }
+    }
+
+    /// True when `v_in` keeps the output in regulation.
+    pub fn in_regulation(&self, v_in: f64) -> bool {
+        v_in >= self.min_input()
+    }
+
+    /// Input current needed to supply `i_load` at the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative load current.
+    pub fn input_current(&self, i_load: f64) -> f64 {
+        assert!(i_load >= 0.0, "load current cannot be negative");
+        i_load + self.i_quiescent
+    }
+
+    /// Efficiency at the given input voltage and load.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_in` is positive and `i_load` non-negative.
+    pub fn efficiency(&self, v_in: f64, i_load: f64) -> f64 {
+        assert!(v_in > 0.0, "input voltage must be positive");
+        let p_out = self.output(v_in) * i_load;
+        let p_in = v_in * self.input_current(i_load);
+        if p_in == 0.0 {
+            0.0
+        } else {
+            p_out / p_in
+        }
+    }
+
+    /// Checks an input waveform against the compliance criterion over
+    /// `[t0, t1]`: returns `(worst_margin_volts, always_compliant)` where
+    /// the margin is `min(v_in) − min_input`.
+    pub fn compliance(&self, v_in: &Waveform, t0: f64, t1: f64) -> (f64, bool) {
+        let worst = v_in.min_in(t0, t1) - self.min_input();
+        (worst, worst >= 0.0)
+    }
+}
+
+impl Default for Ldo {
+    fn default() -> Self {
+        Ldo::ironic()
+    }
+}
+
+/// Node handles returned by [`LdoCircuit::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct LdoNodes {
+    /// Regulated output node.
+    pub out: NodeId,
+    /// Pass-device gate (error-amplifier output), for inspection.
+    pub gate: NodeId,
+}
+
+/// Transistor-level LDO builder: PMOS pass device driven by an error
+/// amplifier (modelled as a high-gain VCVS) comparing the fed-back
+/// output against a bandgap-derived reference.
+///
+/// The loop regulates `out = v_ref·(R_f1 + R_f2)/R_f2`; with the 0.9 V
+/// reference and an equal divider it holds the paper's 1.8 V rail, and
+/// drops out when the input approaches `v_out` plus the pass device's
+/// saturation headroom — reproducing the 2.1 V compliance floor in
+/// circuit form rather than as a behavioural rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdoCircuit {
+    /// Reference voltage (from the bandgap), volts.
+    pub v_ref: f64,
+    /// Error-amplifier gain.
+    pub gain: f64,
+    /// Pass PMOS width, metres.
+    pub pass_width: f64,
+    /// Feedback divider resistance (each half), ohms.
+    pub r_feedback: f64,
+    /// Output capacitor, farads.
+    pub c_out: f64,
+}
+
+impl LdoCircuit {
+    /// The paper's regulator: 1.8 V from a 0.9 V reference.
+    pub fn ironic() -> Self {
+        LdoCircuit {
+            v_ref: 0.9,
+            gain: 2000.0,
+            pass_width: 600.0e-6,
+            r_feedback: 200.0e3,
+            c_out: 1.0e-9,
+        }
+    }
+
+    /// Builds the regulator between `vin` and a new output node.
+    pub fn build(&self, ckt: &mut Circuit, vin: NodeId) -> LdoNodes {
+        let out = ckt.node("ldo_out");
+        let gate = ckt.node("ldo_gate");
+        let fb = ckt.node("ldo_fb");
+        let vref = ckt.node("ldo_ref");
+        ckt.voltage_source("VREF", vref, Circuit::GND, SourceFn::dc(self.v_ref));
+        // Error amplifier: gate = gain·(fb − ref), referenced to the
+        // input rail so the PMOS turns fully on when fb < ref.
+        ckt.vcvs("EAMP", gate, Circuit::GND, fb, vref, self.gain);
+        // Pass PMOS: source at vin, drain at out.
+        let pass = MosModel::p018(self.pass_width, 0.5e-6).without_junctions();
+        ckt.mosfet("MPASS", out, gate, vin, vin, pass);
+        // Feedback divider.
+        ckt.resistor("RF1", out, fb, self.r_feedback);
+        ckt.resistor("RF2", fb, Circuit::GND, self.r_feedback);
+        ckt.capacitor("CLDO", out, Circuit::GND, self.c_out);
+        LdoNodes { out, gate }
+    }
+}
+
+impl Default for LdoCircuit {
+    fn default() -> Self {
+        LdoCircuit::ironic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regulation_threshold_is_2v1() {
+        let ldo = Ldo::ironic();
+        assert!((ldo.min_input() - 2.1).abs() < 1e-12);
+        assert!(ldo.in_regulation(2.1));
+        assert!(!ldo.in_regulation(2.09));
+    }
+
+    #[test]
+    fn output_in_and_out_of_regulation() {
+        let ldo = Ldo::ironic();
+        assert_eq!(ldo.output(2.75), 1.8);
+        assert_eq!(ldo.output(3.0), 1.8);
+        // In dropout the output follows the input minus the drop.
+        assert!((ldo.output(2.0) - 1.7).abs() < 1e-12);
+        assert_eq!(ldo.output(0.1), 0.0);
+    }
+
+    #[test]
+    fn efficiency_below_vout_over_vin() {
+        let ldo = Ldo::ironic();
+        let eta = ldo.efficiency(2.75, 1.0e-3);
+        assert!(eta < 1.8 / 2.75 + 1e-9);
+        assert!(eta > 0.6);
+    }
+
+    #[test]
+    fn compliance_on_waveform() {
+        let ldo = Ldo::ironic();
+        let good = Waveform::new(vec![0.0, 1.0, 2.0], vec![2.5, 2.2, 2.75]);
+        let (margin, ok) = ldo.compliance(&good, 0.0, 2.0);
+        assert!(ok && (margin - 0.1).abs() < 1e-12);
+        let bad = Waveform::new(vec![0.0, 1.0], vec![2.5, 2.0]);
+        let (margin, ok) = ldo.compliance(&bad, 0.0, 1.0);
+        assert!(!ok && margin < 0.0);
+    }
+
+    #[test]
+    fn input_current_includes_quiescent() {
+        let ldo = Ldo::ironic();
+        assert!((ldo.input_current(350.0e-6) - 355.0e-6).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod circuit_tests {
+    use super::*;
+    use analog::{SourceFn, TransientSpec};
+
+    fn regulated_output(v_in: f64, r_load: f64) -> f64 {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        ckt.voltage_source("VIN", vin, Circuit::GND, SourceFn::dc(v_in));
+        let nodes = LdoCircuit::ironic().build(&mut ckt, vin);
+        ckt.resistor("RL", nodes.out, Circuit::GND, r_load);
+        ckt.dc_op().expect("solves").voltage("ldo_out").expect("traced")
+    }
+
+    #[test]
+    fn regulates_1v8_from_2v75() {
+        let v = regulated_output(2.75, 1.8e3); // 1 mA load
+        assert!((v - 1.8).abs() < 0.02, "v_out = {v}");
+    }
+
+    #[test]
+    fn line_regulation_across_input_range() {
+        let lo = regulated_output(2.3, 1.8e3);
+        let hi = regulated_output(3.0, 1.8e3);
+        assert!((hi - lo).abs() < 0.01, "line regulation: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn load_regulation() {
+        let light = regulated_output(2.75, 18.0e3); // 100 µA
+        let heavy = regulated_output(2.75, 1.38e3); // 1.3 mA high-power mode
+        assert!((light - heavy).abs() < 0.02, "load regulation: {light} vs {heavy}");
+    }
+
+    #[test]
+    fn drops_out_below_headroom() {
+        let v = regulated_output(1.6, 1.8e3);
+        assert!(v < 1.7, "in dropout the output follows the starved input: {v}");
+        // And recovers with input: monotone in v_in through dropout.
+        let v2 = regulated_output(1.9, 1.8e3);
+        assert!(v2 > v);
+    }
+
+    #[test]
+    fn transient_startup_settles() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        ckt.voltage_source("VIN", vin, Circuit::GND, SourceFn::pwl(vec![
+            (0.0, 0.0),
+            (20.0e-6, 2.75),
+            (100.0e-6, 2.75),
+        ]));
+        let nodes = LdoCircuit::ironic().build(&mut ckt, vin);
+        ckt.resistor("RL", nodes.out, Circuit::GND, 1.8e3);
+        let res = ckt
+            .transient(&TransientSpec::new(100.0e-6).with_max_step(0.2e-6))
+            .expect("simulates");
+        let out = res.trace("ldo_out").expect("traced");
+        assert!((out.final_value() - 1.8).abs() < 0.03);
+        // No gross overshoot beyond the rail.
+        assert!(out.max() < 2.0, "overshoot: {}", out.max());
+    }
+}

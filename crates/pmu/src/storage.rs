@@ -1,0 +1,194 @@
+//! Storage capacitor bookkeeping and sensor load profiles.
+
+use analog::Waveform;
+
+/// The implanted sensor's worst-case load profiles assumed in the paper's
+/// simulations (Section IV-C): 350 µA in low-power mode (while receiving
+/// or transmitting a bitstream) and 1.3 mA in high-power mode (while
+/// performing a measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SensorLoad {
+    /// Communication mode: ≈ 350 µA.
+    #[default]
+    LowPower,
+    /// Measurement mode: ≈ 1.3 mA.
+    HighPower,
+    /// Sensor disconnected (leakage only).
+    Off,
+}
+
+impl SensorLoad {
+    /// Supply current drawn from the 1.8 V rail in this mode.
+    pub fn current(self) -> f64 {
+        match self {
+            SensorLoad::LowPower => 350.0e-6,
+            SensorLoad::HighPower => 1.3e-3,
+            SensorLoad::Off => 1.0e-6,
+        }
+    }
+
+    /// Power drawn from the 1.8 V rail.
+    pub fn power(self) -> f64 {
+        1.8 * self.current()
+    }
+}
+
+/// The storage capacitor Co with charge bookkeeping.
+///
+/// ```
+/// use pmu::StorageCap;
+/// let mut co = StorageCap::new(100.0e-9, 2.75);
+/// co.discharge(350.0e-6, 100.0e-6); // 350 µA for 100 µs
+/// assert!(co.voltage() < 2.75 && co.voltage() > 2.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageCap {
+    capacitance: f64,
+    voltage: f64,
+}
+
+impl StorageCap {
+    /// A capacitor of `capacitance` farads pre-charged to `voltage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is not positive.
+    pub fn new(capacitance: f64, voltage: f64) -> Self {
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        StorageCap { capacitance, voltage }
+    }
+
+    /// Current voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// Capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// Stored energy `½CV²`.
+    pub fn energy(&self) -> f64 {
+        0.5 * self.capacitance * self.voltage * self.voltage
+    }
+
+    /// Draws `current` amperes for `dt` seconds (voltage floors at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative current or time.
+    pub fn discharge(&mut self, current: f64, dt: f64) {
+        assert!(current >= 0.0 && dt >= 0.0, "need non-negative current and time");
+        self.voltage = (self.voltage - current * dt / self.capacitance).max(0.0);
+    }
+
+    /// Injects `current` amperes for `dt` seconds, clamped at `v_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative current or time, or non-positive clamp.
+    pub fn charge(&mut self, current: f64, dt: f64, v_max: f64) {
+        assert!(current >= 0.0 && dt >= 0.0 && v_max > 0.0, "non-physical charge step");
+        self.voltage = (self.voltage + current * dt / self.capacitance).min(v_max);
+    }
+
+    /// Time to droop from the present voltage to `v_min` under a constant
+    /// load `current`, with no recharge — the uplink-burst survival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `current` is positive.
+    pub fn holdup_time(&self, current: f64, v_min: f64) -> f64 {
+        assert!(current > 0.0, "load current must be positive");
+        ((self.voltage - v_min).max(0.0)) * self.capacitance / current
+    }
+
+    /// Constant-load discharge trajectory as a waveform over `t_stop`,
+    /// sampled every `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all arguments are positive.
+    pub fn discharge_trajectory(&self, current: f64, t_stop: f64, dt: f64) -> Waveform {
+        assert!(current > 0.0 && t_stop > 0.0 && dt > 0.0, "non-physical trajectory");
+        let mut cap = *self;
+        // Guard the ceil against floating-point overshoot of exact ratios.
+        let n = (t_stop / dt - 1.0e-9).ceil().max(1.0) as usize;
+        let mut time = Vec::with_capacity(n + 1);
+        let mut vals = Vec::with_capacity(n + 1);
+        time.push(0.0);
+        vals.push(cap.voltage);
+        for k in 1..=n {
+            cap.discharge(current, dt);
+            time.push(k as f64 * dt);
+            vals.push(cap.voltage);
+        }
+        Waveform::new(time, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_load_currents() {
+        assert_eq!(SensorLoad::LowPower.current(), 350.0e-6);
+        assert_eq!(SensorLoad::HighPower.current(), 1.3e-3);
+        assert!(SensorLoad::HighPower.power() > 2.0e-3);
+    }
+
+    #[test]
+    fn discharge_linear_in_time() {
+        let mut co = StorageCap::new(100.0e-9, 2.75);
+        co.discharge(1.0e-3, 10.0e-6); // ΔV = I·t/C = 0.1 V
+        assert!((co.voltage() - 2.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_clamps_at_vmax() {
+        let mut co = StorageCap::new(1.0e-9, 2.9);
+        co.charge(1.0e-3, 1.0e-3, 3.0);
+        assert_eq!(co.voltage(), 3.0);
+    }
+
+    #[test]
+    fn voltage_floors_at_zero() {
+        let mut co = StorageCap::new(1.0e-9, 0.1);
+        co.discharge(1.0, 1.0);
+        assert_eq!(co.voltage(), 0.0);
+    }
+
+    #[test]
+    fn holdup_matches_analytic() {
+        // The Fig. 11 question: how long can Co = 100 nF at 2.75 V feed
+        // 350 µA before violating the 2.1 V floor? t = C·ΔV/I ≈ 186 µs.
+        let co = StorageCap::new(100.0e-9, 2.75);
+        let t = co.holdup_time(350.0e-6, 2.1);
+        assert!((t - 185.7e-6).abs() < 1.0e-6, "t = {t}");
+    }
+
+    #[test]
+    fn high_power_mode_drains_fast() {
+        let co = StorageCap::new(100.0e-9, 2.75);
+        let t_low = co.holdup_time(SensorLoad::LowPower.current(), 2.1);
+        let t_high = co.holdup_time(SensorLoad::HighPower.current(), 2.1);
+        assert!(t_high < t_low / 3.0);
+    }
+
+    #[test]
+    fn trajectory_endpoints() {
+        let co = StorageCap::new(100.0e-9, 2.75);
+        let w = co.discharge_trajectory(350.0e-6, 100.0e-6, 1.0e-6);
+        assert!((w.value_at(0.0) - 2.75).abs() < 1e-12);
+        let expect = 2.75 - 350.0e-6 * 100.0e-6 / 100.0e-9;
+        assert!((w.final_value() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_formula() {
+        let co = StorageCap::new(2.0e-6, 3.0);
+        assert!((co.energy() - 9.0e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the power-management invariants.
+
+use pmu::rectifier::BehavioralRectifier;
+use pmu::regulator::Ldo;
+use pmu::storage::StorageCap;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The behavioural rectifier's output never exceeds the clamp nor the
+    /// envelope-minus-drop, for any drive/load trajectory.
+    #[test]
+    fn rectifier_output_bounded(
+        amp in 0.0f64..10.0,
+        i_load in 0.0f64..5.0e-3,
+        v0 in 0.0f64..3.0,
+    ) {
+        let r = BehavioralRectifier::ironic();
+        let w = r.simulate(|_| amp, |_| i_load, 200.0e-6, 0.5e-6, v0);
+        prop_assert!(w.max() <= r.v_clamp + 1e-12);
+        prop_assert!(w.min() >= 0.0);
+        // Steady state cannot exceed both bounds.
+        let v_end = w.final_value();
+        prop_assert!(v_end <= (amp - r.diode_drop).max(v0).min(r.v_clamp) + 1e-9);
+    }
+
+    /// More load never raises the rectifier output.
+    #[test]
+    fn rectifier_monotone_in_load(
+        amp in 1.0f64..5.0,
+        i1 in 0.0f64..1.0e-3,
+        extra in 1.0e-5f64..2.0e-3,
+    ) {
+        let r = BehavioralRectifier::ironic();
+        let light = r.simulate(|_| amp, |_| i1, 300.0e-6, 1.0e-6, 0.0).final_value();
+        let heavy = r
+            .simulate(|_| amp, |_| i1 + extra, 300.0e-6, 1.0e-6, 0.0)
+            .final_value();
+        prop_assert!(heavy <= light + 1e-9);
+    }
+
+    /// Charge bookkeeping: discharge then equal charge returns to the
+    /// starting voltage (below the clamp).
+    #[test]
+    fn storage_charge_reversible(
+        c_nf in 10.0f64..500.0,
+        v0 in 0.5f64..2.5,
+        i_ma in 0.01f64..2.0,
+        t_us in 1.0f64..50.0,
+    ) {
+        let c = c_nf * 1e-9;
+        let i = i_ma * 1e-3;
+        let t = t_us * 1e-6;
+        prop_assume!(v0 - i * t / c > 0.0);
+        let mut cap = StorageCap::new(c, v0);
+        cap.discharge(i, t);
+        cap.charge(i, t, 3.0);
+        prop_assert!((cap.voltage() - v0).abs() < 1e-12);
+    }
+
+    /// Holdup time is exactly C·ΔV/I.
+    #[test]
+    fn holdup_formula(
+        c_nf in 10.0f64..500.0,
+        v0 in 2.2f64..3.0,
+        i_ua in 50.0f64..2000.0,
+    ) {
+        let cap = StorageCap::new(c_nf * 1e-9, v0);
+        let i = i_ua * 1e-6;
+        let t = cap.holdup_time(i, 2.1);
+        prop_assert!((t - (v0 - 2.1) * c_nf * 1e-9 / i).abs() < 1e-12);
+    }
+
+    /// LDO output is continuous and never exceeds the regulation target
+    /// nor the input.
+    #[test]
+    fn ldo_output_sane(v_in in 0.0f64..5.0) {
+        let ldo = Ldo::ironic();
+        let out = ldo.output(v_in);
+        prop_assert!(out >= 0.0);
+        prop_assert!(out <= ldo.v_out + 1e-12);
+        prop_assert!(out <= v_in.max(0.0) + 1e-12);
+        // Continuity at the dropout edge.
+        let eps = 1e-6;
+        let below = ldo.output(ldo.min_input() - eps);
+        prop_assert!((below - ldo.v_out).abs() < 1e-3);
+    }
+
+    /// Efficiency never exceeds v_out/v_in in regulation.
+    #[test]
+    fn ldo_efficiency_bound(v_in in 2.1f64..5.0, i_load in 1.0e-6f64..5.0e-3) {
+        let ldo = Ldo::ironic();
+        let eta = ldo.efficiency(v_in, i_load);
+        prop_assert!(eta > 0.0 && eta <= ldo.v_out / v_in + 1e-12);
+    }
+}

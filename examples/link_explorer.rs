@@ -1,0 +1,52 @@
+//! Link exploration: received power versus distance, tissue and patch
+//! misalignment — the wearability questions of Section III.
+//!
+//! ```sh
+//! cargo run --release --example link_explorer
+//! ```
+
+use electronic_implants::analog::units::si_format;
+use electronic_implants::coils::tissue::TissueStack;
+use electronic_implants::implant_core::report::Table;
+use electronic_implants::link::budget::PowerBudget;
+
+fn main() {
+    let air = PowerBudget::ironic_air();
+    let meat = PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm());
+
+    let mut by_distance = Table::new(
+        "received power vs coil separation (calibrated: 15 mW at 6 mm)",
+        &["distance", "P_rx (air)", "P_rx (17 mm sirloin stack)", "η bound"],
+    );
+    for mm in [2.0, 4.0, 6.0, 8.0, 10.0, 13.0, 17.0, 22.0, 30.0] {
+        let d = mm * 1.0e-3;
+        by_distance.row_owned(vec![
+            format!("{mm:>4.0} mm"),
+            si_format(air.received_power(d), "W"),
+            si_format(meat.received_power(d), "W"),
+            format!("{:.1} %", air.efficiency_bound(d) * 100.0),
+        ]);
+    }
+    println!("{by_distance}");
+
+    let mut by_offset = Table::new(
+        "received power vs lateral patch misalignment at 6 mm depth",
+        &["offset", "P_rx", "fraction of centred"],
+    );
+    let centred = air.received_power_misaligned(6.0e-3, 0.0);
+    for mm in [0.0, 2.0, 5.0, 8.0, 12.0, 16.0, 20.0] {
+        let p = air.received_power_misaligned(6.0e-3, mm * 1.0e-3);
+        by_offset.row_owned(vec![
+            format!("{mm:>4.0} mm"),
+            si_format(p, "W"),
+            format!("{:.0} %", p / centred * 100.0),
+        ]);
+    }
+    println!("{by_offset}");
+
+    println!(
+        "paper anchors: 15 mW at 6 mm (air) — model {}; 1.17 mW at 17 mm — model {}",
+        si_format(air.received_power(6.0e-3), "W"),
+        si_format(air.received_power(17.0e-3), "W"),
+    );
+}

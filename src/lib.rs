@@ -1,0 +1,44 @@
+//! Reproduction of *"Electronic Implants: Power Delivery and Management"*
+//! (Olivo, Ghoreishizadeh, Carrara, De Micheli — DATE 2013).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`analog`] | from-scratch SPICE-class circuit simulator (MNA, Newton, transient/DC/AC) |
+//! | [`coils`] | spiral inductors, mutual inductance, coupling vs distance, tissue model |
+//! | [`link`] | class-E PA synthesis, resonant-link theory, CA/CB matching, power budget |
+//! | [`comms`] | ASK downlink (100 kbps) and LSK uplink (66.6 kbps), framing, BER |
+//! | [`pmu`] | rectifier + clamps, LSK load modulator, switched-cap ASK demodulator, LDO, storage |
+//! | [`biosensor`] | electrochemical cell, potentiostat, readout, bandgaps, ΣΔ ADC |
+//! | [`patch`] | IronIC patch: battery, power states, session controller |
+//! | [`implant_core`] | the Fig. 11 scenario and the end-to-end system co-simulation |
+//!
+//! # Quickstart
+//!
+//! Run the paper's headline experiment (Fig. 11) in its shortened form:
+//!
+//! ```no_run
+//! use electronic_implants::implant_core::scenario::Fig11Scenario;
+//! # fn main() -> Result<(), electronic_implants::analog::SimError> {
+//! let outcome = Fig11Scenario::shortened().run()?;
+//! assert!(outcome.all_downlink_bits_detected());
+//! assert!(outcome.vo_compliant()); // Vo ≥ 2.1 V throughout
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every figure/table of the paper.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use analog;
+pub use biosensor;
+pub use coils;
+pub use comms;
+pub use implant_core;
+pub use link;
+pub use patch;
+pub use pmu;

@@ -1,0 +1,178 @@
+//! Workspace-spanning integration tests: each exercises at least three
+//! crates together through the facade.
+
+use electronic_implants::biosensor::Enzyme;
+use electronic_implants::comms::{BitStream, Frame};
+use electronic_implants::implant_core::system::{ImplantSystem, SystemConfig};
+use electronic_implants::link::budget::PowerBudget;
+use electronic_implants::patch::Patch;
+use electronic_implants::pmu::regulator::Ldo;
+use electronic_implants::pmu::storage::StorageCap;
+
+#[test]
+fn full_measurement_session_round_trips_concentration() {
+    // cell → potentiostat → ADC → frame → uplink → decode → inversion.
+    let mut sys = ImplantSystem::ironic();
+    for truth in [0.3, 0.8, 1.5, 3.0] {
+        let out = sys.measurement_session(truth);
+        assert!(out.compliant, "Vo floor held at {truth} mM: {}", out.vo_min);
+        let rel = (out.concentration_estimate - truth).abs() / truth;
+        assert!(rel < 0.05, "round trip at {truth} mM: got {}", out.concentration_estimate);
+    }
+}
+
+#[test]
+fn wtlodx_reads_lower_codes_than_clodx() {
+    // Enzyme choice propagates through the whole chain to the ADC code.
+    let read = |enzyme: Enzyme| {
+        let mut cfg = SystemConfig::ironic();
+        cfg.enzyme = enzyme;
+        ImplantSystem::new(cfg).measurement_session(1.0).reading.code.value()
+    };
+    let c = read(Enzyme::clodx());
+    let w = read(Enzyme::wtlodx());
+    assert!(c > w, "cLODx code {c} must exceed wtLODx {w}");
+}
+
+#[test]
+fn frames_survive_both_links_at_paper_rates() {
+    // Frame → ASK envelope → demodulate → decode, then frame → LSK
+    // reflected current → detect → decode.
+    use electronic_implants::comms::ask::{AskDemodulator, AskModulator};
+    use electronic_implants::comms::lsk::{reflected_current, LskDetector};
+
+    let frame = Frame::new(&[0xDE, 0xAD, 0xBE, 0xEF]).expect("fits");
+    let bits = frame.encode();
+
+    // Downlink path.
+    let tx = AskModulator::ironic_downlink().scaled(3.9);
+    let rx = AskDemodulator::ironic_downlink();
+    let env = tx.envelope(&bits, 5.0e-6);
+    let t_end = 5.0e-6 + bits.len() as f64 * tx.bit_period() + 5.0e-6;
+    let w = electronic_implants::analog::Waveform::from_fn(0.0, t_end, 100_000, |t| env.eval(t));
+    let down = rx.demodulate_waveform(&w, 5.0e-6, bits.len());
+    assert_eq!(Frame::decode(&down).expect("crc holds"), frame);
+
+    // Uplink path.
+    let det = LskDetector::ironic_uplink();
+    let t_start = 10.0e-6;
+    let t_stop = t_start + (bits.len() + 2) as f64 * det.bit_period();
+    let shunt = reflected_current(
+        &bits, det.bit_rate, t_start, t_stop, 20.0e-3, 8.0e-3, 1.0e-6, 400_000,
+    );
+    let up = det.detect(&shunt, t_start, bits.len());
+    assert_eq!(Frame::decode(&up).expect("crc holds"), frame);
+}
+
+#[test]
+fn link_budget_supports_the_implant_demand() {
+    // The calibrated link must deliver more than the worst-case implant
+    // demand (1.3 mA high-power sensor behind the LDO) at 6 mm, with
+    // margin vanishing far out.
+    let budget = PowerBudget::ironic_air();
+    let ldo = Ldo::ironic();
+    let demand = ldo.min_input() * ldo.input_current(1.3e-3); // ≈ 2.7 mW
+    assert!(budget.received_power(6.0e-3) > 4.0 * demand);
+    assert!(budget.received_power(30.0e-3) < demand);
+}
+
+#[test]
+fn storage_cap_bridges_one_uplink_frame() {
+    // During LSK zeros no power arrives; Co recharges during the ones,
+    // so the binding constraint is the longest run of zeros in the
+    // frame encoding — Co must bridge it without violating 2.1 V.
+    let frame = Frame::new(&[0x55, 0xAA]).expect("fits");
+    let bits: BitStream = frame.encode();
+    let mut longest_zero_run = 0usize;
+    let mut run = 0usize;
+    for b in bits.iter() {
+        run = if b { 0 } else { run + 1 };
+        longest_zero_run = longest_zero_run.max(run);
+    }
+    let t_dark = longest_zero_run as f64 / 66.6e3;
+    let co = StorageCap::new(150.0e-9, 2.75);
+    let holdup = co.holdup_time(355.0e-6, 2.1);
+    assert!(
+        holdup > t_dark,
+        "Co bridges {t_dark:.1e} s of shorted bits (holdup {holdup:.1e} s)"
+    );
+}
+
+#[test]
+fn patch_battery_survives_a_clinic_day_of_sessions() {
+    // 8 hours of hourly measurements must not deplete the battery.
+    let mut patch = Patch::new();
+    let cmd = Frame::new(&[0x01]).expect("fits");
+    for _ in 0..8 {
+        assert!(
+            patch.measurement_cycle(&cmd, 1.0, 0.05, 32).is_some(),
+            "cycle failed at {:.1} h",
+            patch.time() / 3600.0
+        );
+        assert!(patch.advance(3600.0 - 2.0), "idle hour");
+    }
+    assert!(!patch.battery().is_depleted());
+    assert!(patch.battery().state_of_charge() > 0.05);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Each re-exported crate is reachable through the facade.
+    let _ = electronic_implants::analog::Circuit::new();
+    let _ = electronic_implants::coils::SpiralCoil::ironic_receiver();
+    let _ = electronic_implants::link::classe::ClassEDesign::ironic();
+    let _ = electronic_implants::comms::BitStream::fig11_pattern();
+    let _ = electronic_implants::pmu::storage::SensorLoad::LowPower;
+    let _ = electronic_implants::biosensor::Enzyme::clodx();
+    let _ = electronic_implants::patch::Battery::ironic_patch();
+}
+
+#[test]
+fn whitened_frame_through_the_pmu_demodulator() {
+    // Security-extension path across four crates: Frame (comms) →
+    // whitening (comms::coding) → ASK envelope → the PMU's clocked
+    // demodulator (pmu) samples at the ϕ1 edges → dewhiten → CRC check.
+    use electronic_implants::comms::ask::AskModulator;
+    use electronic_implants::comms::coding::whiten;
+    use electronic_implants::pmu::demodulator::{ClockedDemodulator, TwoPhaseClock};
+
+    let frame = Frame::new(&[0x13, 0x37, 0x42]).expect("fits");
+    let clear = frame.encode();
+    let white = whiten(&clear, 0x0B5);
+
+    let tx = AskModulator::ironic_downlink().scaled(3.9);
+    let env = tx.envelope(&white, 0.0);
+    let demod = ClockedDemodulator {
+        clock: TwoPhaseClock::ironic().delayed(4.0e-6),
+        // Levels scaled by 3.9: shift sits between low (1.74) and high (3.02).
+        diode_shift: 1.65,
+        inverter_threshold: 0.85,
+        ..ClockedDemodulator::ironic()
+    };
+    let (received, _) = demod.run(|t| env.eval(t), white.len());
+    assert_eq!(received, white, "air bits recovered");
+
+    let declear = whiten(&received, 0x0B5);
+    let decoded = Frame::decode(&declear).expect("crc holds after dewhitening");
+    assert_eq!(decoded, frame);
+
+    // Wrong key: the CRC (or sync search) must reject it.
+    let wrong = whiten(&received, 0x0B6);
+    assert!(Frame::decode(&wrong).is_err(), "wrong key cannot yield a valid frame");
+}
+
+#[test]
+fn thermal_safety_at_the_operating_point() {
+    // patch (thermal) + link (budget): the delivered power at 6 mm stays
+    // within the ISO implant-heating limit with margin.
+    use electronic_implants::patch::thermal::{evaluate, ThermalPath, IMPLANT_RISE_LIMIT_K};
+    use electronic_implants::patch::power_states::PatchState;
+
+    let budget = PowerBudget::ironic_air();
+    let p_rx = budget.received_power(6.0e-3);
+    let p_batt = PatchState::powering().power(3.7);
+    let report = evaluate(p_batt, p_rx);
+    assert!(report.safe, "operating point is thermally safe: {report:?}");
+    let implant = ThermalPath::subcutaneous_implant();
+    assert!(implant.rise(p_rx) < IMPLANT_RISE_LIMIT_K);
+}
