@@ -1,3 +1,5 @@
+#![cfg(feature = "fuzz")]
+
 //! Property tests of the netlist parser/writer round trip.
 
 use analog::parse::{parse_netlist, parse_value};

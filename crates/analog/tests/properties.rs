@@ -1,3 +1,5 @@
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests on the simulator's core invariants.
 
 use analog::{Circuit, SourceFn, TransientSpec};

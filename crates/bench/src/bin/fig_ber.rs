@@ -9,14 +9,13 @@ use bench::{banner, verdict};
 use comms::ask::{AskDemodulator, AskModulator};
 use comms::ber::{ber_sweep, q_function};
 use implant_core::report::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use runtime::Xoshiro256PlusPlus;
 
 fn main() {
     banner("BER", "ASK downlink error rate vs envelope SNR (extension)");
     let tx = AskModulator::ironic_downlink();
     let rx = AskDemodulator::ironic_downlink();
-    let mut rng = StdRng::seed_from_u64(0x0B_E2);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x0B_E2);
 
     let d = tx.amplitude_high - tx.amplitude_low;
     let sigmas: Vec<f64> = [8.0, 6.0, 5.0, 4.0, 3.0, 2.5, 2.0]

@@ -4,31 +4,53 @@
 //! **1.17 mW at 17 mm**, with a 17 mm slice of beef sirloin between the
 //! coils giving "a value similar to that obtained in air". The model is
 //! calibrated once at the 6 mm anchor; everything else is prediction.
+//!
+//! The distance × medium sweep is an `implant-runtime` grid batch: each
+//! (distance, medium) point is one pool job, cached under the
+//! `power-vs-distance` namespace (set `IMPLANT_CACHE_DIR` to persist).
 
 use bench::{banner, verdict};
 use coils::tissue::TissueStack;
 use implant_core::report::{eng, Table};
 use link::budget::PowerBudget;
+use runtime::{Batch, Grid, Pool, ResultCache};
+
+const DISTANCES_MM: [f64; 11] = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 17.0, 20.0, 25.0, 30.0];
 
 fn main() {
     banner("E3", "§III-B received power vs distance (15 mW @ 6 mm anchor)");
     let air = PowerBudget::ironic_air();
     let sirloin = PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm());
 
+    // Row-major grid, medium fastest: index = 2 * distance_index + medium.
+    let grid = Grid::new()
+        .axis("distance_mm", DISTANCES_MM)
+        .axis("medium", ["air", "sirloin"]);
+    let batch = Batch::from_grid("power-vs-distance", 0, &grid);
+    let cache = ResultCache::from_env("IMPLANT_CACHE_DIR");
+    let run = Pool::auto().run_cached(&batch, &cache, |ctx| {
+        let d = ctx.point.f64("distance_mm") * 1e-3;
+        match ctx.point.str("medium") {
+            "air" => air.received_power(d),
+            _ => sirloin.received_power(d),
+        }
+    });
+    let p_rx = |i: usize, medium: usize| *run.value(2 * i + medium).expect("budget job ok");
+
     let mut table = Table::new(
         "received power vs coaxial distance",
         &["distance", "P_rx air", "P_rx sirloin", "k(d)"],
     );
-    for mm in [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 17.0, 20.0, 25.0, 30.0] {
-        let d = mm * 1e-3;
+    for (i, &mm) in DISTANCES_MM.iter().enumerate() {
         table.row_owned(vec![
             format!("{mm:>4.0} mm"),
-            eng(air.received_power(d), "W"),
-            eng(sirloin.received_power(d), "W"),
-            format!("{:.4}", air.pair().coupling_at(d)),
+            eng(p_rx(i, 0), "W"),
+            eng(p_rx(i, 1), "W"),
+            format!("{:.4}", air.pair().coupling_at(mm * 1e-3)),
         ]);
     }
     println!("{table}");
+    println!("{}", run.metrics);
 
     let p6 = air.received_power(6.0e-3);
     let p17 = air.received_power(17.0e-3);

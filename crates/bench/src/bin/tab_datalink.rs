@@ -12,12 +12,11 @@ use comms::bits::BitStream;
 use comms::lsk::{reflected_current, LskDetector};
 use comms::noise::add_awgn;
 use implant_core::report::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use runtime::Xoshiro256PlusPlus;
 
 fn main() {
     banner("E8", "§III-A ASK downlink 100 kbps / LSK uplink 66.6 kbps");
-    let mut rng = StdRng::seed_from_u64(2013);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2013);
 
     // Downlink: 1024 PRBS bits through the envelope channel with noise.
     let bits = BitStream::prbs9(1024, 0x1B7);

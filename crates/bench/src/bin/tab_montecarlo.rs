@@ -5,24 +5,43 @@
 //! drops, logic thresholds, passives and link gain with 0.18 µm-class
 //! corner widths and count how often the design still satisfies all
 //! three Fig. 11 pass criteria (charges in time, 18/18 bits, Vo ≥ 2.1 V).
+//!
+//! Each corner width is one job in an `implant-runtime` batch: the six
+//! studies run in parallel on the worker pool, with yield reports keyed
+//! by their parameter point in the result cache (set `IMPLANT_CACHE_DIR`
+//! to persist them across runs).
 
 use bench::{banner, verdict};
 use implant_core::montecarlo::{MonteCarloStudy, VariationModel};
 use implant_core::report::Table;
+use runtime::{Batch, ParamPoint, Pool, ResultCache};
 
 fn main() {
     banner("MC", "parametric yield of the Fig. 11 criteria (extension)");
     const TRIALS: usize = 5000;
+    const SCALES: [f64; 6] = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+    let mut batch = Batch::new("montecarlo-yield", MonteCarloStudy::ironic().seed);
+    for scale in SCALES {
+        batch.push(ParamPoint::new().with("scale", scale).with("trials", TRIALS as u64));
+    }
+    let cache = ResultCache::from_env("IMPLANT_CACHE_DIR");
+    let run = Pool::auto().run_cached(&batch, &cache, |ctx| {
+        let mut study = MonteCarloStudy::ironic();
+        study.variation = VariationModel::typical_018um().scaled(ctx.point.f64("scale"));
+        // Each job is one full study; its trials draw from the study's
+        // own seed-derived streams, so the report is independent of how
+        // the batch lands on workers.
+        study.run_serial(ctx.point.u64("trials") as usize)
+    });
 
     let mut table = Table::new(
         "yield vs variation scale (5000 trials each)",
         &["corner width", "yield", "charge ok", "downlink ok", "Vo ok", "worst Vo"],
     );
     let mut yields = Vec::new();
-    for scale in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let mut study = MonteCarloStudy::ironic();
-        study.variation = VariationModel::typical_018um().scaled(scale);
-        let r = study.run(TRIALS);
+    for (i, &scale) in SCALES.iter().enumerate() {
+        let r = run.value(i).expect("yield study must not panic");
         yields.push((scale, r.yield_fraction()));
         table.row_owned(vec![
             format!("{scale:.1}× typical"),
@@ -34,6 +53,7 @@ fn main() {
         ]);
     }
     println!("{table}");
+    println!("{}", run.metrics);
 
     let nominal_full = yields.first().map(|&(_, y)| y >= 1.0).unwrap_or(false);
     let typical = yields.iter().find(|&&(s, _)| s == 1.0).map(|&(_, y)| y).unwrap_or(0.0);

@@ -1,3 +1,5 @@
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests of the biosensor chain.
 
 use biosensor::adc::SigmaDeltaAdc;

@@ -1,3 +1,5 @@
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests of the magnetics invariants.
 
 use coils::elliptic::{ellip_e, ellip_k};

@@ -262,8 +262,7 @@ impl AskDemodulator {
 mod tests {
     use super::*;
     use crate::noise::add_awgn;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use runtime::Xoshiro256PlusPlus;
 
     #[test]
     fn loopback_recovers_bits() {
@@ -327,7 +326,7 @@ mod tests {
         let env_pwl = tx.envelope(&bits, 0.0);
         let t_end = bits.len() as f64 * tx.bit_period() + 5.0e-6;
         let w = Waveform::from_fn(0.0, t_end, 20_000, |t| env_pwl.eval(t));
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
         // Depth (hi−lo)/2 ≈ 0.16; σ = 0.03 keeps comfortable margin.
         let noisy = add_awgn(&w, 0.03, &mut rng);
         let decoded = rx.slice(|t| noisy.value_at(t), 0.0, 0.61, bits.len());
@@ -348,8 +347,7 @@ mod timing_tests {
     use super::*;
     use crate::bits::BitStream;
     use crate::noise::add_awgn;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use runtime::Xoshiro256PlusPlus;
 
     fn burst_waveform(bits: &BitStream, t_start: f64) -> Waveform {
         let tx = AskModulator::ironic_downlink();
@@ -377,7 +375,7 @@ mod timing_tests {
         let rx = AskDemodulator::ironic_downlink();
         let bits = BitStream::prbs9(64, 0x133);
         let w = burst_waveform(&bits, 53.7e-6);
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(21);
         let noisy = add_awgn(&w, 0.02, &mut rng).map(f64::abs);
         let (_, decoded) = rx.demodulate_waveform_auto(&noisy, bits.len()).expect("recovers");
         assert_eq!(decoded.hamming_distance(&bits), 0);

@@ -5,7 +5,7 @@
 //! compared against the theoretical OOK/ASK bound
 //! `BER = Q(d/2σ)` where `d` is the symbol-amplitude separation.
 
-use rand::Rng;
+use runtime::Rng;
 
 use crate::ask::{AskDemodulator, AskModulator};
 use crate::bits::BitStream;
@@ -115,8 +115,7 @@ pub fn ber_sweep<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use runtime::Xoshiro256PlusPlus;
 
     #[test]
     fn q_function_reference_values() {
@@ -133,7 +132,7 @@ mod tests {
     fn measured_ber_tracks_theory() {
         let tx = AskModulator::ironic_downlink();
         let rx = AskDemodulator::ironic_downlink();
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
         // Separation d ≈ 0.328; pick σ for BER ≈ Q(1.5) ≈ 6.7 %.
         let sigma = (tx.amplitude_high - tx.amplitude_low) / 3.0;
         let p = measure_ber(&tx, &rx, sigma, 100_000, &mut rng);
@@ -145,7 +144,7 @@ mod tests {
     fn ber_monotone_in_noise() {
         let tx = AskModulator::ironic_downlink();
         let rx = AskDemodulator::ironic_downlink();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
         let sigmas = [0.02, 0.05, 0.1, 0.2];
         let sweep = ber_sweep(&tx, &rx, &sigmas, 20_000, &mut rng);
         for w in sweep.windows(2) {
@@ -163,7 +162,7 @@ mod tests {
     fn snr_db_definition() {
         let tx = AskModulator::ironic_downlink();
         let rx = AskDemodulator::ironic_downlink();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
         let d = tx.amplitude_high - tx.amplitude_low;
         let p = measure_ber(&tx, &rx, d / 2.0, 1000, &mut rng);
         assert!(p.snr_db.abs() < 1e-9, "d/2σ = 1 → 0 dB, got {}", p.snr_db);

@@ -1,18 +1,18 @@
 //! Noise injection for link robustness studies.
 
 use analog::Waveform;
-use rand::Rng;
+use runtime::Rng;
 
 /// Draws one sample from a zero-mean unit-variance Gaussian using the
-/// Box–Muller transform (implemented here; `rand` offers only uniform
-/// draws without `rand_distr`).
+/// Box–Muller transform (implemented here; the runtime PRNG offers only
+/// uniform draws).
 pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
-        let u1: f64 = rng.random();
+        let u1: f64 = rng.next_f64();
         if u1 <= f64::MIN_POSITIVE {
             continue;
         }
-        let u2: f64 = rng.random();
+        let u2: f64 = rng.next_f64();
         return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     }
 }
@@ -42,12 +42,11 @@ pub fn snr_db(signal_rms: f64, sigma: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use runtime::Xoshiro256PlusPlus;
 
     #[test]
     fn gaussian_moments() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
         let n = 100_000;
         let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -58,7 +57,7 @@ mod tests {
 
     #[test]
     fn awgn_perturbs_with_right_scale() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         let w = Waveform::from_fn(0.0, 1.0, 10_000, |_| 0.0);
         let noisy = add_awgn(&w, 0.5, &mut rng);
         let rms = noisy.rms_in(0.0, 1.0);
@@ -67,7 +66,7 @@ mod tests {
 
     #[test]
     fn zero_sigma_is_identity() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
         let w = Waveform::from_fn(0.0, 1.0, 100, |t| t);
         let same = add_awgn(&w, 0.0, &mut rng);
         assert_eq!(w, same);

@@ -1,3 +1,5 @@
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests of the comms invariants.
 
 use comms::ask::{AskDemodulator, AskModulator};

@@ -13,14 +13,22 @@
 //! rectifier + clocked demodulator), so thousands of trials run in
 //! milliseconds; the transistor-level scenario validates the nominal
 //! point (see [`crate::scenario`]).
+//!
+//! # Execution model
+//!
+//! Trials run on the shared [`runtime`] worker pool. Each trial draws
+//! from its own PRNG stream seeded by `(study seed, trial index)` via
+//! [`runtime::derive_seed`], and aggregation folds the per-trial
+//! outcomes in trial order — so a [`YieldReport`] is **bit-identical**
+//! for the same seed whether the study runs serially or on any number
+//! of workers (asserted by `pool_matches_serial_bit_for_bit` below).
 
 use comms::bits::BitStream;
 use comms::noise::gaussian;
 use pmu::demodulator::ClockedDemodulator;
 use pmu::rectifier::BehavioralRectifier;
 use pmu::V_O_MIN;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use runtime::{Artifact, Batch, Json, Pool, Rng, Xoshiro256PlusPlus};
 
 /// One-sigma variations applied per Monte Carlo sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,49 +157,63 @@ impl MonteCarloStudy {
         }
     }
 
-    /// Runs `trials` samples and aggregates the yield.
+    /// Runs `trials` samples on the shared worker pool (sized to the
+    /// machine) and aggregates the yield. Bit-identical to
+    /// [`MonteCarloStudy::run_serial`] for the same seed.
     ///
     /// # Panics
     ///
     /// Panics if `trials` is zero.
     pub fn run(&self, trials: usize) -> YieldReport {
+        self.run_on(trials, &Pool::auto())
+    }
+
+    /// Runs `trials` samples serially on the calling thread — the
+    /// reference path the pooled runs are checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn run_serial(&self, trials: usize) -> YieldReport {
         assert!(trials > 0, "need at least one trial");
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut report = YieldReport {
-            trials,
-            passing: 0,
-            charge_ok: 0,
-            downlink_ok: 0,
-            vo_ok: 0,
-            vo_min_mean: 0.0,
-            vo_min_worst: f64::INFINITY,
-        };
-        for _ in 0..trials {
-            let outcome = self.trial(&mut rng);
-            if outcome.t_charge.is_finite() {
-                report.charge_ok += 1;
-            }
-            if outcome.downlink_errors == 0 {
-                report.downlink_ok += 1;
-            }
-            if outcome.vo_min >= V_O_MIN {
-                report.vo_ok += 1;
-            }
-            if outcome.pass {
-                report.passing += 1;
-            }
-            report.vo_min_mean += outcome.vo_min;
-            report.vo_min_worst = report.vo_min_worst.min(outcome.vo_min);
-        }
-        report.vo_min_mean /= trials as f64;
-        report
+        let batch = self.batch(trials);
+        let outcomes = (0..trials).map(|i| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(batch.job_seed(i));
+            self.trial(&mut rng)
+        });
+        aggregate(outcomes, trials)
+    }
+
+    /// Runs `trials` samples on an explicit pool. Results depend only on
+    /// `self.seed`, never on the pool's worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero, or if a trial itself panics (the
+    /// model is total, so a panic indicates a bug, not a bad sample).
+    pub fn run_on(&self, trials: usize, pool: &Pool) -> YieldReport {
+        assert!(trials > 0, "need at least one trial");
+        let batch = self.batch(trials);
+        let run = pool.run(&batch, |ctx| self.trial(&mut ctx.rng));
+        assert!(
+            run.metrics.failed == 0,
+            "monte carlo trials must not panic: {:?}",
+            run.failures()
+        );
+        aggregate(run.into_values().into_iter().flatten(), trials)
+    }
+
+    /// The batch describing `trials` jobs of this study; the per-trial
+    /// RNG streams derive from `(self.seed, trial index)`.
+    fn batch(&self, trials: usize) -> Batch {
+        Batch::from_trials("montecarlo", self.seed, trials)
     }
 
     /// Runs a single perturbed trial.
-    pub fn trial(&self, rng: &mut StdRng) -> TrialOutcome {
+    pub fn trial<R: Rng + ?Sized>(&self, rng: &mut R) -> TrialOutcome {
         let v = &self.variation;
-        let uniform = |rng: &mut StdRng, tol: f64| 1.0 + tol * (2.0 * rand::Rng::random::<f64>(rng) - 1.0);
-        let lognorm = |rng: &mut StdRng, sigma: f64| (sigma * gaussian(rng)).exp();
+        let uniform = |rng: &mut R, tol: f64| 1.0 + tol * (2.0 * rng.next_f64() - 1.0);
+        let lognorm = |rng: &mut R, sigma: f64| (sigma * gaussian(rng)).exp();
 
         // Perturbed components.
         let mut rect = self.rectifier;
@@ -239,6 +261,70 @@ impl MonteCarloStudy {
 impl Default for MonteCarloStudy {
     fn default() -> Self {
         MonteCarloStudy::ironic()
+    }
+}
+
+/// Folds per-trial outcomes into a [`YieldReport`]. Always consumes the
+/// outcomes in trial order, so the floating-point accumulation — and
+/// therefore the report — is identical however the trials were computed.
+fn aggregate(outcomes: impl Iterator<Item = TrialOutcome>, trials: usize) -> YieldReport {
+    let mut report = YieldReport {
+        trials,
+        passing: 0,
+        charge_ok: 0,
+        downlink_ok: 0,
+        vo_ok: 0,
+        vo_min_mean: 0.0,
+        vo_min_worst: f64::INFINITY,
+    };
+    let mut seen = 0usize;
+    for outcome in outcomes {
+        seen += 1;
+        if outcome.t_charge.is_finite() {
+            report.charge_ok += 1;
+        }
+        if outcome.downlink_errors == 0 {
+            report.downlink_ok += 1;
+        }
+        if outcome.vo_min >= V_O_MIN {
+            report.vo_ok += 1;
+        }
+        if outcome.pass {
+            report.passing += 1;
+        }
+        report.vo_min_mean += outcome.vo_min;
+        report.vo_min_worst = report.vo_min_worst.min(outcome.vo_min);
+    }
+    assert_eq!(seen, trials, "every trial must produce an outcome");
+    report.vo_min_mean /= trials as f64;
+    report
+}
+
+/// Lets yield reports flow through the runtime's on-disk result cache.
+impl Artifact for YieldReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trials", Json::Num(self.trials as f64)),
+            ("passing", Json::Num(self.passing as f64)),
+            ("charge_ok", Json::Num(self.charge_ok as f64)),
+            ("downlink_ok", Json::Num(self.downlink_ok as f64)),
+            ("vo_ok", Json::Num(self.vo_ok as f64)),
+            ("vo_min_mean", Json::Num(self.vo_min_mean)),
+            ("vo_min_worst", Json::Num(self.vo_min_worst)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let count = |k: &str| json.get(k).and_then(Json::as_u64).map(|v| v as usize);
+        Some(YieldReport {
+            trials: count("trials")?,
+            passing: count("passing")?,
+            charge_ok: count("charge_ok")?,
+            downlink_ok: count("downlink_ok")?,
+            vo_ok: count("vo_ok")?,
+            vo_min_mean: json.get("vo_min_mean")?.as_f64()?,
+            vo_min_worst: json.get("vo_min_worst")?.as_f64()?,
+        })
     }
 }
 
@@ -297,6 +383,24 @@ mod tests {
         other.seed += 1;
         // Different seed gives (almost surely) different aggregates.
         assert_ne!(study.run(100).vo_min_worst, other.run(100).vo_min_worst);
+    }
+
+    #[test]
+    fn pool_matches_serial_bit_for_bit() {
+        let study = MonteCarloStudy::ironic();
+        let reference = study.run_serial(500);
+        for workers in [1, 2, 8] {
+            let pooled = study.run_on(500, &Pool::new(workers));
+            assert_eq!(pooled, reference, "workers = {workers}");
+            // PartialEq on f64 is what we want here, but make the
+            // bit-exactness explicit for the mean accumulation too.
+            assert_eq!(
+                pooled.vo_min_mean.to_bits(),
+                reference.vo_min_mean.to_bits(),
+                "workers = {workers}"
+            );
+            assert_eq!(pooled.vo_min_worst.to_bits(), reference.vo_min_worst.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access; this miniature keeps
+//! the workspace's bench targets compiling and usefully runnable. It
+//! implements the subset the benches use — [`Criterion::bench_function`]
+//! with a [`Bencher::iter`] body and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — timing each benchmark as the median of a
+//! fixed number of short samples. No statistics engine, no plots, no
+//! baseline comparisons.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark (median is reported).
+const SAMPLES: usize = 15;
+/// Wall-time budget a single sample aims for.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver handed to every group function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { iters: 1, per_iter: Duration::ZERO };
+
+        // Calibration: find an iteration count that fills the budget.
+        f(&mut bencher);
+        let per_iter = bencher.per_iter.max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                bencher.iters = iters;
+                f(&mut bencher);
+                bencher.per_iter
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!("{name:<44} {:>12} /iter ({iters} iters × {SAMPLES} samples)", fmt_ns(median));
+        self
+    }
+
+    /// Starts a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (prefixing each contained benchmark).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under the group's prefix.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; mirrors the real API).
+    pub fn finish(self) {}
+}
+
+/// Runs the closure passed to [`Bencher::iter`] and records timing.
+pub struct Bencher {
+    iters: u64,
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, keeping its return value alive so the optimiser
+    /// cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let started = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.per_iter = started.elapsed() / self.iters.max(1) as u32;
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1.0e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1.0e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under the real crate's path.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function that runs each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_macro_produces_a_runnable_fn() {
+        demo_group();
+    }
+}

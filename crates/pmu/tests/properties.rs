@@ -1,3 +1,5 @@
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests of the power-management invariants.
 
 use pmu::rectifier::BehavioralRectifier;

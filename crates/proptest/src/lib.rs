@@ -1,0 +1,543 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! property tests run on this in-tree miniature instead: the same
+//! surface syntax (`proptest!`, `prop_assert*`, `prop_assume!`,
+//! strategies for ranges, `any::<T>()`, `collection::vec`,
+//! `sample::Index`, character-class string patterns, `prop_map`), but
+//! backed by the deterministic xoshiro256++ generator from
+//! `implant-runtime` and a plain fixed-case runner — no shrinking, no
+//! persistence. Each test's seed is derived from its name, so runs are
+//! reproducible; set `PROPTEST_CASES` to override the case count.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use runtime::rng::Rng as _;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The generator driving every strategy (xoshiro256++).
+pub type TestRng = runtime::Xoshiro256PlusPlus;
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Why a generated case did not count as a success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+    /// An assertion failed; abort the whole property.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. The required method is [`Strategy::generate`];
+/// `prop_map` composes like the real crate's.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f` (re-drawing up to a bound).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive draws");
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u64>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform over a broad but finite span; the real crate's special
+    /// values (NaN, infinities) are out of scope for these tests.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.range_f64(-1.0e9, 1.0e9)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $ty
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.range_f64(*self.start(), *self.end())
+    }
+}
+
+/// String strategies from a pattern. Supported subset: literal
+/// characters, character classes `[a-z0-9_]` (ranges and singletons),
+/// and `{m}` / `{m,n}` repetition of the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a class or a literal.
+        let mut alphabet: Vec<char> = Vec::new();
+        if chars[i] == '[' {
+            let close = chars[i..].iter().position(|&c| c == ']').map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    for c in lo..=hi {
+                        alphabet.extend(char::from_u32(c));
+                    }
+                    j += 3;
+                } else {
+                    alphabet.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+        // Parse an optional {m} / {m,n} quantifier.
+        let (mut lo, mut hi) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            let mut parts = spec.splitn(2, ',');
+            lo = parts.next().unwrap().trim().parse().expect("quantifier lower bound");
+            hi = parts.next().map_or(lo, |s| s.trim().parse().expect("quantifier upper bound"));
+            i = close + 1;
+        }
+        assert!(!alphabet.is_empty() && lo <= hi, "bad pattern {pattern:?}");
+        let count = lo + rng.index(hi - lo + 1);
+        for _ in 0..count {
+            out.push(alphabet[rng.index(alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use runtime::rng::Rng as _;
+    use std::ops::Range;
+
+    /// A `Vec` of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.index(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+    use runtime::rng::Rng as _;
+
+    /// An index into a collection of as-yet-unknown length, drawn
+    /// uniformly once the length is supplied.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the draw against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident / $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Executes a property: draws cases until `cfg.cases` are accepted,
+/// panicking on the first failure. Rejections (`prop_assume!`) do not
+/// count, but more than `20 ×` the case budget of consecutive attempts
+/// aborts the run as over-constrained.
+pub fn run_cases(
+    name: &str,
+    cfg: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.cases);
+    // Deterministic per-property seed: stable across runs and processes.
+    let mut rng = TestRng::seed_from_u64(runtime::fnv1a64(name.as_bytes()));
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(20).max(100),
+            "property {name}: too many rejected cases ({accepted}/{cases} accepted)"
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed after {accepted} cases: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests. Supports the real crate's common form:
+/// an optional `#![proptest_config(…)]` header followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public surface.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), &$cfg, |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&$strat, __proptest_rng);)+
+                let __proptest_outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __proptest_outcome
+            });
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property; failure aborts the whole property with
+/// the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, "{:?} != {:?}", __a, __b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "{:?} == {:?}", __a, __b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_patterns_generate_in_domain() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = Strategy::generate(&(10u16..20), &mut rng);
+            assert!((10..20).contains(&x));
+            let y = Strategy::generate(&(1u8..=3), &mut rng);
+            assert!((1..=3).contains(&y));
+            let f = Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let s = Strategy::generate(&"[a-c_]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')), "{s}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds_and_maps() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let strat = crate::collection::vec(any::<u8>(), 1..5).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let len = Strategy::generate(&strat, &mut rng);
+            assert!((1..5).contains(&len));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, assume, and assertions all wire up.
+        #[test]
+        fn macro_end_to_end(a in 1u32..100, b in 1u32..100) {
+            prop_assume!(a != b);
+            prop_assert!(a + b > 1);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+
+        /// Tuple and index strategies cooperate.
+        #[test]
+        fn tuples_and_indices(
+            (x, v) in (0.0f64..1.0, crate::collection::vec(any::<bool>(), 1..8)),
+            pick in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            let i = pick.index(v.len());
+            prop_assert!(i < v.len());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Content-keyed result cache.
+//!
+//! Keys are a stable 64-bit FNV-1a hash of the batch namespace plus the
+//! job's canonical parameter string, so a result is reused exactly when
+//! the same named sweep re-evaluates the same parameter point. The cache
+//! always holds results in memory; pointing it at a directory
+//! additionally persists every entry as a small JSON artifact, which
+//! lets a re-run of a sweep recompute only changed points across
+//! process restarts.
+
+use crate::job::ParamPoint;
+use crate::json::Json;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stable 64-bit FNV-1a hash (the cache-key hash; never randomised, so
+/// keys survive process restarts).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A value the cache can persist to disk as JSON.
+///
+/// Implementations must round-trip exactly: `from_json(&v.to_json())`
+/// must reconstruct a value equal to `v` (bit-exact for floats — the
+/// JSON encoder preserves `f64` bits).
+pub trait Artifact: Sized {
+    /// Encodes the value.
+    fn to_json(&self) -> Json;
+    /// Decodes a value; `None` on shape mismatch (treated as a miss).
+    fn from_json(json: &Json) -> Option<Self>;
+}
+
+impl Artifact for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_f64()
+    }
+}
+
+impl Artifact for u64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_u64()
+    }
+}
+
+impl Artifact for usize {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_u64().map(|v| v as usize)
+    }
+}
+
+impl Artifact for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_bool()
+    }
+}
+
+impl Artifact for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_str().map(str::to_string)
+    }
+}
+
+impl<T: Artifact> Artifact for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Artifact::to_json).collect())
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<A: Artifact, B: Artifact> Artifact for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        match json.as_arr()? {
+            [a, b] => Some((A::from_json(a)?, B::from_json(b)?)),
+            _ => None,
+        }
+    }
+}
+
+/// The content-keyed cache. Thread-safe; shared by reference with the
+/// worker pool.
+#[derive(Debug, Default)]
+pub struct ResultCache<V> {
+    mem: Mutex<HashMap<u64, V>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Artifact + Clone> ResultCache<V> {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        ResultCache { mem: Mutex::new(HashMap::new()), dir: None, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    /// A cache that also persists every entry under `dir` (created on
+    /// first write). Existing artifacts in `dir` satisfy lookups.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: Some(dir.into()), ..Self::in_memory() }
+    }
+
+    /// Reads the artifact directory from environment variable `var`:
+    /// set → persistent cache in that directory, unset → in-memory.
+    pub fn from_env(var: &str) -> Self {
+        match std::env::var_os(var) {
+            Some(dir) if !dir.is_empty() => Self::with_dir(PathBuf::from(dir)),
+            _ => Self::in_memory(),
+        }
+    }
+
+    /// The cache key of `point` within `namespace`.
+    pub fn key(namespace: &str, point: &ParamPoint) -> u64 {
+        fnv1a64(format!("{namespace}\u{1f}{}", point.canonical()).as_bytes())
+    }
+
+    /// Looks up a point; counts a hit or a miss.
+    pub fn get(&self, namespace: &str, point: &ParamPoint) -> Option<V> {
+        let key = Self::key(namespace, point);
+        if let Some(v) = self.mem.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v.clone());
+        }
+        if let Some(v) = self.load_artifact(key) {
+            self.mem.lock().expect("cache lock").insert(key, v.clone());
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a computed result for a point.
+    pub fn put(&self, namespace: &str, point: &ParamPoint, value: &V) {
+        let key = Self::key(namespace, point);
+        self.mem.lock().expect("cache lock").insert(key, value.clone());
+        if self.dir.is_some() {
+            self.store_artifact(key, namespace, point, value);
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock").len()
+    }
+
+    /// True when no entry is held in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn artifact_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    fn load_artifact(&self, key: u64) -> Option<V> {
+        let path = self.artifact_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let doc = Json::parse(&text)?;
+        V::from_json(doc.get("value")?)
+    }
+
+    fn store_artifact(&self, key: u64, namespace: &str, point: &ParamPoint, value: &V) {
+        let Some(path) = self.artifact_path(key) else { return };
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return; // Persistence is best-effort; memory still holds it.
+            }
+        }
+        let doc = Json::obj(vec![
+            ("namespace", Json::Str(namespace.to_string())),
+            ("params", Json::Str(point.canonical())),
+            ("value", value.to_json()),
+        ]);
+        let _ = std::fs::write(path, doc.to_string());
+    }
+
+    /// The artifact directory, when persistence is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn memory_cache_hits_on_second_lookup() {
+        let cache: ResultCache<f64> = ResultCache::in_memory();
+        let p = ParamPoint::new().with("d", 6.0);
+        assert_eq!(cache.get("sweep", &p), None);
+        cache.put("sweep", &p, &15.0e-3);
+        assert_eq!(cache.get("sweep", &p), Some(15.0e-3));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn namespaces_and_points_are_isolated() {
+        let cache: ResultCache<f64> = ResultCache::in_memory();
+        let p = ParamPoint::new().with("d", 6.0);
+        cache.put("a", &p, &1.0);
+        assert_eq!(cache.get("b", &p), None);
+        assert_eq!(cache.get("a", &ParamPoint::new().with("d", 7.0)), None);
+        assert_eq!(cache.get("a", &p), Some(1.0));
+    }
+
+    #[test]
+    fn disk_artifacts_survive_a_new_cache() {
+        let dir = std::env::temp_dir().join(format!("runtime-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = ParamPoint::new().with("d", 17.0).with("medium", "sirloin");
+        {
+            let cache: ResultCache<f64> = ResultCache::with_dir(&dir);
+            cache.put("sweep", &p, &1.17e-3);
+        }
+        let fresh: ResultCache<f64> = ResultCache::with_dir(&dir);
+        assert_eq!(fresh.get("sweep", &p), Some(1.17e-3));
+        assert_eq!(fresh.stats(), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vec_and_tuple_artifacts_round_trip() {
+        let v: Vec<(f64, u64)> = vec![(1.5, 2), (f64::INFINITY, 0)];
+        let back = Vec::<(f64, u64)>::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,349 @@
+//! Minimal JSON encode/parse for on-disk cache artifacts.
+//!
+//! Deliberately tiny: the runtime only needs to round-trip its own
+//! artifacts (objects of numbers, strings, booleans and arrays), not to
+//! consume arbitrary external documents. Two deviations from strict
+//! JSON, both needed for simulation payloads: non-finite numbers are
+//! written and accepted as the bare tokens `Infinity`, `-Infinity` and
+//! `NaN`, and object key order is preserved so encodings are stable.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; non-finite values are allowed).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= (1u64 << 53) as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => {
+                if v.is_nan() {
+                    write!(f, "NaN")
+                } else if *v == f64::INFINITY {
+                    write!(f, "Infinity")
+                } else if *v == f64::NEG_INFINITY {
+                    write!(f, "-Infinity")
+                } else {
+                    // `{:?}` prints the shortest digits that round-trip.
+                    write!(f, "{v:?}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Option<()> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'n' => expect(bytes, pos, "null").map(|()| Json::Null),
+        b't' => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        b'N' => expect(bytes, pos, "NaN").map(|()| Json::Num(f64::NAN)),
+        b'I' => expect(bytes, pos, "Infinity").map(|()| Json::Num(f64::INFINITY)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => parse_array(bytes, pos),
+        b'{' => parse_object(bytes, pos),
+        b'-' if bytes.get(*pos + 1) == Some(&b'I') => {
+            *pos += 1;
+            expect(bytes, pos, "Infinity").map(|()| Json::Num(f64::NEG_INFINITY))
+        }
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    expect(bytes, pos, "\"")?;
+    let mut out = String::new();
+    loop {
+        let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+        let c = rest.chars().next()?;
+        *pos += c.len_utf8();
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let esc = *bytes.get(*pos)?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(bytes.get(*pos..*pos + 4)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        *pos += 4;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok().map(Json::Num)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    expect(bytes, pos, "[")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    expect(bytes, pos, "{")?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, ":")?;
+        pairs.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(pairs));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(j: &Json) -> Json {
+        Json::parse(&j.to_string()).expect("round-trips")
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        for j in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Num(0.0),
+            Json::Num(-12.5),
+            Json::Num(1.0e-300),
+            Json::Num(0.1 + 0.2),
+            Json::Num(f64::INFINITY),
+            Json::Num(f64::NEG_INFINITY),
+            Json::Str("hé \"quoted\"\n\tend".to_string()),
+        ] {
+            assert_eq!(round_trip(&j), j, "{j}");
+        }
+    }
+
+    #[test]
+    fn nan_round_trips_as_nan() {
+        let parsed = round_trip(&Json::Num(f64::NAN));
+        assert!(matches!(parsed, Json::Num(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("sweep".into())),
+            ("points", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("meta", Json::obj(vec![("ok", Json::Bool(true)), ("n", Json::Num(42.0))])),
+        ]);
+        assert_eq!(round_trip(&doc), doc);
+        assert_eq!(doc.get("meta").and_then(|m| m.get("n")).and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn parses_whitespace_and_rejects_trailing_garbage() {
+        assert_eq!(
+            Json::parse(" { \"a\" : [ 1 , 2 ] } "),
+            Some(Json::obj(vec![("a", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]))]))
+        );
+        assert_eq!(Json::parse("1 2"), None);
+        assert_eq!(Json::parse("{\"a\":}"), None);
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        let v = 0.123_456_789_012_345_68;
+        let j = round_trip(&Json::Num(v));
+        assert_eq!(j.as_f64().map(f64::to_bits), Some(v.to_bits()));
+    }
+}

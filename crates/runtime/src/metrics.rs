@@ -1,0 +1,125 @@
+//! Run metrics: what a batch cost and where the time went.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Aggregate statistics of one batch run, printed by the bench binaries
+/// at end of run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Batch name.
+    pub batch: String,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that returned a value (including cache hits).
+    pub ok: usize,
+    /// Jobs that panicked.
+    pub failed: usize,
+    /// Jobs satisfied from the result cache.
+    pub cache_hits: usize,
+    /// Jobs that had to compute.
+    pub cache_misses: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end batch wall time.
+    pub wall: Duration,
+    /// Sum of per-job wall times (≥ `wall` when workers overlap).
+    pub job_wall_sum: Duration,
+    /// Fastest computed job.
+    pub job_wall_min: Duration,
+    /// Slowest computed job.
+    pub job_wall_max: Duration,
+}
+
+impl RunMetrics {
+    /// Jobs per second of batch wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean wall time of the jobs that actually computed.
+    pub fn job_wall_mean(&self) -> Duration {
+        let computed = self.cache_misses.max(1);
+        self.job_wall_sum / computed as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1.0e-3 {
+        format!("{:.2} ms", s * 1.0e3)
+    } else {
+        format!("{:.1} µs", s * 1.0e6)
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[runtime] batch {:?}: {} jobs on {} workers in {} ({:.1} jobs/s)",
+            self.batch,
+            self.jobs,
+            self.workers,
+            fmt_duration(self.wall),
+            self.throughput(),
+        )?;
+        writeln!(
+            f,
+            "[runtime]   ok {} · failed {} · cache {} hit / {} miss",
+            self.ok, self.failed, self.cache_hits, self.cache_misses,
+        )?;
+        write!(
+            f,
+            "[runtime]   job wall: min {} · mean {} · max {} · total {}",
+            fmt_duration(self.job_wall_min),
+            fmt_duration(self.job_wall_mean()),
+            fmt_duration(self.job_wall_max),
+            fmt_duration(self.job_wall_sum),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            batch: "sweep".into(),
+            jobs: 10,
+            ok: 9,
+            failed: 1,
+            cache_hits: 2,
+            cache_misses: 8,
+            workers: 4,
+            wall: Duration::from_millis(500),
+            job_wall_sum: Duration::from_millis(1600),
+            job_wall_min: Duration::from_millis(100),
+            job_wall_max: Duration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn throughput_and_mean() {
+        let m = sample();
+        assert!((m.throughput() - 20.0).abs() < 1e-9);
+        assert_eq!(m.job_wall_mean(), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn summary_mentions_the_load_bearing_numbers() {
+        let text = sample().to_string();
+        assert!(text.contains("10 jobs"), "{text}");
+        assert!(text.contains("2 hit / 8 miss"), "{text}");
+        assert!(text.contains("jobs/s"), "{text}");
+        assert!(text.contains("500.00 ms"), "{text}");
+    }
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable with no network access.
+#
+#   scripts/verify.sh          # build + test + clippy (the CI gate)
+#   scripts/verify.sh --fuzz   # additionally run the property-test suites
+#
+# Everything resolves from in-tree path dependencies (crates/proptest and
+# crates/criterion stand in for their crates.io namesakes), so the
+# offline flag below is a guarantee, not an inconvenience.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo clippy --all-targets --workspace -- -D warnings
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+    for crate in analog biosensor coils comms pmu; do
+        run cargo test -q -p "$crate" --features fuzz
+    done
+fi
+
+echo "verify: OK"

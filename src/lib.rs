@@ -42,3 +42,4 @@ pub use implant_core;
 pub use link;
 pub use patch;
 pub use pmu;
+pub use runtime;
