@@ -1,0 +1,296 @@
+//! S1 — load generator for `implant-server`.
+//!
+//! Spawns the server in-process on an ephemeral port, drives it from N
+//! concurrent client connections with a deterministic mixed workload
+//! (sweeps, Monte Carlo studies, full-chain runs, health probes), and
+//! reports sustained req/s plus p50/p95/p99 client-side latency from
+//! the runtime's [`runtime::LatencyHistogram`].
+//!
+//! Beyond throughput, the run asserts the server's three load-management
+//! contracts and exits non-zero if any fails:
+//!
+//! 1. every request gets a response — no hangs, no silent disconnects;
+//! 2. a saturated queue sheds with a structured `overloaded` error
+//!    (demonstrated against a capacity-0 server);
+//! 3. `shutdown` drains gracefully: admitted work completes, the
+//!    process-internal threads join, and post-drain requests get
+//!    `shutting_down`.
+//!
+//! ```text
+//! cargo run --release --bin bench_serve -- --connections 8 --requests 40
+//! ```
+
+use bench::{banner, verdict};
+use runtime::{Json, LatencyHistogram};
+use server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Command-line knobs (std-only parsing: `--flag value` pairs).
+struct Args {
+    connections: usize,
+    requests: usize,
+    queue_capacity: usize,
+    workers: usize,
+    mc_trials: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            connections: 4,
+            requests: 40,
+            queue_capacity: 64,
+            workers: 2,
+            mc_trials: 200,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+            };
+            match flag.as_str() {
+                "--connections" => args.connections = take("--connections").max(1),
+                "--requests" => args.requests = take("--requests").max(1),
+                "--queue-capacity" => args.queue_capacity = take("--queue-capacity"),
+                "--workers" => args.workers = take("--workers").max(1),
+                "--mc-trials" => args.mc_trials = take("--mc-trials").max(1) as u64,
+                other => panic!(
+                    "unknown flag {other:?} (known: --connections --requests --queue-capacity --workers --mc-trials)"
+                ),
+            }
+        }
+        args
+    }
+}
+
+/// What one client saw.
+#[derive(Default)]
+struct ClientReport {
+    ok: u64,
+    overloaded: u64,
+    other_errors: u64,
+    /// Responses that never arrived or could not be parsed — must stay 0.
+    broken: u64,
+    latency: LatencyHistogram,
+}
+
+/// One request/response round trip; records client-observed latency.
+fn rpc(
+    conn: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+    report: &mut ClientReport,
+) {
+    let started = Instant::now();
+    let sent = conn
+        .write_all(line.as_bytes())
+        .and_then(|()| conn.write_all(b"\n"));
+    if sent.is_err() {
+        report.broken += 1;
+        return;
+    }
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(n) if n > 0 => {}
+        _ => {
+            report.broken += 1;
+            return;
+        }
+    }
+    report.latency.record(started.elapsed());
+    let Some(doc) = Json::parse(response.trim_end()) else {
+        report.broken += 1;
+        return;
+    };
+    match doc.get("ok") {
+        Some(&Json::Bool(true)) => report.ok += 1,
+        Some(&Json::Bool(false)) => {
+            let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+            if code == Some("overloaded") {
+                report.overloaded += 1;
+            } else {
+                report.other_errors += 1;
+            }
+        }
+        _ => report.broken += 1,
+    }
+}
+
+/// The deterministic mixed workload: request `i` of client `c`. Sweeps
+/// and Monte Carlo points repeat across clients, so the run exercises
+/// both cache misses (first touch) and hits (every repeat).
+fn request_line(client: usize, i: usize, mc_trials: u64) -> String {
+    let id = (client * 100_000 + i) as u64;
+    match (client * 31 + i * 7) % 10 {
+        0..=3 => {
+            let steps = 4 + (i % 3) * 2; // 4, 6, 8
+            let d_max = 10 + (client % 3) * 10; // 10, 20, 30 mm
+            format!(
+                "{{\"id\":{id},\"endpoint\":\"sweep\",\"params\":{{\"steps\":{steps},\"d_max_mm\":{d_max}}}}}"
+            )
+        }
+        4..=6 => {
+            let scale = ["0.5", "1.0", "2.0"][i % 3];
+            format!(
+                "{{\"id\":{id},\"endpoint\":\"montecarlo\",\"params\":{{\"trials\":{mc_trials},\"scale\":{scale}}}}}"
+            )
+        }
+        7 => format!(
+            "{{\"id\":{id},\"endpoint\":\"fullchain\",\"params\":{{\"cycles\":15,\"distance_mm\":{}}}}}",
+            6 + (i % 3) * 4
+        ),
+        _ => format!("{{\"id\":{id},\"endpoint\":\"health\"}}"),
+    }
+}
+
+/// Drives one client connection through its share of the workload.
+fn client(addr: SocketAddr, index: usize, requests: usize, mc_trials: u64) -> ClientReport {
+    let mut report = ClientReport::default();
+    let Ok(mut conn) = TcpStream::connect(addr) else {
+        report.broken += requests as u64;
+        return report;
+    };
+    let Ok(read_half) = conn.try_clone() else {
+        report.broken += requests as u64;
+        return report;
+    };
+    let mut reader = BufReader::new(read_half);
+    for i in 0..requests {
+        let line = request_line(index, i, mc_trials);
+        rpc(&mut conn, &mut reader, &line, &mut report);
+    }
+    report
+}
+
+/// Phase 2: a capacity-0 server must shed with `overloaded`, keep its
+/// control plane answering, and still shut down cleanly.
+fn overload_probe(workers: usize) -> bool {
+    let config = ServerConfig {
+        queue_capacity: 0,
+        workers,
+        ..ServerConfig::default()
+    };
+    let handle = match Server::spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            println!("  overload probe: spawn failed: {e}");
+            return false;
+        }
+    };
+    let mut report = ClientReport::default();
+    let Ok(mut conn) = TcpStream::connect(handle.addr()) else {
+        println!("  overload probe: connect failed");
+        return false;
+    };
+    let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
+    rpc(
+        &mut conn,
+        &mut reader,
+        r#"{"id":1,"endpoint":"sweep","params":{"steps":2}}"#,
+        &mut report,
+    );
+    rpc(&mut conn, &mut reader, r#"{"id":2,"endpoint":"health"}"#, &mut report);
+    rpc(&mut conn, &mut reader, r#"{"id":3,"endpoint":"shutdown"}"#, &mut report);
+    drop((conn, reader));
+    handle.join();
+    let ok = report.overloaded == 1 && report.ok == 2 && report.broken == 0;
+    println!(
+        "  full queue ⇒ structured overloaded … {} (shed {}, ok {}, broken {})",
+        verdict(ok),
+        report.overloaded,
+        report.ok,
+        report.broken
+    );
+    ok
+}
+
+fn main() {
+    let args = Args::parse();
+    banner("S1", "implant-server under concurrent load");
+    println!(
+        "config: {} connections × {} requests, queue capacity {}, {} workers, {} MC trials",
+        args.connections, args.requests, args.queue_capacity, args.workers, args.mc_trials
+    );
+
+    let config = ServerConfig {
+        queue_capacity: args.queue_capacity,
+        workers: args.workers,
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(config).expect("bind ephemeral port");
+    let addr = handle.addr();
+    println!("server: {addr}");
+
+    // Phase 1: the mixed workload from N concurrent connections.
+    let started = Instant::now();
+    let clients: Vec<std::thread::JoinHandle<ClientReport>> = (0..args.connections)
+        .map(|index| {
+            let (requests, mc_trials) = (args.requests, args.mc_trials);
+            std::thread::spawn(move || client(addr, index, requests, mc_trials))
+        })
+        .collect();
+    let reports: Vec<ClientReport> =
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect();
+    let wall = started.elapsed();
+
+    let mut latency = LatencyHistogram::new();
+    let (mut ok, mut overloaded, mut other, mut broken) = (0u64, 0u64, 0u64, 0u64);
+    for r in &reports {
+        latency.merge(&r.latency);
+        ok += r.ok;
+        overloaded += r.overloaded;
+        other += r.other_errors;
+        broken += r.broken;
+    }
+    let total = (args.connections * args.requests) as u64;
+    let answered = ok + overloaded + other;
+    let rps = answered as f64 / wall.as_secs_f64();
+
+    println!();
+    println!("sustained: {rps:.1} req/s over {:.2} s", wall.as_secs_f64());
+    println!(
+        "latency:   p50 {:?} · p95 {:?} · p99 {:?} ({} samples)",
+        latency.p50(),
+        latency.p95(),
+        latency.p99(),
+        latency.count()
+    );
+    println!("outcomes:  {ok} ok · {overloaded} overloaded · {other} other errors · {broken} broken");
+
+    println!();
+    println!("contracts:");
+    let all_answered = broken == 0 && answered == total;
+    println!(
+        "  every request answered ({answered}/{total}) … {}",
+        verdict(all_answered)
+    );
+    let shed_ok = overload_probe(args.workers);
+
+    // Phase 3: graceful shutdown of the loaded server.
+    let drained = {
+        let mut report = ClientReport::default();
+        if let Ok(mut conn) = TcpStream::connect(addr) {
+            let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
+            rpc(&mut conn, &mut reader, r#"{"id":99,"endpoint":"shutdown"}"#, &mut report);
+        }
+        let overall = handle.join();
+        let ok = report.ok == 1 && report.broken == 0;
+        println!(
+            "  graceful shutdown drains and joins ({} server-side samples) … {}",
+            overall.count(),
+            verdict(ok)
+        );
+        ok
+    };
+
+    let pass = all_answered && shed_ok && drained;
+    println!();
+    println!("bench_serve verdict: {}", verdict(pass));
+    if !pass {
+        std::process::exit(1);
+    }
+}

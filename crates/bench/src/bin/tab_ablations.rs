@@ -11,7 +11,9 @@
 //! Every variant is one job in a single `implant-runtime` batch — the
 //! transient simulations behind A1–A3 dominate the wall time, so they
 //! spread across the worker pool and their figures of merit are cached
-//! per parameter point (set `IMPLANT_CACHE_DIR` to persist).
+//! per parameter point (set `IMPLANT_CACHE_DIR` to persist). The batch
+//! summary's job-wall line shows latency-histogram percentiles
+//! (p50/p95/p99), which makes that A1–A3 dominance legible at a glance.
 
 use bench::{banner, verdict};
 use analog::analysis::Integration;

@@ -9,7 +9,9 @@
 //! Each corner width is one job in an `implant-runtime` batch: the six
 //! studies run in parallel on the worker pool, with yield reports keyed
 //! by their parameter point in the result cache (set `IMPLANT_CACHE_DIR`
-//! to persist them across runs).
+//! to persist them across runs). The batch summary line reports
+//! per-job wall-time percentiles (p50/p95/p99) from the runtime's
+//! latency histogram rather than a single min/mean/max triple.
 
 use bench::{banner, verdict};
 use implant_core::montecarlo::{MonteCarloStudy, VariationModel};

@@ -6,11 +6,14 @@
 //! always holds results in memory; pointing it at a directory
 //! additionally persists every entry as a small JSON artifact, which
 //! lets a re-run of a sweep recompute only changed points across
-//! process restarts.
+//! process restarts. Long-lived services should use the bounded mode
+//! ([`ResultCache::bounded`] / [`ResultCache::with_capacity`]): the
+//! in-memory entry count is capped and the oldest entry is evicted
+//! first, so memory cannot grow without bound.
 
 use crate::job::ParamPoint;
 use crate::json::Json;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -104,26 +107,68 @@ impl<A: Artifact, B: Artifact> Artifact for (A, B) {
     }
 }
 
+/// In-memory entry store: a key → value map plus the key insertion
+/// order, so a bounded cache can evict its oldest entry in O(1).
+#[derive(Debug)]
+struct MemStore<V> {
+    map: HashMap<u64, V>,
+    /// Keys in first-insertion order; only maintained when bounded.
+    order: VecDeque<u64>,
+}
+
+impl<V> Default for MemStore<V> {
+    fn default() -> Self {
+        MemStore { map: HashMap::new(), order: VecDeque::new() }
+    }
+}
+
 /// The content-keyed cache. Thread-safe; shared by reference with the
 /// worker pool.
 #[derive(Debug, Default)]
 pub struct ResultCache<V> {
-    mem: Mutex<HashMap<u64, V>>,
+    mem: Mutex<MemStore<V>>,
+    /// Maximum in-memory entries; `None` = unbounded.
+    capacity: Option<usize>,
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<V: Artifact + Clone> ResultCache<V> {
     /// A purely in-memory cache.
     pub fn in_memory() -> Self {
-        ResultCache { mem: Mutex::new(HashMap::new()), dir: None, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        ResultCache {
+            mem: Mutex::new(MemStore::default()),
+            capacity: None,
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// An in-memory cache holding at most `capacity` entries; inserting
+    /// beyond the cap evicts the *oldest* entry (first-in, first-out),
+    /// so a long-lived service cannot grow memory without bound.
+    /// `capacity` 0 caches nothing.
+    pub fn bounded(capacity: usize) -> Self {
+        ResultCache { capacity: Some(capacity), ..Self::in_memory() }
     }
 
     /// A cache that also persists every entry under `dir` (created on
     /// first write). Existing artifacts in `dir` satisfy lookups.
     pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
         ResultCache { dir: Some(dir.into()), ..Self::in_memory() }
+    }
+
+    /// Caps the in-memory entry count of any cache; builder style. Disk
+    /// artifacts are untouched by eviction — an evicted entry written
+    /// under a `with_dir` directory still satisfies a later lookup.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
     }
 
     /// Reads the artifact directory from environment variable `var`:
@@ -143,12 +188,12 @@ impl<V: Artifact + Clone> ResultCache<V> {
     /// Looks up a point; counts a hit or a miss.
     pub fn get(&self, namespace: &str, point: &ParamPoint) -> Option<V> {
         let key = Self::key(namespace, point);
-        if let Some(v) = self.mem.lock().expect("cache lock").get(&key) {
+        if let Some(v) = self.mem.lock().expect("cache lock").map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(v.clone());
         }
         if let Some(v) = self.load_artifact(key) {
-            self.mem.lock().expect("cache lock").insert(key, v.clone());
+            self.insert(key, v.clone());
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);
         }
@@ -159,9 +204,29 @@ impl<V: Artifact + Clone> ResultCache<V> {
     /// Stores a computed result for a point.
     pub fn put(&self, namespace: &str, point: &ParamPoint, value: &V) {
         let key = Self::key(namespace, point);
-        self.mem.lock().expect("cache lock").insert(key, value.clone());
+        self.insert(key, value.clone());
         if self.dir.is_some() {
             self.store_artifact(key, namespace, point, value);
+        }
+    }
+
+    /// Inserts into the in-memory store, evicting the oldest entry when
+    /// a capacity is set and would be exceeded.
+    fn insert(&self, key: u64, value: V) {
+        let mut mem = self.mem.lock().expect("cache lock");
+        if self.capacity == Some(0) {
+            return;
+        }
+        let fresh = mem.map.insert(key, value).is_none();
+        if let Some(cap) = self.capacity {
+            if fresh {
+                mem.order.push_back(key);
+            }
+            while mem.map.len() > cap {
+                let Some(oldest) = mem.order.pop_front() else { break };
+                mem.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -170,9 +235,14 @@ impl<V: Artifact + Clone> ResultCache<V> {
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 
+    /// Entries evicted by the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Entries currently held in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("cache lock").len()
+        self.mem.lock().expect("cache lock").map.len()
     }
 
     /// True when no entry is held in memory.
@@ -256,6 +326,60 @@ mod tests {
         let fresh: ResultCache<f64> = ResultCache::with_dir(&dir);
         assert_eq!(fresh.get("sweep", &p), Some(1.17e-3));
         assert_eq!(fresh.stats(), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first() {
+        let cache: ResultCache<f64> = ResultCache::bounded(2);
+        let p = |d: f64| ParamPoint::new().with("d", d);
+        cache.put("ns", &p(1.0), &1.0);
+        cache.put("ns", &p(2.0), &2.0);
+        cache.put("ns", &p(3.0), &3.0); // evicts d=1.0
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get("ns", &p(1.0)), None, "oldest entry must be gone");
+        assert_eq!(cache.get("ns", &p(2.0)), Some(2.0));
+        assert_eq!(cache.get("ns", &p(3.0)), Some(3.0));
+        cache.put("ns", &p(4.0), &4.0); // now evicts d=2.0 (insertion order, not access order)
+        assert_eq!(cache.get("ns", &p(2.0)), None);
+        assert_eq!(cache.get("ns", &p(3.0)), Some(3.0));
+        assert_eq!(cache.get("ns", &p(4.0)), Some(4.0));
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_reinsert_does_not_grow() {
+        let cache: ResultCache<f64> = ResultCache::bounded(2);
+        let p = |d: f64| ParamPoint::new().with("d", d);
+        for _ in 0..5 {
+            cache.put("ns", &p(1.0), &1.0);
+            cache.put("ns", &p(2.0), &2.0);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0, "re-inserting the same keys must not evict");
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let cache: ResultCache<f64> = ResultCache::bounded(0);
+        let p = ParamPoint::new().with("d", 1.0);
+        cache.put("ns", &p, &1.0);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get("ns", &p), None);
+    }
+
+    #[test]
+    fn disk_artifacts_survive_eviction() {
+        let dir = std::env::temp_dir().join(format!("runtime-evict-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache: ResultCache<f64> = ResultCache::with_dir(&dir).with_capacity(1);
+        let p = |d: f64| ParamPoint::new().with("d", d);
+        cache.put("ns", &p(1.0), &1.0);
+        cache.put("ns", &p(2.0), &2.0); // evicts d=1.0 from memory only
+        assert_eq!(cache.len(), 1);
+        // The evicted entry reloads from its artifact (and counts a hit).
+        assert_eq!(cache.get("ns", &p(1.0)), Some(1.0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -82,11 +82,22 @@ impl Json {
         }
     }
 
+    /// Maximum container nesting depth [`Json::parse`] accepts. The
+    /// parser is recursive, so untrusted input (the server feeds it raw
+    /// socket bytes) must not be able to drive it arbitrarily deep.
+    pub const MAX_DEPTH: usize = 96;
+
     /// Parses a JSON document.
+    ///
+    /// Strict about endings: any non-whitespace trailing garbage makes
+    /// the whole document invalid. Containers nested beyond
+    /// [`Json::MAX_DEPTH`] are rejected rather than risking a stack
+    /// overflow. Duplicate object keys are preserved in order;
+    /// [`Json::get`] returns the first.
     pub fn parse(text: &str) -> Option<Json> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos == bytes.len() {
             Some(value)
@@ -170,7 +181,10 @@ fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Option<()> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
+    if depth > Json::MAX_DEPTH {
+        return None;
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos)? {
         b'n' => expect(bytes, pos, "null").map(|()| Json::Null),
@@ -179,8 +193,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
         b'N' => expect(bytes, pos, "NaN").map(|()| Json::Num(f64::NAN)),
         b'I' => expect(bytes, pos, "Infinity").map(|()| Json::Num(f64::INFINITY)),
         b'"' => parse_string(bytes, pos).map(Json::Str),
-        b'[' => parse_array(bytes, pos),
-        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos, depth),
+        b'{' => parse_object(bytes, pos, depth),
         b'-' if bytes.get(*pos + 1) == Some(&b'I') => {
             *pos += 1;
             expect(bytes, pos, "Infinity").map(|()| Json::Num(f64::NEG_INFINITY))
@@ -240,7 +254,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Json> {
     std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok().map(Json::Num)
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
     expect(bytes, pos, "[")?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -249,7 +263,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
         return Some(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos)? {
             b',' => *pos += 1,
@@ -262,7 +276,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
     expect(bytes, pos, "{")?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -275,7 +289,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Json> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, ":")?;
-        pairs.push((key, parse_value(bytes, pos)?));
+        pairs.push((key, parse_value(bytes, pos, depth + 1)?));
         skip_ws(bytes, pos);
         match bytes.get(*pos)? {
             b',' => *pos += 1,
@@ -345,5 +359,65 @@ mod tests {
         let v = 0.123_456_789_012_345_68;
         let j = round_trip(&Json::Num(v));
         assert_eq!(j.as_f64().map(f64::to_bits), Some(v.to_bits()));
+    }
+
+    // ---- untrusted-input hardening (the server feeds this parser raw
+    // socket bytes; see crates/server) ----
+
+    #[test]
+    fn escape_sequences_decode_and_bad_ones_reject() {
+        assert_eq!(
+            Json::parse(r#""\"\\\/\n\r\t\b\f""#),
+            Some(Json::Str("\"\\/\n\r\t\u{0008}\u{000C}".into()))
+        );
+        assert_eq!(Json::parse(r#""Aé✓""#), Some(Json::Str("Aé✓".into())));
+        // Unknown escape, bare backslash at end, short \u, non-hex \u.
+        assert_eq!(Json::parse(r#""\x""#), None);
+        assert_eq!(Json::parse("\"\\"), None);
+        assert_eq!(Json::parse(r#""\u00""#), None);
+        assert_eq!(Json::parse(r#""\uZZZZ""#), None);
+        // Lone surrogates are not scalar values — must reject, not panic.
+        assert_eq!(Json::parse(r#""\ud800""#), None);
+        // Raw control bytes inside a string are still parsed (lenient),
+        // but the encoder always escapes them back.
+        let s = Json::Str("\u{0001}".into());
+        assert_eq!(Json::parse(&s.to_string()), Some(s));
+    }
+
+    #[test]
+    fn nesting_beyond_max_depth_rejects_instead_of_overflowing() {
+        let deep_ok = format!("{}1{}", "[".repeat(90), "]".repeat(90));
+        assert!(Json::parse(&deep_ok).is_some(), "90 levels must parse");
+        let too_deep = format!("{}1{}", "[".repeat(5000), "]".repeat(5000));
+        assert_eq!(Json::parse(&too_deep), None, "5000 levels must reject");
+        let deep_obj = format!("{}1{}", "{\"k\":".repeat(5000), "}".repeat(5000));
+        assert_eq!(Json::parse(&deep_obj), None);
+    }
+
+    #[test]
+    fn truncated_documents_reject() {
+        for text in [
+            "", " ", "{", "{\"a\"", "{\"a\":", "{\"a\":1", "{\"a\":1,", "[", "[1", "[1,",
+            "\"abc", "tru", "-", "nul", "[{\"a\":1}",
+        ] {
+            assert_eq!(Json::parse(text), None, "{text:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+        let doc = Json::parse(r#"{"a":1,"a":2,"b":3}"#).expect("parses");
+        assert_eq!(doc.get("a"), Some(&Json::Num(1.0)));
+        match &doc {
+            Json::Obj(pairs) => assert_eq!(pairs.len(), 3, "duplicates preserved: {pairs:?}"),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejects() {
+        for text in ["{} {}", "1 2", "null,", "[1] x", "{\"a\":1}g", "true false"] {
+            assert_eq!(Json::parse(text), None, "{text:?} must not parse");
+        }
     }
 }

@@ -53,6 +53,6 @@ pub mod rng;
 pub use cache::{fnv1a64, Artifact, ResultCache};
 pub use job::{Batch, Grid, ParamPoint, ParamValue};
 pub use json::Json;
-pub use metrics::RunMetrics;
+pub use metrics::{LatencyHistogram, RunMetrics};
 pub use pool::{BatchRun, JobCtx, JobOutcome, JobResult, Pool};
 pub use rng::{derive_seed, Rng, SplitMix64, Xoshiro256PlusPlus};

@@ -203,6 +203,7 @@ impl Pool {
             job_wall_sum: Duration::ZERO,
             job_wall_min: Duration::MAX,
             job_wall_max: Duration::ZERO,
+            latency: crate::metrics::LatencyHistogram::new(),
         };
         for r in &results {
             match &r.outcome {
@@ -216,6 +217,7 @@ impl Pool {
                 metrics.job_wall_sum += r.wall;
                 metrics.job_wall_min = metrics.job_wall_min.min(r.wall);
                 metrics.job_wall_max = metrics.job_wall_max.max(r.wall);
+                metrics.latency.record(r.wall);
             }
         }
         if metrics.job_wall_min == Duration::MAX {

@@ -1,0 +1,246 @@
+//! Per-connection protocol loop.
+//!
+//! One thread per accepted socket, reading newline-delimited requests
+//! and writing one response line per request, in order. Lines are read
+//! through a bounded reader — a peer streaming an endless line without
+//! a newline can never grow memory past [`MAX_LINE`] bytes.
+//!
+//! Control-plane endpoints (`health`, `metrics`, `shutdown`) and every
+//! rejection (malformed line, unknown endpoint, shed or closed queue)
+//! are answered inline on this thread; only valid data-plane requests
+//! enter the bounded queue. That keeps the observability plane
+//! responsive even when the data plane is saturated — a full queue
+//! still answers `metrics` instantly.
+
+use crate::proto::{err_response, ok_response, ErrorCode, Request};
+use crate::queue::PushError;
+use crate::router::DATA_ENDPOINTS;
+use crate::{Job, Shared};
+use runtime::Json;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hard cap on one request line, bytes (newline excluded).
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// Pseudo-endpoint name malformed lines are accounted under (they have
+/// no parseable endpoint of their own).
+pub const MALFORMED: &str = "_malformed";
+
+/// One bounded read: a complete line, an oversized line (consumed up to
+/// its newline so the stream stays framed), or end-of-stream.
+enum LineRead {
+    Line(Vec<u8>),
+    TooLong,
+    Eof,
+}
+
+/// Reads up to the next `\n`, refusing to buffer more than [`MAX_LINE`]
+/// bytes. An oversized line is drained (discarded) through its newline,
+/// so the connection can keep serving subsequent requests.
+fn read_bounded_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
+    let mut line = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF mid-line: nothing useful can follow a partial frame.
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if !overflowed && line.len() + newline <= MAX_LINE {
+                    line.extend_from_slice(&available[..newline]);
+                } else {
+                    overflowed = true;
+                }
+                reader.consume(newline + 1);
+                return Ok(if overflowed { LineRead::TooLong } else { LineRead::Line(line) });
+            }
+            None => {
+                let n = available.len();
+                if !overflowed && line.len() + n <= MAX_LINE {
+                    line.extend_from_slice(available);
+                } else {
+                    overflowed = true;
+                    line.clear();
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer closes it (or a write fails,
+/// which means the peer is gone).
+pub fn serve(stream: TcpStream, shared: Arc<Shared>) {
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let line = match read_bounded_line(&mut reader) {
+            Ok(LineRead::Line(bytes)) => bytes,
+            Ok(LineRead::TooLong) => {
+                shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
+                let msg = format!("request line exceeds {MAX_LINE} bytes");
+                if respond(&mut writer, &err_response(0, ErrorCode::BadRequest, &msg)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
+        };
+        if line.iter().all(u8::is_ascii_whitespace) {
+            continue; // blank keep-alive lines are free
+        }
+        let response = match std::str::from_utf8(&line) {
+            Err(_) => {
+                shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
+                err_response(0, ErrorCode::BadRequest, "request line is not UTF-8")
+            }
+            Ok(text) => match Request::parse_line(text) {
+                Err(reason) => {
+                    shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
+                    err_response(0, ErrorCode::BadRequest, &reason)
+                }
+                Ok(request) => dispatch(request, &shared),
+            },
+        };
+        if respond(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Writes one response line and flushes it (the protocol is
+/// request/response, so latency beats batching here).
+fn respond(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Routes one parsed request: control plane inline, data plane queued.
+fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
+    match request.endpoint.as_str() {
+        "health" => {
+            let body = Json::obj(vec![
+                ("status", Json::Str("ok".to_string())),
+                ("draining", Json::Bool(shared.is_draining())),
+                ("queue_depth", Json::Num(shared.queue.len() as f64)),
+                ("queue_capacity", Json::Num(shared.queue.capacity() as f64)),
+            ]);
+            ok_response(request.id, body, 0, 0)
+        }
+        "metrics" => ok_response(request.id, shared.metrics.to_json(shared.queue.len()), 0, 0),
+        "shutdown" => {
+            // Answer first, then start the drain: the client always gets
+            // its acknowledgement even though the listener is about to go.
+            let body = Json::obj(vec![("draining", Json::Bool(true))]);
+            let response = ok_response(request.id, body, 0, 0);
+            shared.begin_shutdown();
+            response
+        }
+        name if DATA_ENDPOINTS.contains(&name) => submit(request, shared),
+        other => {
+            shared.metrics.record_error(other, ErrorCode::UnknownEndpoint);
+            err_response(
+                request.id,
+                ErrorCode::UnknownEndpoint,
+                &format!("no endpoint {other:?} (data: {DATA_ENDPOINTS:?}; control: health, metrics, shutdown)"),
+            )
+        }
+    }
+}
+
+/// Submits a data-plane request to the bounded queue and waits for the
+/// worker's response. All three refusal paths produce structured errors
+/// — the client is never hung up on or left waiting.
+fn submit(request: Request, shared: &Arc<Shared>) -> String {
+    let now = Instant::now();
+    let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
+    let (reply, inbox) = mpsc::channel();
+    let job = Job {
+        id: request.id,
+        endpoint: request.endpoint,
+        params: request.params,
+        enqueued: now,
+        deadline: now + Duration::from_millis(deadline_ms),
+        reply,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => match inbox.recv() {
+            Ok(line) => line,
+            // A worker dropped the reply channel without sending — only
+            // possible if the worker thread itself died.
+            Err(_) => err_response(0, ErrorCode::Internal, "worker lost"),
+        },
+        Err(PushError::Full(job)) => {
+            shared.metrics.record_error(&job.endpoint, ErrorCode::Overloaded);
+            err_response(
+                job.id,
+                ErrorCode::Overloaded,
+                &format!("queue full (capacity {}); retry with backoff", shared.queue.capacity()),
+            )
+        }
+        Err(PushError::Closed(job)) => {
+            shared.metrics.record_error(&job.endpoint, ErrorCode::ShuttingDown);
+            err_response(job.id, ErrorCode::ShuttingDown, "server is draining; no new work")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_reader_frames_and_bounds() {
+        let mut input = io::Cursor::new(b"short\n".to_vec());
+        match read_bounded_line(&mut input).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"short"),
+            _ => panic!("expected a line"),
+        }
+        match read_bounded_line(&mut input).unwrap() {
+            LineRead::Eof => {}
+            _ => panic!("expected EOF"),
+        }
+    }
+
+    #[test]
+    fn oversized_line_is_drained_not_buffered() {
+        let mut data = vec![b'x'; MAX_LINE + 10];
+        data.push(b'\n');
+        data.extend_from_slice(b"after\n");
+        let mut input = io::Cursor::new(data);
+        assert!(matches!(read_bounded_line(&mut input).unwrap(), LineRead::TooLong));
+        match read_bounded_line(&mut input).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"after", "framing survives the overflow"),
+            _ => panic!("expected the next line"),
+        }
+    }
+
+    #[test]
+    fn exact_cap_is_still_accepted() {
+        let mut data = vec![b'y'; MAX_LINE];
+        data.push(b'\n');
+        let mut input = io::Cursor::new(data);
+        match read_bounded_line(&mut input).unwrap() {
+            LineRead::Line(l) => assert_eq!(l.len(), MAX_LINE),
+            _ => panic!("a line of exactly MAX_LINE bytes is valid"),
+        }
+    }
+
+    #[test]
+    fn partial_trailing_line_is_eof() {
+        let mut input = io::Cursor::new(b"no newline".to_vec());
+        assert!(matches!(read_bounded_line(&mut input).unwrap(), LineRead::Eof));
+    }
+}

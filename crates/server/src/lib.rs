@@ -1,0 +1,453 @@
+//! `implant-server`: a std-only TCP simulation service over the
+//! workspace models.
+//!
+//! The repository's scenarios — the Fig. 11 transient, the full
+//! PA→coils→rectifier chain, the Monte Carlo yield study, the
+//! power-vs-distance link budget — are batch programs. This crate turns
+//! them into a long-lived service speaking newline-delimited JSON (the
+//! runtime's own [`runtime::Json`] codec; no external dependency, still
+//! offline-buildable), with the load-management shape a real service
+//! needs:
+//!
+//! * **Bounded queue, explicit shedding** — admission happens at one
+//!   place, [`queue::BoundedQueue::try_push`]; a full queue answers a
+//!   structured `overloaded` error immediately instead of buffering
+//!   without bound ([`queue`]).
+//! * **Per-request deadlines** — every data request carries a deadline
+//!   (its own `deadline_ms` or the server default); work that expires
+//!   while queued is skipped, not executed into a void.
+//! * **Per-endpoint metrics** — request/error/shed/expired counters,
+//!   cache hits and a log-bucketed latency histogram with p50/p95/p99,
+//!   served by the `metrics` endpoint ([`stats`]).
+//! * **Graceful shutdown** — a `shutdown` request closes the queue,
+//!   drains what was admitted, joins the workers and stops the
+//!   listener; clients racing the drain get `shutting_down`, never a
+//!   silent disconnect.
+//! * **Panic isolation** — a handler panic is caught per request and
+//!   returned as an `internal` error; the worker survives.
+//!
+//! Protocol and endpoint reference live in [`proto`] and [`router`];
+//! `DESIGN.md` §8 documents the semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use server::{Server, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = Server::spawn(ServerConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! conn.write_all(b"{\"id\":1,\"endpoint\":\"health\"}\n").unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! assert!(line.contains("\"ok\":true"));
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conn;
+pub mod proto;
+pub mod queue;
+pub mod router;
+pub mod stats;
+
+use crate::proto::{err_response, ErrorCode};
+use crate::queue::BoundedQueue;
+use crate::router::Router;
+use crate::stats::ServerMetrics;
+use runtime::Json;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tunables. The defaults serve the test/bench workloads; every
+/// knob exists so a test can force a specific failure mode (capacity 0
+/// → everything sheds, tiny deadlines → everything expires).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Request-queue capacity — the only buffer in the data plane.
+    pub queue_capacity: usize,
+    /// Worker threads consuming the queue.
+    pub workers: usize,
+    /// Threads of the simulation [`runtime::Pool`] each worker's batch
+    /// runs on (Monte Carlo trials, sweep points).
+    pub pool_workers: usize,
+    /// Entry cap of each bounded result cache.
+    pub cache_capacity: usize,
+    /// Deadline applied when a request carries no `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Upper bound accepted for the `montecarlo` endpoint's `trials`.
+    pub mc_trial_cap: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            workers: 2,
+            pool_workers: 2,
+            cache_capacity: 256,
+            default_deadline_ms: 30_000,
+            mc_trial_cap: 100_000,
+        }
+    }
+}
+
+/// One admitted data-plane request, waiting in the queue.
+pub struct Job {
+    /// Client correlation id.
+    pub id: u64,
+    /// Route name (always one of [`router::DATA_ENDPOINTS`]).
+    pub endpoint: String,
+    /// Validated-later endpoint parameters.
+    pub params: Json,
+    /// When the connection admitted the job (queueing time anchor).
+    pub enqueued: Instant,
+    /// Absolute deadline; expired jobs are skipped at dequeue.
+    pub deadline: Instant,
+    /// Channel the worker sends the finished response line on.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// State shared by the listener, every connection thread and every
+/// worker.
+pub struct Shared {
+    /// The bounded request queue.
+    pub queue: BoundedQueue<Job>,
+    /// Endpoint dispatch + result caches.
+    pub router: Router,
+    /// Serving metrics.
+    pub metrics: ServerMetrics,
+    /// Default deadline for requests that specify none.
+    pub default_deadline_ms: u64,
+    draining: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// True once shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts the drain exactly once: closes the queue (pending jobs
+    /// still drain, new pushes fail `shutting_down`) and pokes the
+    /// listener awake with a loopback connection so its blocking
+    /// `accept` observes the flag.
+    pub fn begin_shutdown(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// The server: bound listener plus its worker fleet.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loop and `config.workers` workers, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the listener cannot bind `config.addr`.
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            router: Router::new(config.pool_workers, config.cache_capacity, config.mc_trial_cap),
+            metrics: ServerMetrics::new(),
+            default_deadline_ms: config.default_deadline_ms,
+            draining: AtomicBool::new(false),
+            local_addr,
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("implant-server-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("implant-server-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle { shared, accept, workers })
+    }
+}
+
+/// Accepts connections until the drain flag is up, one detached thread
+/// per connection. Connection threads hold only an `Arc<Shared>`; once
+/// the queue is closed they can only answer control requests and
+/// `shutting_down` errors, so leaving them to die with their sockets is
+/// safe.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.is_draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("implant-server-conn".to_string())
+            .spawn(move || conn::serve(stream, shared));
+    }
+}
+
+/// The worker loop: pop, expire-or-execute, reply. Exits when the queue
+/// is closed and drained.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        if Instant::now() >= job.deadline {
+            // The deadline burned out while the job sat in the queue —
+            // executing it now would waste a worker on an answer nobody
+            // is waiting for.
+            shared.metrics.record_error(&job.endpoint, ErrorCode::DeadlineExceeded);
+            let _ = job.reply.send(err_response(
+                job.id,
+                ErrorCode::DeadlineExceeded,
+                &format!("deadline expired after {queue_us} µs in queue"),
+            ));
+            continue;
+        }
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shared.router.handle(&job.endpoint, &job.params)
+        }));
+        let service = started.elapsed();
+        let service_us = service.as_micros() as u64;
+        let line = match outcome {
+            Ok(Ok(routed)) => {
+                shared.metrics.record_ok(
+                    &job.endpoint,
+                    service,
+                    routed.cache_hits,
+                    routed.cache_misses,
+                );
+                proto::ok_response(job.id, routed.result, queue_us, service_us)
+            }
+            Ok(Err(route_err)) => {
+                shared.metrics.record_error(&job.endpoint, route_err.code);
+                err_response(job.id, route_err.code, &route_err.message)
+            }
+            Err(_panic) => {
+                // Isolated: this worker thread survives and moves on.
+                shared.metrics.record_error(&job.endpoint, ErrorCode::Internal);
+                err_response(job.id, ErrorCode::Internal, "handler panicked; request isolated")
+            }
+        };
+        let _ = job.reply.send(line);
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The shared state (for tests and in-process clients that want to
+    /// inspect metrics without a socket round-trip).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Starts the drain, exactly like a `shutdown` request would.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the drain to complete: admitted jobs finish, workers
+    /// and the listener exit. Returns the final server-wide latency
+    /// histogram (merged over all endpoints) so callers can report it
+    /// after the sockets are gone.
+    ///
+    /// Call [`ServerHandle::shutdown`] (or send a `shutdown` request)
+    /// first; joining a live server blocks until someone does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker or the listener itself panicked, which would
+    /// mean the isolation layers failed — a bug, not an operational
+    /// condition.
+    pub fn join(self) -> runtime::LatencyHistogram {
+        for worker in self.workers {
+            worker.join().expect("worker panicked");
+        }
+        self.accept.join().expect("acceptor panicked");
+        self.shared.metrics.merged_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn request(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim_end()).expect("response must be valid JSON")
+    }
+
+    fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+        let conn = TcpStream::connect(handle.addr()).unwrap();
+        let reader = BufReader::new(conn.try_clone().unwrap());
+        (conn, reader)
+    }
+
+    #[test]
+    fn health_metrics_and_shutdown_round_trip() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+
+        let health = request(&mut conn, &mut reader, r#"{"id":1,"endpoint":"health"}"#);
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        let result = health.get("result").unwrap();
+        assert_eq!(result.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(result.get("draining"), Some(&Json::Bool(false)));
+
+        let sweep = request(
+            &mut conn,
+            &mut reader,
+            r#"{"id":2,"endpoint":"sweep","params":{"steps":3}}"#,
+        );
+        assert_eq!(sweep.get("ok"), Some(&Json::Bool(true)));
+
+        let metrics = request(&mut conn, &mut reader, r#"{"id":3,"endpoint":"metrics"}"#);
+        let sweep_stats = metrics
+            .get("result")
+            .and_then(|r| r.get("endpoints"))
+            .and_then(|e| e.get("sweep"))
+            .expect("sweep must appear in metrics");
+        assert_eq!(sweep_stats.get("ok").and_then(Json::as_u64), Some(1));
+
+        let bye = request(&mut conn, &mut reader, r#"{"id":4,"endpoint":"shutdown"}"#);
+        assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+        drop(conn);
+        let overall = handle.join();
+        assert_eq!(overall.count(), 1, "one data request was served");
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_with_structured_error() {
+        let config = ServerConfig { queue_capacity: 0, ..ServerConfig::default() };
+        let handle = Server::spawn(config).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        let doc = request(
+            &mut conn,
+            &mut reader,
+            r#"{"id":9,"endpoint":"sweep","params":{"steps":2}}"#,
+        );
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("overloaded"));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(9));
+        // Control plane still answers on the same connection.
+        let health = request(&mut conn, &mut reader, r#"{"id":10,"endpoint":"health"}"#);
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown();
+        drop(conn);
+        handle.join();
+    }
+
+    #[test]
+    fn expired_deadline_is_skipped_not_executed() {
+        // One worker, and a first request that holds it long enough for
+        // the second's 1 ms deadline to expire in the queue.
+        let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+        let handle = Server::spawn(config).unwrap();
+        let (mut slow_conn, mut slow_reader) = connect(&handle);
+        let (mut fast_conn, mut fast_reader) = connect(&handle);
+
+        slow_conn
+            .write_all(
+                b"{\"id\":1,\"endpoint\":\"montecarlo\",\"params\":{\"trials\":4000}}\n",
+            )
+            .unwrap();
+        // Give the worker a moment to claim the slow job before the
+        // doomed one enters the queue.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let doomed = request(
+            &mut fast_conn,
+            &mut fast_reader,
+            r#"{"id":2,"endpoint":"sweep","deadline_ms":1,"params":{"steps":2}}"#,
+        );
+        assert_eq!(doomed.get("ok"), Some(&Json::Bool(false)));
+        let code = doomed.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("deadline_exceeded"));
+
+        let mut slow_response = String::new();
+        slow_reader.read_line(&mut slow_response).unwrap();
+        let slow = Json::parse(slow_response.trim_end()).unwrap();
+        assert_eq!(slow.get("ok"), Some(&Json::Bool(true)), "{slow_response}");
+        drop(slow_conn);
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn post_shutdown_requests_get_shutting_down() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        request(&mut conn, &mut reader, r#"{"id":1,"endpoint":"shutdown"}"#);
+        // The connection that asked for shutdown is still served its
+        // control plane, but the data plane refuses new work.
+        let doc = request(
+            &mut conn,
+            &mut reader,
+            r#"{"id":2,"endpoint":"sweep","params":{"steps":2}}"#,
+        );
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("shutting_down"));
+        drop(conn);
+        handle.join();
+    }
+
+    #[test]
+    fn unknown_endpoint_and_malformed_lines_answer_inline() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        let doc = request(&mut conn, &mut reader, r#"{"id":5,"endpoint":"frobnicate"}"#);
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("unknown_endpoint"));
+
+        let doc = request(&mut conn, &mut reader, "this is not json");
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("bad_request"));
+        handle.shutdown();
+        drop(conn);
+        handle.join();
+    }
+}

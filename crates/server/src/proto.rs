@@ -1,0 +1,195 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, always in
+//! order. The codec is the runtime's own [`Json`] — the server adds no
+//! dependency and stays offline-buildable.
+//!
+//! Request grammar (all fields except `endpoint` optional):
+//!
+//! ```text
+//! {"id": 7, "endpoint": "montecarlo", "deadline_ms": 500, "params": {…}}
+//! ```
+//!
+//! Responses echo `id` and carry either a `result` or a structured
+//! `error`:
+//!
+//! ```text
+//! {"id":7,"ok":true,"queue_us":12,"service_us":3401,"result":{…}}
+//! {"id":7,"ok":false,"error":{"code":"overloaded","message":"…"}}
+//! ```
+
+use runtime::Json;
+
+/// Machine-readable error classes. The string forms are the wire
+/// contract (`error.code`) — clients dispatch on them, so they are
+/// stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not a valid request object, or a parameter
+    /// was missing, of the wrong type, or out of range.
+    BadRequest,
+    /// The `endpoint` names no route.
+    UnknownEndpoint,
+    /// The bounded request queue was full — explicit load shedding,
+    /// never unbounded buffering. Back off and retry.
+    Overloaded,
+    /// The request's deadline expired before a worker picked it up (or
+    /// the default deadline did).
+    DeadlineExceeded,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The handler failed (simulation error or isolated panic).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire form of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownEndpoint => "unknown_endpoint",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response (0 when
+    /// absent).
+    pub id: u64,
+    /// Route name.
+    pub endpoint: String,
+    /// Per-request deadline override, milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+    /// Endpoint parameters (empty object when absent).
+    pub params: Json,
+}
+
+impl Request {
+    /// Parses one request line. The error string is a human-readable
+    /// `bad_request` message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: invalid JSON,
+    /// a non-object document, or a missing/mistyped field.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).ok_or("invalid JSON (or trailing garbage)")?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let endpoint = doc
+            .get("endpoint")
+            .ok_or("missing \"endpoint\"")?
+            .as_str()
+            .ok_or("\"endpoint\" must be a string")?
+            .to_string();
+        let id = match doc.get("id") {
+            None => 0,
+            Some(v) => v.as_u64().ok_or("\"id\" must be a non-negative integer")?,
+        };
+        let deadline_ms = match doc.get("deadline_ms") {
+            None => None,
+            Some(v) => {
+                Some(v.as_u64().ok_or("\"deadline_ms\" must be a non-negative integer")?)
+            }
+        };
+        let params = match doc.get("params") {
+            None => Json::Obj(Vec::new()),
+            Some(p @ Json::Obj(_)) => p.clone(),
+            Some(_) => return Err("\"params\" must be an object".into()),
+        };
+        Ok(Request { id, endpoint, deadline_ms, params })
+    }
+}
+
+/// Encodes a success response line (without the trailing newline).
+pub fn ok_response(id: u64, result: Json, queue_us: u64, service_us: u64) -> String {
+    Json::obj(vec![
+        ("id", Json::Num(id as f64)),
+        ("ok", Json::Bool(true)),
+        ("queue_us", Json::Num(queue_us as f64)),
+        ("service_us", Json::Num(service_us as f64)),
+        ("result", result),
+    ])
+    .to_string()
+}
+
+/// Encodes an error response line (without the trailing newline).
+pub fn err_response(id: u64, code: ErrorCode, message: &str) -> String {
+    Json::obj(vec![
+        ("id", Json::Num(id as f64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("code", Json::Str(code.as_str().to_string())),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_request_parses() {
+        let r = Request::parse_line(
+            r#"{"id": 3, "endpoint": "sweep", "deadline_ms": 250, "params": {"steps": 4}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(r.endpoint, "sweep");
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.params.get("steps").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn minimal_request_defaults() {
+        let r = Request::parse_line(r#"{"endpoint":"health"}"#).unwrap();
+        assert_eq!(r.id, 0);
+        assert_eq!(r.deadline_ms, None);
+        assert!(matches!(r.params, Json::Obj(ref p) if p.is_empty()));
+    }
+
+    #[test]
+    fn malformed_requests_reject_with_a_reason() {
+        for (line, needle) in [
+            ("", "invalid JSON"),
+            ("{\"endpoint\":\"x\"} trailing", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            ("{}", "missing \"endpoint\""),
+            (r#"{"endpoint": 5}"#, "\"endpoint\" must be a string"),
+            (r#"{"endpoint":"x","id":-1}"#, "\"id\""),
+            (r#"{"endpoint":"x","deadline_ms":1.5}"#, "\"deadline_ms\""),
+            (r#"{"endpoint":"x","params":[1]}"#, "\"params\" must be an object"),
+        ] {
+            let err = Request::parse_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_lines_and_round_trip() {
+        let ok = ok_response(7, Json::obj(vec![("x", Json::Num(1.0))]), 12, 900);
+        assert!(!ok.contains('\n'));
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("result").and_then(|r| r.get("x")).and_then(Json::as_f64), Some(1.0));
+
+        let err = err_response(9, ErrorCode::Overloaded, "queue full (cap 64)");
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("overloaded"));
+    }
+}

@@ -1,0 +1,162 @@
+//! The bounded request queue — the server's backpressure point.
+//!
+//! Admission control happens here and nowhere else: [`BoundedQueue::try_push`]
+//! never blocks and never buffers beyond the configured capacity. When
+//! the queue is full the caller gets the item back and sheds the load
+//! with a structured `overloaded` error; nothing in the server holds an
+//! unbounded buffer of requests.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. Carries the item back so the caller can
+/// still answer the client on its reply channel.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Queue at capacity — shed the load.
+    Full(T),
+    /// Queue closed for shutdown — no new work.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` waiting items (0 sheds
+    /// every push — useful to test the overload path).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), open: true }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking push.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity, [`PushError::Closed`] when
+    /// the queue has been closed; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if !state.open {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work, ever" — the worker exits.
+    /// Items pushed before [`BoundedQueue::close`] are always handed
+    /// out, which is what makes shutdown a drain rather than a drop.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, pending items still drain.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").open = false;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_beyond_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop readmits");
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = BoundedQueue::new(0);
+        assert!(matches!(q.try_push(1), Err(PushError::Full(1))));
+    }
+
+    #[test]
+    fn close_drains_pending_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1), "items before close still drain");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then the queue ends");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_on_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        for i in 0..10 {
+            while matches!(q.try_push(i), Err(PushError::Full(_))) {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,413 @@
+//! Endpoint routing: maps a request's `endpoint` + `params` onto the
+//! workspace models and renders the result as JSON.
+//!
+//! Every parameter is validated (type, finiteness, range) before any
+//! simulation starts — the router is the trust boundary between socket
+//! bytes and the models. Simulation cost is bounded the same way: trial
+//! counts, cycle counts and transient horizons all have hard caps, so a
+//! single request cannot occupy a worker indefinitely (deadlines handle
+//! queueing time; the caps handle service time).
+
+use crate::proto::ErrorCode;
+use coils::tissue::TissueStack;
+use implant_core::fullchain::FullChainScenario;
+use implant_core::montecarlo::{MonteCarloStudy, VariationModel};
+use implant_core::scenario::Fig11Scenario;
+use link::budget::PowerBudget;
+use runtime::{Batch, Grid, Json, ParamPoint, Pool, ResultCache};
+
+/// A routed failure: the wire code plus a human-readable message.
+#[derive(Debug, Clone)]
+pub struct RouteError {
+    /// Error class for the response's `error.code`.
+    pub code: ErrorCode,
+    /// Diagnostic for `error.message`.
+    pub message: String,
+}
+
+impl RouteError {
+    fn bad(message: impl Into<String>) -> Self {
+        RouteError { code: ErrorCode::BadRequest, message: message.into() }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        RouteError { code: ErrorCode::Internal, message: message.into() }
+    }
+}
+
+/// A successful route: the response payload plus the result-cache
+/// activity it caused (for the per-endpoint metrics).
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// The `result` object of the response.
+    pub result: Json,
+    /// Cache hits this request contributed.
+    pub cache_hits: u64,
+    /// Cache misses this request contributed.
+    pub cache_misses: u64,
+}
+
+impl Routed {
+    fn plain(result: Json) -> Self {
+        Routed { result, cache_hits: 0, cache_misses: 0 }
+    }
+}
+
+/// The data-plane endpoints (the ones that go through the bounded
+/// queue; `health`/`metrics`/`shutdown` are control-plane and answered
+/// inline by the connection).
+pub const DATA_ENDPOINTS: [&str; 4] = ["fig11", "fullchain", "montecarlo", "sweep"];
+
+/// Shared routing state: the worker pool the Monte Carlo batches run
+/// on and the bounded result caches.
+pub struct Router {
+    pool: Pool,
+    mc_cache: ResultCache<implant_core::montecarlo::YieldReport>,
+    sweep_cache: ResultCache<f64>,
+    mc_trial_cap: u64,
+}
+
+impl Router {
+    /// A router whose caches hold at most `cache_capacity` entries each
+    /// and whose Monte Carlo batches run on `pool_workers` threads.
+    pub fn new(pool_workers: usize, cache_capacity: usize, mc_trial_cap: u64) -> Self {
+        Router {
+            pool: Pool::new(pool_workers),
+            mc_cache: ResultCache::bounded(cache_capacity),
+            sweep_cache: ResultCache::bounded(cache_capacity),
+            mc_trial_cap,
+        }
+    }
+
+    /// Dispatches one data-plane request.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` on invalid parameters, `unknown_endpoint` on an
+    /// unrouted name, `internal` when the model itself fails.
+    pub fn handle(&self, endpoint: &str, params: &Json) -> Result<Routed, RouteError> {
+        match endpoint {
+            "fig11" => self.fig11(params),
+            "fullchain" => self.fullchain(params),
+            "montecarlo" => self.montecarlo(params),
+            "sweep" => self.sweep(params),
+            other => Err(RouteError {
+                code: ErrorCode::UnknownEndpoint,
+                message: format!("no endpoint {other:?} (data endpoints: {DATA_ENDPOINTS:?})"),
+            }),
+        }
+    }
+
+    /// `fig11`: one transistor-level Fig. 11 transient with caller
+    /// overrides, reporting the paper's compliance checks.
+    fn fig11(&self, params: &Json) -> Result<Routed, RouteError> {
+        let mut scenario = match opt_str(params, "preset")?.unwrap_or("short") {
+            "short" => Fig11Scenario::shortened(),
+            "paper" => Fig11Scenario::paper(),
+            other => return Err(RouteError::bad(format!("unknown preset {other:?}"))),
+        };
+        if let Some(v) = opt_f64(params, "idle_amplitude", 0.5, 20.0)? {
+            scenario.idle_amplitude = v;
+        }
+        if let Some(v) = opt_f64(params, "r_source", 1.0, 10.0e3)? {
+            scenario.r_source = v;
+        }
+        if let Some(v) = opt_f64(params, "r_load", 10.0, 1.0e6)? {
+            scenario.r_load = v;
+        }
+        if let Some(v) = opt_f64(params, "t_stop_us", 1.0, 2000.0)? {
+            scenario.t_stop = v * 1e-6;
+        }
+        if let Some(v) = opt_f64(params, "max_step_ns", 1.0, 1000.0)? {
+            scenario.max_step = v * 1e-9;
+        }
+        // The outcome evaluates waveform windows up to the end of the
+        // uplink burst; a horizon that cuts into the timeline would
+        // leave them empty (a panic, not a result). `max_step_ns` is
+        // the knob for cheap runs, not truncation.
+        let timeline_end =
+            scenario.uplink_start + scenario.uplink_bits.len() as f64 / scenario.uplink_rate;
+        // 1 ns slack: the µs→s conversions are not exact in binary.
+        if scenario.t_stop + 1e-9 < timeline_end {
+            return Err(RouteError::bad(format!(
+                "\"t_stop_us\" = {:.0} cuts the preset's timeline (needs ≥ {:.0} µs)",
+                scenario.t_stop * 1e6,
+                timeline_end * 1e6,
+            )));
+        }
+        let outcome =
+            scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
+        Ok(Routed::plain(Json::obj(vec![
+            ("vo_worst", Json::Num(outcome.vo_worst())),
+            ("vo_compliant", Json::Bool(outcome.vo_compliant())),
+            ("downlink_errors", Json::Num(outcome.downlink_errors() as f64)),
+            ("downlink_bits", Json::Num(outcome.downlink_sent.len() as f64)),
+            (
+                "t_charged_us",
+                outcome.t_charged.map_or(Json::Null, |t| Json::Num(t * 1e6)),
+            ),
+            ("uplink_contrast", Json::Num(outcome.uplink_contrast)),
+        ])))
+    }
+
+    /// `fullchain`: steady-state Vo, efficiency and compliance of the
+    /// PA→coils→matching→rectifier netlist at a caller-chosen distance.
+    fn fullchain(&self, params: &Json) -> Result<Routed, RouteError> {
+        let mut scenario = FullChainScenario::ironic();
+        let distance_mm = opt_f64(params, "distance_mm", 1.0, 50.0)?.unwrap_or(10.0);
+        scenario.distance = distance_mm * 1e-3;
+        if let Some(v) = opt_f64(params, "r_load", 10.0, 1.0e6)? {
+            scenario.r_load = v;
+        }
+        scenario.cycles = opt_u64(params, "cycles", 10, 2000)?.unwrap_or(120) as usize;
+        let outcome =
+            scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
+        Ok(Routed::plain(Json::obj(vec![
+            ("distance_mm", Json::Num(distance_mm)),
+            ("cycles", Json::Num(scenario.cycles as f64)),
+            ("vo_steady", Json::Num(outcome.vo_steady())),
+            ("supply_compliant", Json::Bool(outcome.supply_compliant())),
+            ("efficiency", Json::Num(outcome.efficiency())),
+            ("p_load_mw", Json::Num(outcome.p_load * 1e3)),
+            ("p_supply_mw", Json::Num(outcome.p_supply * 1e3)),
+        ])))
+    }
+
+    /// `montecarlo`: parametric yield at a requested mismatch level,
+    /// served from the bounded result cache when the same
+    /// (scale, trials, seed) point was already computed.
+    fn montecarlo(&self, params: &Json) -> Result<Routed, RouteError> {
+        let scale = opt_f64(params, "scale", 0.0, 16.0)?.unwrap_or(1.0);
+        let trials = opt_u64(params, "trials", 1, self.mc_trial_cap)?.unwrap_or(1000);
+        let mut study = MonteCarloStudy::ironic();
+        if let Some(seed) = opt_u64(params, "seed", 0, u64::MAX)? {
+            study.seed = seed;
+        }
+        study.variation = VariationModel::typical_018um().scaled(scale);
+
+        let point = ParamPoint::new()
+            .with("scale", scale)
+            .with("trials", trials)
+            .with("seed", study.seed);
+        let batch = Batch::new("server-montecarlo", study.seed).with_point(point);
+        let run = self.pool.run_cached(&batch, &self.mc_cache, |_ctx| {
+            // One job = one whole study; its trials draw from the
+            // study's own seed-derived streams, so the report is
+            // identical however the request lands on workers.
+            study.run_serial(trials as usize)
+        });
+        let report = run
+            .value(0)
+            .ok_or_else(|| RouteError::internal(format!("study panicked: {:?}", run.failures())))?;
+        Ok(Routed {
+            result: Json::obj(vec![
+                ("scale", Json::Num(scale)),
+                ("trials", Json::Num(report.trials as f64)),
+                ("seed", Json::Num(study.seed as f64)),
+                ("passing", Json::Num(report.passing as f64)),
+                ("yield", Json::Num(report.yield_fraction())),
+                ("charge_ok", Json::Num(report.charge_ok as f64)),
+                ("downlink_ok", Json::Num(report.downlink_ok as f64)),
+                ("vo_ok", Json::Num(report.vo_ok as f64)),
+                ("vo_min_mean", Json::Num(report.vo_min_mean)),
+                ("vo_min_worst", Json::Num(report.vo_min_worst)),
+                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
+            ]),
+            cache_hits: run.metrics.cache_hits as u64,
+            cache_misses: run.metrics.cache_misses as u64,
+        })
+    }
+
+    /// `sweep`: received power over a distance grid in air or through
+    /// the sirloin tissue stack, each point cached individually.
+    fn sweep(&self, params: &Json) -> Result<Routed, RouteError> {
+        let d_min = opt_f64(params, "d_min_mm", 0.5, 100.0)?.unwrap_or(2.0);
+        let d_max = opt_f64(params, "d_max_mm", 0.5, 100.0)?.unwrap_or(30.0);
+        if d_max < d_min {
+            return Err(RouteError::bad(format!("d_max_mm {d_max} < d_min_mm {d_min}")));
+        }
+        let steps = opt_u64(params, "steps", 2, 64)?.unwrap_or(8) as usize;
+        let medium = opt_str(params, "medium")?.unwrap_or("air");
+        let budget = match medium {
+            "air" => PowerBudget::ironic_air(),
+            "sirloin" => PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm()),
+            other => {
+                return Err(RouteError::bad(format!(
+                    "unknown medium {other:?} (air | sirloin)"
+                )))
+            }
+        };
+
+        let span = d_max - d_min;
+        let distances: Vec<f64> = (0..steps)
+            .map(|i| d_min + span * i as f64 / (steps - 1) as f64)
+            .collect();
+        let grid = Grid::new()
+            .axis("medium", [medium])
+            .axis("distance_mm", distances.iter().copied());
+        let batch = Batch::from_grid("server-sweep", 0, &grid);
+        let run = self.pool.run_cached(&batch, &self.sweep_cache, |ctx| {
+            budget.received_power(ctx.point.f64("distance_mm") * 1e-3)
+        });
+        let p_rx_mw: Vec<Json> = (0..steps)
+            .map(|i| {
+                run.value(i)
+                    .map(|&p| Json::Num(p * 1e3))
+                    .ok_or_else(|| RouteError::internal("sweep point panicked".to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Routed {
+            result: Json::obj(vec![
+                ("medium", Json::Str(medium.to_string())),
+                ("distances_mm", Json::Arr(distances.into_iter().map(Json::Num).collect())),
+                ("p_rx_mw", Json::Arr(p_rx_mw)),
+            ]),
+            cache_hits: run.metrics.cache_hits as u64,
+            cache_misses: run.metrics.cache_misses as u64,
+        })
+    }
+}
+
+/// Optional float parameter with an inclusive validity range.
+fn opt_f64(params: &Json, key: &str, min: f64, max: f64) -> Result<Option<f64>, RouteError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| RouteError::bad(format!("{key:?} must be a number")))?;
+            if !v.is_finite() || v < min || v > max {
+                return Err(RouteError::bad(format!("{key:?} = {v} outside [{min}, {max}]")));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+/// Optional unsigned-integer parameter with an inclusive validity range.
+fn opt_u64(params: &Json, key: &str, min: u64, max: u64) -> Result<Option<u64>, RouteError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| RouteError::bad(format!("{key:?} must be a non-negative integer")))?;
+            if v < min || v > max {
+                return Err(RouteError::bad(format!("{key:?} = {v} outside [{min}, {max}]")));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+/// Optional string parameter.
+fn opt_str<'a>(params: &'a Json, key: &str) -> Result<Option<&'a str>, RouteError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| RouteError::bad(format!("{key:?} must be a string"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        Router::new(2, 64, 100_000)
+    }
+
+    fn params(pairs: Vec<(&str, Json)>) -> Json {
+        Json::obj(pairs)
+    }
+
+    #[test]
+    fn unknown_endpoint_is_typed() {
+        let err = router().handle("nope", &params(vec![])).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownEndpoint);
+    }
+
+    #[test]
+    fn montecarlo_is_deterministic_and_caches() {
+        let r = router();
+        let p = params(vec![
+            ("scale", Json::Num(1.0)),
+            ("trials", Json::Num(300.0)),
+            ("seed", Json::Num(42.0)),
+        ]);
+        let first = r.handle("montecarlo", &p).unwrap();
+        assert_eq!(first.cache_misses, 1);
+        assert_eq!(first.result.get("cached"), Some(&Json::Bool(false)));
+        let second = r.handle("montecarlo", &p).unwrap();
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.result.get("cached"), Some(&Json::Bool(true)));
+        // Identical payloads apart from the cache marker.
+        assert_eq!(
+            first.result.get("vo_min_worst"),
+            second.result.get("vo_min_worst")
+        );
+        assert_eq!(first.result.get("passing"), second.result.get("passing"));
+        // A fresh router at the same seed reproduces bit-for-bit.
+        let other = router().handle("montecarlo", &p).unwrap();
+        assert_eq!(
+            first.result.get("vo_min_mean").and_then(Json::as_f64).map(f64::to_bits),
+            other.result.get("vo_min_mean").and_then(Json::as_f64).map(f64::to_bits),
+        );
+    }
+
+    #[test]
+    fn montecarlo_trial_cap_is_enforced() {
+        let r = Router::new(1, 8, 1000);
+        let err = r
+            .handle("montecarlo", &params(vec![("trials", Json::Num(5000.0))]))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("trials"), "{}", err.message);
+    }
+
+    #[test]
+    fn sweep_decreases_with_distance_and_caches_points() {
+        let r = router();
+        let p = params(vec![
+            ("d_min_mm", Json::Num(2.0)),
+            ("d_max_mm", Json::Num(20.0)),
+            ("steps", Json::Num(4.0)),
+        ]);
+        let routed = r.handle("sweep", &p).unwrap();
+        assert_eq!(routed.cache_misses, 4);
+        let powers = routed.result.get("p_rx_mw").and_then(Json::as_arr).unwrap();
+        let vals: Vec<f64> = powers.iter().map(|p| p.as_f64().unwrap()).collect();
+        assert_eq!(vals.len(), 4);
+        assert!(vals.windows(2).all(|w| w[1] < w[0]), "monotone falloff: {vals:?}");
+        // Second identical request is served fully from cache.
+        let again = r.handle("sweep", &p).unwrap();
+        assert_eq!(again.cache_hits, 4);
+        assert_eq!(again.cache_misses, 0);
+    }
+
+    #[test]
+    fn bad_parameters_name_the_offender() {
+        let r = router();
+        for (endpoint, p, needle) in [
+            ("sweep", params(vec![("medium", Json::Num(1.0))]), "medium"),
+            ("sweep", params(vec![("steps", Json::Num(1.0))]), "steps"),
+            (
+                "sweep",
+                params(vec![("d_min_mm", Json::Num(20.0)), ("d_max_mm", Json::Num(2.0))]),
+                "d_max_mm",
+            ),
+            ("montecarlo", params(vec![("scale", Json::Str("x".into()))]), "scale"),
+            ("fig11", params(vec![("preset", Json::Str("weird".into()))]), "preset"),
+            ("fig11", params(vec![("t_stop_us", Json::Num(1e9))]), "t_stop_us"),
+            ("fig11", params(vec![("t_stop_us", Json::Num(40.0))]), "t_stop_us"),
+            ("fullchain", params(vec![("cycles", Json::Num(5e6))]), "cycles"),
+            ("fullchain", params(vec![("distance_mm", Json::Num(f64::NAN))]), "distance_mm"),
+        ] {
+            let err = r.handle(endpoint, &p).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{endpoint}: {}", err.message);
+            assert!(err.message.contains(needle), "{endpoint}: {}", err.message);
+        }
+    }
+}

@@ -22,6 +22,13 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo clippy --all-targets --workspace -- -D warnings
 
+# Serving smoke lane: bench_serve spawns implant-server on an ephemeral
+# port, drives it from concurrent connections, and asserts the three
+# load-management contracts (every request answered, full queue sheds
+# with a structured `overloaded` error, graceful shutdown drains). A
+# non-zero exit fails the gate.
+run ./target/release/bench_serve --connections 4 --requests 12 --mc-trials 100
+
 if [[ "${1:-}" == "--fuzz" ]]; then
     for crate in analog biosensor coils comms pmu; do
         run cargo test -q -p "$crate" --features fuzz

@@ -13,6 +13,7 @@
 //! | [`biosensor`] | electrochemical cell, potentiostat, readout, bandgaps, ΣΔ ADC |
 //! | [`patch`] | IronIC patch: battery, power states, session controller |
 //! | [`implant_core`] | the Fig. 11 scenario and the end-to-end system co-simulation |
+//! | [`server`] | std-only TCP simulation service: bounded queue, deadlines, latency metrics |
 //!
 //! # Quickstart
 //!
@@ -43,3 +44,4 @@ pub use link;
 pub use patch;
 pub use pmu;
 pub use runtime;
+pub use server;

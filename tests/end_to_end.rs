@@ -162,6 +162,131 @@ fn whitened_frame_through_the_pmu_demodulator() {
 }
 
 #[test]
+fn server_round_trips_every_endpoint_deterministically() {
+    // server + runtime + core + link across a real socket: spawn on an
+    // ephemeral port, hit every endpoint once, and check that fixed
+    // seeds give fixed payloads and that repeats come from the cache.
+    use electronic_implants::runtime::Json;
+    use electronic_implants::server::{Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let mut conn = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut rpc = |line: &str| -> Json {
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim_end()).expect("valid response JSON")
+    };
+    let result = |doc: &Json| {
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{doc}");
+        doc.get("result").expect("result present").clone()
+    };
+
+    // health: control plane, served inline.
+    let health = result(&rpc(r#"{"id":1,"endpoint":"health"}"#));
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    // fig11: a cheapened transient via overrides (horizon trimmed to the
+    // end of the uplink burst, 5× coarser step), still physically sane.
+    let fig11 = result(&rpc(
+        r#"{"id":2,"endpoint":"fig11","params":{"t_stop_us":150,"max_step_ns":50}}"#,
+    ));
+    let vo_worst = fig11.get("vo_worst").and_then(Json::as_f64).unwrap();
+    assert!((0.0..6.0).contains(&vo_worst), "vo_worst {vo_worst}");
+
+    // fullchain: short steady-state run at 10 mm.
+    let chain = result(&rpc(
+        r#"{"id":3,"endpoint":"fullchain","params":{"cycles":30,"distance_mm":10}}"#,
+    ));
+    assert!(chain.get("vo_steady").and_then(Json::as_f64).unwrap() > 0.0);
+    let eff = chain.get("efficiency").and_then(Json::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
+
+    // montecarlo: fixed seed ⇒ fixed payload; repeat ⇒ cache hit.
+    let mc_line = r#"{"id":4,"endpoint":"montecarlo","params":{"trials":300,"seed":7,"scale":1.0}}"#;
+    let first = result(&rpc(mc_line));
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    let second = result(&rpc(mc_line));
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("passing"), second.get("passing"));
+    assert_eq!(
+        first.get("vo_min_worst").and_then(Json::as_f64).map(f64::to_bits),
+        second.get("vo_min_worst").and_then(Json::as_f64).map(f64::to_bits),
+    );
+    let trials = first.get("trials").and_then(Json::as_u64).unwrap();
+    let passing = first.get("passing").and_then(Json::as_u64).unwrap();
+    assert_eq!(trials, 300);
+    assert!(passing <= trials);
+
+    // sweep: power falls off monotonically with distance.
+    let sweep = result(&rpc(
+        r#"{"id":5,"endpoint":"sweep","params":{"d_min_mm":4,"d_max_mm":24,"steps":5}}"#,
+    ));
+    let powers: Vec<f64> = sweep
+        .get("p_rx_mw")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|p| p.as_f64().unwrap())
+        .collect();
+    assert_eq!(powers.len(), 5);
+    assert!(powers.windows(2).all(|w| w[1] < w[0]), "monotone: {powers:?}");
+
+    // Graceful shutdown drains and joins.
+    let bye = rpc(r#"{"id":6,"endpoint":"shutdown"}"#);
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    drop((conn, reader));
+    handle.join();
+}
+
+#[test]
+fn server_sheds_load_with_a_structured_error_when_saturated() {
+    // A queue capacity of zero forces the overload path: the data plane
+    // sheds every request with `overloaded` (never a hang or a dropped
+    // connection) while the control plane keeps answering.
+    use electronic_implants::runtime::Json;
+    use electronic_implants::server::{Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Write};
+
+    let config = ServerConfig { queue_capacity: 0, ..ServerConfig::default() };
+    let handle = Server::spawn(config).expect("ephemeral bind");
+    let mut conn = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut rpc = |line: &str| -> Json {
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim_end()).expect("valid response JSON")
+    };
+
+    for id in 0..3 {
+        let doc = rpc(&format!(
+            r#"{{"id":{id},"endpoint":"sweep","params":{{"steps":2}}}}"#
+        ));
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("overloaded"));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(id));
+    }
+    let metrics = rpc(r#"{"id":9,"endpoint":"metrics"}"#);
+    let shed = metrics
+        .get("result")
+        .and_then(|r| r.get("endpoints"))
+        .and_then(|e| e.get("sweep"))
+        .and_then(|s| s.get("shed"))
+        .and_then(Json::as_u64);
+    assert_eq!(shed, Some(3), "all three sheds accounted");
+
+    handle.shutdown();
+    drop((conn, reader));
+    handle.join();
+}
+
+#[test]
 fn thermal_safety_at_the_operating_point() {
     // patch (thermal) + link (budget): the delivered power at 6 mm stays
     // within the ISO implant-heating limit with margin.
