@@ -97,3 +97,108 @@ proptest! {
         prop_assert!(eta > 0.0 && eta <= ldo.v_out / v_in + 1e-12);
     }
 }
+
+// Paper-envelope properties: any stressor inside the testkit's in-spec
+// fault envelope must leave the rectifier inside [2.1 V floor, 3 V
+// clamp] with ≥ 300 mV of LDO headroom, and the clocked demodulator
+// decoding exactly. The two power stressors are checked separately —
+// their composition exceeds the per-stressor link margin by design.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A sustained coupling sag down to 85% of the 3 V carrier (the
+    /// in-spec steady envelope) keeps the floor, the clamp, and the
+    /// regulator dropout margin at the paper load.
+    #[test]
+    fn in_spec_coupling_sag_keeps_the_paper_envelope(
+        factor in 0.85f64..1.0,
+        t_fault_us in 50.0f64..400.0,
+    ) {
+        let r = BehavioralRectifier::ironic();
+        let amp = 3.0;
+        let i_load = 0.5e-3;
+        let v0 = amp - r.diode_drop - r.source_resistance * i_load;
+        let t_fault = t_fault_us * 1e-6;
+        let w = r.simulate(
+            |t| if t >= t_fault { amp * factor } else { amp },
+            |_| i_load,
+            800.0e-6, 1.0e-6, v0,
+        );
+        prop_assert!(w.max() <= pmu::V_CLAMP + 1e-9, "clamp: {}", w.max());
+        prop_assert!(w.min() >= pmu::V_O_MIN, "floor: {} at factor {factor}", w.min());
+        prop_assert!(w.min() - 1.8 >= 0.3, "LDO dropout margin: {}", w.min() - 1.8);
+    }
+
+    /// An in-spec load transient (up to +2 mA on the 0.5 mA chip load)
+    /// at full drive keeps the same envelope.
+    #[test]
+    fn in_spec_load_transient_keeps_the_paper_envelope(
+        i_extra_ma in 0.0f64..2.0,
+        t_on_us in 50.0f64..300.0,
+        dur_us in 10.0f64..400.0,
+    ) {
+        let r = BehavioralRectifier::ironic();
+        let amp = 3.0;
+        let i_load = 0.5e-3;
+        let v0 = amp - r.diode_drop - r.source_resistance * i_load;
+        let (t_on, t_off) = (t_on_us * 1e-6, (t_on_us + dur_us) * 1e-6);
+        let w = r.simulate(
+            |_| amp,
+            |t| i_load + if (t_on..t_off).contains(&t) { i_extra_ma * 1e-3 } else { 0.0 },
+            800.0e-6, 1.0e-6, v0,
+        );
+        prop_assert!(w.max() <= pmu::V_CLAMP + 1e-9);
+        prop_assert!(w.min() >= pmu::V_O_MIN, "floor: {} at +{i_extra_ma} mA", w.min());
+        prop_assert!(w.min() - 1.8 >= 0.3);
+    }
+
+    /// A deep dropout (any depth up to the full 60% burst spec) held no
+    /// longer than the 120 µs holdup allowance rides the storage
+    /// capacitor without breaching the floor.
+    #[test]
+    fn in_spec_dropout_burst_rides_the_storage_cap(
+        depth in 0.0f64..0.6,
+        dur_us in 1.0f64..120.0,
+        t_on_us in 50.0f64..200.0,
+    ) {
+        let r = BehavioralRectifier::ironic();
+        let amp = 3.0;
+        let i_load = 0.5e-3;
+        let v0 = amp - r.diode_drop - r.source_resistance * i_load;
+        let (t_on, t_off) = (t_on_us * 1e-6, (t_on_us + dur_us) * 1e-6);
+        let w = r.simulate(
+            |t| amp * if (t_on..t_off).contains(&t) { 1.0 - depth } else { 1.0 },
+            |_| i_load,
+            600.0e-6, 0.5e-6, v0,
+        );
+        prop_assert!(w.max() <= pmu::V_CLAMP + 1e-9);
+        prop_assert!(w.min() >= pmu::V_O_MIN, "floor: {} at depth {depth}, {dur_us} us", w.min());
+    }
+
+    /// The clocked demodulator decodes any payload exactly under
+    /// in-spec symbol levels (high ≥ 2.7 V) and in-spec sampling jitter
+    /// (|offset| ≤ 2 µs of the 10 µs symbol).
+    #[test]
+    fn demodulator_decodes_exactly_under_in_spec_levels_and_jitter(
+        bits in proptest::collection::vec(any::<bool>(), 1..24),
+        high in 2.7f64..3.4,
+        jitter_us in -2.0f64..2.0,
+    ) {
+        use comms::ask::AskModulator;
+        use comms::bits::BitStream;
+        use pmu::demodulator::{ClockedDemodulator, TwoPhaseClock};
+
+        let sent = BitStream::from_bits(&bits);
+        // ironic_downlink's depth puts the high symbol at √(3/5) of the
+        // scale; normalize so it sits at `high` volts.
+        let tx = AskModulator::ironic_downlink().scaled(high / (3.0f64 / 5.0).sqrt());
+        let rx = ClockedDemodulator {
+            clock: TwoPhaseClock::ironic().delayed(4.0e-6),
+            ..ClockedDemodulator::ironic()
+        };
+        let env = tx.envelope(&sent, 0.0);
+        let jitter = jitter_us * 1e-6;
+        let (decoded, _) = rx.run(|t| env.eval(t + jitter), sent.len());
+        prop_assert_eq!(decoded, sent);
+    }
+}

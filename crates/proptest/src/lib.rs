@@ -6,9 +6,15 @@
 //! strategies for ranges, `any::<T>()`, `collection::vec`,
 //! `sample::Index`, character-class string patterns, `prop_map`), but
 //! backed by the deterministic xoshiro256++ generator from
-//! `implant-runtime` and a plain fixed-case runner — no shrinking, no
-//! persistence. Each test's seed is derived from its name, so runs are
-//! reproducible; set `PROPTEST_CASES` to override the case count.
+//! `implant-runtime` — no persistence. Each test's seed is derived from
+//! its name, so runs are reproducible; set `PROPTEST_CASES` to override
+//! the case count.
+//!
+//! Failures shrink: the runner greedily walks [`Strategy::shrink`]
+//! candidates (numeric values toward their range minimum, vectors
+//! toward short prefixes, tuples one component at a time) and reports
+//! both the original counterexample and the smallest one still failing,
+//! together with the failing seed in hex.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -73,6 +79,14 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. The default — no candidates — is correct for
+    /// strategies with no usable notion of smaller (mapped values,
+    /// string patterns, `any`).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -119,6 +133,9 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             }
         }
         panic!("prop_filter rejected 1000 consecutive draws");
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner.shrink(value).into_iter().filter(|v| (self.f)(v)).collect()
     }
 }
 
@@ -178,6 +195,28 @@ impl Arbitrary for f64 {
     }
 }
 
+/// Integer shrink candidates: the range minimum, the midpoint toward
+/// it, and the predecessor — each strictly between `lo` and `value`.
+fn shrink_int<T>(lo: T, value: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + From<u8>
+        + std::ops::Div<Output = T>,
+{
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / T::from(2u8);
+        if mid > lo && mid < value {
+            out.push(mid);
+        }
+        let pred = value - T::from(1u8);
+        if pred > lo && pred != mid {
+            out.push(pred);
+        }
+    }
+    out
+}
+
 macro_rules! range_strategy {
     ($($ty:ty),*) => {$(
         impl Strategy for Range<$ty> {
@@ -186,6 +225,9 @@ macro_rules! range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $ty
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_int(self.start, *value)
             }
         }
         impl Strategy for RangeInclusive<$ty> {
@@ -198,6 +240,9 @@ macro_rules! range_strategy {
                     return rng.next_u64() as $ty;
                 }
                 lo + (rng.next_u64() % (span + 1)) as $ty
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_int(*self.start(), *value)
             }
         }
     )*};
@@ -213,15 +258,52 @@ macro_rules! signed_range_strategy {
                 let span = self.end.wrapping_sub(self.start) as u64;
                 self.start.wrapping_add((rng.next_u64() % span) as $ty)
             }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                // Shrink toward zero when it is in range, else toward the
+                // range minimum — matching the real crate's preference for
+                // small-magnitude counterexamples.
+                let target: $ty = if self.start <= 0 && 0 < self.end { 0 } else { self.start };
+                let mut out = Vec::new();
+                if *value != target {
+                    out.push(target);
+                    let mid = target + (*value - target) / 2;
+                    if mid != target && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 signed_range_strategy!(i8, i16, i32, i64, isize);
 
+/// Float shrink candidates: the target (zero when in range, else the
+/// range minimum) and successive midpoints toward the failing value.
+fn shrink_f64(lo: f64, hi: f64, value: f64) -> Vec<f64> {
+    let target = if lo <= 0.0 && 0.0 < hi { 0.0 } else { lo };
+    let mut out = Vec::new();
+    if value != target {
+        out.push(target);
+        let mid = target + (value - target) / 2.0;
+        if mid != target && mid != value {
+            out.push(mid);
+        }
+        let close = target + (value - target) / 16.0;
+        if close != target && close != mid && close != value {
+            out.push(close);
+        }
+    }
+    out
+}
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         rng.range_f64(self.start, self.end)
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(self.start, self.end, *value)
     }
 }
 
@@ -229,6 +311,9 @@ impl Strategy for RangeInclusive<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         rng.range_f64(*self.start(), *self.end())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(*self.start(), *self.end(), *value)
     }
 }
 
@@ -308,11 +393,34 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.start + rng.index(self.size.end - self.size.start);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Shorter prefixes first: minimum length, half, one less.
+            let min = self.size.start;
+            for len in [min, min + (value.len() - min) / 2, value.len().saturating_sub(1)] {
+                if len < value.len() && (len >= min) && !out.iter().any(|v: &Vec<_>| v.len() == len)
+                {
+                    out.push(value[..len].to_vec());
+                }
+            }
+            // Then per-element shrinks at full length.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem).into_iter().take(3) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -348,10 +456,24 @@ pub mod sample {
 
 macro_rules! tuple_strategy {
     ($(($($name:ident / $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -365,10 +487,74 @@ tuple_strategy! {
     (A/0, B/1, C/2, D/3, E/4, F/5)
 }
 
-/// Executes a property: draws cases until `cfg.cases` are accepted,
-/// panicking on the first failure. Rejections (`prop_assume!`) do not
-/// count, but more than `20 ×` the case budget of consecutive attempts
-/// aborts the run as over-constrained.
+/// Executes a property with shrinking: draws from `strategy` until
+/// `cfg.cases` cases are accepted, and on the first failure greedily
+/// walks [`Strategy::shrink`] candidates (bounded at 400 probes) to the
+/// smallest value still failing. The panic message carries the failing
+/// seed in hex, the original counterexample, and the shrunk one —
+/// everything needed to replay the case by hand.
+pub fn run_cases_shrinking<S: Strategy>(
+    name: &str,
+    cfg: &ProptestConfig,
+    strategy: &S,
+    mut case: impl FnMut(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.cases);
+    let seed = runtime::fnv1a64(name.as_bytes());
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(20).max(100),
+            "property {name}: too many rejected cases ({accepted}/{cases} accepted)"
+        );
+        let value = strategy.generate(&mut rng);
+        match case(&value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(first_msg)) => {
+                let mut current = value.clone();
+                let mut message = first_msg;
+                let mut probes = 0u32;
+                'shrinking: loop {
+                    for cand in strategy.shrink(&current) {
+                        probes += 1;
+                        if probes > 400 {
+                            break 'shrinking;
+                        }
+                        // A candidate the property rejects or passes is
+                        // not a counterexample; keep scanning siblings.
+                        if let Err(TestCaseError::Fail(msg)) = case(&cand) {
+                            current = cand;
+                            message = msg;
+                            continue 'shrinking;
+                        }
+                    }
+                    break; // no candidate still fails: minimal
+                }
+                panic!(
+                    "property {name} failed after {accepted} passing case(s) \
+                     [seed 0x{seed:016x}, {probes} shrink probe(s)]\n\
+                     original: {value:?}\n  shrunk: {current:?}\n     why: {message}"
+                );
+            }
+        }
+    }
+}
+
+/// Executes a property without shrinking: draws cases until `cfg.cases`
+/// are accepted, panicking on the first failure. Rejections
+/// (`prop_assume!`) do not count, but more than `20 ×` the case budget
+/// of consecutive attempts aborts the run as over-constrained. Kept for
+/// callers that drive the generator directly; the [`proptest!`] macro
+/// uses [`run_cases_shrinking`].
 pub fn run_cases(
     name: &str,
     cfg: &ProptestConfig,
@@ -423,15 +609,21 @@ macro_rules! __proptest_fns {
     ) => {
         $(#[$meta])*
         fn $name() {
-            $crate::run_cases(stringify!($name), &$cfg, |__proptest_rng| {
-                $(let $arg = $crate::Strategy::generate(&$strat, __proptest_rng);)+
-                let __proptest_outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                __proptest_outcome
-            });
+            let __proptest_strategy = ($($strat,)+);
+            $crate::run_cases_shrinking(
+                stringify!($name),
+                &$cfg,
+                &__proptest_strategy,
+                |__proptest_vals| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__proptest_vals);
+                    let __proptest_outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __proptest_outcome
+                },
+            );
         }
         $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
     };
@@ -514,6 +706,75 @@ mod tests {
         for _ in 0..100 {
             let len = Strategy::generate(&strat, &mut rng);
             assert!((1..5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn failures_shrink_to_the_minimal_counterexample_and_print_the_seed() {
+        // A property failing exactly for x >= 50: greedy shrinking must
+        // land on 50 itself, and the report must carry the seed.
+        let strat = (0u32..1000,);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases_shrinking(
+                "shrinks_to_fifty",
+                &ProptestConfig::with_cases(64),
+                &strat,
+                |&(x,)| {
+                    if x >= 50 {
+                        Err(crate::TestCaseError::fail(format!("{x} is too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let panic = result.expect_err("the property must fail");
+        let msg = panic.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("shrunk: (50,)"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains("original:"), "{msg}");
+    }
+
+    #[test]
+    fn vectors_shrink_to_the_shortest_failing_length() {
+        let strat = (crate::collection::vec(any::<u8>(), 0..40),);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases_shrinking(
+                "shrinks_to_len_three",
+                &ProptestConfig::with_cases(32),
+                &strat,
+                |(v,)| {
+                    if v.len() >= 3 {
+                        Err(crate::TestCaseError::fail(format!("len {}", v.len())))
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let panic = result.expect_err("the property must fail");
+        let msg = panic.downcast_ref::<String>().expect("string panic");
+        // The shrunk counterexample has exactly the minimal failing
+        // length; its (shrunk) elements render as a 3-element list.
+        assert!(msg.contains("why: len 3"), "{msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_range_and_filter_domains() {
+        let range = 10u32..100;
+        for c in Strategy::shrink(&range, &55) {
+            assert!((10..55).contains(&c), "candidate {c} out of domain");
+        }
+        assert!(Strategy::shrink(&range, &10).is_empty(), "minimum has no shrinks");
+
+        let even = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for c in Strategy::shrink(&even, &64) {
+            assert!(c % 2 == 0, "filter must hold on shrink candidates");
+        }
+
+        let f = 0.0f64..8.0;
+        for c in Strategy::shrink(&f, &4.0) {
+            assert!((0.0..4.0).contains(&c), "float candidate {c}");
         }
     }
 

@@ -82,6 +82,54 @@ impl Json {
         }
     }
 
+    /// Path of the first non-finite number in the document (depth-first,
+    /// document order), e.g. `result.trace[3].vo` — `None` when every
+    /// number is finite.
+    ///
+    /// The codec itself round-trips `NaN`/`±Infinity` as bare tokens on
+    /// purpose (cache artifacts keep full fidelity), but those tokens
+    /// are *invalid JSON* to a strict client, so anything bound for the
+    /// wire must check this first and degrade to a structured error.
+    pub fn non_finite_path(&self) -> Option<String> {
+        fn walk(node: &Json, path: &mut String) -> bool {
+            match node {
+                Json::Num(v) if !v.is_finite() => true,
+                Json::Arr(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        let len = path.len();
+                        path.push_str(&format!("[{i}]"));
+                        if walk(item, path) {
+                            return true;
+                        }
+                        path.truncate(len);
+                    }
+                    false
+                }
+                Json::Obj(pairs) => {
+                    for (k, v) in pairs {
+                        let len = path.len();
+                        if !path.is_empty() {
+                            path.push('.');
+                        }
+                        path.push_str(k);
+                        if walk(v, path) {
+                            return true;
+                        }
+                        path.truncate(len);
+                    }
+                    false
+                }
+                _ => false,
+            }
+        }
+        let mut path = String::new();
+        if walk(self, &mut path) {
+            Some(if path.is_empty() { "$".to_string() } else { path })
+        } else {
+            None
+        }
+    }
+
     /// Maximum container nesting depth [`Json::parse`] accepts. The
     /// parser is recursive, so untrusted input (the server feeds it raw
     /// socket bytes) must not be able to drive it arbitrarily deep.
@@ -412,6 +460,36 @@ mod tests {
             Json::Obj(pairs) => assert_eq!(pairs.len(), 3, "duplicates preserved: {pairs:?}"),
             other => panic!("expected object, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn non_finite_path_pinpoints_the_first_bad_number() {
+        assert_eq!(Json::Num(1.0).non_finite_path(), None);
+        assert_eq!(Json::Num(f64::NAN).non_finite_path(), Some("$".into()));
+        assert_eq!(Json::Num(f64::INFINITY).non_finite_path(), Some("$".into()));
+        let doc = Json::obj(vec![
+            ("ok", Json::Num(1.0)),
+            (
+                "result",
+                Json::obj(vec![
+                    ("trace", Json::Arr(vec![Json::Num(0.5), Json::Num(f64::NAN)])),
+                    ("eff", Json::Num(f64::NEG_INFINITY)),
+                ]),
+            ),
+        ]);
+        assert_eq!(doc.non_finite_path(), Some("result.trace[1]".into()));
+        let clean = Json::obj(vec![
+            ("a", Json::Arr(vec![Json::Num(1.0), Json::Str("x".into()), Json::Null])),
+            ("b", Json::obj(vec![("c", Json::Bool(true))])),
+        ]);
+        assert_eq!(clean.non_finite_path(), None);
+        // The truncation bookkeeping: a non-finite *after* a nested
+        // clean branch still reports the right path.
+        let late = Json::obj(vec![
+            ("deep", Json::obj(vec![("x", Json::Num(0.0))])),
+            ("bad", Json::Num(f64::INFINITY)),
+        ]);
+        assert_eq!(late.non_finite_path(), Some("bad".into()));
     }
 
     #[test]

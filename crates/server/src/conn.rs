@@ -139,7 +139,16 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
             ]);
             ok_response(request.id, body, 0, 0)
         }
-        "metrics" => ok_response(request.id, shared.metrics.to_json(shared.queue.len()), 0, 0),
+        "metrics" => {
+            // Percentile fields can go non-finite on an empty histogram;
+            // audit like the data plane does.
+            crate::proto::ok_response_checked(
+                request.id,
+                shared.metrics.to_json(shared.queue.len()),
+                0,
+                0,
+            )
+        }
         "shutdown" => {
             // Answer first, then start the drain: the client always gets
             // its acknowledgement even though the listener is about to go.

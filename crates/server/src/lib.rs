@@ -246,7 +246,7 @@ fn worker_loop(shared: &Shared) {
                     routed.cache_hits,
                     routed.cache_misses,
                 );
-                proto::ok_response(job.id, routed.result, queue_us, service_us)
+                proto::ok_response_checked(job.id, routed.result, queue_us, service_us)
             }
             Ok(Err(route_err)) => {
                 shared.metrics.record_error(&job.endpoint, route_err.code);

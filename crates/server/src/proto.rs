@@ -120,6 +120,23 @@ pub fn ok_response(id: u64, result: Json, queue_us: u64, service_us: u64) -> Str
     .to_string()
 }
 
+/// Encodes a success response line, first auditing `result` for
+/// non-finite floats. The runtime codec would happily print `NaN` /
+/// `Infinity` bare tokens — full-fidelity for cache artifacts, but
+/// *invalid JSON* to a strict client — so a faulted simulation that
+/// produces one degrades to a structured `internal` error naming the
+/// offending path instead of corrupting the wire.
+pub fn ok_response_checked(id: u64, result: Json, queue_us: u64, service_us: u64) -> String {
+    match result.non_finite_path() {
+        None => ok_response(id, result, queue_us, service_us),
+        Some(path) => err_response(
+            id,
+            ErrorCode::Internal,
+            &format!("result contains a non-finite number at {path}"),
+        ),
+    }
+}
+
 /// Encodes an error response line (without the trailing newline).
 pub fn err_response(id: u64, code: ErrorCode, message: &str) -> String {
     Json::obj(vec![
@@ -139,6 +156,41 @@ pub fn err_response(id: u64, code: ErrorCode, message: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checked_response_degrades_non_finite_results_to_structured_errors() {
+        // Finite results pass through untouched.
+        let fine = ok_response_checked(1, Json::obj(vec![("x", Json::Num(2.5))]), 3, 4);
+        assert_eq!(fine, ok_response(1, Json::obj(vec![("x", Json::Num(2.5))]), 3, 4));
+
+        // A NaN deep in the result becomes an `internal` error that is
+        // itself valid, parseable JSON naming the offending path.
+        let bad = Json::obj(vec![
+            ("vo", Json::Num(2.4)),
+            ("trace", Json::Arr(vec![Json::Num(1.0), Json::Num(f64::NAN)])),
+        ]);
+        let line = ok_response_checked(7, bad, 0, 0);
+        let doc = Json::parse(&line).expect("the error line is valid JSON");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("internal"));
+        let msg = doc.get("error").and_then(|e| e.get("message")).and_then(Json::as_str);
+        assert!(msg.unwrap().contains("trace[1]"), "{msg:?}");
+
+        // ±Infinity (e.g. an efficiency with ~zero supply power) too.
+        let inf = Json::obj(vec![("efficiency", Json::Num(f64::INFINITY))]);
+        let line = ok_response_checked(8, inf, 0, 0);
+        let doc = Json::parse(&line).expect("valid JSON");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert!(
+            doc.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("efficiency"),
+        );
+    }
 
     #[test]
     fn full_request_parses() {

@@ -1,0 +1,191 @@
+//! An adversarial TCP client for `implant-server`.
+//!
+//! Each probe models a misbehaving peer — malformed and oversized
+//! lines, mid-request disconnects, slowloris writes, shutdown under
+//! load — and asserts the server's contract from the serving layer:
+//! every complete request gets a structured one-line answer, a bad
+//! client only ever hurts itself, and the control plane stays
+//! responsive throughout. [`AdversarialClient::assault`] runs the whole
+//! battery and reports what the server did.
+
+use runtime::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Read timeout on every probe socket: an adversarial test must never
+/// hang the suite, it must fail loudly.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// What one probe observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// A structured response with this `error.code`.
+    ErrorCode(String),
+    /// A structured `ok:true` response.
+    Ok,
+    /// The connection ended without a response line (only acceptable
+    /// for probes that themselves disconnect first).
+    Disconnected,
+}
+
+/// Results of a full [`AdversarialClient::assault`].
+#[derive(Debug, Clone)]
+pub struct AssaultReport {
+    /// `(probe name, outcome)` per probe, in execution order.
+    pub probes: Vec<(&'static str, ProbeOutcome)>,
+    /// Whether `health` answered `ok` after the battery.
+    pub healthy_after: bool,
+}
+
+impl AssaultReport {
+    /// Panics unless every probe saw its expected outcome and the
+    /// server stayed healthy.
+    ///
+    /// # Panics
+    ///
+    /// When a probe observed anything but the serving contract.
+    pub fn assert_contract(&self) {
+        for (name, outcome) in &self.probes {
+            let expected = match *name {
+                "malformed_json" | "oversized_line" | "binary_garbage" => {
+                    ProbeOutcome::ErrorCode("bad_request".into())
+                }
+                "unknown_endpoint" => ProbeOutcome::ErrorCode("unknown_endpoint".into()),
+                "slowloris" => ProbeOutcome::Ok,
+                "disconnect_mid_line" | "disconnect_before_response" => ProbeOutcome::Disconnected,
+                other => panic!("unknown probe {other}"),
+            };
+            assert_eq!(outcome, &expected, "probe {name}");
+        }
+        assert!(self.healthy_after, "server unhealthy after the assault");
+    }
+}
+
+/// The adversarial client. Every probe opens its own connection, so a
+/// probe that wedges its socket cannot poison the next one.
+pub struct AdversarialClient {
+    addr: SocketAddr,
+}
+
+impl AdversarialClient {
+    /// A client aimed at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        AdversarialClient { addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(self.addr).expect("adversary connects");
+        stream.set_read_timeout(Some(PROBE_TIMEOUT)).expect("read timeout");
+        stream
+    }
+
+    /// Sends raw bytes as one line and reads back one response line.
+    /// `None` means the server closed without answering.
+    pub fn raw_line(&self, bytes: &[u8]) -> Option<Json> {
+        let mut stream = self.connect();
+        stream.write_all(bytes).expect("write");
+        stream.write_all(b"\n").expect("write newline");
+        read_response(&mut stream)
+    }
+
+    /// A well-formed request that expects a well-formed answer.
+    pub fn rpc(&self, line: &str) -> Option<Json> {
+        self.raw_line(line.as_bytes())
+    }
+
+    /// True when `health` answers `ok` with `status: "ok"`.
+    pub fn health_ok(&self) -> bool {
+        self.rpc(r#"{"endpoint":"health"}"#).is_some_and(|doc| {
+            doc.get("ok") == Some(&Json::Bool(true))
+                && doc.get("result").and_then(|r| r.get("status")).and_then(Json::as_str)
+                    == Some("ok")
+        })
+    }
+
+    /// Writes part of a request line, then drops the socket mid-frame.
+    pub fn disconnect_mid_line(&self) {
+        let mut stream = self.connect();
+        stream.write_all(br#"{"endpoint":"fig1"#).expect("partial write");
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Sends a complete (cheap) data request, then disconnects without
+    /// reading the response — the worker must absorb the dead reply
+    /// channel, not crash.
+    pub fn disconnect_before_response(&self) {
+        let mut stream = self.connect();
+        stream
+            .write_all(b"{\"endpoint\":\"sweep\",\"params\":{\"steps\":2}}\n")
+            .expect("full write");
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Writes a valid request one byte at a time with a pause between
+    /// chunks (slowloris); the bounded reader must assemble it and
+    /// answer normally rather than time the peer out into a hang.
+    pub fn slowloris(&self, pause: Duration) -> Option<Json> {
+        let mut stream = self.connect();
+        let line = b"{\"endpoint\":\"health\",\"id\":99}\n";
+        for chunk in line.chunks(3) {
+            stream.write_all(chunk).expect("slow write");
+            stream.flush().expect("flush");
+            std::thread::sleep(pause);
+        }
+        read_response(&mut stream)
+    }
+
+    /// A line of `fill` bytes longer than the server's 64 KiB cap.
+    pub fn oversized_line(&self, len: usize) -> Option<Json> {
+        self.raw_line(&vec![b'z'; len])
+    }
+
+    /// Runs the whole battery against a live server and reports.
+    pub fn assault(&self) -> AssaultReport {
+        let code = |doc: Option<Json>| match doc {
+            None => ProbeOutcome::Disconnected,
+            Some(doc) => {
+                if doc.get("ok") == Some(&Json::Bool(true)) {
+                    ProbeOutcome::Ok
+                } else {
+                    ProbeOutcome::ErrorCode(
+                        doc.get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("<no code>")
+                            .to_string(),
+                    )
+                }
+            }
+        };
+        let mut probes = vec![
+            ("malformed_json", code(self.raw_line(b"{not json at all"))),
+            ("binary_garbage", code(self.raw_line(&[0xFF, 0xFE, 0x00, 0x80]))),
+            ("oversized_line", code(self.oversized_line(70 * 1024))),
+            ("unknown_endpoint", code(self.rpc(r#"{"endpoint":"selfdestruct"}"#))),
+        ];
+        self.disconnect_mid_line();
+        probes.push(("disconnect_mid_line", ProbeOutcome::Disconnected));
+        self.disconnect_before_response();
+        probes.push(("disconnect_before_response", ProbeOutcome::Disconnected));
+        probes.push(("slowloris", code(self.slowloris(Duration::from_millis(2)))));
+        AssaultReport { probes, healthy_after: self.health_ok() }
+    }
+}
+
+/// Reads one newline-terminated JSON document, `None` on EOF/reset.
+fn read_response(stream: &mut TcpStream) -> Option<Json> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => Json::parse(line.trim_end()),
+    }
+}
+
+/// Drains and discards whatever the peer still has to say (used by
+/// shutdown tests to let in-flight responses complete).
+pub fn drain_socket(stream: &mut TcpStream) {
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+}

@@ -1,0 +1,40 @@
+//! Golden-figure maintenance tool.
+//!
+//! Default run compares the three locked figures against the checked-in
+//! goldens and exits non-zero on any drift; `--bless` (or
+//! `IMPLANT_BLESS=1`) regenerates the golden files from the current
+//! models instead. The figure computations are shared with the
+//! `tests/goldens.rs` suite, so a bless always writes exactly what the
+//! tests will compare.
+
+use testkit::golden::{figures, GoldenOutcome, GoldenSet};
+use testkit::TOLERANCES;
+
+fn main() {
+    let set = GoldenSet::repo();
+    let mut failed = false;
+    for (name, tol, values) in [
+        ("fig11", TOLERANCES.fig11, figures::fig11()),
+        ("fullchain", TOLERANCES.fullchain, figures::fullchain()),
+        ("calibration", TOLERANCES.calibration, figures::calibration()),
+    ] {
+        match set.check(name, tol, &values) {
+            GoldenOutcome::Match => println!("{name}: match"),
+            GoldenOutcome::Blessed(path) => println!("{name}: blessed -> {}", path.display()),
+            GoldenOutcome::Missing(path) => {
+                failed = true;
+                println!("{name}: MISSING ({}); run with --bless", path.display());
+            }
+            GoldenOutcome::Mismatch(diffs) => {
+                failed = true;
+                println!("{name}: {} key(s) out of tolerance:", diffs.len());
+                for d in diffs {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Tolerance-banded golden-figure regression.
+//!
+//! The paper figures the repo reproduces (Fig. 11, the full chain, the
+//! sensor calibration) are locked to checked-in goldens under
+//! `tests/goldens/*.json`. A golden is a flat map of scalar metrics
+//! with one relative tolerance band per file; [`GoldenSet::check`]
+//! compares fresh values against it and reports every key outside the
+//! band. Regenerate with the `golden_bless` binary's `--bless` flag or
+//! `IMPLANT_BLESS=1` in a test run.
+
+use runtime::Json;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One key outside its tolerance band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenDiff {
+    /// The metric name.
+    pub key: String,
+    /// The checked-in value (NaN when the key is missing on one side).
+    pub expected: f64,
+    /// The freshly computed value (NaN when missing).
+    pub got: f64,
+    /// The relative tolerance that was applied.
+    pub tolerance: f64,
+}
+
+impl fmt::Display for GoldenDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {:.6e} ± {:.1}%, got {:.6e}",
+            self.key,
+            self.expected,
+            self.tolerance * 100.0,
+            self.got,
+        )
+    }
+}
+
+/// The result of one golden comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldenOutcome {
+    /// Every key inside its band.
+    Match,
+    /// The golden was (re)written at this path.
+    Blessed(PathBuf),
+    /// No golden exists yet — bless to create it.
+    Missing(PathBuf),
+    /// At least one key left its band.
+    Mismatch(Vec<GoldenDiff>),
+}
+
+impl GoldenOutcome {
+    /// True for [`GoldenOutcome::Match`] and [`GoldenOutcome::Blessed`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, GoldenOutcome::Match | GoldenOutcome::Blessed(_))
+    }
+
+    /// Panics with a readable report unless the outcome is ok.
+    ///
+    /// # Panics
+    ///
+    /// On [`GoldenOutcome::Missing`] (with the bless hint) and
+    /// [`GoldenOutcome::Mismatch`] (listing every out-of-band key).
+    pub fn assert_ok(&self, name: &str) {
+        match self {
+            GoldenOutcome::Match | GoldenOutcome::Blessed(_) => {}
+            GoldenOutcome::Missing(path) => panic!(
+                "golden {name} missing at {}; regenerate with \
+                 `cargo run -p implant-testkit --bin golden_bless -- --bless` \
+                 or IMPLANT_BLESS=1",
+                path.display(),
+            ),
+            GoldenOutcome::Mismatch(diffs) => {
+                let lines: Vec<String> = diffs.iter().map(GoldenDiff::to_string).collect();
+                panic!(
+                    "golden {name}: {} key(s) out of tolerance:\n  {}\n\
+                     (if the model change is intentional, re-bless)",
+                    diffs.len(),
+                    lines.join("\n  "),
+                );
+            }
+        }
+    }
+}
+
+/// True when this process was asked to regenerate goldens
+/// (`IMPLANT_BLESS=1` in the environment, or `--bless` among the args).
+pub fn bless_requested() -> bool {
+    let env = std::env::var("IMPLANT_BLESS").map(|v| v == "1" || v == "true").unwrap_or(false);
+    env || std::env::args().any(|a| a == "--bless")
+}
+
+/// A directory of golden files plus the bless switch.
+pub struct GoldenSet {
+    dir: PathBuf,
+    bless: bool,
+}
+
+impl GoldenSet {
+    /// The repo's checked-in goldens (`tests/goldens/` at the workspace
+    /// root), blessing when [`bless_requested`].
+    pub fn repo() -> Self {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens");
+        GoldenSet { dir, bless: bless_requested() }
+    }
+
+    /// A golden set in an explicit directory (tests use a tempdir to
+    /// exercise the bless cycle without touching the repo), not
+    /// blessing unless [`GoldenSet::with_bless`] says so.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        GoldenSet { dir: dir.into(), bless: false }
+    }
+
+    /// Overrides the bless switch.
+    #[must_use]
+    pub fn with_bless(mut self, bless: bool) -> Self {
+        self.bless = bless;
+        self
+    }
+
+    /// The directory goldens live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+
+    /// Checks `values` against the golden `name` with a relative
+    /// tolerance `tol` per key (plus a 1e-9 absolute floor for
+    /// near-zero metrics). In bless mode the golden is rewritten from
+    /// `values` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a golden file cannot be read, parsed, or (in bless
+    /// mode) written — an environment problem, not a regression.
+    pub fn check(&self, name: &str, tol: f64, values: &[(&str, f64)]) -> GoldenOutcome {
+        let path = self.path(name);
+        if self.bless {
+            let doc = Json::obj(vec![
+                ("name", Json::Str(name.to_string())),
+                ("tolerance", Json::Num(tol)),
+                (
+                    "values",
+                    Json::Obj(
+                        values.iter().map(|(k, v)| (k.to_string(), Json::Num(*v))).collect(),
+                    ),
+                ),
+            ]);
+            std::fs::create_dir_all(&self.dir)
+                .unwrap_or_else(|e| panic!("create {}: {e}", self.dir.display()));
+            std::fs::write(&path, format!("{doc}\n"))
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            return GoldenOutcome::Blessed(path);
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return GoldenOutcome::Missing(path),
+        };
+        let doc = Json::parse(&text)
+            .unwrap_or_else(|| panic!("golden {} is not valid JSON", path.display()));
+        let tol = doc.get("tolerance").and_then(Json::as_f64).unwrap_or(tol);
+        let golden: Vec<(String, f64)> = match doc.get("values") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                .collect(),
+            _ => panic!("golden {} has no values object", path.display()),
+        };
+        let mut diffs = Vec::new();
+        for &(key, got) in values {
+            match golden.iter().find(|(k, _)| k == key) {
+                None => diffs.push(GoldenDiff {
+                    key: key.to_string(),
+                    expected: f64::NAN,
+                    got,
+                    tolerance: tol,
+                }),
+                Some(&(_, expected)) => {
+                    let band = tol * expected.abs() + 1.0e-9;
+                    if !(got - expected).abs().le(&band) {
+                        diffs.push(GoldenDiff { key: key.to_string(), expected, got, tolerance: tol });
+                    }
+                }
+            }
+        }
+        for (key, expected) in &golden {
+            if !values.iter().any(|(k, _)| k == key) {
+                diffs.push(GoldenDiff {
+                    key: key.clone(),
+                    expected: *expected,
+                    got: f64::NAN,
+                    tolerance: tol,
+                });
+            }
+        }
+        if diffs.is_empty() {
+            GoldenOutcome::Match
+        } else {
+            GoldenOutcome::Mismatch(diffs)
+        }
+    }
+}
+
+/// Relative tolerance per golden figure, in one place so the bless
+/// binary and the test suite can never disagree about the band.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Band for the Fig. 11 transient metrics.
+    pub fig11: f64,
+    /// Band for the transistor-level full chain.
+    pub fullchain: f64,
+    /// Band for the sensor calibration estimates.
+    pub calibration: f64,
+}
+
+/// The models are deterministic, so the bands only absorb float-level
+/// platform drift — tight enough that a perturbed model constant lands
+/// far outside them.
+pub const TOLERANCES: Tolerances =
+    Tolerances { fig11: 0.01, fullchain: 0.01, calibration: 0.02 };
+
+/// The canonical figure computations the goldens lock. Each returns a
+/// flat `(metric, value)` list; the same functions feed the check
+/// tests and the `golden_bless` binary, so a bless always regenerates
+/// exactly what the tests compare.
+pub mod figures {
+    use implant_core::fullchain::FullChainScenario;
+    use implant_core::scenario::Fig11Scenario;
+    use implant_core::system::ImplantSystem;
+
+    /// The shortened Fig. 11 transient (downlink burst, LSK uplink,
+    /// compliance window) — the paper's headline figure.
+    pub fn fig11() -> Vec<(&'static str, f64)> {
+        let out = Fig11Scenario::shortened().run().expect("fig11 converges");
+        vec![
+            ("vo_worst", out.vo_worst()),
+            ("vo_compliant", out.vo_compliant() as u8 as f64),
+            ("downlink_errors", out.downlink_errors() as f64),
+            ("uplink_contrast", out.uplink_contrast),
+            ("t_charged_us", out.t_charged.map_or(-1.0, |t| t * 1e6)),
+        ]
+    }
+
+    /// The transistor-level full chain (class-E PA → coils → matching →
+    /// rectifier → load) at a reduced cycle count.
+    pub fn fullchain() -> Vec<(&'static str, f64)> {
+        let mut scenario = FullChainScenario::ironic();
+        scenario.cycles = 60;
+        let out = scenario.run().expect("full chain converges");
+        vec![
+            ("vo_steady", out.vo_steady()),
+            ("efficiency", out.efficiency()),
+            ("p_load_mw", out.p_load * 1e3),
+            ("p_supply_mw", out.p_supply * 1e3),
+        ]
+    }
+
+    /// The sensor calibration: measurement sessions at three lactate
+    /// concentrations through the composed system.
+    pub fn calibration() -> Vec<(&'static str, f64)> {
+        let mut sys = ImplantSystem::ironic();
+        let mut out = Vec::new();
+        for (label, c) in
+            [("estimate_0p3", 0.3), ("estimate_1p0", 1.0), ("estimate_3p0", 3.0)]
+        {
+            out.push((label, sys.measurement_session(c).concentration_estimate));
+        }
+        let session = sys.measurement_session(1.0);
+        out.push(("vo_min", session.vo_min));
+        out.push(("code_1p0", session.reading.code.value() as f64));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("testkit-goldens-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bless_then_check_round_trips() {
+        let dir = tempdir("roundtrip");
+        let values = [("a", 1.25), ("b", -3.0e-6)];
+        let set = GoldenSet::at(&dir).with_bless(true);
+        assert!(matches!(set.check("unit", 0.05, &values), GoldenOutcome::Blessed(_)));
+        let set = GoldenSet::at(&dir);
+        assert_eq!(set.check("unit", 0.05, &values), GoldenOutcome::Match);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_band_missing_and_extra_keys_all_report() {
+        let dir = tempdir("diffs");
+        let set = GoldenSet::at(&dir).with_bless(true);
+        set.check("unit", 0.05, &[("a", 1.0), ("gone", 2.0)]);
+        let set = GoldenSet::at(&dir);
+        // a drifts 10% (band is 5%), "gone" is absent, "new" is extra.
+        let out = set.check("unit", 0.05, &[("a", 1.1), ("new", 7.0)]);
+        let GoldenOutcome::Mismatch(diffs) = out else { panic!("expected mismatch: {out:?}") };
+        assert_eq!(diffs.len(), 3, "{diffs:?}");
+        assert!(diffs.iter().any(|d| d.key == "a" && (d.expected - 1.0).abs() < 1e-12));
+        assert!(diffs.iter().any(|d| d.key == "new" && d.expected.is_nan()));
+        assert!(diffs.iter().any(|d| d.key == "gone" && d.got.is_nan()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn within_band_drift_matches() {
+        let dir = tempdir("band");
+        let set = GoldenSet::at(&dir).with_bless(true);
+        set.check("unit", 0.05, &[("x", 100.0)]);
+        let set = GoldenSet::at(&dir);
+        assert_eq!(set.check("unit", 0.05, &[("x", 104.9)]), GoldenOutcome::Match);
+        assert!(matches!(set.check("unit", 0.05, &[("x", 105.2)]), GoldenOutcome::Mismatch(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_golden_reports_its_path() {
+        let set = GoldenSet::at(tempdir("missing"));
+        match set.check("nope", 0.05, &[("x", 1.0)]) {
+            GoldenOutcome::Missing(path) => {
+                assert!(path.ends_with("nope.json"), "{}", path.display());
+            }
+            other => panic!("expected Missing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_value_never_matches_a_finite_golden() {
+        let dir = tempdir("nan");
+        let set = GoldenSet::at(&dir).with_bless(true);
+        set.check("unit", 0.05, &[("x", 2.0)]);
+        let set = GoldenSet::at(&dir);
+        // NaN comparisons must fail closed, not silently pass.
+        assert!(matches!(
+            set.check("unit", 0.05, &[("x", f64::NAN)]),
+            GoldenOutcome::Mismatch(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,344 @@
+//! The paper-envelope invariant checker.
+//!
+//! Every faulted trace is held against the DATE 2013 contract:
+//!
+//! | invariant            | bound                     | grace                  |
+//! |----------------------|---------------------------|------------------------|
+//! | `rectifier_clamp`    | Vo ≤ 3.0 V                | never — holds always   |
+//! | `vo_floor`           | Vo ≥ 2.1 V                | out-of-spec faults     |
+//! | `regulator_dropout`  | Vo − 1.8 V ≥ 0.3 V        | out-of-spec faults     |
+//! | `bits_exact`         | decoded == sent, or a     | none — corruption must |
+//! |                      | detected error            | be *detected*          |
+//!
+//! Violations are structured — time, signal, observed value, bound and
+//! the faults active at that instant — and the report renders to stable
+//! text lines, which is what the worker-count determinism test compares.
+
+use crate::fault::FaultInjector;
+use analog::waveform::Waveform;
+use comms::bits::BitStream;
+use runtime::Json;
+use std::fmt;
+
+/// One invariant breach on a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke (e.g. `vo_floor`).
+    pub invariant: String,
+    /// The signal it was checked on (e.g. `vo`).
+    pub signal: String,
+    /// When the breach began, seconds.
+    pub time: f64,
+    /// The worst observed value inside the breach.
+    pub value: f64,
+    /// The bound that was crossed.
+    pub bound: f64,
+    /// Labels of the faults active at the breach start (`None` when the
+    /// chain was unfaulted — a genuine model bug).
+    pub fault: Option<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} at t={:.3e}s: value {:.6} vs bound {:.6} (fault: {})",
+            self.invariant,
+            self.signal,
+            self.time,
+            self.value,
+            self.bound,
+            self.fault.as_deref().unwrap_or("none"),
+        )
+    }
+}
+
+impl Violation {
+    /// The violation as a JSON object (for artifacts and reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("invariant", Json::Str(self.invariant.clone())),
+            ("signal", Json::Str(self.signal.clone())),
+            ("time", Json::Num(self.time)),
+            ("value", Json::Num(self.value)),
+            ("bound", Json::Num(self.bound)),
+            (
+                "fault",
+                match &self.fault {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Accumulates violations across any number of checks.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    violations: Vec<Violation>,
+}
+
+impl InvariantChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        InvariantChecker::default()
+    }
+
+    /// The violations recorded so far, in check/time order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no invariant broke.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Stable one-line renderings — the determinism tests compare these
+    /// across worker counts.
+    pub fn report_lines(&self) -> Vec<String> {
+        self.violations.iter().map(|v| v.to_string()).collect()
+    }
+
+    /// The report as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.violations.iter().map(Violation::to_json).collect())
+    }
+
+    /// Panics with the full report if any invariant broke.
+    ///
+    /// # Panics
+    ///
+    /// On a non-empty report.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "{} invariant violation(s):\n  {}",
+            self.violations.len(),
+            self.report_lines().join("\n  "),
+        );
+    }
+
+    /// Checks `wf ≥ bound` for `t ≥ t_from`. One violation is recorded
+    /// per contiguous breach (entry time, worst value inside). When
+    /// `grace` is given, samples where an *out-of-spec* fault is active
+    /// (or just cleared, within its recovery allowance) are exempt —
+    /// in-spec faults never excuse a floor breach.
+    pub fn check_floor(
+        &mut self,
+        invariant: &str,
+        signal: &str,
+        wf: &Waveform,
+        bound: f64,
+        t_from: f64,
+        grace: Option<&FaultInjector>,
+    ) {
+        self.check_bound(invariant, signal, wf, bound, t_from, grace, false);
+    }
+
+    /// Checks `wf ≤ bound` over the whole trace, with no grace: the
+    /// clamp is a safety bound and holds under every fault.
+    pub fn check_ceiling(&mut self, invariant: &str, signal: &str, wf: &Waveform, bound: f64) {
+        self.check_bound(invariant, signal, wf, bound, 0.0, None, true);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_bound(
+        &mut self,
+        invariant: &str,
+        signal: &str,
+        wf: &Waveform,
+        bound: f64,
+        t_from: f64,
+        grace: Option<&FaultInjector>,
+        upper: bool,
+    ) {
+        let mut run: Option<Violation> = None;
+        for (&t, &v) in wf.time().iter().zip(wf.values()) {
+            let breach = if t < t_from {
+                false
+            } else if upper {
+                v > bound
+            } else {
+                v < bound && !grace.is_some_and(|inj| inj.graced_at(t))
+            };
+            match (&mut run, breach) {
+                (None, true) => {
+                    run = Some(Violation {
+                        invariant: invariant.to_string(),
+                        signal: signal.to_string(),
+                        time: t,
+                        value: v,
+                        bound,
+                        fault: grace.and_then(|inj| inj.active_labels(t)),
+                    });
+                }
+                (Some(viol), true) => {
+                    if (upper && v > viol.value) || (!upper && v < viol.value) {
+                        viol.value = v;
+                    }
+                }
+                (Some(_), false) => {
+                    self.violations.extend(run.take());
+                }
+                (None, false) => {}
+            }
+        }
+        self.violations.extend(run);
+    }
+
+    /// Checks the downlink data invariant: `decoded` must equal `sent`
+    /// unless the receiver *detected* an error (`error_detected`). Each
+    /// silently wrong bit is one violation; `bit_period`/`t0` place it
+    /// in time, and `fault` names what was injected.
+    #[allow(clippy::too_many_arguments)] // one flat call per checked link keeps test sites greppable
+    pub fn check_bits(
+        &mut self,
+        invariant: &str,
+        sent: &BitStream,
+        decoded: &BitStream,
+        error_detected: bool,
+        bit_period: f64,
+        t0: f64,
+        fault: Option<&FaultInjector>,
+    ) {
+        if error_detected {
+            return; // an explicit detected-error satisfies the contract
+        }
+        if sent.len() != decoded.len() {
+            self.violations.push(Violation {
+                invariant: invariant.to_string(),
+                signal: "bits".to_string(),
+                time: t0,
+                value: decoded.len() as f64,
+                bound: sent.len() as f64,
+                fault: fault.and_then(|inj| inj.active_labels(t0)),
+            });
+            return;
+        }
+        for (i, (s, d)) in sent.iter().zip(decoded.iter()).enumerate() {
+            if s != d {
+                let t = t0 + i as f64 * bit_period;
+                self.violations.push(Violation {
+                    invariant: invariant.to_string(),
+                    signal: format!("bit[{i}]"),
+                    time: t,
+                    value: d as u8 as f64,
+                    bound: s as u8 as f64,
+                    fault: fault.and_then(|inj| inj.active_labels(t)),
+                });
+            }
+        }
+    }
+
+    /// Runs the three paper power invariants on a rectifier-output
+    /// trace: the 3 V clamp (no grace), the 2.1 V floor and the 300 mV
+    /// regulator dropout margin (grace for out-of-spec faults).
+    /// `t_from` skips the initial charge-up.
+    pub fn check_power_trace(&mut self, vo: &Waveform, t_from: f64, inj: &FaultInjector) {
+        self.check_ceiling("rectifier_clamp", "vo", vo, pmu::V_CLAMP + 1.0e-9);
+        self.check_floor("vo_floor", "vo", vo, pmu::V_O_MIN, t_from, Some(inj));
+        let margin = vo.map(|v| v - LDO_V_OUT);
+        self.check_floor("regulator_dropout", "vo-1.8", &margin, LDO_DROPOUT_MIN, t_from, Some(inj));
+    }
+}
+
+/// The LDO regulation target (paper: 1.8 V logic supply).
+pub const LDO_V_OUT: f64 = 1.8;
+
+/// Minimum LDO headroom (paper: 300 mV dropout).
+pub const LDO_DROPOUT_MIN: f64 = 0.3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
+
+    fn flat(v: f64, n: usize) -> Waveform {
+        Waveform::from_fn(0.0, 1.0e-3, n, |_| v)
+    }
+
+    #[test]
+    fn clean_trace_reports_nothing() {
+        let inj = FaultInjector::ironic(&FaultPlan::new(1.0e-3));
+        let mut c = InvariantChecker::new();
+        c.check_power_trace(&flat(2.6, 100), 0.0, &inj);
+        assert!(c.is_clean());
+        c.assert_clean();
+    }
+
+    #[test]
+    fn floor_breach_records_entry_time_and_worst_value() {
+        let wf = Waveform::from_fn(0.0, 1.0e-3, 1000, |t| {
+            if (0.3e-3..0.5e-3).contains(&t) {
+                1.5 - t * 100.0 // dips further inside the breach
+            } else {
+                2.6
+            }
+        });
+        let inj = FaultInjector::ironic(&FaultPlan::new(1.0e-3));
+        let mut c = InvariantChecker::new();
+        c.check_floor("vo_floor", "vo", &wf, 2.1, 0.0, Some(&inj));
+        assert_eq!(c.violations().len(), 1, "{:?}", c.violations());
+        let v = &c.violations()[0];
+        assert!((v.time - 0.3e-3).abs() < 2.0e-6, "entry at {:.3e}", v.time);
+        assert!(v.value < 1.5, "worst value tracked: {}", v.value);
+        assert_eq!(v.fault, None, "no fault active — a genuine bug");
+    }
+
+    #[test]
+    fn out_of_spec_fault_earns_grace_on_the_floor_but_not_the_clamp() {
+        let plan = FaultPlan::new(1.0e-3)
+            .with_event(FaultKind::LinkDropout { depth: 0.9 }, 0.2e-3, 0.8e-3);
+        let inj = FaultInjector::ironic(&plan);
+        assert!(inj.out_of_spec_at(0.5e-3));
+        let dipped = Waveform::from_fn(0.0, 1.0e-3, 1000, |t| {
+            if (0.2e-3..0.8e-3).contains(&t) { 1.0 } else { 2.6 }
+        });
+        let mut c = InvariantChecker::new();
+        c.check_power_trace(&dipped, 0.0, &inj);
+        assert!(c.is_clean(), "graced: {:?}", c.report_lines());
+
+        // The clamp has no grace — an overshoot during the same fault
+        // still reports.
+        let over = Waveform::from_fn(0.0, 1.0e-3, 1000, |t| {
+            if (0.2e-3..0.8e-3).contains(&t) { 3.4 } else { 2.6 }
+        });
+        let mut c2 = InvariantChecker::new();
+        c2.check_power_trace(&over, 0.0, &inj);
+        assert_eq!(c2.violations().len(), 1);
+        assert_eq!(c2.violations()[0].invariant, "rectifier_clamp");
+    }
+
+    #[test]
+    fn bit_mismatch_without_detection_is_a_violation() {
+        let sent = BitStream::from_str("1101");
+        let got = BitStream::from_str("1001");
+        let mut c = InvariantChecker::new();
+        c.check_bits("bits_exact", &sent, &got, false, 10.0e-6, 0.0, None);
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].signal, "bit[1]");
+        assert!((c.violations()[0].time - 10.0e-6).abs() < 1e-12);
+
+        // The same mismatch with a detected error satisfies the contract.
+        let mut c2 = InvariantChecker::new();
+        c2.check_bits("bits_exact", &sent, &got, true, 10.0e-6, 0.0, None);
+        assert!(c2.is_clean());
+    }
+
+    #[test]
+    fn report_lines_are_stable_text() {
+        let mut c = InvariantChecker::new();
+        c.check_floor("vo_floor", "vo", &flat(1.9, 10), 2.1, 0.0, None);
+        let lines = c.report_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("vo_floor on vo"), "{}", lines[0]);
+        assert!(lines[0].contains("fault: none"), "{}", lines[0]);
+        // JSON form carries the same fields.
+        let json = c.to_json();
+        let arr = json.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("invariant").and_then(Json::as_str), Some("vo_floor"));
+    }
+}

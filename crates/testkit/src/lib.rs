@@ -1,0 +1,37 @@
+//! Deterministic fault injection and conformance testing for the
+//! implant workspace.
+//!
+//! The paper's power chain (DATE 2013, "Electronic implants: power
+//! delivery and management") promises an envelope — regulated supply
+//! above 2.1 V, rectifier input clamped at 3 V, downlink bits decoded
+//! exactly or rejected loudly — and this crate turns that envelope into
+//! machine-checkable contracts under adversity:
+//!
+//! - [`fault`]: seeded fault plans (coupling dropouts, misalignment
+//!   steps, load transients, rectifier shorts, bit corruption, clock
+//!   jitter, battery sag) on the runtime's split seed streams — the
+//!   same seed always yields a bit-identical schedule, independent of
+//!   which other fault families are enabled or how many workers run.
+//! - [`invariant`]: trace checkers that assert the paper envelope on
+//!   every faulted run and produce structured violation reports
+//!   (time, signal, bound, active fault).
+//! - [`scenario`]: canonical faulted simulations (power chain,
+//!   framed downlink) and a worker-pool campaign runner whose output
+//!   is invariant across `IMPLANT_WORKERS=1..n`.
+//! - [`golden`]: tolerance-banded golden-figure regression against
+//!   `tests/goldens/*.json`, regenerable with `--bless`.
+//! - [`adversary`]: a hostile TCP client for `implant-server` that
+//!   asserts the shed/drain/isolation contracts survive malformed,
+//!   oversized, half-written, and abandoned requests.
+
+pub mod adversary;
+pub mod fault;
+pub mod golden;
+pub mod invariant;
+pub mod scenario;
+
+pub use adversary::{AdversarialClient, AssaultReport, ProbeOutcome};
+pub use fault::{FaultEvent, FaultFamily, FaultInjector, FaultKind, FaultPlan};
+pub use golden::{GoldenOutcome, GoldenSet, TOLERANCES};
+pub use invariant::{InvariantChecker, Violation};
+pub use scenario::{run_campaign, run_scenario, workers_from_env, DownlinkSim, PowerChainSim};

@@ -1,0 +1,72 @@
+//! The adversarial client against a live in-process server: hostile
+//! input must only ever produce structured errors, never take the
+//! server down, and shutdown must drain in-flight work.
+
+use server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use testkit::adversary::drain_socket;
+use testkit::AdversarialClient;
+
+#[test]
+fn full_assault_leaves_the_server_healthy() {
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let client = AdversarialClient::new(handle.addr());
+    let report = client.assault();
+    report.assert_contract();
+
+    // And the data plane still works after all of it.
+    let doc = client
+        .rpc(r#"{"id":1,"endpoint":"sweep","params":{"steps":3}}"#)
+        .expect("a real request still answers");
+    assert_eq!(doc.get("ok"), Some(&runtime::Json::Bool(true)));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn abandoned_requests_do_not_poison_later_clients() {
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let client = AdversarialClient::new(handle.addr());
+    // A burst of clients that all walk away mid-transaction.
+    for _ in 0..8 {
+        client.disconnect_before_response();
+        client.disconnect_mid_line();
+    }
+    // The workers absorbed every dead reply channel.
+    assert!(client.health_ok(), "server must shrug off abandoned requests");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_with_inflight_requests_drains_them() {
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let addr = handle.addr();
+
+    // Park a slow-ish request in flight on its own socket.
+    let mut busy = TcpStream::connect(addr).expect("connect");
+    busy.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    busy.write_all(b"{\"id\":5,\"endpoint\":\"montecarlo\",\"params\":{\"trials\":400}}\n")
+        .expect("write");
+    busy.flush().unwrap();
+
+    // Ask for shutdown from a second connection while it runs.
+    let client = AdversarialClient::new(addr);
+    let ack = client.rpc(r#"{"id":6,"endpoint":"shutdown"}"#).expect("shutdown acks");
+    assert_eq!(ack.get("ok"), Some(&runtime::Json::Bool(true)));
+
+    // The in-flight request must still complete with a real response
+    // (drained, not dropped).
+    let mut reader = BufReader::new(busy.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("in-flight response arrives");
+    let doc = runtime::Json::parse(line.trim_end()).expect("valid JSON");
+    assert_eq!(doc.get("id").and_then(runtime::Json::as_u64), Some(5));
+    assert_eq!(doc.get("ok"), Some(&runtime::Json::Bool(true)), "{line}");
+    drain_socket(&mut busy);
+
+    handle.join();
+}

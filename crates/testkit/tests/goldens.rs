@@ -1,0 +1,54 @@
+//! Golden-figure regression: the checked-in goldens must match the
+//! current models, a deliberately perturbed model must fail, and the
+//! bless cycle must regenerate cleanly.
+
+use testkit::golden::{figures, GoldenOutcome, GoldenSet, TOLERANCES};
+
+#[test]
+fn fig11_matches_the_checked_in_golden() {
+    GoldenSet::repo().check("fig11", TOLERANCES.fig11, &figures::fig11()).assert_ok("fig11");
+}
+
+#[test]
+fn fullchain_matches_the_checked_in_golden() {
+    GoldenSet::repo()
+        .check("fullchain", TOLERANCES.fullchain, &figures::fullchain())
+        .assert_ok("fullchain");
+}
+
+#[test]
+fn calibration_matches_the_checked_in_golden() {
+    GoldenSet::repo()
+        .check("calibration", TOLERANCES.calibration, &figures::calibration())
+        .assert_ok("calibration");
+}
+
+#[test]
+fn a_perturbed_model_constant_fails_the_golden() {
+    // Simulate a regression: the full chain's steady Vo drifts by 5%
+    // (e.g. someone fat-fingers the rectifier diode drop). The golden
+    // gate must catch it — if this test ever passes with a perturbation
+    // inside the band, the band is too loose to protect the figures.
+    let mut values = figures::fullchain();
+    let (_, vo) = values.iter_mut().find(|(k, _)| *k == "vo_steady").expect("key exists");
+    *vo *= 1.05;
+    let out = GoldenSet::repo().check("fullchain", TOLERANCES.fullchain, &values);
+    let GoldenOutcome::Mismatch(diffs) = out else {
+        panic!("a 5% drift must be a mismatch, got {out:?}");
+    };
+    assert!(diffs.iter().any(|d| d.key == "vo_steady"), "{diffs:?}");
+}
+
+#[test]
+fn bless_regenerates_cleanly_into_a_fresh_directory() {
+    // The full bless → check cycle on the real figure values, in a
+    // tempdir so the repo goldens stay untouched.
+    let dir = std::env::temp_dir().join(format!("testkit-bless-cycle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let values = figures::fig11();
+    let set = GoldenSet::at(&dir).with_bless(true);
+    assert!(matches!(set.check("fig11", TOLERANCES.fig11, &values), GoldenOutcome::Blessed(_)));
+    let set = GoldenSet::at(&dir);
+    assert_eq!(set.check("fig11", TOLERANCES.fig11, &values), GoldenOutcome::Match);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, runnable with no network access.
 #
-#   scripts/verify.sh          # build + test + clippy (the CI gate)
+#   scripts/verify.sh          # build + test + clippy + serve + testkit
 #   scripts/verify.sh --fuzz   # additionally run the property-test suites
 #
 # Everything resolves from in-tree path dependencies (crates/proptest and
@@ -13,25 +13,52 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-run() {
-    echo "==> $*"
+# The workspace currently runs 537 tests; a sharp drop means suites
+# silently fell out of the build (feature gate, dead test file, a
+# `#[cfg]` typo), which a plain exit code would never catch.
+MIN_TESTS=500
+
+TEST_LOG="$(mktemp)"
+trap 'rm -f "$TEST_LOG"' EXIT
+
+# lane <name> <cmd...>: run one verification lane, timing it.
+lane() {
+    local name="$1"
+    shift
+    echo "==> [$name] $*"
+    local t0=$SECONDS
     "$@"
+    echo "    [$name] ok in $((SECONDS - t0))s"
 }
 
-run cargo build --release --workspace
-run cargo test -q --workspace
-run cargo clippy --all-targets --workspace -- -D warnings
+lane build   cargo build --release --workspace
+lane test    bash -c "set -o pipefail; cargo test -q --workspace 2>&1 | tee '$TEST_LOG'"
+lane clippy  cargo clippy --all-targets --workspace -- -D warnings
+
+# Minimum-test-count gate over the workspace lane's captured output.
+passed=$(awk '/^test result:/ {s += $4} END {print s + 0}' "$TEST_LOG")
+if (( passed < MIN_TESTS )); then
+    echo "verify: FAIL — only $passed tests passed (minimum $MIN_TESTS)" >&2
+    exit 1
+fi
+echo "==> [gate] $passed tests passed (minimum $MIN_TESTS)"
 
 # Serving smoke lane: bench_serve spawns implant-server on an ephemeral
 # port, drives it from concurrent connections, and asserts the three
 # load-management contracts (every request answered, full queue sheds
 # with a structured `overloaded` error, graceful shutdown drains). A
 # non-zero exit fails the gate.
-run ./target/release/bench_serve --connections 4 --requests 12 --mc-trials 100
+lane serve ./target/release/bench_serve --connections 4 --requests 12 --mc-trials 100
+
+# Testkit lane: the fault-injection campaign must be bit-identical
+# whatever the worker count, so run the conformance suite at both ends
+# of the supported range.
+lane testkit-w1 env IMPLANT_WORKERS=1 cargo test -q -p implant-testkit
+lane testkit-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-testkit
 
 if [[ "${1:-}" == "--fuzz" ]]; then
     for crate in analog biosensor coils comms pmu; do
-        run cargo test -q -p "$crate" --features fuzz
+        lane "fuzz-$crate" cargo test -q -p "$crate" --features fuzz
     done
 fi
 

@@ -287,6 +287,80 @@ fn server_sheds_load_with_a_structured_error_when_saturated() {
 }
 
 #[test]
+fn server_survives_the_adversarial_client() {
+    // server + runtime + testkit: hostile input — malformed JSON, a
+    // >64 KiB line, binary garbage, a slowloris writer, and clients
+    // that vanish mid-line or before their response — must each yield
+    // a structured error (or a clean disconnect), never wedge the
+    // server, and the data plane must still answer afterwards.
+    use electronic_implants::runtime::Json;
+    use electronic_implants::server::{Server, ServerConfig};
+    use testkit::adversary::ProbeOutcome;
+    use testkit::AdversarialClient;
+
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let client = AdversarialClient::new(handle.addr());
+
+    let report = client.assault();
+    report.assert_contract();
+    assert!(report.healthy_after, "health endpoint must answer after the assault");
+
+    // Spot-check the probes the issue calls out by name.
+    let outcome = |name: &str| {
+        report
+            .probes
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, o)| o.clone())
+            .unwrap_or_else(|| panic!("probe {name} missing from {report:?}"))
+    };
+    assert_eq!(outcome("malformed_json"), ProbeOutcome::ErrorCode("bad_request".into()));
+    assert_eq!(outcome("oversized_line"), ProbeOutcome::ErrorCode("bad_request".into()));
+    assert_eq!(outcome("disconnect_before_response"), ProbeOutcome::Disconnected);
+
+    // The data plane still computes real physics after all of it.
+    let doc = client
+        .rpc(r#"{"id":1,"endpoint":"fullchain","params":{"cycles":30,"distance_mm":10}}"#)
+        .expect("server still answers");
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{doc}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_with_inflight_work_still_drains() {
+    // A request parked in the queue when shutdown arrives must complete
+    // with a real response — PR 2's drain contract, driven end to end
+    // by the adversarial client.
+    use electronic_implants::runtime::Json;
+    use electronic_implants::server::{Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Write};
+    use testkit::adversary::drain_socket;
+    use testkit::AdversarialClient;
+
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let mut busy = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    busy.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+    busy.write_all(b"{\"id\":11,\"endpoint\":\"montecarlo\",\"params\":{\"trials\":400}}\n")
+        .expect("write");
+    busy.flush().unwrap();
+
+    let client = AdversarialClient::new(handle.addr());
+    let ack = client.rpc(r#"{"id":12,"endpoint":"shutdown"}"#).expect("shutdown acks");
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+
+    let mut reader = BufReader::new(busy.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("in-flight response arrives");
+    let doc = Json::parse(line.trim_end()).expect("valid JSON");
+    assert_eq!(doc.get("id").and_then(Json::as_u64), Some(11));
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{line}");
+    drain_socket(&mut busy);
+    handle.join();
+}
+
+#[test]
 fn thermal_safety_at_the_operating_point() {
     // patch (thermal) + link (budget): the delivered power at 6 mm stays
     // within the ISO implant-heating limit with margin.
