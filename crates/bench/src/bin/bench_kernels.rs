@@ -1,0 +1,185 @@
+//! S2 — kernel latency benchmark.
+//!
+//! Times the four simulation kernels the server's data plane is built
+//! from — the Fig. 11 transient (short preset), the full
+//! PA→coils→rectifier chain, one Monte Carlo yield study, and a
+//! received-power distance sweep — without any socket or queue in the
+//! way. Together with `bench_serve` this separates *model cost* from
+//! *serving cost*: if `BENCH_serve.json` shows p95 regressions that
+//! `BENCH_kernels.json` doesn't, the serving layer is to blame.
+//!
+//! Each kernel runs `--repeats` times into a latency histogram; the
+//! per-phase breakdown (`fig11.build` / `fig11.transient` / … from the
+//! [`obs`] registry) lands in the JSON's `stages` object.
+//!
+//! ```text
+//! cargo run --release --bin bench_kernels -- --json BENCH_kernels.json
+//! cargo run --release --bin bench_kernels -- --smoke --json BENCH_kernels.json
+//! ```
+
+use bench::{banner, duration_us, profile_table, stage_rows, stages_json};
+use implant_core::fullchain::FullChainScenario;
+use implant_core::montecarlo::MonteCarloStudy;
+use implant_core::scenario::Fig11Scenario;
+use link::budget::PowerBudget;
+use runtime::{Json, LatencyHistogram};
+use std::time::Instant;
+
+struct Args {
+    repeats: usize,
+    mc_trials: usize,
+    smoke: bool,
+    profile: bool,
+    json_path: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            repeats: 5,
+            mc_trials: 200,
+            smoke: false,
+            profile: false,
+            json_path: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--repeats" => {
+                    args.repeats = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--repeats needs a numeric value");
+                }
+                "--mc-trials" => {
+                    args.mc_trials = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--mc-trials needs a numeric value");
+                }
+                "--smoke" => args.smoke = true,
+                "--profile" => args.profile = true,
+                "--json" => args.json_path = Some(it.next().expect("--json needs a path")),
+                other => panic!(
+                    "unknown flag {other:?} (known: --repeats --mc-trials --smoke --profile --json)"
+                ),
+            }
+        }
+        if args.smoke {
+            args.repeats = args.repeats.min(2);
+            args.mc_trials = args.mc_trials.min(50);
+        }
+        args.repeats = args.repeats.max(1);
+        args.mc_trials = args.mc_trials.max(1);
+        args
+    }
+}
+
+/// Runs `f` `repeats` times and reports its latency distribution. The
+/// result is folded into a checksum so the optimizer cannot elide the
+/// kernel.
+fn time_kernel(name: &str, repeats: usize, mut f: impl FnMut() -> f64) -> (LatencyHistogram, f64) {
+    let mut hist = LatencyHistogram::new();
+    let mut checksum = 0.0;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        checksum += f();
+        hist.record(started.elapsed());
+    }
+    println!(
+        "  {name:<11} {repeats} runs · p50 {:?} · p95 {:?} · p99 {:?}",
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+    );
+    (hist, checksum)
+}
+
+fn main() {
+    let args = Args::parse();
+    banner("S2", "simulation-kernel latency (no serving layer)");
+    println!(
+        "config: {} repeats per kernel, {} MC trials{}",
+        args.repeats,
+        args.mc_trials,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+    println!();
+
+    obs::reset();
+    let repeats = args.repeats;
+    let mut kernels: Vec<(&str, LatencyHistogram)> = Vec::new();
+
+    let fullchain_cycles = if args.smoke { 15 } else { 30 };
+    let (hist, vo) = time_kernel("fig11", repeats, || {
+        Fig11Scenario::shortened().run().expect("fig11 runs").vo_worst()
+    });
+    assert!(vo.is_finite(), "fig11 produced a non-finite Vo");
+    kernels.push(("fig11", hist));
+
+    let (hist, vo) = time_kernel("fullchain", repeats, || {
+        let mut scenario = FullChainScenario::ironic();
+        scenario.cycles = fullchain_cycles;
+        scenario.run().expect("fullchain runs").vo_steady()
+    });
+    assert!(vo.is_finite(), "fullchain produced a non-finite Vo");
+    kernels.push(("fullchain", hist));
+
+    let mc_trials = args.mc_trials;
+    let (hist, yield_sum) = time_kernel("montecarlo", repeats, || {
+        MonteCarloStudy::ironic().run_serial(mc_trials).yield_fraction()
+    });
+    assert!(yield_sum.is_finite(), "montecarlo produced a non-finite yield");
+    kernels.push(("montecarlo", hist));
+
+    let (hist, power_sum) = time_kernel("sweep", repeats, || {
+        let budget = PowerBudget::ironic_air();
+        (0..16).map(|i| budget.received_power((2.0 + i as f64 * 2.0) * 1e-3)).sum()
+    });
+    assert!(power_sum.is_finite(), "sweep produced a non-finite power");
+    kernels.push(("sweep", hist));
+
+    let rows = stage_rows();
+    if args.profile {
+        println!();
+        println!("per-phase breakdown:");
+        print!("{}", profile_table(&rows));
+    }
+
+    if let Some(path) = &args.json_path {
+        let kernels_json = Json::Obj(
+            kernels
+                .iter()
+                .map(|(name, hist)| {
+                    (
+                        (*name).to_string(),
+                        Json::obj(vec![
+                            ("runs", Json::Num(hist.count() as f64)),
+                            ("p50_us", Json::Num(duration_us(hist.p50()))),
+                            ("p95_us", Json::Num(duration_us(hist.p95()))),
+                            ("p99_us", Json::Num(duration_us(hist.p99()))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("implant-bench-kernels/1".to_string())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("repeats", Json::Num(args.repeats as f64)),
+                    ("mc_trials", Json::Num(args.mc_trials as f64)),
+                    ("fullchain_cycles", Json::Num(fullchain_cycles as f64)),
+                    ("smoke", Json::Bool(args.smoke)),
+                ]),
+            ),
+            ("kernels", kernels_json),
+            ("stages", stages_json(&rows)),
+        ]);
+        bench::write_bench_json(path, &doc);
+    }
+
+    println!();
+    println!("bench_kernels done ({} kernels)", kernels.len());
+}

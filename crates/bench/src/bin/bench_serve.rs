@@ -1,10 +1,10 @@
 //! S1 — load generator for `implant-server`.
 //!
 //! Spawns the server in-process on an ephemeral port, drives it from N
-//! concurrent client connections with a deterministic mixed workload
-//! (sweeps, Monte Carlo studies, full-chain runs, health probes), and
-//! reports sustained req/s plus p50/p95/p99 client-side latency from
-//! the runtime's [`runtime::LatencyHistogram`].
+//! concurrent connections of the shared [`server::client::Client`] with
+//! a deterministic mixed workload (sweeps, Monte Carlo studies,
+//! full-chain runs, health probes), and reports sustained req/s plus
+//! p50/p95/p99 client-side latency — overall and per endpoint.
 //!
 //! Beyond throughput, the run asserts the server's three load-management
 //! contracts and exits non-zero if any fails:
@@ -16,15 +16,21 @@
 //!    process-internal threads join, and post-drain requests get
 //!    `shutting_down`.
 //!
+//! `--profile` prints the per-stage latency breakdown from the [`obs`]
+//! registry (the server runs in-process, so its stages are visible
+//! here); `--json PATH` writes the machine-readable `BENCH_serve.json`.
+//!
 //! ```text
-//! cargo run --release --bin bench_serve -- --connections 8 --requests 40
+//! cargo run --release --bin bench_serve -- --connections 8 --requests 40 \
+//!     --profile --json BENCH_serve.json
 //! ```
 
-use bench::{banner, verdict};
+use bench::{banner, duration_us, profile_table, stage_rows, stages_json, verdict};
 use runtime::{Json, LatencyHistogram};
+use server::client::Client;
 use server::{Server, ServerConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::time::Instant;
 
 /// Command-line knobs (std-only parsing: `--flag value` pairs).
@@ -34,6 +40,8 @@ struct Args {
     queue_capacity: usize,
     workers: usize,
     mc_trials: u64,
+    profile: bool,
+    json_path: Option<String>,
 }
 
 impl Args {
@@ -44,6 +52,8 @@ impl Args {
             queue_capacity: 64,
             workers: 2,
             mc_trials: 200,
+            profile: false,
+            json_path: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -58,8 +68,14 @@ impl Args {
                 "--queue-capacity" => args.queue_capacity = take("--queue-capacity"),
                 "--workers" => args.workers = take("--workers").max(1),
                 "--mc-trials" => args.mc_trials = take("--mc-trials").max(1) as u64,
+                "--profile" => args.profile = true,
+                "--json" => {
+                    args.json_path = Some(it.next().unwrap_or_else(|| {
+                        panic!("--json needs a path")
+                    }));
+                }
                 other => panic!(
-                    "unknown flag {other:?} (known: --connections --requests --queue-capacity --workers --mc-trials)"
+                    "unknown flag {other:?} (known: --connections --requests --queue-capacity --workers --mc-trials --profile --json)"
                 ),
             }
         }
@@ -76,92 +92,82 @@ struct ClientReport {
     /// Responses that never arrived or could not be parsed — must stay 0.
     broken: u64,
     latency: LatencyHistogram,
+    /// Client-observed latency per endpoint.
+    by_endpoint: BTreeMap<&'static str, LatencyHistogram>,
 }
 
-/// One request/response round trip; records client-observed latency.
-fn rpc(
-    conn: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    line: &str,
-    report: &mut ClientReport,
-) {
+/// One request/response round trip through the shared client; records
+/// client-observed latency under `endpoint`.
+fn rpc(client: &mut Client, endpoint: &'static str, params: Json, report: &mut ClientReport) {
     let started = Instant::now();
-    let sent = conn
-        .write_all(line.as_bytes())
-        .and_then(|()| conn.write_all(b"\n"));
-    if sent.is_err() {
-        report.broken += 1;
-        return;
-    }
-    let mut response = String::new();
-    match reader.read_line(&mut response) {
-        Ok(n) if n > 0 => {}
-        _ => {
+    let response = match client.request(endpoint, params) {
+        Ok(r) => r,
+        Err(_) => {
             report.broken += 1;
             return;
         }
-    }
-    report.latency.record(started.elapsed());
-    let Some(doc) = Json::parse(response.trim_end()) else {
-        report.broken += 1;
-        return;
     };
-    match doc.get("ok") {
-        Some(&Json::Bool(true)) => report.ok += 1,
-        Some(&Json::Bool(false)) => {
-            let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
-            if code == Some("overloaded") {
-                report.overloaded += 1;
-            } else {
-                report.other_errors += 1;
-            }
+    let elapsed = started.elapsed();
+    report.latency.record(elapsed);
+    report.by_endpoint.entry(endpoint).or_default().record(elapsed);
+    if response.is_ok() {
+        report.ok += 1;
+    } else {
+        match response.error_code() {
+            Some("overloaded") => report.overloaded += 1,
+            Some(_) => report.other_errors += 1,
+            None => report.broken += 1,
         }
-        _ => report.broken += 1,
     }
 }
 
 /// The deterministic mixed workload: request `i` of client `c`. Sweeps
 /// and Monte Carlo points repeat across clients, so the run exercises
 /// both cache misses (first touch) and hits (every repeat).
-fn request_line(client: usize, i: usize, mc_trials: u64) -> String {
-    let id = (client * 100_000 + i) as u64;
+fn workload(client: usize, i: usize, mc_trials: u64) -> (&'static str, Json) {
     match (client * 31 + i * 7) % 10 {
         0..=3 => {
             let steps = 4 + (i % 3) * 2; // 4, 6, 8
             let d_max = 10 + (client % 3) * 10; // 10, 20, 30 mm
-            format!(
-                "{{\"id\":{id},\"endpoint\":\"sweep\",\"params\":{{\"steps\":{steps},\"d_max_mm\":{d_max}}}}}"
+            (
+                "sweep",
+                Json::obj(vec![
+                    ("steps", Json::Num(steps as f64)),
+                    ("d_max_mm", Json::Num(d_max as f64)),
+                ]),
             )
         }
         4..=6 => {
-            let scale = ["0.5", "1.0", "2.0"][i % 3];
-            format!(
-                "{{\"id\":{id},\"endpoint\":\"montecarlo\",\"params\":{{\"trials\":{mc_trials},\"scale\":{scale}}}}}"
+            let scale = [0.5, 1.0, 2.0][i % 3];
+            (
+                "montecarlo",
+                Json::obj(vec![
+                    ("trials", Json::Num(mc_trials as f64)),
+                    ("scale", Json::Num(scale)),
+                ]),
             )
         }
-        7 => format!(
-            "{{\"id\":{id},\"endpoint\":\"fullchain\",\"params\":{{\"cycles\":15,\"distance_mm\":{}}}}}",
-            6 + (i % 3) * 4
+        7 => (
+            "fullchain",
+            Json::obj(vec![
+                ("cycles", Json::Num(15.0)),
+                ("distance_mm", Json::Num((6 + (i % 3) * 4) as f64)),
+            ]),
         ),
-        _ => format!("{{\"id\":{id},\"endpoint\":\"health\"}}"),
+        _ => ("health", Json::Obj(Vec::new())),
     }
 }
 
 /// Drives one client connection through its share of the workload.
-fn client(addr: SocketAddr, index: usize, requests: usize, mc_trials: u64) -> ClientReport {
+fn drive(addr: SocketAddr, index: usize, requests: usize, mc_trials: u64) -> ClientReport {
     let mut report = ClientReport::default();
-    let Ok(mut conn) = TcpStream::connect(addr) else {
+    let Ok(mut client) = Client::connect(addr) else {
         report.broken += requests as u64;
         return report;
     };
-    let Ok(read_half) = conn.try_clone() else {
-        report.broken += requests as u64;
-        return report;
-    };
-    let mut reader = BufReader::new(read_half);
     for i in 0..requests {
-        let line = request_line(index, i, mc_trials);
-        rpc(&mut conn, &mut reader, &line, &mut report);
+        let (endpoint, params) = workload(index, i, mc_trials);
+        rpc(&mut client, endpoint, params, &mut report);
     }
     report
 }
@@ -182,20 +188,19 @@ fn overload_probe(workers: usize) -> bool {
         }
     };
     let mut report = ClientReport::default();
-    let Ok(mut conn) = TcpStream::connect(handle.addr()) else {
+    let Ok(mut client) = Client::connect(handle.addr()) else {
         println!("  overload probe: connect failed");
         return false;
     };
-    let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
     rpc(
-        &mut conn,
-        &mut reader,
-        r#"{"id":1,"endpoint":"sweep","params":{"steps":2}}"#,
+        &mut client,
+        "sweep",
+        Json::obj(vec![("steps", Json::Num(2.0))]),
         &mut report,
     );
-    rpc(&mut conn, &mut reader, r#"{"id":2,"endpoint":"health"}"#, &mut report);
-    rpc(&mut conn, &mut reader, r#"{"id":3,"endpoint":"shutdown"}"#, &mut report);
-    drop((conn, reader));
+    rpc(&mut client, "health", Json::Obj(Vec::new()), &mut report);
+    rpc(&mut client, "shutdown", Json::Obj(Vec::new()), &mut report);
+    drop(client);
     handle.join();
     let ok = report.overloaded == 1 && report.ok == 2 && report.broken == 0;
     println!(
@@ -216,6 +221,7 @@ fn main() {
         args.connections, args.requests, args.queue_capacity, args.workers, args.mc_trials
     );
 
+    obs::reset();
     let config = ServerConfig {
         queue_capacity: args.queue_capacity,
         workers: args.workers,
@@ -230,7 +236,7 @@ fn main() {
     let clients: Vec<std::thread::JoinHandle<ClientReport>> = (0..args.connections)
         .map(|index| {
             let (requests, mc_trials) = (args.requests, args.mc_trials);
-            std::thread::spawn(move || client(addr, index, requests, mc_trials))
+            std::thread::spawn(move || drive(addr, index, requests, mc_trials))
         })
         .collect();
     let reports: Vec<ClientReport> =
@@ -238,9 +244,13 @@ fn main() {
     let wall = started.elapsed();
 
     let mut latency = LatencyHistogram::new();
+    let mut by_endpoint: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
     let (mut ok, mut overloaded, mut other, mut broken) = (0u64, 0u64, 0u64, 0u64);
     for r in &reports {
         latency.merge(&r.latency);
+        for (endpoint, hist) in &r.by_endpoint {
+            by_endpoint.entry(endpoint).or_default().merge(hist);
+        }
         ok += r.ok;
         overloaded += r.overloaded;
         other += r.other_errors;
@@ -259,7 +269,24 @@ fn main() {
         latency.p99(),
         latency.count()
     );
+    for (endpoint, hist) in &by_endpoint {
+        println!(
+            "  {endpoint:<11} {:>5} reqs · p50 {:?} · p95 {:?} · p99 {:?}",
+            hist.count(),
+            hist.p50(),
+            hist.p95(),
+            hist.p99(),
+        );
+    }
     println!("outcomes:  {ok} ok · {overloaded} overloaded · {other} other errors · {broken} broken");
+
+    // Snapshot the stage registry before the contract probes add noise.
+    let rows = stage_rows();
+    if args.profile {
+        println!();
+        println!("per-stage latency breakdown (share excludes idle-inclusive server.read):");
+        print!("{}", profile_table(&rows));
+    }
 
     println!();
     println!("contracts:");
@@ -273,9 +300,8 @@ fn main() {
     // Phase 3: graceful shutdown of the loaded server.
     let drained = {
         let mut report = ClientReport::default();
-        if let Ok(mut conn) = TcpStream::connect(addr) {
-            let mut reader = BufReader::new(conn.try_clone().expect("clone socket"));
-            rpc(&mut conn, &mut reader, r#"{"id":99,"endpoint":"shutdown"}"#, &mut report);
+        if let Ok(mut client) = Client::connect(addr) {
+            rpc(&mut client, "shutdown", Json::Obj(Vec::new()), &mut report);
         }
         let overall = handle.join();
         let ok = report.ok == 1 && report.broken == 0;
@@ -286,6 +312,61 @@ fn main() {
         );
         ok
     };
+
+    if let Some(path) = &args.json_path {
+        let endpoints = Json::Obj(
+            by_endpoint
+                .iter()
+                .map(|(endpoint, hist)| {
+                    (
+                        (*endpoint).to_string(),
+                        Json::obj(vec![
+                            ("requests", Json::Num(hist.count() as f64)),
+                            ("p50_us", Json::Num(duration_us(hist.p50()))),
+                            ("p95_us", Json::Num(duration_us(hist.p95()))),
+                            ("p99_us", Json::Num(duration_us(hist.p99()))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("implant-bench-serve/1".to_string())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("connections", Json::Num(args.connections as f64)),
+                    ("requests", Json::Num(args.requests as f64)),
+                    ("queue_capacity", Json::Num(args.queue_capacity as f64)),
+                    ("workers", Json::Num(args.workers as f64)),
+                    ("mc_trials", Json::Num(args.mc_trials as f64)),
+                ]),
+            ),
+            ("wall_s", Json::Num(wall.as_secs_f64())),
+            ("requests_total", Json::Num(total as f64)),
+            ("throughput_rps", Json::Num(rps)),
+            (
+                "outcomes",
+                Json::obj(vec![
+                    ("ok", Json::Num(ok as f64)),
+                    ("overloaded", Json::Num(overloaded as f64)),
+                    ("other_errors", Json::Num(other as f64)),
+                    ("broken", Json::Num(broken as f64)),
+                ]),
+            ),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Num(duration_us(latency.p50()))),
+                    ("p95", Json::Num(duration_us(latency.p95()))),
+                    ("p99", Json::Num(duration_us(latency.p99()))),
+                ]),
+            ),
+            ("endpoints", endpoints),
+            ("stages", stages_json(&rows)),
+        ]);
+        bench::write_bench_json(path, &doc);
+    }
 
     let pass = all_answered && shed_ok && drained;
     println!();

@@ -1,0 +1,152 @@
+//! Validator for the `BENCH_*.json` artifacts.
+//!
+//! `scripts/bench.sh` (and the `bench` lane of `scripts/verify.sh`)
+//! runs this after the benchmarks: it parses each file with the
+//! runtime's own [`runtime::Json`] codec, checks the declared schema,
+//! the presence and type of every required field, and that no number is
+//! non-finite. A malformed artifact fails the lane — a benchmark that
+//! silently writes garbage is worse than one that fails loudly.
+//!
+//! ```text
+//! cargo run --release --bin bench_validate -- BENCH_serve.json BENCH_kernels.json
+//! ```
+
+use runtime::Json;
+
+/// Validation failure: file plus reason.
+struct Violation(String, String);
+
+fn check(errors: &mut Vec<Violation>, file: &str, ok: bool, reason: &str) {
+    if !ok {
+        errors.push(Violation(file.to_string(), reason.to_string()));
+    }
+}
+
+/// Requires `doc[path]` to be a finite number.
+fn require_num(errors: &mut Vec<Violation>, file: &str, doc: &Json, object: &str, key: &str) {
+    let value = doc.get(object).and_then(|o| o.get(key)).and_then(Json::as_f64);
+    check(
+        errors,
+        file,
+        value.is_some_and(f64::is_finite),
+        &format!("missing or non-numeric {object}.{key}"),
+    );
+}
+
+/// Every per-stage entry must carry the breakdown fields.
+fn validate_stages(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+    let Some(Json::Obj(stages)) = doc.get("stages") else {
+        check(errors, file, false, "missing stages object");
+        return;
+    };
+    check(errors, file, !stages.is_empty(), "stages object is empty — was obs disabled?");
+    for (name, stage) in stages {
+        for key in ["count", "total_us", "share", "p50_us", "p95_us", "p99_us"] {
+            check(
+                errors,
+                file,
+                stage.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+                &format!("stage {name:?} missing numeric {key}"),
+            );
+        }
+    }
+}
+
+fn validate_serve(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+    for key in ["wall_s", "requests_total", "throughput_rps"] {
+        check(
+            errors,
+            file,
+            doc.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+            &format!("missing or non-numeric {key}"),
+        );
+    }
+    for key in ["ok", "overloaded", "other_errors", "broken"] {
+        require_num(errors, file, doc, "outcomes", key);
+    }
+    for key in ["p50", "p95", "p99"] {
+        require_num(errors, file, doc, "latency_us", key);
+    }
+    let Some(Json::Obj(endpoints)) = doc.get("endpoints") else {
+        check(errors, file, false, "missing endpoints object");
+        return;
+    };
+    check(errors, file, !endpoints.is_empty(), "endpoints object is empty");
+    for (name, endpoint) in endpoints {
+        for key in ["requests", "p50_us", "p95_us", "p99_us"] {
+            check(
+                errors,
+                file,
+                endpoint.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+                &format!("endpoint {name:?} missing numeric {key}"),
+            );
+        }
+    }
+    validate_stages(errors, file, doc);
+}
+
+fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+    let Some(Json::Obj(kernels)) = doc.get("kernels") else {
+        check(errors, file, false, "missing kernels object");
+        return;
+    };
+    for name in ["fig11", "fullchain", "montecarlo", "sweep"] {
+        check(
+            errors,
+            file,
+            kernels.iter().any(|(k, _)| k == name),
+            &format!("kernel {name:?} missing"),
+        );
+    }
+    for (name, kernel) in kernels {
+        for key in ["runs", "p50_us", "p95_us", "p99_us"] {
+            check(
+                errors,
+                file,
+                kernel.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+                &format!("kernel {name:?} missing numeric {key}"),
+            );
+        }
+    }
+    validate_stages(errors, file, doc);
+}
+
+fn validate_file(errors: &mut Vec<Violation>, file: &str) {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            check(errors, file, false, &format!("cannot read: {e}"));
+            return;
+        }
+    };
+    let Some(doc) = Json::parse(text.trim_end()) else {
+        check(errors, file, false, "not valid JSON");
+        return;
+    };
+    if let Some(path) = doc.non_finite_path() {
+        check(errors, file, false, &format!("non-finite number at {path}"));
+    }
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("implant-bench-serve/1") => validate_serve(errors, file, &doc),
+        Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc),
+        Some(other) => check(errors, file, false, &format!("unknown schema {other:?}")),
+        None => check(errors, file, false, "missing schema field"),
+    }
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    assert!(!files.is_empty(), "usage: bench_validate BENCH_a.json [BENCH_b.json ...]");
+    let mut errors = Vec::new();
+    for file in &files {
+        validate_file(&mut errors, file);
+    }
+    if errors.is_empty() {
+        println!("bench_validate: {} file(s) OK", files.len());
+        return;
+    }
+    for Violation(file, reason) in &errors {
+        eprintln!("bench_validate: {file}: {reason}");
+    }
+    std::process::exit(1);
+}

@@ -35,8 +35,12 @@ fn main() {
     };
 
     // Sweep 1: depth × offset map (offset is the fast axis, row-major).
-    let grid = Grid::new().axis("depth_mm", DEPTHS_MM).axis("offset_mm", OFFSETS_MM);
-    let map = pool.run_cached(&Batch::from_grid("misalignment-map", 0, &grid), &cache, power_job);
+    let grid = Grid::builder().axis("depth_mm", DEPTHS_MM).axis("offset_mm", OFFSETS_MM).build();
+    let map = pool.run_cached(
+        &Batch::builder("misalignment-map").grid(&grid).build(),
+        &cache,
+        power_job,
+    );
 
     let mut table = Table::new(
         "received power vs depth × lateral offset",
@@ -54,8 +58,13 @@ fn main() {
     println!("{}", map.metrics);
 
     // Sweep 2: operating envelope at the nominal 6 mm depth.
-    let grid = Grid::new().axis("depth_mm", [6.0]).axis("offset_mm", ENVELOPE_OFFSETS_MM);
-    let env = pool.run_cached(&Batch::from_grid("misalignment-envelope", 0, &grid), &cache, power_job);
+    let grid =
+        Grid::builder().axis("depth_mm", [6.0]).axis("offset_mm", ENVELOPE_OFFSETS_MM).build();
+    let env = pool.run_cached(
+        &Batch::builder("misalignment-envelope").grid(&grid).build(),
+        &cache,
+        power_job,
+    );
 
     let mut envelope = Table::new(
         "operating margin at 6 mm depth",

@@ -23,10 +23,11 @@ fn main() {
     let sirloin = PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm());
 
     // Row-major grid, medium fastest: index = 2 * distance_index + medium.
-    let grid = Grid::new()
+    let grid = Grid::builder()
         .axis("distance_mm", DISTANCES_MM)
-        .axis("medium", ["air", "sirloin"]);
-    let batch = Batch::from_grid("power-vs-distance", 0, &grid);
+        .axis("medium", ["air", "sirloin"])
+        .build();
+    let batch = Batch::builder("power-vs-distance").grid(&grid).build();
     let cache = ResultCache::from_env("IMPLANT_CACHE_DIR");
     let run = Pool::auto().run_cached(&batch, &cache, |ctx| {
         let d = ctx.point.f64("distance_mm") * 1e-3;

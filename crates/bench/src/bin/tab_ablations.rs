@@ -120,22 +120,24 @@ fn main() {
 
     // One batch, one job per knocked-out variant; every job reduces to a
     // single f64 figure of merit so the results share one cache type.
-    let mut batch = Batch::new("ablations", 0);
+    let mut builder = Batch::builder("ablations");
     for n_clamps in [4u64, 12] {
-        batch.push(ParamPoint::new().with("ablation", "a1").with("n_clamps", n_clamps));
+        builder = builder.point(ParamPoint::new().with("ablation", "a1").with("n_clamps", n_clamps));
     }
     for m2_closed in [0u64, 1] {
-        batch.push(ParamPoint::new().with("ablation", "a2").with("m2_closed", m2_closed));
+        builder =
+            builder.point(ParamPoint::new().with("ablation", "a2").with("m2_closed", m2_closed));
     }
     for method in ["trapezoidal", "backward-euler"] {
-        batch.push(ParamPoint::new().with("ablation", "a3").with("method", method));
+        builder = builder.point(ParamPoint::new().with("ablation", "a3").with("method", method));
     }
     for order in [2u64, 1] {
-        batch.push(ParamPoint::new().with("ablation", "a4").with("order", order));
+        builder = builder.point(ParamPoint::new().with("ablation", "a4").with("order", order));
     }
     for rate in A5_RATES {
-        batch.push(ParamPoint::new().with("ablation", "a5").with("rate", rate));
+        builder = builder.point(ParamPoint::new().with("ablation", "a5").with("rate", rate));
     }
+    let batch = builder.build();
 
     let cache = ResultCache::from_env("IMPLANT_CACHE_DIR");
     let run = Pool::auto().run_cached(&batch, &cache, |ctx| match ctx.point.str("ablation") {

@@ -23,10 +23,12 @@ fn main() {
     const TRIALS: usize = 5000;
     const SCALES: [f64; 6] = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
 
-    let mut batch = Batch::new("montecarlo-yield", MonteCarloStudy::ironic().seed);
+    let mut builder = Batch::builder("montecarlo-yield").seed(MonteCarloStudy::ironic().seed);
     for scale in SCALES {
-        batch.push(ParamPoint::new().with("scale", scale).with("trials", TRIALS as u64));
+        builder =
+            builder.point(ParamPoint::new().with("scale", scale).with("trials", TRIALS as u64));
     }
+    let batch = builder.build();
     let cache = ResultCache::from_env("IMPLANT_CACHE_DIR");
     let run = Pool::auto().run_cached(&batch, &cache, |ctx| {
         let mut study = MonteCarloStudy::ironic();

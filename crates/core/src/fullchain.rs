@@ -160,9 +160,16 @@ impl FullChainScenario {
         let f = self.design.frequency;
         let period = 1.0 / f;
         let t_stop = self.cycles as f64 * period;
-        let ckt = self.build();
+        let ckt = {
+            let _build = obs::span!("fullchain.build");
+            self.build()
+        };
         let spec = TransientSpec::new(t_stop).with_max_step(period / 40.0);
-        let res = ckt.transient(&spec)?;
+        let res = {
+            let _transient = obs::span!("fullchain.transient");
+            ckt.transient(&spec)?
+        };
+        let _measure = obs::span!("fullchain.measure");
         let vo = res.trace("vo").expect("vo traced");
         let vi = res.trace("vi").expect("vi traced");
         let drain = res.trace("drain").expect("drain traced");

@@ -206,7 +206,7 @@ impl MonteCarloStudy {
     /// The batch describing `trials` jobs of this study; the per-trial
     /// RNG streams derive from `(self.seed, trial index)`.
     fn batch(&self, trials: usize) -> Batch {
-        Batch::from_trials("montecarlo", self.seed, trials)
+        Batch::builder("montecarlo").seed(self.seed).trials(trials).build()
     }
 
     /// Runs a single perturbed trial.

@@ -121,9 +121,16 @@ impl Fig11Scenario {
     ///
     /// Propagates simulation failures.
     pub fn run(&self) -> Result<Fig11Outcome, SimError> {
-        let ckt = self.build();
+        let ckt = {
+            let _build = obs::span!("fig11.build");
+            self.build()
+        };
         let spec = TransientSpec::new(self.t_stop).with_max_step(self.max_step);
-        let res = ckt.transient(&spec)?;
+        let res = {
+            let _transient = obs::span!("fig11.transient");
+            ckt.transient(&spec)?
+        };
+        let _eval = obs::span!("fig11.eval");
         let vo = res.trace("vo").expect("vo traced");
         let vi = res.trace("vi").expect("vi traced");
         let vdem = res.trace("vdem").expect("vdem traced");

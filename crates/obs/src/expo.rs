@@ -1,0 +1,139 @@
+//! Prometheus-style text exposition of the stage registry.
+//!
+//! The renderer is a pure function over a slice of [`StageSnapshot`]s,
+//! so the format is golden-testable without touching the live
+//! (process-global, test-order-dependent) registry. The server's
+//! `metrics_v2` endpoint ships [`prometheus_text`] — the same renderer
+//! over a live snapshot — inside its JSON response.
+
+use crate::registry::{snapshot, StageSnapshot};
+use std::fmt::Write as _;
+
+/// Quantiles exposed per stage (matching the repo-wide p50/p95/p99
+/// convention).
+const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Renders stage snapshots in the Prometheus text exposition format
+/// (version 0.0.4): three metric families, each contiguous, stages in
+/// the order given (callers pass [`snapshot`]'s name-sorted output).
+///
+/// * `implant_obs_stage_count` — samples per stage (span completions or
+///   counter increments);
+/// * `implant_obs_stage_duration_seconds_total` — total time per stage;
+/// * `implant_obs_stage_duration_seconds{quantile=…}` — per-stage
+///   latency quantiles (log-bucket upper bounds, so they never
+///   under-report).
+///
+/// Counter-only stages (no recorded durations) appear in the count
+/// family only. All numbers render deterministically: counts as
+/// integers, seconds as fixed 9-decimal nanosecond-exact values.
+pub fn render_prometheus(stages: &[StageSnapshot]) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP implant_obs_stage_count Samples recorded per stage (span completions or counter increments).\n");
+    out.push_str("# TYPE implant_obs_stage_count counter\n");
+    for stage in stages {
+        let _ = writeln!(out, "implant_obs_stage_count{{stage=\"{}\"}} {}", stage.name, stage.count);
+    }
+
+    let timed: Vec<&StageSnapshot> = stages.iter().filter(|s| !s.hist.is_empty()).collect();
+    out.push_str("# HELP implant_obs_stage_duration_seconds_total Total time spent in each stage.\n");
+    out.push_str("# TYPE implant_obs_stage_duration_seconds_total counter\n");
+    for stage in &timed {
+        let _ = writeln!(
+            out,
+            "implant_obs_stage_duration_seconds_total{{stage=\"{}\"}} {}",
+            stage.name,
+            seconds(stage.total.as_nanos() as u64),
+        );
+    }
+
+    out.push_str("# HELP implant_obs_stage_duration_seconds Per-stage latency quantiles (log-bucket upper bounds).\n");
+    out.push_str("# TYPE implant_obs_stage_duration_seconds summary\n");
+    for stage in &timed {
+        for (q, label) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "implant_obs_stage_duration_seconds{{stage=\"{}\",quantile=\"{}\"}} {}",
+                stage.name,
+                label,
+                seconds(stage.hist.quantile(q).as_nanos() as u64),
+            );
+        }
+    }
+    out
+}
+
+/// The live registry rendered for the `metrics_v2` endpoint.
+pub fn prometheus_text() -> String {
+    render_prometheus(&snapshot())
+}
+
+/// Nanoseconds as decimal seconds, exactly (`12345` → `"0.000012345"`).
+/// Integer formatting keeps the exposition bit-stable across platforms.
+fn seconds(nanos: u64) -> String {
+    format!("{}.{:09}", nanos / 1_000_000_000, nanos % 1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use std::time::Duration;
+
+    #[test]
+    fn seconds_are_nanosecond_exact() {
+        assert_eq!(seconds(0), "0.000000000");
+        assert_eq!(seconds(12_345), "0.000012345");
+        assert_eq!(seconds(1_500_000_000), "1.500000000");
+    }
+
+    #[test]
+    fn families_are_contiguous_and_counters_skip_duration_families() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(Duration::from_micros(10));
+        let stages = vec![
+            StageSnapshot {
+                name: "a.counter",
+                count: 4,
+                total: Duration::ZERO,
+                hist: LatencyHistogram::new(),
+            },
+            StageSnapshot {
+                name: "b.span",
+                count: 1,
+                total: Duration::from_micros(10),
+                hist,
+            },
+        ];
+        let text = render_prometheus(&stages);
+        assert!(text.contains("implant_obs_stage_count{stage=\"a.counter\"} 4"));
+        assert!(text.contains("implant_obs_stage_count{stage=\"b.span\"} 1"));
+        assert!(!text.contains("duration_seconds_total{stage=\"a.counter\""));
+        assert!(text.contains("duration_seconds_total{stage=\"b.span\"} 0.000010000"));
+        // Families must not interleave: every # TYPE header appears once.
+        assert_eq!(text.matches("# TYPE implant_obs_stage_count counter").count(), 1);
+        assert_eq!(
+            text.matches("# TYPE implant_obs_stage_duration_seconds summary").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn live_exposition_parses_line_by_line() {
+        // Record directly on the stage (not through the enable gate) so
+        // this cannot race the disabled-window test elsewhere.
+        crate::registry::stage("test.expo.live").record_duration(Duration::from_micros(42));
+        let text = prometheus_text();
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("implant_obs_"),
+                "unexpected line {line:?}"
+            );
+            if !line.starts_with('#') {
+                let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+                assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            }
+        }
+        assert!(text.contains("stage=\"test.expo.live\""));
+    }
+}

@@ -1,0 +1,243 @@
+//! The log-bucket latency histogram.
+//!
+//! This type began life in `runtime::metrics` and moved here so every
+//! layer of the stack — the runtime pool, the server, the benches and
+//! the span registry itself — can share one histogram without a
+//! dependency cycle (`obs` sits at the bottom of the graph and depends
+//! on nothing). `runtime::metrics` re-exports it, so existing
+//! `runtime::LatencyHistogram` paths are unchanged.
+
+use std::fmt;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// A fixed-bucket, log-spaced latency histogram.
+///
+/// Buckets are geometric with ratio √2 starting at 1 µs, so 64 buckets
+/// span sub-microsecond to ≈ 70 minutes with ≤ ~41 % relative error per
+/// bucket — plenty for end-of-run percentile summaries. The layout is
+/// fixed (no dynamic resizing), which is what makes [`merge`] exact:
+/// two histograms recorded on different threads or processes combine by
+/// adding counts bucket-for-bucket.
+///
+/// Percentiles are reported as the *upper bound* of the bucket holding
+/// the requested rank, so a quantile never under-reports a latency.
+///
+/// [`merge`]: LatencyHistogram::merge
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; Self::BUCKETS],
+    total: u64,
+}
+
+/// The precomputed bucket upper bounds. Recording is on the span hot
+/// path, so the `powf` per bucket runs once per process, not per
+/// sample.
+fn bounds() -> &'static [u64; LatencyHistogram::BUCKETS] {
+    static BOUNDS: OnceLock<[u64; LatencyHistogram::BUCKETS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| std::array::from_fn(LatencyHistogram::upper_nanos))
+}
+
+/// Bucket index a sample of `nanos` nanoseconds falls into (shared with
+/// the atomic stage counters, which keep per-bucket `AtomicU64`s laid
+/// out identically).
+pub(crate) fn bucket_index(nanos: u64) -> usize {
+    let bounds = bounds();
+    bounds.partition_point(|&upper| upper < nanos).min(LatencyHistogram::BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Number of buckets (fixed; see the type docs for the spacing).
+    pub const BUCKETS: usize = 64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: [0; Self::BUCKETS], total: 0 }
+    }
+
+    /// A histogram rebuilt from raw bucket counts (the atomic stage
+    /// registry snapshots through this).
+    pub fn from_counts(counts: [u64; Self::BUCKETS]) -> Self {
+        let total = counts.iter().sum();
+        LatencyHistogram { counts, total }
+    }
+
+    /// Upper bound of bucket `i` in nanoseconds (inclusive). The last
+    /// bucket additionally absorbs everything larger.
+    pub(crate) fn upper_nanos(i: usize) -> u64 {
+        (1000.0 * 2.0f64.powf(i as f64 / 2.0)).round() as u64
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_index(nanos)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded (including merged ones).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Adds every sample of `other` into `self`, bucket-for-bucket.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]` (upper bucket bound).
+    /// Returns [`Duration::ZERO`] when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(Self::upper_nanos(i));
+            }
+        }
+        Duration::from_nanos(Self::upper_nanos(Self::BUCKETS - 1))
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {} · p95 {} · p99 {} ({} samples)",
+            fmt_duration(self.p50()),
+            fmt_duration(self.p95()),
+            fmt_duration(self.p99()),
+            self.total,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1.0e-3 {
+        format!("{:.2} ms", s * 1.0e3)
+    } else {
+        format!("{:.1} µs", s * 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        // Upper bucket bounds: each percentile must sit at or above the
+        // exact value and within one √2 bucket of it.
+        for (q, exact_us) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q).as_secs_f64() * 1e6;
+            assert!(got >= exact_us, "q{q}: {got} < {exact_us}");
+            assert!(got <= exact_us * std::f64::consts::SQRT_2 * 1.01, "q{q}: {got}");
+        }
+    }
+
+    #[test]
+    fn histogram_never_under_reports() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(30));
+        assert!(h.quantile(1.0) >= Duration::from_micros(30));
+        assert!(h.p50() >= Duration::from_micros(30));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(24 * 3600)); // beyond the last bound
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.0) <= Duration::from_micros(1));
+        // The overflow bucket caps out at ≈ 3037 s (1 µs × 2^31.5).
+        assert!(h.quantile(1.0) >= Duration::from_secs(3000));
+        assert_eq!(LatencyHistogram::new().p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_into_one() {
+        let samples: Vec<Duration> =
+            (0..200).map(|i| Duration::from_micros(13 * i * i + 7)).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.count(), 200);
+        assert_eq!(left.p95(), whole.p95());
+    }
+
+    #[test]
+    fn precomputed_bucket_index_matches_the_formula() {
+        // The LUT-based `bucket_index` must place every sample exactly
+        // where the original linear-scan-over-powf implementation did.
+        for nanos in [0u64, 1, 999, 1000, 1001, 11_314, 22_627, 1_000_000, u64::MAX] {
+            let reference = (0..LatencyHistogram::BUCKETS - 1)
+                .find(|&i| nanos <= LatencyHistogram::upper_nanos(i))
+                .unwrap_or(LatencyHistogram::BUCKETS - 1);
+            assert_eq!(bucket_index(nanos), reference, "nanos = {nanos}");
+        }
+    }
+
+    #[test]
+    fn from_counts_round_trips_a_recorded_histogram() {
+        let mut h = LatencyHistogram::new();
+        for us in [3u64, 17, 170, 1700, 17_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let rebuilt = LatencyHistogram::from_counts(h.counts);
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), 5);
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden test for the `metrics_v2` Prometheus text exposition.
+//!
+//! The renderer is pure, so the golden runs over a synthetic snapshot —
+//! the live registry is process-global and test-order dependent, the
+//! wire format must not be. Regenerate after an intentional format
+//! change with:
+//!
+//! ```text
+//! OBS_BLESS=1 cargo test -p implant-obs --test expo_golden
+//! ```
+
+use obs::{render_prometheus, LatencyHistogram, StageSnapshot};
+use std::time::Duration;
+
+/// A deterministic snapshot exercising every renderer branch: a pure
+/// counter, a single-sample span and a multi-sample span whose
+/// quantiles land in distinct buckets.
+fn synthetic_snapshot() -> Vec<StageSnapshot> {
+    let mut decode = LatencyHistogram::new();
+    for us in [10u64, 20, 40] {
+        decode.record(Duration::from_micros(us));
+    }
+    let mut execute = LatencyHistogram::new();
+    for us in [900u64, 1_100, 1_500, 2_000, 3_000, 12_000, 48_000, 190_000] {
+        execute.record(Duration::from_micros(us));
+    }
+    vec![
+        StageSnapshot {
+            name: "pool.cache_hit",
+            count: 5,
+            total: Duration::ZERO,
+            hist: LatencyHistogram::new(),
+        },
+        StageSnapshot {
+            name: "server.decode",
+            count: 3,
+            total: Duration::from_micros(70),
+            hist: decode,
+        },
+        StageSnapshot {
+            name: "server.execute",
+            count: 8,
+            total: Duration::from_micros(258_500),
+            hist: execute,
+        },
+    ]
+}
+
+#[test]
+fn metrics_v2_exposition_matches_golden() {
+    let text = render_prometheus(&synthetic_snapshot());
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/metrics_v2.txt");
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::write(golden_path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    assert_eq!(
+        text, golden,
+        "metrics_v2 exposition drifted from tests/goldens/metrics_v2.txt; \
+         if intentional, regenerate with OBS_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_quantiles_never_under_report_and_stay_ordered() {
+    for stage in synthetic_snapshot() {
+        if stage.hist.is_empty() {
+            continue;
+        }
+        let (p50, p95, p99) = (stage.hist.p50(), stage.hist.p95(), stage.hist.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{}: {p50:?} {p95:?} {p99:?}", stage.name);
+        assert!(p99 >= Duration::from_micros(40), "{}", stage.name);
+    }
+}

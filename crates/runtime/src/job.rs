@@ -185,6 +185,12 @@ impl Grid {
         Grid::default()
     }
 
+    /// Starts a [`GridBuilder`] — the preferred construction path,
+    /// symmetric with [`Batch::builder`].
+    pub fn builder() -> GridBuilder {
+        GridBuilder { grid: Grid::default() }
+    }
+
     /// Adds an axis; builder style.
     #[must_use]
     pub fn axis<V: Into<ParamValue>>(mut self, name: &str, values: impl IntoIterator<Item = V>) -> Self {
@@ -218,6 +224,30 @@ impl Grid {
     }
 }
 
+/// Builds a [`Grid`] axis by axis: `Grid::builder().axis(..).build()`.
+#[derive(Debug, Clone, Default)]
+pub struct GridBuilder {
+    grid: Grid,
+}
+
+impl GridBuilder {
+    /// Adds an axis.
+    #[must_use]
+    pub fn axis<V: Into<ParamValue>>(
+        mut self,
+        name: &str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.grid.axes.push((name.to_string(), values.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Finishes the grid.
+    pub fn build(self) -> Grid {
+        self.grid
+    }
+}
+
 /// A named list of jobs plus the root seed their RNG streams derive from.
 #[derive(Debug, Clone)]
 pub struct Batch {
@@ -231,18 +261,33 @@ pub struct Batch {
 }
 
 impl Batch {
+    /// Starts a [`BatchBuilder`]:
+    /// `Batch::builder("sweep").seed(7).grid(&grid).build()`.
+    pub fn builder(name: &str) -> BatchBuilder {
+        BatchBuilder { name: name.to_string(), seed: 0, points: Vec::new() }
+    }
+
     /// An empty batch.
+    #[deprecated(since = "0.1.0", note = "use `Batch::builder(name).seed(seed).build()`")]
     pub fn new(name: &str, seed: u64) -> Self {
         Batch { name: name.to_string(), seed, points: Vec::new() }
     }
 
     /// A batch over every point of a grid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Batch::builder(name).seed(seed).grid(&grid).build()`"
+    )]
     pub fn from_grid(name: &str, seed: u64, grid: &Grid) -> Self {
         Batch { name: name.to_string(), seed, points: grid.points() }
     }
 
     /// A batch of `trials` identical-shape jobs indexed by a `trial`
     /// parameter — the Monte Carlo shape.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Batch::builder(name).seed(seed).trials(n).build()`"
+    )]
     pub fn from_trials(name: &str, seed: u64, trials: usize) -> Self {
         Batch {
             name: name.to_string(),
@@ -279,6 +324,58 @@ impl Batch {
     }
 }
 
+/// Builds a [`Batch`] from a name, an optional seed, and any mix of
+/// point sources — replacing the positional `Batch::new` /
+/// `Batch::from_grid` / `Batch::from_trials` constructors, whose
+/// argument order (`name, seed, …`? `seed, name, …`?) the callers kept
+/// having to look up.
+#[derive(Debug, Clone)]
+pub struct BatchBuilder {
+    name: String,
+    seed: u64,
+    points: Vec<ParamPoint>,
+}
+
+impl BatchBuilder {
+    /// Sets the root seed (defaults to 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends one parameter point.
+    #[must_use]
+    pub fn point(mut self, point: ParamPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Appends every point of a grid expansion.
+    #[must_use]
+    pub fn grid(mut self, grid: &Grid) -> Self {
+        self.points.extend(grid.points());
+        self
+    }
+
+    /// Appends `trials` identical-shape points indexed by a `trial`
+    /// parameter — the Monte Carlo shape. Indices continue from the
+    /// points already added, so a builder starting empty reproduces the
+    /// old `Batch::from_trials` numbering exactly.
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        let base = self.points.len();
+        self.points
+            .extend((0..trials).map(|i| ParamPoint::new().with("trial", (base + i) as u64)));
+        self
+    }
+
+    /// Finishes the batch.
+    pub fn build(self) -> Batch {
+        Batch { name: self.name, seed: self.seed, points: self.points }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,10 +408,61 @@ mod tests {
 
     #[test]
     fn trial_batches_number_their_jobs() {
-        let batch = Batch::from_trials("mc", 7, 3);
+        let batch = Batch::builder("mc").seed(7).trials(3).build();
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.points[2].u64("trial"), 2);
         assert_ne!(batch.job_seed(0), batch.job_seed(1));
-        assert_eq!(batch.job_seed(1), Batch::from_trials("other", 7, 3).job_seed(1));
+        assert_eq!(
+            batch.job_seed(1),
+            Batch::builder("other").seed(7).trials(3).build().job_seed(1),
+        );
+    }
+
+    #[test]
+    fn grid_builder_builds_the_same_grid_as_the_chained_axis_calls() {
+        let chained = Grid::new().axis("d", [1.0, 2.0]).axis("m", ["air", "tissue"]);
+        let built = Grid::builder().axis("d", [1.0, 2.0]).axis("m", ["air", "tissue"]).build();
+        assert_eq!(built.len(), chained.len());
+        assert_eq!(built.points(), chained.points());
+    }
+
+    #[test]
+    fn batch_builder_composes_points_grids_and_trials() {
+        let grid = Grid::builder().axis("d", [2.0, 4.0]).build();
+        let batch = Batch::builder("mixed")
+            .seed(9)
+            .point(ParamPoint::new().with("x", 1.0))
+            .grid(&grid)
+            .trials(2)
+            .build();
+        assert_eq!(batch.name, "mixed");
+        assert_eq!(batch.seed, 9);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.points[0].canonical(), "x=1.0");
+        assert_eq!(batch.points[1].canonical(), "d=2.0");
+        // Trial numbering continues from the points already present.
+        assert_eq!(batch.points[3].u64("trial"), 3);
+        assert_eq!(batch.points[4].u64("trial"), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_match_the_builder() {
+        // The positional constructors remain on the API (deprecated)
+        // until external callers migrate; they must stay bit-compatible
+        // with the builder so a half-migrated codebase cannot diverge.
+        let grid = Grid::new().axis("d", [1.0, 2.0, 3.0]);
+        let old = Batch::from_grid("g", 5, &grid);
+        let new = Batch::builder("g").seed(5).grid(&grid).build();
+        assert_eq!(old.points, new.points);
+        assert_eq!(old.job_seed(2), new.job_seed(2));
+
+        let old = Batch::from_trials("t", 11, 4);
+        let new = Batch::builder("t").seed(11).trials(4).build();
+        assert_eq!(old.points, new.points);
+
+        let old = Batch::new("e", 1).with_point(ParamPoint::new().with("x", 2.0));
+        let new = Batch::builder("e").seed(1).point(ParamPoint::new().with("x", 2.0)).build();
+        assert_eq!(old.points, new.points);
     }
 }

@@ -28,8 +28,8 @@
 //! ```
 //! use runtime::{Batch, Grid, Pool, ResultCache};
 //!
-//! let grid = Grid::new().axis("distance_mm", [2.0, 6.0, 17.0]);
-//! let batch = Batch::from_grid("demo-sweep", 0x1201_2013, &grid);
+//! let grid = Grid::builder().axis("distance_mm", [2.0, 6.0, 17.0]).build();
+//! let batch = Batch::builder("demo-sweep").seed(0x1201_2013).grid(&grid).build();
 //! let cache = ResultCache::in_memory();
 //! let run = Pool::new(4).run_cached(&batch, &cache, |ctx| {
 //!     // Any per-point model evaluation; ctx.rng is a private,
@@ -51,7 +51,7 @@ pub mod pool;
 pub mod rng;
 
 pub use cache::{fnv1a64, Artifact, ResultCache};
-pub use job::{Batch, Grid, ParamPoint, ParamValue};
+pub use job::{Batch, BatchBuilder, Grid, GridBuilder, ParamPoint, ParamValue};
 pub use json::Json;
 pub use metrics::{LatencyHistogram, RunMetrics};
 pub use pool::{BatchRun, JobCtx, JobOutcome, JobResult, Pool};

@@ -1,121 +1,14 @@
 //! Run metrics: what a batch cost and where the time went.
+//!
+//! The latency histogram itself lives in [`obs`] (the observability
+//! layer reuses it for its stage registry, and `obs` sits below the
+//! runtime in the dependency graph); it is re-exported here so the
+//! established `runtime::metrics::LatencyHistogram` path keeps working.
+
+pub use obs::LatencyHistogram;
 
 use std::fmt;
 use std::time::Duration;
-
-/// A fixed-bucket, log-spaced latency histogram.
-///
-/// Buckets are geometric with ratio √2 starting at 1 µs, so 64 buckets
-/// span sub-microsecond to ≈ 70 minutes with ≤ ~41 % relative error per
-/// bucket — plenty for end-of-run percentile summaries. The layout is
-/// fixed (no dynamic resizing), which is what makes [`merge`] exact:
-/// two histograms recorded on different threads or processes combine by
-/// adding counts bucket-for-bucket.
-///
-/// Percentiles are reported as the *upper bound* of the bucket holding
-/// the requested rank, so a quantile never under-reports a latency.
-///
-/// [`merge`]: LatencyHistogram::merge
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    counts: [u64; Self::BUCKETS],
-    total: u64,
-}
-
-impl LatencyHistogram {
-    /// Number of buckets (fixed; see the type docs for the spacing).
-    pub const BUCKETS: usize = 64;
-
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram { counts: [0; Self::BUCKETS], total: 0 }
-    }
-
-    /// Upper bound of bucket `i` in nanoseconds (inclusive). The last
-    /// bucket additionally absorbs everything larger.
-    fn upper_nanos(i: usize) -> u64 {
-        (1000.0 * 2.0f64.powf(i as f64 / 2.0)).round() as u64
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, sample: Duration) {
-        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
-        let bucket = (0..Self::BUCKETS - 1)
-            .find(|&i| nanos <= Self::upper_nanos(i))
-            .unwrap_or(Self::BUCKETS - 1);
-        self.counts[bucket] += 1;
-        self.total += 1;
-    }
-
-    /// Samples recorded (including merged ones).
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// True when no sample has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Adds every sample of `other` into `self`, bucket-for-bucket.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
-        }
-        self.total += other.total;
-    }
-
-    /// The latency at quantile `q ∈ [0, 1]` (upper bucket bound).
-    /// Returns [`Duration::ZERO`] when the histogram is empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_nanos(Self::upper_nanos(i));
-            }
-        }
-        Duration::from_nanos(Self::upper_nanos(Self::BUCKETS - 1))
-    }
-
-    /// Median latency.
-    pub fn p50(&self) -> Duration {
-        self.quantile(0.50)
-    }
-
-    /// 95th-percentile latency.
-    pub fn p95(&self) -> Duration {
-        self.quantile(0.95)
-    }
-
-    /// 99th-percentile latency.
-    pub fn p99(&self) -> Duration {
-        self.quantile(0.99)
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-impl fmt::Display for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "p50 {} · p95 {} · p99 {} ({} samples)",
-            fmt_duration(self.p50()),
-            fmt_duration(self.p95()),
-            fmt_duration(self.p99()),
-            self.total,
-        )
-    }
-}
 
 /// Aggregate statistics of one batch run, printed by the bench binaries
 /// at end of run.
@@ -249,60 +142,12 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentiles_bracket_the_samples() {
-        let mut h = LatencyHistogram::new();
-        for us in 1..=1000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 1000);
-        // Upper bucket bounds: each percentile must sit at or above the
-        // exact value and within one √2 bucket of it.
-        for (q, exact_us) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
-            let got = h.quantile(q).as_secs_f64() * 1e6;
-            assert!(got >= exact_us, "q{q}: {got} < {exact_us}");
-            assert!(got <= exact_us * std::f64::consts::SQRT_2 * 1.01, "q{q}: {got}");
-        }
-    }
-
-    #[test]
-    fn histogram_never_under_reports() {
-        let mut h = LatencyHistogram::new();
+    fn reexported_histogram_is_the_obs_histogram() {
+        // The type moved to `obs`; the runtime path must stay usable
+        // and interchangeable with the origin.
+        let mut h: LatencyHistogram = obs::LatencyHistogram::new();
         h.record(Duration::from_micros(30));
-        assert!(h.quantile(1.0) >= Duration::from_micros(30));
         assert!(h.p50() >= Duration::from_micros(30));
-    }
-
-    #[test]
-    fn histogram_handles_extremes() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_nanos(1));
-        h.record(Duration::from_secs(24 * 3600)); // beyond the last bound
-        assert_eq!(h.count(), 3);
-        assert!(h.quantile(0.0) <= Duration::from_micros(1));
-        // The overflow bucket caps out at ≈ 3037 s (1 µs × 2^31.5).
-        assert!(h.quantile(1.0) >= Duration::from_secs(3000));
-        assert_eq!(LatencyHistogram::new().p99(), Duration::ZERO);
-    }
-
-    #[test]
-    fn histogram_merge_equals_recording_into_one() {
-        let samples: Vec<Duration> =
-            (0..200).map(|i| Duration::from_micros(13 * i * i + 7)).collect();
-        let mut whole = LatencyHistogram::new();
-        let mut left = LatencyHistogram::new();
-        let mut right = LatencyHistogram::new();
-        for (i, &s) in samples.iter().enumerate() {
-            whole.record(s);
-            if i % 2 == 0 {
-                left.record(s);
-            } else {
-                right.record(s);
-            }
-        }
-        left.merge(&right);
-        assert_eq!(left, whole);
-        assert_eq!(left.count(), 200);
-        assert_eq!(left.p95(), whole.p95());
+        assert_eq!(LatencyHistogram::BUCKETS, obs::LatencyHistogram::BUCKETS);
     }
 }

@@ -168,7 +168,7 @@ impl Pool {
                 if index >= n {
                     break;
                 }
-                let result = run_one(batch, index, cache.as_ref(), &f);
+                let result = run_one(batch, index, started, cache.as_ref(), &f);
                 *slots[index].lock().expect("result slot") = Some(result);
             }
         };
@@ -241,15 +241,25 @@ struct CacheHooks<'a, R> {
     put: &'a (dyn Fn(&ParamPoint, &R) + Sync),
 }
 
-fn run_one<R, F>(batch: &Batch, index: usize, cache: Option<&CacheHooks<'_, R>>, f: &F) -> JobResult<R>
+fn run_one<R, F>(
+    batch: &Batch,
+    index: usize,
+    batch_started: Instant,
+    cache: Option<&CacheHooks<'_, R>>,
+    f: &F,
+) -> JobResult<R>
 where
     R: Send,
     F: Fn(&mut JobCtx) -> R + Sync,
 {
     let point = &batch.points[index];
     let job_started = Instant::now();
+    // Queued→started: how long this job waited behind the batch's
+    // earlier claims (zero-ish for the first `workers` jobs).
+    obs::observe!("pool.queue_wait", job_started.duration_since(batch_started));
     if let Some(cache) = cache {
         if let Some(value) = (cache.get)(point) {
+            obs::count!("pool.cache_hit");
             return JobResult {
                 index,
                 outcome: JobOutcome::Ok(value),
@@ -257,20 +267,26 @@ where
                 from_cache: true,
             };
         }
+        obs::count!("pool.cache_miss");
     }
     let mut ctx = JobCtx {
         index,
         point,
         rng: Xoshiro256PlusPlus::seed_from_u64(batch.job_seed(index)),
     };
-    let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
-        Ok(value) => {
-            if let Some(cache) = cache {
-                (cache.put)(point, &value);
+    let outcome = {
+        // Started→done. The guard records on unwind too, so a panicking
+        // job still accounts for the time it burned.
+        let _job_span = obs::span!("pool.job");
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+            Ok(value) => {
+                if let Some(cache) = cache {
+                    (cache.put)(point, &value);
+                }
+                JobOutcome::Ok(value)
             }
-            JobOutcome::Ok(value)
+            Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
         }
-        Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
     };
     JobResult { index, outcome, wall: job_started.elapsed(), from_cache: false }
 }
@@ -304,7 +320,7 @@ mod tests {
 
     #[test]
     fn results_are_bit_identical_across_worker_counts() {
-        let batch = Batch::from_trials("walks", 0xDEAD_BEEF, 200);
+        let batch = Batch::builder("walks").seed(0xDEAD_BEEF).trials(200).build();
         let reference: Vec<f64> = Pool::new(1).run(&batch, walk).into_values().into_iter().map(Option::unwrap).collect();
         for workers in [2, 3, 8] {
             let parallel: Vec<f64> =
@@ -316,7 +332,7 @@ mod tests {
 
     #[test]
     fn results_come_back_in_submission_order() {
-        let batch = Batch::from_trials("order", 1, 50);
+        let batch = Batch::builder("order").seed(1).trials(50).build();
         let run = Pool::new(4).run(&batch, |ctx| ctx.index);
         for (i, r) in run.results.iter().enumerate() {
             assert_eq!(r.index, i);
@@ -326,7 +342,7 @@ mod tests {
 
     #[test]
     fn a_panicking_job_is_isolated() {
-        let batch = Batch::from_trials("fallible", 5, 20);
+        let batch = Batch::builder("fallible").seed(5).trials(20).build();
         let run = Pool::new(4).run(&batch, |ctx| {
             assert!(ctx.index != 7, "job 7 exploded");
             ctx.index * 2
@@ -346,7 +362,7 @@ mod tests {
     #[test]
     fn cached_rerun_hits_everything_and_matches() {
         let grid = Grid::new().axis("d", [2.0, 4.0, 6.0, 8.0]);
-        let batch = Batch::from_grid("powers", 3, &grid);
+        let batch = Batch::builder("powers").seed(3).grid(&grid).build();
         let cache = ResultCache::in_memory();
         let compute = |ctx: &mut JobCtx| ctx.point.f64("d").powi(2);
         let first = Pool::new(2).run_cached(&batch, &cache, compute);
@@ -362,7 +378,7 @@ mod tests {
 
     #[test]
     fn metrics_account_for_every_job() {
-        let batch = Batch::from_trials("acct", 11, 30);
+        let batch = Batch::builder("acct").seed(11).trials(30).build();
         let run = Pool::new(4).run(&batch, walk);
         let m = &run.metrics;
         assert_eq!(m.jobs, 30);
@@ -374,7 +390,7 @@ mod tests {
 
     #[test]
     fn single_job_batches_do_not_spawn_threads_needlessly() {
-        let batch = Batch::new("one", 0).with_point(ParamPoint::new().with("x", 1.0));
+        let batch = Batch::builder("one").point(ParamPoint::new().with("x", 1.0)).build();
         let run = Pool::new(8).run(&batch, |ctx| ctx.point.f64("x") + 1.0);
         assert_eq!(run.metrics.workers, 1);
         assert_eq!(run.value(0), Some(&2.0));

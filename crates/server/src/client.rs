@@ -1,0 +1,356 @@
+//! Typed TCP client for the implant service.
+//!
+//! Before this module existed, every consumer of the server — the
+//! adversarial tester, the serving benchmark, the end-to-end tests —
+//! carried its own copy of the same dozen lines: connect, write a JSON
+//! line, read a line back, parse it. This is that code, once, with the
+//! v2 envelope ([`crate::proto::VERSION`]) and typed accessors over the
+//! response.
+//!
+//! ```no_run
+//! use server::client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:9900").unwrap();
+//! let health = client.health().unwrap();
+//! assert!(health.is_ok());
+//! let resp = client
+//!     .request("sweep", runtime::Json::parse(r#"{"steps": 4}"#).unwrap())
+//!     .unwrap();
+//! println!("{:?}", resp.result());
+//! ```
+//!
+//! The client is deliberately synchronous and single-stream — one
+//! request, one response, in order — because that is the protocol's
+//! contract. Raw-line access ([`Client::request_line`]) stays available
+//! for tests that need to send malformed frames.
+
+use crate::proto::{self, VERSION};
+use runtime::Json;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure: transport trouble or an unparseable response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, write, or read).
+    Io(io::Error),
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The response line was not valid JSON — a protocol violation, the
+    /// offending line is carried for diagnosis.
+    BadResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::BadResponse(line) => write!(f, "unparseable response line: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One parsed response line, with typed accessors over the protocol's
+/// response shape.
+#[derive(Debug, Clone)]
+pub struct Response {
+    json: Json,
+}
+
+impl Response {
+    /// The response's `ok` flag.
+    pub fn is_ok(&self) -> bool {
+        self.json.get("ok") == Some(&Json::Bool(true))
+    }
+
+    /// The echoed correlation id.
+    pub fn id(&self) -> Option<u64> {
+        self.json.get("id").and_then(Json::as_u64)
+    }
+
+    /// The `result` object of a success.
+    pub fn result(&self) -> Option<&Json> {
+        self.json.get("result")
+    }
+
+    /// The `error.code` string of a failure.
+    pub fn error_code(&self) -> Option<&str> {
+        self.json.get("error").and_then(|e| e.get("code")).and_then(Json::as_str)
+    }
+
+    /// The `error.field` of a failure, when the server identified the
+    /// offending request field.
+    pub fn error_field(&self) -> Option<&str> {
+        self.json.get("error").and_then(|e| e.get("field")).and_then(Json::as_str)
+    }
+
+    /// The `error.message` of a failure.
+    pub fn error_message(&self) -> Option<&str> {
+        self.json.get("error").and_then(|e| e.get("message")).and_then(Json::as_str)
+    }
+
+    /// Queue wait the server reported, microseconds.
+    pub fn queue_us(&self) -> Option<u64> {
+        self.json.get("queue_us").and_then(Json::as_u64)
+    }
+
+    /// Service time the server reported, microseconds.
+    pub fn service_us(&self) -> Option<u64> {
+        self.json.get("service_us").and_then(Json::as_u64)
+    }
+
+    /// The whole response document.
+    pub fn json(&self) -> &Json {
+        &self.json
+    }
+
+    /// Consumes the response into its document.
+    pub fn into_json(self) -> Json {
+        self.json
+    }
+}
+
+/// A synchronous client over one TCP connection.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream (tests use this to pre-tune
+    /// socket options).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream cannot be cloned for the read half.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { writer: BufWriter::new(stream), reader, next_id: 0 })
+    }
+
+    /// Bounds how long a response read may block (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one raw line (no newline) and reads the one response line.
+    /// The escape hatch for malformed-frame tests; typed callers use
+    /// [`Client::request`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, `Disconnected` on EOF,
+    /// `BadResponse` if the answer is not valid JSON.
+    pub fn request_line(&mut self, line: &str) -> Result<Response, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Disconnected);
+        }
+        let trimmed = response.trim_end();
+        match Json::parse(trimmed) {
+            Some(json) => Ok(Response { json }),
+            None => Err(ClientError::BadResponse(trimmed.to_string())),
+        }
+    }
+
+    /// Sends one v2 request with a fresh correlation id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn request(&mut self, endpoint: &str, params: Json) -> Result<Response, ClientError> {
+        self.request_inner(endpoint, params, None)
+    }
+
+    /// Sends one v2 request carrying an explicit `deadline_ms`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn request_with_deadline(
+        &mut self,
+        endpoint: &str,
+        params: Json,
+        deadline_ms: u64,
+    ) -> Result<Response, ClientError> {
+        self.request_inner(endpoint, params, Some(deadline_ms))
+    }
+
+    fn request_inner(
+        &mut self,
+        endpoint: &str,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.next_id += 1;
+        let mut envelope = vec![
+            ("v", Json::Num(VERSION as f64)),
+            ("id", Json::Num(self.next_id as f64)),
+            ("endpoint", Json::Str(endpoint.to_string())),
+        ];
+        if let Some(ms) = deadline_ms {
+            envelope.push(("deadline_ms", Json::Num(ms as f64)));
+        }
+        envelope.push(("params", params));
+        self.request_line(&Json::obj(envelope).to_string())
+    }
+
+    /// `health` round trip.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn health(&mut self) -> Result<Response, ClientError> {
+        self.request("health", Json::Obj(Vec::new()))
+    }
+
+    /// True when the server answers `health` with `status: ok` and
+    /// advertises a protocol range containing ours.
+    pub fn health_ok(&mut self) -> bool {
+        match self.health() {
+            Ok(resp) if resp.is_ok() => {
+                let min = resp
+                    .result()
+                    .and_then(|r| r.get("min_proto_version"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(proto::MIN_VERSION);
+                let max = resp
+                    .result()
+                    .and_then(|r| r.get("proto_version"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(proto::VERSION);
+                (min..=max).contains(&VERSION)
+            }
+            _ => false,
+        }
+    }
+
+    /// Fetches the `metrics_v2` Prometheus-style exposition text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`], plus `BadResponse` when the `text`
+    /// field is missing.
+    pub fn metrics_v2_text(&mut self) -> Result<String, ClientError> {
+        let resp = self.request("metrics_v2", Json::Obj(Vec::new()))?;
+        resp.result()
+            .and_then(|r| r.get("text"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::BadResponse(resp.json().to_string()))
+    }
+
+    /// Asks the server to drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_line`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request("shutdown", Json::Obj(Vec::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Server, ServerConfig};
+
+    #[test]
+    fn client_round_trips_typed_requests_and_negotiates_version() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        assert!(client.health_ok());
+        let health = client.health().unwrap();
+        assert_eq!(
+            health.result().and_then(|r| r.get("proto_version")).and_then(Json::as_u64),
+            Some(VERSION),
+        );
+
+        let sweep = client
+            .request("sweep", Json::parse(r#"{"steps": 3}"#).unwrap())
+            .unwrap();
+        assert!(sweep.is_ok());
+        assert!(sweep.service_us().is_some());
+        let powers = sweep.result().and_then(|r| r.get("p_rx_mw")).and_then(Json::as_arr);
+        assert_eq!(powers.map(<[Json]>::len), Some(3));
+
+        // Ids increment per request and are echoed back.
+        let a = client.health().unwrap().id().unwrap();
+        let b = client.health().unwrap().id().unwrap();
+        assert_eq!(b, a + 1);
+
+        assert!(client.shutdown().unwrap().is_ok());
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn client_surfaces_structured_errors_with_fields() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let bad = client
+            .request("sweep", Json::parse(r#"{"steps": 1}"#).unwrap())
+            .unwrap();
+        assert!(!bad.is_ok());
+        assert_eq!(bad.error_code(), Some("bad_request"));
+        assert_eq!(bad.error_field(), Some("steps"));
+        assert!(bad.error_message().unwrap().contains("steps"));
+
+        // Raw-line escape hatch still works for malformed frames.
+        let raw = client.request_line("not json at all").unwrap();
+        assert_eq!(raw.error_code(), Some("bad_request"));
+        assert_eq!(raw.error_field(), None);
+
+        client.shutdown().unwrap();
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn metrics_v2_text_is_exposed_over_the_wire() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Drive one data request so stages exist, then fetch the text.
+        client.request("sweep", Json::parse(r#"{"steps": 2}"#).unwrap()).unwrap();
+        let text = client.metrics_v2_text().unwrap();
+        assert!(
+            text.contains("# TYPE implant_obs_stage_count counter"),
+            "exposition header missing:\n{text}"
+        );
+        client.shutdown().unwrap();
+        drop(client);
+        handle.join();
+    }
+}

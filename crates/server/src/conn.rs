@@ -5,16 +5,24 @@
 //! through a bounded reader — a peer streaming an endless line without
 //! a newline can never grow memory past [`MAX_LINE`] bytes.
 //!
-//! Control-plane endpoints (`health`, `metrics`, `shutdown`) and every
-//! rejection (malformed line, unknown endpoint, shed or closed queue)
-//! are answered inline on this thread; only valid data-plane requests
-//! enter the bounded queue. That keeps the observability plane
-//! responsive even when the data plane is saturated — a full queue
-//! still answers `metrics` instantly.
+//! Control-plane endpoints (`health`, `metrics`, `metrics_v2`,
+//! `shutdown`) and every rejection (malformed line, unknown endpoint,
+//! invalid parameters, shed or closed queue) are answered inline on
+//! this thread; only fully decoded data-plane requests enter the
+//! bounded queue. That keeps the observability plane responsive even
+//! when the data plane is saturated — a full queue still answers
+//! `metrics` instantly — and means workers never see invalid input.
+//!
+//! Each protocol stage records into the [`obs`] registry:
+//! `server.read` (blocking on the socket, idle time included),
+//! `server.decode` (envelope + typed body), `server.queue_wait`,
+//! `server.execute` and `server.encode` (worker side, see
+//! [`crate::worker_loop`]) and `server.write`.
 
-use crate::proto::{err_response, ok_response, ErrorCode, Request};
+use crate::proto::{
+    decode_err_response, err_response, ok_response, ErrorCode, Request, RequestBody,
+};
 use crate::queue::PushError;
-use crate::router::DATA_ENDPOINTS;
 use crate::{Job, Shared};
 use runtime::Json;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -85,7 +93,13 @@ pub fn serve(stream: TcpStream, shared: Arc<Shared>) {
     let mut writer = BufWriter::new(stream);
 
     loop {
-        let line = match read_bounded_line(&mut reader) {
+        let read = {
+            // Includes time blocked waiting for the peer — profile
+            // consumers treat `server.read` as idle-inclusive.
+            let _read = obs::span!("server.read");
+            read_bounded_line(&mut reader)
+        };
+        let line = match read {
             Ok(LineRead::Line(bytes)) => bytes,
             Ok(LineRead::TooLong) => {
                 shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
@@ -100,20 +114,25 @@ pub fn serve(stream: TcpStream, shared: Arc<Shared>) {
         if line.iter().all(u8::is_ascii_whitespace) {
             continue; // blank keep-alive lines are free
         }
-        let response = match std::str::from_utf8(&line) {
-            Err(_) => {
-                shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
-                err_response(0, ErrorCode::BadRequest, "request line is not UTF-8")
+        let envelope = {
+            let _decode = obs::span!("server.decode");
+            match std::str::from_utf8(&line) {
+                Err(_) => Err(err_response(0, ErrorCode::BadRequest, "request line is not UTF-8")),
+                Ok(text) => Request::decode_line(text).map_err(|e| decode_err_response(0, &e)),
             }
-            Ok(text) => match Request::parse_line(text) {
-                Err(reason) => {
-                    shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
-                    err_response(0, ErrorCode::BadRequest, &reason)
-                }
-                Ok(request) => dispatch(request, &shared),
-            },
         };
-        if respond(&mut writer, &response).is_err() {
+        let response = match envelope {
+            Err(rejection) => {
+                shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
+                rejection
+            }
+            Ok(request) => dispatch(request, &shared),
+        };
+        let write = {
+            let _write = obs::span!("server.write");
+            respond(&mut writer, &response)
+        };
+        if write.is_err() {
             return;
         }
     }
@@ -127,19 +146,33 @@ fn respond(writer: &mut impl Write, line: &str) -> io::Result<()> {
     writer.flush()
 }
 
-/// Routes one parsed request: control plane inline, data plane queued.
+/// Routes one parsed envelope: control plane inline, data plane decoded
+/// to a typed body and queued.
 fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
-    match request.endpoint.as_str() {
-        "health" => {
+    let body = {
+        let _decode = obs::span!("server.decode");
+        RequestBody::decode(&request.endpoint, &request.params, &shared.router.limits())
+    };
+    let body = match body {
+        Ok(body) => body,
+        Err(err) => {
+            shared.metrics.record_error(&request.endpoint, err.code);
+            return decode_err_response(request.id, &err);
+        }
+    };
+    match body {
+        RequestBody::Health => {
             let body = Json::obj(vec![
                 ("status", Json::Str("ok".to_string())),
+                ("proto_version", Json::Num(crate::proto::VERSION as f64)),
+                ("min_proto_version", Json::Num(crate::proto::MIN_VERSION as f64)),
                 ("draining", Json::Bool(shared.is_draining())),
                 ("queue_depth", Json::Num(shared.queue.len() as f64)),
                 ("queue_capacity", Json::Num(shared.queue.capacity() as f64)),
             ]);
             ok_response(request.id, body, 0, 0)
         }
-        "metrics" => {
+        RequestBody::Metrics => {
             // Percentile fields can go non-finite on an empty histogram;
             // audit like the data plane does.
             crate::proto::ok_response_checked(
@@ -149,7 +182,17 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
                 0,
             )
         }
-        "shutdown" => {
+        RequestBody::MetricsV2 => {
+            // The Prometheus-style stage exposition, wrapped in JSON so
+            // the one-line-per-response framing holds (the codec escapes
+            // the newlines).
+            let body = Json::obj(vec![
+                ("format", Json::Str("prometheus-text".to_string())),
+                ("text", Json::Str(obs::prometheus_text())),
+            ]);
+            ok_response(request.id, body, 0, 0)
+        }
+        RequestBody::Shutdown => {
             // Answer first, then start the drain: the client always gets
             // its acknowledgement even though the listener is about to go.
             let body = Json::obj(vec![("draining", Json::Bool(true))]);
@@ -157,29 +200,20 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
             shared.begin_shutdown();
             response
         }
-        name if DATA_ENDPOINTS.contains(&name) => submit(request, shared),
-        other => {
-            shared.metrics.record_error(other, ErrorCode::UnknownEndpoint);
-            err_response(
-                request.id,
-                ErrorCode::UnknownEndpoint,
-                &format!("no endpoint {other:?} (data: {DATA_ENDPOINTS:?}; control: health, metrics, shutdown)"),
-            )
-        }
+        data => submit(request.id, request.deadline_ms, data, shared),
     }
 }
 
-/// Submits a data-plane request to the bounded queue and waits for the
-/// worker's response. All three refusal paths produce structured errors
-/// — the client is never hung up on or left waiting.
-fn submit(request: Request, shared: &Arc<Shared>) -> String {
+/// Submits a decoded data-plane body to the bounded queue and waits for
+/// the worker's response. All three refusal paths produce structured
+/// errors — the client is never hung up on or left waiting.
+fn submit(id: u64, deadline_ms: Option<u64>, body: RequestBody, shared: &Arc<Shared>) -> String {
     let now = Instant::now();
-    let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
+    let deadline_ms = deadline_ms.unwrap_or(shared.default_deadline_ms);
     let (reply, inbox) = mpsc::channel();
     let job = Job {
-        id: request.id,
-        endpoint: request.endpoint,
-        params: request.params,
+        id,
+        body,
         enqueued: now,
         deadline: now + Duration::from_millis(deadline_ms),
         reply,
@@ -192,7 +226,7 @@ fn submit(request: Request, shared: &Arc<Shared>) -> String {
             Err(_) => err_response(0, ErrorCode::Internal, "worker lost"),
         },
         Err(PushError::Full(job)) => {
-            shared.metrics.record_error(&job.endpoint, ErrorCode::Overloaded);
+            shared.metrics.record_error(job.body.endpoint(), ErrorCode::Overloaded);
             err_response(
                 job.id,
                 ErrorCode::Overloaded,
@@ -200,7 +234,7 @@ fn submit(request: Request, shared: &Arc<Shared>) -> String {
             )
         }
         Err(PushError::Closed(job)) => {
-            shared.metrics.record_error(&job.endpoint, ErrorCode::ShuttingDown);
+            shared.metrics.record_error(job.body.endpoint(), ErrorCode::ShuttingDown);
             err_response(job.id, ErrorCode::ShuttingDown, "server is draining; no new work")
         }
     }

@@ -25,9 +25,17 @@
 //!   silent disconnect.
 //! * **Panic isolation** — a handler panic is caught per request and
 //!   returned as an `internal` error; the worker survives.
+//! * **Typed, versioned protocol** — requests decode into per-endpoint
+//!   parameter structs ([`proto::RequestBody`]) before they enter the
+//!   queue; `health` advertises [`proto::VERSION`] /
+//!   [`proto::MIN_VERSION`] and the v1 wire shape stays accepted.
+//! * **Stage observability** — connection and worker stages
+//!   (`server.read` … `server.write`) record into the [`obs`] registry;
+//!   the `metrics_v2` endpoint serves the Prometheus-style exposition.
 //!
 //! Protocol and endpoint reference live in [`proto`] and [`router`];
-//! `DESIGN.md` §8 documents the semantics.
+//! [`client`] is the matching typed client. `DESIGN.md` §8 documents
+//! the semantics.
 //!
 //! # Example
 //!
@@ -48,17 +56,17 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod client;
 pub mod conn;
 pub mod proto;
 pub mod queue;
 pub mod router;
 pub mod stats;
 
-use crate::proto::{err_response, ErrorCode};
+use crate::proto::{err_response, err_response_fielded, ErrorCode, RequestBody};
 use crate::queue::BoundedQueue;
 use crate::router::Router;
 use crate::stats::ServerMetrics;
-use runtime::Json;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -103,14 +111,13 @@ impl Default for ServerConfig {
     }
 }
 
-/// One admitted data-plane request, waiting in the queue.
+/// One admitted data-plane request, waiting in the queue. The body is
+/// already decoded and validated — workers never touch socket bytes.
 pub struct Job {
     /// Client correlation id.
     pub id: u64,
-    /// Route name (always one of [`router::DATA_ENDPOINTS`]).
-    pub endpoint: String,
-    /// Validated-later endpoint parameters.
-    pub params: Json,
+    /// Typed, validated request body (always a data-plane variant).
+    pub body: RequestBody,
     /// When the connection admitted the job (queueing time anchor).
     pub enqueued: Instant,
     /// Absolute deadline; expired jobs are skipped at dequeue.
@@ -219,12 +226,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 /// is closed and drained.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        let endpoint = job.body.endpoint();
+        let queued = job.enqueued.elapsed();
+        obs::observe!("server.queue_wait", queued);
+        let queue_us = queued.as_micros() as u64;
         if Instant::now() >= job.deadline {
             // The deadline burned out while the job sat in the queue —
             // executing it now would waste a worker on an answer nobody
             // is waiting for.
-            shared.metrics.record_error(&job.endpoint, ErrorCode::DeadlineExceeded);
+            shared.metrics.record_error(endpoint, ErrorCode::DeadlineExceeded);
             let _ = job.reply.send(err_response(
                 job.id,
                 ErrorCode::DeadlineExceeded,
@@ -233,29 +243,38 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         let started = Instant::now();
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            shared.router.handle(&job.endpoint, &job.params)
-        }));
+        let outcome = {
+            let _execute = obs::span!("server.execute");
+            std::panic::catch_unwind(AssertUnwindSafe(|| shared.router.handle_typed(&job.body)))
+        };
         let service = started.elapsed();
         let service_us = service.as_micros() as u64;
-        let line = match outcome {
-            Ok(Ok(routed)) => {
-                shared.metrics.record_ok(
-                    &job.endpoint,
-                    service,
-                    routed.cache_hits,
-                    routed.cache_misses,
-                );
-                proto::ok_response_checked(job.id, routed.result, queue_us, service_us)
-            }
-            Ok(Err(route_err)) => {
-                shared.metrics.record_error(&job.endpoint, route_err.code);
-                err_response(job.id, route_err.code, &route_err.message)
-            }
-            Err(_panic) => {
-                // Isolated: this worker thread survives and moves on.
-                shared.metrics.record_error(&job.endpoint, ErrorCode::Internal);
-                err_response(job.id, ErrorCode::Internal, "handler panicked; request isolated")
+        let line = {
+            let _encode = obs::span!("server.encode");
+            match outcome {
+                Ok(Ok(routed)) => {
+                    shared.metrics.record_ok(
+                        endpoint,
+                        service,
+                        routed.cache_hits,
+                        routed.cache_misses,
+                    );
+                    proto::ok_response_checked(job.id, routed.result, queue_us, service_us)
+                }
+                Ok(Err(route_err)) => {
+                    shared.metrics.record_error(endpoint, route_err.code);
+                    err_response_fielded(
+                        job.id,
+                        route_err.code,
+                        &route_err.message,
+                        route_err.field.as_deref(),
+                    )
+                }
+                Err(_panic) => {
+                    // Isolated: this worker thread survives and moves on.
+                    shared.metrics.record_error(endpoint, ErrorCode::Internal);
+                    err_response(job.id, ErrorCode::Internal, "handler panicked; request isolated")
+                }
             }
         };
         let _ = job.reply.send(line);
@@ -311,6 +330,7 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use runtime::Json;
     use std::io::{BufRead, BufReader, Write};
 
     fn request(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
@@ -337,6 +357,15 @@ mod tests {
         let result = health.get("result").unwrap();
         assert_eq!(result.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(result.get("draining"), Some(&Json::Bool(false)));
+        assert_eq!(
+            result.get("proto_version").and_then(Json::as_u64),
+            Some(proto::VERSION),
+            "health advertises the protocol version"
+        );
+        assert_eq!(
+            result.get("min_proto_version").and_then(Json::as_u64),
+            Some(proto::MIN_VERSION),
+        );
 
         let sweep = request(
             &mut conn,

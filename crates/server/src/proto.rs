@@ -1,4 +1,5 @@
-//! Wire protocol: newline-delimited JSON requests and responses.
+//! Wire protocol: newline-delimited JSON requests and responses, with a
+//! versioned, typed request model.
 //!
 //! One request per line, one response line per request, always in
 //! order. The codec is the runtime's own [`Json`] — the server adds no
@@ -7,18 +8,49 @@
 //! Request grammar (all fields except `endpoint` optional):
 //!
 //! ```text
-//! {"id": 7, "endpoint": "montecarlo", "deadline_ms": 500, "params": {…}}
+//! {"v": 2, "id": 7, "endpoint": "montecarlo", "deadline_ms": 500, "params": {…}}
 //! ```
+//!
+//! `v` is the protocol version. [`VERSION`] is the current one,
+//! advertised (with [`MIN_VERSION`]) by the `health` endpoint so
+//! clients can negotiate; requests without `v` are treated as v1 — the
+//! original stringly-typed wire shape, which remains accepted verbatim.
+//!
+//! Decoding happens in two layers. [`Request::decode_line`] parses the
+//! *envelope* (id, endpoint, version, deadline, raw params).
+//! [`RequestBody::decode`] then turns the raw params into a typed body:
+//! a [`RequestBody`] variant carrying a per-endpoint struct
+//! ([`Fig11Params`], [`FullchainParams`], [`MontecarloParams`],
+//! [`SweepParams`]) whose fields are validated — type, finiteness,
+//! range — before any simulation starts. Every rejection is a
+//! [`DecodeError`] naming the offending field, which the response
+//! carries as `error.field`.
 //!
 //! Responses echo `id` and carry either a `result` or a structured
 //! `error`:
 //!
 //! ```text
 //! {"id":7,"ok":true,"queue_us":12,"service_us":3401,"result":{…}}
-//! {"id":7,"ok":false,"error":{"code":"overloaded","message":"…"}}
+//! {"id":7,"ok":false,"error":{"code":"bad_request","field":"steps","message":"…"}}
 //! ```
 
 use runtime::Json;
+
+/// Current protocol version. Bump when the wire shape gains
+/// capabilities; older versions stay accepted down to [`MIN_VERSION`].
+pub const VERSION: u64 = 2;
+
+/// Oldest protocol version still accepted (the v1 stringly-typed shape
+/// decodes through the same typed path — `v` was simply absent).
+pub const MIN_VERSION: u64 = 1;
+
+/// The data-plane endpoints (the ones that go through the bounded
+/// queue).
+pub const DATA_ENDPOINTS: [&str; 4] = ["fig11", "fullchain", "montecarlo", "sweep"];
+
+/// The control-plane endpoints, answered inline by the connection
+/// thread even when the data plane is saturated.
+pub const CONTROL_ENDPOINTS: [&str; 4] = ["health", "metrics", "metrics_v2", "shutdown"];
 
 /// Machine-readable error classes. The string forms are the wire
 /// contract (`error.code`) — clients dispatch on them, so they are
@@ -56,7 +88,52 @@ impl ErrorCode {
     }
 }
 
-/// A parsed request line.
+/// A structured decode failure: the wire code, a human-readable
+/// message, and — whenever one request field is to blame — that field's
+/// name, carried on the wire as `error.field`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Error class for `error.code`.
+    pub code: ErrorCode,
+    /// The offending request/parameter field, when one is identifiable.
+    pub field: Option<String>,
+    /// Diagnostic for `error.message`.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// A `bad_request` blaming `field`.
+    pub fn bad(field: &str, message: impl Into<String>) -> Self {
+        DecodeError {
+            code: ErrorCode::BadRequest,
+            field: Some(field.to_string()),
+            message: message.into(),
+        }
+    }
+
+    /// A `bad_request` with no single field to blame (malformed JSON,
+    /// non-object document).
+    pub fn malformed(message: impl Into<String>) -> Self {
+        DecodeError { code: ErrorCode::BadRequest, field: None, message: message.into() }
+    }
+}
+
+/// Caps the decoder enforces that are server configuration, not
+/// protocol constants.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeLimits {
+    /// Upper bound accepted for `montecarlo.trials`.
+    pub mc_trial_cap: u64,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits { mc_trial_cap: 100_000 }
+    }
+}
+
+/// A parsed request envelope (protocol layer 1: framing and routing
+/// fields; `params` stays raw until [`RequestBody::decode`]).
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response (0 when
@@ -64,6 +141,9 @@ pub struct Request {
     pub id: u64,
     /// Route name.
     pub endpoint: String,
+    /// Protocol version the client speaks (`None` = the v1 shape,
+    /// which predates the field).
+    pub version: Option<u64>,
     /// Per-request deadline override, milliseconds from receipt.
     pub deadline_ms: Option<u64>,
     /// Endpoint parameters (empty object when absent).
@@ -71,42 +151,413 @@ pub struct Request {
 }
 
 impl Request {
-    /// Parses one request line. The error string is a human-readable
-    /// `bad_request` message.
+    /// Parses one request envelope with structured errors.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first problem found: invalid JSON,
-    /// a non-object document, or a missing/mistyped field.
-    pub fn parse_line(line: &str) -> Result<Request, String> {
-        let doc = Json::parse(line).ok_or("invalid JSON (or trailing garbage)")?;
+    /// A [`DecodeError`] describing the first problem found: invalid
+    /// JSON, a non-object document, a missing/mistyped field, or an
+    /// unsupported `v`.
+    pub fn decode_line(line: &str) -> Result<Request, DecodeError> {
+        let doc = Json::parse(line)
+            .ok_or_else(|| DecodeError::malformed("invalid JSON (or trailing garbage)"))?;
         if !matches!(doc, Json::Obj(_)) {
-            return Err("request must be a JSON object".into());
+            return Err(DecodeError::malformed("request must be a JSON object"));
         }
         let endpoint = doc
             .get("endpoint")
-            .ok_or("missing \"endpoint\"")?
+            .ok_or_else(|| DecodeError::bad("endpoint", "missing \"endpoint\""))?
             .as_str()
-            .ok_or("\"endpoint\" must be a string")?
+            .ok_or_else(|| DecodeError::bad("endpoint", "\"endpoint\" must be a string"))?
             .to_string();
+        let version = match doc.get("v") {
+            None => None,
+            Some(v) => {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| DecodeError::bad("v", "\"v\" must be a positive integer"))?;
+                if !(MIN_VERSION..=VERSION).contains(&v) {
+                    return Err(DecodeError::bad(
+                        "v",
+                        format!(
+                            "unsupported protocol version {v} (supported {MIN_VERSION}..={VERSION})"
+                        ),
+                    ));
+                }
+                Some(v)
+            }
+        };
         let id = match doc.get("id") {
             None => 0,
-            Some(v) => v.as_u64().ok_or("\"id\" must be a non-negative integer")?,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| DecodeError::bad("id", "\"id\" must be a non-negative integer"))?,
         };
         let deadline_ms = match doc.get("deadline_ms") {
             None => None,
-            Some(v) => {
-                Some(v.as_u64().ok_or("\"deadline_ms\" must be a non-negative integer")?)
-            }
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                DecodeError::bad("deadline_ms", "\"deadline_ms\" must be a non-negative integer")
+            })?),
         };
         let params = match doc.get("params") {
             None => Json::Obj(Vec::new()),
             Some(p @ Json::Obj(_)) => p.clone(),
-            Some(_) => return Err("\"params\" must be an object".into()),
+            Some(_) => return Err(DecodeError::bad("params", "\"params\" must be an object")),
         };
-        Ok(Request { id, endpoint, deadline_ms, params })
+        Ok(Request { id, endpoint, version, deadline_ms, params })
+    }
+
+    /// Parses one request line; the v1-era string-error form of
+    /// [`Request::decode_line`], kept for callers that only render the
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        Request::decode_line(line).map_err(|e| e.message)
     }
 }
+
+// ---- typed per-endpoint parameters (protocol layer 2) -----------------
+
+/// `fig11` preset selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fig11Preset {
+    /// The shortened timeline (default — cheap enough to serve).
+    #[default]
+    Short,
+    /// The paper's full 1.5 ms timeline.
+    Paper,
+}
+
+/// Typed parameters of the `fig11` endpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fig11Params {
+    /// Scenario preset the overrides below are applied to.
+    pub preset: Fig11Preset,
+    /// Idle carrier amplitude override, volts.
+    pub idle_amplitude: Option<f64>,
+    /// PA source resistance override, ohms.
+    pub r_source: Option<f64>,
+    /// Load resistance override, ohms.
+    pub r_load: Option<f64>,
+    /// Transient horizon override, microseconds.
+    pub t_stop_us: Option<f64>,
+    /// Maximum solver step override, nanoseconds.
+    pub max_step_ns: Option<f64>,
+}
+
+impl Fig11Params {
+    /// Decodes and validates from a raw `params` object.
+    ///
+    /// # Errors
+    ///
+    /// A field-naming [`DecodeError`] on any mistyped or out-of-range
+    /// parameter.
+    pub fn decode(params: &Json) -> Result<Self, DecodeError> {
+        let preset = match opt_str(params, "preset")?.unwrap_or("short") {
+            "short" => Fig11Preset::Short,
+            "paper" => Fig11Preset::Paper,
+            other => return Err(DecodeError::bad("preset", format!("unknown preset {other:?}"))),
+        };
+        Ok(Fig11Params {
+            preset,
+            idle_amplitude: opt_f64(params, "idle_amplitude", 0.5, 20.0)?,
+            r_source: opt_f64(params, "r_source", 1.0, 10.0e3)?,
+            r_load: opt_f64(params, "r_load", 10.0, 1.0e6)?,
+            t_stop_us: opt_f64(params, "t_stop_us", 1.0, 2000.0)?,
+            max_step_ns: opt_f64(params, "max_step_ns", 1.0, 1000.0)?,
+        })
+    }
+}
+
+/// Typed parameters of the `fullchain` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullchainParams {
+    /// Coil separation, millimetres.
+    pub distance_mm: f64,
+    /// Load resistance override, ohms.
+    pub r_load: Option<f64>,
+    /// Carrier cycles to simulate.
+    pub cycles: u64,
+}
+
+impl FullchainParams {
+    /// Decodes and validates from a raw `params` object.
+    ///
+    /// # Errors
+    ///
+    /// A field-naming [`DecodeError`] on any mistyped or out-of-range
+    /// parameter.
+    pub fn decode(params: &Json) -> Result<Self, DecodeError> {
+        Ok(FullchainParams {
+            distance_mm: opt_f64(params, "distance_mm", 1.0, 50.0)?.unwrap_or(10.0),
+            r_load: opt_f64(params, "r_load", 10.0, 1.0e6)?,
+            cycles: opt_u64(params, "cycles", 10, 2000)?.unwrap_or(120),
+        })
+    }
+}
+
+/// Typed parameters of the `montecarlo` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MontecarloParams {
+    /// Mismatch scale applied to the typical variation model.
+    pub scale: f64,
+    /// Trial count (capped by [`DecodeLimits::mc_trial_cap`]).
+    pub trials: u64,
+    /// Study seed override.
+    pub seed: Option<u64>,
+}
+
+impl MontecarloParams {
+    /// Decodes and validates from a raw `params` object.
+    ///
+    /// # Errors
+    ///
+    /// A field-naming [`DecodeError`] on any mistyped or out-of-range
+    /// parameter (including a `trials` beyond the server's cap).
+    pub fn decode(params: &Json, limits: &DecodeLimits) -> Result<Self, DecodeError> {
+        Ok(MontecarloParams {
+            scale: opt_f64(params, "scale", 0.0, 16.0)?.unwrap_or(1.0),
+            trials: opt_u64(params, "trials", 1, limits.mc_trial_cap)?.unwrap_or(1000),
+            seed: opt_u64(params, "seed", 0, u64::MAX)?,
+        })
+    }
+}
+
+/// `sweep` propagation medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMedium {
+    /// Free-space coupling.
+    #[default]
+    Air,
+    /// The sirloin tissue stack (the paper's in-vitro stand-in).
+    Sirloin,
+}
+
+impl SweepMedium {
+    /// The wire name (also the grid-axis value, so cache keys are
+    /// stable across the typed-protocol migration).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepMedium::Air => "air",
+            SweepMedium::Sirloin => "sirloin",
+        }
+    }
+}
+
+/// Typed parameters of the `sweep` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepParams {
+    /// Smallest distance, millimetres.
+    pub d_min_mm: f64,
+    /// Largest distance, millimetres.
+    pub d_max_mm: f64,
+    /// Grid points between them (inclusive ends).
+    pub steps: u64,
+    /// Propagation medium.
+    pub medium: SweepMedium,
+}
+
+impl SweepParams {
+    /// Decodes and validates from a raw `params` object.
+    ///
+    /// # Errors
+    ///
+    /// A field-naming [`DecodeError`] on any mistyped or out-of-range
+    /// parameter, or an inverted distance range.
+    pub fn decode(params: &Json) -> Result<Self, DecodeError> {
+        let d_min_mm = opt_f64(params, "d_min_mm", 0.5, 100.0)?.unwrap_or(2.0);
+        let d_max_mm = opt_f64(params, "d_max_mm", 0.5, 100.0)?.unwrap_or(30.0);
+        if d_max_mm < d_min_mm {
+            return Err(DecodeError::bad(
+                "d_max_mm",
+                format!("d_max_mm {d_max_mm} < d_min_mm {d_min_mm}"),
+            ));
+        }
+        let medium = match opt_str(params, "medium")?.unwrap_or("air") {
+            "air" => SweepMedium::Air,
+            "sirloin" => SweepMedium::Sirloin,
+            other => {
+                return Err(DecodeError::bad(
+                    "medium",
+                    format!("unknown medium {other:?} (air | sirloin)"),
+                ))
+            }
+        };
+        Ok(SweepParams {
+            d_min_mm,
+            d_max_mm,
+            steps: opt_u64(params, "steps", 2, 64)?.unwrap_or(8),
+            medium,
+        })
+    }
+}
+
+/// A fully decoded, typed request body: one variant per endpoint, with
+/// validated parameters for the data plane. This is what enters the
+/// bounded queue — workers never re-parse socket bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness + protocol negotiation (control plane).
+    Health,
+    /// Per-endpoint serving metrics (control plane).
+    Metrics,
+    /// Prometheus-style stage exposition (control plane).
+    MetricsV2,
+    /// Begin graceful drain (control plane).
+    Shutdown,
+    /// One Fig. 11 transistor-level transient.
+    Fig11(Fig11Params),
+    /// The PA→coils→rectifier chain at one distance.
+    Fullchain(FullchainParams),
+    /// A Monte Carlo yield study.
+    Montecarlo(MontecarloParams),
+    /// Received power over a distance grid.
+    Sweep(SweepParams),
+}
+
+impl RequestBody {
+    /// Decodes `params` for `endpoint` into a typed body.
+    ///
+    /// # Errors
+    ///
+    /// `unknown_endpoint` for an unrouted name, otherwise the
+    /// parameter-level [`DecodeError`].
+    pub fn decode(endpoint: &str, params: &Json, limits: &DecodeLimits) -> Result<Self, DecodeError> {
+        match endpoint {
+            "health" => Ok(RequestBody::Health),
+            "metrics" => Ok(RequestBody::Metrics),
+            "metrics_v2" => Ok(RequestBody::MetricsV2),
+            "shutdown" => Ok(RequestBody::Shutdown),
+            "fig11" => Fig11Params::decode(params).map(RequestBody::Fig11),
+            "fullchain" => FullchainParams::decode(params).map(RequestBody::Fullchain),
+            "montecarlo" => {
+                MontecarloParams::decode(params, limits).map(RequestBody::Montecarlo)
+            }
+            "sweep" => SweepParams::decode(params).map(RequestBody::Sweep),
+            other => Err(DecodeError {
+                code: ErrorCode::UnknownEndpoint,
+                field: Some("endpoint".to_string()),
+                message: format!(
+                    "no endpoint {other:?} (data: {DATA_ENDPOINTS:?}; control: {CONTROL_ENDPOINTS:?})"
+                ),
+            }),
+        }
+    }
+
+    /// The endpoint name this body answers to.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            RequestBody::Health => "health",
+            RequestBody::Metrics => "metrics",
+            RequestBody::MetricsV2 => "metrics_v2",
+            RequestBody::Shutdown => "shutdown",
+            RequestBody::Fig11(_) => "fig11",
+            RequestBody::Fullchain(_) => "fullchain",
+            RequestBody::Montecarlo(_) => "montecarlo",
+            RequestBody::Sweep(_) => "sweep",
+        }
+    }
+
+    /// True for control-plane bodies (answered inline, never queued).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            RequestBody::Health
+                | RequestBody::Metrics
+                | RequestBody::MetricsV2
+                | RequestBody::Shutdown
+        )
+    }
+}
+
+/// A fully decoded request: envelope plus typed body. One-stop decoding
+/// for clients and tests; the connection loop decodes in two stages so
+/// it can account malformed lines and unknown endpoints separately.
+#[derive(Debug, Clone)]
+pub struct TypedRequest {
+    /// Correlation id.
+    pub id: u64,
+    /// Protocol version (defaulted to [`MIN_VERSION`] when absent).
+    pub version: u64,
+    /// Deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The typed body.
+    pub body: RequestBody,
+}
+
+impl TypedRequest {
+    /// Decodes one line all the way to a typed body.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DecodeError`] from either decoding layer.
+    pub fn decode_line(line: &str, limits: &DecodeLimits) -> Result<TypedRequest, DecodeError> {
+        let envelope = Request::decode_line(line)?;
+        let body = RequestBody::decode(&envelope.endpoint, &envelope.params, limits)?;
+        Ok(TypedRequest {
+            id: envelope.id,
+            version: envelope.version.unwrap_or(MIN_VERSION),
+            deadline_ms: envelope.deadline_ms,
+            body,
+        })
+    }
+}
+
+// ---- shared field validators ------------------------------------------
+
+/// Optional float parameter with an inclusive validity range.
+fn opt_f64(params: &Json, key: &str, min: f64, max: f64) -> Result<Option<f64>, DecodeError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| DecodeError::bad(key, format!("{key:?} must be a number")))?;
+            if !v.is_finite() || v < min || v > max {
+                return Err(DecodeError::bad(
+                    key,
+                    format!("{key:?} = {v} outside [{min}, {max}]"),
+                ));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+/// Optional unsigned-integer parameter with an inclusive validity range.
+fn opt_u64(params: &Json, key: &str, min: u64, max: u64) -> Result<Option<u64>, DecodeError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let v = v.as_u64().ok_or_else(|| {
+                DecodeError::bad(key, format!("{key:?} must be a non-negative integer"))
+            })?;
+            if v < min || v > max {
+                return Err(DecodeError::bad(
+                    key,
+                    format!("{key:?} = {v} outside [{min}, {max}]"),
+                ));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+/// Optional string parameter.
+fn opt_str<'a>(params: &'a Json, key: &str) -> Result<Option<&'a str>, DecodeError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| DecodeError::bad(key, format!("{key:?} must be a string"))),
+    }
+}
+
+// ---- response encoding ------------------------------------------------
 
 /// Encodes a success response line (without the trailing newline).
 pub fn ok_response(id: u64, result: Json, queue_us: u64, service_us: u64) -> String {
@@ -139,18 +590,29 @@ pub fn ok_response_checked(id: u64, result: Json, queue_us: u64, service_us: u64
 
 /// Encodes an error response line (without the trailing newline).
 pub fn err_response(id: u64, code: ErrorCode, message: &str) -> String {
+    err_response_fielded(id, code, message, None)
+}
+
+/// Encodes an error response line whose `error` object names the
+/// offending request field (omitted when `field` is `None`, keeping v1
+/// responses byte-compatible).
+pub fn err_response_fielded(id: u64, code: ErrorCode, message: &str, field: Option<&str>) -> String {
+    let mut error = vec![("code", Json::Str(code.as_str().to_string()))];
+    if let Some(field) = field {
+        error.push(("field", Json::Str(field.to_string())));
+    }
+    error.push(("message", Json::Str(message.to_string())));
     Json::obj(vec![
         ("id", Json::Num(id as f64)),
         ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::obj(vec![
-                ("code", Json::Str(code.as_str().to_string())),
-                ("message", Json::Str(message.to_string())),
-            ]),
-        ),
+        ("error", Json::obj(error)),
     ])
     .to_string()
+}
+
+/// Encodes the error response for a [`DecodeError`].
+pub fn decode_err_response(id: u64, err: &DecodeError) -> String {
+    err_response_fielded(id, err.code, &err.message, err.field.as_deref())
 }
 
 #[cfg(test)]
@@ -201,6 +663,7 @@ mod tests {
         assert_eq!(r.id, 3);
         assert_eq!(r.endpoint, "sweep");
         assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.version, None, "no v field = the v1 shape");
         assert_eq!(r.params.get("steps").and_then(Json::as_u64), Some(4));
     }
 
@@ -243,5 +706,111 @@ mod tests {
         assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
         let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
         assert_eq!(code, Some("overloaded"));
+    }
+
+    #[test]
+    fn version_negotiation_accepts_supported_and_rejects_the_rest() {
+        let r = Request::decode_line(r#"{"v":2,"endpoint":"health"}"#).unwrap();
+        assert_eq!(r.version, Some(2));
+        let r = Request::decode_line(r#"{"v":1,"endpoint":"health"}"#).unwrap();
+        assert_eq!(r.version, Some(1));
+        for bad in [r#"{"v":0,"endpoint":"health"}"#, r#"{"v":99,"endpoint":"health"}"#] {
+            let err = Request::decode_line(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest);
+            assert_eq!(err.field.as_deref(), Some("v"), "{bad}");
+            assert!(err.message.contains("unsupported protocol version"), "{}", err.message);
+        }
+        let err = Request::decode_line(r#"{"v":"two","endpoint":"health"}"#).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn typed_bodies_decode_with_defaults() {
+        let limits = DecodeLimits::default();
+        let t = TypedRequest::decode_line(r#"{"id":4,"endpoint":"sweep"}"#, &limits).unwrap();
+        assert_eq!(t.version, MIN_VERSION);
+        let RequestBody::Sweep(p) = &t.body else { panic!("expected sweep, got {:?}", t.body) };
+        assert_eq!(
+            *p,
+            SweepParams { d_min_mm: 2.0, d_max_mm: 30.0, steps: 8, medium: SweepMedium::Air }
+        );
+
+        let t = TypedRequest::decode_line(
+            r#"{"v":2,"endpoint":"montecarlo","params":{"trials":50,"seed":7}}"#,
+            &limits,
+        )
+        .unwrap();
+        let RequestBody::Montecarlo(p) = &t.body else { panic!("expected montecarlo") };
+        assert_eq!(*p, MontecarloParams { scale: 1.0, trials: 50, seed: Some(7) });
+
+        let t = TypedRequest::decode_line(r#"{"endpoint":"fullchain"}"#, &limits).unwrap();
+        let RequestBody::Fullchain(p) = &t.body else { panic!("expected fullchain") };
+        assert_eq!(*p, FullchainParams { distance_mm: 10.0, r_load: None, cycles: 120 });
+
+        let t = TypedRequest::decode_line(
+            r#"{"endpoint":"fig11","params":{"preset":"paper"}}"#,
+            &limits,
+        )
+        .unwrap();
+        let RequestBody::Fig11(p) = &t.body else { panic!("expected fig11") };
+        assert_eq!(p.preset, Fig11Preset::Paper);
+        assert_eq!(p.t_stop_us, None);
+    }
+
+    #[test]
+    fn decode_errors_name_the_offending_field() {
+        let limits = DecodeLimits::default();
+        for (endpoint, params, field) in [
+            ("sweep", r#"{"steps":1}"#, "steps"),
+            ("sweep", r#"{"medium":"vacuum"}"#, "medium"),
+            ("sweep", r#"{"d_min_mm":20,"d_max_mm":2}"#, "d_max_mm"),
+            ("montecarlo", r#"{"scale":"x"}"#, "scale"),
+            ("montecarlo", r#"{"trials":0}"#, "trials"),
+            ("fig11", r#"{"preset":"weird"}"#, "preset"),
+            ("fig11", r#"{"max_step_ns":0.1}"#, "max_step_ns"),
+            ("fullchain", r#"{"cycles":5000000}"#, "cycles"),
+            ("fullchain", r#"{"distance_mm":-3}"#, "distance_mm"),
+        ] {
+            let err = RequestBody::decode(endpoint, &Json::parse(params).unwrap(), &limits)
+                .unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{endpoint} {params}");
+            assert_eq!(err.field.as_deref(), Some(field), "{endpoint} {params}: {}", err.message);
+            assert!(err.message.contains(field), "{endpoint} {params}: {}", err.message);
+        }
+        let err = RequestBody::decode("nope", &Json::Obj(Vec::new()), &limits).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownEndpoint);
+        assert_eq!(err.field.as_deref(), Some("endpoint"));
+    }
+
+    #[test]
+    fn trial_cap_is_a_decode_limit() {
+        let params = Json::parse(r#"{"trials":5000}"#).unwrap();
+        assert!(MontecarloParams::decode(&params, &DecodeLimits::default()).is_ok());
+        let err =
+            MontecarloParams::decode(&params, &DecodeLimits { mc_trial_cap: 1000 }).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("trials"));
+    }
+
+    #[test]
+    fn fielded_error_responses_carry_the_field_and_plain_ones_do_not() {
+        let line = decode_err_response(3, &DecodeError::bad("steps", "\"steps\" = 1 outside"));
+        let doc = Json::parse(&line).unwrap();
+        let error = doc.get("error").unwrap();
+        assert_eq!(error.get("code").and_then(Json::as_str), Some("bad_request"));
+        assert_eq!(error.get("field").and_then(Json::as_str), Some("steps"));
+
+        let line = err_response(3, ErrorCode::Internal, "boom");
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("error").unwrap().get("field"), None, "no field key when unknown");
+    }
+
+    #[test]
+    fn request_body_maps_back_to_its_endpoint_name() {
+        let limits = DecodeLimits::default();
+        for name in DATA_ENDPOINTS.iter().chain(CONTROL_ENDPOINTS.iter()) {
+            let body = RequestBody::decode(name, &Json::Obj(Vec::new()), &limits).unwrap();
+            assert_eq!(body.endpoint(), *name);
+            assert_eq!(body.is_control(), CONTROL_ENDPOINTS.contains(name));
+        }
     }
 }

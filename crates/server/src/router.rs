@@ -1,14 +1,23 @@
-//! Endpoint routing: maps a request's `endpoint` + `params` onto the
-//! workspace models and renders the result as JSON.
+//! Endpoint routing: maps a typed request body onto the workspace
+//! models and renders the result as JSON.
 //!
-//! Every parameter is validated (type, finiteness, range) before any
-//! simulation starts — the router is the trust boundary between socket
-//! bytes and the models. Simulation cost is bounded the same way: trial
-//! counts, cycle counts and transient horizons all have hard caps, so a
-//! single request cannot occupy a worker indefinitely (deadlines handle
-//! queueing time; the caps handle service time).
+//! Validation lives one layer down, in [`crate::proto`]: by the time a
+//! [`RequestBody`] reaches [`Router::handle_typed`], every parameter
+//! has been checked (type, finiteness, range) — the decode step is the
+//! trust boundary between socket bytes and the models. Simulation cost
+//! is bounded the same way: trial counts, cycle counts and transient
+//! horizons all have hard caps, so a single request cannot occupy a
+//! worker indefinitely (deadlines handle queueing time; the caps handle
+//! service time).
+//!
+//! [`Router::handle`] remains as the v1 adapter — the original
+//! stringly-typed entry point, now a thin decode-then-dispatch shim —
+//! so pre-v2 callers and tests keep their exact behaviour.
 
-use crate::proto::ErrorCode;
+use crate::proto::{
+    DecodeError, DecodeLimits, ErrorCode, Fig11Params, Fig11Preset, FullchainParams,
+    MontecarloParams, RequestBody, SweepParams,
+};
 use coils::tissue::TissueStack;
 use implant_core::fullchain::FullChainScenario;
 use implant_core::montecarlo::{MonteCarloStudy, VariationModel};
@@ -16,22 +25,38 @@ use implant_core::scenario::Fig11Scenario;
 use link::budget::PowerBudget;
 use runtime::{Batch, Grid, Json, ParamPoint, Pool, ResultCache};
 
-/// A routed failure: the wire code plus a human-readable message.
+pub use crate::proto::DATA_ENDPOINTS;
+
+/// A routed failure: the wire code plus a human-readable message and,
+/// when one request field is to blame, its name.
 #[derive(Debug, Clone)]
 pub struct RouteError {
     /// Error class for the response's `error.code`.
     pub code: ErrorCode,
+    /// Offending parameter for the response's `error.field`, when
+    /// identifiable.
+    pub field: Option<String>,
     /// Diagnostic for `error.message`.
     pub message: String,
 }
 
 impl RouteError {
-    fn bad(message: impl Into<String>) -> Self {
-        RouteError { code: ErrorCode::BadRequest, message: message.into() }
+    fn bad_field(field: &str, message: impl Into<String>) -> Self {
+        RouteError {
+            code: ErrorCode::BadRequest,
+            field: Some(field.to_string()),
+            message: message.into(),
+        }
     }
 
     fn internal(message: impl Into<String>) -> Self {
-        RouteError { code: ErrorCode::Internal, message: message.into() }
+        RouteError { code: ErrorCode::Internal, field: None, message: message.into() }
+    }
+}
+
+impl From<DecodeError> for RouteError {
+    fn from(e: DecodeError) -> Self {
+        RouteError { code: e.code, field: e.field, message: e.message }
     }
 }
 
@@ -52,11 +77,6 @@ impl Routed {
         Routed { result, cache_hits: 0, cache_misses: 0 }
     }
 }
-
-/// The data-plane endpoints (the ones that go through the bounded
-/// queue; `health`/`metrics`/`shutdown` are control-plane and answered
-/// inline by the connection).
-pub const DATA_ENDPOINTS: [&str; 4] = ["fig11", "fullchain", "montecarlo", "sweep"];
 
 /// Shared routing state: the worker pool the Monte Carlo batches run
 /// on and the bounded result caches.
@@ -79,61 +99,98 @@ impl Router {
         }
     }
 
-    /// Dispatches one data-plane request.
+    /// The caps this router imposes at decode time.
+    pub fn limits(&self) -> DecodeLimits {
+        DecodeLimits { mc_trial_cap: self.mc_trial_cap }
+    }
+
+    /// Dispatches one data-plane request from its raw `params` — the v1
+    /// adapter: decodes into a typed body, then routes it.
     ///
     /// # Errors
     ///
     /// `bad_request` on invalid parameters, `unknown_endpoint` on an
-    /// unrouted name, `internal` when the model itself fails.
+    /// unrouted (or control-plane) name, `internal` when the model
+    /// itself fails.
     pub fn handle(&self, endpoint: &str, params: &Json) -> Result<Routed, RouteError> {
-        match endpoint {
-            "fig11" => self.fig11(params),
-            "fullchain" => self.fullchain(params),
-            "montecarlo" => self.montecarlo(params),
-            "sweep" => self.sweep(params),
-            other => Err(RouteError {
+        let body = RequestBody::decode(endpoint, params, &self.limits())?;
+        if body.is_control() {
+            return Err(RouteError {
                 code: ErrorCode::UnknownEndpoint,
-                message: format!("no endpoint {other:?} (data endpoints: {DATA_ENDPOINTS:?})"),
+                field: Some("endpoint".to_string()),
+                message: format!(
+                    "no endpoint {endpoint:?} (data endpoints: {DATA_ENDPOINTS:?}; control endpoints are answered inline)"
+                ),
+            });
+        }
+        self.handle_typed(&body)
+    }
+
+    /// Dispatches one decoded data-plane body.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` for the few cross-field checks that need model
+    /// state (e.g. a `t_stop_us` that cuts the preset's timeline),
+    /// `internal` when the model fails, `unknown_endpoint` if a
+    /// control-plane body is routed here (the connection answers those
+    /// inline).
+    pub fn handle_typed(&self, body: &RequestBody) -> Result<Routed, RouteError> {
+        match body {
+            RequestBody::Fig11(p) => self.fig11(p),
+            RequestBody::Fullchain(p) => self.fullchain(p),
+            RequestBody::Montecarlo(p) => self.montecarlo(p),
+            RequestBody::Sweep(p) => self.sweep(p),
+            control => Err(RouteError {
+                code: ErrorCode::UnknownEndpoint,
+                field: Some("endpoint".to_string()),
+                message: format!(
+                    "control endpoint {:?} is answered inline, not routed to the data plane",
+                    control.endpoint()
+                ),
             }),
         }
     }
 
     /// `fig11`: one transistor-level Fig. 11 transient with caller
     /// overrides, reporting the paper's compliance checks.
-    fn fig11(&self, params: &Json) -> Result<Routed, RouteError> {
-        let mut scenario = match opt_str(params, "preset")?.unwrap_or("short") {
-            "short" => Fig11Scenario::shortened(),
-            "paper" => Fig11Scenario::paper(),
-            other => return Err(RouteError::bad(format!("unknown preset {other:?}"))),
+    fn fig11(&self, p: &Fig11Params) -> Result<Routed, RouteError> {
+        let mut scenario = match p.preset {
+            Fig11Preset::Short => Fig11Scenario::shortened(),
+            Fig11Preset::Paper => Fig11Scenario::paper(),
         };
-        if let Some(v) = opt_f64(params, "idle_amplitude", 0.5, 20.0)? {
+        if let Some(v) = p.idle_amplitude {
             scenario.idle_amplitude = v;
         }
-        if let Some(v) = opt_f64(params, "r_source", 1.0, 10.0e3)? {
+        if let Some(v) = p.r_source {
             scenario.r_source = v;
         }
-        if let Some(v) = opt_f64(params, "r_load", 10.0, 1.0e6)? {
+        if let Some(v) = p.r_load {
             scenario.r_load = v;
         }
-        if let Some(v) = opt_f64(params, "t_stop_us", 1.0, 2000.0)? {
+        if let Some(v) = p.t_stop_us {
             scenario.t_stop = v * 1e-6;
         }
-        if let Some(v) = opt_f64(params, "max_step_ns", 1.0, 1000.0)? {
+        if let Some(v) = p.max_step_ns {
             scenario.max_step = v * 1e-9;
         }
         // The outcome evaluates waveform windows up to the end of the
         // uplink burst; a horizon that cuts into the timeline would
         // leave them empty (a panic, not a result). `max_step_ns` is
-        // the knob for cheap runs, not truncation.
+        // the knob for cheap runs, not truncation. This check needs the
+        // preset's timeline, so it lives here rather than in decode.
         let timeline_end =
             scenario.uplink_start + scenario.uplink_bits.len() as f64 / scenario.uplink_rate;
         // 1 ns slack: the µs→s conversions are not exact in binary.
         if scenario.t_stop + 1e-9 < timeline_end {
-            return Err(RouteError::bad(format!(
-                "\"t_stop_us\" = {:.0} cuts the preset's timeline (needs ≥ {:.0} µs)",
-                scenario.t_stop * 1e6,
-                timeline_end * 1e6,
-            )));
+            return Err(RouteError::bad_field(
+                "t_stop_us",
+                format!(
+                    "\"t_stop_us\" = {:.0} cuts the preset's timeline (needs ≥ {:.0} µs)",
+                    scenario.t_stop * 1e6,
+                    timeline_end * 1e6,
+                ),
+            ));
         }
         let outcome =
             scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
@@ -152,18 +209,17 @@ impl Router {
 
     /// `fullchain`: steady-state Vo, efficiency and compliance of the
     /// PA→coils→matching→rectifier netlist at a caller-chosen distance.
-    fn fullchain(&self, params: &Json) -> Result<Routed, RouteError> {
+    fn fullchain(&self, p: &FullchainParams) -> Result<Routed, RouteError> {
         let mut scenario = FullChainScenario::ironic();
-        let distance_mm = opt_f64(params, "distance_mm", 1.0, 50.0)?.unwrap_or(10.0);
-        scenario.distance = distance_mm * 1e-3;
-        if let Some(v) = opt_f64(params, "r_load", 10.0, 1.0e6)? {
+        scenario.distance = p.distance_mm * 1e-3;
+        if let Some(v) = p.r_load {
             scenario.r_load = v;
         }
-        scenario.cycles = opt_u64(params, "cycles", 10, 2000)?.unwrap_or(120) as usize;
+        scenario.cycles = p.cycles as usize;
         let outcome =
             scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
         Ok(Routed::plain(Json::obj(vec![
-            ("distance_mm", Json::Num(distance_mm)),
+            ("distance_mm", Json::Num(p.distance_mm)),
             ("cycles", Json::Num(scenario.cycles as f64)),
             ("vo_steady", Json::Num(outcome.vo_steady())),
             ("supply_compliant", Json::Bool(outcome.supply_compliant())),
@@ -176,20 +232,19 @@ impl Router {
     /// `montecarlo`: parametric yield at a requested mismatch level,
     /// served from the bounded result cache when the same
     /// (scale, trials, seed) point was already computed.
-    fn montecarlo(&self, params: &Json) -> Result<Routed, RouteError> {
-        let scale = opt_f64(params, "scale", 0.0, 16.0)?.unwrap_or(1.0);
-        let trials = opt_u64(params, "trials", 1, self.mc_trial_cap)?.unwrap_or(1000);
+    fn montecarlo(&self, p: &MontecarloParams) -> Result<Routed, RouteError> {
         let mut study = MonteCarloStudy::ironic();
-        if let Some(seed) = opt_u64(params, "seed", 0, u64::MAX)? {
+        if let Some(seed) = p.seed {
             study.seed = seed;
         }
-        study.variation = VariationModel::typical_018um().scaled(scale);
+        study.variation = VariationModel::typical_018um().scaled(p.scale);
 
         let point = ParamPoint::new()
-            .with("scale", scale)
-            .with("trials", trials)
+            .with("scale", p.scale)
+            .with("trials", p.trials)
             .with("seed", study.seed);
-        let batch = Batch::new("server-montecarlo", study.seed).with_point(point);
+        let batch = Batch::builder("server-montecarlo").seed(study.seed).point(point).build();
+        let trials = p.trials;
         let run = self.pool.run_cached(&batch, &self.mc_cache, |_ctx| {
             // One job = one whole study; its trials draw from the
             // study's own seed-derived streams, so the report is
@@ -201,7 +256,7 @@ impl Router {
             .ok_or_else(|| RouteError::internal(format!("study panicked: {:?}", run.failures())))?;
         Ok(Routed {
             result: Json::obj(vec![
-                ("scale", Json::Num(scale)),
+                ("scale", Json::Num(p.scale)),
                 ("trials", Json::Num(report.trials as f64)),
                 ("seed", Json::Num(study.seed as f64)),
                 ("passing", Json::Num(report.passing as f64)),
@@ -220,32 +275,25 @@ impl Router {
 
     /// `sweep`: received power over a distance grid in air or through
     /// the sirloin tissue stack, each point cached individually.
-    fn sweep(&self, params: &Json) -> Result<Routed, RouteError> {
-        let d_min = opt_f64(params, "d_min_mm", 0.5, 100.0)?.unwrap_or(2.0);
-        let d_max = opt_f64(params, "d_max_mm", 0.5, 100.0)?.unwrap_or(30.0);
-        if d_max < d_min {
-            return Err(RouteError::bad(format!("d_max_mm {d_max} < d_min_mm {d_min}")));
-        }
-        let steps = opt_u64(params, "steps", 2, 64)?.unwrap_or(8) as usize;
-        let medium = opt_str(params, "medium")?.unwrap_or("air");
-        let budget = match medium {
-            "air" => PowerBudget::ironic_air(),
-            "sirloin" => PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm()),
-            other => {
-                return Err(RouteError::bad(format!(
-                    "unknown medium {other:?} (air | sirloin)"
-                )))
+    fn sweep(&self, p: &SweepParams) -> Result<Routed, RouteError> {
+        let medium = p.medium.as_str();
+        let budget = match p.medium {
+            crate::proto::SweepMedium::Air => PowerBudget::ironic_air(),
+            crate::proto::SweepMedium::Sirloin => {
+                PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm())
             }
         };
 
-        let span = d_max - d_min;
+        let steps = p.steps as usize;
+        let span = p.d_max_mm - p.d_min_mm;
         let distances: Vec<f64> = (0..steps)
-            .map(|i| d_min + span * i as f64 / (steps - 1) as f64)
+            .map(|i| p.d_min_mm + span * i as f64 / (steps - 1) as f64)
             .collect();
-        let grid = Grid::new()
+        let grid = Grid::builder()
             .axis("medium", [medium])
-            .axis("distance_mm", distances.iter().copied());
-        let batch = Batch::from_grid("server-sweep", 0, &grid);
+            .axis("distance_mm", distances.iter().copied())
+            .build();
+        let batch = Batch::builder("server-sweep").grid(&grid).build();
         let run = self.pool.run_cached(&batch, &self.sweep_cache, |ctx| {
             budget.received_power(ctx.point.f64("distance_mm") * 1e-3)
         });
@@ -268,49 +316,6 @@ impl Router {
     }
 }
 
-/// Optional float parameter with an inclusive validity range.
-fn opt_f64(params: &Json, key: &str, min: f64, max: f64) -> Result<Option<f64>, RouteError> {
-    match params.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => {
-            let v = v
-                .as_f64()
-                .ok_or_else(|| RouteError::bad(format!("{key:?} must be a number")))?;
-            if !v.is_finite() || v < min || v > max {
-                return Err(RouteError::bad(format!("{key:?} = {v} outside [{min}, {max}]")));
-            }
-            Ok(Some(v))
-        }
-    }
-}
-
-/// Optional unsigned-integer parameter with an inclusive validity range.
-fn opt_u64(params: &Json, key: &str, min: u64, max: u64) -> Result<Option<u64>, RouteError> {
-    match params.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => {
-            let v = v
-                .as_u64()
-                .ok_or_else(|| RouteError::bad(format!("{key:?} must be a non-negative integer")))?;
-            if v < min || v > max {
-                return Err(RouteError::bad(format!("{key:?} = {v} outside [{min}, {max}]")));
-            }
-            Ok(Some(v))
-        }
-    }
-}
-
-/// Optional string parameter.
-fn opt_str<'a>(params: &'a Json, key: &str) -> Result<Option<&'a str>, RouteError> {
-    match params.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_str()
-            .map(Some)
-            .ok_or_else(|| RouteError::bad(format!("{key:?} must be a string"))),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +332,16 @@ mod tests {
     fn unknown_endpoint_is_typed() {
         let err = router().handle("nope", &params(vec![])).unwrap_err();
         assert_eq!(err.code, ErrorCode::UnknownEndpoint);
+        assert_eq!(err.field.as_deref(), Some("endpoint"));
+    }
+
+    #[test]
+    fn control_endpoints_do_not_route_through_the_data_plane() {
+        let r = router();
+        for name in crate::proto::CONTROL_ENDPOINTS {
+            let err = r.handle(name, &params(vec![])).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownEndpoint, "{name}");
+        }
     }
 
     #[test]
@@ -355,6 +370,28 @@ mod tests {
             first.result.get("vo_min_mean").and_then(Json::as_f64).map(f64::to_bits),
             other.result.get("vo_min_mean").and_then(Json::as_f64).map(f64::to_bits),
         );
+    }
+
+    #[test]
+    fn typed_and_stringly_entry_points_agree() {
+        let r = router();
+        let raw = params(vec![
+            ("scale", Json::Num(1.0)),
+            ("trials", Json::Num(200.0)),
+            ("seed", Json::Num(7.0)),
+        ]);
+        let via_adapter = r.handle("montecarlo", &raw).unwrap();
+        let body = RequestBody::Montecarlo(MontecarloParams {
+            scale: 1.0,
+            trials: 200,
+            seed: Some(7),
+        });
+        let via_typed = r.handle_typed(&body).unwrap();
+        assert_eq!(
+            via_adapter.result.get("vo_min_mean"),
+            via_typed.result.get("vo_min_mean")
+        );
+        assert_eq!(via_adapter.result.get("passing"), via_typed.result.get("passing"));
     }
 
     #[test]
@@ -408,6 +445,7 @@ mod tests {
             let err = r.handle(endpoint, &p).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{endpoint}: {}", err.message);
             assert!(err.message.contains(needle), "{endpoint}: {}", err.message);
+            assert_eq!(err.field.as_deref(), Some(needle), "{endpoint}: {}", err.message);
         }
     }
 }

@@ -9,6 +9,7 @@
 //! battery and reports what the server did.
 
 use runtime::Json;
+use server::client::{Client, Response};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
@@ -89,18 +90,19 @@ impl AdversarialClient {
         read_response(&mut stream)
     }
 
-    /// A well-formed request that expects a well-formed answer.
+    /// A well-formed request line that expects a well-formed answer —
+    /// routed through the shared [`Client`] so the adversary exercises
+    /// the same code path real consumers use.
     pub fn rpc(&self, line: &str) -> Option<Json> {
-        self.raw_line(line.as_bytes())
+        let mut client = Client::from_stream(self.connect()).expect("wrap stream");
+        client.request_line(line).ok().map(Response::into_json)
     }
 
-    /// True when `health` answers `ok` with `status: "ok"`.
+    /// True when `health` answers `ok` and advertises a protocol range
+    /// the shared client speaks.
     pub fn health_ok(&self) -> bool {
-        self.rpc(r#"{"endpoint":"health"}"#).is_some_and(|doc| {
-            doc.get("ok") == Some(&Json::Bool(true))
-                && doc.get("result").and_then(|r| r.get("status")).and_then(Json::as_str)
-                    == Some("ok")
-        })
+        let mut client = Client::from_stream(self.connect()).expect("wrap stream");
+        client.health_ok()
     }
 
     /// Writes part of a request line, then drops the socket mid-frame.

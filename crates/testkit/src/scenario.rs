@@ -165,9 +165,11 @@ pub fn workers_from_env() -> usize {
 /// Panics if a scenario itself panics (the models are total).
 pub fn run_campaign(root_seed: u64, scenarios: usize, workers: usize) -> Vec<String> {
     assert!(scenarios > 0, "need at least one scenario");
-    let batch = Batch::from_trials("fault-campaign", root_seed, scenarios);
+    let _campaign = obs::span!("testkit.campaign");
+    let batch = Batch::builder("fault-campaign").seed(root_seed).trials(scenarios).build();
     let pool = Pool::new(workers);
     let run = pool.run(&batch, |ctx| {
+        let _scenario = obs::span!("testkit.scenario");
         run_scenario(derive_seed(root_seed, ctx.index as u64)).join("\n")
     });
     assert!(run.metrics.failed == 0, "campaign scenarios must not panic: {:?}", run.failures());

@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 537 tests; a sharp drop means suites
+# The workspace currently runs 570+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=500
+MIN_TESTS=560
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -55,6 +55,12 @@ lane serve ./target/release/bench_serve --connections 4 --requests 12 --mc-trial
 # of the supported range.
 lane testkit-w1 env IMPLANT_WORKERS=1 cargo test -q -p implant-testkit
 lane testkit-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-testkit
+
+# Bench lane: the profiling harness must produce valid machine-readable
+# artifacts — scripts/bench.sh runs both benchmarks at smoke sizes and
+# bench_validate rejects missing fields, empty stage breakdowns, and
+# non-finite numbers.
+lane bench env BENCH_DIR="$(mktemp -d)" ./scripts/bench.sh --smoke
 
 if [[ "${1:-}" == "--fuzz" ]]; then
     for crate in analog biosensor coils comms pmu; do

@@ -14,6 +14,7 @@
 //! | [`patch`] | IronIC patch: battery, power states, session controller |
 //! | [`implant_core`] | the Fig. 11 scenario and the end-to-end system co-simulation |
 //! | [`server`] | std-only TCP simulation service: bounded queue, deadlines, latency metrics |
+//! | [`obs`] | lock-cheap tracing/metrics: spans, counters, histograms, Prometheus text |
 //!
 //! # Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use analog;
 pub use biosensor;
+pub use obs;
 pub use coils;
 pub use comms;
 pub use implant_core;

@@ -164,52 +164,56 @@ fn whitened_frame_through_the_pmu_demodulator() {
 #[test]
 fn server_round_trips_every_endpoint_deterministically() {
     // server + runtime + core + link across a real socket: spawn on an
-    // ephemeral port, hit every endpoint once, and check that fixed
-    // seeds give fixed payloads and that repeats come from the cache.
+    // ephemeral port, hit every endpoint once through the typed client,
+    // and check that fixed seeds give fixed payloads and that repeats
+    // come from the cache.
     use electronic_implants::runtime::Json;
+    use electronic_implants::server::client::{Client, Response};
     use electronic_implants::server::{Server, ServerConfig};
-    use std::io::{BufRead, BufReader, Write};
 
     let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
-    let mut conn = std::net::TcpStream::connect(handle.addr()).expect("connect");
-    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
-    let mut rpc = |line: &str| -> Json {
-        conn.write_all(line.as_bytes()).unwrap();
-        conn.write_all(b"\n").unwrap();
-        let mut response = String::new();
-        reader.read_line(&mut response).unwrap();
-        Json::parse(response.trim_end()).expect("valid response JSON")
-    };
-    let result = |doc: &Json| {
-        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{doc}");
-        doc.get("result").expect("result present").clone()
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let result = |resp: Response| -> Json {
+        assert!(resp.is_ok(), "{}", resp.json());
+        resp.result().expect("result present").clone()
     };
 
-    // health: control plane, served inline.
-    let health = result(&rpc(r#"{"id":1,"endpoint":"health"}"#));
+    // health: control plane, served inline; advertises the typed
+    // protocol version the client negotiated with.
+    assert!(client.health_ok(), "version negotiation");
+    let health = result(client.health().expect("health answers"));
     assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("proto_version").and_then(Json::as_u64), Some(2));
 
     // fig11: a cheapened transient via overrides (horizon trimmed to the
     // end of the uplink burst, 5× coarser step), still physically sane.
-    let fig11 = result(&rpc(
-        r#"{"id":2,"endpoint":"fig11","params":{"t_stop_us":150,"max_step_ns":50}}"#,
-    ));
+    let fig11 = result(
+        client
+            .request("fig11", Json::parse(r#"{"t_stop_us":150,"max_step_ns":50}"#).unwrap())
+            .expect("fig11 answers"),
+    );
     let vo_worst = fig11.get("vo_worst").and_then(Json::as_f64).unwrap();
     assert!((0.0..6.0).contains(&vo_worst), "vo_worst {vo_worst}");
 
     // fullchain: short steady-state run at 10 mm.
-    let chain = result(&rpc(
-        r#"{"id":3,"endpoint":"fullchain","params":{"cycles":30,"distance_mm":10}}"#,
-    ));
+    let chain = result(
+        client
+            .request("fullchain", Json::parse(r#"{"cycles":30,"distance_mm":10}"#).unwrap())
+            .expect("fullchain answers"),
+    );
     assert!(chain.get("vo_steady").and_then(Json::as_f64).unwrap() > 0.0);
     let eff = chain.get("efficiency").and_then(Json::as_f64).unwrap();
     assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
 
     // montecarlo: fixed seed ⇒ fixed payload; repeat ⇒ cache hit.
-    let mc_line = r#"{"id":4,"endpoint":"montecarlo","params":{"trials":300,"seed":7,"scale":1.0}}"#;
-    let first = result(&rpc(mc_line));
+    let mc_params = r#"{"trials":300,"seed":7,"scale":1.0}"#;
+    let first = result(
+        client.request("montecarlo", Json::parse(mc_params).unwrap()).expect("mc answers"),
+    );
     assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
-    let second = result(&rpc(mc_line));
+    let second = result(
+        client.request("montecarlo", Json::parse(mc_params).unwrap()).expect("mc answers"),
+    );
     assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
     assert_eq!(first.get("passing"), second.get("passing"));
     assert_eq!(
@@ -222,9 +226,11 @@ fn server_round_trips_every_endpoint_deterministically() {
     assert!(passing <= trials);
 
     // sweep: power falls off monotonically with distance.
-    let sweep = result(&rpc(
-        r#"{"id":5,"endpoint":"sweep","params":{"d_min_mm":4,"d_max_mm":24,"steps":5}}"#,
-    ));
+    let sweep = result(
+        client
+            .request("sweep", Json::parse(r#"{"d_min_mm":4,"d_max_mm":24,"steps":5}"#).unwrap())
+            .expect("sweep answers"),
+    );
     let powers: Vec<f64> = sweep
         .get("p_rx_mw")
         .and_then(Json::as_arr)
@@ -236,9 +242,8 @@ fn server_round_trips_every_endpoint_deterministically() {
     assert!(powers.windows(2).all(|w| w[1] < w[0]), "monotone: {powers:?}");
 
     // Graceful shutdown drains and joins.
-    let bye = rpc(r#"{"id":6,"endpoint":"shutdown"}"#);
-    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
-    drop((conn, reader));
+    assert!(client.shutdown().expect("shutdown acks").is_ok());
+    drop(client);
     handle.join();
 }
 
@@ -248,33 +253,24 @@ fn server_sheds_load_with_a_structured_error_when_saturated() {
     // sheds every request with `overloaded` (never a hang or a dropped
     // connection) while the control plane keeps answering.
     use electronic_implants::runtime::Json;
+    use electronic_implants::server::client::Client;
     use electronic_implants::server::{Server, ServerConfig};
-    use std::io::{BufRead, BufReader, Write};
 
     let config = ServerConfig { queue_capacity: 0, ..ServerConfig::default() };
     let handle = Server::spawn(config).expect("ephemeral bind");
-    let mut conn = std::net::TcpStream::connect(handle.addr()).expect("connect");
-    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
-    let mut rpc = |line: &str| -> Json {
-        conn.write_all(line.as_bytes()).unwrap();
-        conn.write_all(b"\n").unwrap();
-        let mut response = String::new();
-        reader.read_line(&mut response).unwrap();
-        Json::parse(response.trim_end()).expect("valid response JSON")
-    };
+    let mut client = Client::connect(handle.addr()).expect("connect");
 
-    for id in 0..3 {
-        let doc = rpc(&format!(
-            r#"{{"id":{id},"endpoint":"sweep","params":{{"steps":2}}}}"#
-        ));
-        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
-        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
-        assert_eq!(code, Some("overloaded"));
-        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(id));
+    for expect_id in 1..=3 {
+        let resp = client
+            .request("sweep", Json::parse(r#"{"steps":2}"#).unwrap())
+            .expect("shed response arrives");
+        assert!(!resp.is_ok());
+        assert_eq!(resp.error_code(), Some("overloaded"));
+        assert_eq!(resp.id(), Some(expect_id));
     }
-    let metrics = rpc(r#"{"id":9,"endpoint":"metrics"}"#);
+    let metrics = client.request("metrics", Json::Obj(Vec::new())).expect("metrics answers");
     let shed = metrics
-        .get("result")
+        .result()
         .and_then(|r| r.get("endpoints"))
         .and_then(|e| e.get("sweep"))
         .and_then(|s| s.get("shed"))
@@ -282,7 +278,7 @@ fn server_sheds_load_with_a_structured_error_when_saturated() {
     assert_eq!(shed, Some(3), "all three sheds accounted");
 
     handle.shutdown();
-    drop((conn, reader));
+    drop(client);
     handle.join();
 }
 

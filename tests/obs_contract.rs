@@ -1,0 +1,184 @@
+//! Observability contract tests: the guarantees DESIGN.md §10 makes
+//! about `implant-obs`, checked from outside the crate — the disabled
+//! overhead bound, bit-identity of physics under instrumentation, and
+//! the exact `metrics_v2` exposition format.
+
+use electronic_implants::implant_core::montecarlo::MonteCarloStudy;
+use electronic_implants::obs;
+use electronic_implants::obs::{render_prometheus, LatencyHistogram, StageSnapshot};
+use electronic_implants::runtime::Pool;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The process-global obs enable flag must not be flipped concurrently
+/// by two tests; every test that touches it holds this lock.
+static OBS_FLAG: Mutex<()> = Mutex::new(());
+
+fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_FLAG.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn disabled_obs_overhead_stays_under_two_percent() {
+    // The contract: with IMPLANT_OBS=0 every span!/observe!/count! site
+    // collapses to one relaxed atomic load, so a fully instrumented
+    // request (bounded at 64 span operations — the serve path uses six
+    // per request plus a handful per pool job) costs < 2 % of even the
+    // cheapest real kernel. Measured as a ratio, not wall-clock limits,
+    // so the assertion holds on slow CI machines.
+    let _guard = flag_lock();
+    let was_enabled = obs::enabled();
+    obs::set_enabled(false);
+
+    // Per-disabled-span cost, amortized over enough entries to resolve.
+    const SPANS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..SPANS {
+        let _span = obs::span!("contract.disabled.probe");
+        obs::observe!("contract.disabled.observe", Duration::from_micros(1));
+        obs::count!("contract.disabled.count");
+    }
+    // Three obs operations per iteration.
+    let per_op = t0.elapsed().as_secs_f64() / (3.0 * f64::from(SPANS));
+
+    // A representative request: one short Monte Carlo study, the
+    // cheapest endpoint the server offers.
+    let study = MonteCarloStudy::ironic();
+    let t1 = Instant::now();
+    let report = study.run_serial(200);
+    let request = t1.elapsed().as_secs_f64();
+    assert_eq!(report.trials, 200, "kernel really ran");
+
+    obs::set_enabled(was_enabled);
+
+    let budget = 64.0 * per_op;
+    assert!(
+        budget < 0.02 * request,
+        "64 disabled obs ops cost {:.1} ns — {:.3} % of a {:.2} ms request (limit 2 %)",
+        budget * 1e9,
+        100.0 * budget / request,
+        request * 1e3,
+    );
+
+    // And disabled sites stay invisible: nothing was recorded.
+    for stage in obs::snapshot() {
+        assert!(
+            !stage.name.starts_with("contract.disabled."),
+            "disabled site {} leaked into the registry",
+            stage.name
+        );
+    }
+}
+
+#[test]
+fn physics_is_bit_identical_at_any_worker_count_with_obs_on_or_off() {
+    // Instrumentation observes, never perturbs: the same seeded study
+    // must produce the identical report — f64s compared by bit pattern —
+    // whether obs is enabled or not and however many pool workers
+    // IMPLANT_WORKERS would select.
+    let _guard = flag_lock();
+    let was_enabled = obs::enabled();
+    let study = MonteCarloStudy::ironic();
+
+    let mut reference: Option<(usize, usize, usize, usize, u64, u64)> = None;
+    for (workers, obs_on) in [(1usize, true), (3, false), (8, true), (8, false)] {
+        obs::set_enabled(obs_on);
+        let report = study.run_on(300, &Pool::new(workers));
+        let key = (
+            report.passing,
+            report.charge_ok,
+            report.downlink_ok,
+            report.vo_ok,
+            report.vo_min_mean.to_bits(),
+            report.vo_min_worst.to_bits(),
+        );
+        match &reference {
+            None => reference = Some(key),
+            Some(expected) => assert_eq!(
+                &key, expected,
+                "report diverged at workers={workers}, obs_on={obs_on}"
+            ),
+        }
+    }
+    obs::set_enabled(was_enabled);
+}
+
+#[test]
+fn prometheus_exposition_matches_the_golden_text() {
+    // The metrics_v2 wire format, byte for byte. A counter-only stage
+    // appears in the count family alone; a timed stage additionally
+    // gets a total and three quantiles. One 10 µs sample falls in the
+    // √2-spaced bucket whose upper bound is 11 314 ns, and totals render
+    // nanosecond-exact — so this text is stable across platforms.
+    let mut hist = LatencyHistogram::new();
+    hist.record(Duration::from_micros(10));
+    let stages = vec![
+        StageSnapshot {
+            name: "pool.cache_hit",
+            count: 5,
+            total: Duration::ZERO,
+            hist: LatencyHistogram::new(),
+        },
+        StageSnapshot {
+            name: "server.execute",
+            count: 1,
+            total: Duration::from_micros(10),
+            hist,
+        },
+    ];
+    let golden = "\
+# HELP implant_obs_stage_count Samples recorded per stage (span completions or counter increments).
+# TYPE implant_obs_stage_count counter
+implant_obs_stage_count{stage=\"pool.cache_hit\"} 5
+implant_obs_stage_count{stage=\"server.execute\"} 1
+# HELP implant_obs_stage_duration_seconds_total Total time spent in each stage.
+# TYPE implant_obs_stage_duration_seconds_total counter
+implant_obs_stage_duration_seconds_total{stage=\"server.execute\"} 0.000010000
+# HELP implant_obs_stage_duration_seconds Per-stage latency quantiles (log-bucket upper bounds).
+# TYPE implant_obs_stage_duration_seconds summary
+implant_obs_stage_duration_seconds{stage=\"server.execute\",quantile=\"0.5\"} 0.000011314
+implant_obs_stage_duration_seconds{stage=\"server.execute\",quantile=\"0.95\"} 0.000011314
+implant_obs_stage_duration_seconds{stage=\"server.execute\",quantile=\"0.99\"} 0.000011314
+";
+    assert_eq!(render_prometheus(&stages), golden);
+}
+
+#[test]
+fn metrics_v2_reports_the_serve_pipeline_end_to_end() {
+    // Drive one data request through a real socket, then check that the
+    // exposition the `metrics_v2` endpoint returns names every stage of
+    // the connection pipeline it just exercised.
+    use electronic_implants::runtime::Json;
+    use electronic_implants::server::client::Client;
+    use electronic_implants::server::{Server, ServerConfig};
+
+    let _guard = flag_lock();
+    obs::set_enabled(true);
+
+    let handle = Server::spawn(ServerConfig::default()).expect("ephemeral bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let resp = client
+        .request("sweep", Json::parse(r#"{"steps":3}"#).unwrap())
+        .expect("sweep answers");
+    assert!(resp.is_ok(), "{}", resp.json());
+
+    let text = client.metrics_v2_text().expect("metrics_v2 answers");
+    for stage in ["server.decode", "server.queue_wait", "server.execute", "server.write"] {
+        assert!(
+            text.contains(&format!("implant_obs_stage_count{{stage=\"{stage}\"}}")),
+            "stage {stage} missing from exposition:\n{text}"
+        );
+    }
+    // Every line is either a comment or a parseable sample.
+    for line in text.lines() {
+        if let Some((_, value)) = line.rsplit_once(' ') {
+            if !line.starts_with('#') {
+                assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+            }
+        }
+    }
+
+    client.shutdown().expect("shutdown acks");
+    drop(client);
+    handle.join();
+}
