@@ -1,0 +1,325 @@
+//! S2 — replica-scaling and failover benchmark for `implant-cluster`.
+//!
+//! Two phases:
+//!
+//! 1. **Scaling** — spawns a replica set at N = 1, 2, 4 (1 and 2 under
+//!    `--smoke`), each replica deliberately narrow (1 worker, 1 pool
+//!    worker), and drives a pure cache-miss Monte Carlo workload
+//!    (every request a unique seed) from concurrent routing clients.
+//!    Reports sustained req/s and p50/p99 per N. On a multi-core host
+//!    the run *asserts* ≥ 1.7× req/s at N = 2 vs N = 1; on a single
+//!    hardware thread the replicas share one core, so the check is
+//!    reported but does not fail the run.
+//!
+//! 2. **Kill** — a 3-replica set under steady load loses one replica
+//!    mid-run. Latency is reported for the windows before the kill,
+//!    during the failover storm (prober not yet converged: every
+//!    orphaned key pays connect-refused + retry), and after the member
+//!    is marked down. The contract — asserted always — is zero lost
+//!    in-deadline requests.
+//!
+//! `--json PATH` writes `BENCH_cluster.json`
+//! (schema `implant-bench-cluster/1`, checked by `bench_validate`).
+//!
+//! ```text
+//! cargo run --release --bin bench_cluster -- --smoke --json BENCH_cluster.json
+//! ```
+
+use bench::{banner, duration_us, verdict};
+use cluster::{ClusterClient, HealthState, ProbeConfig, ReplicaSet, RetryPolicy};
+use runtime::{Json, LatencyHistogram};
+use server::ServerConfig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    connections: usize,
+    requests: usize,
+    mc_trials: u64,
+    smoke: bool,
+    json_path: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            connections: 4,
+            requests: 30,
+            mc_trials: 150,
+            smoke: false,
+            json_path: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+            };
+            match flag.as_str() {
+                "--connections" => args.connections = take("--connections").max(1),
+                "--requests" => args.requests = take("--requests").max(1),
+                "--mc-trials" => args.mc_trials = take("--mc-trials").max(1) as u64,
+                "--smoke" => args.smoke = true,
+                "--json" => {
+                    args.json_path =
+                        Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
+                }
+                other => panic!(
+                    "unknown flag {other:?} (known: --connections --requests --mc-trials --smoke --json)"
+                ),
+            }
+        }
+        if args.smoke {
+            args.requests = args.requests.min(10);
+            args.mc_trials = args.mc_trials.min(40);
+            args.connections = args.connections.min(2);
+        }
+        args
+    }
+}
+
+/// Narrow replicas: scaling must come from replica count, not from
+/// spare per-replica parallelism.
+fn replica_config() -> ServerConfig {
+    ServerConfig { workers: 1, pool_workers: 1, queue_capacity: 256, ..ServerConfig::default() }
+}
+
+fn probe() -> ProbeConfig {
+    ProbeConfig { interval: Duration::from_millis(5), ..ProbeConfig::default() }
+}
+
+fn mc_params(seed: u64, trials: u64) -> Json {
+    Json::obj(vec![
+        ("trials", Json::Num(trials as f64)),
+        ("seed", Json::Num(seed as f64)),
+    ])
+}
+
+/// One scaling point's outcome.
+struct ScalePoint {
+    replicas: usize,
+    wall: Duration,
+    latency: LatencyHistogram,
+    ok: u64,
+    broken: u64,
+}
+
+impl ScalePoint {
+    fn rps(&self) -> f64 {
+        self.ok as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Drives `connections × requests` unique-seed Monte Carlo requests at
+/// a fresh N-replica set; every request is a cache miss on its home.
+fn scale_point(n: usize, args: &Args) -> ScalePoint {
+    let set = ReplicaSet::spawn_local(n, &replica_config(), probe()).expect("spawn replicas");
+    assert!(set.await_converged(Duration::from_secs(10)), "probes converge");
+    let started = Instant::now();
+    let drivers: Vec<std::thread::JoinHandle<(LatencyHistogram, u64, u64)>> = (0..args.connections)
+        .map(|c| {
+            let set = Arc::clone(&set);
+            let (requests, trials) = (args.requests, args.mc_trials);
+            std::thread::spawn(move || {
+                let mut client = ClusterClient::new(set, RetryPolicy::default());
+                let mut latency = LatencyHistogram::new();
+                let (mut ok, mut broken) = (0u64, 0u64);
+                for i in 0..requests {
+                    // Unique per (N, connection, request): never a hit.
+                    let seed = (n as u64) << 40 | (c as u64) << 20 | i as u64;
+                    let at = Instant::now();
+                    match client.request_routed("montecarlo", mc_params(seed, trials), None) {
+                        Ok(routed) if routed.response.is_ok() => {
+                            latency.record(at.elapsed());
+                            ok += 1;
+                        }
+                        _ => broken += 1,
+                    }
+                }
+                (latency, ok, broken)
+            })
+        })
+        .collect();
+    let mut latency = LatencyHistogram::new();
+    let (mut ok, mut broken) = (0u64, 0u64);
+    for driver in drivers {
+        let (hist, o, b) = driver.join().expect("driver thread");
+        latency.merge(&hist);
+        ok += o;
+        broken += b;
+    }
+    let wall = started.elapsed();
+    set.shutdown();
+    ScalePoint { replicas: n, wall, latency, ok, broken }
+}
+
+/// One kill-phase window: sequential requests with recorded latency.
+fn drive_window(
+    client: &mut ClusterClient,
+    seeds: std::ops::Range<u64>,
+    trials: u64,
+) -> (LatencyHistogram, u64) {
+    let mut latency = LatencyHistogram::new();
+    let mut lost = 0u64;
+    for seed in seeds {
+        let at = Instant::now();
+        match client.request_routed(
+            "montecarlo",
+            mc_params(seed, trials),
+            Some(Duration::from_secs(30)),
+        ) {
+            Ok(routed) if routed.response.is_ok() => latency.record(at.elapsed()),
+            _ => lost += 1,
+        }
+    }
+    (latency, lost)
+}
+
+fn window_json(name: &str, hist: &LatencyHistogram) -> (String, Json) {
+    (
+        name.to_string(),
+        Json::obj(vec![
+            ("requests", Json::Num(hist.count() as f64)),
+            ("p50_us", Json::Num(duration_us(hist.p50()))),
+            ("p99_us", Json::Num(duration_us(hist.p99()))),
+        ]),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    banner("S2", "implant-cluster replica scaling and failover");
+    let replica_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    println!(
+        "config: {} connections × {} requests per point, {} MC trials, N ∈ {:?}, {} hardware threads",
+        args.connections, args.requests, args.mc_trials, replica_counts, cores
+    );
+
+    // Phase 1: scaling table.
+    println!();
+    println!("replica scaling (pure cache-miss Monte Carlo):");
+    println!("  {:>2}  {:>9}  {:>9}  {:>9}  {:>4}", "N", "req/s", "p50", "p99", "lost");
+    let points: Vec<ScalePoint> = replica_counts.iter().map(|&n| scale_point(n, &args)).collect();
+    for p in &points {
+        println!(
+            "  {:>2}  {:>9.1}  {:>9?}  {:>9?}  {:>4}",
+            p.replicas,
+            p.rps(),
+            p.latency.p50(),
+            p.latency.p99(),
+            p.broken
+        );
+    }
+    let no_losses = points.iter().all(|p| p.broken == 0);
+    let speedup2 = points
+        .iter()
+        .find(|p| p.replicas == 2)
+        .map(|p2| p2.rps() / points[0].rps().max(f64::MIN_POSITIVE));
+    let scaling_ok = match speedup2 {
+        Some(s) if cores >= 2 => {
+            let ok = s >= 1.7;
+            println!("  N=2 speedup {s:.2}× (want ≥ 1.70×) … {}", verdict(ok));
+            ok
+        }
+        Some(s) => {
+            println!(
+                "  N=2 speedup {s:.2}× — single hardware thread, replicas share one core; \
+                 scaling check reported, not enforced"
+            );
+            true
+        }
+        None => true,
+    };
+
+    // Phase 2: kill a replica under load.
+    println!();
+    println!("replica kill under load (3 replicas, victim killed mid-run):");
+    let set = ReplicaSet::spawn_local(3, &replica_config(), probe()).expect("spawn replicas");
+    assert!(set.await_converged(Duration::from_secs(10)));
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let w = args.requests as u64;
+
+    let (before, lost_before) = drive_window(&mut client, 0..w, args.mc_trials);
+    let victim = set.members()[0].name().to_string();
+    assert!(set.kill(&victim), "victim is killable");
+    let (during, lost_during) = drive_window(&mut client, w..2 * w, args.mc_trials);
+    assert!(
+        set.await_state(&victim, HealthState::Down, Duration::from_secs(10)),
+        "prober marks the victim down"
+    );
+    let (after, lost_after) = drive_window(&mut client, 2 * w..3 * w, args.mc_trials);
+    let stats = client.stats();
+    set.shutdown();
+
+    let lost = lost_before + lost_during + lost_after;
+    println!("  {:>7}  {:>9}  {:>9}", "window", "p50", "p99");
+    for (name, hist) in [("before", &before), ("during", &during), ("after", &after)] {
+        println!("  {:>7}  {:>9?}  {:>9?}", name, hist.p50(), hist.p99());
+    }
+    println!(
+        "  failovers {} · retries {} · reconnects {}",
+        stats.failovers, stats.retries, stats.connects
+    );
+    let zero_lost = lost == 0;
+    println!("  zero lost in-deadline requests ({} of {}) … {}", 3 * w - lost, 3 * w, verdict(zero_lost));
+
+    if let Some(path) = &args.json_path {
+        let scaling = Json::Obj(
+            points
+                .iter()
+                .map(|p| {
+                    (
+                        format!("n{}", p.replicas),
+                        Json::obj(vec![
+                            ("replicas", Json::Num(p.replicas as f64)),
+                            ("wall_s", Json::Num(p.wall.as_secs_f64())),
+                            ("throughput_rps", Json::Num(p.rps())),
+                            ("p50_us", Json::Num(duration_us(p.latency.p50()))),
+                            ("p99_us", Json::Num(duration_us(p.latency.p99()))),
+                            ("ok", Json::Num(p.ok as f64)),
+                            ("broken", Json::Num(p.broken as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("implant-bench-cluster/1".to_string())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("connections", Json::Num(args.connections as f64)),
+                    ("requests", Json::Num(args.requests as f64)),
+                    ("mc_trials", Json::Num(args.mc_trials as f64)),
+                    ("hardware_threads", Json::Num(cores as f64)),
+                ]),
+            ),
+            ("scaling", scaling),
+            (
+                "speedup_n2",
+                speedup2.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "kill",
+                Json::Obj(vec![
+                    window_json("before", &before),
+                    window_json("during", &during),
+                    window_json("after", &after),
+                    ("lost".to_string(), Json::Num(lost as f64)),
+                    ("failovers".to_string(), Json::Num(stats.failovers as f64)),
+                    ("retries".to_string(), Json::Num(stats.retries as f64)),
+                ]),
+            ),
+        ]);
+        bench::write_bench_json(path, &doc);
+    }
+
+    let pass = no_losses && scaling_ok && zero_lost;
+    println!();
+    println!("bench_cluster verdict: {}", verdict(pass));
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -111,6 +111,53 @@ fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     validate_stages(errors, file, doc);
 }
 
+fn validate_cluster(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+    let Some(Json::Obj(scaling)) = doc.get("scaling") else {
+        check(errors, file, false, "missing scaling object");
+        return;
+    };
+    check(errors, file, !scaling.is_empty(), "scaling object is empty");
+    for (name, point) in scaling {
+        for key in ["replicas", "wall_s", "throughput_rps", "p50_us", "p99_us", "ok", "broken"] {
+            check(
+                errors,
+                file,
+                point.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+                &format!("scaling point {name:?} missing numeric {key}"),
+            );
+        }
+        check(
+            errors,
+            file,
+            point.get("broken").and_then(Json::as_f64) == Some(0.0),
+            &format!("scaling point {name:?} lost requests"),
+        );
+    }
+    let Some(kill) = doc.get("kill") else {
+        check(errors, file, false, "missing kill object");
+        return;
+    };
+    for window in ["before", "during", "after"] {
+        for key in ["requests", "p50_us", "p99_us"] {
+            check(
+                errors,
+                file,
+                kill.get(window)
+                    .and_then(|w| w.get(key))
+                    .and_then(Json::as_f64)
+                    .is_some_and(f64::is_finite),
+                &format!("kill window {window:?} missing numeric {key}"),
+            );
+        }
+    }
+    check(
+        errors,
+        file,
+        kill.get("lost").and_then(Json::as_f64) == Some(0.0),
+        "kill phase lost in-deadline requests",
+    );
+}
+
 fn validate_file(errors: &mut Vec<Violation>, file: &str) {
     let text = match std::fs::read_to_string(file) {
         Ok(t) => t,
@@ -129,6 +176,7 @@ fn validate_file(errors: &mut Vec<Violation>, file: &str) {
     match doc.get("schema").and_then(Json::as_str) {
         Some("implant-bench-serve/1") => validate_serve(errors, file, &doc),
         Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc),
+        Some("implant-bench-cluster/1") => validate_cluster(errors, file, &doc),
         Some(other) => check(errors, file, false, &format!("unknown schema {other:?}")),
         None => check(errors, file, false, "missing schema field"),
     }

@@ -1,0 +1,128 @@
+//! `cluster_serve`: the sharded implant service on one port.
+//!
+//! Spawns N in-process replicas of `implant-server`, probes their
+//! health, and fronts them with the cluster proxy — the same v2 wire
+//! protocol a single server speaks, so every existing client works
+//! unchanged:
+//!
+//! ```text
+//! cluster_serve --replicas 4 --addr 127.0.0.1:9900
+//! # then: {"v":2,"id":1,"endpoint":"montecarlo","params":{"trials":500}}
+//! ```
+//!
+//! Runs until a `shutdown` request arrives on the proxy port (which
+//! drains every replica first). `--probe-interval-ms`,
+//! `--queue-capacity`, `--workers` and `--idle-timeout-ms` tune the
+//! replicas and prober; `--help` lists everything.
+
+use cluster::{ClusterProxy, ProbeConfig, ProxyConfig, ReplicaSet, RetryPolicy};
+use server::ServerConfig;
+use std::time::Duration;
+
+struct Args {
+    replicas: usize,
+    addr: String,
+    probe_interval_ms: u64,
+    queue_capacity: usize,
+    workers: usize,
+    pool_workers: usize,
+    idle_timeout_ms: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            replicas: 2,
+            addr: "127.0.0.1:0".to_string(),
+            probe_interval_ms: 25,
+            queue_capacity: 64,
+            workers: 2,
+            pool_workers: 2,
+            idle_timeout_ms: 0,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            if flag == "--help" || flag == "-h" {
+                eprintln!(
+                    "cluster_serve: sharded multi-replica implant serving\n\n\
+                     --replicas N           replica count (default 2)\n\
+                     --addr HOST:PORT       proxy bind address (default 127.0.0.1:0)\n\
+                     --probe-interval-ms N  health probe cadence (default 25)\n\
+                     --queue-capacity N     per-replica queue (default 64)\n\
+                     --workers N            per-replica workers (default 2)\n\
+                     --pool-workers N       per-replica simulation pool (default 2)\n\
+                     --idle-timeout-ms N    per-replica idle close, 0 = off (default 0)"
+                );
+                std::process::exit(0);
+            }
+            let value = it.next().unwrap_or_else(|| {
+                eprintln!("cluster_serve: {flag} needs a value");
+                std::process::exit(2);
+            });
+            let parse = |v: &str| -> u64 {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("cluster_serve: {flag} {v}: not a number");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--replicas" => args.replicas = parse(&value).clamp(1, 64) as usize,
+                "--addr" => args.addr = value,
+                "--probe-interval-ms" => args.probe_interval_ms = parse(&value).max(1),
+                "--queue-capacity" => args.queue_capacity = parse(&value) as usize,
+                "--workers" => args.workers = parse(&value).clamp(1, 64) as usize,
+                "--pool-workers" => args.pool_workers = parse(&value).clamp(1, 64) as usize,
+                "--idle-timeout-ms" => args.idle_timeout_ms = parse(&value),
+                other => {
+                    eprintln!("cluster_serve: unknown flag {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let template = ServerConfig {
+        queue_capacity: args.queue_capacity,
+        workers: args.workers,
+        pool_workers: args.pool_workers,
+        idle_timeout_ms: args.idle_timeout_ms,
+        ..ServerConfig::default()
+    };
+    let probe = ProbeConfig {
+        interval: Duration::from_millis(args.probe_interval_ms),
+        ..ProbeConfig::default()
+    };
+    let set = match ReplicaSet::spawn_local(args.replicas, &template, probe) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("cluster_serve: failed to spawn replicas: {e}");
+            std::process::exit(1);
+        }
+    };
+    let proxy = match ClusterProxy::spawn(
+        set.clone(),
+        ProxyConfig { addr: args.addr, policy: RetryPolicy::default(), ..ProxyConfig::default() },
+    ) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("cluster_serve: failed to bind proxy: {e}");
+            set.shutdown();
+            std::process::exit(1);
+        }
+    };
+    if !set.await_converged(Duration::from_secs(10)) {
+        eprintln!("cluster_serve: warning: membership did not converge within 10 s");
+    }
+    println!("cluster_serve: proxy on {}", proxy.addr());
+    for view in set.snapshot() {
+        println!("cluster_serve:   {} at {} ({:?})", view.name, view.addr, view.state);
+    }
+    // Runs until a shutdown request drains the set and stops the
+    // listener.
+    proxy.join();
+    println!("cluster_serve: drained");
+}

@@ -1,0 +1,341 @@
+//! The cluster front proxy: one port, the same v2 wire protocol,
+//! fan-out behind it.
+//!
+//! A client that speaks to one `implant-server` speaks to a
+//! [`ClusterProxy`] unchanged: newline-delimited JSON requests in, one
+//! response line per request, in order. Data-plane requests are routed
+//! through a per-connection [`ClusterClient`] (rendezvous placement,
+//! retries, failover); only the `id` is rewritten on the way back, so
+//! the payload bytes are whatever the replica produced.
+//!
+//! The control plane is answered *about the cluster*:
+//!
+//! * `health` — proxy status plus a per-replica membership table
+//!   (name, address, up/down/unknown, probe count) and the up count;
+//! * `metrics_v2` — the per-replica Prometheus expositions merged by
+//!   [`obs::merge_prometheus`], every sample tagged `replica="<name>"`
+//!   (byte-stable under replica count: a replica's lines are identical
+//!   whether it is scraped alone or with peers);
+//! * `metrics` — each reachable replica's serving metrics under its
+//!   name;
+//! * `shutdown` — acknowledges, then drains the whole set and stops
+//!   the proxy.
+
+use crate::client::{ClusterClient, ClusterError, RetryPolicy};
+use crate::member::{HealthState, ReplicaSet};
+use server::client::Client;
+use server::conn::{read_bounded_line, LineRead, MAX_LINE};
+use server::proto::{
+    decode_err_response, err_response, ok_response, ErrorCode, Request, VERSION,
+};
+use runtime::Json;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-proxy tunables.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Routing policy handed to every connection's [`ClusterClient`].
+    pub policy: RetryPolicy,
+    /// Bound on each control-plane fetch from a replica (`metrics`,
+    /// `metrics_v2`).
+    pub control_timeout: Duration,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            addr: "127.0.0.1:0".to_string(),
+            policy: RetryPolicy::default(),
+            control_timeout: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// The front proxy; [`ClusterProxy::spawn`] is the only entry point.
+pub struct ClusterProxy;
+
+struct ProxyShared {
+    set: Arc<ReplicaSet>,
+    config: ProxyConfig,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl ProxyShared {
+    fn begin_shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.set.shutdown();
+        // Poke the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+impl ClusterProxy {
+    /// Binds the proxy port and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the listener cannot bind `config.addr`.
+    pub fn spawn(set: Arc<ReplicaSet>, config: ProxyConfig) -> io::Result<ProxyHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared { set, config, stop: AtomicBool::new(false), local_addr });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("implant-cluster-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn proxy acceptor")
+        };
+        Ok(ProxyHandle { shared, accept })
+    }
+}
+
+/// Handle to a running proxy.
+pub struct ProxyHandle {
+    shared: Arc<ProxyShared>,
+    accept: JoinHandle<()>,
+}
+
+impl ProxyHandle {
+    /// The proxy's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The replica set behind the proxy.
+    pub fn set(&self) -> &Arc<ReplicaSet> {
+        &self.shared.set
+    }
+
+    /// Drains the replicas and stops accepting, exactly like a
+    /// `shutdown` request would.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the accept loop to exit (call
+    /// [`ProxyHandle::shutdown`] first, or send a `shutdown` request).
+    pub fn join(self) {
+        self.accept.join().expect("proxy acceptor panicked");
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("implant-cluster-conn".to_string())
+            .spawn(move || serve_conn(stream, &shared));
+    }
+}
+
+/// One proxy connection: its own routing client (and so its own
+/// connection pool and jitter streams), request lines in, response
+/// lines out.
+fn serve_conn(stream: TcpStream, shared: &Arc<ProxyShared>) {
+    let Ok(reader_stream) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut router =
+        ClusterClient::new(Arc::clone(&shared.set), shared.config.policy.clone());
+
+    loop {
+        let line = match read_bounded_line(&mut reader) {
+            Ok(LineRead::Line(bytes)) => bytes,
+            Ok(LineRead::TooLong) => {
+                let msg = format!("request line exceeds {MAX_LINE} bytes");
+                if respond(&mut writer, &err_response(0, ErrorCode::BadRequest, &msg)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
+        };
+        if line.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        let (response, drain_after) = match std::str::from_utf8(&line) {
+            Err(_) => {
+                (err_response(0, ErrorCode::BadRequest, "request line is not UTF-8"), false)
+            }
+            Ok(text) => match Request::decode_line(text) {
+                Err(e) => (decode_err_response(0, &e), false),
+                Ok(request) => dispatch(request, shared, &mut router),
+            },
+        };
+        if respond(&mut writer, &response).is_err() {
+            return;
+        }
+        if drain_after {
+            // The ack is already flushed to the kernel, so it reaches
+            // the client even if the process exits as soon as the
+            // accept loop unblocks.
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+fn respond(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Answers one request; the flag asks the caller to write the response
+/// and *then* drain the cluster (the `shutdown` ack must reach the
+/// client before the process can exit).
+fn dispatch(
+    request: Request,
+    shared: &Arc<ProxyShared>,
+    router: &mut ClusterClient,
+) -> (String, bool) {
+    match request.endpoint.as_str() {
+        "health" => (cluster_health(request.id, shared), false),
+        "metrics_v2" => (merged_metrics_v2(request.id, shared), false),
+        "metrics" => (per_replica_metrics(request.id, shared), false),
+        "shutdown" => {
+            let body = Json::obj(vec![("draining", Json::Bool(true))]);
+            (ok_response(request.id, body, 0, 0), true)
+        }
+        _ => {
+            let budget = request.deadline_ms.map(Duration::from_millis);
+            let response = match router.request_routed(&request.endpoint, request.params, budget) {
+                Ok(routed) => with_id(routed.response.into_json(), request.id).to_string(),
+                Err(ClusterError::Decode(e)) => decode_err_response(request.id, &e),
+                Err(ClusterError::NoMembers) => {
+                    err_response(request.id, ErrorCode::Internal, "no replicas in the set")
+                }
+                Err(e @ ClusterError::Exhausted { .. }) => {
+                    // Transient failures all the way down: tell the
+                    // client to back off, exactly like one overloaded
+                    // replica would.
+                    err_response(request.id, ErrorCode::Overloaded, &e.to_string())
+                }
+            };
+            (response, false)
+        }
+    }
+}
+
+/// Rewrites the response's `id` to the proxy client's correlation id
+/// (the routed request carried the internal pool client's id).
+fn with_id(json: Json, id: u64) -> Json {
+    match json {
+        Json::Obj(mut pairs) => {
+            let mut found = false;
+            for (key, value) in &mut pairs {
+                if key == "id" {
+                    *value = Json::Num(id as f64);
+                    found = true;
+                }
+            }
+            if !found {
+                pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+            }
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+/// `health` answered about the cluster: membership table + up count.
+fn cluster_health(id: u64, shared: &Arc<ProxyShared>) -> String {
+    let views = shared.set.snapshot();
+    let up = views.iter().filter(|v| v.state == HealthState::Up).count();
+    let replicas: Vec<Json> = views
+        .iter()
+        .map(|v| {
+            Json::obj(vec![
+                ("name", Json::Str(v.name.clone())),
+                ("addr", Json::Str(v.addr.to_string())),
+                (
+                    "state",
+                    Json::Str(
+                        match v.state {
+                            HealthState::Unknown => "unknown",
+                            HealthState::Up => "up",
+                            HealthState::Down => "down",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("probes", Json::Num(v.probes as f64)),
+            ])
+        })
+        .collect();
+    let body = Json::obj(vec![
+        ("status", Json::Str(if up > 0 { "ok" } else { "degraded" }.to_string())),
+        ("role", Json::Str("cluster-proxy".to_string())),
+        ("proto_version", Json::Num(VERSION as f64)),
+        ("min_proto_version", Json::Num(server::proto::MIN_VERSION as f64)),
+        ("replicas", Json::Arr(replicas)),
+        ("up", Json::Num(up as f64)),
+    ]);
+    ok_response(id, body, 0, 0)
+}
+
+/// One bounded control-plane client to a replica.
+fn control_client(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+    Client::builder().connect_timeout(timeout).read_timeout(timeout).connect(addr)
+}
+
+/// `metrics_v2` merged over every reachable replica, labeled by name.
+fn merged_metrics_v2(id: u64, shared: &Arc<ProxyShared>) -> String {
+    let mut parts: Vec<(String, String)> = Vec::new();
+    for member in shared.set.members() {
+        if member.state() == HealthState::Down {
+            continue;
+        }
+        let Ok(mut client) = control_client(member.addr(), shared.config.control_timeout) else {
+            continue;
+        };
+        if let Ok(text) = client.metrics_v2_text() {
+            parts.push((member.name().to_string(), text));
+        }
+    }
+    let borrowed: Vec<(&str, &str)> =
+        parts.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let body = Json::obj(vec![
+        ("format", Json::Str("prometheus-text".to_string())),
+        ("text", Json::Str(obs::merge_prometheus(&borrowed))),
+    ]);
+    ok_response(id, body, 0, 0)
+}
+
+/// `metrics` forwarded per replica, keyed by member name.
+fn per_replica_metrics(id: u64, shared: &Arc<ProxyShared>) -> String {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    for member in shared.set.members() {
+        if member.state() == HealthState::Down {
+            continue;
+        }
+        let Ok(mut client) = control_client(member.addr(), shared.config.control_timeout) else {
+            continue;
+        };
+        if let Ok(resp) = client.request("metrics", Json::Obj(Vec::new())) {
+            if let Some(result) = resp.result() {
+                pairs.push((member.name().to_string(), result.clone()));
+            }
+        }
+    }
+    let body = Json::Obj(vec![(
+        "replicas".to_string(),
+        Json::Obj(pairs),
+    )]);
+    ok_response(id, body, 0, 0)
+}

@@ -1,0 +1,98 @@
+//! Rendezvous (highest-random-weight) hashing: deterministic shard
+//! placement with minimal remapping.
+//!
+//! Every (member, key) pair gets an independent pseudo-random weight;
+//! a key lives on the member with the highest weight. Because weights
+//! are pairwise — never a function of the whole membership — removing
+//! one member only remaps the keys that lived *on that member* (they
+//! fall through to their second choice); every other key keeps its
+//! placement. That is exactly the warm-cache property the cluster
+//! router needs: a replica death invalidates one replica's worth of
+//! cache locality, not the whole cluster's.
+//!
+//! The full descending ranking ([`rank`]) doubles as the failover
+//! order: the second-ranked member is where a key's requests land when
+//! its primary is down, so retries stay deterministic too.
+
+use runtime::rng::Rng as _;
+use runtime::{fnv1a64, SplitMix64};
+
+/// The HRW weight of one (member, key) pair.
+///
+/// The member's identity is folded to a stable 64-bit hash (FNV-1a, the
+/// same hash the result cache keys use) and mixed with the key through
+/// one SplitMix64 step — cheap, stateless, and sensitive to every bit
+/// of both inputs.
+pub fn weight(member: &str, key: u64) -> u64 {
+    SplitMix64::new(fnv1a64(member.as_bytes()) ^ key.rotate_left(32)).next_u64()
+}
+
+/// Members ranked by descending weight for `key`: `rank(..)[0]` is the
+/// key's home, the rest is the failover order. Ties (astronomically
+/// rare) break by name so the ranking is a pure function of the
+/// membership *set* — input order never matters.
+pub fn rank<'a>(members: &[&'a str], key: u64) -> Vec<&'a str> {
+    let mut ranked: Vec<(u64, &str)> = members.iter().map(|m| (weight(m, key), *m)).collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+    ranked.dedup_by(|a, b| a.1 == b.1);
+    ranked.into_iter().map(|(_, m)| m).collect()
+}
+
+/// The key's home member, if any members exist.
+pub fn pick<'a>(members: &[&'a str], key: u64) -> Option<&'a str> {
+    members
+        .iter()
+        .copied()
+        .map(|m| (weight(m, key), m))
+        .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(a.1)))
+        .map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEMBERS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+
+    #[test]
+    fn pick_agrees_with_rank_and_is_order_independent() {
+        for key in 0..200u64 {
+            let ranked = rank(&MEMBERS, key);
+            assert_eq!(ranked.len(), MEMBERS.len());
+            assert_eq!(pick(&MEMBERS, key), ranked.first().copied());
+            let mut shuffled = MEMBERS;
+            shuffled.reverse();
+            assert_eq!(rank(&shuffled, key), ranked, "ranking is a set property");
+        }
+    }
+
+    #[test]
+    fn duplicate_members_collapse() {
+        let dup = ["r1", "r0", "r1", "r0"];
+        for key in 0..50u64 {
+            let ranked = rank(&dup, key);
+            assert_eq!(ranked.len(), 2, "{ranked:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_remaps_its_own_keys() {
+        let survivors: Vec<&str> = MEMBERS[..3].to_vec(); // drop r3
+        for key in 0..500u64 {
+            let before = pick(&MEMBERS, key).unwrap();
+            let after = pick(&survivors, key).unwrap();
+            if before == "r3" {
+                // Orphaned keys fall through to their second choice.
+                assert_eq!(after, rank(&MEMBERS, key)[1]);
+            } else {
+                assert_eq!(after, before, "key {key} moved without cause");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_membership_has_no_home() {
+        assert_eq!(pick(&[], 7), None);
+        assert!(rank(&[], 7).is_empty());
+    }
+}

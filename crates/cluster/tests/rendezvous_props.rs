@@ -1,0 +1,104 @@
+//! Property tests of the rendezvous-hashing invariants, on the in-tree
+//! proptest stand-in (deterministic xoshiro streams — no persistence,
+//! reproducible seeds). These run in the default test lane: they are
+//! fast, socket-free and fully deterministic.
+
+use cluster::rendezvous::{pick, rank, weight};
+use proptest::prelude::*;
+
+/// The fixed 4-member set the distribution property measures against.
+const MEMBERS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Removing one replica only remaps the keys that lived on it;
+    /// every other key keeps its placement (minimal-disruption, the
+    /// property that keeps warm caches warm through a failover).
+    #[test]
+    fn removing_one_member_only_remaps_its_keys(
+        key in 0u64..u64::MAX,
+        removed in 0usize..4,
+    ) {
+        let survivors: Vec<&str> = MEMBERS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, m)| *m)
+            .collect();
+        let before = pick(&MEMBERS, key).unwrap();
+        let after = pick(&survivors, key).unwrap();
+        if before == MEMBERS[removed] {
+            // Orphaned keys fall through to exactly their second choice.
+            prop_assert_eq!(after, rank(&MEMBERS, key)[1]);
+        } else {
+            prop_assert_eq!(after, before);
+        }
+    }
+
+    /// The ranking is a function of the membership *set*: any input
+    /// permutation produces the identical ranking.
+    #[test]
+    fn ranking_is_order_independent(
+        key in 0u64..u64::MAX,
+        swap_a in 0usize..4,
+        swap_b in 0usize..4,
+    ) {
+        let mut permuted = MEMBERS;
+        permuted.swap(swap_a, swap_b);
+        permuted.reverse();
+        prop_assert_eq!(rank(&permuted, key), rank(&MEMBERS, key));
+        prop_assert_eq!(pick(&permuted, key), pick(&MEMBERS, key));
+    }
+
+    /// Weights depend on both inputs: the same key never hashes two
+    /// distinct members to the same weight in practice (the tie-break
+    /// exists for paranoia, not for load).
+    #[test]
+    fn weights_are_pairwise_distinct(key in 0u64..u64::MAX) {
+        let mut weights: Vec<u64> = MEMBERS.iter().map(|m| weight(m, key)).collect();
+        weights.sort_unstable();
+        weights.dedup();
+        prop_assert_eq!(weights.len(), MEMBERS.len());
+    }
+}
+
+/// 10k sequential keys spread across 4 members within 2× of uniform —
+/// a fixed-corpus check rather than a random property, so the bound is
+/// exact and the failure (if the mixer ever regresses) names real
+/// counts.
+#[test]
+fn distribution_is_within_2x_of_uniform_over_10k_keys() {
+    let mut counts = [0usize; 4];
+    for key in 0..10_000u64 {
+        let home = pick(&MEMBERS, key).unwrap();
+        let slot = MEMBERS.iter().position(|m| *m == home).unwrap();
+        counts[slot] += 1;
+    }
+    let uniform = 10_000.0 / 4.0;
+    for (member, &count) in MEMBERS.iter().zip(&counts) {
+        assert!(
+            (count as f64) < 2.0 * uniform && (count as f64) > uniform / 2.0,
+            "{member} got {count} of 10000 (uniform {uniform}); distribution skewed: {counts:?}"
+        );
+    }
+}
+
+/// Hashed (not sequential) keys — the shape real cache keys have —
+/// spread within the same bound.
+#[test]
+fn distribution_holds_for_hashed_keys_too() {
+    let mut counts = [0usize; 4];
+    for i in 0..10_000u64 {
+        let key = runtime::fnv1a64(format!("montecarlo/scale=1/trials={i}").as_bytes());
+        let slot = MEMBERS.iter().position(|m| *m == pick(&MEMBERS, key).unwrap()).unwrap();
+        counts[slot] += 1;
+    }
+    let uniform = 10_000.0 / 4.0;
+    for &count in &counts {
+        assert!(
+            (count as f64) < 2.0 * uniform && (count as f64) > uniform / 2.0,
+            "skewed: {counts:?}"
+        );
+    }
+}

@@ -68,6 +68,86 @@ pub fn prometheus_text() -> String {
     render_prometheus(&snapshot())
 }
 
+/// Merges several per-replica expositions (as produced by
+/// [`render_prometheus`] / [`prometheus_text`]) into one, tagging every
+/// sample with a `replica="<name>"` label in the first position.
+///
+/// Families keep the order of their first appearance across `parts`
+/// (all renderer outputs share one order, so this is the renderer's
+/// order); within a family, samples appear in the order `parts` were
+/// given. The output is a pure function of the inputs — byte-stable
+/// under replica count: a replica's lines are identical whether it is
+/// merged alone or alongside others. The cluster front proxy serves
+/// this as its `metrics_v2`.
+pub fn merge_prometheus(parts: &[(&str, &str)]) -> String {
+    // Family name → (# HELP line, # TYPE line), discovered in order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut headers: Vec<(&str, &str, &str)> = Vec::new(); // (family, help, type)
+    // Per part: (replica name, per-family sample lines).
+    let mut parsed: Vec<(&str, Vec<(&str, &str)>)> = Vec::new();
+
+    for (replica, text) in parts {
+        let mut samples: Vec<(&str, &str)> = Vec::new();
+        let mut pending_help: Option<(&str, &str)> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let family = rest.split(' ').next().unwrap_or("");
+                pending_help = Some((family, line));
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let family = rest.split(' ').next().unwrap_or("");
+                if !order.contains(&family) {
+                    order.push(family);
+                    let help = match pending_help {
+                        Some((f, h)) if f == family => h,
+                        _ => "",
+                    };
+                    headers.push((family, help, line));
+                }
+                pending_help = None;
+            } else if !line.is_empty() {
+                let family = line.split(['{', ' ']).next().unwrap_or(line);
+                samples.push((family, line));
+            }
+        }
+        parsed.push((replica, samples));
+    }
+
+    let mut out = String::new();
+    for family in &order {
+        if let Some((_, help, ty)) = headers.iter().find(|(f, _, _)| f == family) {
+            if !help.is_empty() {
+                out.push_str(help);
+                out.push('\n');
+            }
+            out.push_str(ty);
+            out.push('\n');
+        }
+        for (replica, samples) in &parsed {
+            for (f, line) in samples {
+                if f == family {
+                    out.push_str(&label_sample(line, replica));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Injects `replica="<name>"` as the first label of one sample line.
+fn label_sample(line: &str, replica: &str) -> String {
+    match line.find('{') {
+        Some(i) if line[i + 1..].starts_with('}') => {
+            format!("{}{{replica=\"{replica}\"{}", &line[..i], &line[i + 1..])
+        }
+        Some(i) => format!("{}{{replica=\"{replica}\",{}", &line[..i], &line[i + 1..]),
+        None => match line.find(' ') {
+            Some(i) => format!("{}{{replica=\"{replica}\"}}{}", &line[..i], &line[i..]),
+            None => line.to_string(),
+        },
+    }
+}
+
 /// Nanoseconds as decimal seconds, exactly (`12345` → `"0.000012345"`).
 /// Integer formatting keeps the exposition bit-stable across platforms.
 fn seconds(nanos: u64) -> String {
@@ -116,6 +196,60 @@ mod tests {
             text.matches("# TYPE implant_obs_stage_duration_seconds summary").count(),
             1
         );
+    }
+
+    #[test]
+    fn label_sample_injects_the_replica_label_first() {
+        assert_eq!(
+            label_sample("m{stage=\"a\"} 3", "r0"),
+            "m{replica=\"r0\",stage=\"a\"} 3"
+        );
+        assert_eq!(label_sample("m 3", "r1"), "m{replica=\"r1\"} 3");
+        assert_eq!(label_sample("m{} 3", "r2"), "m{replica=\"r2\"} 3");
+    }
+
+    #[test]
+    fn merge_keeps_families_contiguous_and_parts_ordered() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(Duration::from_micros(10));
+        let stages = vec![StageSnapshot {
+            name: "server.execute",
+            count: 1,
+            total: Duration::from_micros(10),
+            hist,
+        }];
+        let text = render_prometheus(&stages);
+        let merged = merge_prometheus(&[("r0", &text), ("r1", &text)]);
+        // Every # TYPE header appears exactly once.
+        assert_eq!(merged.matches("# TYPE implant_obs_stage_count counter").count(), 1);
+        assert_eq!(
+            merged.matches("# TYPE implant_obs_stage_duration_seconds summary").count(),
+            1
+        );
+        // Both replicas appear, r0 before r1 within each family.
+        let r0 = merged.find("implant_obs_stage_count{replica=\"r0\",stage=\"server.execute\"}");
+        let r1 = merged.find("implant_obs_stage_count{replica=\"r1\",stage=\"server.execute\"}");
+        assert!(r0.unwrap() < r1.unwrap(), "{merged}");
+    }
+
+    #[test]
+    fn merge_is_byte_stable_under_replica_count() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(Duration::from_micros(20));
+        let stages = vec![StageSnapshot {
+            name: "cluster.route",
+            count: 2,
+            total: Duration::from_micros(20),
+            hist,
+        }];
+        let text = render_prometheus(&stages);
+        let solo = merge_prometheus(&[("r0", &text)]);
+        let duo = merge_prometheus(&[("r0", &text), ("r1", &text)]);
+        // Every r0 line of the solo merge appears verbatim in the duo
+        // merge — adding replicas never rewrites existing lines.
+        for line in solo.lines().filter(|l| !l.starts_with('#')) {
+            assert!(duo.contains(line), "line {line:?} must survive the wider merge");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod hist;
 pub mod registry;
 pub mod span;
 
-pub use expo::{prometheus_text, render_prometheus};
+pub use expo::{merge_prometheus, prometheus_text, render_prometheus};
 pub use hist::LatencyHistogram;
 pub use registry::{reset, snapshot, StageSnapshot};
 pub use span::{current_stack, enabled, env_enables, set_enabled, SpanGuard, Stage};

@@ -9,7 +9,7 @@
 //! OBS_BLESS=1 cargo test -p implant-obs --test expo_golden
 //! ```
 
-use obs::{render_prometheus, LatencyHistogram, StageSnapshot};
+use obs::{merge_prometheus, render_prometheus, LatencyHistogram, StageSnapshot};
 use std::time::Duration;
 
 /// A deterministic snapshot exercising every renderer branch: a pure
@@ -60,6 +60,72 @@ fn metrics_v2_exposition_matches_golden() {
         "metrics_v2 exposition drifted from tests/goldens/metrics_v2.txt; \
          if intentional, regenerate with OBS_BLESS=1"
     );
+}
+
+/// A second replica's snapshot for the labeled merge: overlapping and
+/// disjoint stages, so the golden pins both the per-family interleaving
+/// and the handling of stages only one replica recorded.
+fn second_replica_snapshot() -> Vec<StageSnapshot> {
+    let mut execute = LatencyHistogram::new();
+    for us in [1_000u64, 2_500, 40_000] {
+        execute.record(Duration::from_micros(us));
+    }
+    let mut route = LatencyHistogram::new();
+    route.record(Duration::from_micros(15));
+    vec![
+        StageSnapshot {
+            name: "cluster.route",
+            count: 1,
+            total: Duration::from_micros(15),
+            hist: route,
+        },
+        StageSnapshot {
+            name: "server.execute",
+            count: 3,
+            total: Duration::from_micros(43_500),
+            hist: execute,
+        },
+    ]
+}
+
+#[test]
+fn labeled_merge_exposition_matches_golden() {
+    let r0 = render_prometheus(&synthetic_snapshot());
+    let r1 = render_prometheus(&second_replica_snapshot());
+    let merged = merge_prometheus(&[("r0", &r0), ("r1", &r1)]);
+    let golden_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/metrics_v2_merged.txt");
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::write(golden_path, &merged).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    assert_eq!(
+        merged, golden,
+        "labeled merge drifted from tests/goldens/metrics_v2_merged.txt; \
+         if intentional, regenerate with OBS_BLESS=1"
+    );
+}
+
+#[test]
+fn labeled_merge_is_byte_stable_under_replica_count() {
+    // The merge must not rewrite a replica's lines when the set grows:
+    // every non-header r0 line of a 1-replica merge appears verbatim in
+    // the 2-replica merge, and families stay contiguous.
+    let r0 = render_prometheus(&synthetic_snapshot());
+    let r1 = render_prometheus(&second_replica_snapshot());
+    let solo = merge_prometheus(&[("r0", &r0)]);
+    let duo = merge_prometheus(&[("r0", &r0), ("r1", &r1)]);
+    for line in solo.lines().filter(|l| !l.starts_with('#')) {
+        assert!(duo.contains(line), "{line:?} must survive adding a replica");
+    }
+    for header in [
+        "# TYPE implant_obs_stage_count counter",
+        "# TYPE implant_obs_stage_duration_seconds_total counter",
+        "# TYPE implant_obs_stage_duration_seconds summary",
+    ] {
+        assert_eq!(duo.matches(header).count(), 1, "{header} must appear once");
+    }
 }
 
 #[test]

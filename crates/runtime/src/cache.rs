@@ -29,6 +29,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The cache key of `point` within `namespace` — the same key every
+/// [`ResultCache`] uses, exposed as a free function so layers that hold
+/// no cache (e.g. a sharding router placing requests on the replica
+/// whose cache is already warm) can compute placement from it.
+pub fn cache_key(namespace: &str, point: &ParamPoint) -> u64 {
+    fnv1a64(format!("{namespace}\u{1f}{}", point.canonical()).as_bytes())
+}
+
 /// A value the cache can persist to disk as JSON.
 ///
 /// Implementations must round-trip exactly: `from_json(&v.to_json())`
@@ -180,9 +188,9 @@ impl<V: Artifact + Clone> ResultCache<V> {
         }
     }
 
-    /// The cache key of `point` within `namespace`.
+    /// The cache key of `point` within `namespace` (see [`cache_key`]).
     pub fn key(namespace: &str, point: &ParamPoint) -> u64 {
-        fnv1a64(format!("{namespace}\u{1f}{}", point.canonical()).as_bytes())
+        cache_key(namespace, point)
     }
 
     /// Looks up a point; counts a hit or a miss.
@@ -292,6 +300,18 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn free_cache_key_matches_the_cache_own_key() {
+        let p = ParamPoint::new().with("scale", 1.0).with("trials", 200u64);
+        assert_eq!(cache_key("ns", &p), ResultCache::<f64>::key("ns", &p));
+        // Namespace and point both contribute.
+        assert_ne!(cache_key("ns", &p), cache_key("other", &p));
+        assert_ne!(
+            cache_key("ns", &p),
+            cache_key("ns", &ParamPoint::new().with("scale", 2.0).with("trials", 200u64)),
+        );
     }
 
     #[test]

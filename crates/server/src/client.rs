@@ -139,6 +139,33 @@ impl Client {
         Client::from_stream(stream)
     }
 
+    /// Connects with a bound on how long the TCP connect itself may
+    /// block. `addr` may resolve to several addresses; each is tried
+    /// with the full `timeout` until one answers.
+    ///
+    /// # Errors
+    ///
+    /// The last socket error, or `TimedOut` when resolution yields no
+    /// address at all.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut last_err: Option<io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "no address to connect to")
+        }))
+    }
+
+    /// Starts a [`ClientBuilder`] for connections that need socket
+    /// tuning (connect/read timeouts) before the first request.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
     /// Wraps an already-connected stream (tests use this to pre-tune
     /// socket options).
     ///
@@ -280,6 +307,55 @@ impl Client {
     }
 }
 
+/// Builds a [`Client`] with socket options applied before the first
+/// byte moves — the one place resilient callers (the cluster client,
+/// probers) set both bounds:
+///
+/// ```no_run
+/// use server::client::Client;
+/// use std::time::Duration;
+///
+/// let client = Client::builder()
+///     .connect_timeout(Duration::from_millis(200))
+///     .read_timeout(Duration::from_millis(500))
+///     .connect("127.0.0.1:9900")
+///     .unwrap();
+/// # drop(client);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClientBuilder {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+}
+
+impl ClientBuilder {
+    /// Bounds the TCP connect (`None`/unset = the OS default).
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds every response read (`None`/unset = block forever).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Connects with the configured bounds.
+    ///
+    /// # Errors
+    ///
+    /// The socket error from connect or option application.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut client = match self.connect_timeout {
+            Some(t) => Client::connect_timeout(addr, t)?,
+            None => Client::connect(addr)?,
+        };
+        client.set_read_timeout(self.read_timeout)?;
+        Ok(client)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +412,41 @@ mod tests {
         client.shutdown().unwrap();
         drop(client);
         handle.join();
+    }
+
+    #[test]
+    fn builder_applies_timeouts_and_still_round_trips() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        let mut client = Client::builder()
+            .connect_timeout(Duration::from_millis(500))
+            .read_timeout(Duration::from_secs(5))
+            .connect(handle.addr())
+            .unwrap();
+        assert!(client.health_ok());
+        client.shutdown().unwrap();
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn connect_timeout_fails_fast_on_a_dead_port() {
+        // Bind-then-drop reserves a port nobody is listening on; the
+        // bounded connect must fail quickly either way (refused on
+        // loopback, timed out behind a black-holing filter).
+        let dead = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap()
+        };
+        let started = std::time::Instant::now();
+        let err = match Client::connect_timeout(dead, Duration::from_millis(250)) {
+            Err(e) => e,
+            Ok(_) => panic!("connect to a dead port must fail"),
+        };
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "bounded connect took {:?} ({err})",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -38,18 +38,30 @@ pub const MAX_LINE: usize = 64 * 1024;
 /// no parseable endpoint of their own).
 pub const MALFORMED: &str = "_malformed";
 
+/// Pseudo-endpoint name idle-timeout closes are accounted under.
+pub const IDLE: &str = "_idle";
+
 /// One bounded read: a complete line, an oversized line (consumed up to
 /// its newline so the stream stays framed), or end-of-stream.
-enum LineRead {
+pub enum LineRead {
+    /// A complete line (newline stripped).
     Line(Vec<u8>),
+    /// The line exceeded [`MAX_LINE`]; it was drained, not buffered.
     TooLong,
+    /// End of stream.
     Eof,
 }
 
 /// Reads up to the next `\n`, refusing to buffer more than [`MAX_LINE`]
 /// bytes. An oversized line is drained (discarded) through its newline,
-/// so the connection can keep serving subsequent requests.
-fn read_bounded_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
+/// so the connection can keep serving subsequent requests. Public so
+/// other line-protocol frontends (the cluster proxy) share the bound.
+///
+/// # Errors
+///
+/// Propagates the underlying read error (including timeouts when the
+/// stream carries one).
+pub fn read_bounded_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
     let mut line = Vec::new();
     let mut overflowed = false;
     loop {
@@ -83,8 +95,14 @@ fn read_bounded_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
 }
 
 /// Serves one connection until the peer closes it (or a write fails,
-/// which means the peer is gone).
+/// which means the peer is gone). With an idle timeout configured, a
+/// connection that sits quiet past it is told so — one unsolicited
+/// `idle_timeout` error line (id 0, there is no request to correlate) —
+/// and closed.
 pub fn serve(stream: TcpStream, shared: Arc<Shared>) {
+    if stream.set_read_timeout(shared.idle_timeout).is_err() {
+        return;
+    }
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -109,7 +127,23 @@ pub fn serve(stream: TcpStream, shared: Arc<Shared>) {
                 }
                 continue;
             }
-            Ok(LineRead::Eof) | Err(_) => return,
+            Ok(LineRead::Eof) => return,
+            // A read timeout surfaces as WouldBlock (Unix) or TimedOut
+            // (Windows); only possible when the idle timeout is armed.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                shared.metrics.record_error(IDLE, ErrorCode::IdleTimeout);
+                let timeout = shared.idle_timeout.unwrap_or_default();
+                let _ = respond(
+                    &mut writer,
+                    &err_response(
+                        0,
+                        ErrorCode::IdleTimeout,
+                        &format!("connection idle for {} ms; closing", timeout.as_millis()),
+                    ),
+                );
+                return;
+            }
+            Err(_) => return,
         };
         if line.iter().all(u8::is_ascii_whitespace) {
             continue; // blank keep-alive lines are free

@@ -95,6 +95,11 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Upper bound accepted for the `montecarlo` endpoint's `trials`.
     pub mc_trial_cap: u64,
+    /// Close a connection after this long with no request on it,
+    /// milliseconds; `0` (the default) disables the timeout. A timed-out
+    /// peer gets a final structured `idle_timeout` error line before the
+    /// close, so it can tell housekeeping from a network failure.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +112,7 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             default_deadline_ms: 30_000,
             mc_trial_cap: 100_000,
+            idle_timeout_ms: 0,
         }
     }
 }
@@ -137,6 +143,8 @@ pub struct Shared {
     pub metrics: ServerMetrics,
     /// Default deadline for requests that specify none.
     pub default_deadline_ms: u64,
+    /// Idle-connection timeout; `None` = never time out.
+    pub idle_timeout: Option<std::time::Duration>,
     draining: AtomicBool,
     local_addr: SocketAddr,
 }
@@ -178,6 +186,8 @@ impl Server {
             router: Router::new(config.pool_workers, config.cache_capacity, config.mc_trial_cap),
             metrics: ServerMetrics::new(),
             default_deadline_ms: config.default_deadline_ms,
+            idle_timeout: (config.idle_timeout_ms > 0)
+                .then(|| std::time::Duration::from_millis(config.idle_timeout_ms)),
             draining: AtomicBool::new(false),
             local_addr,
         });
@@ -460,6 +470,42 @@ mod tests {
         );
         let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
         assert_eq!(code, Some("shutting_down"));
+        drop(conn);
+        handle.join();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_with_a_structured_error() {
+        let config = ServerConfig { idle_timeout_ms: 60, ..ServerConfig::default() };
+        let handle = Server::spawn(config).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        // Activity resets the clock: a request inside the window works.
+        let health = request(&mut conn, &mut reader, r#"{"id":1,"endpoint":"health"}"#);
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        // Then go quiet past the timeout: one unsolicited error line…
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let doc = Json::parse(line.trim_end()).expect("the close is announced in-protocol");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let code = doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+        assert_eq!(code, Some("idle_timeout"));
+        // …then EOF.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection is closed");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn idle_timeout_defaults_off() {
+        let handle = Server::spawn(ServerConfig::default()).unwrap();
+        assert!(handle.shared().idle_timeout.is_none());
+        let (mut conn, mut reader) = connect(&handle);
+        // Well past the other test's window, the connection still serves.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let health = request(&mut conn, &mut reader, r#"{"id":1,"endpoint":"health"}"#);
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown();
         drop(conn);
         handle.join();
     }

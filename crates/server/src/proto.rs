@@ -70,6 +70,10 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The connection sat idle past the server's idle timeout and was
+    /// closed. Sent as a final unsolicited line (id 0) so clients can
+    /// tell an administrative close from a network failure.
+    IdleTimeout,
     /// The handler failed (simulation error or isolated panic).
     Internal,
 }
@@ -83,6 +87,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::IdleTimeout => "idle_timeout",
             ErrorCode::Internal => "internal",
         }
     }
@@ -461,6 +466,80 @@ impl RequestBody {
         }
     }
 
+    /// The routing identity of a data-plane body: a cache namespace
+    /// plus a canonical [`ParamPoint`], hashable with
+    /// [`runtime::cache_key`] for shard placement. Control bodies have
+    /// no routing identity (`None`) — a cluster answers them anywhere.
+    ///
+    /// For `montecarlo` the pair is *exactly* the server's result-cache
+    /// identity (namespace `server-montecarlo`; the seed defaulted the
+    /// same way the router defaults it), so identical studies land on
+    /// the replica that already holds the cached report. The other
+    /// endpoints return their full request identity: deterministic
+    /// placement, and repeated requests colocate with any per-point
+    /// cache entries they populated.
+    pub fn route_point(&self) -> Option<(&'static str, runtime::ParamPoint)> {
+        use runtime::ParamPoint;
+        match self {
+            RequestBody::Health
+            | RequestBody::Metrics
+            | RequestBody::MetricsV2
+            | RequestBody::Shutdown => None,
+            RequestBody::Fig11(p) => {
+                let preset = match p.preset {
+                    Fig11Preset::Short => "short",
+                    Fig11Preset::Paper => "paper",
+                };
+                let mut point = ParamPoint::new().with("preset", preset);
+                if let Some(v) = p.idle_amplitude {
+                    point = point.with("idle_amplitude", v);
+                }
+                if let Some(v) = p.r_source {
+                    point = point.with("r_source", v);
+                }
+                if let Some(v) = p.r_load {
+                    point = point.with("r_load", v);
+                }
+                if let Some(v) = p.t_stop_us {
+                    point = point.with("t_stop_us", v);
+                }
+                if let Some(v) = p.max_step_ns {
+                    point = point.with("max_step_ns", v);
+                }
+                Some(("server-fig11", point))
+            }
+            RequestBody::Fullchain(p) => {
+                let mut point = ParamPoint::new()
+                    .with("distance_mm", p.distance_mm)
+                    .with("cycles", p.cycles);
+                if let Some(v) = p.r_load {
+                    point = point.with("r_load", v);
+                }
+                Some(("server-fullchain", point))
+            }
+            RequestBody::Montecarlo(p) => {
+                let seed = p
+                    .seed
+                    .unwrap_or(implant_core::montecarlo::MonteCarloStudy::ironic().seed);
+                Some((
+                    "server-montecarlo",
+                    ParamPoint::new()
+                        .with("scale", p.scale)
+                        .with("trials", p.trials)
+                        .with("seed", seed),
+                ))
+            }
+            RequestBody::Sweep(p) => Some((
+                "server-sweep",
+                ParamPoint::new()
+                    .with("medium", p.medium.as_str())
+                    .with("d_min_mm", p.d_min_mm)
+                    .with("d_max_mm", p.d_max_mm)
+                    .with("steps", p.steps),
+            )),
+        }
+    }
+
     /// True for control-plane bodies (answered inline, never queued).
     pub fn is_control(&self) -> bool {
         matches!(
@@ -802,6 +881,74 @@ mod tests {
         let line = err_response(3, ErrorCode::Internal, "boom");
         let doc = Json::parse(&line).unwrap();
         assert_eq!(doc.get("error").unwrap().get("field"), None, "no field key when unknown");
+    }
+
+    #[test]
+    fn route_points_exist_exactly_for_the_data_plane() {
+        let limits = DecodeLimits::default();
+        for name in DATA_ENDPOINTS {
+            let body = RequestBody::decode(name, &Json::Obj(Vec::new()), &limits).unwrap();
+            let (ns, _) = body.route_point().expect("data bodies have a routing identity");
+            assert_eq!(ns, format!("server-{name}"), "{name}");
+        }
+        for name in CONTROL_ENDPOINTS {
+            let body = RequestBody::decode(name, &Json::Obj(Vec::new()), &limits).unwrap();
+            assert!(body.route_point().is_none(), "{name} must not route by key");
+        }
+    }
+
+    #[test]
+    fn montecarlo_route_point_defaults_the_seed_like_the_router() {
+        // An absent seed and the explicit default seed must colocate:
+        // both resolve to the same cache identity the router uses.
+        let default_seed = implant_core::montecarlo::MonteCarloStudy::ironic().seed;
+        let absent = RequestBody::Montecarlo(MontecarloParams { scale: 1.0, trials: 50, seed: None });
+        let explicit = RequestBody::Montecarlo(MontecarloParams {
+            scale: 1.0,
+            trials: 50,
+            seed: Some(default_seed),
+        });
+        let (ns_a, pt_a) = absent.route_point().unwrap();
+        let (ns_b, pt_b) = explicit.route_point().unwrap();
+        assert_eq!(runtime::cache_key(ns_a, &pt_a), runtime::cache_key(ns_b, &pt_b));
+        // And a different seed must not.
+        let other = RequestBody::Montecarlo(MontecarloParams {
+            scale: 1.0,
+            trials: 50,
+            seed: Some(default_seed ^ 1),
+        });
+        let (ns_c, pt_c) = other.route_point().unwrap();
+        assert_ne!(runtime::cache_key(ns_a, &pt_a), runtime::cache_key(ns_c, &pt_c));
+    }
+
+    #[test]
+    fn route_points_are_canonical_request_identities() {
+        let limits = DecodeLimits::default();
+        let a = TypedRequest::decode_line(
+            r#"{"v":2,"endpoint":"sweep","params":{"steps":4,"d_min_mm":2}}"#,
+            &limits,
+        )
+        .unwrap();
+        let b = TypedRequest::decode_line(
+            r#"{"v":2,"id":99,"endpoint":"sweep","params":{"d_min_mm":2,"steps":4}}"#,
+            &limits,
+        )
+        .unwrap();
+        // Field order and envelope fields don't change the identity…
+        assert_eq!(
+            a.body.route_point().unwrap().1.canonical(),
+            b.body.route_point().unwrap().1.canonical()
+        );
+        // …but any parameter does.
+        let c = TypedRequest::decode_line(
+            r#"{"v":2,"endpoint":"sweep","params":{"steps":5,"d_min_mm":2}}"#,
+            &limits,
+        )
+        .unwrap();
+        assert_ne!(
+            a.body.route_point().unwrap().1.canonical(),
+            c.body.route_point().unwrap().1.canonical()
+        );
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The replica-kill campaign: a cluster under steady load loses a
+//! replica mid-flight and must answer every in-deadline request anyway,
+//! with placement locality intact on the survivors.
+//!
+//! Runs at whatever `IMPLANT_WORKERS` says (the per-replica simulation
+//! pool width) — the contract is identical at 1 and 8 workers.
+
+use cluster::{ClusterClient, HealthState, ProbeConfig, ReplicaSet, RetryPolicy};
+use runtime::Json;
+use server::ServerConfig;
+use std::time::Duration;
+use testkit::workers_from_env;
+
+fn replica_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        pool_workers: workers_from_env(),
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    }
+}
+
+fn fast_probe() -> ProbeConfig {
+    ProbeConfig {
+        interval: Duration::from_millis(5),
+        fall_threshold: 2,
+        rise_threshold: 1,
+        probe_timeout: Duration::from_millis(250),
+    }
+}
+
+fn mc_params(seed: u64) -> Json {
+    Json::parse(&format!(r#"{{"trials": 40, "seed": {seed}}}"#)).unwrap()
+}
+
+/// Kill one of three replicas mid-campaign: zero in-deadline requests
+/// lost, failovers observed, and the killed member walked down.
+#[test]
+fn killing_a_replica_loses_no_in_deadline_requests() {
+    let set = ReplicaSet::spawn_local(3, &replica_config(), fast_probe()).unwrap();
+    assert!(set.await_converged(Duration::from_secs(10)), "initial probes converge");
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let budget = Some(Duration::from_secs(20));
+
+    // Phase 1: steady load; learn each key's home.
+    let mut homed_on_victim = 0usize;
+    let mut homes = Vec::new();
+    for seed in 0..24u64 {
+        let routed = client.request_routed("montecarlo", mc_params(seed), budget).unwrap();
+        assert!(routed.response.is_ok(), "warmup seed {seed} failed");
+        homes.push((seed, routed.replica));
+    }
+    let victim = homes[0].1.clone();
+
+    // Phase 2: kill it, then keep the load coming without waiting for
+    // the prober — the client's failover must absorb the corpse.
+    assert!(set.kill(&victim), "local replicas are killable");
+    for (seed, home) in &homes {
+        if home == &victim {
+            homed_on_victim += 1;
+        }
+        let routed = client.request_routed("montecarlo", mc_params(*seed), budget).unwrap();
+        assert!(routed.response.is_ok(), "seed {seed} lost after the kill");
+        assert_ne!(routed.replica, victim, "a drained replica answered");
+    }
+    assert!(homed_on_victim >= 1, "24 keys over 3 replicas never land on {victim}?");
+
+    let stats = client.stats();
+    assert_eq!(stats.routed, 48, "every request got an answer");
+    assert!(
+        stats.failovers as usize >= homed_on_victim.min(1),
+        "orphaned keys must fail over: {stats:?}"
+    );
+
+    // Phase 3: the prober walks the corpse down; survivors keep serving
+    // and the orphans' new placement is stable.
+    assert!(set.await_state(&victim, HealthState::Down, Duration::from_secs(10)));
+    for (seed, home) in homes.iter().filter(|(_, h)| h == &victim).take(3) {
+        let a = client.request_routed("montecarlo", mc_params(*seed), budget).unwrap();
+        let b = client.request_routed("montecarlo", mc_params(*seed), budget).unwrap();
+        assert!(a.response.is_ok() && b.response.is_ok());
+        assert_eq!(a.replica, b.replica, "orphan of {home} must re-home deterministically");
+    }
+    set.shutdown();
+}
+
+/// Warm-cache locality: repeated identical requests land on one replica
+/// and hit its result cache; distinct keys spread over the membership.
+#[test]
+fn placement_keeps_result_caches_warm() {
+    let set = ReplicaSet::spawn_local(2, &replica_config(), fast_probe()).unwrap();
+    assert!(set.await_converged(Duration::from_secs(10)));
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+
+    let first = client.request_routed("montecarlo", mc_params(7), None).unwrap();
+    assert_eq!(
+        first.response.result().and_then(|r| r.get("cached")),
+        Some(&Json::Bool(false)),
+        "cold cache computes"
+    );
+    for _ in 0..3 {
+        let again = client.request_routed("montecarlo", mc_params(7), None).unwrap();
+        assert_eq!(again.replica, first.replica, "identical requests stay put");
+        assert_eq!(
+            again.response.result().and_then(|r| r.get("cached")),
+            Some(&Json::Bool(true)),
+            "the home replica's cache is warm"
+        );
+    }
+
+    // 16 distinct keys: both replicas see traffic, and the split is the
+    // same function of the keys every run (placement is deterministic).
+    let mut split = std::collections::BTreeMap::<String, usize>::new();
+    for seed in 100..116u64 {
+        let routed = client.request_routed("montecarlo", mc_params(seed), None).unwrap();
+        *split.entry(routed.replica).or_default() += 1;
+    }
+    assert_eq!(split.values().sum::<usize>(), 16);
+    assert_eq!(split.len(), 2, "16 keys must reach both replicas: {split:?}");
+    set.shutdown();
+}

@@ -3,13 +3,13 @@
 # microbenchmarks with profiling enabled, writes machine-readable
 # artifacts, and validates them.
 #
-#   scripts/bench.sh           # full run: BENCH_serve.json + BENCH_kernels.json
+#   scripts/bench.sh           # full run: BENCH_serve + BENCH_kernels + BENCH_cluster
 #   scripts/bench.sh --smoke   # small sizes, same artifacts — the CI lane
 #
 # Artifacts land in the repo root (override with BENCH_DIR). Each file
-# declares its schema (`implant-bench-serve/1`, `implant-bench-kernels/1`)
-# and is checked by `bench_validate`: missing fields, empty stage
-# breakdowns, or non-finite numbers fail the run.
+# declares its schema (`implant-bench-serve/1`, `implant-bench-kernels/1`,
+# `implant-bench-cluster/1`) and is checked by `bench_validate`: missing
+# fields, empty stage breakdowns, or non-finite numbers fail the run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,12 +22,15 @@ export IMPLANT_OBS=1
 BENCH_DIR="${BENCH_DIR:-.}"
 SERVE_JSON="$BENCH_DIR/BENCH_serve.json"
 KERNELS_JSON="$BENCH_DIR/BENCH_kernels.json"
+CLUSTER_JSON="$BENCH_DIR/BENCH_cluster.json"
 
 SERVE_ARGS=(--connections 4 --requests 25 --mc-trials 200)
 KERNEL_ARGS=()
+CLUSTER_ARGS=(--connections 4 --requests 30 --mc-trials 150)
 if [[ "${1:-}" == "--smoke" ]]; then
     SERVE_ARGS=(--connections 2 --requests 8 --mc-trials 50)
     KERNEL_ARGS=(--smoke)
+    CLUSTER_ARGS=(--smoke)
 fi
 
 echo "==> building benchmark binaries"
@@ -39,7 +42,10 @@ echo "==> serving benchmark -> $SERVE_JSON"
 echo "==> kernel benchmark -> $KERNELS_JSON"
 ./target/release/bench_kernels "${KERNEL_ARGS[@]}" --profile --json "$KERNELS_JSON"
 
-echo "==> validating artifacts"
-./target/release/bench_validate "$SERVE_JSON" "$KERNELS_JSON"
+echo "==> cluster benchmark -> $CLUSTER_JSON"
+./target/release/bench_cluster "${CLUSTER_ARGS[@]}" --json "$CLUSTER_JSON"
 
-echo "bench: OK ($SERVE_JSON, $KERNELS_JSON)"
+echo "==> validating artifacts"
+./target/release/bench_validate "$SERVE_JSON" "$KERNELS_JSON" "$CLUSTER_JSON"
+
+echo "bench: OK ($SERVE_JSON, $KERNELS_JSON, $CLUSTER_JSON)"

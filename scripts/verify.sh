@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 570+ tests; a sharp drop means suites
+# The workspace currently runs 600+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=560
+MIN_TESTS=600
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -49,6 +49,12 @@ echo "==> [gate] $passed tests passed (minimum $MIN_TESTS)"
 # with a structured `overloaded` error, graceful shutdown drains). A
 # non-zero exit fails the gate.
 lane serve ./target/release/bench_serve --connections 4 --requests 12 --mc-trials 100
+
+# Cluster smoke lane: bench_cluster spawns replica sets, probes health
+# to convergence, kills one replica of three under load, and asserts
+# zero lost in-deadline requests (the N=2 throughput check is enforced
+# only on multi-core hosts). A non-zero exit fails the gate.
+lane cluster ./target/release/bench_cluster --smoke
 
 # Testkit lane: the fault-injection campaign must be bit-identical
 # whatever the worker count, so run the conformance suite at both ends
