@@ -1,0 +1,169 @@
+//! S4 — scenario-composer latency benchmark.
+//!
+//! Times the two scenario kernels the `patientday` and `cohort`
+//! endpoints are built from — one full seeded patient day (segment
+//! schedule, coil drift, link solves, battery drain, thermal check) and
+//! a serial cohort of virtual patients — without any socket or queue in
+//! the way. Together with `bench_serve` this separates *scenario cost*
+//! from *serving cost*, the same split `bench_kernels` gives the
+//! figure-level kernels.
+//!
+//! Each kernel runs `--repeats` times into a latency histogram; the
+//! per-phase breakdown (`scenario.patientday` / `scenario.cohort` /
+//! `scenario.patient` from the [`obs`] registry) lands in the JSON's
+//! `stages` object.
+//!
+//! ```text
+//! cargo run --release --bin bench_scenario -- --json BENCH_scenario.json
+//! cargo run --release --bin bench_scenario -- --smoke --json BENCH_scenario.json
+//! ```
+
+use bench::{banner, duration_us, profile_table, stage_rows, stages_json};
+use runtime::{Json, LatencyHistogram};
+use scenario::{Cohort, PatientDay};
+use std::time::Instant;
+
+struct Args {
+    repeats: usize,
+    patients: u64,
+    smoke: bool,
+    profile: bool,
+    json_path: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args =
+            Args { repeats: 5, patients: 50, smoke: false, profile: false, json_path: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--repeats" => {
+                    args.repeats = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--repeats needs a numeric value");
+                }
+                "--patients" => {
+                    args.patients = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--patients needs a numeric value");
+                }
+                "--smoke" => args.smoke = true,
+                "--profile" => args.profile = true,
+                "--json" => args.json_path = Some(it.next().expect("--json needs a path")),
+                other => panic!(
+                    "unknown flag {other:?} (known: --repeats --patients --smoke --profile --json)"
+                ),
+            }
+        }
+        if args.smoke {
+            args.repeats = args.repeats.min(2);
+            args.patients = args.patients.min(10);
+        }
+        args.repeats = args.repeats.max(1);
+        args.patients = args.patients.max(1);
+        args
+    }
+}
+
+/// Runs `f` `repeats` times and reports its latency distribution. The
+/// result is folded into a checksum so the optimizer cannot elide the
+/// kernel.
+fn time_kernel(name: &str, repeats: usize, mut f: impl FnMut() -> f64) -> (LatencyHistogram, f64) {
+    let mut hist = LatencyHistogram::new();
+    let mut checksum = 0.0;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        checksum += f();
+        hist.record(started.elapsed());
+    }
+    println!(
+        "  {name:<11} {repeats} runs · p50 {:?} · p95 {:?} · p99 {:?}",
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+    );
+    (hist, checksum)
+}
+
+fn main() {
+    let args = Args::parse();
+    banner("S4", "scenario-composer latency (no serving layer)");
+    println!(
+        "config: {} repeats per kernel, {} cohort patients{}",
+        args.repeats,
+        args.patients,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+    println!();
+
+    obs::reset();
+    let repeats = args.repeats;
+    let mut kernels: Vec<(&str, LatencyHistogram)> = Vec::new();
+
+    let mut day_seed = 2013u64;
+    let (hist, soc_sum) = time_kernel("patientday", repeats, || {
+        day_seed += 1;
+        PatientDay::ironic(day_seed).run().summary().soc_end
+    });
+    assert!(soc_sum.is_finite(), "patientday produced a non-finite SoC");
+    kernels.push(("patientday", hist));
+
+    let cohort_hours = if args.smoke { 6.0 } else { 12.0 };
+    let patients = args.patients;
+    let mut cohort_seed = 7u64;
+    let (hist, life_sum) = time_kernel("cohort", repeats, || {
+        cohort_seed += 1;
+        let mut cohort = Cohort::ironic(cohort_seed, patients);
+        cohort.hours = cohort_hours;
+        cohort.run_serial().mean_life_h()
+    });
+    assert!(life_sum.is_finite(), "cohort produced a non-finite mean life");
+    kernels.push(("cohort", hist));
+
+    let rows = stage_rows();
+    if args.profile {
+        println!();
+        println!("per-phase breakdown:");
+        print!("{}", profile_table(&rows));
+    }
+
+    if let Some(path) = &args.json_path {
+        let kernels_json = Json::Obj(
+            kernels
+                .iter()
+                .map(|(name, hist)| {
+                    (
+                        (*name).to_string(),
+                        Json::obj(vec![
+                            ("runs", Json::Num(hist.count() as f64)),
+                            ("p50_us", Json::Num(duration_us(hist.p50()))),
+                            ("p95_us", Json::Num(duration_us(hist.p95()))),
+                            ("p99_us", Json::Num(duration_us(hist.p99()))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("implant-bench-scenario/1".to_string())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("repeats", Json::Num(args.repeats as f64)),
+                    ("patients", Json::Num(args.patients as f64)),
+                    ("cohort_hours", Json::Num(cohort_hours)),
+                    ("smoke", Json::Bool(args.smoke)),
+                ]),
+            ),
+            ("kernels", kernels_json),
+            ("stages", stages_json(&rows)),
+        ]);
+        bench::write_bench_json(path, &doc);
+    }
+
+    println!();
+    println!("bench_scenario done ({} kernels)", kernels.len());
+}

@@ -111,6 +111,35 @@ fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     validate_stages(errors, file, doc);
 }
 
+fn validate_scenario(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+    let Some(Json::Obj(kernels)) = doc.get("kernels") else {
+        check(errors, file, false, "missing kernels object");
+        return;
+    };
+    for name in ["patientday", "cohort"] {
+        check(
+            errors,
+            file,
+            kernels.iter().any(|(k, _)| k == name),
+            &format!("kernel {name:?} missing"),
+        );
+    }
+    for (name, kernel) in kernels {
+        for key in ["runs", "p50_us", "p95_us", "p99_us"] {
+            check(
+                errors,
+                file,
+                kernel.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+                &format!("kernel {name:?} missing numeric {key}"),
+            );
+        }
+    }
+    for key in ["repeats", "patients", "cohort_hours"] {
+        require_num(errors, file, doc, "config", key);
+    }
+    validate_stages(errors, file, doc);
+}
+
 fn validate_cluster(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     let Some(Json::Obj(scaling)) = doc.get("scaling") else {
         check(errors, file, false, "missing scaling object");
@@ -177,6 +206,7 @@ fn validate_file(errors: &mut Vec<Violation>, file: &str) {
         Some("implant-bench-serve/1") => validate_serve(errors, file, &doc),
         Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc),
         Some("implant-bench-cluster/1") => validate_cluster(errors, file, &doc),
+        Some("implant-bench-scenario/1") => validate_scenario(errors, file, &doc),
         Some(other) => check(errors, file, false, &format!("unknown schema {other:?}")),
         None => check(errors, file, false, "missing schema field"),
     }

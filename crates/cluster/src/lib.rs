@@ -18,6 +18,10 @@
 //!   from the runtime's xoshiro streams (replayable schedules),
 //!   automatic reconnect, failover in rendezvous order on transport
 //!   errors, `overloaded` and `shutting_down`;
+//! * [`campaign`] — the sharded [`CohortCampaign`]: splits a
+//!   [`scenario::Cohort`] of virtual patients into bounded shards,
+//!   routes each through the client, and merges the reports in offset
+//!   order — bit-identical to a serial run of the whole cohort;
 //! * [`proxy`] — the [`ClusterProxy`] front end: the v2 wire protocol
 //!   on one port, data plane fanned out through a routing client,
 //!   `metrics_v2` merged over the replicas with per-replica labels
@@ -53,11 +57,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod client;
 pub mod member;
 pub mod proxy;
 pub mod rendezvous;
 
+pub use campaign::{CampaignOutcome, CohortCampaign, LostShard};
 pub use client::{Backoff, ClusterClient, ClusterError, ClusterStats, RetryPolicy, RoutedResponse};
 pub use member::{HealthState, Member, MemberView, ProbeConfig, ProbeCounters, ReplicaSet};
 pub use proxy::{ClusterProxy, ProxyConfig, ProxyHandle};

@@ -90,13 +90,18 @@ impl Battery {
     }
 
     /// Analytic runtime in seconds at a constant current draw, ignoring
-    /// the knee (charge-limited).
+    /// the knee (charge-limited). A zero draw — legal in an idle
+    /// patient-day segment with everything gated off — never depletes
+    /// the battery, so the runtime is `f64::INFINITY`.
     ///
     /// # Panics
     ///
-    /// Panics unless `current` is positive.
+    /// Panics on negative current (charging is not a load).
     pub fn runtime(&self, current: f64) -> f64 {
-        assert!(current > 0.0, "load current must be positive");
+        assert!(current >= 0.0, "load current must not be negative");
+        if current == 0.0 {
+            return f64::INFINITY;
+        }
         self.charge_coulombs / current
     }
 }
@@ -153,5 +158,21 @@ mod tests {
     fn capacity_round_trip() {
         let b = Battery::new(77.0);
         assert!((b.capacity_mah() - 77.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_current_runtime_is_infinite() {
+        // Regression: idle patient-day segments may draw exactly zero;
+        // that used to panic, now it reads as "never depletes".
+        let b = Battery::new(120.0);
+        assert_eq!(b.runtime(0.0), f64::INFINITY);
+        // Still finite the moment any load exists.
+        assert!(b.runtime(1.0e-9).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be negative")]
+    fn negative_current_runtime_still_panics() {
+        let _ = Battery::new(120.0).runtime(-0.001);
     }
 }

@@ -1,0 +1,93 @@
+#![cfg(feature = "fuzz")]
+
+//! Property-based tests of the patch battery and power-state models.
+
+use patch::power_states::{I_BASE, I_PA};
+use patch::{Battery, BtMode, PatchState};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// State of charge is monotone non-increasing under any sequence of
+    /// drains, and never leaves [0, 1].
+    #[test]
+    fn soc_monotone_non_increasing_under_drain(
+        capacity_mah in 10.0f64..500.0,
+        draws in proptest::collection::vec((0.0f64..0.2, 0.0f64..7200.0), 1..24),
+    ) {
+        let mut b = Battery::new(capacity_mah);
+        let mut prev = b.state_of_charge();
+        prop_assert!(prev == 1.0);
+        for (current, dt) in draws {
+            b.drain(current, dt);
+            let soc = b.state_of_charge();
+            prop_assert!(soc <= prev, "soc rose: {soc} > {prev}");
+            prop_assert!((0.0..=1.0).contains(&soc));
+            prev = soc;
+        }
+    }
+
+    /// Terminal voltage is monotone in state of charge: a more drained
+    /// battery never reads a higher voltage.
+    #[test]
+    fn voltage_monotone_in_state_of_charge(
+        capacity_mah in 10.0f64..500.0,
+        steps in 2usize..40,
+    ) {
+        let mut b = Battery::new(capacity_mah);
+        let step_charge = capacity_mah * 3.6 / steps as f64;
+        let mut prev_v = b.voltage();
+        for _ in 0..steps {
+            b.drain(0.05, step_charge / 0.05);
+            let v = b.voltage();
+            prop_assert!(v <= prev_v + 1e-12, "voltage rose while draining: {v} > {prev_v}");
+            prop_assert!((Battery::V_CUTOFF..=4.2 + 1e-12).contains(&v));
+            prev_v = v;
+        }
+    }
+
+    /// Every aggregate `PatchState` current is the exact sum of the
+    /// paper's Section III component draws — 12 mA MCU+board base,
+    /// 22.3 mA bluetooth connected, 8 mA advertising, 68 mA class-E PA.
+    #[test]
+    fn patch_state_currents_match_section_iii(
+        bt_sel in 0u8..3,
+        powering_sel in 0u8..2,
+    ) {
+        let powering = powering_sel == 1;
+        let bluetooth = match bt_sel {
+            0 => BtMode::Off,
+            1 => BtMode::Advertising,
+            _ => BtMode::Connected,
+        };
+        let state = PatchState { bluetooth, powering };
+        let expected = I_BASE
+            + match bluetooth {
+                BtMode::Off => 0.0,
+                BtMode::Advertising => 8.0e-3,
+                BtMode::Connected => 22.3e-3,
+            }
+            + if powering { I_PA } else { 0.0 };
+        prop_assert!((state.current() - expected).abs() < 1e-15);
+        // And the three paper anchor points exactly.
+        prop_assert!((PatchState::idle().current() - 12.0e-3).abs() < 1e-15);
+        prop_assert!((PatchState::connected().current() - 34.3e-3).abs() < 1e-15);
+        prop_assert!((PatchState::powering().current() - 80.0e-3).abs() < 1e-15);
+    }
+
+    /// Analytic runtime is consistent with step-wise draining: draining
+    /// at `i` for `runtime(i)` seconds lands within one step of empty.
+    #[test]
+    fn runtime_consistent_with_drain(
+        capacity_mah in 20.0f64..300.0,
+        i_ma in 1.0f64..100.0,
+    ) {
+        let mut b = Battery::new(capacity_mah);
+        let i = i_ma * 1e-3;
+        let t = b.runtime(i);
+        prop_assert!(t.is_finite() && t > 0.0);
+        b.drain(i, t);
+        prop_assert!(b.state_of_charge() < 1e-9, "soc = {}", b.state_of_charge());
+    }
+}

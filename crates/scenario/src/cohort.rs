@@ -1,0 +1,510 @@
+//! Virtual-patient cohorts.
+//!
+//! A cohort samples `patients` virtual patients — coil anatomy for the
+//! inductive link, wear time and enzyme chemistry per Fig. 4, a day
+//! profile — and runs one patient day each, folding the outcomes into
+//! a [`CohortReport`].
+//!
+//! # Sharding without drift
+//!
+//! Patient `i` of a cohort draws everything from a xoshiro stream
+//! seeded [`runtime::derive_seed`]`(seed, offset + i)`. A shard is just
+//! the same cohort with a narrower `[offset, offset + patients)`
+//! window, so a sharded campaign computes exactly the per-patient
+//! outcomes of the full run. The report's aggregates are integers
+//! (counts, milliseconds, microwatts) plus one `f64` maximum — all
+//! associative — so merging shard reports reproduces the serial fold
+//! bit-for-bit, at any worker count, on any shard plan.
+
+use crate::patientday::{Anatomy, DayProfile, DaySummary, PatientDay, Tissue};
+use biosensor::Enzyme;
+use link::PowerBudget;
+use runtime::{derive_seed, fnv1a64, Artifact, Batch, Json, Pool, Rng, Xoshiro256PlusPlus};
+
+/// Cohort patient days run on a fixed one-minute step: coarse enough
+/// for thousand-patient campaigns, fine enough that the low-power
+/// manager always acts steps before any cutoff crossing.
+pub const COHORT_STEP_S: f64 = 60.0;
+
+/// Received power needed to run the implant at its §IV-C operating
+/// point (sense + charge + backscatter), watts. Stricter than the
+/// 1 mW keep-alive floor used for in-trace dropout detection: a
+/// placement can keep the rails up yet never recharge.
+pub const P_IMPLANT_OPERATING_W: f64 = 5.0e-3;
+
+/// Smallest enzyme sensitivity the readout can resolve, A/cm² at 1 mM
+/// lactate (Fig. 4: the wild-type curve drops below this within days,
+/// the cross-linked one holds for a month).
+pub const J_SENSE_MIN: f64 = 2.0e-6;
+
+/// Which enzyme chemistry the cohort's sensors carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnzymeChoice {
+    /// Cross-linked LOx (the paper's stabilised chemistry).
+    Clodx,
+    /// Wild-type LOx.
+    Wtlodx,
+    /// Coin-flip per patient.
+    Mixed,
+}
+
+impl EnzymeChoice {
+    /// Stable wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EnzymeChoice::Clodx => "clodx",
+            EnzymeChoice::Wtlodx => "wtlodx",
+            EnzymeChoice::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "clodx" => Some(EnzymeChoice::Clodx),
+            "wtlodx" => Some(EnzymeChoice::Wtlodx),
+            "mixed" => Some(EnzymeChoice::Mixed),
+            _ => None,
+        }
+    }
+}
+
+/// One sampled patient: everything their day needs, plus the sensor
+/// calibration state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualPatient {
+    /// Global patient index (offset + local index).
+    pub index: u64,
+    /// Seed of the patient's day trace.
+    pub day_seed: u64,
+    /// Coil placement.
+    pub anatomy: Anatomy,
+    /// Day profile.
+    pub profile: DayProfile,
+    /// Battery as manufactured, mAh.
+    pub battery_mah: f64,
+    /// Days the sensor has been implanted.
+    pub wear_days: f64,
+    /// Cross-linked (true) or wild-type enzyme.
+    pub clodx: bool,
+}
+
+/// One patient's folded outcome (internal currency of the report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatientOutcome {
+    /// Battery life, milliseconds (horizon-censored when not depleted).
+    pub life_ms: u64,
+    /// Battery reached the cutoff within the horizon.
+    pub depleted: bool,
+    /// Low-power management engaged.
+    pub low_power: bool,
+    /// Thermal envelope held for the whole day.
+    pub thermal_ok: bool,
+    /// Sensing steps with the link below the implant minimum.
+    pub link_dropouts: u64,
+    /// Link delivers the §IV-C operating budget at this placement.
+    pub powered_ok: bool,
+    /// Aged enzyme still resolvable per Fig. 4.
+    pub sensor_ok: bool,
+    /// Received power at the patient's placement, microwatts.
+    pub p_rx_uw: u64,
+    /// Hottest patch sample of the day, °C.
+    pub max_patch_celsius: f64,
+}
+
+/// A (shard of a) virtual-patient campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cohort {
+    /// Root seed shared by every shard of the campaign.
+    pub seed: u64,
+    /// Number of patients in this shard.
+    pub patients: u64,
+    /// Global index of this shard's first patient.
+    pub offset: u64,
+    /// Day horizon, hours.
+    pub hours: f64,
+    /// Enzyme chemistry.
+    pub enzyme: EnzymeChoice,
+}
+
+impl Cohort {
+    /// A full-campaign cohort starting at patient 0: 24 h days, mixed
+    /// enzyme chemistry.
+    pub fn ironic(seed: u64, patients: u64) -> Self {
+        Cohort { seed, patients, offset: 0, hours: 24.0, enzyme: EnzymeChoice::Mixed }
+    }
+
+    fn validate(&self) {
+        assert!(self.patients > 0, "a cohort needs at least one patient");
+        assert!(self.hours > 0.0 && self.hours.is_finite(), "hours must be positive");
+        assert!(self.offset.checked_add(self.patients).is_some(), "cohort window overflows");
+    }
+
+    /// Samples patient `i` (local index within this shard). Every draw
+    /// comes from the stream `derive_seed(seed, offset + i)`, so the
+    /// sample depends only on the root seed and the global index.
+    pub fn patient(&self, i: u64) -> VirtualPatient {
+        let global = self.offset + i;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(derive_seed(self.seed, global));
+        let depth_mm = rng.range_f64(2.0, 17.0);
+        let lateral_mm = rng.range_f64(0.0, 8.0);
+        let drift_mm = rng.range_f64(0.5, 3.0);
+        let tissue = if rng.next_f64() < 0.5 { Tissue::Subcutaneous } else { Tissue::Sirloin };
+        let r = rng.next_f64();
+        let profile = if r < 0.60 {
+            DayProfile::Routine
+        } else if r < 0.85 {
+            DayProfile::Sensing
+        } else {
+            DayProfile::Idle
+        };
+        let clodx = match self.enzyme {
+            EnzymeChoice::Clodx => true,
+            EnzymeChoice::Wtlodx => false,
+            EnzymeChoice::Mixed => rng.next_bool(),
+        };
+        let wear_days = rng.range_f64(0.0, 30.0);
+        let battery_mah = rng.range_f64(100.0, 140.0);
+        let day_seed = rng.next_u64();
+        VirtualPatient {
+            index: global,
+            day_seed,
+            anatomy: Anatomy { depth_mm, drift_mm, lateral_mm, tissue },
+            profile,
+            battery_mah,
+            wear_days,
+            clodx,
+        }
+    }
+
+    /// Runs patient `i`'s day and folds it into an outcome.
+    pub fn outcome(&self, i: u64) -> PatientOutcome {
+        let _span = obs::span!("scenario.patient");
+        let p = self.patient(i);
+        let day = PatientDay {
+            seed: p.day_seed,
+            hours: self.hours,
+            step_s: COHORT_STEP_S,
+            battery_mah: p.battery_mah,
+            profile: p.profile,
+            anatomy: p.anatomy,
+            low_power_soc: Some(0.05),
+        };
+        let summary: DaySummary = day.run().summary();
+
+        let budget = PowerBudget::ironic_air().with_tissue(p.anatomy.tissue.stack());
+        let p_rx_w = budget
+            .received_power_misaligned(p.anatomy.depth_mm * 1.0e-3, p.anatomy.lateral_mm * 1.0e-3);
+        let enzyme = if p.clodx { Enzyme::clodx() } else { Enzyme::wtlodx() };
+        let j = enzyme.aged(p.wear_days, true).current_density(1.0);
+
+        PatientOutcome {
+            life_ms: (summary.end_h * 3.6e6).round() as u64,
+            depleted: summary.depleted,
+            low_power: summary.low_power_h.is_some(),
+            thermal_ok: summary.thermal_ok,
+            link_dropouts: summary.link_dropouts,
+            powered_ok: p_rx_w >= P_IMPLANT_OPERATING_W,
+            sensor_ok: j >= J_SENSE_MIN,
+            p_rx_uw: (p_rx_w * 1.0e6).round() as u64,
+            max_patch_celsius: summary.max_patch_celsius,
+        }
+    }
+
+    /// Runs the shard on the calling thread, folding patients in index
+    /// order.
+    pub fn run_serial(&self) -> CohortReport {
+        let _span = obs::span!("scenario.cohort");
+        self.validate();
+        let mut report = CohortReport::empty();
+        for i in 0..self.patients {
+            report.absorb(&self.outcome(i));
+        }
+        report
+    }
+
+    /// Runs the shard over a [`Pool`]. Patient streams derive from the
+    /// cohort seed and global index — not from the pool's job RNG — so
+    /// the fold (performed in submission order) is bit-identical to
+    /// [`Cohort::run_serial`] at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first patient-day panic, if any.
+    pub fn run_on(&self, pool: &Pool) -> CohortReport {
+        let _span = obs::span!("scenario.cohort");
+        self.validate();
+        let batch = Batch::builder("scenario-cohort")
+            .seed(self.seed)
+            .trials(self.patients as usize)
+            .build();
+        let run = pool.run(&batch, |ctx| self.outcome(ctx.index as u64));
+        let mut report = CohortReport::empty();
+        for (i, result) in run.results.iter().enumerate() {
+            match result.outcome.ok() {
+                Some(outcome) => report.absorb(outcome),
+                None => panic!("patient {} failed: {:?}", self.offset + i as u64, result.outcome),
+            }
+        }
+        report
+    }
+
+    /// Splits the cohort into contiguous shards of at most
+    /// `shard_patients` patients, covering the same global window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_patients` is zero.
+    pub fn shards(&self, shard_patients: u64) -> Vec<Cohort> {
+        assert!(shard_patients > 0, "shard size must be positive");
+        self.validate();
+        let mut shards = Vec::new();
+        let mut start = 0;
+        while start < self.patients {
+            let n = shard_patients.min(self.patients - start);
+            shards.push(Cohort {
+                seed: self.seed,
+                patients: n,
+                offset: self.offset + start,
+                hours: self.hours,
+                enzyme: self.enzyme,
+            });
+            start += n;
+        }
+        shards
+    }
+}
+
+/// Exactly-mergeable campaign aggregate. All counters are integers so
+/// shard merges associate; the single float is a maximum, which also
+/// associates exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortReport {
+    /// Patients folded in.
+    pub patients: u64,
+    /// Batteries that hit the cutoff within the horizon.
+    pub depleted: u64,
+    /// Days on which low-power management engaged.
+    pub low_power: u64,
+    /// Days with at least one thermal-envelope violation.
+    pub thermal_violations: u64,
+    /// Total sensing steps with the link below the implant minimum.
+    pub link_dropouts: u64,
+    /// Patients whose placement receives the full operating budget.
+    pub powered_ok: u64,
+    /// Patients whose aged enzyme is still resolvable.
+    pub sensor_ok: u64,
+    /// Sum of battery lives, milliseconds.
+    pub sum_life_ms: u64,
+    /// Shortest battery life, milliseconds (`u64::MAX` when empty).
+    pub min_life_ms: u64,
+    /// Sum of placement received powers, microwatts.
+    pub sum_p_rx_uw: u64,
+    /// Hottest patch sample across the cohort, °C.
+    pub max_patch_celsius: f64,
+}
+
+impl CohortReport {
+    /// The identity element for [`CohortReport::merge`].
+    pub fn empty() -> Self {
+        CohortReport {
+            patients: 0,
+            depleted: 0,
+            low_power: 0,
+            thermal_violations: 0,
+            link_dropouts: 0,
+            powered_ok: 0,
+            sensor_ok: 0,
+            sum_life_ms: 0,
+            min_life_ms: u64::MAX,
+            sum_p_rx_uw: 0,
+            max_patch_celsius: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one patient outcome in.
+    pub fn absorb(&mut self, o: &PatientOutcome) {
+        self.patients += 1;
+        self.depleted += u64::from(o.depleted);
+        self.low_power += u64::from(o.low_power);
+        self.thermal_violations += u64::from(!o.thermal_ok);
+        self.link_dropouts += o.link_dropouts;
+        self.powered_ok += u64::from(o.powered_ok);
+        self.sensor_ok += u64::from(o.sensor_ok);
+        self.sum_life_ms += o.life_ms;
+        self.min_life_ms = self.min_life_ms.min(o.life_ms);
+        self.sum_p_rx_uw += o.p_rx_uw;
+        self.max_patch_celsius = self.max_patch_celsius.max(o.max_patch_celsius);
+    }
+
+    /// Merges another (shard) report in. Exact: integer sums, integer
+    /// min, float max.
+    pub fn merge(&mut self, other: &CohortReport) {
+        self.patients += other.patients;
+        self.depleted += other.depleted;
+        self.low_power += other.low_power;
+        self.thermal_violations += other.thermal_violations;
+        self.link_dropouts += other.link_dropouts;
+        self.powered_ok += other.powered_ok;
+        self.sensor_ok += other.sensor_ok;
+        self.sum_life_ms += other.sum_life_ms;
+        self.min_life_ms = self.min_life_ms.min(other.min_life_ms);
+        self.sum_p_rx_uw += other.sum_p_rx_uw;
+        self.max_patch_celsius = self.max_patch_celsius.max(other.max_patch_celsius);
+    }
+
+    /// Mean battery life, hours.
+    pub fn mean_life_h(&self) -> f64 {
+        if self.patients == 0 {
+            return 0.0;
+        }
+        self.sum_life_ms as f64 / self.patients as f64 / 3.6e6
+    }
+
+    /// Mean placement received power, mW.
+    pub fn mean_p_rx_mw(&self) -> f64 {
+        if self.patients == 0 {
+            return 0.0;
+        }
+        self.sum_p_rx_uw as f64 / self.patients as f64 / 1.0e3
+    }
+
+    /// Order-independent fingerprint of the exact report contents
+    /// (float folded in by bit pattern) — what the bit-identical
+    /// campaign tests compare.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(format!(
+            "{};{};{};{};{};{};{};{};{};{};{:016x}",
+            self.patients,
+            self.depleted,
+            self.low_power,
+            self.thermal_violations,
+            self.link_dropouts,
+            self.powered_ok,
+            self.sensor_ok,
+            self.sum_life_ms,
+            self.min_life_ms,
+            self.sum_p_rx_uw,
+            self.max_patch_celsius.to_bits(),
+        )
+        .as_bytes())
+    }
+}
+
+impl Artifact for CohortReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("patients", Json::Num(self.patients as f64)),
+            ("depleted", Json::Num(self.depleted as f64)),
+            ("low_power", Json::Num(self.low_power as f64)),
+            ("thermal_violations", Json::Num(self.thermal_violations as f64)),
+            ("link_dropouts", Json::Num(self.link_dropouts as f64)),
+            ("powered_ok", Json::Num(self.powered_ok as f64)),
+            ("sensor_ok", Json::Num(self.sensor_ok as f64)),
+            ("sum_life_ms", Json::Num(self.sum_life_ms as f64)),
+            ("min_life_ms", Json::Num(self.min_life_ms as f64)),
+            ("sum_p_rx_uw", Json::Num(self.sum_p_rx_uw as f64)),
+            ("max_patch_celsius", Json::Num(self.max_patch_celsius)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let count = |k: &str| json.get(k).and_then(Json::as_u64);
+        Some(CohortReport {
+            patients: count("patients")?,
+            depleted: count("depleted")?,
+            low_power: count("low_power")?,
+            thermal_violations: count("thermal_violations")?,
+            link_dropouts: count("link_dropouts")?,
+            powered_ok: count("powered_ok")?,
+            sensor_ok: count("sensor_ok")?,
+            sum_life_ms: count("sum_life_ms")?,
+            min_life_ms: count("min_life_ms")?,
+            sum_p_rx_uw: count("sum_p_rx_uw")?,
+            max_patch_celsius: json.get("max_patch_celsius")?.as_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patient_sampling_depends_only_on_seed_and_global_index() {
+        let full = Cohort::ironic(9, 20);
+        let shard = Cohort { offset: 12, patients: 8, ..full.clone() };
+        for i in 0..8 {
+            assert_eq!(full.patient(12 + i), shard.patient(i));
+        }
+        assert_ne!(full.patient(0), full.patient(1));
+    }
+
+    #[test]
+    fn shard_merge_is_bit_identical_to_the_serial_fold() {
+        let cohort = Cohort::ironic(2013, 40);
+        let serial = cohort.run_serial();
+        for shard_size in [1u64, 7, 13, 40] {
+            let mut merged = CohortReport::empty();
+            for shard in cohort.shards(shard_size) {
+                merged.merge(&shard.run_serial());
+            }
+            assert_eq!(merged, serial, "shard size {shard_size}");
+            assert_eq!(merged.digest(), serial.digest());
+        }
+    }
+
+    #[test]
+    fn enzyme_chemistry_separates_sensor_survival() {
+        // Fig. 4: cross-linked LOx holds its sensitivity for a month;
+        // wild-type drops below the resolvable floor within days.
+        let clodx = Cohort { enzyme: EnzymeChoice::Clodx, ..Cohort::ironic(5, 30) }.run_serial();
+        let wtlodx = Cohort { enzyme: EnzymeChoice::Wtlodx, ..Cohort::ironic(5, 30) }.run_serial();
+        assert_eq!(clodx.sensor_ok, 30, "cross-linked survives the full wear range");
+        assert!(wtlodx.sensor_ok < clodx.sensor_ok, "wild-type ages out: {}", wtlodx.sensor_ok);
+    }
+
+    #[test]
+    fn anatomy_spread_separates_powered_patients() {
+        let report = Cohort::ironic(17, 60).run_serial();
+        assert!(report.powered_ok > 0, "some placements must be powerable");
+        assert!(report.powered_ok < 60, "deep misaligned placements must fail");
+        assert!(report.max_patch_celsius <= 41.0, "cohort stays in envelope");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = Cohort::ironic(23, 12).run_serial();
+        assert_eq!(CohortReport::from_json(&report.to_json()), Some(report));
+    }
+
+    #[test]
+    fn shards_cover_the_window_exactly_once() {
+        let cohort = Cohort::ironic(1, 100);
+        let shards = cohort.shards(33);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(|s| s.patients).sum::<u64>(), 100);
+        assert_eq!(shards[3].offset, 99);
+        assert_eq!(shards[3].patients, 1);
+    }
+
+    #[test]
+    fn empty_report_is_the_merge_identity() {
+        let report = Cohort::ironic(5, 8).run_serial();
+        let mut merged = CohortReport::empty();
+        merged.merge(&report);
+        merged.merge(&CohortReport::empty());
+        assert_eq!(merged, report);
+        assert_eq!(merged.digest(), report.digest());
+        assert_eq!(CohortReport::empty().mean_life_h(), 0.0);
+        assert_eq!(CohortReport::empty().mean_p_rx_mw(), 0.0);
+    }
+
+    #[test]
+    fn enzyme_choice_parses_its_own_names() {
+        for c in [EnzymeChoice::Clodx, EnzymeChoice::Wtlodx, EnzymeChoice::Mixed] {
+            assert_eq!(EnzymeChoice::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(EnzymeChoice::parse("lox"), None);
+    }
+}

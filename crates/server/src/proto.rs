@@ -21,10 +21,10 @@
 //! [`RequestBody::decode`] then turns the raw params into a typed body:
 //! a [`RequestBody`] variant carrying a per-endpoint struct
 //! ([`Fig11Params`], [`FullchainParams`], [`MontecarloParams`],
-//! [`SweepParams`]) whose fields are validated — type, finiteness,
-//! range — before any simulation starts. Every rejection is a
-//! [`DecodeError`] naming the offending field, which the response
-//! carries as `error.field`.
+//! [`SweepParams`], [`PatientdayParams`], [`CohortParams`]) whose
+//! fields are validated — type, finiteness, range — before any
+//! simulation starts. Every rejection is a [`DecodeError`] naming the
+//! offending field, which the response carries as `error.field`.
 //!
 //! Responses echo `id` and carry either a `result` or a structured
 //! `error`:
@@ -46,7 +46,8 @@ pub const MIN_VERSION: u64 = 1;
 
 /// The data-plane endpoints (the ones that go through the bounded
 /// queue).
-pub const DATA_ENDPOINTS: [&str; 4] = ["fig11", "fullchain", "montecarlo", "sweep"];
+pub const DATA_ENDPOINTS: [&str; 6] =
+    ["fig11", "fullchain", "montecarlo", "sweep", "patientday", "cohort"];
 
 /// The control-plane endpoints, answered inline by the connection
 /// thread even when the data plane is saturated.
@@ -129,11 +130,21 @@ impl DecodeError {
 pub struct DecodeLimits {
     /// Upper bound accepted for `montecarlo.trials`.
     pub mc_trial_cap: u64,
+    /// Upper bound accepted for `cohort.patients` (per shard).
+    pub cohort_patient_cap: u64,
+    /// Upper bound on `cohort.patients × cohort.hours` — the actual
+    /// cost of a cohort request is patient-hours, so the two fields are
+    /// capped jointly, not just individually.
+    pub cohort_patient_hours_cap: f64,
 }
 
 impl Default for DecodeLimits {
     fn default() -> Self {
-        DecodeLimits { mc_trial_cap: 100_000 }
+        DecodeLimits {
+            mc_trial_cap: 100_000,
+            cohort_patient_cap: 5_000,
+            cohort_patient_hours_cap: 48_000.0,
+        }
     }
 }
 
@@ -400,6 +411,156 @@ impl SweepParams {
     }
 }
 
+/// Typed parameters of the `patientday` endpoint: one seeded day on
+/// the patch for a given battery, segment profile and coil placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatientdayParams {
+    /// Trace seed (defaulted to [`scenario::DEFAULT_SEED`]).
+    pub seed: u64,
+    /// Horizon, hours.
+    pub hours: f64,
+    /// Battery capacity, mAh.
+    pub battery_mah: f64,
+    /// Nominal coil separation, mm.
+    pub depth_mm: f64,
+    /// Drift-band half-width, mm.
+    pub drift_mm: f64,
+    /// Lateral misalignment, mm.
+    pub lateral_mm: f64,
+    /// Tissue between the coils.
+    pub tissue: scenario::Tissue,
+    /// Segment mix (the `pure` profile is test-only, not wire-reachable).
+    pub profile: scenario::DayProfile,
+}
+
+impl PatientdayParams {
+    /// Decodes and validates from a raw `params` object.
+    ///
+    /// # Errors
+    ///
+    /// A field-naming [`DecodeError`] on any mistyped or out-of-range
+    /// parameter.
+    pub fn decode(params: &Json) -> Result<Self, DecodeError> {
+        let tissue = match opt_str(params, "tissue")?.unwrap_or("subcutaneous") {
+            "air" => scenario::Tissue::Air,
+            "sirloin" => scenario::Tissue::Sirloin,
+            "subcutaneous" => scenario::Tissue::Subcutaneous,
+            other => {
+                return Err(DecodeError::bad(
+                    "tissue",
+                    format!("unknown tissue {other:?} (air | sirloin | subcutaneous)"),
+                ))
+            }
+        };
+        let profile = match opt_str(params, "profile")?.unwrap_or("routine") {
+            "routine" => scenario::DayProfile::Routine,
+            "sensing" => scenario::DayProfile::Sensing,
+            "idle" => scenario::DayProfile::Idle,
+            other => {
+                return Err(DecodeError::bad(
+                    "profile",
+                    format!("unknown profile {other:?} (routine | sensing | idle)"),
+                ))
+            }
+        };
+        Ok(PatientdayParams {
+            seed: opt_u64(params, "seed", 0, u64::MAX)?.unwrap_or(scenario::DEFAULT_SEED),
+            hours: opt_f64(params, "hours", 0.5, 48.0)?.unwrap_or(24.0),
+            battery_mah: opt_f64(params, "battery_mah", 10.0, 500.0)?.unwrap_or(120.0),
+            depth_mm: opt_f64(params, "depth_mm", 1.0, 30.0)?.unwrap_or(6.0),
+            drift_mm: opt_f64(params, "drift_mm", 0.0, 5.0)?.unwrap_or(2.0),
+            lateral_mm: opt_f64(params, "lateral_mm", 0.0, 10.0)?.unwrap_or(1.0),
+            tissue,
+            profile,
+        })
+    }
+
+    /// The simulation this request describes. Management is always on
+    /// (the serving plane simulates the shipped firmware); the 30 s
+    /// step matches the scenario crate's golden-band tests.
+    pub fn to_day(&self) -> scenario::PatientDay {
+        scenario::PatientDay {
+            seed: self.seed,
+            hours: self.hours,
+            step_s: 30.0,
+            battery_mah: self.battery_mah,
+            profile: self.profile,
+            anatomy: scenario::Anatomy {
+                depth_mm: self.depth_mm,
+                drift_mm: self.drift_mm,
+                lateral_mm: self.lateral_mm,
+                tissue: self.tissue,
+            },
+            low_power_soc: Some(0.05),
+        }
+    }
+}
+
+/// Typed parameters of the `cohort` endpoint: one shard of a
+/// virtual-patient campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortParams {
+    /// Campaign seed (defaulted to [`scenario::DEFAULT_SEED`]).
+    pub seed: u64,
+    /// Patients in this shard.
+    pub patients: u64,
+    /// Global index of the shard's first patient.
+    pub offset: u64,
+    /// Day horizon, hours.
+    pub hours: f64,
+    /// Enzyme chemistry.
+    pub enzyme: scenario::EnzymeChoice,
+}
+
+impl CohortParams {
+    /// Decodes and validates from a raw `params` object.
+    ///
+    /// # Errors
+    ///
+    /// A field-naming [`DecodeError`] on any mistyped or out-of-range
+    /// parameter, including the joint patient-hours cost cap.
+    pub fn decode(params: &Json, limits: &DecodeLimits) -> Result<Self, DecodeError> {
+        let enzyme_str = opt_str(params, "enzyme")?.unwrap_or("mixed");
+        let enzyme = scenario::EnzymeChoice::parse(enzyme_str).ok_or_else(|| {
+            DecodeError::bad(
+                "enzyme",
+                format!("unknown enzyme {enzyme_str:?} (clodx | wtlodx | mixed)"),
+            )
+        })?;
+        let patients =
+            opt_u64(params, "patients", 1, limits.cohort_patient_cap)?.unwrap_or(100);
+        let hours = opt_f64(params, "hours", 0.5, 48.0)?.unwrap_or(24.0);
+        let cost = patients as f64 * hours;
+        if cost > limits.cohort_patient_hours_cap {
+            return Err(DecodeError::bad(
+                "patients",
+                format!(
+                    "patients × hours = {cost:.0} patient-hours exceeds the cap of {:.0}",
+                    limits.cohort_patient_hours_cap
+                ),
+            ));
+        }
+        Ok(CohortParams {
+            seed: opt_u64(params, "seed", 0, u64::MAX)?.unwrap_or(scenario::DEFAULT_SEED),
+            patients,
+            offset: opt_u64(params, "offset", 0, 1_000_000_000)?.unwrap_or(0),
+            hours,
+            enzyme,
+        })
+    }
+
+    /// The campaign shard this request describes.
+    pub fn to_cohort(&self) -> scenario::Cohort {
+        scenario::Cohort {
+            seed: self.seed,
+            patients: self.patients,
+            offset: self.offset,
+            hours: self.hours,
+            enzyme: self.enzyme,
+        }
+    }
+}
+
 /// A fully decoded, typed request body: one variant per endpoint, with
 /// validated parameters for the data plane. This is what enters the
 /// bounded queue — workers never re-parse socket bytes.
@@ -421,6 +582,10 @@ pub enum RequestBody {
     Montecarlo(MontecarloParams),
     /// Received power over a distance grid.
     Sweep(SweepParams),
+    /// One seeded patient-day trace summary.
+    Patientday(PatientdayParams),
+    /// One shard of a virtual-patient cohort campaign.
+    Cohort(CohortParams),
 }
 
 impl RequestBody {
@@ -442,6 +607,8 @@ impl RequestBody {
                 MontecarloParams::decode(params, limits).map(RequestBody::Montecarlo)
             }
             "sweep" => SweepParams::decode(params).map(RequestBody::Sweep),
+            "patientday" => PatientdayParams::decode(params).map(RequestBody::Patientday),
+            "cohort" => CohortParams::decode(params, limits).map(RequestBody::Cohort),
             other => Err(DecodeError {
                 code: ErrorCode::UnknownEndpoint,
                 field: Some("endpoint".to_string()),
@@ -463,6 +630,8 @@ impl RequestBody {
             RequestBody::Fullchain(_) => "fullchain",
             RequestBody::Montecarlo(_) => "montecarlo",
             RequestBody::Sweep(_) => "sweep",
+            RequestBody::Patientday(_) => "patientday",
+            RequestBody::Cohort(_) => "cohort",
         }
     }
 
@@ -471,11 +640,13 @@ impl RequestBody {
     /// [`runtime::cache_key`] for shard placement. Control bodies have
     /// no routing identity (`None`) — a cluster answers them anywhere.
     ///
-    /// For `montecarlo` the pair is *exactly* the server's result-cache
-    /// identity (namespace `server-montecarlo`; the seed defaulted the
-    /// same way the router defaults it), so identical studies land on
-    /// the replica that already holds the cached report. The other
-    /// endpoints return their full request identity: deterministic
+    /// For `montecarlo`, `sweep`, `patientday` and `cohort` the pair is
+    /// *exactly* the server's result-cache identity (namespace
+    /// `server-<endpoint>`, every default applied the same way the
+    /// router applies it) — the router builds its batch point from this
+    /// very method, so identical requests land on the replica that
+    /// already holds the cached result and hit it warm. `fig11` and
+    /// `fullchain` return their full request identity: deterministic
     /// placement, and repeated requests colocate with any per-point
     /// cache entries they populated.
     pub fn route_point(&self) -> Option<(&'static str, runtime::ParamPoint)> {
@@ -536,6 +707,27 @@ impl RequestBody {
                     .with("d_min_mm", p.d_min_mm)
                     .with("d_max_mm", p.d_max_mm)
                     .with("steps", p.steps),
+            )),
+            RequestBody::Patientday(p) => Some((
+                "server-patientday",
+                ParamPoint::new()
+                    .with("seed", p.seed)
+                    .with("hours", p.hours)
+                    .with("profile", p.profile.as_str())
+                    .with("battery_mah", p.battery_mah)
+                    .with("depth_mm", p.depth_mm)
+                    .with("drift_mm", p.drift_mm)
+                    .with("lateral_mm", p.lateral_mm)
+                    .with("tissue", p.tissue.as_str()),
+            )),
+            RequestBody::Cohort(p) => Some((
+                "server-cohort",
+                ParamPoint::new()
+                    .with("seed", p.seed)
+                    .with("patients", p.patients)
+                    .with("offset", p.offset)
+                    .with("hours", p.hours)
+                    .with("enzyme", p.enzyme.as_str()),
             )),
         }
     }
@@ -834,6 +1026,35 @@ mod tests {
         let RequestBody::Fig11(p) = &t.body else { panic!("expected fig11") };
         assert_eq!(p.preset, Fig11Preset::Paper);
         assert_eq!(p.t_stop_us, None);
+
+        let t = TypedRequest::decode_line(r#"{"endpoint":"patientday"}"#, &limits).unwrap();
+        let RequestBody::Patientday(p) = &t.body else { panic!("expected patientday") };
+        assert_eq!(
+            *p,
+            PatientdayParams {
+                seed: scenario::DEFAULT_SEED,
+                hours: 24.0,
+                battery_mah: 120.0,
+                depth_mm: 6.0,
+                drift_mm: 2.0,
+                lateral_mm: 1.0,
+                tissue: scenario::Tissue::Subcutaneous,
+                profile: scenario::DayProfile::Routine,
+            }
+        );
+
+        let t = TypedRequest::decode_line(r#"{"endpoint":"cohort"}"#, &limits).unwrap();
+        let RequestBody::Cohort(p) = &t.body else { panic!("expected cohort") };
+        assert_eq!(
+            *p,
+            CohortParams {
+                seed: scenario::DEFAULT_SEED,
+                patients: 100,
+                offset: 0,
+                hours: 24.0,
+                enzyme: scenario::EnzymeChoice::Mixed,
+            }
+        );
     }
 
     #[test]
@@ -849,6 +1070,13 @@ mod tests {
             ("fig11", r#"{"max_step_ns":0.1}"#, "max_step_ns"),
             ("fullchain", r#"{"cycles":5000000}"#, "cycles"),
             ("fullchain", r#"{"distance_mm":-3}"#, "distance_mm"),
+            ("patientday", r#"{"profile":"pure"}"#, "profile"),
+            ("patientday", r#"{"tissue":"bone"}"#, "tissue"),
+            ("patientday", r#"{"hours":0.1}"#, "hours"),
+            ("patientday", r#"{"battery_mah":"big"}"#, "battery_mah"),
+            ("cohort", r#"{"enzyme":"lox"}"#, "enzyme"),
+            ("cohort", r#"{"patients":0}"#, "patients"),
+            ("cohort", r#"{"hours":96}"#, "hours"),
         ] {
             let err = RequestBody::decode(endpoint, &Json::parse(params).unwrap(), &limits)
                 .unwrap_err();
@@ -865,9 +1093,27 @@ mod tests {
     fn trial_cap_is_a_decode_limit() {
         let params = Json::parse(r#"{"trials":5000}"#).unwrap();
         assert!(MontecarloParams::decode(&params, &DecodeLimits::default()).is_ok());
-        let err =
-            MontecarloParams::decode(&params, &DecodeLimits { mc_trial_cap: 1000 }).unwrap_err();
+        let err = MontecarloParams::decode(
+            &params,
+            &DecodeLimits { mc_trial_cap: 1000, ..DecodeLimits::default() },
+        )
+        .unwrap_err();
         assert_eq!(err.field.as_deref(), Some("trials"));
+    }
+
+    #[test]
+    fn cohort_caps_are_decode_limits() {
+        // Per-field cap.
+        let params = Json::parse(r#"{"patients":2000}"#).unwrap();
+        assert!(CohortParams::decode(&params, &DecodeLimits::default()).is_ok());
+        let tight = DecodeLimits { cohort_patient_cap: 100, ..DecodeLimits::default() };
+        let err = CohortParams::decode(&params, &tight).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("patients"));
+        // Joint patient-hours cap: both fields individually legal.
+        let params = Json::parse(r#"{"patients":4000,"hours":24}"#).unwrap();
+        let err = CohortParams::decode(&params, &DecodeLimits::default()).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("patients"));
+        assert!(err.message.contains("patient-hours"), "{}", err.message);
     }
 
     #[test]
@@ -919,6 +1165,47 @@ mod tests {
         });
         let (ns_c, pt_c) = other.route_point().unwrap();
         assert_ne!(runtime::cache_key(ns_a, &pt_a), runtime::cache_key(ns_c, &pt_c));
+    }
+
+    #[test]
+    fn scenario_route_points_default_the_seed_like_the_router() {
+        // Same colocation contract as montecarlo: an absent seed and the
+        // explicit default seed are one cache identity for the new endpoints.
+        let limits = DecodeLimits::default();
+        for endpoint in ["patientday", "cohort"] {
+            let absent =
+                TypedRequest::decode_line(&format!(r#"{{"endpoint":"{endpoint}"}}"#), &limits)
+                    .unwrap();
+            let explicit = TypedRequest::decode_line(
+                &format!(
+                    r#"{{"endpoint":"{endpoint}","params":{{"seed":{}}}}}"#,
+                    scenario::DEFAULT_SEED
+                ),
+                &limits,
+            )
+            .unwrap();
+            let (ns_a, pt_a) = absent.body.route_point().unwrap();
+            let (ns_b, pt_b) = explicit.body.route_point().unwrap();
+            assert_eq!(
+                runtime::cache_key(ns_a, &pt_a),
+                runtime::cache_key(ns_b, &pt_b),
+                "{endpoint}"
+            );
+            let other = TypedRequest::decode_line(
+                &format!(
+                    r#"{{"endpoint":"{endpoint}","params":{{"seed":{}}}}}"#,
+                    scenario::DEFAULT_SEED ^ 1
+                ),
+                &limits,
+            )
+            .unwrap();
+            let (ns_c, pt_c) = other.body.route_point().unwrap();
+            assert_ne!(
+                runtime::cache_key(ns_b, &pt_b),
+                runtime::cache_key(ns_c, &pt_c),
+                "{endpoint}"
+            );
+        }
     }
 
     #[test]

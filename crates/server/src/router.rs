@@ -15,15 +15,16 @@
 //! so pre-v2 callers and tests keep their exact behaviour.
 
 use crate::proto::{
-    DecodeError, DecodeLimits, ErrorCode, Fig11Params, Fig11Preset, FullchainParams,
-    MontecarloParams, RequestBody, SweepParams,
+    CohortParams, DecodeError, DecodeLimits, ErrorCode, Fig11Params, Fig11Preset,
+    FullchainParams, MontecarloParams, PatientdayParams, RequestBody, SweepParams,
 };
 use coils::tissue::TissueStack;
 use implant_core::fullchain::FullChainScenario;
 use implant_core::montecarlo::{MonteCarloStudy, VariationModel};
 use implant_core::scenario::Fig11Scenario;
 use link::budget::PowerBudget;
-use runtime::{Batch, Grid, Json, ParamPoint, Pool, ResultCache};
+use runtime::{Artifact, Batch, Json, ParamPoint, Pool, ResultCache};
+use scenario::{CohortReport, DaySummary};
 
 pub use crate::proto::DATA_ENDPOINTS;
 
@@ -83,7 +84,9 @@ impl Routed {
 pub struct Router {
     pool: Pool,
     mc_cache: ResultCache<implant_core::montecarlo::YieldReport>,
-    sweep_cache: ResultCache<f64>,
+    sweep_cache: ResultCache<Vec<f64>>,
+    day_cache: ResultCache<DaySummary>,
+    cohort_cache: ResultCache<CohortReport>,
     mc_trial_cap: u64,
 }
 
@@ -95,13 +98,15 @@ impl Router {
             pool: Pool::new(pool_workers),
             mc_cache: ResultCache::bounded(cache_capacity),
             sweep_cache: ResultCache::bounded(cache_capacity),
+            day_cache: ResultCache::bounded(cache_capacity),
+            cohort_cache: ResultCache::bounded(cache_capacity),
             mc_trial_cap,
         }
     }
 
     /// The caps this router imposes at decode time.
     pub fn limits(&self) -> DecodeLimits {
-        DecodeLimits { mc_trial_cap: self.mc_trial_cap }
+        DecodeLimits { mc_trial_cap: self.mc_trial_cap, ..DecodeLimits::default() }
     }
 
     /// Dispatches one data-plane request from its raw `params` — the v1
@@ -141,6 +146,8 @@ impl Router {
             RequestBody::Fullchain(p) => self.fullchain(p),
             RequestBody::Montecarlo(p) => self.montecarlo(p),
             RequestBody::Sweep(p) => self.sweep(p),
+            RequestBody::Patientday(p) => self.patientday(p),
+            RequestBody::Cohort(p) => self.cohort(p),
             control => Err(RouteError {
                 code: ErrorCode::UnknownEndpoint,
                 field: Some("endpoint".to_string()),
@@ -274,7 +281,10 @@ impl Router {
     }
 
     /// `sweep`: received power over a distance grid in air or through
-    /// the sirloin tissue stack, each point cached individually.
+    /// the sirloin tissue stack. The whole request is one cache entry
+    /// whose point is exactly [`RequestBody::route_point`] — the same
+    /// identity the cluster hashes for placement — so a re-homed sweep
+    /// lands on a replica that already holds the grid.
     fn sweep(&self, p: &SweepParams) -> Result<Routed, RouteError> {
         let medium = p.medium.as_str();
         let budget = match p.medium {
@@ -289,26 +299,85 @@ impl Router {
         let distances: Vec<f64> = (0..steps)
             .map(|i| p.d_min_mm + span * i as f64 / (steps - 1) as f64)
             .collect();
-        let grid = Grid::builder()
-            .axis("medium", [medium])
-            .axis("distance_mm", distances.iter().copied())
-            .build();
-        let batch = Batch::builder("server-sweep").grid(&grid).build();
-        let run = self.pool.run_cached(&batch, &self.sweep_cache, |ctx| {
-            budget.received_power(ctx.point.f64("distance_mm") * 1e-3)
+        let (ns, point) =
+            RequestBody::Sweep(p.clone()).route_point().expect("sweep is data-plane");
+        let batch = Batch::builder(ns).point(point).build();
+        let run = self.pool.run_cached(&batch, &self.sweep_cache, |_ctx| {
+            distances.iter().map(|&d| budget.received_power(d * 1e-3)).collect::<Vec<f64>>()
         });
-        let p_rx_mw: Vec<Json> = (0..steps)
-            .map(|i| {
-                run.value(i)
-                    .map(|&p| Json::Num(p * 1e3))
-                    .ok_or_else(|| RouteError::internal("sweep point panicked".to_string()))
-            })
-            .collect::<Result<_, _>>()?;
+        let powers = run
+            .value(0)
+            .ok_or_else(|| RouteError::internal(format!("sweep panicked: {:?}", run.failures())))?;
         Ok(Routed {
             result: Json::obj(vec![
                 ("medium", Json::Str(medium.to_string())),
-                ("distances_mm", Json::Arr(distances.into_iter().map(Json::Num).collect())),
-                ("p_rx_mw", Json::Arr(p_rx_mw)),
+                ("distances_mm", Json::Arr(distances.iter().copied().map(Json::Num).collect())),
+                ("p_rx_mw", Json::Arr(powers.iter().map(|&w| Json::Num(w * 1e3)).collect())),
+                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
+            ]),
+            cache_hits: run.metrics.cache_hits as u64,
+            cache_misses: run.metrics.cache_misses as u64,
+        })
+    }
+
+    /// `patientday`: one seeded day on the patch, served as its
+    /// [`DaySummary`]. Cached under the request's own
+    /// [`RequestBody::route_point`] identity.
+    fn patientday(&self, p: &PatientdayParams) -> Result<Routed, RouteError> {
+        let (ns, point) =
+            RequestBody::Patientday(p.clone()).route_point().expect("patientday is data-plane");
+        let day = p.to_day();
+        let batch = Batch::builder(ns).seed(p.seed).point(point).build();
+        let run = self.pool.run_cached(&batch, &self.day_cache, |_ctx| {
+            // One job = one whole trace; the day seeds its own xoshiro
+            // stream, so the summary is identical however the request
+            // lands on workers.
+            day.run().summary()
+        });
+        let summary = run
+            .value(0)
+            .ok_or_else(|| RouteError::internal(format!("day panicked: {:?}", run.failures())))?;
+        Ok(Routed {
+            result: Json::obj(vec![
+                ("seed", Json::Num(p.seed as f64)),
+                ("profile", Json::Str(p.profile.as_str().to_string())),
+                ("hours", Json::Num(p.hours)),
+                ("summary", summary.to_json()),
+                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
+            ]),
+            cache_hits: run.metrics.cache_hits as u64,
+            cache_misses: run.metrics.cache_misses as u64,
+        })
+    }
+
+    /// `cohort`: one shard of a virtual-patient campaign, folded to its
+    /// exactly-mergeable [`CohortReport`]. Cached under the request's
+    /// own [`RequestBody::route_point`] identity, so shard repeats and
+    /// cluster re-homes hit warm.
+    fn cohort(&self, p: &CohortParams) -> Result<Routed, RouteError> {
+        let (ns, point) =
+            RequestBody::Cohort(p.clone()).route_point().expect("cohort is data-plane");
+        let cohort = p.to_cohort();
+        let batch = Batch::builder(ns).seed(p.seed).point(point).build();
+        let run = self.pool.run_cached(&batch, &self.cohort_cache, |_ctx| {
+            // One job = one whole shard, folded in patient order.
+            // Patient streams derive from (seed, offset + i), so the
+            // report is bit-identical to any other execution plan.
+            cohort.run_serial()
+        });
+        let report = run
+            .value(0)
+            .ok_or_else(|| RouteError::internal(format!("shard panicked: {:?}", run.failures())))?;
+        Ok(Routed {
+            result: Json::obj(vec![
+                ("seed", Json::Num(p.seed as f64)),
+                ("offset", Json::Num(p.offset as f64)),
+                ("enzyme", Json::Str(p.enzyme.as_str().to_string())),
+                ("mean_life_h", Json::Num(report.mean_life_h())),
+                ("mean_p_rx_mw", Json::Num(report.mean_p_rx_mw())),
+                ("digest", Json::Str(format!("{:016x}", report.digest()))),
+                ("report", report.to_json()),
+                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
             ]),
             cache_hits: run.metrics.cache_hits as u64,
             cache_misses: run.metrics.cache_misses as u64,
@@ -405,7 +474,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_decreases_with_distance_and_caches_points() {
+    fn sweep_decreases_with_distance_and_caches_whole_requests() {
         let r = router();
         let p = params(vec![
             ("d_min_mm", Json::Num(2.0)),
@@ -413,15 +482,110 @@ mod tests {
             ("steps", Json::Num(4.0)),
         ]);
         let routed = r.handle("sweep", &p).unwrap();
-        assert_eq!(routed.cache_misses, 4);
+        // The whole grid is one cache entry under the route_point
+        // identity (so HRW re-homing keeps sweeps warm).
+        assert_eq!(routed.cache_misses, 1);
+        assert_eq!(routed.result.get("cached"), Some(&Json::Bool(false)));
         let powers = routed.result.get("p_rx_mw").and_then(Json::as_arr).unwrap();
         let vals: Vec<f64> = powers.iter().map(|p| p.as_f64().unwrap()).collect();
         assert_eq!(vals.len(), 4);
         assert!(vals.windows(2).all(|w| w[1] < w[0]), "monotone falloff: {vals:?}");
         // Second identical request is served fully from cache.
         let again = r.handle("sweep", &p).unwrap();
-        assert_eq!(again.cache_hits, 4);
+        assert_eq!(again.cache_hits, 1);
         assert_eq!(again.cache_misses, 0);
+        assert_eq!(again.result.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(again.result.get("p_rx_mw"), routed.result.get("p_rx_mw"));
+    }
+
+    #[test]
+    fn patientday_is_deterministic_and_caches() {
+        let r = router();
+        let p = params(vec![
+            ("seed", Json::Num(42.0)),
+            ("hours", Json::Num(6.0)),
+            ("profile", Json::Str("sensing".into())),
+        ]);
+        let first = r.handle("patientday", &p).unwrap();
+        assert_eq!(first.cache_misses, 1);
+        assert_eq!(first.result.get("cached"), Some(&Json::Bool(false)));
+        let summary = first.result.get("summary").unwrap();
+        assert!(summary.get("end_h").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(summary.get("thermal_ok"), Some(&Json::Bool(true)));
+        let second = r.handle("patientday", &p).unwrap();
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.result.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(second.result.get("summary"), first.result.get("summary"));
+        // A fresh router reproduces bit-for-bit.
+        let other = router().handle("patientday", &p).unwrap();
+        assert_eq!(other.result.get("summary"), first.result.get("summary"));
+    }
+
+    #[test]
+    fn patientday_reproduces_the_battery_life_ordering() {
+        // The data plane serves managed days, so lives show up as the
+        // hour low-power management engages: idle > sensing.
+        let r = router();
+        let day = |profile: &str| {
+            let p = params(vec![
+                ("seed", Json::Num(1.0)),
+                ("battery_mah", Json::Num(30.0)),
+                ("profile", Json::Str(profile.into())),
+            ]);
+            r.handle("patientday", &p).unwrap().result
+        };
+        let idle = day("idle");
+        let sensing = day("sensing");
+        let lp = |r: &Json| {
+            r.get("summary").and_then(|s| s.get("low_power_h")).and_then(Json::as_f64)
+        };
+        let sensing_lp = lp(&sensing).expect("30 mAh sensing day hits low power");
+        if let Some(idle_lp) = lp(&idle) {
+            assert!(idle_lp > sensing_lp, "idle {idle_lp} h vs sensing {sensing_lp} h");
+        }
+    }
+
+    #[test]
+    fn cohort_is_deterministic_and_caches() {
+        let r = router();
+        let p = params(vec![
+            ("seed", Json::Num(2013.0)),
+            ("patients", Json::Num(8.0)),
+            ("hours", Json::Num(4.0)),
+        ]);
+        let first = r.handle("cohort", &p).unwrap();
+        assert_eq!(first.cache_misses, 1);
+        let report = first.result.get("report").unwrap();
+        assert_eq!(report.get("patients").and_then(Json::as_u64), Some(8));
+        let second = r.handle("cohort", &p).unwrap();
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.result.get("digest"), first.result.get("digest"));
+        // The served report round-trips into the scenario type and its
+        // digest matches a local run — the cluster-campaign contract.
+        let parsed = CohortReport::from_json(report).expect("report parses");
+        let local = scenario::Cohort { seed: 2013, patients: 8, offset: 0, hours: 4.0, enzyme: scenario::EnzymeChoice::Mixed }
+            .run_serial();
+        assert_eq!(parsed, local);
+        assert_eq!(
+            first.result.get("digest").and_then(Json::as_str),
+            Some(format!("{:016x}", local.digest()).as_str())
+        );
+    }
+
+    #[test]
+    fn cohort_patient_hours_cap_is_joint() {
+        let r = router();
+        // 5000 patients alone is legal, 48 h alone is legal; together
+        // they exceed the patient-hours budget.
+        let err = r
+            .handle(
+                "cohort",
+                &params(vec![("patients", Json::Num(5000.0)), ("hours", Json::Num(48.0))]),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(err.field.as_deref(), Some("patients"));
+        assert!(err.message.contains("patient-hours"), "{}", err.message);
     }
 
     #[test]
@@ -441,6 +605,11 @@ mod tests {
             ("fig11", params(vec![("t_stop_us", Json::Num(40.0))]), "t_stop_us"),
             ("fullchain", params(vec![("cycles", Json::Num(5e6))]), "cycles"),
             ("fullchain", params(vec![("distance_mm", Json::Num(f64::NAN))]), "distance_mm"),
+            ("patientday", params(vec![("profile", Json::Str("pure".into()))]), "profile"),
+            ("patientday", params(vec![("tissue", Json::Str("bone".into()))]), "tissue"),
+            ("patientday", params(vec![("hours", Json::Num(100.0))]), "hours"),
+            ("cohort", params(vec![("enzyme", Json::Str("lox".into()))]), "enzyme"),
+            ("cohort", params(vec![("patients", Json::Num(0.0))]), "patients"),
         ] {
             let err = r.handle(endpoint, &p).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{endpoint}: {}", err.message);

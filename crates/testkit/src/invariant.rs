@@ -10,6 +10,16 @@
 //! | `bits_exact`         | decoded == sent, or a     | none — corruption must |
 //! |                      | detected error            | be *detected*          |
 //!
+//! Patient-day traces from `implant-scenario` get their own envelope
+//! ([`InvariantChecker::check_patient_day`]):
+//!
+//! | invariant        | bound                                            |
+//! |------------------|--------------------------------------------------|
+//! | `battery_cutoff` | never at/below 3.0 V cutoff without a preceding  |
+//! |                  | `low_power` transition                           |
+//! | `patch_thermal`  | patch surface ≤ 41 °C (skin burn threshold)      |
+//! | `implant_rise`   | implant rise ≤ 2 K (ISO 14708-1)                 |
+//!
 //! Violations are structured — time, signal, observed value, bound and
 //! the faults active at that instant — and the report renders to stable
 //! text lines, which is what the worker-count determinism test compares.
@@ -232,6 +242,97 @@ impl InvariantChecker {
         }
     }
 
+    /// Runs the patient-day envelope on a scenario trace.
+    ///
+    /// The battery must never sit at or below the 3.0 V cutoff — and the
+    /// trace must never reach depletion — without a *preceding*
+    /// `low_power` transition. A breach with the low-power manager
+    /// disabled is attributed to the `low_power_disabled` fault (the
+    /// tester turned management off; the model behaved); a breach with
+    /// the manager armed is unattributed (`fault: None`) — a genuine
+    /// bug, the manager failed to fire. Thermal breaches (patch above
+    /// 41 °C, implant rise above the ISO 2 K limit) are attributed to
+    /// the segment that was active when they began.
+    pub fn check_patient_day(&mut self, trace: &::scenario::DayTrace) {
+        let low_power_at = trace.low_power_at_s();
+        let armed = trace.day.low_power_soc.is_some();
+        let cutoff_fault = || (!armed).then(|| "low_power_disabled".to_string());
+
+        // Step-level: terminal voltage at/below the cutoff.
+        for st in &trace.steps {
+            let preceded = low_power_at.is_some_and(|tl| tl < st.t_s);
+            if st.v <= patch::battery::Battery::V_CUTOFF && !preceded {
+                self.violations.push(Violation {
+                    invariant: "battery_cutoff".to_string(),
+                    signal: "v".to_string(),
+                    time: st.t_s,
+                    value: st.v,
+                    bound: patch::battery::Battery::V_CUTOFF,
+                    fault: cutoff_fault(),
+                });
+            }
+        }
+        // Trace-level: depletion itself needs the same precedent.
+        if let Some(td) = trace.depleted_at_s() {
+            if !low_power_at.is_some_and(|tl| tl < td) {
+                self.violations.push(Violation {
+                    invariant: "battery_cutoff".to_string(),
+                    signal: "soc".to_string(),
+                    time: td,
+                    value: trace.steps.last().map_or(0.0, |st| st.soc),
+                    bound: 0.0,
+                    fault: cutoff_fault(),
+                });
+            }
+        }
+        self.check_day_ceiling(trace, "patch_thermal", "patch_celsius", PATCH_LIMIT_CELSIUS, |st| {
+            st.patch_celsius
+        });
+        self.check_day_ceiling(
+            trace,
+            "implant_rise",
+            "implant_rise_k",
+            patch::thermal::IMPLANT_RISE_LIMIT_K,
+            |st| st.implant_rise_k,
+        );
+    }
+
+    /// One violation per contiguous over-bound run of `f` across the
+    /// day's steps, blamed on the segment active at the breach start.
+    fn check_day_ceiling(
+        &mut self,
+        trace: &::scenario::DayTrace,
+        invariant: &str,
+        signal: &str,
+        bound: f64,
+        f: impl Fn(&::scenario::DayStep) -> f64,
+    ) {
+        let mut run: Option<Violation> = None;
+        for st in &trace.steps {
+            let v = f(st);
+            match (&mut run, v > bound) {
+                (None, true) => {
+                    run = Some(Violation {
+                        invariant: invariant.to_string(),
+                        signal: signal.to_string(),
+                        time: st.t_s,
+                        value: v,
+                        bound,
+                        fault: Some(format!("segment:{}", st.segment)),
+                    });
+                }
+                (Some(viol), true) => {
+                    if v > viol.value {
+                        viol.value = v;
+                    }
+                }
+                (Some(_), false) => self.violations.extend(run.take()),
+                (None, false) => {}
+            }
+        }
+        self.violations.extend(run);
+    }
+
     /// Runs the three paper power invariants on a rectifier-output
     /// trace: the 3 V clamp (no grace), the 2.1 V floor and the 300 mV
     /// regulator dropout margin (grace for out-of-spec faults).
@@ -243,6 +344,10 @@ impl InvariantChecker {
         self.check_floor("regulator_dropout", "vo-1.8", &margin, LDO_DROPOUT_MIN, t_from, Some(inj));
     }
 }
+
+/// Conventional long-exposure skin-burn threshold for a worn patch, °C
+/// (1 °C above the 40 °C low-burn limit — see `patch::thermal`).
+pub const PATCH_LIMIT_CELSIUS: f64 = 41.0;
 
 /// The LDO regulation target (paper: 1.8 V logic supply).
 pub const LDO_V_OUT: f64 = 1.8;
@@ -325,6 +430,75 @@ mod tests {
         let mut c2 = InvariantChecker::new();
         c2.check_bits("bits_exact", &sent, &got, true, 10.0e-6, 0.0, None);
         assert!(c2.is_clean());
+    }
+
+    #[test]
+    fn managed_patient_day_is_clean() {
+        // Routine day, low-power manager armed: even if the battery
+        // drains to cutoff, the transition precedes it.
+        let trace = ::scenario::PatientDay::ironic(11).run();
+        let mut c = InvariantChecker::new();
+        c.check_patient_day(&trace);
+        c.assert_clean();
+    }
+
+    #[test]
+    fn unmanaged_depletion_is_attributed_to_the_disabled_manager() {
+        // Continuous powering with management off burns the 120 mAh in
+        // ~1.5 h; the breach must blame `low_power_disabled`, not the
+        // model.
+        let day = ::scenario::PatientDay::pure(3, patch::power_states::PatchState::powering(), 4.0);
+        let trace = day.run();
+        assert!(trace.depleted_at_s().is_some(), "powering must deplete inside 4 h");
+        let mut c = InvariantChecker::new();
+        c.check_patient_day(&trace);
+        assert!(!c.is_clean());
+        assert!(c.violations().iter().all(|v| v.invariant == "battery_cutoff"));
+        assert!(
+            c.violations()
+                .iter()
+                .all(|v| v.fault.as_deref() == Some("low_power_disabled")),
+            "{:?}",
+            c.report_lines()
+        );
+    }
+
+    #[test]
+    fn armed_manager_that_never_fired_is_a_genuine_bug() {
+        // Tamper with a managed trace: erase the low_power transition.
+        // Depletion without the precedent is now unattributed.
+        let mut day = ::scenario::PatientDay::ironic(5);
+        day.hours = 30.0; // long enough for a routine mix to deplete
+        let mut trace = day.run();
+        assert!(trace.depleted_at_s().is_some(), "30 h on 120 mAh must deplete");
+        trace.events.retain(|e| e.kind != "low_power");
+        let mut c = InvariantChecker::new();
+        c.check_patient_day(&trace);
+        let cutoff: Vec<_> =
+            c.violations().iter().filter(|v| v.invariant == "battery_cutoff").collect();
+        assert!(!cutoff.is_empty());
+        assert!(cutoff.iter().all(|v| v.fault.is_none()), "{:?}", c.report_lines());
+    }
+
+    #[test]
+    fn thermal_breaches_blame_the_active_segment() {
+        let day = ::scenario::PatientDay::ironic(9);
+        let mut trace = day.run();
+        // Forge one hot sense step and an implant-rise overshoot later.
+        trace.steps[10].segment = "sense";
+        trace.steps[10].patch_celsius = 43.0;
+        trace.steps[20].implant_rise_k = 2.5;
+        let mut c = InvariantChecker::new();
+        c.check_patient_day(&trace);
+        let patch_v: Vec<_> =
+            c.violations().iter().filter(|v| v.invariant == "patch_thermal").collect();
+        assert_eq!(patch_v.len(), 1);
+        assert_eq!(patch_v[0].fault.as_deref(), Some("segment:sense"));
+        assert!((patch_v[0].value - 43.0).abs() < 1e-12);
+        let rise_v: Vec<_> =
+            c.violations().iter().filter(|v| v.invariant == "implant_rise").collect();
+        assert_eq!(rise_v.len(), 1);
+        assert_eq!(rise_v[0].bound, patch::thermal::IMPLANT_RISE_LIMIT_K);
     }
 
     #[test]

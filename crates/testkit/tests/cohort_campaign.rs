@@ -1,0 +1,74 @@
+//! The cohort campaign: a thousand virtual patients sharded over a
+//! three-replica cluster must merge to the *bit-identical* report a
+//! serial single-process run produces — same digest, zero lost
+//! in-deadline shards — and a repeat of the same campaign must be
+//! answered entirely from warm result caches.
+//!
+//! Runs at whatever `IMPLANT_WORKERS` says (the per-replica simulation
+//! pool width) — the contract is identical at 1 and 8 workers.
+
+use cluster::{ClusterClient, CohortCampaign, ProbeConfig, ReplicaSet, RetryPolicy};
+use scenario::{Cohort, EnzymeChoice};
+use server::ServerConfig;
+use std::time::Duration;
+use testkit::workers_from_env;
+
+fn replica_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        pool_workers: workers_from_env(),
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    }
+}
+
+fn fast_probe() -> ProbeConfig {
+    ProbeConfig {
+        interval: Duration::from_millis(5),
+        fall_threshold: 2,
+        rise_threshold: 1,
+        probe_timeout: Duration::from_millis(250),
+    }
+}
+
+#[test]
+fn thousand_patient_cohort_is_bit_identical_across_the_cluster() {
+    let cohort = Cohort {
+        seed: 2013,
+        patients: 1000,
+        offset: 0,
+        hours: 4.0,
+        enzyme: EnzymeChoice::Mixed,
+    };
+    let expected = cohort.run_serial();
+
+    let set = ReplicaSet::spawn_local(3, &replica_config(), fast_probe()).unwrap();
+    assert!(set.await_converged(Duration::from_secs(10)), "initial probes converge");
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let campaign = CohortCampaign::new(cohort, 125);
+    let budget = Some(Duration::from_secs(120));
+
+    let outcome = campaign.run(&mut client, budget);
+    assert!(outcome.complete(), "in-deadline shards lost: {:?}", outcome.lost);
+    assert_eq!(outcome.shards, 8);
+    assert_eq!(outcome.report, expected, "cluster merge must equal the serial run bit-for-bit");
+    assert_eq!(outcome.report.digest(), expected.digest());
+    assert!(
+        outcome.replicas.len() >= 2,
+        "8 shard keys over 3 replicas must spread: {:?}",
+        outcome.replicas
+    );
+
+    // The same campaign again: identical digest, every shard served
+    // from the warm result cache of its home replica.
+    let again = campaign.run(&mut client, budget);
+    assert!(again.complete(), "lost on the warm pass: {:?}", again.lost);
+    assert_eq!(again.report.digest(), expected.digest());
+    assert_eq!(
+        again.cached_shards, again.shards,
+        "second pass must be fully cached: {:?}",
+        again.replicas
+    );
+    assert_eq!(client.stats().routed, 16, "8 shards, twice");
+    set.shutdown();
+}

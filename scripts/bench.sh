@@ -3,12 +3,13 @@
 # microbenchmarks with profiling enabled, writes machine-readable
 # artifacts, and validates them.
 #
-#   scripts/bench.sh           # full run: BENCH_serve + BENCH_kernels + BENCH_cluster
+#   scripts/bench.sh           # full run: BENCH_serve + BENCH_kernels + BENCH_cluster + BENCH_scenario
 #   scripts/bench.sh --smoke   # small sizes, same artifacts — the CI lane
 #
 # Artifacts land in the repo root (override with BENCH_DIR). Each file
 # declares its schema (`implant-bench-serve/1`, `implant-bench-kernels/1`,
-# `implant-bench-cluster/1`) and is checked by `bench_validate`: missing
+# `implant-bench-cluster/1`, `implant-bench-scenario/1`) and is checked
+# by `bench_validate`: missing
 # fields, empty stage breakdowns, or non-finite numbers fail the run.
 
 set -euo pipefail
@@ -23,14 +24,17 @@ BENCH_DIR="${BENCH_DIR:-.}"
 SERVE_JSON="$BENCH_DIR/BENCH_serve.json"
 KERNELS_JSON="$BENCH_DIR/BENCH_kernels.json"
 CLUSTER_JSON="$BENCH_DIR/BENCH_cluster.json"
+SCENARIO_JSON="$BENCH_DIR/BENCH_scenario.json"
 
 SERVE_ARGS=(--connections 4 --requests 25 --mc-trials 200)
 KERNEL_ARGS=()
 CLUSTER_ARGS=(--connections 4 --requests 30 --mc-trials 150)
+SCENARIO_ARGS=(--repeats 3 --patients 30)
 if [[ "${1:-}" == "--smoke" ]]; then
     SERVE_ARGS=(--connections 2 --requests 8 --mc-trials 50)
     KERNEL_ARGS=(--smoke)
     CLUSTER_ARGS=(--smoke)
+    SCENARIO_ARGS=(--smoke)
 fi
 
 echo "==> building benchmark binaries"
@@ -45,7 +49,10 @@ echo "==> kernel benchmark -> $KERNELS_JSON"
 echo "==> cluster benchmark -> $CLUSTER_JSON"
 ./target/release/bench_cluster "${CLUSTER_ARGS[@]}" --json "$CLUSTER_JSON"
 
-echo "==> validating artifacts"
-./target/release/bench_validate "$SERVE_JSON" "$KERNELS_JSON" "$CLUSTER_JSON"
+echo "==> scenario benchmark -> $SCENARIO_JSON"
+./target/release/bench_scenario "${SCENARIO_ARGS[@]}" --profile --json "$SCENARIO_JSON"
 
-echo "bench: OK ($SERVE_JSON, $KERNELS_JSON, $CLUSTER_JSON)"
+echo "==> validating artifacts"
+./target/release/bench_validate "$SERVE_JSON" "$KERNELS_JSON" "$CLUSTER_JSON" "$SCENARIO_JSON"
+
+echo "bench: OK ($SERVE_JSON, $KERNELS_JSON, $CLUSTER_JSON, $SCENARIO_JSON)"

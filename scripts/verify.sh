@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 600+ tests; a sharp drop means suites
+# The workspace currently runs 650+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=600
+MIN_TESTS=650
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -62,6 +62,13 @@ lane cluster ./target/release/bench_cluster --smoke
 lane testkit-w1 env IMPLANT_WORKERS=1 cargo test -q -p implant-testkit
 lane testkit-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-testkit
 
+# Scenario lane: seeded patient-day and cohort traces must be
+# bit-identical whatever the worker count — the cluster's shard-merge
+# guarantee rests on it — so run the scenario suite at both ends of the
+# supported range.
+lane scenario-w1 env IMPLANT_WORKERS=1 cargo test -q -p implant-scenario
+lane scenario-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-scenario
+
 # Bench lane: the profiling harness must produce valid machine-readable
 # artifacts — scripts/bench.sh runs both benchmarks at smoke sizes and
 # bench_validate rejects missing fields, empty stage breakdowns, and
@@ -69,7 +76,7 @@ lane testkit-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-testkit
 lane bench env BENCH_DIR="$(mktemp -d)" ./scripts/bench.sh --smoke
 
 if [[ "${1:-}" == "--fuzz" ]]; then
-    for crate in analog biosensor coils comms pmu; do
+    for crate in analog biosensor coils comms patch pmu; do
         lane "fuzz-$crate" cargo test -q -p "$crate" --features fuzz
     done
 fi
