@@ -18,25 +18,38 @@
 //!    is marked down. The contract — asserted always — is zero lost
 //!    in-deadline requests.
 //!
+//! 3. **Warm** (`--warm`) — the post-kill *repeat-read* comparison the
+//!    shared artifact store exists for. The same workload runs twice:
+//!    once bare (a kill orphans every victim-homed key, and re-reading
+//!    it recomputes on the new owner) and once over a shared store with
+//!    hedged reads (the orphaned keys are answered from the tier, and
+//!    the victim rejoins via catch-up). Reports the post-kill p99 of
+//!    both variants — the store run must shrink it — plus catch-up and
+//!    hedge counters.
+//!
 //! `--json PATH` writes `BENCH_cluster.json`
-//! (schema `implant-bench-cluster/1`, checked by `bench_validate`).
+//! (schema `implant-bench-cluster/1`, checked by `bench_validate`;
+//! `--warm` adds the `warm` object with `post_kill_p99_ms`,
+//! `catchup_keys` and `hedged_reads`).
 //!
 //! ```text
-//! cargo run --release --bin bench_cluster -- --smoke --json BENCH_cluster.json
+//! cargo run --release --bin bench_cluster -- --smoke --warm --json BENCH_cluster.json
 //! ```
 
 use bench::{banner, duration_us, verdict};
-use cluster::{ClusterClient, HealthState, ProbeConfig, ReplicaSet, RetryPolicy};
+use cluster::{ClusterClient, HealthState, HedgeConfig, ProbeConfig, ReplicaSet, RetryPolicy};
 use runtime::{Json, LatencyHistogram};
 use server::ServerConfig;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use store::{CatchupBudget, Store};
 
 struct Args {
     connections: usize,
     requests: usize,
     mc_trials: u64,
     smoke: bool,
+    warm: bool,
     json_path: Option<String>,
 }
 
@@ -47,6 +60,7 @@ impl Args {
             requests: 30,
             mc_trials: 150,
             smoke: false,
+            warm: false,
             json_path: None,
         };
         let mut it = std::env::args().skip(1);
@@ -61,12 +75,13 @@ impl Args {
                 "--requests" => args.requests = take("--requests").max(1),
                 "--mc-trials" => args.mc_trials = take("--mc-trials").max(1) as u64,
                 "--smoke" => args.smoke = true,
+                "--warm" => args.warm = true,
                 "--json" => {
                     args.json_path =
                         Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
                 other => panic!(
-                    "unknown flag {other:?} (known: --connections --requests --mc-trials --smoke --json)"
+                    "unknown flag {other:?} (known: --connections --requests --mc-trials --smoke --warm --json)"
                 ),
             }
         }
@@ -187,6 +202,90 @@ fn window_json(name: &str, hist: &LatencyHistogram) -> (String, Json) {
     )
 }
 
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One `--warm` variant: post-kill repeat-read latency plus counters.
+struct WarmVariant {
+    post_kill: LatencyHistogram,
+    lost: u64,
+    hedges: u64,
+    store_hits: u64,
+    catchup_keys: u64,
+}
+
+/// Computes `requests` unique seeds on a 3-replica set, kills the
+/// member owning the most of them, then re-reads every seed *without
+/// waiting for the prober* — the repeat-read window the shared store
+/// targets. With `store_dir` the replicas write through to the tier,
+/// the re-reader hedges into it, and the victim rejoins via catch-up;
+/// without, the orphaned keys recompute on their new owners.
+fn warm_variant(args: &Args, store_dir: Option<&std::path::Path>) -> WarmVariant {
+    let config = ServerConfig {
+        store_dir: store_dir.map(std::path::Path::to_path_buf),
+        ..replica_config()
+    };
+    let set = ReplicaSet::spawn_local(3, &config, probe()).expect("spawn replicas");
+    assert!(set.await_converged(Duration::from_secs(10)));
+    let budget = Some(Duration::from_secs(30));
+
+    // Warm pass: every seed computed once, homes learned.
+    let mut owned = std::collections::BTreeMap::<String, u64>::new();
+    let mut warm = ClusterClient::new(set.clone(), RetryPolicy::default());
+    for seed in 0..args.requests as u64 {
+        let routed = warm
+            .request_routed("montecarlo", mc_params(seed, args.mc_trials), budget)
+            .expect("warm pass answered");
+        assert!(routed.response.is_ok());
+        *owned.entry(routed.replica).or_default() += 1;
+    }
+    let victim = owned
+        .iter()
+        .max_by_key(|(_, n)| **n)
+        .map(|(name, _)| name.clone())
+        .expect("at least one home");
+    assert!(set.kill(&victim), "victim is killable");
+
+    // Re-read pass, immediately: the prober has not necessarily caught
+    // up, so victim-homed keys hit a dead socket first.
+    let policy = RetryPolicy {
+        hedge: store_dir.map(|_| HedgeConfig {
+            threshold: Duration::from_millis(25),
+            jitter: Duration::from_millis(5),
+            seed: 0x1201_2013,
+        }),
+        ..RetryPolicy::default()
+    };
+    let mut reader = ClusterClient::new(set.clone(), policy);
+    if let Some(dir) = store_dir {
+        reader = reader.with_store(Arc::new(Store::open(dir, "bench-reader").expect("open store")));
+    }
+    let mut post_kill = LatencyHistogram::new();
+    let mut lost = 0u64;
+    for seed in 0..args.requests as u64 {
+        let at = Instant::now();
+        match reader.request_routed("montecarlo", mc_params(seed, args.mc_trials), budget) {
+            Ok(routed) if routed.response.is_ok() => post_kill.record(at.elapsed()),
+            _ => lost += 1,
+        }
+    }
+    let stats = reader.stats();
+
+    // With a store the victim rejoins warm before the set drains.
+    let catchup_keys = if store_dir.is_some() {
+        assert!(set.await_state(&victim, HealthState::Down, Duration::from_secs(10)));
+        let report = set
+            .rejoin_with_catchup(&victim, &CatchupBudget::default(), 0x2013)
+            .expect("rejoin with catch-up");
+        report.admitted
+    } else {
+        0
+    };
+    set.shutdown();
+    WarmVariant { post_kill, lost, hedges: stats.hedges, store_hits: stats.store_hits, catchup_keys }
+}
+
 fn main() {
     let args = Args::parse();
     banner("S2", "implant-cluster replica scaling and failover");
@@ -265,6 +364,47 @@ fn main() {
     let zero_lost = lost == 0;
     println!("  zero lost in-deadline requests ({} of {}) … {}", 3 * w - lost, 3 * w, verdict(zero_lost));
 
+    // Phase 3: post-kill repeat reads, bare vs shared store.
+    let warm = if args.warm {
+        println!();
+        println!("post-kill repeat reads (no store vs shared store + hedged reads):");
+        let store_dir = std::env::temp_dir()
+            .join(format!("implant-bench-cluster-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let baseline = warm_variant(&args, None);
+        let stored = warm_variant(&args, Some(&store_dir));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        println!("  {:>8}  {:>10}  {:>10}  {:>4}", "variant", "p50", "p99", "lost");
+        for (name, v) in [("baseline", &baseline), ("store", &stored)] {
+            println!(
+                "  {:>8}  {:>10?}  {:>10?}  {:>4}",
+                name,
+                v.post_kill.p50(),
+                v.post_kill.p99(),
+                v.lost
+            );
+        }
+        println!(
+            "  catch-up pre-warmed {} keys · {} hedged reads · {} store hits",
+            stored.catchup_keys, stored.hedges, stored.store_hits
+        );
+        let shrink = stored.post_kill.p99() < baseline.post_kill.p99();
+        println!(
+            "  store shrinks post-kill p99 ({:.2?} → {:.2?}) … {}",
+            baseline.post_kill.p99(),
+            stored.post_kill.p99(),
+            verdict(shrink)
+        );
+        let warm_lost = baseline.lost + stored.lost;
+        println!(
+            "  zero lost across both variants … {}",
+            verdict(warm_lost == 0)
+        );
+        Some((baseline, stored, shrink && warm_lost == 0))
+    } else {
+        None
+    };
+
     if let Some(path) = &args.json_path {
         let scaling = Json::Obj(
             points
@@ -285,7 +425,7 @@ fn main() {
                 })
                 .collect(),
         );
-        let doc = Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("schema", Json::Str("implant-bench-cluster/1".to_string())),
             (
                 "config",
@@ -313,10 +453,31 @@ fn main() {
                 ]),
             ),
         ]);
+        if let (Some((baseline, stored, _)), Json::Obj(pairs)) = (&warm, &mut doc) {
+            let variant = |v: &WarmVariant| {
+                Json::obj(vec![
+                    ("requests", Json::Num(v.post_kill.count() as f64)),
+                    ("post_kill_p50_ms", Json::Num(ms(v.post_kill.p50()))),
+                    ("post_kill_p99_ms", Json::Num(ms(v.post_kill.p99()))),
+                    ("lost", Json::Num(v.lost as f64)),
+                ])
+            };
+            pairs.push((
+                "warm".to_string(),
+                Json::obj(vec![
+                    ("baseline", variant(baseline)),
+                    ("store", variant(stored)),
+                    ("catchup_keys", Json::Num(stored.catchup_keys as f64)),
+                    ("hedged_reads", Json::Num(stored.hedges as f64)),
+                    ("store_hits", Json::Num(stored.store_hits as f64)),
+                ]),
+            ));
+        }
         bench::write_bench_json(path, &doc);
     }
 
-    let pass = no_losses && scaling_ok && zero_lost;
+    let pass =
+        no_losses && scaling_ok && zero_lost && warm.as_ref().is_none_or(|(_, _, ok)| *ok);
     println!();
     println!("bench_cluster verdict: {}", verdict(pass));
     if !pass {

@@ -185,6 +185,50 @@ fn validate_cluster(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
         kill.get("lost").and_then(Json::as_f64) == Some(0.0),
         "kill phase lost in-deadline requests",
     );
+    // The warm (shared-store) phase is optional — `--warm` lanes only —
+    // but when present it must carry both variants and the counters,
+    // and the store must actually have shrunk the post-kill p99.
+    if let Some(warm) = doc.get("warm") {
+        for variant in ["baseline", "store"] {
+            for key in ["requests", "post_kill_p50_ms", "post_kill_p99_ms", "lost"] {
+                check(
+                    errors,
+                    file,
+                    warm.get(variant)
+                        .and_then(|v| v.get(key))
+                        .and_then(Json::as_f64)
+                        .is_some_and(f64::is_finite),
+                    &format!("warm variant {variant:?} missing numeric {key}"),
+                );
+            }
+            check(
+                errors,
+                file,
+                warm.get(variant).and_then(|v| v.get("lost")).and_then(Json::as_f64)
+                    == Some(0.0),
+                &format!("warm variant {variant:?} lost requests"),
+            );
+        }
+        for key in ["catchup_keys", "hedged_reads", "store_hits"] {
+            check(
+                errors,
+                file,
+                warm.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+                &format!("warm missing numeric {key}"),
+            );
+        }
+        let p99 = |variant: &str| {
+            warm.get(variant).and_then(|v| v.get("post_kill_p99_ms")).and_then(Json::as_f64)
+        };
+        if let (Some(baseline), Some(stored)) = (p99("baseline"), p99("store")) {
+            check(
+                errors,
+                file,
+                stored < baseline,
+                &format!("store did not shrink post-kill p99 ({stored} ms vs {baseline} ms)"),
+            );
+        }
+    }
 }
 
 fn validate_file(errors: &mut Vec<Violation>, file: &str) {

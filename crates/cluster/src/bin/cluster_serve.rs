@@ -27,6 +27,7 @@ struct Args {
     workers: usize,
     pool_workers: usize,
     idle_timeout_ms: u64,
+    store_dir: Option<std::path::PathBuf>,
 }
 
 impl Args {
@@ -39,6 +40,7 @@ impl Args {
             workers: 2,
             pool_workers: 2,
             idle_timeout_ms: 0,
+            store_dir: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -51,7 +53,10 @@ impl Args {
                      --queue-capacity N     per-replica queue (default 64)\n\
                      --workers N            per-replica workers (default 2)\n\
                      --pool-workers N       per-replica simulation pool (default 2)\n\
-                     --idle-timeout-ms N    per-replica idle close, 0 = off (default 0)"
+                     --idle-timeout-ms N    per-replica idle close, 0 = off (default 0)\n\
+                     --store-dir PATH       shared artifact store root: replicas write\n\
+                                            through to it and the proxy hedges slow\n\
+                                            reads from it (default: no store)"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +78,7 @@ impl Args {
                 "--workers" => args.workers = parse(&value).clamp(1, 64) as usize,
                 "--pool-workers" => args.pool_workers = parse(&value).clamp(1, 64) as usize,
                 "--idle-timeout-ms" => args.idle_timeout_ms = parse(&value),
+                "--store-dir" => args.store_dir = Some(std::path::PathBuf::from(value)),
                 other => {
                     eprintln!("cluster_serve: unknown flag {other} (try --help)");
                     std::process::exit(2);
@@ -90,6 +96,7 @@ fn main() {
         workers: args.workers,
         pool_workers: args.pool_workers,
         idle_timeout_ms: args.idle_timeout_ms,
+        store_dir: args.store_dir.clone(),
         ..ServerConfig::default()
     };
     let probe = ProbeConfig {
@@ -103,9 +110,20 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // A shared store makes hedging worthwhile: the fallback read is a
+    // local file, not a recompute on another replica.
+    let policy = RetryPolicy {
+        hedge: args.store_dir.as_ref().map(|_| cluster::HedgeConfig::default()),
+        ..RetryPolicy::default()
+    };
     let proxy = match ClusterProxy::spawn(
         set.clone(),
-        ProxyConfig { addr: args.addr, policy: RetryPolicy::default(), ..ProxyConfig::default() },
+        ProxyConfig {
+            addr: args.addr,
+            policy,
+            store_dir: args.store_dir.clone(),
+            ..ProxyConfig::default()
+        },
     ) {
         Ok(proxy) => proxy,
         Err(e) => {

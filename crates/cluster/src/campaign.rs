@@ -17,9 +17,10 @@
 //! testkit's cohort-campaign test pins down to the digest.
 
 use crate::client::ClusterClient;
-use runtime::{Artifact as _, Json};
+use runtime::{Artifact as _, Batch, Json, ParamPoint, Pool};
 use scenario::{Cohort, CohortReport};
 use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::time::Duration;
 
 /// Largest cohort seed that survives the JSON wire exactly (the v2
@@ -155,6 +156,108 @@ impl CohortCampaign {
             }
         }
         outcome
+    }
+
+    /// Runs the campaign *through the front proxy*, dispatching shards
+    /// in parallel on `pool` — one proxy connection per in-flight shard,
+    /// so the proxy's per-connection routing clients place, retry, and
+    /// hedge each shard independently.
+    ///
+    /// Shard reports are still merged **in offset order**, never in
+    /// completion order, so the merged [`CohortReport`] is bit-identical
+    /// to [`CohortCampaign::run`] over the same cohort — and to a serial
+    /// single-process run — for any worker count. `Pool::new(1)` *is*
+    /// the sequential baseline; the testkit pins the digest across both.
+    ///
+    /// The answering replica per shard comes from the `replica` field
+    /// the proxy stamps on data responses (`"store"` marks a hedged
+    /// store read).
+    pub fn run_via_proxy(
+        &self,
+        addr: SocketAddr,
+        pool: &Pool,
+        budget: Option<Duration>,
+    ) -> CampaignOutcome {
+        let _span = obs::span!("cluster.campaign");
+        let shards = self.cohort.shards(self.shard_patients);
+        let batch = shards
+            .iter()
+            .fold(Batch::builder("cluster-campaign").seed(self.cohort.seed), |b, shard| {
+                b.point(ParamPoint::new().with("offset", shard.offset))
+            })
+            .build();
+        let run = pool.run(&batch, |ctx| Self::dispatch_shard(addr, &shards[ctx.index], budget));
+        let mut outcome = CampaignOutcome {
+            report: CohortReport::empty(),
+            shards: shards.len() as u64,
+            lost: Vec::new(),
+            replicas: BTreeMap::new(),
+            cached_shards: 0,
+        };
+        for (index, shard) in shards.iter().enumerate() {
+            match run.value(index) {
+                Some(Ok((report, replica, cached))) => {
+                    obs::count!("cluster.campaign.shard");
+                    outcome.report.merge(report);
+                    *outcome.replicas.entry(replica.clone()).or_default() += 1;
+                    if *cached {
+                        outcome.cached_shards += 1;
+                    }
+                }
+                Some(Err(reason)) => {
+                    obs::count!("cluster.campaign.lost");
+                    outcome.lost.push(LostShard {
+                        offset: shard.offset,
+                        patients: shard.patients,
+                        reason: reason.clone(),
+                    });
+                }
+                None => {
+                    obs::count!("cluster.campaign.lost");
+                    outcome.lost.push(LostShard {
+                        offset: shard.offset,
+                        patients: shard.patients,
+                        reason: "shard job panicked".to_string(),
+                    });
+                }
+            }
+        }
+        outcome
+    }
+
+    /// One shard over its own proxy connection: `(report, replica,
+    /// cached)` on success, a reason string on any failure.
+    fn dispatch_shard(
+        addr: SocketAddr,
+        shard: &Cohort,
+        budget: Option<Duration>,
+    ) -> Result<(CohortReport, String, bool), String> {
+        let timeout = budget.unwrap_or(Duration::from_secs(10));
+        let mut client = server::client::Client::builder()
+            .connect_timeout(timeout)
+            .read_timeout(timeout)
+            .connect(addr)
+            .map_err(|e| format!("connect: {e}"))?;
+        let deadline_ms = timeout.as_millis().max(1) as u64;
+        let response = client
+            .request_with_deadline("cohort", Self::shard_params(shard), deadline_ms)
+            .map_err(|e| e.to_string())?;
+        if !response.is_ok() {
+            return Err(response.error_code().unwrap_or("malformed_report").to_string());
+        }
+        let result = response.result();
+        let report = result
+            .and_then(|r| r.get("report"))
+            .and_then(CohortReport::from_json)
+            .ok_or_else(|| "malformed_report".to_string())?;
+        let cached = result.and_then(|r| r.get("cached")) == Some(&Json::Bool(true));
+        let replica = response
+            .json()
+            .get("replica")
+            .and_then(Json::as_str)
+            .unwrap_or("proxy")
+            .to_string();
+        Ok((report, replica, cached))
     }
 }
 

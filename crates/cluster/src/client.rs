@@ -22,13 +22,25 @@
 //! stream index), so a test that replays the same request sequence
 //! observes the same delays — retry schedules are reproducible, never
 //! wall-clock folklore.
+//!
+//! With a [`HedgeConfig`] the client additionally *hedges* slow
+//! cache-identity reads: the first attempt's read is capped at the
+//! hedge threshold (plus seeded jitter — deterministic, replayable),
+//! and when the rendezvous owner blows through it the client abandons
+//! that socket (the loser is cancelled by dropping the pooled
+//! connection) and immediately races the alternatives — the shared
+//! artifact store first when one is attached ([`ClusterClient::
+//! with_store`]), then the next member in rendezvous order with no
+//! backoff pause. First response wins.
 
 use crate::member::{HealthState, ReplicaSet};
 use crate::rendezvous;
 use server::client::{Client, ClientError, Response};
 use server::proto::{DecodeError, DecodeLimits, RequestBody};
+use server::router::render_cached_body;
 use runtime::rng::Rng as _;
 use runtime::{cache_key, derive_seed, Json, Xoshiro256PlusPlus};
+use store::Store;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -50,6 +62,8 @@ pub struct RetryPolicy {
     pub connect_timeout: Duration,
     /// Deadline budget when the caller passes none.
     pub default_budget: Duration,
+    /// Hedge slow cache-identity reads (`None` = never hedge).
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for RetryPolicy {
@@ -61,6 +75,45 @@ impl Default for RetryPolicy {
             seed: 0x1201_2013,
             connect_timeout: Duration::from_millis(250),
             default_budget: Duration::from_secs(10),
+            hedge: None,
+        }
+    }
+}
+
+/// When and how to hedge a slow read.
+///
+/// Request `i` waits `threshold + uniform(0, jitter)` on the rendezvous
+/// owner before hedging; the jitter is drawn from stream `i` of `seed`
+/// ([`runtime::derive_seed`]), so hedge timing — like the backoff
+/// schedule — replays bit-identically under a fixed seed.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Patience with the primary before racing an alternative.
+    pub threshold: Duration,
+    /// Upper bound of the seeded jitter added to `threshold` (spreads
+    /// concurrent hedgers; zero = fixed threshold).
+    pub jitter: Duration,
+    /// Root seed of the per-request jitter streams.
+    pub seed: u64,
+}
+
+impl HedgeConfig {
+    /// The primary's patience for request stream `stream`: `threshold +
+    /// uniform(0, jitter)` on the stream's own xoshiro state. Pure —
+    /// replaying a request sequence replays its hedge schedule.
+    pub fn wait(&self, stream: u64) -> Duration {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(derive_seed(self.seed, stream));
+        let jitter = (rng.next_f64() * self.jitter.as_nanos() as f64) as u64;
+        self.threshold + Duration::from_nanos(jitter)
+    }
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            threshold: Duration::from_millis(150),
+            jitter: Duration::from_millis(25),
+            seed: 0x0b1e_c7ed,
         }
     }
 }
@@ -110,6 +163,10 @@ pub struct ClusterStats {
     pub failovers: u64,
     /// Connections (re)established.
     pub connects: u64,
+    /// Primary reads abandoned past the hedge threshold.
+    pub hedges: u64,
+    /// Hedged reads answered from the shared artifact store.
+    pub store_hits: u64,
 }
 
 /// A routed success: the response plus where and how it was won.
@@ -170,6 +227,7 @@ pub struct ClusterClient {
     conns: HashMap<String, Client>,
     stream: u64,
     stats: ClusterStats,
+    store: Option<Arc<Store>>,
 }
 
 impl ClusterClient {
@@ -182,7 +240,17 @@ impl ClusterClient {
             conns: HashMap::new(),
             stream: 0,
             stats: ClusterStats::default(),
+            store: None,
         }
+    }
+
+    /// Attaches the shared artifact store: hedged cache-identity reads
+    /// check it before failing over to another member, answering with
+    /// replica name `"store"` on a hit.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<Store>) -> ClusterClient {
+        self.store = Some(store);
+        self
     }
 
     /// Counters so far.
@@ -221,11 +289,13 @@ impl ClusterClient {
         params: Json,
         budget: Option<Duration>,
     ) -> Result<RoutedResponse, ClusterError> {
-        let order = {
+        let (body, key, order) = {
             let _route = obs::span!("cluster.route");
             let body = RequestBody::decode(endpoint, &params, &self.limits)
                 .map_err(ClusterError::Decode)?;
-            self.candidate_order(&body)
+            let key = body.route_point().map(|(ns, point)| cache_key(ns, &point));
+            let order = self.candidate_order(key);
+            (body, key, order)
         };
         if order.is_empty() {
             return Err(ClusterError::NoMembers);
@@ -234,10 +304,17 @@ impl ClusterClient {
         self.stream += 1;
         let mut backoff = Backoff::new(&self.policy, self.stream);
         let deadline = Instant::now() + budget.unwrap_or(self.policy.default_budget);
+        // Only cache-identity requests hedge: anything else has no
+        // store fallback and no locality to lose by just retrying.
+        let hedge_wait = match (&self.policy.hedge, key) {
+            (Some(h), Some(_)) => Some(h.wait(self.stream)),
+            _ => None,
+        };
 
         let mut attempts = 0u32;
         let mut last = "never attempted".to_string();
         let mut previous_member: Option<String> = None;
+        let mut hedged = false;
         while attempts < self.policy.max_attempts {
             let slot = attempts as usize % order.len();
             let (name, addr) = &order[slot];
@@ -252,8 +329,14 @@ impl ClusterClient {
                     self.stats.failovers += 1;
                     obs::count!("cluster.failover");
                 }
-                let pause = backoff.next_delay().min(remaining);
-                std::thread::sleep(pause);
+                // A hedge already waited out its threshold — race the
+                // alternative now, don't add a backoff pause on top.
+                if hedged && attempts == 1 {
+                    backoff.next_delay(); // keep the stream in lockstep
+                } else {
+                    let pause = backoff.next_delay().min(remaining);
+                    std::thread::sleep(pause);
+                }
             }
             attempts += 1;
             previous_member = Some(name.clone());
@@ -262,7 +345,14 @@ impl ClusterClient {
             if remaining.is_zero() {
                 break;
             }
-            match self.attempt(name, *addr, endpoint, params.clone(), remaining) {
+            // The primary attempt of a hedgeable request only gets the
+            // hedge window; everyone after runs on the full budget.
+            let hedge_bound = attempts == 1 && !hedged && hedge_wait.is_some();
+            let attempt_budget = match (hedge_bound, hedge_wait) {
+                (true, Some(wait)) => remaining.min(wait),
+                _ => remaining,
+            };
+            match self.attempt(name, *addr, endpoint, params.clone(), attempt_budget) {
                 Ok(response) => {
                     if response.is_ok() {
                         return Ok(RoutedResponse { response, replica: name.clone(), attempts });
@@ -284,26 +374,55 @@ impl ClusterClient {
                 }
                 Err(e) => {
                     // The connection is poisoned (dead socket, torn
-                    // frame); drop it so the next attempt reconnects.
+                    // frame) or hedge-abandoned mid-read; drop it so
+                    // the next attempt reconnects — the slow primary's
+                    // in-flight read is cancelled with the socket.
                     self.conns.remove(name.as_str());
                     last = format!("{name}: {e}");
+                    if hedge_bound {
+                        hedged = true;
+                        self.stats.hedges += 1;
+                        obs::count!("cluster.hedge");
+                        if let Some(won) = self.read_from_store(&body, key) {
+                            self.stats.store_hits += 1;
+                            return Ok(RoutedResponse {
+                                response: won,
+                                replica: "store".to_string(),
+                                attempts,
+                            });
+                        }
+                    }
                 }
             }
         }
         Err(ClusterError::Exhausted { attempts, last })
     }
 
-    /// Candidate `(name, addr)` order for one body: rendezvous ranking
-    /// of its routing key, routable members first, down members kept as
-    /// a last resort (they may have recovered since the last probe).
-    fn candidate_order(&self, body: &RequestBody) -> Vec<(String, std::net::SocketAddr)> {
+    /// The hedge's fastest alternative: a direct read of the shared
+    /// artifact store, rendered into the same response document the
+    /// owning replica would have served (marked `cached`, zero queue
+    /// and service time — nothing ran).
+    fn read_from_store(&self, body: &RequestBody, key: Option<u64>) -> Option<Response> {
+        let value = self.store.as_ref()?.get(key?)?;
+        let result = render_cached_body(body, &value)?;
+        Some(Response::from_json(Json::obj(vec![
+            ("v", Json::Num(2.0)),
+            ("id", Json::Num(0.0)),
+            ("ok", Json::Bool(true)),
+            ("result", result),
+            ("queue_us", Json::Num(0.0)),
+            ("service_us", Json::Num(0.0)),
+        ])))
+    }
+
+    /// Candidate `(name, addr)` order for one routing key: rendezvous
+    /// ranking, routable members first, down members kept as a last
+    /// resort (they may have recovered since the last probe).
+    fn candidate_order(&self, key: Option<u64>) -> Vec<(String, std::net::SocketAddr)> {
         let members = self.set.members();
         let names: Vec<&str> = members.iter().map(|m| m.name()).collect();
-        let key = body
-            .route_point()
-            .map(|(ns, point)| cache_key(ns, &point))
-            // Control bodies have no placement; any replica answers.
-            .unwrap_or(0);
+        // Control bodies have no placement; any replica answers.
+        let key = key.unwrap_or(0);
         let ranked = rendezvous::rank(&names, key);
         let by_name = |name: &str| {
             members
@@ -384,6 +503,44 @@ mod tests {
         let later: Duration = (0..8).map(|_| b.next_delay()).max().unwrap();
         assert!(first < Duration::from_millis(4), "{first:?} within 3x base");
         assert!(later > first, "jitter walks upward: {later:?} vs {first:?}");
+    }
+
+    #[test]
+    fn hedge_schedule_is_deterministic_and_bounded() {
+        let hedge = HedgeConfig {
+            threshold: Duration::from_millis(10),
+            jitter: Duration::from_millis(5),
+            seed: 42,
+        };
+        let waits: Vec<Duration> = (1..=32).map(|s| hedge.wait(s)).collect();
+        let again: Vec<Duration> = (1..=32).map(|s| hedge.wait(s)).collect();
+        assert_eq!(waits, again, "same seed, same schedule");
+        for w in &waits {
+            assert!(
+                *w >= hedge.threshold && *w <= hedge.threshold + hedge.jitter,
+                "{w:?} outside [threshold, threshold + jitter]"
+            );
+        }
+        let distinct: std::collections::BTreeSet<Duration> = waits.iter().copied().collect();
+        assert!(distinct.len() > 16, "streams decorrelate: {distinct:?}");
+        let other = HedgeConfig { seed: 43, ..hedge.clone() };
+        assert_ne!(
+            (1..=32).map(|s| other.wait(s)).collect::<Vec<_>>(),
+            waits,
+            "the root seed moves the whole schedule"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_pins_the_hedge_wait_to_the_threshold() {
+        let hedge = HedgeConfig {
+            threshold: Duration::from_millis(25),
+            jitter: Duration::ZERO,
+            seed: 7,
+        };
+        for stream in 0..8 {
+            assert_eq!(hedge.wait(stream), Duration::from_millis(25));
+        }
     }
 
     #[test]

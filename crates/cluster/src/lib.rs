@@ -7,7 +7,10 @@
 //! * [`member`] — the [`ReplicaSet`]: spawns (or adopts) N replicas and
 //!   probes each one's `health` endpoint on an interval, driving an
 //!   up/down state machine with hysteresis (`cluster.probe` /
-//!   `cluster.up` / `cluster.down` stages);
+//!   `cluster.up` / `cluster.down` stages); a killed replica rejoins
+//!   through [`ReplicaSet::rejoin_with_catchup`], pre-warming its
+//!   HRW-owned keys from the shared [`store`](::store) before it takes
+//!   traffic;
 //! * [`rendezvous`] — highest-random-weight hashing of each request's
 //!   routing key ([`server::proto::RequestBody::route_point`]): the
 //!   top-ranked replica is the placement, the rest of the ranking is
@@ -17,7 +20,9 @@
 //!   budget, bounded retries with decorrelated-jitter backoff seeded
 //!   from the runtime's xoshiro streams (replayable schedules),
 //!   automatic reconnect, failover in rendezvous order on transport
-//!   errors, `overloaded` and `shutting_down`;
+//!   errors, `overloaded` and `shutting_down`, plus seeded hedged reads
+//!   ([`HedgeConfig`]) answered from the shared artifact store when the
+//!   rendezvous owner is slow;
 //! * [`campaign`] — the sharded [`CohortCampaign`]: splits a
 //!   [`scenario::Cohort`] of virtual patients into bounded shards,
 //!   routes each through the client, and merges the reports in offset
@@ -64,6 +69,8 @@ pub mod proxy;
 pub mod rendezvous;
 
 pub use campaign::{CampaignOutcome, CohortCampaign, LostShard};
-pub use client::{Backoff, ClusterClient, ClusterError, ClusterStats, RetryPolicy, RoutedResponse};
+pub use client::{
+    Backoff, ClusterClient, ClusterError, ClusterStats, HedgeConfig, RetryPolicy, RoutedResponse,
+};
 pub use member::{HealthState, Member, MemberView, ProbeConfig, ProbeCounters, ReplicaSet};
 pub use proxy::{ClusterProxy, ProxyConfig, ProxyHandle};

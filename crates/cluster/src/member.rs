@@ -18,7 +18,9 @@
 //! function — unit-tested without sockets; the prober thread is just a
 //! loop applying it to real probe outcomes.
 
+use crate::rendezvous;
 use server::client::Client;
+use server::router::PrewarmReport;
 use server::{Server, ServerConfig, ServerHandle};
 use std::io;
 use std::net::SocketAddr;
@@ -26,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use store::CatchupBudget;
 
 /// Probe cadence and hysteresis thresholds.
 #[derive(Debug, Clone)]
@@ -120,25 +123,52 @@ impl ProbeCounters {
 /// replicas — the server handle itself.
 pub struct Member {
     name: String,
-    addr: SocketAddr,
+    /// Behind a mutex because a rejoined replica binds a fresh
+    /// ephemeral port; routing layers re-read it every request.
+    addr: Mutex<SocketAddr>,
     counters: Mutex<ProbeCounters>,
     handle: Mutex<Option<ServerHandle>>,
+    /// True while the member is catching up from the shared store:
+    /// probes may already succeed, but the effective routing state
+    /// stays [`HealthState::Down`] until the pre-warm completes.
+    warming: AtomicBool,
 }
 
 impl Member {
+    fn new(name: String, addr: SocketAddr, handle: Option<ServerHandle>) -> Member {
+        Member {
+            name,
+            addr: Mutex::new(addr),
+            counters: Mutex::new(ProbeCounters::default()),
+            handle: Mutex::new(handle),
+            warming: AtomicBool::new(false),
+        }
+    }
+
     /// Stable member name (`r0`, `r1`, … for local spawns).
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// The replica's socket address.
+    /// The replica's current socket address (a rejoin re-binds it).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        *self.addr.lock().expect("member lock")
     }
 
-    /// Current routing state.
+    /// Current *effective* routing state: the probe verdict, except
+    /// that a member still warming from the store reports
+    /// [`HealthState::Down`] — it must not take traffic before its
+    /// catch-up finishes.
     pub fn state(&self) -> HealthState {
+        if self.warming.load(Ordering::SeqCst) {
+            return HealthState::Down;
+        }
         self.counters.lock().expect("member lock").state
+    }
+
+    /// True while the member is pre-warming from the shared store.
+    pub fn is_warming(&self) -> bool {
+        self.warming.load(Ordering::SeqCst)
     }
 }
 
@@ -164,6 +194,9 @@ pub struct ReplicaSet {
     config: ProbeConfig,
     stop: Arc<AtomicBool>,
     prober: Mutex<Option<JoinHandle<()>>>,
+    /// The config local replicas were spawned from — kept so a killed
+    /// member can be respawned for rejoin. `None` for adopted sets.
+    template: Option<ServerConfig>,
 }
 
 impl ReplicaSet {
@@ -182,13 +215,16 @@ impl ReplicaSet {
     ) -> io::Result<Arc<ReplicaSet>> {
         let mut members = Vec::with_capacity(n);
         for i in 0..n.max(1) {
-            match Server::spawn(template.clone()) {
-                Ok(handle) => members.push(Arc::new(Member {
-                    name: format!("r{i}"),
-                    addr: handle.addr(),
-                    counters: Mutex::new(ProbeCounters::default()),
-                    handle: Mutex::new(Some(handle)),
-                })),
+            let name = format!("r{i}");
+            // Each replica writes its own store manifest (meaningful
+            // only when the template carries a store_dir).
+            let mut config = template.clone();
+            config.store_replica = name.clone();
+            match Server::spawn(config) {
+                Ok(handle) => {
+                    let addr = handle.addr();
+                    members.push(Arc::new(Member::new(name, addr, Some(handle))));
+                }
                 Err(e) => {
                     for member in &members {
                         if let Some(h) = member.handle.lock().expect("member lock").take() {
@@ -200,7 +236,7 @@ impl ReplicaSet {
                 }
             }
         }
-        Ok(ReplicaSet::start(members, probe))
+        Ok(ReplicaSet::start(members, probe, Some(template.clone())))
     }
 
     /// Adopts externally managed replicas by `(name, addr)`; the set
@@ -211,24 +247,22 @@ impl ReplicaSet {
     ) -> Arc<ReplicaSet> {
         let members = addrs
             .into_iter()
-            .map(|(name, addr)| {
-                Arc::new(Member {
-                    name,
-                    addr,
-                    counters: Mutex::new(ProbeCounters::default()),
-                    handle: Mutex::new(None),
-                })
-            })
+            .map(|(name, addr)| Arc::new(Member::new(name, addr, None)))
             .collect();
-        ReplicaSet::start(members, probe)
+        ReplicaSet::start(members, probe, None)
     }
 
-    fn start(members: Vec<Arc<Member>>, config: ProbeConfig) -> Arc<ReplicaSet> {
+    fn start(
+        members: Vec<Arc<Member>>,
+        config: ProbeConfig,
+        template: Option<ServerConfig>,
+    ) -> Arc<ReplicaSet> {
         let set = Arc::new(ReplicaSet {
             members,
             config,
             stop: Arc::new(AtomicBool::new(false)),
             prober: Mutex::new(None),
+            template,
         });
         let prober = {
             let set = Arc::clone(&set);
@@ -248,7 +282,7 @@ impl ReplicaSet {
                 if self.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                let healthy = probe_once(member.addr, self.config.probe_timeout);
+                let healthy = probe_once(member.addr(), self.config.probe_timeout);
                 obs::count!("cluster.probe");
                 let transition = member
                     .counters
@@ -285,11 +319,14 @@ impl ReplicaSet {
         self.members
             .iter()
             .map(|m| {
+                // Read the effective state first — `Member::state`
+                // takes the counters lock itself.
+                let state = m.state();
                 let c = m.counters.lock().expect("member lock");
                 MemberView {
                     name: m.name.clone(),
-                    addr: m.addr,
-                    state: c.state,
+                    addr: m.addr(),
+                    state,
                     probes: c.probes,
                     transitions: c.transitions,
                 }
@@ -354,6 +391,79 @@ impl ReplicaSet {
         handle.shutdown();
         handle.join();
         true
+    }
+
+    /// Respawns a killed in-process replica and catches it up from the
+    /// shared artifact store before it takes traffic:
+    ///
+    /// 1. the member enters the *warming* state — its effective health
+    ///    is [`HealthState::Down`] whatever the probes say;
+    /// 2. a fresh server is spawned from the set's template (same
+    ///    store directory, the member's own manifest name) on a new
+    ///    ephemeral port;
+    /// 3. the server's router pre-warms every store key HRW assigns to
+    ///    this member under the full membership, within `budget`, in
+    ///    the seeded order of `seed` (see [`store::catchup`]);
+    /// 4. only then does the warming flag clear, letting the prober
+    ///    walk the member back [`HealthState::Up`].
+    ///
+    /// Without a store in the template this still respawns the member —
+    /// the pre-warm is simply empty (a cold rejoin).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for unknown names or sets without a spawn template
+    /// (adopted addresses), `AlreadyExists` if the member is still
+    /// running, or the spawn error itself.
+    pub fn rejoin_with_catchup(
+        &self,
+        name: &str,
+        budget: &CatchupBudget,
+        seed: u64,
+    ) -> io::Result<PrewarmReport> {
+        let Some(member) = self.members.iter().find(|m| m.name == name) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, format!("no member {name:?}")));
+        };
+        let Some(template) = &self.template else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "set has no spawn template (adopted membership)",
+            ));
+        };
+        {
+            let handle = member.handle.lock().expect("member lock");
+            if handle.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("member {name:?} is still running; kill it first"),
+                ));
+            }
+        }
+        member.warming.store(true, Ordering::SeqCst);
+        let mut config = template.clone();
+        config.store_replica = name.to_string();
+        let handle = match Server::spawn(config) {
+            Ok(handle) => handle,
+            Err(e) => {
+                member.warming.store(false, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+        // Pre-warm the keys this member owns under the full membership
+        // — exactly the keys rendezvous routing will send it once up.
+        let names: Vec<String> = self.members.iter().map(|m| m.name.clone()).collect();
+        let report = {
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            handle.shared().router.prewarm(
+                |key| rendezvous::pick(&name_refs, key) == Some(name),
+                budget,
+                seed,
+            )
+        };
+        *member.addr.lock().expect("member lock") = handle.addr();
+        *member.handle.lock().expect("member lock") = Some(handle);
+        member.warming.store(false, Ordering::SeqCst);
+        Ok(report)
     }
 
     /// Stops the prober and drains every replica this set owns.

@@ -29,8 +29,10 @@ use server::proto::{
     decode_err_response, err_response, ok_response, ErrorCode, Request, VERSION,
 };
 use runtime::Json;
+use store::Store;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,6 +48,9 @@ pub struct ProxyConfig {
     /// Bound on each control-plane fetch from a replica (`metrics`,
     /// `metrics_v2`).
     pub control_timeout: Duration,
+    /// Root of the shared artifact store: every connection's routing
+    /// client gets it for hedged store reads (`None` = no store).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ProxyConfig {
@@ -54,6 +59,7 @@ impl Default for ProxyConfig {
             addr: "127.0.0.1:0".to_string(),
             policy: RetryPolicy::default(),
             control_timeout: Duration::from_millis(1000),
+            store_dir: None,
         }
     }
 }
@@ -66,6 +72,7 @@ struct ProxyShared {
     config: ProxyConfig,
     stop: AtomicBool,
     local_addr: SocketAddr,
+    store: Option<Arc<Store>>,
 }
 
 impl ProxyShared {
@@ -84,11 +91,17 @@ impl ClusterProxy {
     ///
     /// # Errors
     ///
-    /// Fails only if the listener cannot bind `config.addr`.
+    /// Fails if the listener cannot bind `config.addr` or the shared
+    /// store directory cannot be opened.
     pub fn spawn(set: Arc<ReplicaSet>, config: ProxyConfig) -> io::Result<ProxyHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let shared = Arc::new(ProxyShared { set, config, stop: AtomicBool::new(false), local_addr });
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(Store::open(dir, "proxy")?)),
+            None => None,
+        };
+        let shared =
+            Arc::new(ProxyShared { set, config, stop: AtomicBool::new(false), local_addr, store });
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -152,6 +165,9 @@ fn serve_conn(stream: TcpStream, shared: &Arc<ProxyShared>) {
     let mut writer = BufWriter::new(stream);
     let mut router =
         ClusterClient::new(Arc::clone(&shared.set), shared.config.policy.clone());
+    if let Some(store) = &shared.store {
+        router = router.with_store(Arc::clone(store));
+    }
 
     loop {
         let line = match read_bounded_line(&mut reader) {
@@ -215,7 +231,10 @@ fn dispatch(
         _ => {
             let budget = request.deadline_ms.map(Duration::from_millis);
             let response = match router.request_routed(&request.endpoint, request.params, budget) {
-                Ok(routed) => with_id(routed.response.into_json(), request.id).to_string(),
+                Ok(routed) => {
+                    let doc = with_id(routed.response.into_json(), request.id);
+                    with_replica(doc, &routed.replica).to_string()
+                }
                 Err(ClusterError::Decode(e)) => decode_err_response(request.id, &e),
                 Err(ClusterError::NoMembers) => {
                     err_response(request.id, ErrorCode::Internal, "no replicas in the set")
@@ -246,6 +265,23 @@ fn with_id(json: Json, id: u64) -> Json {
             }
             if !found {
                 pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+            }
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+/// Stamps the answering replica's name on a proxied data response —
+/// campaign clients read it to account locality, failover, and store
+/// hits (`"store"`) without a side channel.
+fn with_replica(json: Json, replica: &str) -> Json {
+    match json {
+        Json::Obj(mut pairs) => {
+            if let Some((_, value)) = pairs.iter_mut().find(|(key, _)| key == "replica") {
+                *value = Json::Str(replica.to_string());
+            } else {
+                pairs.push(("replica".to_string(), Json::Str(replica.to_string())));
             }
             Json::Obj(pairs)
         }

@@ -5,9 +5,24 @@
 
 use cluster::rendezvous::{pick, rank, weight};
 use proptest::prelude::*;
+use runtime::Json;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use store::{catchup, CatchupBudget, Store};
 
 /// The fixed 4-member set the distribution property measures against.
 const MEMBERS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+
+/// A per-case scratch store root (proptest runs many cases in one
+/// process; each gets its own directory, removed on exit).
+fn scratch_store() -> std::path::PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "implant-rendezvous-store-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -60,6 +75,57 @@ proptest! {
         weights.sort_unstable();
         weights.dedup();
         prop_assert_eq!(weights.len(), MEMBERS.len());
+    }
+
+    /// With every computed key in the shared tier, a membership change
+    /// never forces a recompute: each re-homed key (a) belonged to the
+    /// removed member, and (b) is readable from the store by its new
+    /// owner — and the new owner's catch-up plan selects exactly its
+    /// newly-owned keys, no more, no fewer.
+    #[test]
+    fn rehomed_keys_after_member_removal_come_from_the_shared_tier(
+        raw_keys in proptest::collection::vec(0u64..u64::MAX, 1..12),
+        removed in 0usize..4,
+    ) {
+        let keys: BTreeSet<u64> = raw_keys.iter().copied().collect();
+        let dir = scratch_store();
+        let shared = Store::open(&dir, "writer").unwrap();
+        for &key in &keys {
+            shared.put(key, "prop", "k", &Json::Num(key as f64));
+        }
+        let survivors: Vec<&str> = MEMBERS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, m)| *m)
+            .collect();
+        for &key in &keys {
+            let before = pick(&MEMBERS, key).unwrap();
+            let after = pick(&survivors, key).unwrap();
+            if before != after {
+                prop_assert_eq!(before, MEMBERS[removed], "only the corpse's keys move");
+                prop_assert!(
+                    shared.get(key).is_some(),
+                    "re-homed key {key:#x} must be served from the tier, not recomputed"
+                );
+            }
+        }
+        for name in &survivors {
+            let plan = catchup::plan(
+                &shared,
+                |k| pick(&survivors, k) == Some(name),
+                7,
+                &CatchupBudget::default(),
+            );
+            let planned: BTreeSet<u64> = plan.keys.iter().map(|p| p.key).collect();
+            let owned: BTreeSet<u64> = keys
+                .iter()
+                .copied()
+                .filter(|&k| pick(&survivors, k) == Some(name))
+                .collect();
+            prop_assert_eq!(planned, owned, "catch-up covers exactly {}'s keys", name);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -1,0 +1,253 @@
+//! Integration tests of the shared artifact store in the cluster:
+//! write-through from replicas, rejoin catch-up gating, hedged reads
+//! answered from the store, and zero-recompute re-homing after a kill.
+
+use cluster::{
+    ClusterClient, HealthState, HedgeConfig, ProbeConfig, ReplicaSet, RetryPolicy,
+};
+use server::proto::{DecodeLimits, RequestBody};
+use server::ServerConfig;
+use runtime::Json;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use store::{CatchupBudget, Store};
+
+const CONVERGE: Duration = Duration::from_secs(10);
+
+/// Fast probing for tests: 5 ms cadence, 2-fall/1-rise hysteresis.
+fn probe() -> ProbeConfig {
+    ProbeConfig {
+        interval: Duration::from_millis(5),
+        fall_threshold: 2,
+        rise_threshold: 1,
+        probe_timeout: Duration::from_millis(250),
+    }
+}
+
+/// A scratch store root, clean at entry.
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("implant-cluster-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A one-worker replica template writing through to `dir`.
+fn store_server(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        pool_workers: 1,
+        store_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+fn mc_params(seed: u64) -> Json {
+    Json::parse(&format!(r#"{{"trials": 30, "seed": {seed}}}"#)).unwrap()
+}
+
+/// The cache identity the cluster routes (and the store files) a
+/// `montecarlo` request under.
+fn mc_key(seed: u64) -> u64 {
+    let body = RequestBody::decode("montecarlo", &mc_params(seed), &DecodeLimits::default())
+        .expect("test params decode");
+    let (ns, point) = body.route_point().expect("montecarlo has a cache identity");
+    runtime::cache_key(ns, &point)
+}
+
+#[test]
+fn replicas_write_computed_artifacts_through_to_the_shared_store() {
+    let dir = scratch("write-through");
+    let set = ReplicaSet::spawn_local(2, &store_server(&dir), probe()).unwrap();
+    assert!(set.await_converged(CONVERGE));
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    for seed in 0..6 {
+        let routed = client.request_routed("montecarlo", mc_params(seed), None).unwrap();
+        assert!(routed.response.is_ok());
+    }
+    set.shutdown();
+
+    let observer = Store::open(&dir, "observer").unwrap();
+    for seed in 0..6 {
+        assert!(
+            observer.contains(mc_key(seed)),
+            "seed {seed} computed on a replica must be in the shared tier"
+        );
+    }
+    // Each replica records its own writes; together they cover all six.
+    let manifests = observer.manifests();
+    let names: Vec<&str> = manifests.iter().map(|m| m.replica.as_str()).collect();
+    assert!(names.contains(&"r0") && names.contains(&"r1"), "{names:?}");
+    let total: usize = manifests.iter().map(store::Manifest::len).sum();
+    assert_eq!(total, 6, "every computed key is manifested exactly once");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejoin_prewarms_the_keys_hrw_assigns_it_before_taking_traffic() {
+    let dir = scratch("rejoin");
+    let set = ReplicaSet::spawn_local(2, &store_server(&dir), probe()).unwrap();
+    assert!(set.await_converged(CONVERGE));
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let mut victim_seeds = Vec::new();
+    for seed in 0..10 {
+        let routed = client.request_routed("montecarlo", mc_params(seed), None).unwrap();
+        assert!(routed.response.is_ok());
+        if routed.replica == "r1" {
+            victim_seeds.push(seed);
+        }
+    }
+    assert!(!victim_seeds.is_empty(), "10 keys never spread to r1?");
+
+    assert!(set.kill("r1"));
+    assert!(set.await_state("r1", HealthState::Down, CONVERGE));
+    let report = set.rejoin_with_catchup("r1", &CatchupBudget::default(), 0x000c_a7c4).unwrap();
+    // Every previously computed key HRW-owned by r1 is pre-warmed —
+    // the acceptance bar is ≥ 90 %, an unbounded budget reaches 100 %.
+    assert_eq!(report.planned as usize, victim_seeds.len(), "{report:?}");
+    assert_eq!(report.admitted, report.planned, "{report:?}");
+    assert_eq!(report.unreadable, 0, "{report:?}");
+    assert_eq!(report.budget_skipped, 0, "{report:?}");
+    assert!(
+        report.admitted as f64 >= 0.9 * victim_seeds.len() as f64,
+        "catch-up must cover at least 90% of owned keys: {report:?}"
+    );
+
+    assert!(set.await_state("r1", HealthState::Up, CONVERGE), "rejoined replica walks up");
+    // Traffic homed on r1 lands there again and recomputes nothing. A
+    // fresh client dials the respawned address directly; the old one
+    // would spend a retry discovering its pooled socket is dead.
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    for &seed in &victim_seeds {
+        let routed = client.request_routed("montecarlo", mc_params(seed), None).unwrap();
+        assert_eq!(routed.replica, "r1", "seed {seed} re-homes to the rejoined owner");
+        assert_eq!(
+            routed.response.result().and_then(|r| r.get("cached")),
+            Some(&Json::Bool(true)),
+            "seed {seed} must be served from the pre-warmed cache"
+        );
+    }
+    set.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejoin_rejects_running_members_unknown_names_and_adopted_sets() {
+    let dir = scratch("rejoin-errors");
+    let set = ReplicaSet::spawn_local(2, &store_server(&dir), probe()).unwrap();
+    assert!(set.await_converged(CONVERGE));
+    let budget = CatchupBudget::default();
+    let running = set.rejoin_with_catchup("r0", &budget, 1).unwrap_err();
+    assert_eq!(running.kind(), std::io::ErrorKind::AlreadyExists, "{running}");
+    let unknown = set.rejoin_with_catchup("r9", &budget, 1).unwrap_err();
+    assert_eq!(unknown.kind(), std::io::ErrorKind::NotFound, "{unknown}");
+    set.shutdown();
+
+    let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let adopted =
+        ReplicaSet::from_addrs(vec![("a0".to_string(), sock.local_addr().unwrap())], probe());
+    let e = adopted.rejoin_with_catchup("a0", &budget, 1).unwrap_err();
+    assert_eq!(e.kind(), std::io::ErrorKind::NotFound, "no template to respawn from: {e}");
+    adopted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hedged_read_is_answered_from_the_store_when_the_owner_stalls() {
+    let dir = scratch("hedge-store");
+    // A deliberately blind prober: the kill below goes unnoticed, so
+    // routing still trusts the dead owner — exactly the window hedging
+    // exists for.
+    let blind = ProbeConfig { interval: Duration::from_secs(300), ..probe() };
+    let set = ReplicaSet::spawn_local(2, &store_server(&dir), blind).unwrap();
+    let mut warm = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let routed = warm.request_routed("montecarlo", mc_params(7), None).unwrap();
+    assert!(routed.response.is_ok());
+    let owner = routed.replica.clone();
+    assert!(set.kill(&owner));
+
+    let policy = RetryPolicy {
+        hedge: Some(HedgeConfig {
+            threshold: Duration::from_millis(40),
+            jitter: Duration::from_millis(10),
+            seed: 0xbeef,
+        }),
+        ..RetryPolicy::default()
+    };
+    let reader = Arc::new(Store::open(&dir, "reader").unwrap());
+    let mut client = ClusterClient::new(set.clone(), policy).with_store(reader);
+    let hedged = client.request_routed("montecarlo", mc_params(7), None).unwrap();
+    assert!(hedged.response.is_ok(), "{:?}", hedged.response.json());
+    assert_eq!(hedged.replica, "store", "the store wins the hedge race");
+    assert_eq!(
+        hedged.response.result().and_then(|r| r.get("cached")),
+        Some(&Json::Bool(true)),
+        "a store read is a cache hit by construction"
+    );
+    let stats = client.stats();
+    assert_eq!(stats.hedges, 1, "{stats:?}");
+    assert_eq!(stats.store_hits, 1, "{stats:?}");
+    assert_eq!(hedged.attempts, 1, "the store answered before any failover attempt");
+    set.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hedge_without_a_store_races_the_next_member_instead() {
+    let dir = scratch("hedge-failover");
+    let blind = ProbeConfig { interval: Duration::from_secs(300), ..probe() };
+    let set = ReplicaSet::spawn_local(2, &store_server(&dir), blind).unwrap();
+    let mut warm = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let routed = warm.request_routed("montecarlo", mc_params(3), None).unwrap();
+    let owner = routed.replica.clone();
+    assert!(set.kill(&owner));
+
+    let policy = RetryPolicy {
+        hedge: Some(HedgeConfig {
+            threshold: Duration::from_millis(40),
+            jitter: Duration::ZERO,
+            seed: 1,
+        }),
+        ..RetryPolicy::default()
+    };
+    let mut client = ClusterClient::new(set.clone(), policy);
+    let hedged = client.request_routed("montecarlo", mc_params(3), None).unwrap();
+    assert!(hedged.response.is_ok());
+    assert_ne!(hedged.replica, owner, "the corpse cannot answer");
+    assert_ne!(hedged.replica, "store", "no store attached");
+    let stats = client.stats();
+    assert_eq!(stats.hedges, 1, "{stats:?}");
+    assert_eq!(stats.store_hits, 0, "{stats:?}");
+    assert_eq!(hedged.attempts, 2, "one hedge-bounded try, one failover");
+    set.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_kill_recomputes_nothing_once_the_tier_is_warm() {
+    let dir = scratch("zero-recompute");
+    let set = ReplicaSet::spawn_local(3, &store_server(&dir), probe()).unwrap();
+    assert!(set.await_converged(CONVERGE));
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    for seed in 0..9 {
+        assert!(client.request_routed("montecarlo", mc_params(seed), None).unwrap().response.is_ok());
+    }
+    assert!(set.kill("r2"));
+    assert!(set.await_state("r2", HealthState::Down, CONVERGE));
+    // Every key — re-homed or not — comes back as a cache hit: the
+    // survivors' own memory for keys they already owned, the shared
+    // tier for the orphans. Zero recompute after the kill.
+    for seed in 0..9 {
+        let routed = client.request_routed("montecarlo", mc_params(seed), None).unwrap();
+        assert!(routed.response.is_ok());
+        assert_ne!(routed.replica, "r2");
+        assert_eq!(
+            routed.response.result().and_then(|r| r.get("cached")),
+            Some(&Json::Bool(true)),
+            "seed {seed} recomputed after the kill"
+        );
+    }
+    set.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

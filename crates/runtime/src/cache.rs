@@ -16,7 +16,7 @@ use crate::json::Json;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Stable 64-bit FNV-1a hash (the cache-key hash; never randomised, so
 /// keys survive process restarts).
@@ -115,6 +115,23 @@ impl<A: Artifact, B: Artifact> Artifact for (A, B) {
     }
 }
 
+/// A shared artifact tier behind the cache — a second, slower level
+/// consulted on a memory miss and written through on every `put`.
+///
+/// The cache itself stays value-typed; the tier traffics in the encoded
+/// [`Artifact`] JSON, so one tier instance (e.g. `implant-store`) can
+/// back caches of different value types. Implementations must be safe
+/// for concurrent readers and writers across processes.
+pub trait ArtifactTier: Send + Sync {
+    /// Loads the encoded value for `key`; `None` = not present (a
+    /// corrupt entry must also read as `None`, never an error).
+    fn load(&self, key: u64) -> Option<Json>;
+    /// Persists the encoded value for `key`. `namespace` and `params`
+    /// describe the identity for manifests/debugging; the key is
+    /// already `fnv1a64(namespace ++ US ++ params)`.
+    fn store(&self, key: u64, namespace: &str, params: &str, value: &Json);
+}
+
 /// In-memory entry store: a key → value map plus the key insertion
 /// order, so a bounded cache can evict its oldest entry in O(1).
 #[derive(Debug)]
@@ -132,15 +149,29 @@ impl<V> Default for MemStore<V> {
 
 /// The content-keyed cache. Thread-safe; shared by reference with the
 /// worker pool.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ResultCache<V> {
     mem: Mutex<MemStore<V>>,
     /// Maximum in-memory entries; `None` = unbounded.
     capacity: Option<usize>,
     dir: Option<PathBuf>,
+    /// Shared artifact tier consulted after memory and disk.
+    tier: Option<Arc<dyn ArtifactTier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for ResultCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("dir", &self.dir)
+            .field("tier", &self.tier.as_ref().map(|_| "<tier>"))
+            .field("len", &self.mem.lock().map(|m| m.map.len()).unwrap_or(0))
+            .finish()
+    }
 }
 
 impl<V: Artifact + Clone> ResultCache<V> {
@@ -150,9 +181,11 @@ impl<V: Artifact + Clone> ResultCache<V> {
             mem: Mutex::new(MemStore::default()),
             capacity: None,
             dir: None,
+            tier: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         }
     }
 
@@ -176,6 +209,15 @@ impl<V: Artifact + Clone> ResultCache<V> {
     #[must_use]
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity);
+        self
+    }
+
+    /// Attaches a shared artifact tier; builder style. The tier is
+    /// consulted after memory and the private artifact directory, and
+    /// written through on every [`ResultCache::put`].
+    #[must_use]
+    pub fn with_tier(mut self, tier: Arc<dyn ArtifactTier>) -> Self {
+        self.tier = Some(tier);
         self
     }
 
@@ -205,6 +247,11 @@ impl<V: Artifact + Clone> ResultCache<V> {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);
         }
+        if let Some(v) = self.load_tier(key) {
+            self.insert(key, v.clone());
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
@@ -216,6 +263,25 @@ impl<V: Artifact + Clone> ResultCache<V> {
         if self.dir.is_some() {
             self.store_artifact(key, namespace, point, value);
         }
+        if let Some(tier) = &self.tier {
+            tier.store(key, namespace, &point.canonical(), &value.to_json());
+        }
+    }
+
+    /// Admits a value under a raw cache key, bypassing the key
+    /// derivation. This is the catch-up path: a rejoining replica that
+    /// enumerates warm keys from a shared tier manifest knows only the
+    /// keys, not the points that produced them, and must still be able
+    /// to pre-warm its memory before taking traffic. No tier or disk
+    /// write-through happens — the artifact already lives there.
+    pub fn admit(&self, key: u64, value: V) {
+        self.insert(key, value);
+    }
+
+    /// Looks up a raw cache key in memory only (no disk, no tier, no
+    /// hit/miss accounting) — used by tests and catch-up verification.
+    pub fn peek(&self, key: u64) -> Option<V> {
+        self.mem.lock().expect("cache lock").map.get(&key).cloned()
     }
 
     /// Inserts into the in-memory store, evicting the oldest entry when
@@ -248,6 +314,12 @@ impl<V: Artifact + Clone> ResultCache<V> {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Disk artifacts that existed but failed to read or parse (treated
+    /// as misses) since construction.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
     /// Entries currently held in memory.
     pub fn len(&self) -> usize {
         self.mem.lock().expect("cache lock").map.len()
@@ -264,9 +336,28 @@ impl<V: Artifact + Clone> ResultCache<V> {
 
     fn load_artifact(&self, key: u64) -> Option<V> {
         let path = self.artifact_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let doc = Json::parse(&text)?;
-        V::from_json(doc.get("value")?)
+        if !path.exists() {
+            return None; // Plain miss — nothing was ever written here.
+        }
+        // The file exists: from here on, any failure means a torn or
+        // corrupt artifact (a non-atomic writer died mid-write, or the
+        // bytes rotted). Treat it as a miss so the caller recomputes,
+        // but count it — silent data loss should be visible in metrics.
+        let corrupt = |cache: &Self| {
+            cache.corrupt.fetch_add(1, Ordering::Relaxed);
+            obs::count!("store.corrupt");
+            None
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else { return corrupt(self) };
+        let Some(doc) = Json::parse(&text) else { return corrupt(self) };
+        match doc.get("value").and_then(V::from_json) {
+            Some(v) => Some(v),
+            None => corrupt(self),
+        }
+    }
+
+    fn load_tier(&self, key: u64) -> Option<V> {
+        V::from_json(&self.tier.as_ref()?.load(key)?)
     }
 
     fn store_artifact(&self, key: u64, namespace: &str, point: &ParamPoint, value: &V) {
@@ -281,12 +372,36 @@ impl<V: Artifact + Clone> ResultCache<V> {
             ("params", Json::Str(point.canonical())),
             ("value", value.to_json()),
         ]);
-        let _ = std::fs::write(path, doc.to_string());
+        let _ = atomic_write(&path, doc.to_string().as_bytes());
     }
 
     /// The artifact directory, when persistence is enabled.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: write to a unique temp file
+/// in the same directory, then `rename` over the target. A concurrent
+/// reader sees either the old complete artifact or the new one — never
+/// a torn half-write — and racing writers of the same content-addressed
+/// key both leave a complete file behind (last rename wins).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp = parent.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -408,5 +523,126 @@ mod tests {
         let v: Vec<(f64, u64)> = vec![(1.5, 2), (f64::INFINITY, 0)];
         let back = Vec::<(f64, u64)>::from_json(&v.to_json()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn corrupt_artifact_reads_as_a_miss_and_is_counted() {
+        let dir = std::env::temp_dir().join(format!("runtime-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = ParamPoint::new().with("d", 3.0);
+        let cache: ResultCache<f64> = ResultCache::with_dir(&dir);
+        cache.put("ns", &p, &9.0);
+        let key = cache_key("ns", &p);
+        // Truncate the artifact mid-document, as a dying non-atomic
+        // writer would, then look it up through a cold cache.
+        std::fs::write(dir.join(format!("{key:016x}.json")), "{\"namespace\":\"ns\",\"val")
+            .unwrap();
+        let fresh: ResultCache<f64> = ResultCache::with_dir(&dir);
+        assert_eq!(fresh.get("ns", &p), None, "torn artifact must read as a miss");
+        assert_eq!(fresh.corrupt(), 1);
+        assert_eq!(fresh.stats(), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_shape_artifact_counts_corrupt_but_missing_file_does_not() {
+        let dir = std::env::temp_dir().join(format!("runtime-shape-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = ParamPoint::new().with("d", 4.0);
+        let cache: ResultCache<f64> = ResultCache::with_dir(&dir);
+        assert_eq!(cache.get("ns", &p), None);
+        assert_eq!(cache.corrupt(), 0, "a file that never existed is a plain miss");
+        let key = cache_key("ns", &p);
+        // Valid JSON, wrong value shape for f64.
+        std::fs::write(
+            dir.join(format!("{key:016x}.json")),
+            "{\"namespace\":\"ns\",\"params\":\"d=4\",\"value\":[1,2]}",
+        )
+        .unwrap();
+        assert_eq!(cache.get("ns", &p), None);
+        assert_eq!(cache.corrupt(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = std::env::temp_dir().join(format!("runtime-atomic-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, b"second, longer than first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second, longer than first");
+        // No temp files may linger after a successful replace.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not linger: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A tier backed by a plain mutexed map, for wiring tests.
+    #[derive(Default)]
+    struct MapTier {
+        entries: Mutex<HashMap<u64, Json>>,
+        loads: AtomicU64,
+        stores: AtomicU64,
+    }
+
+    impl ArtifactTier for MapTier {
+        fn load(&self, key: u64) -> Option<Json> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            self.entries.lock().unwrap().get(&key).cloned()
+        }
+        fn store(&self, key: u64, _namespace: &str, _params: &str, value: &Json) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.entries.lock().unwrap().insert(key, value.clone());
+        }
+    }
+
+    #[test]
+    fn puts_write_through_to_the_tier_and_misses_fall_back_to_it() {
+        let tier = Arc::new(MapTier::default());
+        let p = ParamPoint::new().with("d", 5.0);
+        {
+            let cache: ResultCache<f64> = ResultCache::in_memory().with_tier(tier.clone());
+            cache.put("ns", &p, &42.0);
+        }
+        assert_eq!(tier.stores.load(Ordering::Relaxed), 1);
+        // A fresh cache (cold memory) finds the value in the tier.
+        let fresh: ResultCache<f64> = ResultCache::in_memory().with_tier(tier.clone());
+        assert_eq!(fresh.get("ns", &p), Some(42.0));
+        assert_eq!(fresh.stats(), (1, 0), "tier hits count as cache hits");
+        // The hit was admitted to memory: a second get must not touch
+        // the tier again.
+        let loads = tier.loads.load(Ordering::Relaxed);
+        assert_eq!(fresh.get("ns", &p), Some(42.0));
+        assert_eq!(tier.loads.load(Ordering::Relaxed), loads);
+    }
+
+    #[test]
+    fn admit_seeds_memory_without_touching_the_tier() {
+        let tier = Arc::new(MapTier::default());
+        let cache: ResultCache<f64> = ResultCache::in_memory().with_tier(tier.clone());
+        let p = ParamPoint::new().with("d", 6.5);
+        let key = cache_key("ns", &p);
+        cache.admit(key, 7.25);
+        assert_eq!(cache.peek(key), Some(7.25));
+        assert_eq!(cache.get("ns", &p), Some(7.25));
+        assert_eq!(tier.stores.load(Ordering::Relaxed), 0, "admit must not write through");
+    }
+
+    #[test]
+    fn admit_respects_the_capacity_bound() {
+        let cache: ResultCache<f64> = ResultCache::bounded(1);
+        cache.admit(1, 1.0);
+        cache.admit(2, 2.0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.peek(1), None);
+        assert_eq!(cache.peek(2), Some(2.0));
     }
 }

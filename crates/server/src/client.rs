@@ -69,6 +69,13 @@ pub struct Response {
 }
 
 impl Response {
+    /// Wraps an already-assembled response document — for layers that
+    /// synthesize a response without a socket round-trip (e.g. a
+    /// hedged read answered straight from the shared artifact store).
+    pub fn from_json(json: Json) -> Response {
+        Response { json }
+    }
+
     /// The response's `ok` flag.
     pub fn is_ok(&self) -> bool {
         self.json.get("ok") == Some(&Json::Bool(true))

@@ -100,6 +100,13 @@ pub struct ServerConfig {
     /// peer gets a final structured `idle_timeout` error line before the
     /// close, so it can tell housekeeping from a network failure.
     pub idle_timeout_ms: u64,
+    /// Root of the shared artifact tier (`implant-store`); `None` (the
+    /// default) keeps every result cache private to this process.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// The replica name this server writes its store manifest as
+    /// (meaningful only with `store_dir`). Cluster members use their
+    /// member name; a standalone server defaults to `"solo"`.
+    pub store_replica: String,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +120,8 @@ impl Default for ServerConfig {
             default_deadline_ms: 30_000,
             mc_trial_cap: 100_000,
             idle_timeout_ms: 0,
+            store_dir: None,
+            store_replica: "solo".to_string(),
         }
     }
 }
@@ -177,13 +186,23 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Fails only if the listener cannot bind `config.addr`.
+    /// Fails if the listener cannot bind `config.addr`, or if a
+    /// configured `store_dir` cannot be created.
     pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let router = match &config.store_dir {
+            Some(dir) => Router::with_store(
+                config.pool_workers,
+                config.cache_capacity,
+                config.mc_trial_cap,
+                Arc::new(store::Store::open(dir, &config.store_replica)?),
+            ),
+            None => Router::new(config.pool_workers, config.cache_capacity, config.mc_trial_cap),
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
-            router: Router::new(config.pool_workers, config.cache_capacity, config.mc_trial_cap),
+            router,
             metrics: ServerMetrics::new(),
             default_deadline_ms: config.default_deadline_ms,
             idle_timeout: (config.idle_timeout_ms > 0)

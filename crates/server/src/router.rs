@@ -20,11 +20,13 @@ use crate::proto::{
 };
 use coils::tissue::TissueStack;
 use implant_core::fullchain::FullChainScenario;
-use implant_core::montecarlo::{MonteCarloStudy, VariationModel};
+use implant_core::montecarlo::{MonteCarloStudy, VariationModel, YieldReport};
 use implant_core::scenario::Fig11Scenario;
 use link::budget::PowerBudget;
 use runtime::{Artifact, Batch, Json, ParamPoint, Pool, ResultCache};
 use scenario::{CohortReport, DaySummary};
+use std::sync::Arc;
+use store::{CatchupBudget, Store};
 
 pub use crate::proto::DATA_ENDPOINTS;
 
@@ -79,14 +81,29 @@ impl Routed {
     }
 }
 
+/// What a [`Router::prewarm`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrewarmReport {
+    /// Keys the catch-up plan selected within budget.
+    pub planned: u64,
+    /// Planned keys admitted into a typed cache.
+    pub admitted: u64,
+    /// Assigned keys the budget excluded.
+    pub budget_skipped: u64,
+    /// Planned keys whose object was missing, corrupt, or of a
+    /// namespace this router holds no cache for.
+    pub unreadable: u64,
+}
+
 /// Shared routing state: the worker pool the Monte Carlo batches run
 /// on and the bounded result caches.
 pub struct Router {
     pool: Pool,
-    mc_cache: ResultCache<implant_core::montecarlo::YieldReport>,
+    mc_cache: ResultCache<YieldReport>,
     sweep_cache: ResultCache<Vec<f64>>,
     day_cache: ResultCache<DaySummary>,
     cohort_cache: ResultCache<CohortReport>,
+    store: Option<Arc<Store>>,
     mc_trial_cap: u64,
 }
 
@@ -94,14 +111,110 @@ impl Router {
     /// A router whose caches hold at most `cache_capacity` entries each
     /// and whose Monte Carlo batches run on `pool_workers` threads.
     pub fn new(pool_workers: usize, cache_capacity: usize, mc_trial_cap: u64) -> Self {
+        Self::build(pool_workers, cache_capacity, mc_trial_cap, None)
+    }
+
+    /// A router whose caches are backed by the shared artifact tier:
+    /// every put writes through to `store`, and a memory miss falls
+    /// back to it before recomputing.
+    pub fn with_store(
+        pool_workers: usize,
+        cache_capacity: usize,
+        mc_trial_cap: u64,
+        store: Arc<Store>,
+    ) -> Self {
+        Self::build(pool_workers, cache_capacity, mc_trial_cap, Some(store))
+    }
+
+    fn build(
+        pool_workers: usize,
+        cache_capacity: usize,
+        mc_trial_cap: u64,
+        store: Option<Arc<Store>>,
+    ) -> Self {
+        fn tiered<V: Artifact + Clone>(
+            capacity: usize,
+            store: &Option<Arc<Store>>,
+        ) -> ResultCache<V> {
+            let cache = ResultCache::bounded(capacity);
+            match store {
+                Some(s) => cache.with_tier(s.clone()),
+                None => cache,
+            }
+        }
         Router {
             pool: Pool::new(pool_workers),
-            mc_cache: ResultCache::bounded(cache_capacity),
-            sweep_cache: ResultCache::bounded(cache_capacity),
-            day_cache: ResultCache::bounded(cache_capacity),
-            cohort_cache: ResultCache::bounded(cache_capacity),
+            mc_cache: tiered(cache_capacity, &store),
+            sweep_cache: tiered(cache_capacity, &store),
+            day_cache: tiered(cache_capacity, &store),
+            cohort_cache: tiered(cache_capacity, &store),
+            store,
             mc_trial_cap,
         }
+    }
+
+    /// The shared artifact tier, when one is attached.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Total `(hits, misses)` across the typed result caches.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let sums = [
+            self.mc_cache.stats(),
+            self.sweep_cache.stats(),
+            self.day_cache.stats(),
+            self.cohort_cache.stats(),
+        ];
+        sums.iter().fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
+    }
+
+    /// Pre-warms the typed caches from the shared tier: plans a
+    /// catch-up over the store's manifests for the keys `assign` says
+    /// this replica owns (seeded, budget-bounded — see
+    /// [`store::catchup`]), loads each planned object, and admits it
+    /// into the cache of its namespace. A router without a store
+    /// pre-warms nothing.
+    pub fn prewarm(
+        &self,
+        assign: impl Fn(u64) -> bool,
+        budget: &CatchupBudget,
+        seed: u64,
+    ) -> PrewarmReport {
+        let Some(shared) = &self.store else { return PrewarmReport::default() };
+        let plan = store::plan(shared.as_ref(), assign, seed, budget);
+        let mut report = PrewarmReport {
+            planned: plan.keys.len() as u64,
+            budget_skipped: plan.skipped_keys,
+            ..PrewarmReport::default()
+        };
+        for planned in &plan.keys {
+            let Some((ns, _params, value)) = shared.get_object(planned.key) else {
+                report.unreadable += 1;
+                continue;
+            };
+            let admitted = match ns.as_str() {
+                "server-montecarlo" => YieldReport::from_json(&value)
+                    .map(|v| self.mc_cache.admit(planned.key, v))
+                    .is_some(),
+                "server-sweep" => Vec::<f64>::from_json(&value)
+                    .map(|v| self.sweep_cache.admit(planned.key, v))
+                    .is_some(),
+                "server-patientday" => DaySummary::from_json(&value)
+                    .map(|v| self.day_cache.admit(planned.key, v))
+                    .is_some(),
+                "server-cohort" => CohortReport::from_json(&value)
+                    .map(|v| self.cohort_cache.admit(planned.key, v))
+                    .is_some(),
+                _ => false,
+            };
+            if admitted {
+                report.admitted += 1;
+            } else {
+                report.unreadable += 1;
+            }
+        }
+        report
     }
 
     /// The caps this router imposes at decode time.
@@ -262,19 +375,7 @@ impl Router {
             .value(0)
             .ok_or_else(|| RouteError::internal(format!("study panicked: {:?}", run.failures())))?;
         Ok(Routed {
-            result: Json::obj(vec![
-                ("scale", Json::Num(p.scale)),
-                ("trials", Json::Num(report.trials as f64)),
-                ("seed", Json::Num(study.seed as f64)),
-                ("passing", Json::Num(report.passing as f64)),
-                ("yield", Json::Num(report.yield_fraction())),
-                ("charge_ok", Json::Num(report.charge_ok as f64)),
-                ("downlink_ok", Json::Num(report.downlink_ok as f64)),
-                ("vo_ok", Json::Num(report.vo_ok as f64)),
-                ("vo_min_mean", Json::Num(report.vo_min_mean)),
-                ("vo_min_worst", Json::Num(report.vo_min_worst)),
-                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
-            ]),
+            result: mc_result(p.scale, study.seed, report, run.metrics.cache_hits > 0),
             cache_hits: run.metrics.cache_hits as u64,
             cache_misses: run.metrics.cache_misses as u64,
         })
@@ -286,7 +387,6 @@ impl Router {
     /// identity the cluster hashes for placement — so a re-homed sweep
     /// lands on a replica that already holds the grid.
     fn sweep(&self, p: &SweepParams) -> Result<Routed, RouteError> {
-        let medium = p.medium.as_str();
         let budget = match p.medium {
             crate::proto::SweepMedium::Air => PowerBudget::ironic_air(),
             crate::proto::SweepMedium::Sirloin => {
@@ -294,11 +394,7 @@ impl Router {
             }
         };
 
-        let steps = p.steps as usize;
-        let span = p.d_max_mm - p.d_min_mm;
-        let distances: Vec<f64> = (0..steps)
-            .map(|i| p.d_min_mm + span * i as f64 / (steps - 1) as f64)
-            .collect();
+        let distances = sweep_distances(p);
         let (ns, point) =
             RequestBody::Sweep(p.clone()).route_point().expect("sweep is data-plane");
         let batch = Batch::builder(ns).point(point).build();
@@ -309,12 +405,7 @@ impl Router {
             .value(0)
             .ok_or_else(|| RouteError::internal(format!("sweep panicked: {:?}", run.failures())))?;
         Ok(Routed {
-            result: Json::obj(vec![
-                ("medium", Json::Str(medium.to_string())),
-                ("distances_mm", Json::Arr(distances.iter().copied().map(Json::Num).collect())),
-                ("p_rx_mw", Json::Arr(powers.iter().map(|&w| Json::Num(w * 1e3)).collect())),
-                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
-            ]),
+            result: sweep_result(p, powers, run.metrics.cache_hits > 0),
             cache_hits: run.metrics.cache_hits as u64,
             cache_misses: run.metrics.cache_misses as u64,
         })
@@ -338,13 +429,7 @@ impl Router {
             .value(0)
             .ok_or_else(|| RouteError::internal(format!("day panicked: {:?}", run.failures())))?;
         Ok(Routed {
-            result: Json::obj(vec![
-                ("seed", Json::Num(p.seed as f64)),
-                ("profile", Json::Str(p.profile.as_str().to_string())),
-                ("hours", Json::Num(p.hours)),
-                ("summary", summary.to_json()),
-                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
-            ]),
+            result: day_result(p, summary, run.metrics.cache_hits > 0),
             cache_hits: run.metrics.cache_hits as u64,
             cache_misses: run.metrics.cache_misses as u64,
         })
@@ -369,19 +454,95 @@ impl Router {
             .value(0)
             .ok_or_else(|| RouteError::internal(format!("shard panicked: {:?}", run.failures())))?;
         Ok(Routed {
-            result: Json::obj(vec![
-                ("seed", Json::Num(p.seed as f64)),
-                ("offset", Json::Num(p.offset as f64)),
-                ("enzyme", Json::Str(p.enzyme.as_str().to_string())),
-                ("mean_life_h", Json::Num(report.mean_life_h())),
-                ("mean_p_rx_mw", Json::Num(report.mean_p_rx_mw())),
-                ("digest", Json::Str(format!("{:016x}", report.digest()))),
-                ("report", report.to_json()),
-                ("cached", Json::Bool(run.metrics.cache_hits > 0)),
-            ]),
+            result: cohort_result(p, report, run.metrics.cache_hits > 0),
             cache_hits: run.metrics.cache_hits as u64,
             cache_misses: run.metrics.cache_misses as u64,
         })
+    }
+}
+
+/// `montecarlo` result document from its cached value type.
+fn mc_result(scale: f64, seed: u64, report: &YieldReport, cached: bool) -> Json {
+    Json::obj(vec![
+        ("scale", Json::Num(scale)),
+        ("trials", Json::Num(report.trials as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("passing", Json::Num(report.passing as f64)),
+        ("yield", Json::Num(report.yield_fraction())),
+        ("charge_ok", Json::Num(report.charge_ok as f64)),
+        ("downlink_ok", Json::Num(report.downlink_ok as f64)),
+        ("vo_ok", Json::Num(report.vo_ok as f64)),
+        ("vo_min_mean", Json::Num(report.vo_min_mean)),
+        ("vo_min_worst", Json::Num(report.vo_min_worst)),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
+/// The distance grid a sweep request describes (derived, not cached —
+/// it is a pure function of the parameters).
+fn sweep_distances(p: &SweepParams) -> Vec<f64> {
+    let steps = p.steps as usize;
+    let span = p.d_max_mm - p.d_min_mm;
+    (0..steps).map(|i| p.d_min_mm + span * i as f64 / (steps - 1) as f64).collect()
+}
+
+/// `sweep` result document from its cached value type.
+fn sweep_result(p: &SweepParams, powers: &[f64], cached: bool) -> Json {
+    let distances = sweep_distances(p);
+    Json::obj(vec![
+        ("medium", Json::Str(p.medium.as_str().to_string())),
+        ("distances_mm", Json::Arr(distances.iter().copied().map(Json::Num).collect())),
+        ("p_rx_mw", Json::Arr(powers.iter().map(|&w| Json::Num(w * 1e3)).collect())),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
+/// `patientday` result document from its cached value type.
+fn day_result(p: &PatientdayParams, summary: &DaySummary, cached: bool) -> Json {
+    Json::obj(vec![
+        ("seed", Json::Num(p.seed as f64)),
+        ("profile", Json::Str(p.profile.as_str().to_string())),
+        ("hours", Json::Num(p.hours)),
+        ("summary", summary.to_json()),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
+/// `cohort` result document from its cached value type.
+fn cohort_result(p: &CohortParams, report: &CohortReport, cached: bool) -> Json {
+    Json::obj(vec![
+        ("seed", Json::Num(p.seed as f64)),
+        ("offset", Json::Num(p.offset as f64)),
+        ("enzyme", Json::Str(p.enzyme.as_str().to_string())),
+        ("mean_life_h", Json::Num(report.mean_life_h())),
+        ("mean_p_rx_mw", Json::Num(report.mean_p_rx_mw())),
+        ("digest", Json::Str(format!("{:016x}", report.digest()))),
+        ("report", report.to_json()),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
+/// Renders the full result document a server would serve for `body`
+/// from the raw artifact `value` the shared tier holds under the
+/// body's route key — marked `cached: true`, byte-identical to a warm
+/// replica's response. `None` when the endpoint has no server-side
+/// cache (fig11, fullchain, control plane) or the artifact does not
+/// decode as the endpoint's value type.
+///
+/// This is the read half of hedged reads: a client that knows a
+/// request's cache identity can answer it straight from the store
+/// without any replica involved.
+pub fn render_cached_body(body: &RequestBody, value: &Json) -> Option<Json> {
+    match body {
+        RequestBody::Montecarlo(p) => {
+            let report = YieldReport::from_json(value)?;
+            let seed = p.seed.unwrap_or(MonteCarloStudy::ironic().seed);
+            Some(mc_result(p.scale, seed, &report, true))
+        }
+        RequestBody::Sweep(p) => Some(sweep_result(p, &Vec::<f64>::from_json(value)?, true)),
+        RequestBody::Patientday(p) => Some(day_result(p, &DaySummary::from_json(value)?, true)),
+        RequestBody::Cohort(p) => Some(cohort_result(p, &CohortReport::from_json(value)?, true)),
+        _ => None,
     }
 }
 
@@ -586,6 +747,133 @@ mod tests {
         assert_eq!(err.code, ErrorCode::BadRequest);
         assert_eq!(err.field.as_deref(), Some("patients"));
         assert!(err.message.contains("patient-hours"), "{}", err.message);
+    }
+
+    fn store_scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("server-router-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn stored_router(dir: &std::path::Path, replica: &str) -> Router {
+        Router::with_store(2, 64, 100_000, Arc::new(Store::open(dir, replica).unwrap()))
+    }
+
+    #[test]
+    fn routers_share_warm_results_through_the_store() {
+        let dir = store_scratch("share");
+        let p = params(vec![
+            ("scale", Json::Num(1.0)),
+            ("trials", Json::Num(200.0)),
+            ("seed", Json::Num(17.0)),
+        ]);
+        let warm = stored_router(&dir, "r0").handle("montecarlo", &p).unwrap();
+        assert_eq!(warm.result.get("cached"), Some(&Json::Bool(false)));
+        // A different router (cold memory, same store) serves the same
+        // request as a cache hit — zero recompute.
+        let cold = stored_router(&dir, "r1").handle("montecarlo", &p).unwrap();
+        assert_eq!(cold.cache_hits, 1, "the tier must satisfy the lookup");
+        assert_eq!(cold.cache_misses, 0);
+        assert_eq!(cold.result.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(cold.result.get("vo_min_mean"), warm.result.get("vo_min_mean"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_cached_body_reproduces_the_served_document() {
+        let dir = store_scratch("render");
+        let r = stored_router(&dir, "r0");
+        for (endpoint, p) in [
+            (
+                "montecarlo",
+                params(vec![("trials", Json::Num(150.0)), ("seed", Json::Num(3.0))]),
+            ),
+            ("sweep", params(vec![("steps", Json::Num(3.0))])),
+            ("patientday", params(vec![("seed", Json::Num(5.0)), ("hours", Json::Num(4.0))])),
+            ("cohort", params(vec![("patients", Json::Num(4.0)), ("hours", Json::Num(3.0))])),
+        ] {
+            let _ = r.handle(endpoint, &p).unwrap();
+            let served = r.handle(endpoint, &p).unwrap(); // warm → cached: true
+            assert_eq!(served.result.get("cached"), Some(&Json::Bool(true)), "{endpoint}");
+            let body = RequestBody::decode(endpoint, &p, &r.limits()).unwrap();
+            let (ns, point) = body.route_point().unwrap();
+            let key = runtime::cache_key(ns, &point);
+            let value = r.store().unwrap().get(key).expect("artifact must be in the store");
+            let rendered = render_cached_body(&body, &value).expect("endpoint renders");
+            assert_eq!(rendered, served.result, "{endpoint}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_cached_body_rejects_uncached_endpoints_and_bad_values() {
+        let limits = DecodeLimits::default();
+        let fig11 = RequestBody::decode("fig11", &params(vec![]), &limits).unwrap();
+        assert_eq!(render_cached_body(&fig11, &Json::Num(1.0)), None);
+        let mc = RequestBody::decode("montecarlo", &params(vec![]), &limits).unwrap();
+        assert_eq!(render_cached_body(&mc, &Json::Str("not a report".into())), None);
+    }
+
+    #[test]
+    fn prewarm_admits_assigned_keys_and_serves_them_without_recompute() {
+        let dir = store_scratch("prewarm");
+        let mc = params(vec![("trials", Json::Num(120.0)), ("seed", Json::Num(8.0))]);
+        let sweep = params(vec![("steps", Json::Num(4.0))]);
+        {
+            let writer = stored_router(&dir, "r0");
+            writer.handle("montecarlo", &mc).unwrap();
+            writer.handle("sweep", &sweep).unwrap();
+        }
+        let joiner = stored_router(&dir, "r1");
+        let report = joiner.prewarm(|_| true, &CatchupBudget::default(), 42);
+        assert_eq!(report.planned, 2);
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.unreadable, 0);
+        assert_eq!(report.budget_skipped, 0);
+        // Both endpoints now serve as pure cache hits.
+        for (endpoint, p) in [("montecarlo", &mc), ("sweep", &sweep)] {
+            let routed = joiner.handle(endpoint, p).unwrap();
+            assert_eq!(routed.cache_hits, 1, "{endpoint} must hit the pre-warmed cache");
+            assert_eq!(routed.cache_misses, 0, "{endpoint}");
+            assert_eq!(routed.result.get("cached"), Some(&Json::Bool(true)), "{endpoint}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prewarm_respects_assignment_and_budget() {
+        let dir = store_scratch("prewarm-budget");
+        {
+            let writer = stored_router(&dir, "r0");
+            for seed in 0..4 {
+                writer
+                    .handle(
+                        "montecarlo",
+                        &params(vec![
+                            ("trials", Json::Num(60.0)),
+                            ("seed", Json::Num(seed as f64)),
+                        ]),
+                    )
+                    .unwrap();
+            }
+        }
+        let joiner = stored_router(&dir, "r1");
+        let none = joiner.prewarm(|_| false, &CatchupBudget::default(), 1);
+        assert_eq!(none.planned, 0, "nothing assigned, nothing planned");
+        let budget = CatchupBudget { max_keys: 2, ..CatchupBudget::default() };
+        let some = joiner.prewarm(|_| true, &budget, 1);
+        assert_eq!(some.planned, 2);
+        assert_eq!(some.admitted, 2);
+        assert_eq!(some.budget_skipped, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prewarm_without_a_store_is_a_no_op() {
+        let report = router().prewarm(|_| true, &CatchupBudget::default(), 0);
+        assert_eq!(report, PrewarmReport::default());
+        assert!(router().store().is_none());
     }
 
     #[test]

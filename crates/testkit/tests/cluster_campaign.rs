@@ -9,6 +9,7 @@ use cluster::{ClusterClient, HealthState, ProbeConfig, ReplicaSet, RetryPolicy};
 use runtime::Json;
 use server::ServerConfig;
 use std::time::Duration;
+use store::CatchupBudget;
 use testkit::workers_from_env;
 
 fn replica_config() -> ServerConfig {
@@ -18,6 +19,14 @@ fn replica_config() -> ServerConfig {
         queue_capacity: 64,
         ..ServerConfig::default()
     }
+}
+
+/// A scratch shared-store root, clean at entry.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("implant-testkit-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 fn fast_probe() -> ProbeConfig {
@@ -82,6 +91,84 @@ fn killing_a_replica_loses_no_in_deadline_requests() {
         assert_eq!(a.replica, b.replica, "orphan of {home} must re-home deterministically");
     }
     set.shutdown();
+}
+
+/// The full kill → rejoin cycle over the shared artifact store: a
+/// replica dies under load, the survivors absorb its keys from the
+/// tier, and when it rejoins, catch-up pre-warms ≥ 90 % of the keys HRW
+/// assigns it *before* it takes traffic — so the post-rejoin pass over
+/// every previously computed key recomputes nothing (every response is
+/// a cache hit, accounted per request).
+#[test]
+fn killed_replica_rejoins_warm_and_recomputes_nothing() {
+    let dir = scratch("rejoin-campaign");
+    let config = ServerConfig { store_dir: Some(dir.clone()), ..replica_config() };
+    let set = ReplicaSet::spawn_local(3, &config, fast_probe()).unwrap();
+    assert!(set.await_converged(Duration::from_secs(10)));
+    let mut client = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let budget = Some(Duration::from_secs(20));
+
+    // Phase 1: steady load; learn each key's home.
+    let mut homes = Vec::new();
+    for seed in 0..24u64 {
+        let routed = client.request_routed("montecarlo", mc_params(seed), budget).unwrap();
+        assert!(routed.response.is_ok(), "warmup seed {seed} failed");
+        homes.push((seed, routed.replica));
+    }
+    let victim = homes[0].1.clone();
+    let victim_keys = homes.iter().filter(|(_, h)| h == &victim).count();
+    assert!(victim_keys >= 1, "24 keys over 3 replicas never land on {victim}?");
+
+    // Phase 2: kill it; the load keeps flowing and — because every
+    // computed artifact is in the shared tier — nothing recomputes even
+    // while the membership is degraded.
+    assert!(set.kill(&victim));
+    assert!(set.await_state(&victim, HealthState::Down, Duration::from_secs(10)));
+    for (seed, _) in &homes {
+        let routed = client.request_routed("montecarlo", mc_params(*seed), budget).unwrap();
+        assert!(routed.response.is_ok(), "seed {seed} lost after the kill");
+        assert_ne!(routed.replica, victim);
+        assert_eq!(
+            routed.response.result().and_then(|r| r.get("cached")),
+            Some(&Json::Bool(true)),
+            "seed {seed} recomputed during the outage"
+        );
+    }
+
+    // Phase 3: rejoin with catch-up. The report accounts the pre-warm:
+    // everything HRW assigns the member (within the unbounded budget)
+    // is admitted before its health flips up.
+    let report = set.rejoin_with_catchup(&victim, &CatchupBudget::default(), 0x2013).unwrap();
+    assert_eq!(report.planned as usize, victim_keys, "{report:?}");
+    assert!(
+        report.admitted as f64 >= 0.9 * report.planned as f64,
+        "catch-up must pre-warm at least 90% of owned keys: {report:?}"
+    );
+    assert_eq!(report.unreadable, 0, "{report:?}");
+    assert!(set.await_state(&victim, HealthState::Up, Duration::from_secs(10)));
+
+    // Phase 4: the post-rejoin pass over every key. Fresh client (the
+    // old one holds a dead pooled socket to the pre-kill address); the
+    // victim serves its own keys again, and the whole pass is cache
+    // hits — zero recompute across the entire cycle.
+    let mut fresh = ClusterClient::new(set.clone(), RetryPolicy::default());
+    let mut victim_served = 0usize;
+    for (seed, home) in &homes {
+        let routed = fresh.request_routed("montecarlo", mc_params(*seed), budget).unwrap();
+        assert!(routed.response.is_ok());
+        assert_eq!(
+            routed.response.result().and_then(|r| r.get("cached")),
+            Some(&Json::Bool(true)),
+            "seed {seed} recomputed after the rejoin"
+        );
+        if home == &victim {
+            assert_eq!(&routed.replica, home, "seed {seed} must re-home to the rejoined owner");
+            victim_served += 1;
+        }
+    }
+    assert_eq!(victim_served, victim_keys, "the rejoined replica serves all its keys");
+    set.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Warm-cache locality: repeated identical requests land on one replica

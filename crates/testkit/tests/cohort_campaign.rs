@@ -7,7 +7,10 @@
 //! Runs at whatever `IMPLANT_WORKERS` says (the per-replica simulation
 //! pool width) — the contract is identical at 1 and 8 workers.
 
-use cluster::{ClusterClient, CohortCampaign, ProbeConfig, ReplicaSet, RetryPolicy};
+use cluster::{
+    ClusterClient, ClusterProxy, CohortCampaign, ProbeConfig, ProxyConfig, ReplicaSet, RetryPolicy,
+};
+use runtime::Pool;
 use scenario::{Cohort, EnzymeChoice};
 use server::ServerConfig;
 use std::time::Duration;
@@ -71,4 +74,63 @@ fn thousand_patient_cohort_is_bit_identical_across_the_cluster() {
     );
     assert_eq!(client.stats().routed, 16, "8 shards, twice");
     set.shutdown();
+}
+
+/// The same campaign *through the front proxy*, shards dispatched in
+/// parallel on the worker pool, with the shared artifact store under
+/// the replicas: the merged report is bit-identical to the serial run
+/// and to the sequential (one-worker) dispatch — shard completion
+/// order, store write-through, and replica count never leak into the
+/// result. A repeat is answered entirely from warm caches.
+#[test]
+fn proxied_parallel_campaign_matches_the_sequential_digest() {
+    let cohort = Cohort {
+        seed: 1207,
+        patients: 600,
+        offset: 0,
+        hours: 4.0,
+        enzyme: EnzymeChoice::Mixed,
+    };
+    let expected = cohort.run_serial();
+
+    let dir = std::env::temp_dir()
+        .join(format!("implant-testkit-proxy-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config =
+        ServerConfig { store_dir: Some(dir.clone()), ..replica_config() };
+    let set = ReplicaSet::spawn_local(3, &config, fast_probe()).unwrap();
+    assert!(set.await_converged(Duration::from_secs(10)));
+    let proxy = ClusterProxy::spawn(
+        set.clone(),
+        ProxyConfig { store_dir: Some(dir.clone()), ..ProxyConfig::default() },
+    )
+    .unwrap();
+    let campaign = CohortCampaign::new(cohort, 100);
+    let budget = Some(Duration::from_secs(120));
+
+    // Sequential baseline: one pool worker dispatches shards in order.
+    let sequential = campaign.run_via_proxy(proxy.addr(), &Pool::new(1), budget);
+    assert!(sequential.complete(), "lost sequentially: {:?}", sequential.lost);
+    assert_eq!(sequential.shards, 6);
+    assert_eq!(sequential.report, expected, "proxied merge must equal the serial run");
+
+    // Parallel dispatch: several shards in flight at once, each over
+    // its own proxy connection. Bit-identical merge regardless.
+    let parallel = campaign.run_via_proxy(proxy.addr(), &Pool::new(4), budget);
+    assert!(parallel.complete(), "lost in parallel: {:?}", parallel.lost);
+    assert_eq!(parallel.report, sequential.report, "dispatch width changed the report");
+    assert_eq!(parallel.report.digest(), expected.digest());
+    assert!(
+        parallel.replicas.len() >= 2,
+        "6 shard keys over 3 replicas must spread: {:?}",
+        parallel.replicas
+    );
+    assert_eq!(
+        parallel.cached_shards, parallel.shards,
+        "the sequential pass warmed every shard: {:?}",
+        parallel.replicas
+    );
+    proxy.shutdown();
+    proxy.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -28,12 +28,14 @@ SCENARIO_JSON="$BENCH_DIR/BENCH_scenario.json"
 
 SERVE_ARGS=(--connections 4 --requests 25 --mc-trials 200)
 KERNEL_ARGS=()
-CLUSTER_ARGS=(--connections 4 --requests 30 --mc-trials 150)
+# --warm adds the post-kill repeat-read comparison (no store vs shared
+# store + hedged reads) to BENCH_cluster.json's `warm` object.
+CLUSTER_ARGS=(--connections 4 --requests 30 --mc-trials 150 --warm)
 SCENARIO_ARGS=(--repeats 3 --patients 30)
 if [[ "${1:-}" == "--smoke" ]]; then
     SERVE_ARGS=(--connections 2 --requests 8 --mc-trials 50)
     KERNEL_ARGS=(--smoke)
-    CLUSTER_ARGS=(--smoke)
+    CLUSTER_ARGS=(--smoke --warm)
     SCENARIO_ARGS=(--smoke)
 fi
 

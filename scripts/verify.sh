@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 650+ tests; a sharp drop means suites
+# The workspace currently runs 690+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=650
+MIN_TESTS=690
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -55,6 +55,12 @@ lane serve ./target/release/bench_serve --connections 4 --requests 12 --mc-trial
 # zero lost in-deadline requests (the N=2 throughput check is enforced
 # only on multi-core hosts). A non-zero exit fails the gate.
 lane cluster ./target/release/bench_cluster --smoke
+
+# Store lane: the shared artifact tier end-to-end over real disk and
+# sockets — replicas write through, a kill orphans keys, hedged reads
+# answer them from the store, and the victim rejoins via catch-up. The
+# run asserts the post-kill p99 shrinks vs the no-store baseline.
+lane store ./target/release/bench_cluster --smoke --warm
 
 # Testkit lane: the fault-injection campaign must be bit-identical
 # whatever the worker count, so run the conformance suite at both ends
