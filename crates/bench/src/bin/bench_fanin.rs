@@ -1,0 +1,461 @@
+//! S2 — fan-in load generator for `implant-server`.
+//!
+//! The poller front-end's claim is that threads track in-flight *work*
+//! while sockets are nearly free, and that the single-flight layer
+//! turns a duplicate-heavy fan-in into a trickle of real executions.
+//! This harness measures both at scale:
+//!
+//! 1. parks an fd-budget-capped crowd of idle connections (~10k where
+//!    the limit allows) on the server and asserts the process thread
+//!    count does not move;
+//! 2. drives a deterministic 90%-duplicate Monte Carlo workload from N
+//!    concurrent driver connections *through* that crowd and reports
+//!    sustained req/s plus p50/p95/p99 client-side latency;
+//! 3. checks the collapse ledger against the schedule: the server must
+//!    report exactly one `cache_miss` per distinct point — every
+//!    duplicate is a hit (collapsed onto a live flight or replayed from
+//!    cache), nothing is shed, nothing expires, nothing breaks.
+//!
+//! The run exits non-zero if any contract fails. `--profile` prints the
+//! per-stage breakdown from the [`obs`] registry; `--json PATH` writes
+//! the machine-readable `BENCH_fanin.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_fanin -- --connections 10000 \
+//!     --drivers 32 --requests 40 --profile --json BENCH_fanin.json
+//! ```
+
+use bench::{banner, duration_us, profile_table, stage_rows, stages_json, verdict};
+use runtime::{Json, LatencyHistogram};
+use server::client::Client;
+use server::{Server, ServerConfig};
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::time::Instant;
+use testkit::adversary::{capped_connections, idle_soak, process_threads};
+
+/// Command-line knobs (std-only parsing: `--flag value` pairs).
+struct Args {
+    connections: usize,
+    drivers: usize,
+    requests: usize,
+    duplicate_pct: usize,
+    hot_set: usize,
+    mc_trials: u64,
+    workers: usize,
+    pollers: usize,
+    profile: bool,
+    json_path: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            connections: 10_000,
+            drivers: 32,
+            requests: 40,
+            duplicate_pct: 90,
+            hot_set: 4,
+            mc_trials: 120,
+            workers: 2,
+            pollers: 2,
+            profile: false,
+            json_path: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+            };
+            match flag.as_str() {
+                "--connections" => args.connections = take("--connections"),
+                "--drivers" => args.drivers = take("--drivers").max(1),
+                "--requests" => args.requests = take("--requests").max(1),
+                "--duplicate-pct" => args.duplicate_pct = take("--duplicate-pct").min(100),
+                "--hot-set" => args.hot_set = take("--hot-set").max(1),
+                "--mc-trials" => args.mc_trials = take("--mc-trials").max(1) as u64,
+                "--workers" => args.workers = take("--workers").max(1),
+                "--pollers" => args.pollers = take("--pollers").max(1),
+                "--profile" => args.profile = true,
+                "--json" => {
+                    args.json_path =
+                        Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
+                }
+                other => panic!(
+                    "unknown flag {other:?} (known: --connections --drivers --requests \
+                     --duplicate-pct --hot-set --mc-trials --workers --pollers --profile --json)"
+                ),
+            }
+        }
+        args
+    }
+}
+
+/// The Monte Carlo seed request `i` of driver `d` asks for. The hot set
+/// repeats across every driver (those are the duplicates the collapse
+/// layer must merge); the rest are unique to their `(d, i)` slot.
+fn point_seed(args: &Args, d: usize, i: usize) -> u64 {
+    if (d * 31 + i * 7) % 100 < args.duplicate_pct {
+        1_000 + ((d + i) % args.hot_set) as u64
+    } else {
+        1_000_000 + (d as u64) * 1_000_000 + i as u64
+    }
+}
+
+/// The full deterministic schedule plus its distinct-key count —
+/// computed up front so the collapse contract is exact, not estimated.
+fn schedule(args: &Args) -> (Vec<Vec<u64>>, usize) {
+    let plans: Vec<Vec<u64>> = (0..args.drivers)
+        .map(|d| (0..args.requests).map(|i| point_seed(args, d, i)).collect())
+        .collect();
+    let unique: BTreeSet<u64> = plans.iter().flatten().copied().collect();
+    (plans, unique.len())
+}
+
+/// What one driver saw.
+#[derive(Default)]
+struct DriverReport {
+    ok: u64,
+    overloaded: u64,
+    other_errors: u64,
+    /// Responses that never arrived or could not be parsed — must stay 0.
+    broken: u64,
+    latency: LatencyHistogram,
+}
+
+/// Drives one connection through its schedule of Monte Carlo points.
+fn drive(addr: SocketAddr, plan: Vec<u64>, mc_trials: u64) -> DriverReport {
+    let mut report = DriverReport::default();
+    let Ok(mut client) = Client::connect(addr) else {
+        report.broken += plan.len() as u64;
+        return report;
+    };
+    for seed in plan {
+        let params = Json::obj(vec![
+            ("trials", Json::Num(mc_trials as f64)),
+            ("seed", Json::Num(seed as f64)),
+            ("scale", Json::Num(1.0)),
+        ]);
+        let started = Instant::now();
+        let response = match client.request("montecarlo", params) {
+            Ok(r) => r,
+            Err(_) => {
+                report.broken += 1;
+                continue;
+            }
+        };
+        report.latency.record(started.elapsed());
+        if response.is_ok() {
+            report.ok += 1;
+        } else {
+            match response.error_code() {
+                Some("overloaded") => report.overloaded += 1,
+                Some(_) => report.other_errors += 1,
+                None => report.broken += 1,
+            }
+        }
+    }
+    report
+}
+
+/// Reads one numeric counter from `metrics.endpoints.montecarlo`.
+fn mc_counter(client: &mut Client, key: &str) -> u64 {
+    let metrics = client
+        .request("metrics", Json::Obj(Vec::new()))
+        .expect("metrics answers");
+    metrics
+        .result()
+        .and_then(|r| r.get("endpoints"))
+        .and_then(|e| e.get("montecarlo"))
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("metrics missing endpoints.montecarlo.{key}"))
+}
+
+fn main() {
+    let args = Args::parse();
+    banner("S2", "high-fan-in serving: poller front-end + single-flight collapse");
+    println!(
+        "config: {} soak conns (pre-cap) · {} drivers × {} requests · {}% duplicates over a hot set of {} · {} MC trials · {} workers · {} pollers",
+        args.connections,
+        args.drivers,
+        args.requests,
+        args.duplicate_pct,
+        args.hot_set,
+        args.mc_trials,
+        args.workers,
+        args.pollers
+    );
+
+    let (plans, unique_keys) = schedule(&args);
+    let total = (args.drivers * args.requests) as u64;
+    let duplicates = total - unique_keys as u64;
+    println!("schedule: {total} requests over {unique_keys} distinct points ({duplicates} duplicates)");
+
+    obs::reset();
+    let config = ServerConfig {
+        workers: args.workers,
+        pollers: args.pollers,
+        // Headroom so the duplicate-collapse ledger is exact: no point
+        // may be shed at the queue or recomputed after an LRU eviction.
+        queue_capacity: (args.drivers * 2).max(64),
+        cache_capacity: 1024,
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(config).expect("bind ephemeral port");
+    let addr = handle.addr();
+    println!("server: {addr}");
+
+    // Phase 1: the idle crowd. Threads must not track sockets.
+    let threads_before = process_threads();
+    let soak_target = capped_connections(args.connections);
+    let soak = idle_soak(addr, soak_target);
+    let threads_during = process_threads();
+    let threads_flat = threads_during <= threads_before + 2;
+    println!(
+        "soak: {} idle connections parked · threads {} -> {} … {}",
+        soak.len(),
+        threads_before,
+        threads_during,
+        verdict(threads_flat)
+    );
+
+    // Phase 2: the duplicate-heavy workload through the crowd.
+    let started = Instant::now();
+    let drivers: Vec<std::thread::JoinHandle<DriverReport>> = plans
+        .into_iter()
+        .map(|plan| {
+            let mc_trials = args.mc_trials;
+            std::thread::spawn(move || drive(addr, plan, mc_trials))
+        })
+        .collect();
+    let reports: Vec<DriverReport> =
+        drivers.into_iter().map(|d| d.join().expect("driver thread")).collect();
+    let wall = started.elapsed();
+
+    let mut latency = LatencyHistogram::new();
+    let (mut ok, mut overloaded, mut other, mut broken) = (0u64, 0u64, 0u64, 0u64);
+    for r in &reports {
+        latency.merge(&r.latency);
+        ok += r.ok;
+        overloaded += r.overloaded;
+        other += r.other_errors;
+        broken += r.broken;
+    }
+    let answered = ok + overloaded + other;
+    let rps = answered as f64 / wall.as_secs_f64();
+
+    println!();
+    println!("sustained: {rps:.1} req/s over {:.2} s", wall.as_secs_f64());
+    println!(
+        "latency:   p50 {:?} · p95 {:?} · p99 {:?} ({} samples)",
+        latency.p50(),
+        latency.p95(),
+        latency.p99(),
+        latency.count()
+    );
+    println!("outcomes:  {ok} ok · {overloaded} overloaded · {other} other errors · {broken} broken");
+
+    // Phase 3: the collapse ledger, read from the server's own metrics.
+    let mut metrics_client = Client::connect(addr).expect("metrics connection");
+    let mc_requests = mc_counter(&mut metrics_client, "requests");
+    let misses = mc_counter(&mut metrics_client, "cache_misses");
+    let hits = mc_counter(&mut metrics_client, "cache_hits");
+    let collapsed = mc_counter(&mut metrics_client, "collapsed");
+    let shed = mc_counter(&mut metrics_client, "shed");
+    let expired = mc_counter(&mut metrics_client, "expired");
+    println!(
+        "collapse:  {misses} executions for {unique_keys} distinct points · {hits} hits ({collapsed} collapsed onto live flights) · {shed} shed · {expired} expired"
+    );
+
+    // Snapshot the stage registry before shutdown adds teardown noise.
+    let rows = stage_rows();
+    if args.profile {
+        println!();
+        println!("per-stage latency breakdown (share excludes idle-inclusive server.read):");
+        print!("{}", profile_table(&rows));
+    }
+
+    println!();
+    println!("contracts:");
+    let all_answered = broken == 0 && answered == total && mc_requests == total;
+    println!("  every request answered ({answered}/{total}) … {}", verdict(all_answered));
+    println!(
+        "  threads track work, not sockets ({threads_before} -> {threads_during} across {} conns) … {}",
+        soak.len(),
+        verdict(threads_flat)
+    );
+    let collapse_exact =
+        misses == unique_keys as u64 && hits == duplicates && shed == 0 && expired == 0;
+    println!(
+        "  one execution per distinct point ({misses}/{unique_keys}), every duplicate a hit ({hits}/{duplicates}) … {}",
+        verdict(collapse_exact)
+    );
+
+    // Phase 4: the loaded server still drains cleanly under the crowd.
+    drop(soak);
+    let drained = {
+        let shutdown_ok = metrics_client
+            .request("shutdown", Json::Obj(Vec::new()))
+            .map(|r| r.is_ok())
+            .unwrap_or(false);
+        let overall = handle.join();
+        println!(
+            "  graceful shutdown drains and joins ({} server-side samples) … {}",
+            overall.count(),
+            verdict(shutdown_ok)
+        );
+        shutdown_ok
+    };
+
+    if let Some(path) = &args.json_path {
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("implant-bench-fanin/1".to_string())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("connections", Json::Num(args.connections as f64)),
+                    ("drivers", Json::Num(args.drivers as f64)),
+                    ("requests", Json::Num(args.requests as f64)),
+                    ("duplicate_pct", Json::Num(args.duplicate_pct as f64)),
+                    ("hot_set", Json::Num(args.hot_set as f64)),
+                    ("mc_trials", Json::Num(args.mc_trials as f64)),
+                    ("workers", Json::Num(args.workers as f64)),
+                    ("pollers", Json::Num(args.pollers as f64)),
+                ]),
+            ),
+            (
+                "soak",
+                Json::obj(vec![
+                    ("connections", Json::Num(soak_target as f64)),
+                    ("threads_before", Json::Num(threads_before as f64)),
+                    ("threads_during", Json::Num(threads_during as f64)),
+                ]),
+            ),
+            ("wall_s", Json::Num(wall.as_secs_f64())),
+            ("requests_total", Json::Num(total as f64)),
+            ("throughput_rps", Json::Num(rps)),
+            (
+                "outcomes",
+                Json::obj(vec![
+                    ("ok", Json::Num(ok as f64)),
+                    ("overloaded", Json::Num(overloaded as f64)),
+                    ("other_errors", Json::Num(other as f64)),
+                    ("broken", Json::Num(broken as f64)),
+                ]),
+            ),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Num(duration_us(latency.p50()))),
+                    ("p95", Json::Num(duration_us(latency.p95()))),
+                    ("p99", Json::Num(duration_us(latency.p99()))),
+                ]),
+            ),
+            (
+                "collapse",
+                Json::obj(vec![
+                    ("unique_keys", Json::Num(unique_keys as f64)),
+                    ("duplicates", Json::Num(duplicates as f64)),
+                    ("cache_misses", Json::Num(misses as f64)),
+                    ("cache_hits", Json::Num(hits as f64)),
+                    ("collapsed", Json::Num(collapsed as f64)),
+                    ("shed", Json::Num(shed as f64)),
+                    ("expired", Json::Num(expired as f64)),
+                ]),
+            ),
+            ("stages", stages_json(&rows)),
+        ]);
+        bench::write_bench_json(path, &doc);
+    }
+
+    let pass = all_answered && threads_flat && collapse_exact && drained;
+    println!();
+    println!("bench_fanin verdict: {}", verdict(pass));
+    if !pass {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args() -> Args {
+        Args {
+            connections: 0,
+            drivers: 8,
+            requests: 25,
+            duplicate_pct: 90,
+            hot_set: 4,
+            mc_trials: 50,
+            workers: 2,
+            pollers: 2,
+            profile: false,
+            json_path: None,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_counts_its_distinct_points() {
+        let a = args();
+        let (plans, unique) = schedule(&a);
+        let (again, unique_again) = schedule(&a);
+        assert_eq!(plans, again, "the schedule must be a pure function of the config");
+        assert_eq!(unique, unique_again);
+        assert_eq!(plans.len(), a.drivers);
+        assert!(plans.iter().all(|p| p.len() == a.requests));
+        // Distinct points are a small fraction of the request volume —
+        // that is the whole premise of the duplicate-collapse bench.
+        let total = a.drivers * a.requests;
+        assert!(unique <= a.hot_set + total * (100 - a.duplicate_pct) / 100 + 1);
+        assert!(unique >= a.hot_set, "the hot set itself is always touched");
+    }
+
+    #[test]
+    fn hot_points_repeat_across_drivers_and_unique_points_never_do() {
+        let a = args();
+        let hot_range = 1_000..1_000 + a.hot_set as u64;
+        let (plans, _) = schedule(&a);
+        let mut seen_unique = BTreeSet::new();
+        for plan in &plans {
+            for &seed in plan {
+                if !hot_range.contains(&seed) {
+                    assert!(seen_unique.insert(seed), "unique point {seed} repeated");
+                }
+            }
+        }
+        // Every driver hits the shared hot set at a 90% duplicate rate.
+        for (d, plan) in plans.iter().enumerate() {
+            let hot = plan.iter().filter(|s| hot_range.contains(s)).count();
+            assert!(hot * 10 >= plan.len() * 8, "driver {d} barely touched the hot set: {hot}");
+        }
+    }
+
+    #[test]
+    fn duplicate_pct_zero_makes_every_point_unique() {
+        let a = Args { duplicate_pct: 0, ..args() };
+        let (_, unique) = schedule(&a);
+        assert_eq!(unique, a.drivers * a.requests);
+    }
+
+    #[test]
+    fn duplicate_pct_hundred_collapses_the_schedule_to_the_hot_set() {
+        let a = Args { duplicate_pct: 100, ..args() };
+        let (_, unique) = schedule(&a);
+        assert_eq!(unique, a.hot_set);
+    }
+
+    /// Pinned seeds: the workload is part of the bench's contract — a
+    /// silent change here would make runs incomparable across commits.
+    #[test]
+    fn point_seeds_are_pinned() {
+        let a = args();
+        assert_eq!(point_seed(&a, 0, 0), 1_000, "first point is hot slot 0");
+        assert_eq!(point_seed(&a, 1, 2), 1_003, "hot slot cycles with d + i");
+        assert_eq!(point_seed(&a, 0, 14), 1_000_014, "slot (0, 14) is unique");
+        assert_eq!(point_seed(&a, 2, 4), 3_000_004, "slot (2, 4) is unique");
+    }
+}

@@ -140,6 +140,56 @@ fn validate_scenario(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     validate_stages(errors, file, doc);
 }
 
+fn validate_fanin(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+    for key in ["wall_s", "requests_total", "throughput_rps"] {
+        check(
+            errors,
+            file,
+            doc.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
+            &format!("missing or non-numeric {key}"),
+        );
+    }
+    for key in ["ok", "overloaded", "other_errors", "broken"] {
+        require_num(errors, file, doc, "outcomes", key);
+    }
+    check(
+        errors,
+        file,
+        doc.get("outcomes").and_then(|o| o.get("broken")).and_then(Json::as_f64) == Some(0.0),
+        "fan-in run broke requests",
+    );
+    for key in ["p50", "p95", "p99"] {
+        require_num(errors, file, doc, "latency_us", key);
+    }
+    for key in ["connections", "threads_before", "threads_during"] {
+        require_num(errors, file, doc, "soak", key);
+    }
+    let thread = |key: &str| doc.get("soak").and_then(|s| s.get(key)).and_then(Json::as_f64);
+    if let (Some(before), Some(during)) = (thread("threads_before"), thread("threads_during")) {
+        check(
+            errors,
+            file,
+            during <= before + 2.0,
+            &format!("threads grew with connections ({before} -> {during})"),
+        );
+    }
+    for key in
+        ["unique_keys", "duplicates", "cache_misses", "cache_hits", "collapsed", "shed", "expired"]
+    {
+        require_num(errors, file, doc, "collapse", key);
+    }
+    let ledger = |key: &str| doc.get("collapse").and_then(|c| c.get(key)).and_then(Json::as_f64);
+    if let (Some(unique), Some(misses)) = (ledger("unique_keys"), ledger("cache_misses")) {
+        check(
+            errors,
+            file,
+            misses == unique,
+            &format!("duplicates were recomputed ({misses} executions for {unique} distinct points)"),
+        );
+    }
+    validate_stages(errors, file, doc);
+}
+
 fn validate_cluster(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     let Some(Json::Obj(scaling)) = doc.get("scaling") else {
         check(errors, file, false, "missing scaling object");
@@ -250,6 +300,7 @@ fn validate_file(errors: &mut Vec<Violation>, file: &str) {
         Some("implant-bench-serve/1") => validate_serve(errors, file, &doc),
         Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc),
         Some("implant-bench-cluster/1") => validate_cluster(errors, file, &doc),
+        Some("implant-bench-fanin/1") => validate_fanin(errors, file, &doc),
         Some("implant-bench-scenario/1") => validate_scenario(errors, file, &doc),
         Some(other) => check(errors, file, false, &format!("unknown schema {other:?}")),
         None => check(errors, file, false, "missing schema field"),
@@ -271,4 +322,99 @@ fn main() {
         eprintln!("bench_validate: {file}: {reason}");
     }
     std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal artifact that satisfies every `implant-bench-fanin/1`
+    /// check — the failure tests below each break exactly one field.
+    fn fanin_doc() -> String {
+        r#"{"schema":"implant-bench-fanin/1",
+            "config":{"connections":2000,"drivers":8},
+            "soak":{"connections":2000,"threads_before":6,"threads_during":6},
+            "wall_s":0.2,"requests_total":160,"throughput_rps":800.0,
+            "outcomes":{"ok":160,"overloaded":0,"other_errors":0,"broken":0},
+            "latency_us":{"p50":5792.0,"p95":32768.0,"p99":65536.0},
+            "collapse":{"unique_keys":20,"duplicates":140,"cache_misses":20,
+                        "cache_hits":140,"collapsed":49,"shed":0,"expired":0},
+            "stages":{"server.execute":{"count":74,"total_us":253899.0,"share":0.35,
+                                        "p50_us":8.0,"p95_us":23170.0,"p99_us":46340.0}}}"#
+            .to_string()
+    }
+
+    fn fanin_errors(text: &str) -> Vec<String> {
+        let doc = Json::parse(text).expect("test doc parses");
+        let mut errors = Vec::new();
+        validate_fanin(&mut errors, "test.json", &doc);
+        errors.into_iter().map(|Violation(_, reason)| reason).collect()
+    }
+
+    #[test]
+    fn well_formed_fanin_artifact_validates() {
+        assert_eq!(fanin_errors(&fanin_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fanin_broken_requests_are_rejected() {
+        let doc = fanin_doc().replace(r#""broken":0"#, r#""broken":3"#);
+        assert!(
+            fanin_errors(&doc).iter().any(|r| r.contains("broke requests")),
+            "{:?}",
+            fanin_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn fanin_thread_growth_is_rejected() {
+        let doc = fanin_doc().replace(r#""threads_during":6"#, r#""threads_during":40"#);
+        assert!(
+            fanin_errors(&doc).iter().any(|r| r.contains("threads grew")),
+            "{:?}",
+            fanin_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn fanin_recomputed_duplicates_are_rejected() {
+        let doc = fanin_doc().replace(r#""cache_misses":20"#, r#""cache_misses":35"#);
+        assert!(
+            fanin_errors(&doc).iter().any(|r| r.contains("recomputed")),
+            "{:?}",
+            fanin_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn fanin_missing_collapse_ledger_is_rejected() {
+        let doc = fanin_doc().replace(r#""unique_keys":20,"#, "");
+        assert!(
+            fanin_errors(&doc).iter().any(|r| r.contains("collapse.unique_keys")),
+            "{:?}",
+            fanin_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn fanin_empty_stages_are_rejected() {
+        let doc = fanin_doc();
+        let (head, _) = doc.split_once(r#""stages":"#).expect("stages present");
+        let doc = format!(r#"{head}"stages":{{}}}}"#);
+        assert!(
+            fanin_errors(&doc).iter().any(|r| r.contains("stages object is empty")),
+            "{:?}",
+            fanin_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn fanin_schema_dispatches_through_validate_file() {
+        let path = std::env::temp_dir().join("bench_validate_fanin_dispatch.json");
+        std::fs::write(&path, fanin_doc()).expect("write temp artifact");
+        let mut errors = Vec::new();
+        validate_file(&mut errors, path.to_str().expect("utf-8 temp path"));
+        let _ = std::fs::remove_file(&path);
+        assert!(errors.is_empty(), "{:?}", errors.iter().map(|Violation(_, r)| r).collect::<Vec<_>>());
+    }
 }

@@ -205,4 +205,17 @@ mod tests {
         assert_eq!(json.non_finite_path(), None);
         obs::reset();
     }
+
+    #[test]
+    fn latency_json_carries_finite_percentiles() {
+        let mut hist = runtime::LatencyHistogram::new();
+        hist.record(Duration::from_micros(100));
+        hist.record(Duration::from_micros(400));
+        let json = latency_json(&hist);
+        for key in ["p50_us", "p95_us", "p99_us"] {
+            let v = json.get(key).and_then(Json::as_f64).expect(key);
+            assert!(v.is_finite() && v > 0.0, "{key} = {v}");
+        }
+        assert_eq!(json.non_finite_path(), None);
+    }
 }

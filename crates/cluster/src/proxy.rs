@@ -3,10 +3,15 @@
 //!
 //! A client that speaks to one `implant-server` speaks to a
 //! [`ClusterProxy`] unchanged: newline-delimited JSON requests in, one
-//! response line per request, in order. Data-plane requests are routed
-//! through a per-connection [`ClusterClient`] (rendezvous placement,
-//! retries, failover); only the `id` is rewritten on the way back, so
-//! the payload bytes are whatever the replica produced.
+//! response line per request, in order. The proxy rides the same
+//! poller front-end as the server ([`server::poller`]): accepted
+//! sockets are multiplexed onto a small poller pool, decoded requests
+//! enter a bounded queue, and a fixed worker fleet — each worker with
+//! its own routing [`ClusterClient`] (rendezvous placement, retries,
+//! failover) — answers them. Thread count is
+//! `pollers + workers + 1` regardless of how many clients connect.
+//! Only the `id` is rewritten on the way back (plus the `replica`
+//! stamp), so the payload bytes are whatever the replica produced.
 //!
 //! The control plane is answered *about the cluster*:
 //!
@@ -23,18 +28,20 @@
 
 use crate::client::{ClusterClient, ClusterError, RetryPolicy};
 use crate::member::{HealthState, ReplicaSet};
+use runtime::Json;
 use server::client::Client;
-use server::conn::{read_bounded_line, LineRead, MAX_LINE};
+use server::conn::MAX_LINE;
+use server::poller::{LineAction, LineService, PollerPool};
 use server::proto::{
     decode_err_response, err_response, ok_response, ErrorCode, Request, VERSION,
 };
-use runtime::Json;
+use server::queue::{BoundedQueue, PushError};
 use store::Store;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -43,14 +50,20 @@ use std::time::Duration;
 pub struct ProxyConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Routing policy handed to every connection's [`ClusterClient`].
+    /// Routing policy handed to every worker's [`ClusterClient`].
     pub policy: RetryPolicy,
     /// Bound on each control-plane fetch from a replica (`metrics`,
     /// `metrics_v2`).
     pub control_timeout: Duration,
-    /// Root of the shared artifact store: every connection's routing
+    /// Root of the shared artifact store: every worker's routing
     /// client gets it for hedged store reads (`None` = no store).
     pub store_dir: Option<PathBuf>,
+    /// Proxy worker threads, each owning one routing client.
+    pub workers: usize,
+    /// Poller threads multiplexing the client sockets.
+    pub pollers: usize,
+    /// Bound of the proxy's request queue.
+    pub queue_capacity: usize,
 }
 
 impl Default for ProxyConfig {
@@ -60,6 +73,9 @@ impl Default for ProxyConfig {
             policy: RetryPolicy::default(),
             control_timeout: Duration::from_millis(1000),
             store_dir: None,
+            workers: 4,
+            pollers: 2,
+            queue_capacity: 256,
         }
     }
 }
@@ -67,12 +83,20 @@ impl Default for ProxyConfig {
 /// The front proxy; [`ClusterProxy::spawn`] is the only entry point.
 pub struct ClusterProxy;
 
+/// One decoded request awaiting a proxy worker.
+struct ProxyJob {
+    request: Request,
+    reply: mpsc::Sender<String>,
+}
+
 struct ProxyShared {
     set: Arc<ReplicaSet>,
     config: ProxyConfig,
+    jobs: BoundedQueue<ProxyJob>,
     stop: AtomicBool,
     local_addr: SocketAddr,
     store: Option<Arc<Store>>,
+    waker: OnceLock<server::poller::Waker>,
 }
 
 impl ProxyShared {
@@ -80,14 +104,90 @@ impl ProxyShared {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.jobs.close();
         self.set.shutdown();
+        self.wake_pollers();
         // Poke the blocking accept so it observes the flag.
         let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn wake_pollers(&self) {
+        if let Some(waker) = self.waker.get() {
+            waker.wake_all();
+        }
+    }
+}
+
+/// The proxy's line protocol as a poller-driven [`LineService`]:
+/// malformed lines and refusals are answered inline from the poller
+/// thread; everything else — control plane included, since `metrics`
+/// fans out over the network — is queued to the worker fleet.
+struct ProxyService {
+    shared: Arc<ProxyShared>,
+}
+
+impl LineService for ProxyService {
+    fn handle_line(&self, line: &[u8]) -> LineAction {
+        if line.iter().all(u8::is_ascii_whitespace) {
+            return LineAction::Skip;
+        }
+        let request = match std::str::from_utf8(line) {
+            Err(_) => {
+                return LineAction::Inline(err_response(
+                    0,
+                    ErrorCode::BadRequest,
+                    "request line is not UTF-8",
+                ))
+            }
+            Ok(text) => match Request::decode_line(text) {
+                Err(e) => return LineAction::Inline(decode_err_response(0, &e)),
+                Ok(request) => request,
+            },
+        };
+        if request.endpoint == "shutdown" {
+            // Answer first, then drain: the poller flushes the ack
+            // before the handle is joined, so it always reaches the
+            // client.
+            let body = Json::obj(vec![("draining", Json::Bool(true))]);
+            let ack = ok_response(request.id, body, 0, 0);
+            self.shared.begin_shutdown();
+            return LineAction::Inline(ack);
+        }
+        let (reply, inbox) = mpsc::channel();
+        match self.shared.jobs.try_push(ProxyJob { request, reply }) {
+            Ok(()) => LineAction::Pending(inbox),
+            Err(PushError::Full(job)) => LineAction::Inline(err_response(
+                job.request.id,
+                ErrorCode::Overloaded,
+                &format!(
+                    "proxy queue full (capacity {}); retry with backoff",
+                    self.shared.jobs.capacity()
+                ),
+            )),
+            Err(PushError::Closed(job)) => LineAction::Inline(err_response(
+                job.request.id,
+                ErrorCode::ShuttingDown,
+                "proxy is draining; no new work",
+            )),
+        }
+    }
+
+    fn oversized_line(&self) -> String {
+        err_response(
+            0,
+            ErrorCode::BadRequest,
+            &format!("request line exceeds {MAX_LINE} bytes"),
+        )
+    }
+
+    fn lost_line(&self) -> String {
+        err_response(0, ErrorCode::Internal, "proxy worker lost")
     }
 }
 
 impl ClusterProxy {
-    /// Binds the proxy port and starts accepting.
+    /// Binds the proxy port and starts the pollers, workers and accept
+    /// loop.
     ///
     /// # Errors
     ///
@@ -100,16 +200,42 @@ impl ClusterProxy {
             Some(dir) => Some(Arc::new(Store::open(dir, "proxy")?)),
             None => None,
         };
-        let shared =
-            Arc::new(ProxyShared { set, config, stop: AtomicBool::new(false), local_addr, store });
+        let jobs = BoundedQueue::new(config.queue_capacity);
+        let workers_n = config.workers.max(1);
+        let pollers_n = config.pollers.max(1);
+        let shared = Arc::new(ProxyShared {
+            set,
+            config,
+            jobs,
+            stop: AtomicBool::new(false),
+            local_addr,
+            store,
+            waker: OnceLock::new(),
+        });
+
+        let service = Arc::new(ProxyService { shared: Arc::clone(&shared) });
+        let pollers = PollerPool::spawn(pollers_n, service, "implant-cluster");
+        shared.waker.set(pollers.waker()).ok().expect("waker set once");
+
+        let workers: Vec<JoinHandle<()>> = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("implant-cluster-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn proxy worker")
+            })
+            .collect();
+
         let accept = {
             let shared = Arc::clone(&shared);
+            let registrar = pollers.registrar();
             std::thread::Builder::new()
                 .name("implant-cluster-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
+                .spawn(move || accept_loop(&listener, &shared, &registrar))
                 .expect("spawn proxy acceptor")
         };
-        Ok(ProxyHandle { shared, accept })
+        Ok(ProxyHandle { shared, accept, workers, pollers })
     }
 }
 
@@ -117,6 +243,8 @@ impl ClusterProxy {
 pub struct ProxyHandle {
     shared: Arc<ProxyShared>,
     accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    pollers: PollerPool,
 }
 
 impl ProxyHandle {
@@ -136,101 +264,58 @@ impl ProxyHandle {
         self.shared.begin_shutdown();
     }
 
-    /// Waits for the accept loop to exit (call
-    /// [`ProxyHandle::shutdown`] first, or send a `shutdown` request).
+    /// Waits for the drain: the accept loop exits, the workers finish
+    /// what was admitted, the pollers flush and drop every socket.
+    /// (Call [`ProxyHandle::shutdown`] first, or send a `shutdown`
+    /// request.)
     pub fn join(self) {
         self.accept.join().expect("proxy acceptor panicked");
+        for worker in self.workers {
+            worker.join().expect("proxy worker panicked");
+        }
+        self.pollers.stop_and_join();
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ProxyShared>,
+    registrar: &server::poller::Registrar,
+) {
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
-            .name("implant-cluster-conn".to_string())
-            .spawn(move || serve_conn(stream, &shared));
+        registrar.register(stream);
     }
 }
 
-/// One proxy connection: its own routing client (and so its own
-/// connection pool and jitter streams), request lines in, response
-/// lines out.
-fn serve_conn(stream: TcpStream, shared: &Arc<ProxyShared>) {
-    let Ok(reader_stream) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
-    let mut router =
-        ClusterClient::new(Arc::clone(&shared.set), shared.config.policy.clone());
+/// One proxy worker: its own routing client (and so its own connection
+/// pool and jitter streams), jobs in, response lines out. Exits when
+/// the queue is closed and drained.
+fn worker_loop(shared: &Arc<ProxyShared>) {
+    let mut router = ClusterClient::new(Arc::clone(&shared.set), shared.config.policy.clone());
     if let Some(store) = &shared.store {
         router = router.with_store(Arc::clone(store));
     }
-
-    loop {
-        let line = match read_bounded_line(&mut reader) {
-            Ok(LineRead::Line(bytes)) => bytes,
-            Ok(LineRead::TooLong) => {
-                let msg = format!("request line exceeds {MAX_LINE} bytes");
-                if respond(&mut writer, &err_response(0, ErrorCode::BadRequest, &msg)).is_err() {
-                    return;
-                }
-                continue;
-            }
-            Ok(LineRead::Eof) | Err(_) => return,
-        };
-        if line.iter().all(u8::is_ascii_whitespace) {
-            continue;
-        }
-        let (response, drain_after) = match std::str::from_utf8(&line) {
-            Err(_) => {
-                (err_response(0, ErrorCode::BadRequest, "request line is not UTF-8"), false)
-            }
-            Ok(text) => match Request::decode_line(text) {
-                Err(e) => (decode_err_response(0, &e), false),
-                Ok(request) => dispatch(request, shared, &mut router),
-            },
-        };
-        if respond(&mut writer, &response).is_err() {
-            return;
-        }
-        if drain_after {
-            // The ack is already flushed to the kernel, so it reaches
-            // the client even if the process exits as soon as the
-            // accept loop unblocks.
-            shared.begin_shutdown();
-            return;
-        }
+    while let Some(job) = shared.jobs.pop() {
+        let line = dispatch(job.request, shared, &mut router);
+        let _ = job.reply.send(line);
+        shared.wake_pollers();
     }
 }
 
-fn respond(writer: &mut impl Write, line: &str) -> io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
-}
-
-/// Answers one request; the flag asks the caller to write the response
-/// and *then* drain the cluster (the `shutdown` ack must reach the
-/// client before the process can exit).
-fn dispatch(
-    request: Request,
-    shared: &Arc<ProxyShared>,
-    router: &mut ClusterClient,
-) -> (String, bool) {
+/// Answers one queued request (`shutdown` never gets here — the
+/// service acks it inline so the ack cannot queue behind data work).
+fn dispatch(request: Request, shared: &Arc<ProxyShared>, router: &mut ClusterClient) -> String {
     match request.endpoint.as_str() {
-        "health" => (cluster_health(request.id, shared), false),
-        "metrics_v2" => (merged_metrics_v2(request.id, shared), false),
-        "metrics" => (per_replica_metrics(request.id, shared), false),
-        "shutdown" => {
-            let body = Json::obj(vec![("draining", Json::Bool(true))]);
-            (ok_response(request.id, body, 0, 0), true)
-        }
+        "health" => cluster_health(request.id, shared),
+        "metrics_v2" => merged_metrics_v2(request.id, shared),
+        "metrics" => per_replica_metrics(request.id, shared),
         _ => {
             let budget = request.deadline_ms.map(Duration::from_millis);
-            let response = match router.request_routed(&request.endpoint, request.params, budget) {
+            match router.request_routed(&request.endpoint, request.params, budget) {
                 Ok(routed) => {
                     let doc = with_id(routed.response.into_json(), request.id);
                     with_replica(doc, &routed.replica).to_string()
@@ -245,8 +330,7 @@ fn dispatch(
                     // replica would.
                     err_response(request.id, ErrorCode::Overloaded, &e.to_string())
                 }
-            };
-            (response, false)
+            }
         }
     }
 }

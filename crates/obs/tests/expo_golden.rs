@@ -32,6 +32,18 @@ fn synthetic_snapshot() -> Vec<StageSnapshot> {
             hist: LatencyHistogram::new(),
         },
         StageSnapshot {
+            name: "server.singleflight.follower",
+            count: 4,
+            total: Duration::ZERO,
+            hist: LatencyHistogram::new(),
+        },
+        StageSnapshot {
+            name: "server.singleflight.leader",
+            count: 2,
+            total: Duration::ZERO,
+            hist: LatencyHistogram::new(),
+        },
+        StageSnapshot {
             name: "server.decode",
             count: 3,
             total: Duration::from_micros(70),

@@ -381,6 +381,77 @@ impl<V: Artifact + Clone> ResultCache<V> {
     }
 }
 
+/// Which role a caller was given when it joined an in-flight entry.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Flight {
+    /// No computation was in flight for the key: the caller owns it and
+    /// must eventually call [`Inflight::complete`] for the key — on
+    /// success, failure, *and* panic paths — or attached waiters hang.
+    Leader,
+    /// A computation was already in flight: the caller's waiter was
+    /// attached and will be handed back to the leader at `complete`.
+    Attached,
+}
+
+/// In-flight entry state for single-flight collapse: at most one
+/// computation per cache key runs at a time, and every concurrent caller
+/// with the same key parks a waiter on the entry instead of recomputing.
+///
+/// The table stores only the waiters, never the result — publishing is
+/// the caller's job (it already holds the reply channels). Because
+/// [`Inflight::complete`] *removes* the entry unconditionally, there is
+/// no poisoned state: if a leader's computation panics, its (caught)
+/// unwind path still completes the key, the waiters are handed back for
+/// an error reply, and the next request for the key becomes a fresh
+/// leader.
+#[derive(Debug, Default)]
+pub struct Inflight<W> {
+    entries: Mutex<HashMap<u64, Vec<W>>>,
+}
+
+impl<W> Inflight<W> {
+    /// An empty in-flight table.
+    pub fn new() -> Self {
+        Inflight { entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// Joins the in-flight entry for `key`. Returns [`Flight::Leader`]
+    /// when no computation is in flight (the entry is created and
+    /// `waiter` is dropped — the leader answers itself), otherwise
+    /// attaches `waiter` to the existing entry and returns
+    /// [`Flight::Attached`].
+    pub fn join(&self, key: u64, waiter: W) -> Flight {
+        let mut entries = self.entries.lock().expect("inflight lock");
+        match entries.get_mut(&key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                Flight::Attached
+            }
+            None => {
+                entries.insert(key, Vec::new());
+                Flight::Leader
+            }
+        }
+    }
+
+    /// Removes the entry for `key` and returns every waiter attached
+    /// since the leader joined. Idempotent: a second call (or a call for
+    /// a key that never had a leader) returns an empty vec.
+    pub fn complete(&self, key: u64) -> Vec<W> {
+        self.entries.lock().expect("inflight lock").remove(&key).unwrap_or_default()
+    }
+
+    /// Keys currently in flight (leaders that have not completed).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("inflight lock").len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Atomically replaces `path` with `bytes`: write to a unique temp file
 /// in the same directory, then `rename` over the target. A concurrent
 /// reader sees either the old complete artifact or the new one — never
@@ -644,5 +715,53 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.peek(1), None);
         assert_eq!(cache.peek(2), Some(2.0));
+    }
+
+    #[test]
+    fn inflight_first_joiner_leads_and_later_joiners_attach() {
+        let flight: Inflight<&'static str> = Inflight::new();
+        assert_eq!(flight.join(7, "a"), Flight::Leader);
+        assert_eq!(flight.join(7, "b"), Flight::Attached);
+        assert_eq!(flight.join(7, "c"), Flight::Attached);
+        // A different key gets its own leader.
+        assert_eq!(flight.join(8, "x"), Flight::Leader);
+        assert_eq!(flight.len(), 2);
+        assert_eq!(flight.complete(7), vec!["b", "c"]);
+        assert_eq!(flight.len(), 1);
+        // After completion the key is fresh again.
+        assert_eq!(flight.join(7, "d"), Flight::Leader);
+    }
+
+    #[test]
+    fn inflight_complete_is_idempotent_and_never_poisons() {
+        let flight: Inflight<u32> = Inflight::new();
+        assert_eq!(flight.join(1, 0), Flight::Leader);
+        assert_eq!(flight.complete(1), Vec::<u32>::new());
+        // Double-complete and completing an unknown key are both no-ops.
+        assert_eq!(flight.complete(1), Vec::<u32>::new());
+        assert_eq!(flight.complete(99), Vec::<u32>::new());
+        assert!(flight.is_empty());
+    }
+
+    #[test]
+    fn inflight_join_race_yields_exactly_one_leader() {
+        use std::sync::Barrier;
+        let flight = Arc::new(Inflight::<usize>::new());
+        let n = 8;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let flight = flight.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    flight.join(42, i) == Flight::Leader
+                })
+            })
+            .collect();
+        let leaders =
+            handles.into_iter().map(|h| h.join().unwrap()).filter(|&led| led).count();
+        assert_eq!(leaders, 1, "exactly one thread may lead per key");
+        assert_eq!(flight.complete(42).len(), n - 1, "everyone else attached");
     }
 }

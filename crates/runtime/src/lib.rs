@@ -50,7 +50,9 @@ pub mod metrics;
 pub mod pool;
 pub mod rng;
 
-pub use cache::{atomic_write, cache_key, fnv1a64, Artifact, ArtifactTier, ResultCache};
+pub use cache::{
+    atomic_write, cache_key, fnv1a64, Artifact, ArtifactTier, Flight, Inflight, ResultCache,
+};
 pub use job::{Batch, BatchBuilder, Grid, GridBuilder, ParamPoint, ParamValue};
 pub use json::Json;
 pub use metrics::{LatencyHistogram, RunMetrics};

@@ -1,32 +1,37 @@
-//! Per-connection protocol loop.
-//!
-//! One thread per accepted socket, reading newline-delimited requests
-//! and writing one response line per request, in order. Lines are read
-//! through a bounded reader — a peer streaming an endless line without
-//! a newline can never grow memory past [`MAX_LINE`] bytes.
+//! The server's line protocol, as a [`LineService`] the poller
+//! front-end drives. (Until the fan-in work this was a
+//! thread-per-connection loop; the wire behavior is unchanged.)
 //!
 //! Control-plane endpoints (`health`, `metrics`, `metrics_v2`,
 //! `shutdown`) and every rejection (malformed line, unknown endpoint,
-//! invalid parameters, shed or closed queue) are answered inline on
-//! this thread; only fully decoded data-plane requests enter the
+//! invalid parameters, shed or closed queue) are answered inline from
+//! the poller thread; only fully decoded data-plane requests enter the
 //! bounded queue. That keeps the observability plane responsive even
 //! when the data plane is saturated — a full queue still answers
 //! `metrics` instantly — and means workers never see invalid input.
 //!
+//! Data requests with a [`RequestBody::route_point`] identity join the
+//! single-flight table first: if an identical request is already in
+//! flight, this one parks as a follower (`server.singleflight.follower`)
+//! and is answered when the leader publishes — it never occupies a
+//! queue slot or recomputes the artifact.
+//!
 //! Each protocol stage records into the [`obs`] registry:
-//! `server.read` (blocking on the socket, idle time included),
-//! `server.decode` (envelope + typed body), `server.queue_wait`,
-//! `server.execute` and `server.encode` (worker side, see
-//! [`crate::worker_loop`]) and `server.write`.
+//! `server.read` (data-bearing socket reads), `server.decode`
+//! (envelope + typed body), `server.queue_wait`, `server.execute` and
+//! `server.encode` (worker side, see [`crate::worker_loop`]) and
+//! `server.write`.
 
+use crate::flight::Waiter;
+use crate::poller::{LineAction, LineService};
 use crate::proto::{
     decode_err_response, err_response, ok_response, ErrorCode, Request, RequestBody,
 };
 use crate::queue::PushError;
+use crate::router::RouteError;
 use crate::{Job, Shared};
-use runtime::Json;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use runtime::{Flight, Json};
+use std::io::{self, BufRead};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -94,95 +99,73 @@ pub fn read_bounded_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
     }
 }
 
-/// Serves one connection until the peer closes it (or a write fails,
-/// which means the peer is gone). With an idle timeout configured, a
-/// connection that sits quiet past it is told so — one unsolicited
-/// `idle_timeout` error line (id 0, there is no request to correlate) —
-/// and closed.
-pub fn serve(stream: TcpStream, shared: Arc<Shared>) {
-    if stream.set_read_timeout(shared.idle_timeout).is_err() {
-        return;
-    }
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
+/// The server's protocol as a poller-driven service: one [`Shared`]
+/// behind every connection, no per-connection thread or state beyond
+/// what the poller keeps.
+pub(crate) struct ServerService {
+    shared: Arc<Shared>,
+}
 
-    loop {
-        let read = {
-            // Includes time blocked waiting for the peer — profile
-            // consumers treat `server.read` as idle-inclusive.
-            let _read = obs::span!("server.read");
-            read_bounded_line(&mut reader)
-        };
-        let line = match read {
-            Ok(LineRead::Line(bytes)) => bytes,
-            Ok(LineRead::TooLong) => {
-                shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
-                let msg = format!("request line exceeds {MAX_LINE} bytes");
-                if respond(&mut writer, &err_response(0, ErrorCode::BadRequest, &msg)).is_err() {
-                    return;
-                }
-                continue;
-            }
-            Ok(LineRead::Eof) => return,
-            // A read timeout surfaces as WouldBlock (Unix) or TimedOut
-            // (Windows); only possible when the idle timeout is armed.
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                shared.metrics.record_error(IDLE, ErrorCode::IdleTimeout);
-                let timeout = shared.idle_timeout.unwrap_or_default();
-                let _ = respond(
-                    &mut writer,
-                    &err_response(
-                        0,
-                        ErrorCode::IdleTimeout,
-                        &format!("connection idle for {} ms; closing", timeout.as_millis()),
-                    ),
-                );
-                return;
-            }
-            Err(_) => return,
-        };
+impl ServerService {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        ServerService { shared }
+    }
+}
+
+impl LineService for ServerService {
+    fn handle_line(&self, line: &[u8]) -> LineAction {
         if line.iter().all(u8::is_ascii_whitespace) {
-            continue; // blank keep-alive lines are free
+            return LineAction::Skip; // blank keep-alive lines are free
         }
         let envelope = {
             let _decode = obs::span!("server.decode");
-            match std::str::from_utf8(&line) {
+            match std::str::from_utf8(line) {
                 Err(_) => Err(err_response(0, ErrorCode::BadRequest, "request line is not UTF-8")),
                 Ok(text) => Request::decode_line(text).map_err(|e| decode_err_response(0, &e)),
             }
         };
-        let response = match envelope {
+        match envelope {
             Err(rejection) => {
-                shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
-                rejection
+                self.shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
+                LineAction::Inline(rejection)
             }
-            Ok(request) => dispatch(request, &shared),
-        };
-        let write = {
-            let _write = obs::span!("server.write");
-            respond(&mut writer, &response)
-        };
-        if write.is_err() {
-            return;
+            Ok(request) => dispatch(request, &self.shared),
         }
     }
-}
 
-/// Writes one response line and flushes it (the protocol is
-/// request/response, so latency beats batching here).
-fn respond(writer: &mut impl Write, line: &str) -> io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+    fn oversized_line(&self) -> String {
+        self.shared.metrics.record_error(MALFORMED, ErrorCode::BadRequest);
+        err_response(
+            0,
+            ErrorCode::BadRequest,
+            &format!("request line exceeds {MAX_LINE} bytes"),
+        )
+    }
+
+    fn idle_timeout(&self) -> Option<Duration> {
+        self.shared.idle_timeout
+    }
+
+    fn idle_line(&self) -> String {
+        self.shared.metrics.record_error(IDLE, ErrorCode::IdleTimeout);
+        let timeout = self.shared.idle_timeout.unwrap_or_default();
+        err_response(
+            0,
+            ErrorCode::IdleTimeout,
+            &format!("connection idle for {} ms; closing", timeout.as_millis()),
+        )
+    }
+
+    fn lost_line(&self) -> String {
+        // A worker dropped the reply channel without sending — only
+        // possible if the worker thread itself died.
+        err_response(0, ErrorCode::Internal, "worker lost")
+    }
 }
 
 /// Routes one parsed envelope: control plane inline, data plane decoded
 /// to a typed body and queued.
-fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
+fn dispatch(request: Request, shared: &Arc<Shared>) -> LineAction {
     let body = {
         let _decode = obs::span!("server.decode");
         RequestBody::decode(&request.endpoint, &request.params, &shared.router.limits())
@@ -191,10 +174,10 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
         Ok(body) => body,
         Err(err) => {
             shared.metrics.record_error(&request.endpoint, err.code);
-            return decode_err_response(request.id, &err);
+            return LineAction::Inline(decode_err_response(request.id, &err));
         }
     };
-    match body {
+    let response = match body {
         RequestBody::Health => {
             let body = Json::obj(vec![
                 ("status", Json::Str("ok".to_string())),
@@ -234,44 +217,84 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
             shared.begin_shutdown();
             response
         }
-        data => submit(request.id, request.deadline_ms, data, shared),
-    }
+        data => return submit(request.id, request.deadline_ms, data, shared),
+    };
+    LineAction::Inline(response)
 }
 
-/// Submits a decoded data-plane body to the bounded queue and waits for
-/// the worker's response. All three refusal paths produce structured
-/// errors — the client is never hung up on or left waiting.
-fn submit(id: u64, deadline_ms: Option<u64>, body: RequestBody, shared: &Arc<Shared>) -> String {
+/// Submits a decoded data-plane body: join the single-flight table,
+/// then (as leader) the bounded queue. All refusal paths produce
+/// structured errors — the client is never hung up on or left waiting.
+fn submit(
+    id: u64,
+    deadline_ms: Option<u64>,
+    body: RequestBody,
+    shared: &Arc<Shared>,
+) -> LineAction {
     let now = Instant::now();
     let deadline_ms = deadline_ms.unwrap_or(shared.default_deadline_ms);
+    let deadline = now + Duration::from_millis(deadline_ms);
     let (reply, inbox) = mpsc::channel();
-    let job = Job {
-        id,
-        body,
-        enqueued: now,
-        deadline: now + Duration::from_millis(deadline_ms),
-        reply,
-    };
+
+    // Identical request already in flight? Attach to it — the leader's
+    // publish answers us; no queue slot, no recomputation.
+    let flight_key = body.route_point().map(|(ns, point)| runtime::cache_key(ns, &point));
+    if let Some(key) = flight_key {
+        let waiter = Waiter { id, enqueued: now, deadline, reply: reply.clone() };
+        match shared.flight.join(key, waiter) {
+            Flight::Attached => {
+                obs::count!("server.singleflight.follower");
+                return LineAction::Pending(inbox);
+            }
+            Flight::Leader => obs::count!("server.singleflight.leader"),
+        }
+    }
+
+    let job = Job { id, body, enqueued: now, deadline, reply, flight_key };
     match shared.queue.try_push(job) {
-        Ok(()) => match inbox.recv() {
-            Ok(line) => line,
-            // A worker dropped the reply channel without sending — only
-            // possible if the worker thread itself died.
-            Err(_) => err_response(0, ErrorCode::Internal, "worker lost"),
-        },
+        Ok(()) => LineAction::Pending(inbox),
         Err(PushError::Full(job)) => {
             shared.metrics.record_error(job.body.endpoint(), ErrorCode::Overloaded);
-            err_response(
+            abort_flight(
+                shared,
+                &job,
+                ErrorCode::Overloaded,
+                &format!("queue full (capacity {}); retry with backoff", shared.queue.capacity()),
+            );
+            LineAction::Inline(err_response(
                 job.id,
                 ErrorCode::Overloaded,
                 &format!("queue full (capacity {}); retry with backoff", shared.queue.capacity()),
-            )
+            ))
         }
         Err(PushError::Closed(job)) => {
             shared.metrics.record_error(job.body.endpoint(), ErrorCode::ShuttingDown);
-            err_response(job.id, ErrorCode::ShuttingDown, "server is draining; no new work")
+            abort_flight(shared, &job, ErrorCode::ShuttingDown, "server is draining; no new work");
+            LineAction::Inline(err_response(
+                job.id,
+                ErrorCode::ShuttingDown,
+                "server is draining; no new work",
+            ))
         }
     }
+}
+
+/// A leader that failed admission resolves its flight immediately:
+/// followers that raced in between `join` and the failed push get the
+/// same structured refusal, and the key is left clean.
+fn abort_flight(shared: &Arc<Shared>, job: &Job, code: ErrorCode, message: &str) {
+    let Some(key) = job.flight_key else { return };
+    let refusal =
+        RouteError { code, field: None, message: message.to_string() };
+    crate::flight::publish(
+        &shared.flight,
+        &shared.metrics,
+        job.body.endpoint(),
+        key,
+        crate::flight::FlightOutcome::RouteErr(&refusal),
+        Duration::ZERO,
+    );
+    shared.wake_pollers();
 }
 
 #[cfg(test)]

@@ -29,9 +29,23 @@
 //!   parameter structs ([`proto::RequestBody`]) before they enter the
 //!   queue; `health` advertises [`proto::VERSION`] /
 //!   [`proto::MIN_VERSION`] and the v1 wire shape stays accepted.
+//! * **Poller front-end** — accepted sockets are multiplexed onto a
+//!   small nonblocking [`poller`] pool, so thread count is
+//!   `pollers + workers + 1` regardless of open connections (DESIGN.md
+//!   §14; the wire semantics are byte-identical to the old
+//!   thread-per-connection loop).
+//! * **Single-flight collapse** — concurrent identical data requests
+//!   (same [`proto::RequestBody::route_point`] identity) attach to one
+//!   in-flight computation ([`flight`]); followers cost no queue slot
+//!   and no recomputation.
+//! * **Cross-request batching** — queued `montecarlo`/`sweep` jobs
+//!   merge into one shared pool batch with bit-identical results to
+//!   per-request execution.
 //! * **Stage observability** — connection and worker stages
-//!   (`server.read` … `server.write`) record into the [`obs`] registry;
-//!   the `metrics_v2` endpoint serves the Prometheus-style exposition.
+//!   (`server.read` … `server.write`, plus
+//!   `server.singleflight.{leader,follower}` and `server.batch.merged`)
+//!   record into the [`obs`] registry; the `metrics_v2` endpoint serves
+//!   the Prometheus-style exposition.
 //!
 //! Protocol and endpoint reference live in [`proto`] and [`router`];
 //! [`client`] is the matching typed client. `DESIGN.md` §8 documents
@@ -58,22 +72,31 @@
 
 pub mod client;
 pub mod conn;
+pub mod flight;
+pub mod poller;
 pub mod proto;
 pub mod queue;
 pub mod router;
 pub mod stats;
 
+use crate::flight::FlightOutcome;
+use crate::poller::PollerPool;
 use crate::proto::{err_response, err_response_fielded, ErrorCode, RequestBody};
 use crate::queue::BoundedQueue;
 use crate::router::Router;
 use crate::stats::ServerMetrics;
+use runtime::Inflight;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Most extra same-endpoint jobs one worker folds into a shared pool
+/// batch on top of the job it popped (montecarlo/sweep only).
+const BATCH_MERGE_MAX: usize = 31;
 
 /// Server tunables. The defaults serve the test/bench workloads; every
 /// knob exists so a test can force a specific failure mode (capacity 0
@@ -86,6 +109,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Worker threads consuming the queue.
     pub workers: usize,
+    /// Poller threads multiplexing every accepted socket. Thread count
+    /// is `pollers + workers + 1` however many connections are open.
+    pub pollers: usize,
     /// Threads of the simulation [`runtime::Pool`] each worker's batch
     /// runs on (Monte Carlo trials, sweep points).
     pub pool_workers: usize,
@@ -115,6 +141,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             queue_capacity: 64,
             workers: 2,
+            pollers: 2,
             pool_workers: 2,
             cache_capacity: 256,
             default_deadline_ms: 30_000,
@@ -139,6 +166,10 @@ pub struct Job {
     pub deadline: Instant,
     /// Channel the worker sends the finished response line on.
     pub reply: mpsc::Sender<String>,
+    /// Single-flight key ([`runtime::cache_key`] over the request's
+    /// `route_point`) when this job leads a flight; the worker resolves
+    /// the flight when the job finishes.
+    pub flight_key: Option<u64>,
 }
 
 /// State shared by the listener, every connection thread and every
@@ -154,11 +185,23 @@ pub struct Shared {
     pub default_deadline_ms: u64,
     /// Idle-connection timeout; `None` = never time out.
     pub idle_timeout: Option<std::time::Duration>,
+    /// Single-flight table: route-point key → followers parked on the
+    /// in-flight leader.
+    pub flight: Inflight<flight::Waiter>,
     draining: AtomicBool,
     local_addr: SocketAddr,
+    waker: OnceLock<poller::Waker>,
 }
 
 impl Shared {
+    /// Nudges every poller thread (a reply or flight resolution is
+    /// ready to flush). A no-op before the poller pool is wired up.
+    pub fn wake_pollers(&self) {
+        if let Some(waker) = self.waker.get() {
+            waker.wake_all();
+        }
+    }
+
     /// True once shutdown has begun.
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
@@ -173,6 +216,9 @@ impl Shared {
             return;
         }
         self.queue.close();
+        // Pollers re-check the drain flag and start closing flushed
+        // connections right away.
+        self.wake_pollers();
         let _ = TcpStream::connect(self.local_addr);
     }
 }
@@ -207,9 +253,15 @@ impl Server {
             default_deadline_ms: config.default_deadline_ms,
             idle_timeout: (config.idle_timeout_ms > 0)
                 .then(|| std::time::Duration::from_millis(config.idle_timeout_ms)),
+            flight: Inflight::new(),
             draining: AtomicBool::new(false),
             local_addr,
+            waker: OnceLock::new(),
         });
+
+        let service = Arc::new(conn::ServerService::new(Arc::clone(&shared)));
+        let pollers = PollerPool::spawn(config.pollers.max(1), service, "implant-server");
+        shared.waker.set(pollers.waker()).ok().expect("waker set once");
 
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
@@ -223,90 +275,207 @@ impl Server {
 
         let accept = {
             let shared = Arc::clone(&shared);
+            let registrar = pollers.registrar();
             std::thread::Builder::new()
                 .name("implant-server-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
+                .spawn(move || accept_loop(&listener, &shared, &registrar))
                 .expect("spawn acceptor")
         };
 
-        Ok(ServerHandle { shared, accept, workers })
+        Ok(ServerHandle { shared, accept, workers, pollers })
     }
 }
 
-/// Accepts connections until the drain flag is up, one detached thread
-/// per connection. Connection threads hold only an `Arc<Shared>`; once
-/// the queue is closed they can only answer control requests and
-/// `shutting_down` errors, so leaving them to die with their sockets is
-/// safe.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// Accepts connections until the drain flag is up, registering each
+/// socket with the poller pool — no per-connection thread. Once the
+/// queue is closed a registered socket can only be answered control
+/// requests and `shutting_down` errors, so the pollers drain and drop
+/// them at join.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, registrar: &poller::Registrar) {
     for stream in listener.incoming() {
         if shared.is_draining() {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
-            .name("implant-server-conn".to_string())
-            .spawn(move || conn::serve(stream, shared));
+        registrar.register(stream);
     }
 }
 
-/// The worker loop: pop, expire-or-execute, reply. Exits when the queue
-/// is closed and drained.
+/// The worker loop: pop, merge same-endpoint work, expire-or-execute,
+/// reply, resolve flights. Exits when the queue is closed and drained.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        let endpoint = job.body.endpoint();
-        let queued = job.enqueued.elapsed();
-        obs::observe!("server.queue_wait", queued);
-        let queue_us = queued.as_micros() as u64;
-        if Instant::now() >= job.deadline {
-            // The deadline burned out while the job sat in the queue —
-            // executing it now would waste a worker on an answer nobody
-            // is waiting for.
-            shared.metrics.record_error(endpoint, ErrorCode::DeadlineExceeded);
-            let _ = job.reply.send(err_response(
-                job.id,
-                ErrorCode::DeadlineExceeded,
-                &format!("deadline expired after {queue_us} µs in queue"),
-            ));
+        // Fold queued montecarlo/sweep jobs into one shared pool batch:
+        // distinct points compute side by side, bit-identically to
+        // running them one request at a time (see DESIGN.md §14).
+        let mut group = vec![job];
+        match group[0].body {
+            RequestBody::Montecarlo(_) => group.extend(
+                shared
+                    .queue
+                    .drain_matching(BATCH_MERGE_MAX, |j| {
+                        matches!(j.body, RequestBody::Montecarlo(_))
+                    }),
+            ),
+            RequestBody::Sweep(_) => group.extend(
+                shared
+                    .queue
+                    .drain_matching(BATCH_MERGE_MAX, |j| matches!(j.body, RequestBody::Sweep(_))),
+            ),
+            _ => {}
+        }
+        for _ in 1..group.len() {
+            obs::count!("server.batch.merged");
+        }
+
+        // Deadlines are judged at dequeue, exactly as before batching.
+        let mut live: Vec<(Job, u64)> = Vec::new();
+        for job in group {
+            let endpoint = job.body.endpoint();
+            let queued = job.enqueued.elapsed();
+            obs::observe!("server.queue_wait", queued);
+            let queue_us = queued.as_micros() as u64;
+            if Instant::now() >= job.deadline {
+                // The deadline burned out while the job sat in the
+                // queue — executing it now would waste a worker on an
+                // answer nobody is waiting for.
+                shared.metrics.record_error(endpoint, ErrorCode::DeadlineExceeded);
+                let _ = job.reply.send(err_response(
+                    job.id,
+                    ErrorCode::DeadlineExceeded,
+                    &format!("deadline expired after {queue_us} µs in queue"),
+                ));
+                if let Some(key) = job.flight_key {
+                    // Followers are judged against their own deadlines
+                    // (expired ones count `expired` exactly once; live
+                    // ones are shed for a clean retry).
+                    flight::publish(
+                        &shared.flight,
+                        &shared.metrics,
+                        endpoint,
+                        key,
+                        FlightOutcome::Expired,
+                        Duration::ZERO,
+                    );
+                }
+                continue;
+            }
+            live.push((job, queue_us));
+        }
+        if live.is_empty() {
+            shared.wake_pollers();
             continue;
         }
+
         let started = Instant::now();
-        let outcome = {
+        let outcomes: Vec<Option<Result<router::Routed, router::RouteError>>> = {
             let _execute = obs::span!("server.execute");
-            std::panic::catch_unwind(AssertUnwindSafe(|| shared.router.handle_typed(&job.body)))
+            execute_group(shared, &live)
         };
         let service = started.elapsed();
         let service_us = service.as_micros() as u64;
-        let line = {
-            let _encode = obs::span!("server.encode");
-            match outcome {
-                Ok(Ok(routed)) => {
-                    shared.metrics.record_ok(
-                        endpoint,
-                        service,
-                        routed.cache_hits,
-                        routed.cache_misses,
-                    );
-                    proto::ok_response_checked(job.id, routed.result, queue_us, service_us)
+
+        for ((job, queue_us), outcome) in live.iter().zip(outcomes) {
+            let endpoint = job.body.endpoint();
+            let line = {
+                let _encode = obs::span!("server.encode");
+                match &outcome {
+                    Some(Ok(routed)) => {
+                        shared.metrics.record_ok(
+                            endpoint,
+                            service,
+                            routed.cache_hits,
+                            routed.cache_misses,
+                        );
+                        proto::ok_response_checked(
+                            job.id,
+                            routed.result.clone(),
+                            *queue_us,
+                            service_us,
+                        )
+                    }
+                    Some(Err(route_err)) => {
+                        shared.metrics.record_error(endpoint, route_err.code);
+                        err_response_fielded(
+                            job.id,
+                            route_err.code,
+                            &route_err.message,
+                            route_err.field.as_deref(),
+                        )
+                    }
+                    None => {
+                        // Isolated: this worker thread survives and moves on.
+                        shared.metrics.record_error(endpoint, ErrorCode::Internal);
+                        err_response(
+                            job.id,
+                            ErrorCode::Internal,
+                            "handler panicked; request isolated",
+                        )
+                    }
                 }
-                Ok(Err(route_err)) => {
-                    shared.metrics.record_error(endpoint, route_err.code);
-                    err_response_fielded(
-                        job.id,
-                        route_err.code,
-                        &route_err.message,
-                        route_err.field.as_deref(),
-                    )
-                }
-                Err(_panic) => {
-                    // Isolated: this worker thread survives and moves on.
-                    shared.metrics.record_error(endpoint, ErrorCode::Internal);
-                    err_response(job.id, ErrorCode::Internal, "handler panicked; request isolated")
-                }
+            };
+            let _ = job.reply.send(line);
+            if let Some(key) = job.flight_key {
+                let flight_outcome = match &outcome {
+                    Some(Ok(routed)) => FlightOutcome::Ok(routed),
+                    Some(Err(route_err)) => FlightOutcome::RouteErr(route_err),
+                    None => FlightOutcome::Panicked,
+                };
+                flight::publish(
+                    &shared.flight,
+                    &shared.metrics,
+                    endpoint,
+                    key,
+                    flight_outcome,
+                    service,
+                );
             }
-        };
-        let _ = job.reply.send(line);
+        }
+        shared.wake_pollers();
+    }
+}
+
+/// Executes one dequeued group. A group of one goes through
+/// [`Router::handle_typed`] exactly as the unbatched server did; a
+/// merged group goes through the `_many` entry points, which are
+/// bit-identical to per-request execution. `None` marks a request
+/// whose handler panicked (already isolated).
+fn execute_group(
+    shared: &Shared,
+    live: &[(Job, u64)],
+) -> Vec<Option<Result<router::Routed, router::RouteError>>> {
+    if live.len() == 1 {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shared.router.handle_typed(&live[0].0.body)
+        }));
+        return vec![result.ok()];
+    }
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| match &live[0].0.body {
+        RequestBody::Montecarlo(_) => {
+            let params: Vec<&proto::MontecarloParams> = live
+                .iter()
+                .map(|(j, _)| match &j.body {
+                    RequestBody::Montecarlo(p) => p,
+                    _ => unreachable!("montecarlo group"),
+                })
+                .collect();
+            shared.router.montecarlo_many(&params)
+        }
+        RequestBody::Sweep(_) => {
+            let params: Vec<&proto::SweepParams> = live
+                .iter()
+                .map(|(j, _)| match &j.body {
+                    RequestBody::Sweep(p) => p,
+                    _ => unreachable!("sweep group"),
+                })
+                .collect();
+            shared.router.sweep_many(&params)
+        }
+        _ => unreachable!("only montecarlo/sweep groups merge"),
+    }));
+    match run {
+        Ok(results) => results.into_iter().map(Some).collect(),
+        Err(_) => live.iter().map(|_| None).collect(),
     }
 }
 
@@ -315,6 +484,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    pollers: PollerPool,
 }
 
 impl ServerHandle {
@@ -352,6 +522,9 @@ impl ServerHandle {
             worker.join().expect("worker panicked");
         }
         self.accept.join().expect("acceptor panicked");
+        // Workers are gone, so every pending reply has been sent; the
+        // pollers flush what remains and drop their sockets.
+        self.pollers.stop_and_join();
         self.shared.metrics.merged_latency()
     }
 }

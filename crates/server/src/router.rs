@@ -23,8 +23,9 @@ use implant_core::fullchain::FullChainScenario;
 use implant_core::montecarlo::{MonteCarloStudy, VariationModel, YieldReport};
 use implant_core::scenario::Fig11Scenario;
 use link::budget::PowerBudget;
-use runtime::{Artifact, Batch, Json, ParamPoint, Pool, ResultCache};
+use runtime::{Artifact, Batch, BatchRun, Json, ParamPoint, Pool, ResultCache};
 use scenario::{CohortReport, DaySummary};
+use std::collections::HashMap;
 use std::sync::Arc;
 use store::{CatchupBudget, Store};
 
@@ -353,32 +354,154 @@ impl Router {
     /// served from the bounded result cache when the same
     /// (scale, trials, seed) point was already computed.
     fn montecarlo(&self, p: &MontecarloParams) -> Result<Routed, RouteError> {
-        let mut study = MonteCarloStudy::ironic();
-        if let Some(seed) = p.seed {
-            study.seed = seed;
-        }
-        study.variation = VariationModel::typical_018um().scaled(p.scale);
+        // One request is a merged batch of one; see `montecarlo_many`
+        // for the study construction and determinism argument.
+        self.montecarlo_many(&[p]).pop().expect("one result per request")
+    }
 
-        let point = ParamPoint::new()
-            .with("scale", p.scale)
-            .with("trials", p.trials)
-            .with("seed", study.seed);
-        let batch = Batch::builder("server-montecarlo").seed(study.seed).point(point).build();
-        let trials = p.trials;
-        let run = self.pool.run_cached(&batch, &self.mc_cache, |_ctx| {
-            // One job = one whole study; its trials draw from the
-            // study's own seed-derived streams, so the report is
-            // identical however the request lands on workers.
-            study.run_serial(trials as usize)
+    /// Cross-request batched `montecarlo`: many requests' studies run
+    /// as one shared pool batch, deduplicated by cache key, with
+    /// results bit-identical to calling [`Router::handle_typed`] once
+    /// per request in order. Each study draws only from its own
+    /// seed-derived streams (never the pool's per-job RNG), so the
+    /// merge changes scheduling, not arithmetic.
+    ///
+    /// Result documents map back occurrence-wise: the first request of
+    /// a duplicate group reports the actual cache outcome; later
+    /// occurrences observe the value as a hit, exactly as they would
+    /// have running sequentially.
+    pub fn montecarlo_many(
+        &self,
+        ps: &[&MontecarloParams],
+    ) -> Vec<Result<Routed, RouteError>> {
+        struct Slot {
+            study: MonteCarloStudy,
+            trials: u64,
+        }
+        if ps.is_empty() {
+            return Vec::new();
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut points: Vec<ParamPoint> = Vec::new();
+        let mut by_key: HashMap<u64, usize> = HashMap::new();
+        // (slot, is_first_occurrence) per request, in input order.
+        let mut mapping: Vec<(usize, bool)> = Vec::with_capacity(ps.len());
+        for p in ps {
+            let mut study = MonteCarloStudy::ironic();
+            if let Some(seed) = p.seed {
+                study.seed = seed;
+            }
+            study.variation = VariationModel::typical_018um().scaled(p.scale);
+            let point = ParamPoint::new()
+                .with("scale", p.scale)
+                .with("trials", p.trials)
+                .with("seed", study.seed);
+            let key = runtime::cache_key("server-montecarlo", &point);
+            match by_key.get(&key) {
+                Some(&slot) => mapping.push((slot, false)),
+                None => {
+                    let slot = slots.len();
+                    by_key.insert(key, slot);
+                    mapping.push((slot, true));
+                    slots.push(Slot { study, trials: p.trials });
+                    points.push(point);
+                }
+            }
+        }
+        let mut builder =
+            Batch::builder("server-montecarlo").seed(slots[0].study.seed);
+        for point in points {
+            builder = builder.point(point);
+        }
+        let batch = builder.build();
+        let run = self.pool.run_cached(&batch, &self.mc_cache, |ctx| {
+            let slot = &slots[ctx.index];
+            slot.study.run_serial(slot.trials as usize)
         });
-        let report = run
-            .value(0)
-            .ok_or_else(|| RouteError::internal(format!("study panicked: {:?}", run.failures())))?;
-        Ok(Routed {
-            result: mc_result(p.scale, study.seed, report, run.metrics.cache_hits > 0),
-            cache_hits: run.metrics.cache_hits as u64,
-            cache_misses: run.metrics.cache_misses as u64,
-        })
+        ps.iter()
+            .zip(mapping)
+            .map(|(p, (slot, first))| {
+                let report = run.value(slot).ok_or_else(|| {
+                    let msg = panic_message(&run, slot);
+                    RouteError::internal(format!("study panicked: {:?}", vec![(0usize, msg)]))
+                })?;
+                let (hits, misses, cached) = occurrence_cache_counts(&run, slot, first);
+                Ok(Routed {
+                    result: mc_result(p.scale, slots[slot].study.seed, report, cached),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                })
+            })
+            .collect()
+    }
+
+    /// Cross-request batched `sweep` — same merge contract as
+    /// [`Router::montecarlo_many`]: deduplicated by the requests'
+    /// [`RequestBody::route_point`] identity, bit-identical to
+    /// per-request execution, occurrence-wise cache accounting.
+    pub fn sweep_many(&self, ps: &[&SweepParams]) -> Vec<Result<Routed, RouteError>> {
+        struct Slot {
+            budget: PowerBudget,
+            distances: Vec<f64>,
+        }
+        if ps.is_empty() {
+            return Vec::new();
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut points: Vec<ParamPoint> = Vec::new();
+        let mut by_key: HashMap<u64, usize> = HashMap::new();
+        let mut mapping: Vec<(usize, bool)> = Vec::with_capacity(ps.len());
+        let mut ns = "server-sweep";
+        for p in ps {
+            let budget = match p.medium {
+                crate::proto::SweepMedium::Air => PowerBudget::ironic_air(),
+                crate::proto::SweepMedium::Sirloin => {
+                    PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm())
+                }
+            };
+            let distances = sweep_distances(p);
+            let (point_ns, point) =
+                RequestBody::Sweep((*p).clone()).route_point().expect("sweep is data-plane");
+            ns = point_ns;
+            let key = runtime::cache_key(point_ns, &point);
+            match by_key.get(&key) {
+                Some(&slot) => mapping.push((slot, false)),
+                None => {
+                    let slot = slots.len();
+                    by_key.insert(key, slot);
+                    mapping.push((slot, true));
+                    slots.push(Slot { budget, distances });
+                    points.push(point);
+                }
+            }
+        }
+        let mut builder = Batch::builder(ns);
+        for point in points {
+            builder = builder.point(point);
+        }
+        let batch = builder.build();
+        let run = self.pool.run_cached(&batch, &self.sweep_cache, |ctx| {
+            let slot = &slots[ctx.index];
+            slot.distances
+                .iter()
+                .map(|&d| slot.budget.received_power(d * 1e-3))
+                .collect::<Vec<f64>>()
+        });
+        ps.iter()
+            .zip(mapping)
+            .map(|(p, (slot, first))| {
+                let powers = run.value(slot).ok_or_else(|| {
+                    let msg = panic_message(&run, slot);
+                    RouteError::internal(format!("sweep panicked: {:?}", vec![(0usize, msg)]))
+                })?;
+                let (hits, misses, cached) = occurrence_cache_counts(&run, slot, first);
+                Ok(Routed {
+                    result: sweep_result(p, powers, cached),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                })
+            })
+            .collect()
     }
 
     /// `sweep`: received power over a distance grid in air or through
@@ -387,28 +510,9 @@ impl Router {
     /// identity the cluster hashes for placement — so a re-homed sweep
     /// lands on a replica that already holds the grid.
     fn sweep(&self, p: &SweepParams) -> Result<Routed, RouteError> {
-        let budget = match p.medium {
-            crate::proto::SweepMedium::Air => PowerBudget::ironic_air(),
-            crate::proto::SweepMedium::Sirloin => {
-                PowerBudget::ironic_air().with_tissue(TissueStack::sirloin_17mm())
-            }
-        };
-
-        let distances = sweep_distances(p);
-        let (ns, point) =
-            RequestBody::Sweep(p.clone()).route_point().expect("sweep is data-plane");
-        let batch = Batch::builder(ns).point(point).build();
-        let run = self.pool.run_cached(&batch, &self.sweep_cache, |_ctx| {
-            distances.iter().map(|&d| budget.received_power(d * 1e-3)).collect::<Vec<f64>>()
-        });
-        let powers = run
-            .value(0)
-            .ok_or_else(|| RouteError::internal(format!("sweep panicked: {:?}", run.failures())))?;
-        Ok(Routed {
-            result: sweep_result(p, powers, run.metrics.cache_hits > 0),
-            cache_hits: run.metrics.cache_hits as u64,
-            cache_misses: run.metrics.cache_misses as u64,
-        })
+        // One request is a merged batch of one; see `sweep_many` for
+        // the merge contract.
+        self.sweep_many(&[p]).pop().expect("one result per request")
     }
 
     /// `patientday`: one seeded day on the patch, served as its
@@ -458,6 +562,30 @@ impl Router {
             cache_hits: run.metrics.cache_hits as u64,
             cache_misses: run.metrics.cache_misses as u64,
         })
+    }
+}
+
+/// The panic report of one slot in a merged batch, formatted so the
+/// resulting `internal` message is byte-identical to what the same
+/// request would have produced as a single-point batch (`[(0, "…")]`).
+fn panic_message<R>(run: &BatchRun<R>, slot: usize) -> String {
+    run.failures()
+        .iter()
+        .find(|(i, _)| *i == slot)
+        .map(|(_, msg)| (*msg).to_string())
+        .unwrap_or_default()
+}
+
+/// Occurrence-wise `(cache_hits, cache_misses, cached)` for one request
+/// of a merged batch: the first occurrence of a point reports the pool
+/// run's actual cache outcome; later occurrences observe the value the
+/// first one computed — a hit, exactly as sequential execution would
+/// report.
+fn occurrence_cache_counts<R>(run: &BatchRun<R>, slot: usize, first: bool) -> (u64, u64, bool) {
+    if first && !run.results[slot].from_cache {
+        (0, 1, false)
+    } else {
+        (1, 0, true)
     }
 }
 
@@ -549,6 +677,7 @@ pub fn render_cached_body(body: &RequestBody, value: &Json) -> Option<Json> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::SweepMedium;
 
     fn router() -> Router {
         Router::new(2, 64, 100_000)
@@ -904,5 +1033,110 @@ mod tests {
             assert!(err.message.contains(needle), "{endpoint}: {}", err.message);
             assert_eq!(err.field.as_deref(), Some(needle), "{endpoint}: {}", err.message);
         }
+    }
+
+    fn mc(scale: f64, trials: u64, seed: u64) -> MontecarloParams {
+        MontecarloParams { scale, trials, seed: Some(seed) }
+    }
+
+    #[test]
+    fn montecarlo_many_dedupes_duplicates_into_one_execution() {
+        let r = router();
+        let (a, b) = (mc(1.0, 150, 5), mc(1.0, 150, 6));
+        let out = r.montecarlo_many(&[&a, &a, &b]);
+        let [first, dup, distinct]: [&Routed; 3] =
+            [&out[0], &out[1], &out[2]].map(|res| res.as_ref().expect("mc ok"));
+
+        // One miss for the leader occurrence, a hit for its duplicate.
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+        assert_eq!(first.result.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!((dup.cache_hits, dup.cache_misses), (1, 0));
+        assert_eq!(dup.result.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!((distinct.cache_hits, distinct.cache_misses), (0, 1));
+
+        // The duplicate's payload is the leader's, bit for bit.
+        assert_eq!(
+            first.result.get("vo_min_mean").and_then(Json::as_f64).map(f64::to_bits),
+            dup.result.get("vo_min_mean").and_then(Json::as_f64).map(f64::to_bits),
+        );
+        assert_ne!(
+            first.result.get("seed"),
+            distinct.result.get("seed"),
+            "distinct points stay distinct"
+        );
+    }
+
+    #[test]
+    fn montecarlo_many_is_bit_identical_to_the_serial_loop() {
+        let (batched, serial) = (router(), router());
+        let ps = [mc(1.0, 120, 9), mc(1.2, 80, 9), mc(1.0, 120, 9)];
+        let refs: Vec<&MontecarloParams> = ps.iter().collect();
+        let many = batched.montecarlo_many(&refs);
+        for (p, out) in ps.iter().zip(&many) {
+            let one = serial.montecarlo(p).expect("serial mc ok");
+            let out = out.as_ref().expect("batched mc ok");
+            // Same cache trajectory (the third request replays the
+            // first), so the whole document matches byte for byte.
+            assert_eq!(out.result.to_string(), one.result.to_string());
+            assert_eq!(
+                (out.cache_hits, out.cache_misses),
+                (one.cache_hits, one.cache_misses)
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_many_is_bit_identical_to_the_serial_loop() {
+        let (batched, serial) = (router(), router());
+        let air = SweepParams {
+            d_min_mm: 2.0,
+            d_max_mm: 12.0,
+            steps: 4,
+            medium: SweepMedium::Air,
+        };
+        let tissue = SweepParams { medium: SweepMedium::Sirloin, ..air.clone() };
+        let ps = [air.clone(), tissue, air];
+        let refs: Vec<&SweepParams> = ps.iter().collect();
+        let many = batched.sweep_many(&refs);
+        for (p, out) in ps.iter().zip(&many) {
+            let one = serial.sweep(p).expect("serial sweep ok");
+            let out = out.as_ref().expect("batched sweep ok");
+            assert_eq!(out.result.to_string(), one.result.to_string());
+            assert_eq!(
+                (out.cache_hits, out.cache_misses),
+                (one.cache_hits, one.cache_misses)
+            );
+        }
+    }
+
+    #[test]
+    fn many_against_a_warm_cache_reports_every_occurrence_as_a_hit() {
+        let r = router();
+        let p = mc(1.0, 140, 3);
+        assert_eq!(r.montecarlo(&p).expect("warmup").cache_misses, 1);
+        for out in r.montecarlo_many(&[&p, &p]) {
+            let out = out.expect("warm mc ok");
+            assert_eq!((out.cache_hits, out.cache_misses), (1, 0));
+            assert_eq!(out.result.get("cached"), Some(&Json::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        let r = router();
+        assert!(r.montecarlo_many(&[]).is_empty());
+        assert!(r.sweep_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_batch_matches_the_direct_call() {
+        let r = router();
+        let p = mc(1.0, 110, 5);
+        let batched = r.montecarlo_many(&[&p]);
+        assert_eq!(batched.len(), 1);
+        let batched = batched[0].as_ref().expect("batch of one ok");
+        assert_eq!((batched.cache_hits, batched.cache_misses), (0, 1));
+        let direct = Router::new(1, 16, 100_000).montecarlo(&p).expect("direct ok");
+        assert_eq!(batched.result.get("vo_min_mean"), direct.result.get("vo_min_mean"));
     }
 }

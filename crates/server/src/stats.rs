@@ -24,6 +24,11 @@ pub struct EndpointStats {
     pub cache_hits: u64,
     /// Result-cache misses contributed by this endpoint's requests.
     pub cache_misses: u64,
+    /// Requests answered by attaching to another request's in-flight
+    /// computation (single-flight followers). A collapsed request is
+    /// also counted under `ok`/`errors` like any other — this counter
+    /// reports how much duplicate work the collapse avoided.
+    pub collapsed: u64,
     /// Service-time histogram of successful requests (queueing
     /// excluded; the response's `queue_us` reports that separately).
     pub latency: LatencyHistogram,
@@ -40,6 +45,7 @@ impl EndpointStats {
             ("expired", Json::Num(self.expired as f64)),
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("collapsed", Json::Num(self.collapsed as f64)),
             ("p50_us", us(self.latency.p50())),
             ("p95_us", us(self.latency.p95())),
             ("p99_us", us(self.latency.p99())),
@@ -80,6 +86,19 @@ impl ServerMetrics {
             s.ok += 1;
             s.cache_hits += hits;
             s.cache_misses += misses;
+            s.latency.record(latency);
+        });
+    }
+
+    /// Records a success delivered by single-flight attachment: the
+    /// follower observed the leader's artifact, so it counts a cache
+    /// hit and a `collapsed` on top of the usual success accounting.
+    pub fn record_collapsed_ok(&self, endpoint: &str, latency: Duration) {
+        self.with_entry(endpoint, |s| {
+            s.requests += 1;
+            s.ok += 1;
+            s.cache_hits += 1;
+            s.collapsed += 1;
             s.latency.record(latency);
         });
     }
@@ -157,6 +176,22 @@ mod tests {
         assert_eq!(n("cache_misses"), 5);
         assert_eq!(doc.get("queue_depth").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("samples").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn collapsed_requests_count_ok_and_cache_hit_once() {
+        let m = ServerMetrics::new();
+        m.record_ok("montecarlo", Duration::from_micros(500), 0, 1);
+        m.record_collapsed_ok("montecarlo", Duration::from_micros(40));
+        m.record_collapsed_ok("montecarlo", Duration::from_micros(60));
+        let doc = m.to_json(0);
+        let mc = doc.get("endpoints").and_then(|e| e.get("montecarlo")).expect("entry");
+        let n = |k: &str| mc.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(n("requests"), 3);
+        assert_eq!(n("ok"), 3);
+        assert_eq!(n("collapsed"), 2);
+        assert_eq!(n("cache_hits"), 2, "each follower observes the artifact once");
+        assert_eq!(n("cache_misses"), 1, "only the leader computed");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+#![cfg(feature = "fuzz")]
+
+//! Property: cross-request batching is invisible in the payload bytes.
+//!
+//! For an arbitrary interleaving of duplicate and distinct points, and
+//! any simulation-pool width from 1 to 8, running the whole interleaving
+//! through one merged `montecarlo_many`/`sweep_many` batch must produce,
+//! position by position, byte-identical result documents and identical
+//! cache accounting to a fresh router answering the same requests one at
+//! a time.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use server::proto::{MontecarloParams, RequestBody, SweepMedium, SweepParams};
+use server::router::Router;
+
+/// A small pool of distinct Monte Carlo points; interleavings index it.
+fn mc_pool() -> Vec<MontecarloParams> {
+    vec![
+        MontecarloParams { scale: 1.0, trials: 60, seed: Some(1) },
+        MontecarloParams { scale: 1.0, trials: 60, seed: Some(2) },
+        MontecarloParams { scale: 1.3, trials: 40, seed: Some(1) },
+        MontecarloParams { scale: 0.7, trials: 90, seed: None },
+    ]
+}
+
+fn sweep_pool() -> Vec<SweepParams> {
+    vec![
+        SweepParams { d_min_mm: 2.0, d_max_mm: 10.0, steps: 3, medium: SweepMedium::Air },
+        SweepParams { d_min_mm: 2.0, d_max_mm: 10.0, steps: 3, medium: SweepMedium::Sirloin },
+        SweepParams { d_min_mm: 3.0, d_max_mm: 18.0, steps: 5, medium: SweepMedium::Air },
+        SweepParams { d_min_mm: 2.0, d_max_mm: 10.0, steps: 4, medium: SweepMedium::Air },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merged Monte Carlo batches are bit-identical to per-request
+    /// execution for arbitrary duplicate/distinct interleavings at any
+    /// pool width.
+    #[test]
+    fn montecarlo_batching_matches_serial_bit_for_bit(
+        picks in vec(0usize..4, 1..12),
+        workers in 1usize..=8,
+    ) {
+        let pool = mc_pool();
+        let ps: Vec<&MontecarloParams> = picks.iter().map(|&i| &pool[i]).collect();
+
+        let batched_router = Router::new(workers, 64, 100_000);
+        let serial_router = Router::new(workers, 64, 100_000);
+        let batched = batched_router.montecarlo_many(&ps);
+
+        for (slot, (p, out)) in ps.iter().zip(&batched).enumerate() {
+            let one = serial_router
+                .handle_typed(&RequestBody::Montecarlo((*p).clone()))
+                .expect("serial montecarlo ok");
+            let out = out.as_ref().expect("batched montecarlo ok");
+            prop_assert_eq!(
+                out.result.to_string(),
+                one.result.to_string(),
+                "payload diverged at position {} of {:?} (workers {})",
+                slot, picks, workers
+            );
+            prop_assert_eq!(
+                (out.cache_hits, out.cache_misses),
+                (one.cache_hits, one.cache_misses),
+                "cache accounting diverged at position {} of {:?}",
+                slot, picks
+            );
+        }
+    }
+
+    /// The same property for sweeps (the other batched endpoint).
+    #[test]
+    fn sweep_batching_matches_serial_bit_for_bit(
+        picks in vec(0usize..4, 1..12),
+        workers in 1usize..=8,
+    ) {
+        let pool = sweep_pool();
+        let ps: Vec<&SweepParams> = picks.iter().map(|&i| &pool[i]).collect();
+
+        let batched_router = Router::new(workers, 64, 100_000);
+        let serial_router = Router::new(workers, 64, 100_000);
+        let batched = batched_router.sweep_many(&ps);
+
+        for (slot, (p, out)) in ps.iter().zip(&batched).enumerate() {
+            let one = serial_router
+                .handle_typed(&RequestBody::Sweep((*p).clone()))
+                .expect("serial sweep ok");
+            let out = out.as_ref().expect("batched sweep ok");
+            prop_assert_eq!(
+                out.result.to_string(),
+                one.result.to_string(),
+                "payload diverged at position {} of {:?} (workers {})",
+                slot, picks, workers
+            );
+            prop_assert_eq!(
+                (out.cache_hits, out.cache_misses),
+                (one.cache_hits, one.cache_misses),
+                "cache accounting diverged at position {} of {:?}",
+                slot, picks
+            );
+        }
+    }
+}

@@ -175,6 +175,109 @@ impl AdversarialClient {
     }
 }
 
+/// Caps a fan-in storm's connection count to the process fd budget:
+/// each in-process client/server pair burns two descriptors, and the
+/// suite itself needs headroom. Parses the soft limit from
+/// `/proc/self/limits`; falls back to a conservative 256 when the file
+/// is absent (non-Linux) or unreadable.
+pub fn capped_connections(want: usize) -> usize {
+    let soft = std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines().find(|l| l.starts_with("Max open files")).and_then(|l| {
+                l.split_whitespace().nth(3).and_then(|n| n.parse::<usize>().ok())
+            })
+        })
+        .unwrap_or(512 + 2 * 256);
+    want.min(soft.saturating_sub(1024) / 2)
+}
+
+/// The process's live thread count (`Threads:` in `/proc/self/status`).
+/// The poller front-end's core claim — threads track in-flight work,
+/// not open sockets — is asserted with this before and after a storm.
+///
+/// # Panics
+///
+/// If `/proc/self/status` is missing or carries no `Threads:` line
+/// (the fan-in battery is Linux-only, like the fd-budget probe).
+pub fn process_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// Fans `n` connection setups over a few client threads: on a loaded
+/// (or single-core) host each blocking `connect` pays a scheduler
+/// wakeup, and overlapping them is the difference between seconds and
+/// minutes at the 10k scale.
+fn connect_storm(
+    addr: SocketAddr,
+    n: usize,
+    setup: fn(SocketAddr) -> Option<TcpStream>,
+) -> Vec<TcpStream> {
+    const LANES: usize = 8;
+    let per_lane = n.div_ceil(LANES.min(n.max(1)));
+    let threads: Vec<_> = (0..n).step_by(per_lane.max(1))
+        .map(|start| {
+            let count = per_lane.min(n - start);
+            std::thread::spawn(move || {
+                (0..count).filter_map(|_| setup(addr)).collect::<Vec<TcpStream>>()
+            })
+        })
+        .collect();
+    threads.into_iter().flat_map(|t| t.join().expect("connect lane")).collect()
+}
+
+/// Opens `n` connections that never send a byte and hands them back
+/// live — the caller holds the `Vec` to keep the sockets open. The
+/// pollers must carry all of them without spawning a thread for any.
+///
+/// # Panics
+///
+/// When a connection is refused — a server shedding *connections* under
+/// an idle soak is exactly the regression this helper exists to catch.
+pub fn idle_soak(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let conns = connect_storm(addr, n, |addr| {
+        Some(TcpStream::connect(addr).expect("idle soak connect"))
+    });
+    assert_eq!(conns.len(), n, "every idle connection must be accepted");
+    conns
+}
+
+/// Slowloris at scale: `n` connections each write a *prefix* of a valid
+/// request and then stall, parked mid-frame. Returns the streams so the
+/// caller can keep them stalled (or finish them). A thread-per-
+/// connection server would burn a blocked thread per socket here; the
+/// pollers must hold every one for free.
+pub fn slowloris_storm(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    connect_storm(addr, n, |addr| {
+        let mut stream = TcpStream::connect(addr).expect("slowloris connect");
+        stream.write_all(b"{\"endpoint\":\"health\",\"id\":").expect("slowloris prefix");
+        stream.flush().expect("flush");
+        Some(stream)
+    })
+}
+
+/// A disconnect storm: `n` peers appear, write half a frame (even
+/// indexes) or a complete cheap request (odd indexes), and vanish
+/// without reading a byte. Mid-poll disconnects must surface as clean
+/// connection teardown — never a poller panic or a wedged worker.
+pub fn disconnect_storm(addr: SocketAddr, n: usize) {
+    for i in 0..n {
+        let Ok(mut stream) = TcpStream::connect(addr) else { continue };
+        let frame: &[u8] = if i % 2 == 0 {
+            br#"{"endpoint":"mont"#
+        } else {
+            b"{\"endpoint\":\"sweep\",\"params\":{\"steps\":2}}\n"
+        };
+        let _ = stream.write_all(frame);
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
 /// Reads one newline-terminated JSON document, `None` on EOF/reset.
 fn read_response(stream: &mut TcpStream) -> Option<Json> {
     let mut reader = BufReader::new(stream.try_clone().ok()?);
@@ -190,4 +293,67 @@ fn read_response(stream: &mut TcpStream) -> Option<Json> {
 pub fn drain_socket(stream: &mut TcpStream) {
     let mut sink = Vec::new();
     let _ = stream.read_to_end(&mut sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn capped_connections_never_exceeds_the_ask_and_caps_large_storms() {
+        assert!(capped_connections(10) <= 10);
+        // The fd budget is finite, so an absurd ask comes back clamped
+        // to the same ceiling every time.
+        let ceiling = capped_connections(usize::MAX);
+        assert!(ceiling < usize::MAX);
+        assert_eq!(capped_connections(usize::MAX), ceiling);
+        assert_eq!(capped_connections(0), 0);
+    }
+
+    #[test]
+    fn process_threads_sees_spawned_threads() {
+        let before = process_threads();
+        assert!(before >= 1, "at least this thread is running");
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let parked = std::thread::spawn(move || rx.recv().unwrap_or(()));
+        // The counter must move with real thread lifecycle events —
+        // that is what the fan-in battery's flatness assertions rest on.
+        let during = process_threads();
+        assert!(during > before, "spawned thread not counted: {before} -> {during}");
+        tx.send(()).expect("unpark");
+        parked.join().expect("parked thread");
+    }
+
+    #[test]
+    fn connect_storms_deliver_every_socket_live() {
+        // A bare listener accepts into its backlog without a server
+        // behind it — enough to prove the fan-out lanes lose nothing.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let idle = idle_soak(addr, 12);
+        assert_eq!(idle.len(), 12);
+        let stalled = slowloris_storm(addr, 9);
+        assert_eq!(stalled.len(), 9, "every slowloris peer holds its socket");
+    }
+
+    #[test]
+    fn disconnect_storm_completes_against_an_unattended_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        // Nothing ever reads these frames; the storm must still finish
+        // (its peers vanish without waiting on anyone).
+        disconnect_storm(listener.local_addr().expect("addr"), 10);
+    }
+
+    #[test]
+    fn drain_socket_returns_on_peer_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (mut served, _) = listener.accept().expect("accept");
+        served.write_all(b"tail bytes").expect("write");
+        drop(served);
+        // Must consume the tail and return at EOF rather than hang.
+        drain_socket(&mut client);
+    }
 }

@@ -3,13 +3,13 @@
 # microbenchmarks with profiling enabled, writes machine-readable
 # artifacts, and validates them.
 #
-#   scripts/bench.sh           # full run: BENCH_serve + BENCH_kernels + BENCH_cluster + BENCH_scenario
+#   scripts/bench.sh           # full run: BENCH_serve + BENCH_fanin + BENCH_kernels + BENCH_cluster + BENCH_scenario
 #   scripts/bench.sh --smoke   # small sizes, same artifacts — the CI lane
 #
 # Artifacts land in the repo root (override with BENCH_DIR). Each file
-# declares its schema (`implant-bench-serve/1`, `implant-bench-kernels/1`,
-# `implant-bench-cluster/1`, `implant-bench-scenario/1`) and is checked
-# by `bench_validate`: missing
+# declares its schema (`implant-bench-serve/1`, `implant-bench-fanin/1`,
+# `implant-bench-kernels/1`, `implant-bench-cluster/1`,
+# `implant-bench-scenario/1`) and is checked by `bench_validate`: missing
 # fields, empty stage breakdowns, or non-finite numbers fail the run.
 
 set -euo pipefail
@@ -22,11 +22,15 @@ export IMPLANT_OBS=1
 
 BENCH_DIR="${BENCH_DIR:-.}"
 SERVE_JSON="$BENCH_DIR/BENCH_serve.json"
+FANIN_JSON="$BENCH_DIR/BENCH_fanin.json"
 KERNELS_JSON="$BENCH_DIR/BENCH_kernels.json"
 CLUSTER_JSON="$BENCH_DIR/BENCH_cluster.json"
 SCENARIO_JSON="$BENCH_DIR/BENCH_scenario.json"
 
 SERVE_ARGS=(--connections 4 --requests 25 --mc-trials 200)
+# bench_fanin caps its idle soak to the process fd budget, so asking
+# for 10k is safe on hosts with a smaller `ulimit -n`.
+FANIN_ARGS=(--connections 10000 --drivers 32 --requests 40 --mc-trials 120)
 KERNEL_ARGS=()
 # --warm adds the post-kill repeat-read comparison (no store vs shared
 # store + hedged reads) to BENCH_cluster.json's `warm` object.
@@ -34,6 +38,7 @@ CLUSTER_ARGS=(--connections 4 --requests 30 --mc-trials 150 --warm)
 SCENARIO_ARGS=(--repeats 3 --patients 30)
 if [[ "${1:-}" == "--smoke" ]]; then
     SERVE_ARGS=(--connections 2 --requests 8 --mc-trials 50)
+    FANIN_ARGS=(--connections 500 --drivers 8 --requests 15 --mc-trials 40)
     KERNEL_ARGS=(--smoke)
     CLUSTER_ARGS=(--smoke --warm)
     SCENARIO_ARGS=(--smoke)
@@ -45,6 +50,9 @@ cargo build --release -p bench
 echo "==> serving benchmark -> $SERVE_JSON"
 ./target/release/bench_serve "${SERVE_ARGS[@]}" --profile --json "$SERVE_JSON"
 
+echo "==> fan-in benchmark -> $FANIN_JSON"
+./target/release/bench_fanin "${FANIN_ARGS[@]}" --profile --json "$FANIN_JSON"
+
 echo "==> kernel benchmark -> $KERNELS_JSON"
 ./target/release/bench_kernels "${KERNEL_ARGS[@]}" --profile --json "$KERNELS_JSON"
 
@@ -55,6 +63,6 @@ echo "==> scenario benchmark -> $SCENARIO_JSON"
 ./target/release/bench_scenario "${SCENARIO_ARGS[@]}" --profile --json "$SCENARIO_JSON"
 
 echo "==> validating artifacts"
-./target/release/bench_validate "$SERVE_JSON" "$KERNELS_JSON" "$CLUSTER_JSON" "$SCENARIO_JSON"
+./target/release/bench_validate "$SERVE_JSON" "$FANIN_JSON" "$KERNELS_JSON" "$CLUSTER_JSON" "$SCENARIO_JSON"
 
-echo "bench: OK ($SERVE_JSON, $KERNELS_JSON, $CLUSTER_JSON, $SCENARIO_JSON)"
+echo "bench: OK ($SERVE_JSON, $FANIN_JSON, $KERNELS_JSON, $CLUSTER_JSON, $SCENARIO_JSON)"

@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 690+ tests; a sharp drop means suites
+# The workspace currently runs 740+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=690
+MIN_TESTS=740
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -50,6 +50,12 @@ echo "==> [gate] $passed tests passed (minimum $MIN_TESTS)"
 # non-zero exit fails the gate.
 lane serve ./target/release/bench_serve --connections 4 --requests 12 --mc-trials 100
 
+# Fan-in smoke lane: bench_fanin parks an idle-connection soak on the
+# poller front-end, drives a 90%-duplicate workload through it, and
+# asserts threads stay flat, every request is answered, and the
+# single-flight ledger shows exactly one execution per distinct point.
+lane fanin ./target/release/bench_fanin --connections 500 --drivers 8 --requests 15 --mc-trials 40
+
 # Cluster smoke lane: bench_cluster spawns replica sets, probes health
 # to convergence, kills one replica of three under load, and asserts
 # zero lost in-deadline requests (the N=2 throughput check is enforced
@@ -82,7 +88,7 @@ lane scenario-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-scenario
 lane bench env BENCH_DIR="$(mktemp -d)" ./scripts/bench.sh --smoke
 
 if [[ "${1:-}" == "--fuzz" ]]; then
-    for crate in analog biosensor coils comms patch pmu; do
+    for crate in analog biosensor coils comms patch pmu implant-server; do
         lane "fuzz-$crate" cargo test -q -p "$crate" --features fuzz
     done
 fi
