@@ -99,6 +99,174 @@ impl TransientSpec {
     }
 }
 
+/// Configuration of a transient run on a [`crate::CompiledCircuit`].
+///
+/// Carries the same numerical knobs as [`TransientSpec`] plus compiled-
+/// engine options, and is constructed through [`TranConfig::builder`]:
+///
+/// ```
+/// use analog::{Integration, TranConfig};
+/// let cfg = TranConfig::builder(700e-6)
+///     .max_step(8e-9)
+///     .reltol(1e-3)
+///     .max_newton(60)
+///     .method(Integration::Trapezoidal)
+///     .build();
+/// assert_eq!(cfg.t_stop, 700e-6);
+/// assert_eq!(cfg.max_step, Some(8e-9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranConfig {
+    /// End time of the analysis in seconds.
+    pub t_stop: f64,
+    /// Upper bound on the internal time step; `None` lets the engine pick
+    /// `t_stop / 50`.
+    pub max_step: Option<f64>,
+    /// Hard floor for the adaptive step; going below this aborts.
+    pub min_step: f64,
+    /// Relative convergence/LTE tolerance.
+    pub reltol: f64,
+    /// Absolute voltage tolerance in volts.
+    pub vabstol: f64,
+    /// Absolute current tolerance in amperes.
+    pub iabstol: f64,
+    /// Integration method.
+    pub method: Integration,
+    /// Enables local-truncation-error step control (in addition to
+    /// Newton-failure backoff).
+    pub lte_control: bool,
+    /// Maximum Newton iterations per time point.
+    pub max_newton: usize,
+    /// Record branch currents (as `I(name)` traces) in addition to node
+    /// voltages.
+    pub record_currents: bool,
+    /// Measure per-phase wall time (assemble / factorize / solve) in the
+    /// run's [`crate::EngineStats`]. Off by default: the timestamps cost
+    /// a few percent on small matrices.
+    pub profile: bool,
+}
+
+impl TranConfig {
+    /// Starts a builder for a transient run to `t_stop` seconds with
+    /// SPICE-like defaults (the same defaults as [`TransientSpec::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` is not positive.
+    pub fn builder(t_stop: f64) -> TranConfigBuilder {
+        assert!(t_stop > 0.0, "transient t_stop must be positive");
+        TranConfigBuilder {
+            cfg: TranConfig {
+                t_stop,
+                max_step: None,
+                min_step: 1.0e-18,
+                reltol: 1.0e-3,
+                vabstol: 1.0e-6,
+                iabstol: 1.0e-9,
+                method: Integration::Trapezoidal,
+                lte_control: true,
+                max_newton: 60,
+                record_currents: true,
+                profile: false,
+            },
+        }
+    }
+}
+
+impl From<&TransientSpec> for TranConfig {
+    /// Carries a legacy spec over unchanged (profiling off), so the
+    /// deprecated one-shot entry points reproduce their old numerics.
+    fn from(spec: &TransientSpec) -> Self {
+        TranConfig {
+            t_stop: spec.t_stop,
+            max_step: spec.max_step,
+            min_step: spec.min_step,
+            reltol: spec.reltol,
+            vabstol: spec.vabstol,
+            iabstol: spec.iabstol,
+            method: spec.method,
+            lte_control: spec.lte_control,
+            max_newton: spec.max_newton,
+            record_currents: spec.record_currents,
+            profile: false,
+        }
+    }
+}
+
+/// Builds a [`TranConfig`] field by field:
+/// `TranConfig::builder(t_stop).max_step(..).build()`.
+#[derive(Debug, Clone)]
+pub struct TranConfigBuilder {
+    cfg: TranConfig,
+}
+
+impl TranConfigBuilder {
+    /// Sets the maximum internal time step.
+    pub fn max_step(mut self, max_step: f64) -> Self {
+        self.cfg.max_step = Some(max_step);
+        self
+    }
+
+    /// Sets the hard floor for the adaptive step.
+    pub fn min_step(mut self, min_step: f64) -> Self {
+        self.cfg.min_step = min_step;
+        self
+    }
+
+    /// Sets the relative tolerance.
+    pub fn reltol(mut self, reltol: f64) -> Self {
+        self.cfg.reltol = reltol;
+        self
+    }
+
+    /// Sets the absolute voltage tolerance.
+    pub fn vabstol(mut self, vabstol: f64) -> Self {
+        self.cfg.vabstol = vabstol;
+        self
+    }
+
+    /// Sets the absolute current tolerance.
+    pub fn iabstol(mut self, iabstol: f64) -> Self {
+        self.cfg.iabstol = iabstol;
+        self
+    }
+
+    /// Selects the integration method.
+    pub fn method(mut self, method: Integration) -> Self {
+        self.cfg.method = method;
+        self
+    }
+
+    /// Enables or disables LTE-based step control.
+    pub fn lte_control(mut self, on: bool) -> Self {
+        self.cfg.lte_control = on;
+        self
+    }
+
+    /// Sets the Newton iteration cap per time point.
+    pub fn max_newton(mut self, max_newton: usize) -> Self {
+        self.cfg.max_newton = max_newton;
+        self
+    }
+
+    /// Enables or disables branch-current recording.
+    pub fn record_currents(mut self, on: bool) -> Self {
+        self.cfg.record_currents = on;
+        self
+    }
+
+    /// Enables per-phase wall-time profiling in the run stats.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.cfg.profile = on;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> TranConfig {
+        self.cfg
+    }
+}
+
 /// Configuration of a small-signal AC analysis: the frequency grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AcSpec {
@@ -473,5 +641,55 @@ mod tests {
     #[should_panic(expected = "t_stop must be positive")]
     fn transient_spec_validates() {
         let _ = TransientSpec::new(0.0);
+    }
+
+    #[test]
+    fn tran_config_builder_sets_every_field() {
+        let cfg = TranConfig::builder(1.0e-3)
+            .max_step(1.0e-6)
+            .min_step(1.0e-15)
+            .reltol(1.0e-4)
+            .vabstol(1.0e-7)
+            .iabstol(1.0e-10)
+            .method(Integration::BackwardEuler)
+            .lte_control(false)
+            .max_newton(40)
+            .record_currents(false)
+            .profile(true)
+            .build();
+        assert_eq!(cfg.t_stop, 1.0e-3);
+        assert_eq!(cfg.max_step, Some(1.0e-6));
+        assert_eq!(cfg.min_step, 1.0e-15);
+        assert_eq!(cfg.reltol, 1.0e-4);
+        assert_eq!(cfg.vabstol, 1.0e-7);
+        assert_eq!(cfg.iabstol, 1.0e-10);
+        assert_eq!(cfg.method, Integration::BackwardEuler);
+        assert!(!cfg.lte_control);
+        assert_eq!(cfg.max_newton, 40);
+        assert!(!cfg.record_currents);
+        assert!(cfg.profile);
+    }
+
+    #[test]
+    fn tran_config_from_spec_matches_defaults() {
+        let spec = TransientSpec::new(2.0e-3).with_max_step(5.0e-7);
+        let cfg = TranConfig::from(&spec);
+        assert_eq!(cfg.t_stop, spec.t_stop);
+        assert_eq!(cfg.max_step, spec.max_step);
+        assert_eq!(cfg.min_step, spec.min_step);
+        assert_eq!(cfg.method, spec.method);
+        assert!(!cfg.profile);
+        // Builder defaults agree with the legacy spec defaults.
+        let built = TranConfig::builder(2.0e-3).max_step(5.0e-7).build();
+        assert_eq!(built.reltol, cfg.reltol);
+        assert_eq!(built.vabstol, cfg.vabstol);
+        assert_eq!(built.iabstol, cfg.iabstol);
+        assert_eq!(built.max_newton, cfg.max_newton);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_stop must be positive")]
+    fn tran_config_builder_validates() {
+        let _ = TranConfig::builder(-1.0);
     }
 }

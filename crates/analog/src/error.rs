@@ -45,6 +45,31 @@ pub enum SimError {
     },
     /// The requested trace/device/node does not exist in the result set.
     NotFound(String),
+    /// Compilation found a node with no device terminal attached. Such a
+    /// node was created with [`crate::Circuit::node`] but never wired up;
+    /// it would silently solve to 0 V, which is almost always a netlist
+    /// bug.
+    DanglingNode {
+        /// Name of the unconnected node.
+        node: String,
+    },
+    /// Compilation found a loop of ideal voltage sources: the branch
+    /// currents in the loop are underdetermined, so the DC system is
+    /// structurally singular (the g-shunt cannot regularize source
+    /// loops).
+    SingularAtDc {
+        /// A node on the offending loop.
+        node: String,
+        /// The voltage source that closes the loop.
+        device: String,
+    },
+    /// The device cannot be lowered by the compiled engine.
+    UnsupportedDevice {
+        /// Name of the offending device.
+        device: String,
+        /// Why lowering is impossible and what to use instead.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +93,18 @@ impl fmt::Display for SimError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             SimError::NotFound(what) => write!(f, "not found: {what}"),
+            SimError::DanglingNode { node } => {
+                write!(f, "dangling node `{node}`: no device terminal connects it")
+            }
+            SimError::SingularAtDc { node, device } => {
+                write!(
+                    f,
+                    "singular at dc: voltage source `{device}` closes an ideal source loop at node `{node}`"
+                )
+            }
+            SimError::UnsupportedDevice { device, reason } => {
+                write!(f, "unsupported device `{device}` in compiled mode: {reason}")
+            }
         }
     }
 }
@@ -96,5 +133,35 @@ mod tests {
     fn convergence_display_mentions_time() {
         let e = SimError::NoConvergence { analysis: "transient", time: Some(1e-6), iterations: 50 };
         assert!(e.to_string().contains("1.000000e-6"));
+    }
+
+    #[test]
+    fn dangling_node_names_the_node() {
+        let e = SimError::DanglingNode { node: "vmid".into() };
+        let s = e.to_string();
+        assert!(s.starts_with("dangling node"));
+        assert!(s.contains("`vmid`"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn singular_at_dc_names_node_and_device() {
+        let e = SimError::SingularAtDc { node: "a".into(), device: "V2".into() };
+        let s = e.to_string();
+        assert!(s.starts_with("singular at dc"));
+        assert!(s.contains("`V2`"));
+        assert!(s.contains("`a`"));
+    }
+
+    #[test]
+    fn unsupported_device_explains_the_reason() {
+        let e = SimError::UnsupportedDevice {
+            device: "VX".into(),
+            reason: "custom waveform".into(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("unsupported device"));
+        assert!(s.contains("`VX`"));
+        assert!(s.contains("custom waveform"));
     }
 }

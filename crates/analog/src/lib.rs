@@ -21,10 +21,13 @@
 //!
 //! # Example
 //!
-//! Charging an RC from a 5 V step and checking the 1τ point:
+//! Analyses follow a two-phase compile→simulate flow: [`Circuit::compile`]
+//! lowers the netlist once into a sparse stamp program
+//! ([`CompiledCircuit`]); the compiled circuit then runs any number of
+//! analyses. Charging an RC from a 5 V step and checking the 1τ point:
 //!
 //! ```
-//! use analog::{Circuit, SourceFn, TransientSpec};
+//! use analog::{Circuit, SourceFn, TranConfig};
 //!
 //! # fn main() -> Result<(), analog::SimError> {
 //! let mut ckt = Circuit::new();
@@ -35,7 +38,8 @@
 //! // Start the capacitor empty (otherwise the DC operating point — the
 //! // steady state — is used as the initial condition).
 //! ckt.capacitor_with_ic("C1", out, Circuit::GND, 1.0e-6, 0.0);
-//! let result = ckt.transient(&TransientSpec::new(5e-3).with_max_step(1e-6))?;
+//! let sim = ckt.compile()?;
+//! let result = sim.tran(&TranConfig::builder(5e-3).max_step(1e-6).build())?;
 //! let v = result.trace("out").expect("traced node").value_at(1e-3);
 //! assert!((v - 5.0 * (1.0 - (-1.0f64).exp())).abs() < 0.02);
 //! # Ok(())
@@ -47,21 +51,28 @@
 
 pub mod analysis;
 pub mod complex;
+pub mod compiled;
 pub mod device;
 pub mod error;
 pub mod linalg;
 pub mod netlist;
 pub mod parse;
 pub mod source;
+pub mod sparse;
 pub mod units;
 pub mod waveform;
 
 mod engine;
 
-pub use analysis::{AcResult, AcSpec, DcSweepResult, OpPoint, TransientResult, TransientSpec};
+pub use analysis::{
+    AcResult, AcSpec, DcSweepResult, Integration, OpPoint, TranConfig, TranConfigBuilder,
+    TransientResult, TransientSpec,
+};
+pub use compiled::{CompiledCircuit, EngineStats};
 pub use complex::Complex;
 pub use device::{DiodeModel, MosModel, MosPolarity, SwitchModel};
 pub use error::SimError;
 pub use netlist::{Circuit, DeviceId, NodeId};
 pub use source::SourceFn;
+pub use sparse::LuStats;
 pub use waveform::Waveform;

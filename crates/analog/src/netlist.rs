@@ -5,8 +5,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::analysis::{
-    AcResult, AcSpec, DcSweepResult, OpPoint, TransientResult, TransientSpec,
+    AcResult, AcSpec, DcSweepResult, OpPoint, TranConfig, TransientResult, TransientSpec,
 };
+use crate::compiled::CompiledCircuit;
 use crate::device::{DiodeModel, MosModel, SwitchModel};
 use crate::engine::Engine;
 use crate::error::SimError;
@@ -79,7 +80,7 @@ pub(crate) struct Coupling {
 /// let a = ckt.node("a");
 /// ckt.voltage_source("V1", a, Circuit::GND, SourceFn::dc(3.0));
 /// ckt.resistor("R1", a, Circuit::GND, 1.0e3);
-/// let op = ckt.dc_op()?;
+/// let op = ckt.compile()?.dc_op()?;
 /// assert!((op.voltage("a")? - 3.0).abs() < 1e-9);
 /// assert!((op.current("V1")? + 3.0e-3).abs() < 1e-9);
 /// # Ok(())
@@ -433,6 +434,41 @@ impl Circuit {
         Cow::Owned(adjusted)
     }
 
+    /// Lowers the circuit into a compiled stamp program
+    /// ([`CompiledCircuit`]), the entry point of the two-phase
+    /// compile→simulate API.
+    ///
+    /// Compilation walks the netlist once: it fixes the sparse MNA
+    /// pattern, folds every static stamp into value templates, resolves
+    /// all device stamps to matrix slots, and validates the topology.
+    /// The result is immutable and reusable across any number of
+    /// analyses.
+    ///
+    /// ```
+    /// use analog::{Circuit, SourceFn, TranConfig};
+    /// # fn main() -> Result<(), analog::SimError> {
+    /// let mut ckt = Circuit::new();
+    /// let a = ckt.node("a");
+    /// ckt.voltage_source("V1", a, Circuit::GND, SourceFn::sine(1.0, 1.0e3));
+    /// ckt.resistor("R1", a, Circuit::GND, 1.0e3);
+    /// let sim = ckt.compile()?;
+    /// let trace = sim.tran(&TranConfig::builder(1.0e-3).build())?;
+    /// assert!(trace.len() > 10);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidCircuit`] for an empty circuit,
+    /// [`SimError::DanglingNode`] for a node with no device terminals,
+    /// [`SimError::SingularAtDc`] for an ideal voltage-source loop, and
+    /// [`SimError::UnsupportedDevice`] for sources the compiled engine
+    /// cannot lower ([`SourceFn::Custom`]).
+    pub fn compile(&self) -> Result<CompiledCircuit, SimError> {
+        CompiledCircuit::build(self.for_simulation().into_owned())
+    }
+
     /// Computes the DC operating point (capacitors open, inductors short).
     ///
     /// # Errors
@@ -440,8 +476,9 @@ impl Circuit {
     /// [`SimError::SingularMatrix`] for ill-formed topologies and
     /// [`SimError::NoConvergence`] when Newton, g<sub>min</sub> stepping and
     /// source stepping all fail.
+    #[deprecated(since = "0.1.0", note = "use `Circuit::compile()?.dc_op()`")]
     pub fn dc_op(&self) -> Result<OpPoint, SimError> {
-        Engine::new(&self.for_simulation())?.dc_operating_point()
+        self.compile()?.dc_op()
     }
 
     /// Runs a transient analysis.
@@ -450,8 +487,12 @@ impl Circuit {
     ///
     /// Propagates DC-op errors for the initial point and returns
     /// [`SimError::TimestepTooSmall`] if the adaptive step underflows.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Circuit::compile()?.tran(&TranConfig::builder(t_stop)...build())`"
+    )]
     pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SimError> {
-        Engine::new(&self.for_simulation())?.transient(spec)
+        self.compile()?.tran(&TranConfig::from(spec))
     }
 
     /// Runs a small-signal AC analysis about the DC operating point.
@@ -460,8 +501,36 @@ impl Circuit {
     ///
     /// Propagates DC-op errors; returns [`SimError::SingularMatrix`] if the
     /// complex MNA system is singular at some frequency.
+    #[deprecated(since = "0.1.0", note = "use `Circuit::compile()?.ac(spec)`")]
     pub fn ac(&self, spec: &AcSpec) -> Result<AcResult, SimError> {
-        Engine::new(&self.for_simulation())?.ac(spec)
+        self.compile()?.ac(spec)
+    }
+
+    /// Computes the DC operating point with the interpreted reference
+    /// engine (dense MNA, netlist walked every Newton iteration).
+    ///
+    /// This is the validation baseline for the compiled engine — use
+    /// [`Circuit::compile`] + [`CompiledCircuit::dc_op`] for production
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledCircuit::dc_op`].
+    pub fn dc_op_reference(&self) -> Result<OpPoint, SimError> {
+        Engine::new(&self.for_simulation())?.dc_operating_point()
+    }
+
+    /// Runs a transient analysis with the interpreted reference engine.
+    ///
+    /// This is the validation baseline for the compiled engine — use
+    /// [`Circuit::compile`] + [`CompiledCircuit::tran`] for production
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledCircuit::tran`].
+    pub fn transient_reference(&self, spec: &TransientSpec) -> Result<TransientResult, SimError> {
+        Engine::new(&self.for_simulation())?.transient(spec)
     }
 
     /// Instantaneous power dissipated in (or, for sources, delivered by)
@@ -632,7 +701,10 @@ impl Circuit {
     ///
     /// [`SimError::NotFound`] if the source does not exist, plus any
     /// DC-op error at a sweep point.
+    #[deprecated(since = "0.1.0", note = "use `Circuit::compile()?.dc_sweep(source, values)`")]
     pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<DcSweepResult, SimError> {
+        // Validate the device before compiling so a bad source name is
+        // reported even for circuits that fail to compile.
         let id = self
             .find_device(source)
             .ok_or_else(|| SimError::NotFound(format!("source `{source}`")))?;
@@ -644,19 +716,7 @@ impl Circuit {
                 )))
             }
         }
-        let mut sweep = DcSweepResult::new(values.to_vec());
-        let mut ckt = self.clone();
-        for &v in values {
-            match &mut ckt.devices[id.0].kind {
-                DeviceKind::VSource { wave, .. } | DeviceKind::ISource { wave, .. } => {
-                    *wave = SourceFn::dc(v);
-                }
-                _ => unreachable!(),
-            }
-            let op = ckt.dc_op()?;
-            sweep.push(op);
-        }
-        Ok(sweep)
+        self.compile()?.dc_sweep(source, values)
     }
 }
 
@@ -725,6 +785,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the deprecated wrapper's error precedence
     fn dc_sweep_rejects_non_source() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");

@@ -493,7 +493,7 @@ pub fn parse_netlist(text: &str) -> Result<Circuit, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::TransientSpec;
+    use crate::analysis::TranConfig;
 
     #[test]
     fn value_suffixes() {
@@ -521,7 +521,7 @@ mod tests {
              R2 out 0 7k",
         )
         .unwrap();
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         assert!((op.voltage("out").unwrap() - 7.0).abs() < 1e-6);
     }
 
@@ -539,7 +539,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ckt.device_count(), 3, ".end stops parsing");
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         assert!((op.voltage("out").unwrap() - 5.0).abs() < 1e-6);
     }
 
@@ -551,7 +551,7 @@ mod tests {
         )
         .unwrap();
         let res = ckt
-            .transient(&TransientSpec::new(1.0e-3).with_max_step(2.0e-6))
+            .compile().unwrap().tran(&TranConfig::builder(1.0e-3).max_step(2.0e-6).build())
             .unwrap();
         let w = res.trace("in").unwrap();
         assert!((w.max() - 2.0).abs() < 0.01);
@@ -568,7 +568,7 @@ mod tests {
         )
         .unwrap();
         let res = ckt
-            .transient(&TransientSpec::new(4.0e-6).with_max_step(8.0e-9))
+            .compile().unwrap().tran(&TranConfig::builder(4.0e-6).max_step(8.0e-9).build())
             .unwrap();
         let vo = res.trace("out").unwrap().final_value();
         assert!(vo > 2.0, "rectified to {vo}");
@@ -586,7 +586,7 @@ mod tests {
         )
         .unwrap();
         let res = ckt
-            .transient(&TransientSpec::new(0.5e-3).with_max_step(2.0e-7))
+            .compile().unwrap().tran(&TranConfig::builder(0.5e-3).max_step(2.0e-7).build())
             .unwrap();
         let (amp, _) = res.trace("b").unwrap().tone(10.0e3, 0.25e-3, 0.5e-3);
         assert!((amp - 4.0).abs() < 0.5, "transformer gain ≈ 4: {amp}");
@@ -603,7 +603,7 @@ mod tests {
              VC ctl 0 0",
         )
         .unwrap();
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         let vd = op.voltage("d").unwrap();
         assert!(vd < 1.8 && vd > 0.0, "inverter-ish output {vd}");
     }
@@ -616,7 +616,7 @@ mod tests {
              C1 out 0 159.15n",
         )
         .unwrap();
-        let res = ckt.ac(&crate::analysis::AcSpec::log_sweep(10.0, 100.0e3, 20)).unwrap();
+        let res = ckt.compile().unwrap().ac(&crate::analysis::AcSpec::log_sweep(10.0, 100.0e3, 20)).unwrap();
         let f3 = res.corner_frequency("out").unwrap();
         assert!((f3 - 1.0e3).abs() / 1.0e3 < 0.05, "corner {f3}");
     }
@@ -643,7 +643,7 @@ mod tests {
              RC c 0 1k",
         )
         .unwrap();
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         assert!((op.voltage("b").unwrap() - 5.0).abs() < 1e-6);
         assert!((op.voltage("c").unwrap() - 1.0).abs() < 1e-6);
     }
@@ -689,7 +689,7 @@ mod tests {
     #[test]
     fn bare_number_is_dc() {
         let ckt = parse_netlist("V1 a 0 3.3\nR1 a 0 1k").unwrap();
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         assert!((op.voltage("a").unwrap() - 3.3).abs() < 1e-9);
     }
 }

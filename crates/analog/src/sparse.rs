@@ -1,0 +1,1121 @@
+//! Sparse storage and LU factorization for the compiled engine.
+//!
+//! The compiled engine assembles the MNA system into a fixed CSR
+//! pattern discovered once at compile time. The first factorization of
+//! a run performs scaled partial pivoting (the same selection rule as
+//! the dense reference solver in [`crate::linalg`]) and records the row
+//! permutation; a symbolic elimination pass then computes the exact
+//! fill pattern of `L + U` for that permutation. Every later
+//! factorization reuses the permutation and fill pattern and eliminates
+//! without pivot search — an order of magnitude less work per Newton
+//! iteration on circuit-shaped (very sparse) systems. When the pinned
+//! pivot order goes numerically stale (a diagonal collapses relative to
+//! its row *and* to the ratio the pivoted pass achieved there), the
+//! factorization falls back to a fresh pivoted pass and re-derives the
+//! pattern.
+
+use crate::error::SimError;
+
+/// Relative floor below which a reused pivot is *suspect*: smaller than
+/// `REPIVOT_RTOL` times the largest entry of its eliminated row. MNA
+/// systems legitimately carry structurally tiny pivots (a node held up
+/// only by the gmin shunt factors at ~1e-12 of its row even under full
+/// pivoting), so a suspect pivot alone does not force a re-pivot.
+const REPIVOT_RTOL: f64 = 1.0e-6;
+
+/// A suspect pivot triggers a fresh pivoted pass only when it has also
+/// decayed below this fraction of the pivot-to-row ratio the last
+/// pivoted factorization achieved on the same elimination row. A pivot
+/// that full pivoting itself could not improve is accepted as-is; one
+/// that collapses 100× below its pivoted baseline re-pivots.
+const REPIVOT_DECAY: f64 = 1.0e-2;
+
+/// Threshold for Markowitz-style pivot selection: any candidate whose
+/// scaled magnitude is within this factor of the column's best is
+/// numerically acceptable, and the sparsest such row wins. The same
+/// relative threshold SPICE uses (`pivrel`); it trades a bounded
+/// element-growth factor for far less fill — and the fill pattern is
+/// what every later refactorization and solve pays for.
+const MARKOWITZ_RTOL: f64 = 1.0e-3;
+
+/// The full relative stale-pivot check (row-maximum scan plus decay
+/// comparison) runs on every `STALE_CHECK_PERIOD`-th refactorization;
+/// the refactorizations between only watch for outright collapse
+/// (non-finite or ≈0 diagonals). Pivot decay is gradual, so catching
+/// it a few iterations late costs one deferred re-pivot, while the
+/// scan is a meaningful share of the per-iteration factor cost.
+const STALE_CHECK_PERIOD: u32 = 8;
+
+/// Builds a CSR sparsity pattern from unordered `(row, col)` stamps.
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    n: usize,
+    entries: std::collections::BTreeSet<(usize, usize)>,
+}
+
+impl PatternBuilder {
+    /// An empty pattern for an `n × n` system.
+    pub fn new(n: usize) -> Self {
+        PatternBuilder { n, entries: std::collections::BTreeSet::new() }
+    }
+
+    /// Marks entry `(row, col)` as structurally nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize) {
+        assert!(row < self.n && col < self.n, "pattern index out of bounds");
+        self.entries.insert((row, col));
+    }
+
+    /// Freezes the pattern into its CSR form.
+    pub fn build(self) -> CsrPattern {
+        let mut row_ptr = vec![0usize; self.n + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        for &(r, c) in &self.entries {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+        }
+        for r in 0..self.n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrPattern { n: self.n, row_ptr, col_idx }
+    }
+}
+
+/// An immutable CSR sparsity pattern. Values live in a caller-owned
+/// flat slice indexed by *slot* — the position of an entry in
+/// [`CsrPattern::col_idx`] — so the compiled stamp program can
+/// pre-resolve every stamp to a slot index.
+#[derive(Debug, Clone)]
+pub struct CsrPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl CsrPattern {
+    /// System dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Slot index of entry `(row, col)`, if it is in the pattern.
+    pub fn slot(&self, row: usize, col: usize) -> Option<usize> {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi].binary_search(&col).ok().map(|k| lo + k)
+    }
+
+    /// The column indices of `row`, ascending.
+    pub fn row_cols(&self, row: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]]
+    }
+
+    /// Slot range of `row`.
+    fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.row_ptr[row]..self.row_ptr[row + 1]
+    }
+}
+
+/// Why a fixed-pattern refactorization could not complete.
+enum RefactorFail {
+    /// A reused pivot collapsed; re-pivot and retry.
+    StalePivot,
+}
+
+/// One compiled elimination step: divide the `L` entry at `l_slot` by
+/// the upper row's diagonal, then apply the multiply-subtract updates
+/// in `upd_start..upd_end` of the schedule's target/source slot lists.
+#[derive(Debug, Clone, Copy)]
+struct ElimOp {
+    l_slot: u32,
+    /// Eliminated-against row, indexing the reciprocal-diagonal table.
+    diag_row: u32,
+    upd_start: u32,
+    upd_end: u32,
+}
+
+/// Counters of the factorization/solve activity of one run. Exposed to
+/// the bench layer through `analog::EngineStats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LuStats {
+    /// Full pivoted factorizations (first factor and re-pivots).
+    pub pivoted_factorizations: u64,
+    /// Fast fixed-pattern refactorizations.
+    pub refactorizations: u64,
+    /// Factorizations skipped because the matrix values were unchanged.
+    pub refactor_skips: u64,
+    /// Pivoted factorizations forced by a stale reused pivot
+    /// (a subset of `pivoted_factorizations`).
+    pub repivots: u64,
+    /// Triangular solves.
+    pub solves: u64,
+    /// Elimination rows actually recomputed across all incremental
+    /// refactorizations — `rows_recomputed / (refactorizations · n)`
+    /// is the fraction of the factorization the dirty-row analysis
+    /// could not skip.
+    pub rows_recomputed: u64,
+}
+
+/// Caller-owned refactor schedule for a *fixed* set of assembled slots
+/// that are the only ones allowed to change between factorizations.
+///
+/// A stamp-program caller knows at lowering time exactly which matrix
+/// slots its per-iteration device evaluations rewrite; everything else
+/// comes from a cached static template. [`SparseLu::factor_hinted`]
+/// exploits that: the dirty-row closure of the hinted slots is computed
+/// once per pivot order and then replayed with no per-slot value diff
+/// at all. Build one with [`RefactorHint::new`] and keep it alongside
+/// the solver; it re-derives its row list automatically whenever the
+/// solver's pivot order changes.
+#[derive(Debug, Clone)]
+pub struct RefactorHint {
+    /// Assembled-pattern slots the caller may rewrite between calls.
+    slots: Vec<u32>,
+    /// Elimination rows to replay: the rows owning a hinted slot plus
+    /// their downstream closure, ascending. Valid only while
+    /// `generation` matches the solver's schedule generation.
+    rows: Vec<u32>,
+    generation: u64,
+}
+
+impl RefactorHint {
+    /// A hint promising that only `slots` (assembled-pattern indices)
+    /// change between factorizations. Duplicates are fine.
+    pub fn new(slots: impl Into<Vec<u32>>) -> Self {
+        RefactorHint { slots: slots.into(), rows: Vec::new(), generation: 0 }
+    }
+}
+
+/// Sparse LU with a pinned row permutation and fill pattern.
+///
+/// `factor` owns the refactor-or-repivot policy described in the module
+/// docs; `solve` runs the permuted forward/backward substitution.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Row permutation: row `i` of the permuted system is row
+    /// `perm[i]` of the assembled system.
+    perm: Vec<usize>,
+    /// CSR-like storage of `L + U` (unit-diagonal `L` strictly below,
+    /// `U` on and above), per elimination row, columns ascending.
+    lu_row_ptr: Vec<usize>,
+    lu_cols: Vec<usize>,
+    lu_vals: Vec<f64>,
+    /// Index into `lu_vals` of each row's `U` diagonal.
+    diag_idx: Vec<usize>,
+    /// Per-row `|diag| / row_max` achieved by the last pivoted
+    /// factorization — the baseline the stale-pivot guard compares
+    /// reused pivots against.
+    base_ratio: Vec<f64>,
+    /// Per-row reciprocal of the `U` diagonal — elimination and the
+    /// backward solve multiply by these instead of dividing (each
+    /// diagonal is reused by every later row, so one reciprocal
+    /// replaces many divisions).
+    inv_diag: Vec<f64>,
+    /// Compiled refactor schedule: LU slots that are pure fill (start
+    /// at zero), the assembled-pattern slot feeding every other LU slot
+    /// (`copy_dst[k] ← vals[copy_src[k]]`) — both lists in slot order,
+    /// grouped per elimination row by the `*_row_ptr` offsets so the
+    /// incremental refactor can re-scatter one row at a time …
+    fill_slots: Vec<u32>,
+    fill_row_ptr: Vec<u32>,
+    copy_dst: Vec<u32>,
+    copy_src: Vec<u32>,
+    copy_row_ptr: Vec<u32>,
+    /// Elimination row of each assembled-pattern slot — the
+    /// diff-to-dirty-row map of the incremental refactor.
+    row_of_slot: Vec<u32>,
+    /// Reverse elimination dependencies: the rows that eliminate
+    /// against row `j` (all `> j`), flattened and grouped by `j`, so
+    /// dirtiness propagates by pushing to children instead of scanning
+    /// every row's dependencies.
+    child_ptr: Vec<u32>,
+    child_row: Vec<u32>,
+    /// … the elimination steps in execution order, grouped per row by
+    /// `elim_row_ptr`, with their multiply-subtract updates resolved to
+    /// `upd_tgt[k] -= l · upd_src[k]` slot pairs.
+    elim_ops: Vec<ElimOp>,
+    elim_row_ptr: Vec<u32>,
+    upd_tgt: Vec<u32>,
+    upd_src: Vec<u32>,
+    /// Matrix values at the last completed factorization; a bitwise
+    /// match lets `factor` skip entirely, and the per-slot diff drives
+    /// the incremental refactor's dirty-row analysis.
+    vals_factored: Vec<f64>,
+    /// Scratch dirty-row marks for the incremental refactor.
+    dirty: Vec<bool>,
+    /// Refactorizations until the next full relative stale-pivot scan.
+    stale_countdown: u32,
+    /// Bumped whenever the pivot order (and with it the whole refactor
+    /// schedule) is rebuilt; [`RefactorHint`]s cache against it.
+    schedule_generation: u64,
+    factored: bool,
+    /// Activity counters for the bench layer.
+    pub stats: LuStats,
+}
+
+impl SparseLu {
+    /// A solver for systems of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        SparseLu {
+            n,
+            perm: Vec::new(),
+            lu_row_ptr: Vec::new(),
+            lu_cols: Vec::new(),
+            lu_vals: Vec::new(),
+            diag_idx: Vec::new(),
+            base_ratio: Vec::new(),
+            inv_diag: Vec::new(),
+            fill_slots: Vec::new(),
+            fill_row_ptr: Vec::new(),
+            copy_dst: Vec::new(),
+            copy_src: Vec::new(),
+            copy_row_ptr: Vec::new(),
+            row_of_slot: Vec::new(),
+            child_ptr: Vec::new(),
+            child_row: Vec::new(),
+            elim_ops: Vec::new(),
+            elim_row_ptr: Vec::new(),
+            upd_tgt: Vec::new(),
+            upd_src: Vec::new(),
+            vals_factored: Vec::new(),
+            dirty: Vec::new(),
+            stale_countdown: STALE_CHECK_PERIOD,
+            schedule_generation: 0,
+            factored: false,
+            stats: LuStats::default(),
+        }
+    }
+
+    /// Factorizes `vals` laid out on `pattern`, reusing the pinned
+    /// pivot order and fill pattern when possible. Returns `true` if
+    /// any numeric work was done, `false` if the values were bitwise
+    /// unchanged since the last factorization and it was skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] when no usable pivot exists even
+    /// with a fresh pivot search.
+    pub fn factor(&mut self, pattern: &CsrPattern, vals: &[f64]) -> Result<bool, SimError> {
+        debug_assert_eq!(pattern.nnz(), vals.len());
+        if self.factored {
+            match self.refactor(pattern, vals) {
+                // No row saw a changed value: the held factorization is
+                // exactly current and nothing was recomputed.
+                Ok(0) => {
+                    self.stats.refactor_skips += 1;
+                    return Ok(false);
+                }
+                Ok(rows) => {
+                    self.stats.refactorizations += 1;
+                    self.stats.rows_recomputed += rows;
+                    self.vals_factored.copy_from_slice(vals);
+                    return Ok(true);
+                }
+                Err(RefactorFail::StalePivot) => {
+                    self.stats.repivots += 1;
+                }
+            }
+        }
+        if let Err(e) = self.factor_pivoted(pattern, vals) {
+            // The LU values are now inconsistent with `vals_factored`;
+            // a later incremental refactor must not trust them.
+            self.factored = false;
+            return Err(e);
+        }
+        self.stats.pivoted_factorizations += 1;
+        self.vals_factored.clear();
+        self.vals_factored.extend_from_slice(vals);
+        self.factored = true;
+        Ok(true)
+    }
+
+    /// [`SparseLu::factor`] for callers that can promise which slots
+    /// changed: replays the hint's precomputed dirty-row closure
+    /// instead of diffing `vals` against the previous factorization.
+    ///
+    /// The promise is one-sided — slots *outside* `hint` must hold the
+    /// values they had at the last factorization, while hinted slots
+    /// may or may not have changed. Violating it silently produces a
+    /// stale factorization; callers that cannot promise (e.g. after a
+    /// static-template rebuild) must fall back to [`SparseLu::factor`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] when no usable pivot exists even
+    /// with a fresh pivot search.
+    pub fn factor_hinted(
+        &mut self,
+        pattern: &CsrPattern,
+        vals: &[f64],
+        hint: &mut RefactorHint,
+    ) -> Result<bool, SimError> {
+        if !self.factored {
+            return self.factor(pattern, vals);
+        }
+        assert_eq!(vals.len(), pattern.nnz());
+        assert_eq!(vals.len(), self.row_of_slot.len());
+        if hint.generation != self.schedule_generation {
+            self.build_hint(hint);
+        }
+        // No hinted slot reaches the matrix (linear circuit): the held
+        // factorization is exactly current.
+        if hint.rows.is_empty() {
+            self.stats.refactor_skips += 1;
+            return Ok(false);
+        }
+        let full_check = self.stale_countdown == 0;
+        let mut ok = Ok(());
+        for k in 0..hint.rows.len() {
+            if let Err(e) = self.replay_row(hint.rows[k] as usize, vals, full_check) {
+                ok = Err(e);
+                break;
+            }
+        }
+        match ok {
+            Ok(()) => {
+                self.stale_countdown =
+                    if full_check { STALE_CHECK_PERIOD } else { self.stale_countdown - 1 };
+                self.stats.refactorizations += 1;
+                self.stats.rows_recomputed += hint.rows.len() as u64;
+                // Keep the diff baseline honest for a later plain
+                // `factor` call: hinted slots are now embodied in
+                // `lu_vals` at their current values.
+                for &s in &hint.slots {
+                    self.vals_factored[s as usize] = vals[s as usize];
+                }
+                Ok(true)
+            }
+            Err(RefactorFail::StalePivot) => {
+                self.stats.repivots += 1;
+                if let Err(e) = self.factor_pivoted(pattern, vals) {
+                    self.factored = false;
+                    return Err(e);
+                }
+                self.stats.pivoted_factorizations += 1;
+                self.vals_factored.clear();
+                self.vals_factored.extend_from_slice(vals);
+                Ok(true)
+            }
+        }
+    }
+
+    /// (Re)derives `hint.rows` — the dirty-row closure of its slot set
+    /// under the current pivot order — and stamps it with the current
+    /// schedule generation.
+    fn build_hint(&mut self, hint: &mut RefactorHint) {
+        let n = self.n;
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        for &s in &hint.slots {
+            self.dirty[self.row_of_slot[s as usize] as usize] = true;
+        }
+        hint.rows.clear();
+        for i in 0..n {
+            if !self.dirty[i] {
+                continue;
+            }
+            hint.rows.push(i as u32);
+            for k in self.child_ptr[i] as usize..self.child_ptr[i + 1] as usize {
+                self.dirty[self.child_row[k] as usize] = true;
+            }
+        }
+        hint.generation = self.schedule_generation;
+    }
+
+    /// Full factorization with scaled partial pivoting (the dense
+    /// reference rule), then symbolic fill analysis for the chosen
+    /// permutation and extraction of the numeric `L`/`U` values.
+    fn factor_pivoted(&mut self, pattern: &CsrPattern, vals: &[f64]) -> Result<(), SimError> {
+        let n = self.n;
+        // Dense scatter: the pivoted pass is rare (once per run in the
+        // common case) and circuits here have tens of unknowns, so a
+        // dense O(n³) pass is cheaper than threshold-pivoting sparse
+        // machinery.
+        let mut d = vec![0.0f64; n * n];
+        for r in 0..n {
+            for k in pattern.row_range(r) {
+                d[r * n + pattern.col_idx[k]] = vals[k];
+            }
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut scale = vec![0.0f64; n];
+        for (r, s) in scale.iter_mut().enumerate() {
+            let row_max = (0..n).map(|c| d[r * n + c].abs()).fold(0.0f64, f64::max);
+            *s = if row_max > 0.0 { 1.0 / row_max } else { 0.0 };
+        }
+        for k in 0..n {
+            let mut best_mag = 0.0f64;
+            for r in k..n {
+                best_mag = best_mag.max(d[r * n + k].abs() * scale[r]);
+            }
+            if best_mag <= 0.0 || !best_mag.is_finite() {
+                return Err(SimError::SingularMatrix { unknown: k });
+            }
+            // Threshold Markowitz: among rows within `MARKOWITZ_RTOL`
+            // of the best scaled magnitude, eliminate the sparsest
+            // (fewest active-submatrix nonzeros) first; break ties on
+            // magnitude. Minimizing fill here shrinks the compiled
+            // schedule every refactorization replays.
+            let mut pivot_row = k;
+            let mut pivot_cost = usize::MAX;
+            let mut pivot_mag = 0.0f64;
+            for r in k..n {
+                let mag = d[r * n + k].abs() * scale[r];
+                if mag >= MARKOWITZ_RTOL * best_mag {
+                    let cost = (k..n).filter(|&c| d[r * n + c] != 0.0).count();
+                    if cost < pivot_cost || (cost == pivot_cost && mag > pivot_mag) {
+                        pivot_row = r;
+                        pivot_cost = cost;
+                        pivot_mag = mag;
+                    }
+                }
+            }
+            if d[pivot_row * n + k].abs() < 1e-300 {
+                return Err(SimError::SingularMatrix { unknown: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    d.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+            }
+            let pivot = d[k * n + k];
+            for r in (k + 1)..n {
+                let factor = d[r * n + k] / pivot;
+                if factor.abs() == 0.0 {
+                    continue;
+                }
+                d[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    d[r * n + c] -= factor * d[k * n + c];
+                }
+            }
+        }
+        self.perm = perm;
+        self.symbolic(pattern);
+        // The symbolic pattern covers every position the elimination can
+        // touch, so gathering the dense factors through it is lossless.
+        self.base_ratio = vec![0.0; n];
+        self.inv_diag = vec![0.0; n];
+        for i in 0..n {
+            let mut row_max = 0.0f64;
+            for idx in self.lu_row_ptr[i]..self.lu_row_ptr[i + 1] {
+                let v = d[i * n + self.lu_cols[idx]];
+                self.lu_vals[idx] = v;
+                row_max = row_max.max(v.abs());
+            }
+            let diag = self.lu_vals[self.diag_idx[i]];
+            self.base_ratio[i] = if row_max > 0.0 { diag.abs() / row_max } else { 0.0 };
+            self.inv_diag[i] = 1.0 / diag;
+        }
+        // `base_ratio` is fresh; restart the periodic stale-scan clock.
+        self.stale_countdown = STALE_CHECK_PERIOD;
+        Ok(())
+    }
+
+    /// Symbolic elimination: per-row fill pattern of `L + U` for the
+    /// current permutation, as bitset unions of already-eliminated
+    /// upper rows.
+    fn symbolic(&mut self, pattern: &CsrPattern) {
+        let n = self.n;
+        let words = n.div_ceil(64);
+        // Upper-part (col > j) pattern of each eliminated row, kept as
+        // bitsets so later rows union them in O(n/64).
+        let mut upper: Vec<Vec<u64>> = Vec::with_capacity(n);
+        let mut row_set = vec![0u64; words];
+        self.lu_row_ptr = vec![0; n + 1];
+        self.lu_cols.clear();
+        self.diag_idx = vec![0; n];
+        for i in 0..n {
+            row_set.iter_mut().for_each(|w| *w = 0);
+            for &c in pattern.row_cols(self.perm[i]) {
+                row_set[c / 64] |= 1u64 << (c % 64);
+            }
+            // The diagonal always exists once pivoting succeeds (it may
+            // be pure fill).
+            row_set[i / 64] |= 1u64 << (i % 64);
+            // Walk set columns ascending; unions may add columns ahead
+            // of the cursor, which the walk then visits.
+            let mut j = next_bit(&row_set, 0);
+            while let Some(col) = j {
+                if col >= i {
+                    break;
+                }
+                for (w, u) in row_set.iter_mut().zip(&upper[col]) {
+                    *w |= u;
+                }
+                j = next_bit(&row_set, col + 1);
+            }
+            let mut up = vec![0u64; words];
+            let mut c = next_bit(&row_set, 0);
+            while let Some(col) = c {
+                if col == i {
+                    self.diag_idx[i] = self.lu_cols.len();
+                }
+                if col > i {
+                    up[col / 64] |= 1u64 << (col % 64);
+                }
+                self.lu_cols.push(col);
+                c = next_bit(&row_set, col + 1);
+            }
+            upper.push(up);
+            self.lu_row_ptr[i + 1] = self.lu_cols.len();
+        }
+        self.lu_vals = vec![0.0; self.lu_cols.len()];
+        self.compile_schedule(pattern);
+    }
+
+    /// Compiles the numeric refactorization into a flat schedule: where
+    /// each LU slot's initial value comes from, and the exact division
+    /// and multiply-subtract sequence of the elimination under the
+    /// current permutation. The numeric pass then runs with no pattern
+    /// walks, no column searches, and no scatter workspace.
+    fn compile_schedule(&mut self, pattern: &CsrPattern) {
+        let n = self.n;
+        let mut src_of = vec![u32::MAX; self.lu_cols.len()];
+        for (i, &pr) in self.perm.iter().enumerate() {
+            for k in pattern.row_range(pr) {
+                let slot = self
+                    .lu_slot(i, pattern.col_idx[k])
+                    .expect("symbolic fill covers the assembled pattern");
+                src_of[slot] = k as u32;
+            }
+        }
+        self.fill_slots.clear();
+        self.copy_dst.clear();
+        self.copy_src.clear();
+        for (slot, &s) in src_of.iter().enumerate() {
+            if s == u32::MAX {
+                self.fill_slots.push(slot as u32);
+            } else {
+                self.copy_dst.push(slot as u32);
+                self.copy_src.push(s);
+            }
+        }
+        self.elim_ops.clear();
+        self.upd_tgt.clear();
+        self.upd_src.clear();
+        self.elim_row_ptr = vec![0u32; n + 1];
+        for i in 0..n {
+            for idx in self.lu_row_ptr[i]..self.diag_idx[i] {
+                let j = self.lu_cols[idx];
+                let upd_start = self.upd_tgt.len() as u32;
+                for u in (self.diag_idx[j] + 1)..self.lu_row_ptr[j + 1] {
+                    let tgt = self
+                        .lu_slot(i, self.lu_cols[u])
+                        .expect("symbolic fill covers every elimination update");
+                    self.upd_tgt.push(tgt as u32);
+                    self.upd_src.push(u as u32);
+                }
+                self.elim_ops.push(ElimOp {
+                    l_slot: idx as u32,
+                    diag_row: j as u32,
+                    upd_start,
+                    upd_end: self.upd_tgt.len() as u32,
+                });
+            }
+            self.elim_row_ptr[i + 1] = self.elim_ops.len() as u32;
+        }
+        // Group the (slot-ordered, hence row-major) fill and copy lists
+        // by elimination row for the incremental refactor, and record
+        // each assembled slot's row for the diff-to-dirty-row mapping.
+        self.fill_row_ptr = vec![0u32; n + 1];
+        self.copy_row_ptr = vec![0u32; n + 1];
+        self.row_of_slot = vec![0u32; pattern.nnz()];
+        let (mut f, mut c) = (0usize, 0usize);
+        for i in 0..n {
+            let end = self.lu_row_ptr[i + 1] as u32;
+            while f < self.fill_slots.len() && self.fill_slots[f] < end {
+                f += 1;
+            }
+            while c < self.copy_dst.len() && self.copy_dst[c] < end {
+                self.row_of_slot[self.copy_src[c] as usize] = i as u32;
+                c += 1;
+            }
+            self.fill_row_ptr[i + 1] = f as u32;
+            self.copy_row_ptr[i + 1] = c as u32;
+        }
+        // Reverse dependency lists (children): rows that eliminate
+        // against row j, grouped by j via a counting sort.
+        self.child_ptr = vec![0u32; n + 1];
+        for op in &self.elim_ops {
+            self.child_ptr[op.diag_row as usize + 1] += 1;
+        }
+        for j in 0..n {
+            self.child_ptr[j + 1] += self.child_ptr[j];
+        }
+        self.child_row = vec![0u32; self.elim_ops.len()];
+        let mut cursor: Vec<u32> = self.child_ptr[..n].to_vec();
+        for i in 0..n {
+            for op in &self.elim_ops[self.elim_row_ptr[i] as usize..self.elim_row_ptr[i + 1] as usize]
+            {
+                let j = op.diag_row as usize;
+                self.child_row[cursor[j] as usize] = i as u32;
+                cursor[j] += 1;
+            }
+        }
+        self.validate_schedule(pattern);
+        self.schedule_generation += 1;
+    }
+
+    /// Proves every index the compiled schedule will replay is in
+    /// range, so the replay loops in [`SparseLu::refactor`] and
+    /// [`SparseLu::solve_into`] can skip per-access bounds checks.
+    /// Runs once per (re)compilation; panics on violation, which would
+    /// indicate a schedule-construction bug, not bad input.
+    fn validate_schedule(&self, pattern: &CsrPattern) {
+        let n = self.n;
+        let lu_nnz = self.lu_vals.len();
+        let nnz = pattern.nnz();
+        assert_eq!(self.lu_cols.len(), lu_nnz);
+        assert_eq!(self.lu_row_ptr.len(), n + 1);
+        assert_eq!(self.diag_idx.len(), n);
+        assert_eq!(self.row_of_slot.len(), nnz);
+        assert!(self.lu_row_ptr[n] == lu_nnz);
+        for i in 0..n {
+            assert!(self.lu_row_ptr[i] <= self.lu_row_ptr[i + 1]);
+            assert!(self.diag_idx[i] >= self.lu_row_ptr[i] && self.diag_idx[i] < self.lu_row_ptr[i + 1]);
+        }
+        for w in [&self.fill_row_ptr, &self.copy_row_ptr, &self.elim_row_ptr, &self.child_ptr] {
+            assert_eq!(w.len(), n + 1);
+            assert!(w.windows(2).all(|p| p[0] <= p[1]));
+        }
+        assert_eq!(self.fill_row_ptr[n] as usize, self.fill_slots.len());
+        assert_eq!(self.copy_row_ptr[n] as usize, self.copy_dst.len());
+        assert_eq!(self.elim_row_ptr[n] as usize, self.elim_ops.len());
+        assert_eq!(self.child_ptr[n] as usize, self.child_row.len());
+        assert_eq!(self.copy_dst.len(), self.copy_src.len());
+        assert!(self.fill_slots.iter().all(|&s| (s as usize) < lu_nnz));
+        assert!(self.copy_dst.iter().all(|&s| (s as usize) < lu_nnz));
+        assert!(self.copy_src.iter().all(|&s| (s as usize) < nnz));
+        assert!(self.row_of_slot.iter().all(|&r| (r as usize) < n));
+        assert!(self.child_row.iter().all(|&r| (r as usize) < n));
+        assert!(self.perm.len() == n && self.perm.iter().all(|&p| p < n));
+        assert!(self.lu_cols.iter().all(|&c| c < n));
+        for op in &self.elim_ops {
+            assert!((op.l_slot as usize) < lu_nnz);
+            assert!((op.diag_row as usize) < n);
+            assert!(op.upd_start <= op.upd_end && (op.upd_end as usize) <= self.upd_tgt.len());
+        }
+        assert_eq!(self.upd_tgt.len(), self.upd_src.len());
+        assert!(self.upd_tgt.iter().all(|&s| (s as usize) < lu_nnz));
+        assert!(self.upd_src.iter().all(|&s| (s as usize) < lu_nnz));
+    }
+
+    /// Slot of `(row, col)` in the LU storage, if present.
+    fn lu_slot(&self, row: usize, col: usize) -> Option<usize> {
+        let lo = self.lu_row_ptr[row];
+        let hi = self.lu_row_ptr[row + 1];
+        self.lu_cols[lo..hi].binary_search(&col).ok().map(|k| lo + k)
+    }
+
+    /// Fixed-pattern *incremental* refactorization: re-eliminates only
+    /// the rows whose assembled values changed since the factorization
+    /// currently held in `lu_vals`, plus the rows downstream of them in
+    /// the elimination order. A clean row's `L`/`U` values are a pure
+    /// function of unchanged inputs, so skipping it is bitwise
+    /// identical to re-running it — Newton iterations that touch only
+    /// the nonlinear-device rows pay only for those rows' elimination.
+    ///
+    /// The replay loops use unchecked indexing: every index they
+    /// consume was proven in range by [`SparseLu::validate_schedule`]
+    /// when the schedule was compiled, and the schedule arrays are
+    /// private and never mutated afterwards.
+    #[allow(unsafe_code)]
+    fn refactor(&mut self, pattern: &CsrPattern, vals: &[f64]) -> Result<u64, RefactorFail> {
+        assert_eq!(vals.len(), pattern.nnz());
+        assert_eq!(vals.len(), self.row_of_slot.len());
+        assert_eq!(vals.len(), self.vals_factored.len());
+        let n = self.n;
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        // Mark the rows whose assembled values changed since the
+        // factorization currently held in `lu_vals` (branchless: the
+        // mismatch rate is high enough that a predicted branch per
+        // slot costs more than the unconditional flag store).
+        //
+        // SAFETY: `row_of_slot[k] < n == dirty.len()` for all `k`
+        // (validate_schedule), and the zip bounds `k < row_of_slot.len()`.
+        for (k, (&v, &old)) in vals.iter().zip(self.vals_factored.iter()).enumerate() {
+            unsafe {
+                let r = *self.row_of_slot.get_unchecked(k) as usize;
+                *self.dirty.get_unchecked_mut(r) |= v != old;
+            }
+        }
+        let full_check = self.stale_countdown == 0;
+        let mut recomputed = 0u64;
+        for i in 0..n {
+            if !self.dirty[i] {
+                continue;
+            }
+            recomputed += 1;
+            // Propagate to the rows that eliminate against this one.
+            // Children always have higher indices, so one ascending
+            // pass reaches the whole downstream closure.
+            //
+            // SAFETY: `child_ptr` is monotone over `child_row` and
+            // every `child_row` entry is `< n` (validate_schedule).
+            unsafe {
+                let (plo, phi) = (self.child_ptr[i] as usize, self.child_ptr[i + 1] as usize);
+                for k in plo..phi {
+                    let ch = *self.child_row.get_unchecked(k) as usize;
+                    *self.dirty.get_unchecked_mut(ch) = true;
+                }
+            }
+            self.replay_row(i, vals, full_check)?;
+        }
+        self.stale_countdown =
+            if full_check { STALE_CHECK_PERIOD } else { self.stale_countdown - 1 };
+        Ok(recomputed)
+    }
+
+    /// Re-scatters row `i` from `vals`, eliminates it against the
+    /// already-factored rows `j < i`, and re-checks its pivot. Shared
+    /// between the diff-driven [`SparseLu::refactor`] and the
+    /// hint-driven [`SparseLu::factor_hinted`] replay loops.
+    ///
+    /// # Safety (of the internal unchecked indexing)
+    ///
+    /// Callers guarantee `i < n` and `vals.len() == pattern.nnz()`.
+    /// All schedule indices (`fill_slots`, `copy_dst`/`copy_src`,
+    /// `ElimOp` fields, `upd_tgt`/`upd_src`, row pointers, `diag_idx`)
+    /// were proven in range against `lu_vals`, `vals`, and `inv_diag`
+    /// by [`SparseLu::validate_schedule`] when the schedule was
+    /// compiled; none of those arrays is resized afterwards.
+    #[allow(unsafe_code)]
+    #[inline(always)]
+    fn replay_row(&mut self, i: usize, vals: &[f64], full_check: bool) -> Result<(), RefactorFail> {
+        unsafe {
+            let (flo, fhi) = (self.fill_row_ptr[i] as usize, self.fill_row_ptr[i + 1] as usize);
+            for k in flo..fhi {
+                let slot = *self.fill_slots.get_unchecked(k) as usize;
+                *self.lu_vals.get_unchecked_mut(slot) = 0.0;
+            }
+            let (clo, chi) = (self.copy_row_ptr[i] as usize, self.copy_row_ptr[i + 1] as usize);
+            for k in clo..chi {
+                let d = *self.copy_dst.get_unchecked(k) as usize;
+                let s = *self.copy_src.get_unchecked(k) as usize;
+                *self.lu_vals.get_unchecked_mut(d) = *vals.get_unchecked(s);
+            }
+            let (elo, ehi) = (self.elim_row_ptr[i] as usize, self.elim_row_ptr[i + 1] as usize);
+            for e in elo..ehi {
+                let op = self.elim_ops.get_unchecked(e);
+                let (l_slot, diag_row) = (op.l_slot as usize, op.diag_row as usize);
+                let (ulo, uhi) = (op.upd_start as usize, op.upd_end as usize);
+                let lij = *self.lu_vals.get_unchecked(l_slot) * *self.inv_diag.get_unchecked(diag_row);
+                *self.lu_vals.get_unchecked_mut(l_slot) = lij;
+                if lij != 0.0 {
+                    for u in ulo..uhi {
+                        let t = *self.upd_tgt.get_unchecked(u) as usize;
+                        let s = *self.upd_src.get_unchecked(u) as usize;
+                        *self.lu_vals.get_unchecked_mut(t) -= lij * *self.lu_vals.get_unchecked(s);
+                    }
+                }
+            }
+        }
+        // Watch the reused pivot (clean rows passed when last
+        // recomputed). Outright collapse is caught immediately; the
+        // relative decay check — a full scan of the row — runs on the
+        // periodic full-check passes only, since decay is gradual. A
+        // pivot is stale only when it is both suspect (tiny relative
+        // to its row) and decayed well below the ratio the pivoted
+        // pass achieved on this row — structurally tiny pivots that
+        // full pivoting also accepts are reused as-is.
+        let diag = self.lu_vals[self.diag_idx[i]];
+        let diag_abs = diag.abs();
+        if !diag_abs.is_finite() || diag_abs < 1e-300 {
+            return Err(RefactorFail::StalePivot);
+        }
+        if full_check {
+            let mut row_max = 0.0f64;
+            for &v in &self.lu_vals[self.lu_row_ptr[i]..self.lu_row_ptr[i + 1]] {
+                row_max = row_max.max(v.abs());
+            }
+            if diag_abs < REPIVOT_RTOL * row_max
+                && diag_abs < REPIVOT_DECAY * self.base_ratio[i] * row_max
+            {
+                return Err(RefactorFail::StalePivot);
+            }
+        }
+        self.inv_diag[i] = 1.0 / diag;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the current factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`SparseLu::factor`] or
+    /// with a wrong-length `b`.
+    pub fn solve(&mut self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.n);
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// [`SparseLu::solve`] into a caller-owned buffer, so per-iteration
+    /// callers (the Newton loop) allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`SparseLu::factor`] or
+    /// with a wrong-length `b`.
+    #[allow(unsafe_code)]
+    pub fn solve_into(&mut self, b: &[f64], x: &mut Vec<f64>) {
+        assert!(self.factored, "solve before factor");
+        assert_eq!(b.len(), self.n);
+        self.stats.solves += 1;
+        let n = self.n;
+        x.clear();
+        x.extend(self.perm.iter().map(|&pi| b[pi]));
+        // SAFETY: `x.len() == n` after the permuted gather; every
+        // `lu_cols` entry is `< n` and every row-pointer/diag index is
+        // in range over `lu_vals` (validate_schedule / factor_pivoted),
+        // and the triangular structure only references already-written
+        // entries of `x`.
+        unsafe {
+            for i in 0..n {
+                let (lo, di) = (self.lu_row_ptr[i], self.diag_idx[i]);
+                let mut acc = *x.get_unchecked(i);
+                for (&v, &c) in self
+                    .lu_vals
+                    .get_unchecked(lo..di)
+                    .iter()
+                    .zip(self.lu_cols.get_unchecked(lo..di))
+                {
+                    acc -= v * *x.get_unchecked(c);
+                }
+                *x.get_unchecked_mut(i) = acc;
+            }
+            for i in (0..n).rev() {
+                let (lo, hi) = (self.diag_idx[i] + 1, self.lu_row_ptr[i + 1]);
+                let mut acc = *x.get_unchecked(i);
+                for (&v, &c) in self
+                    .lu_vals
+                    .get_unchecked(lo..hi)
+                    .iter()
+                    .zip(self.lu_cols.get_unchecked(lo..hi))
+                {
+                    acc -= v * *x.get_unchecked(c);
+                }
+                *x.get_unchecked_mut(i) = acc * self.inv_diag.get_unchecked(i);
+            }
+        }
+    }
+
+    /// Forgets the pinned permutation and pattern (used when the
+    /// caller knows the value structure changed drastically, e.g.
+    /// between analyses).
+    pub fn reset(&mut self) {
+        self.factored = false;
+    }
+}
+
+/// Index of the first set bit at or after `from`, if any.
+fn next_bit(set: &[u64], from: usize) -> Option<usize> {
+    let words = set.len();
+    let mut w = from / 64;
+    if w >= words {
+        return None;
+    }
+    let mut cur = set[w] & (!0u64 << (from % 64));
+    loop {
+        if cur != 0 {
+            return Some(w * 64 + cur.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w >= words {
+            return None;
+        }
+        cur = set[w];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    fn dense_from(pattern: &CsrPattern, vals: &[f64]) -> Matrix<f64> {
+        let mut m = Matrix::zeros(pattern.size());
+        for r in 0..pattern.size() {
+            for k in pattern.row_range(r) {
+                m.set(r, pattern.col_idx[k], vals[k]);
+            }
+        }
+        m
+    }
+
+    fn tridiagonal(n: usize) -> (CsrPattern, Vec<f64>) {
+        let mut b = PatternBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i);
+            if i > 0 {
+                b.add(i, i - 1);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1);
+            }
+        }
+        let p = b.build();
+        let mut vals = vec![0.0; p.nnz()];
+        for i in 0..n {
+            vals[p.slot(i, i).unwrap()] = 4.0 + i as f64;
+            if i > 0 {
+                vals[p.slot(i, i - 1).unwrap()] = -1.0;
+            }
+            if i + 1 < n {
+                vals[p.slot(i, i + 1).unwrap()] = -1.5;
+            }
+        }
+        (p, vals)
+    }
+
+    #[test]
+    fn pattern_slots_resolve() {
+        let mut b = PatternBuilder::new(3);
+        b.add(0, 0);
+        b.add(2, 1);
+        b.add(0, 2);
+        let p = b.build();
+        assert_eq!(p.nnz(), 3);
+        assert!(p.slot(0, 0).is_some());
+        assert!(p.slot(0, 2).is_some());
+        assert!(p.slot(2, 1).is_some());
+        assert!(p.slot(1, 1).is_none());
+        assert_eq!(p.row_cols(0), &[0, 2]);
+    }
+
+    #[test]
+    fn matches_dense_solver() {
+        let (p, vals) = tridiagonal(12);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64) - 3.0).collect();
+        let mut lu = SparseLu::new(12);
+        lu.factor(&p, &vals).unwrap();
+        let x = lu.solve(&b);
+        let dense = dense_from(&p, &vals).solve(&b).unwrap();
+        for (a, d) in x.iter().zip(&dense) {
+            assert!((a - d).abs() < 1e-12, "{a} vs {d}");
+        }
+    }
+
+    #[test]
+    fn refactor_tracks_value_changes() {
+        let (p, mut vals) = tridiagonal(8);
+        let mut lu = SparseLu::new(8);
+        lu.factor(&p, &vals).unwrap();
+        assert_eq!(lu.stats.pivoted_factorizations, 1);
+        // Same values: factorization skipped entirely.
+        lu.factor(&p, &vals).unwrap();
+        assert_eq!(lu.stats.refactor_skips, 1);
+        // Perturbed values: fast refactor, not a fresh pivot pass.
+        vals[p.slot(3, 3).unwrap()] = 9.0;
+        lu.factor(&p, &vals).unwrap();
+        assert_eq!(lu.stats.refactorizations, 1);
+        assert_eq!(lu.stats.pivoted_factorizations, 1);
+        let b = vec![1.0; 8];
+        let x = lu.solve(&b);
+        let dense = dense_from(&p, &vals).solve(&b).unwrap();
+        for (a, d) in x.iter().zip(&dense) {
+            assert!((a - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stale_pivot_triggers_repivot() {
+        // Factor with a dominant diagonal, then collapse the pinned
+        // pivot so only a fresh pivot order can factor accurately.
+        let mut b = PatternBuilder::new(2);
+        for r in 0..2 {
+            for c in 0..2 {
+                b.add(r, c);
+            }
+        }
+        let p = b.build();
+        let mut vals = vec![0.0; 4];
+        vals[p.slot(0, 0).unwrap()] = 1.0;
+        vals[p.slot(0, 1).unwrap()] = 2.0;
+        vals[p.slot(1, 0).unwrap()] = 3.0;
+        vals[p.slot(1, 1).unwrap()] = 4.0;
+        let mut lu = SparseLu::new(2);
+        lu.factor(&p, &vals).unwrap();
+        // Scaled partial pivoting picked row 1 for the first column
+        // (|3|/4 > |1|/2); collapse that pinned pivot entry so the
+        // refactor's stale-pivot guard must trip. The relative decay
+        // scan runs once every STALE_CHECK_PERIOD refactorizations, so
+        // keep the row dirty until a full-check pass sees it.
+        for k in 0..=STALE_CHECK_PERIOD as u64 {
+            vals[p.slot(1, 0).unwrap()] = 1e-14 * (1.0 + k as f64 * 1e-3);
+            lu.factor(&p, &vals).unwrap();
+            if lu.stats.repivots > 0 {
+                break;
+            }
+        }
+        assert_eq!(lu.stats.repivots, 1);
+        let x = lu.solve(&[1.0, 2.0]);
+        let dense = dense_from(&p, &vals).solve(&[1.0, 2.0]).unwrap();
+        for (a, d) in x.iter().zip(&dense) {
+            assert!((a - d).abs() < 1e-6 * d.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn singular_reported_with_unknown() {
+        let mut b = PatternBuilder::new(2);
+        b.add(0, 0);
+        b.add(1, 1);
+        let p = b.build();
+        let vals = vec![1.0, 0.0];
+        let mut lu = SparseLu::new(2);
+        match lu.factor(&p, &vals) {
+            Err(SimError::SingularMatrix { unknown }) => assert_eq!(unknown, 1),
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_pattern_random_match() {
+        let mut seed: u64 = 0x2545f4914f6cdd1d;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in [1usize, 3, 7, 17, 33, 70] {
+            let mut b = PatternBuilder::new(n);
+            for r in 0..n {
+                for c in 0..n {
+                    b.add(r, c);
+                }
+            }
+            let p = b.build();
+            let mut vals = vec![0.0; p.nnz()];
+            for (k, v) in vals.iter_mut().enumerate() {
+                *v = next();
+                if k % (n + 1) == 0 {
+                    *v += n as f64;
+                }
+            }
+            for i in 0..n {
+                vals[p.slot(i, i).unwrap()] += n as f64;
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut lu = SparseLu::new(n);
+            lu.factor(&p, &vals).unwrap();
+            let x = lu.solve(&rhs);
+            let dense = dense_from(&p, &vals).solve(&rhs).unwrap();
+            for (a, d) in x.iter().zip(&dense) {
+                assert!((a - d).abs() < 1e-9 * d.abs().max(1.0), "n = {n}");
+            }
+        }
+    }
+}

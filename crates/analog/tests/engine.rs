@@ -3,7 +3,7 @@
 //! rectifier/demodulator circuits.
 
 use analog::{
-    AcSpec, Circuit, DiodeModel, MosModel, SourceFn, SwitchModel, TransientSpec,
+    AcSpec, Circuit, DiodeModel, MosModel, SourceFn, SwitchModel, TranConfig, TransientSpec,
 };
 use analog::analysis::Integration;
 use analog::waveform::Edge;
@@ -18,7 +18,7 @@ fn voltage_divider_dc() {
     ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(10.0));
     ckt.resistor("R1", vin, out, 3.0e3);
     ckt.resistor("R2", out, Circuit::GND, 7.0e3);
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     assert!((op.voltage("out").unwrap() - 7.0).abs() < 1e-6);
     // Source current: 10 V / 10 kΩ = 1 mA flowing out of the + terminal,
     // i.e. −1 mA in the p→n internal convention.
@@ -32,7 +32,7 @@ fn current_source_polarity() {
     let a = ckt.node("a");
     ckt.current_source("I1", a, Circuit::GND, SourceFn::dc(1.0e-3));
     ckt.resistor("R1", a, Circuit::GND, 1.0e3);
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     assert!((op.voltage("a").unwrap() - 1.0).abs() < 1e-6);
 }
 
@@ -47,7 +47,7 @@ fn rc_step_response_trapezoidal() {
     ckt.resistor("R1", vin, out, r);
     ckt.capacitor_with_ic("C1", out, Circuit::GND, c, 0.0);
     let res = ckt
-        .transient(&TransientSpec::new(5.0 * tau).with_max_step(tau / 100.0))
+        .compile().unwrap().tran(&TranConfig::builder(5.0 * tau).max_step(tau / 100.0).build())
         .unwrap();
     let w = res.trace("out").unwrap();
     for k in [0.5f64, 1.0, 2.0, 3.0] {
@@ -70,7 +70,7 @@ fn rc_step_response_backward_euler() {
     let spec = TransientSpec::new(5.0 * tau)
         .with_max_step(tau / 200.0)
         .with_method(Integration::BackwardEuler);
-    let res = ckt.transient(&spec).unwrap();
+    let res = ckt.compile().unwrap().tran(&TranConfig::from(&spec)).unwrap();
     let w = res.trace("out").unwrap();
     let expect = v0 * (1.0 - (-1.0f64).exp());
     assert!((w.value_at(tau) - expect).abs() < 0.02);
@@ -85,7 +85,7 @@ fn capacitor_initial_condition_discharge() {
     ckt.capacitor_with_ic("C1", a, Circuit::GND, c, 2.0);
     ckt.resistor("R1", a, Circuit::GND, r);
     let res = ckt
-        .transient(&TransientSpec::new(3.0 * tau).with_max_step(tau / 100.0))
+        .compile().unwrap().tran(&TranConfig::builder(3.0 * tau).max_step(tau / 100.0).build())
         .unwrap();
     let w = res.trace("a").unwrap();
     assert!((w.value_at(0.0) - 2.0).abs() < 0.02);
@@ -103,7 +103,7 @@ fn rl_current_rise() {
     ckt.resistor("R1", vin, mid, r);
     ckt.inductor_with_ic("L1", mid, Circuit::GND, l, 0.0);
     let res = ckt
-        .transient(&TransientSpec::new(5.0 * tau).with_max_step(tau / 100.0))
+        .compile().unwrap().tran(&TranConfig::builder(5.0 * tau).max_step(tau / 100.0).build())
         .unwrap();
     let i = res.current_trace("L1").unwrap();
     let expect = v0 / r * (1.0 - (-1.0f64).exp());
@@ -127,7 +127,7 @@ fn series_rlc_ringing_frequency() {
     ckt.inductor("L1", a, out, l);
     ckt.capacitor_with_ic("C1", out, Circuit::GND, c, 0.0);
     let res = ckt
-        .transient(&TransientSpec::new(20.0 / fd).with_max_step(1.0 / (fd * 200.0)))
+        .compile().unwrap().tran(&TranConfig::builder(20.0 / fd).max_step(1.0 / (fd * 200.0)).build())
         .unwrap();
     let w = res.trace("out").unwrap();
     // Measure ringing period from successive rising crossings of the final value.
@@ -149,7 +149,7 @@ fn diode_forward_drop() {
     ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(5.0));
     ckt.resistor("R1", vin, a, 4.3e3); // ≈ 1 mA
     ckt.diode("D1", a, Circuit::GND, DiodeModel::silicon());
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     let vd = op.voltage("a").unwrap();
     assert!((0.5..0.8).contains(&vd), "vd = {vd}");
     // Shockley consistency: i = is·exp(vd/vt)
@@ -165,7 +165,7 @@ fn diode_iv_sweep_monotonic() {
     ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(0.0));
     ckt.diode("D1", vin, Circuit::GND, DiodeModel::silicon());
     let values: Vec<f64> = (0..30).map(|i| i as f64 * 0.025).collect();
-    let sweep = ckt.dc_sweep("V1", &values).unwrap();
+    let sweep = ckt.compile().unwrap().dc_sweep("V1", &values).unwrap();
     let i = sweep.current_series("V1").unwrap();
     // Source current is −i_diode; magnitude must grow monotonically.
     for w in i.windows(2) {
@@ -185,7 +185,7 @@ fn half_wave_rectifier_with_smoothing() {
     ckt.capacitor("C1", out, Circuit::GND, 10.0e-6);
     ckt.resistor("RL", out, Circuit::GND, 10.0e3);
     let res = ckt
-        .transient(&TransientSpec::new(10.0e-3).with_max_step(2.0e-6))
+        .compile().unwrap().tran(&TranConfig::builder(10.0e-3).max_step(2.0e-6).build())
         .unwrap();
     let w = res.trace("out").unwrap();
     let v_settled = w.average_in(5.0e-3, 10.0e-3);
@@ -205,7 +205,7 @@ fn nmos_diode_connected_current() {
     ckt.voltage_source("V1", vdd, Circuit::GND, SourceFn::dc(1.8));
     ckt.resistor("R1", vdd, d, 10.0e3);
     ckt.mosfet("M1", d, d, Circuit::GND, Circuit::GND, m);
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     let vgs = op.voltage("d").unwrap();
     let i_r = (1.8 - vgs) / 10.0e3;
     // Saturation square law (diode-connected is always saturated).
@@ -230,7 +230,7 @@ fn cmos_inverter_transfer() {
     ckt.mosfet("MN", out, vin, Circuit::GND, Circuit::GND, nm);
     ckt.mosfet("MP", out, vin, vdd, vdd, pm);
     let values: Vec<f64> = (0..=18).map(|i| i as f64 * 0.1).collect();
-    let sweep = ckt.dc_sweep("VIN", &values).unwrap();
+    let sweep = ckt.compile().unwrap().dc_sweep("VIN", &values).unwrap();
     let vout = sweep.voltage_series("out").unwrap();
     // Rails at the ends, monotone falling in between.
     assert!(vout[0] > 1.75, "low input gives high output: {}", vout[0]);
@@ -255,7 +255,7 @@ fn switch_discharges_capacitor() {
         SourceFn::Pulse { v1: 0.0, v2: 3.0, delay: 1.0e-3, rise: 1e-7, fall: 1e-7, width: 5.0e-3, period: 0.0 },
     );
     let res = ckt
-        .transient(&TransientSpec::new(2.0e-3).with_max_step(5.0e-6))
+        .compile().unwrap().tran(&TranConfig::builder(2.0e-3).max_step(5.0e-6).build())
         .unwrap();
     let w = res.trace("a").unwrap();
     assert!(w.value_at(0.9e-3) > 4.99, "holds before the pulse");
@@ -277,7 +277,7 @@ fn coupled_inductors_transformer_ratio() {
     ckt.couple(l1, l2, 0.999);
     ckt.resistor("RL", sec, Circuit::GND, 100.0e3);
     let res = ckt
-        .transient(&TransientSpec::new(1.0e-3).with_max_step(2.0e-7))
+        .compile().unwrap().tran(&TranConfig::builder(1.0e-3).max_step(2.0e-7).build())
         .unwrap();
     let sec_w = res.trace("sec").unwrap();
     // Measure the secondary amplitude after start-up.
@@ -301,7 +301,7 @@ fn vcvs_and_vccs_gains() {
     // VCCS draws gm·v from c into ground; with gm negative it sources.
     ckt.vccs("G1", Circuit::GND, c, a, Circuit::GND, 2.0e-3);
     ckt.resistor("RC", c, Circuit::GND, 1.0e3);
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     assert!((op.voltage("b").unwrap() - 5.0).abs() < 1e-6);
     // G1: i(gnd→c) = gm·0.5 = 1 mA into node c → +1 V across RC.
     assert!((op.voltage("c").unwrap() - 1.0).abs() < 1e-6);
@@ -316,7 +316,7 @@ fn ac_rc_lowpass_corner() {
     ckt.voltage_source_ac("V1", vin, Circuit::GND, SourceFn::dc(0.0), 1.0, 0.0);
     ckt.resistor("R1", vin, out, r);
     ckt.capacitor("C1", out, Circuit::GND, c);
-    let res = ckt.ac(&AcSpec::log_sweep(10.0, 100.0e3, 40)).unwrap();
+    let res = ckt.compile().unwrap().ac(&AcSpec::log_sweep(10.0, 100.0e3, 40)).unwrap();
     let f3 = res.corner_frequency("out").unwrap();
     let expect = 1.0 / (TAU * r * c);
     assert!((f3 - expect).abs() / expect < 0.03, "corner {f3} vs {expect}");
@@ -338,7 +338,7 @@ fn ac_series_resonance() {
     ckt.resistor("R1", vin, a, r);
     ckt.inductor("L1", a, b, l);
     ckt.capacitor("C1", b, Circuit::GND, c);
-    let res = ckt.ac(&AcSpec::linear_sweep(0.8 * f0, 1.2 * f0, 201)).unwrap();
+    let res = ckt.compile().unwrap().ac(&AcSpec::linear_sweep(0.8 * f0, 1.2 * f0, 201)).unwrap();
     let i = res.phasors("I(V1)").unwrap();
     let (k_max, _) = i
         .iter()
@@ -370,7 +370,7 @@ fn am_source_envelope_detection() {
     ckt.capacitor("C1", det, Circuit::GND, 2.0e-9);
     ckt.resistor("R1", det, Circuit::GND, 20.0e3);
     let res = ckt
-        .transient(&TransientSpec::new(150.0e-6).with_max_step(5.0e-8))
+        .compile().unwrap().tran(&TranConfig::builder(150.0e-6).max_step(5.0e-8).build())
         .unwrap();
     let w = res.trace("det").unwrap();
     let hi1 = w.average_in(30e-6, 50e-6);
@@ -388,7 +388,7 @@ fn transient_stats_are_recorded() {
     let a = ckt.node("a");
     ckt.voltage_source("V1", a, Circuit::GND, SourceFn::sine(1.0, 1.0e3));
     ckt.resistor("R1", a, Circuit::GND, 1.0e3);
-    let res = ckt.transient(&TransientSpec::new(1.0e-3)).unwrap();
+    let res = ckt.compile().unwrap().tran(&TranConfig::builder(1.0e-3).build()).unwrap();
     let (accepted, _) = res.step_counts();
     assert!(accepted > 10);
     assert!(res.newton_iterations() >= accepted);
@@ -405,7 +405,7 @@ fn floating_node_is_pinned_not_fatal() {
     ckt.voltage_source("V1", a, Circuit::GND, SourceFn::dc(1.0));
     ckt.capacitor("C1", a, f, 1.0e-9);
     ckt.resistor("R1", a, Circuit::GND, 1.0e3);
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     assert!(op.voltage("floating").unwrap().abs() < 1e-3);
 }
 
@@ -419,7 +419,7 @@ fn power_traces_balance() {
     ckt.resistor("R1", a, b, 1.0e3);
     ckt.resistor("R2", b, Circuit::GND, 2.0e3);
     let res = ckt
-        .transient(&TransientSpec::new(2.0e-3).with_max_step(2.0e-6))
+        .compile().unwrap().tran(&TranConfig::builder(2.0e-3).max_step(2.0e-6).build())
         .unwrap();
     let p_src = ckt.power_trace(&res, "V1").unwrap();
     let p_r1 = ckt.power_trace(&res, "R1").unwrap();
@@ -444,7 +444,7 @@ fn power_trace_error_paths() {
     let a = ckt.node("a");
     ckt.voltage_source("V1", a, Circuit::GND, SourceFn::dc(1.0));
     ckt.diode("D1", a, Circuit::GND, DiodeModel::silicon());
-    let res = ckt.transient(&TransientSpec::new(1.0e-6)).unwrap();
+    let res = ckt.compile().unwrap().tran(&TranConfig::builder(1.0e-6).build()).unwrap();
     assert!(matches!(
         ckt.power_trace(&res, "nope"),
         Err(analog::SimError::NotFound(_))
@@ -459,7 +459,7 @@ fn power_trace_error_paths() {
 fn empty_circuit_is_invalid() {
     let ckt = Circuit::new();
     assert!(matches!(
-        ckt.dc_op(),
+        ckt.compile().and_then(|sim| sim.dc_op()),
         Err(analog::SimError::InvalidCircuit(_))
     ));
 }
@@ -474,10 +474,10 @@ fn ac_small_signal_of_biased_diode() {
     ckt.voltage_source_ac("V1", a, Circuit::GND, SourceFn::dc(5.0), 1.0, 0.0);
     ckt.resistor("R1", a, b, 4.3e3);
     ckt.diode("D1", b, Circuit::GND, DiodeModel::silicon());
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     let i_bias = (5.0 - op.voltage("b").unwrap()) / 4.3e3;
     let rd = 0.025852 / i_bias;
-    let res = ckt.ac(&AcSpec::single(1.0e3)).unwrap();
+    let res = ckt.compile().unwrap().ac(&AcSpec::single(1.0e3)).unwrap();
     let gain = res.phasors("b").unwrap()[0].abs();
     let expect = rd / (4.3e3 + rd);
     assert!(
@@ -499,12 +499,12 @@ fn ac_common_source_amplifier_gain() {
     ckt.resistor("RD", vdd, d, 10.0e3);
     ckt.mosfet("M1", d, g, Circuit::GND, Circuit::GND, m);
     // Expected gm from the square law at the bias point.
-    let op = ckt.dc_op().unwrap();
+    let op = ckt.compile().unwrap().dc_op().unwrap();
     let vd = op.voltage("d").unwrap();
     assert!(vd > 0.2 && vd < 1.6, "bias in the active region: {vd}");
     let (_, gm, gds, _) = m.eval_normalized(0.9, vd, 0.0);
     let expect = gm * (1.0 / (1.0 / 10.0e3 + gds));
-    let res = ckt.ac(&AcSpec::single(1.0e3)).unwrap();
+    let res = ckt.compile().unwrap().ac(&AcSpec::single(1.0e3)).unwrap();
     let gain = res.phasors("d").unwrap()[0].abs() / 1.0e-3;
     assert!(
         (gain - expect).abs() / expect < 0.05,
@@ -518,7 +518,7 @@ fn csv_export_round_trips_columns() {
     let a = ckt.node("a");
     ckt.voltage_source("V1", a, Circuit::GND, SourceFn::dc(1.0));
     ckt.resistor("R1", a, Circuit::GND, 1.0e3);
-    let res = ckt.transient(&TransientSpec::new(1.0e-6)).unwrap();
+    let res = ckt.compile().unwrap().tran(&TranConfig::builder(1.0e-6).build()).unwrap();
     let mut buf = Vec::new();
     res.write_csv(&mut buf).unwrap();
     let text = String::from_utf8(buf).unwrap();

@@ -1,7 +1,7 @@
 //! Round-trip tests: builder → netlist text → parser → same behaviour.
 
 use analog::parse::parse_netlist;
-use analog::{Circuit, DiodeModel, MosModel, SourceFn, SwitchModel, TransientSpec};
+use analog::{Circuit, DiodeModel, MosModel, SourceFn, SwitchModel, TranConfig, TransientSpec};
 
 #[test]
 fn divider_round_trip() {
@@ -13,7 +13,7 @@ fn divider_round_trip() {
     ckt.resistor("R2", b, Circuit::GND, 3.0e3);
     let text = ckt.to_netlist();
     let back = parse_netlist(&text).expect("round-trips");
-    let (op1, op2) = (ckt.dc_op().unwrap(), back.dc_op().unwrap());
+    let (op1, op2) = (ckt.compile().unwrap().dc_op().unwrap(), back.compile().unwrap().dc_op().unwrap());
     assert!((op1.voltage("b").unwrap() - op2.voltage("b").unwrap()).abs() < 1e-12);
     assert!((op2.voltage("b").unwrap() - 3.0).abs() < 1e-6);
 }
@@ -33,7 +33,7 @@ fn nonlinear_circuit_round_trip() {
     ckt.switch("S1", sw, Circuit::GND, ctl, Circuit::GND, SwitchModel::logic());
     let text = ckt.to_netlist();
     let back = parse_netlist(&text).expect("round-trips");
-    let (op1, op2) = (ckt.dc_op().unwrap(), back.dc_op().unwrap());
+    let (op1, op2) = (ckt.compile().unwrap().dc_op().unwrap(), back.compile().unwrap().dc_op().unwrap());
     for node in ["d", "sw"] {
         let (v1, v2) = (op1.voltage(node).unwrap(), op2.voltage(node).unwrap());
         assert!((v1 - v2).abs() < 1e-9, "{node}: {v1} vs {v2}");
@@ -55,8 +55,8 @@ fn dynamic_circuit_round_trip_transient() {
     ckt.capacitor_with_ic("C1", b, Circuit::GND, 15.9e-9, 0.0);
     let back = parse_netlist(&ckt.to_netlist()).expect("round-trips");
     let spec = TransientSpec::new(200.0e-6).with_max_step(0.5e-6);
-    let w1 = ckt.transient(&spec).unwrap().trace("b").unwrap();
-    let w2 = back.transient(&spec).unwrap().trace("b").unwrap();
+    let w1 = ckt.compile().unwrap().tran(&TranConfig::from(&spec)).unwrap().trace("b").unwrap();
+    let w2 = back.compile().unwrap().tran(&TranConfig::from(&spec)).unwrap().trace("b").unwrap();
     for k in 1..10 {
         let t = k as f64 * 20.0e-6;
         assert!((w1.value_at(t) - w2.value_at(t)).abs() < 1e-6, "t = {t}");

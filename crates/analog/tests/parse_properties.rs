@@ -41,7 +41,7 @@ proptest! {
         }
         let text = ckt.to_netlist();
         let back = parse_netlist(&text).expect("round-trips");
-        let (op1, op2) = (ckt.dc_op().unwrap(), back.dc_op().unwrap());
+        let (op1, op2) = (ckt.compile().unwrap().dc_op().unwrap(), back.compile().unwrap().dc_op().unwrap());
         for i in 0..6 {
             let name = format!("n{i}");
             let (a, b) = (op1.voltage(&name).unwrap(), op2.voltage(&name).unwrap());

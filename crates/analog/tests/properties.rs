@@ -2,7 +2,7 @@
 
 //! Property-based tests on the simulator's core invariants.
 
-use analog::{Circuit, SourceFn, TransientSpec};
+use analog::{Circuit, SourceFn, TranConfig, TransientSpec};
 use analog::linalg::Matrix;
 use proptest::prelude::*;
 
@@ -23,7 +23,7 @@ proptest! {
         ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(v));
         ckt.resistor("R1", vin, out, r1);
         ckt.resistor("R2", out, Circuit::GND, r2);
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         let expect = v * r2 / (r1 + r2);
         prop_assert!((op.voltage("out").unwrap() - expect).abs() < 1e-6 + 1e-6 * expect.abs());
     }
@@ -46,7 +46,7 @@ proptest! {
             ckt.resistor("R1", a, out, r);
             ckt.resistor("R2", b, out, 2.0 * r);
             ckt.resistor("R3", out, Circuit::GND, 3.0 * r);
-            ckt.dc_op().unwrap().voltage("out").unwrap()
+            ckt.compile().unwrap().dc_op().unwrap().voltage("out").unwrap()
         };
         let both = solve(v1, v2);
         let sum = solve(v1, 0.0) + solve(0.0, v2);
@@ -70,7 +70,7 @@ proptest! {
         ckt.resistor("R1", vin, out, r);
         ckt.capacitor_with_ic("C1", out, Circuit::GND, c, 0.0);
         let res = ckt
-            .transient(&TransientSpec::new(2.0 * tau).with_max_step(tau / 50.0))
+            .compile().unwrap().tran(&TranConfig::builder(2.0 * tau).max_step(tau / 50.0).build())
             .unwrap();
         let v_tau = res.trace("out").unwrap().value_at(tau);
         let expect = 1.0 - (-1.0f64).exp();
@@ -118,7 +118,7 @@ proptest! {
         ckt.resistor("R1", a, b, r1);
         ckt.resistor("R2", b, Circuit::GND, r2);
         ckt.resistor("R3", b, Circuit::GND, r3);
-        let op = ckt.dc_op().unwrap();
+        let op = ckt.compile().unwrap().dc_op().unwrap();
         let vb = op.voltage("b").unwrap();
         let i_src = op.current("V1").unwrap();
         let p_src = -v * i_src; // source delivers −v·i(p→n)
@@ -145,8 +145,8 @@ proptest! {
         };
         let spec_tr = TransientSpec::new(2.0 * tau).with_max_step(tau / 100.0);
         let spec_be = spec_tr.clone().with_method(Integration::BackwardEuler);
-        let w_tr = build().transient(&spec_tr).unwrap().trace("out").unwrap();
-        let w_be = build().transient(&spec_be).unwrap().trace("out").unwrap();
+        let w_tr = build().compile().unwrap().tran(&TranConfig::from(&spec_tr)).unwrap().trace("out").unwrap();
+        let w_be = build().compile().unwrap().tran(&TranConfig::from(&spec_be)).unwrap().trace("out").unwrap();
         for k in [0.5, 1.0, 1.5] {
             prop_assert!((w_tr.value_at(k * tau) - w_be.value_at(k * tau)).abs() < 0.02);
         }

@@ -3,7 +3,7 @@
 //! must move the right way.
 
 use analog::parse::parse_netlist;
-use analog::{Circuit, DiodeModel, MosModel, SourceFn, TransientSpec};
+use analog::{Circuit, DiodeModel, MosModel, SourceFn, TranConfig};
 
 /// Diode forward drop at a fixed bias current and temperature.
 fn diode_drop_at(t_celsius: f64) -> f64 {
@@ -12,7 +12,7 @@ fn diode_drop_at(t_celsius: f64) -> f64 {
     let a = ckt.node("a");
     ckt.current_source("I1", a, Circuit::GND, SourceFn::dc(1.0e-3));
     ckt.diode("D1", a, Circuit::GND, DiodeModel::silicon());
-    ckt.dc_op().unwrap().voltage("a").unwrap()
+    ckt.compile().unwrap().dc_op().unwrap().voltage("a").unwrap()
 }
 
 #[test]
@@ -40,7 +40,7 @@ fn body_temperature_rectifier_output_is_higher() {
         ckt.capacitor("C1", out, Circuit::GND, 5.0e-9);
         ckt.resistor("RL", out, Circuit::GND, 10.0e3);
         let res = ckt
-            .transient(&TransientSpec::new(10.0e-6).with_max_step(8.0e-9))
+            .compile().unwrap().tran(&TranConfig::builder(10.0e-6).max_step(8.0e-9).build())
             .unwrap();
         res.trace("out").unwrap().average_in(8.0e-6, 10.0e-6)
     };
@@ -88,9 +88,9 @@ fn temp_card_parses_and_round_trips() {
     let back = parse_netlist(&text).unwrap();
     assert!((back.temperature() - 37.0).abs() < 1e-12);
     // And the temperature actually changes the solution.
-    let v37 = ckt.dc_op().unwrap().voltage("a").unwrap();
+    let v37 = ckt.compile().unwrap().dc_op().unwrap().voltage("a").unwrap();
     let mut cold = ckt.clone();
     cold.set_temperature(0.0);
-    let v0 = cold.dc_op().unwrap().voltage("a").unwrap();
+    let v0 = cold.compile().unwrap().dc_op().unwrap().voltage("a").unwrap();
     assert!(v0 > v37, "colder diode drops more: {v0} vs {v37}");
 }

@@ -2,7 +2,7 @@
 //! behind every experiment (transient step rate on the paper's circuits,
 //! DC solves, AC sweeps).
 
-use analog::{AcSpec, Circuit, SourceFn, TransientSpec};
+use analog::{AcSpec, Circuit, SourceFn, TranConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmu::rectifier::RectifierCircuit;
 use std::hint::black_box;
@@ -23,9 +23,9 @@ fn bench_transient(c: &mut Criterion) {
     let mut group = c.benchmark_group("transient");
     group.sample_size(10);
     group.bench_function("rectifier_10us_at_5mhz", |b| {
-        let ckt = rectifier_bench_circuit();
-        let spec = TransientSpec::new(10.0e-6).with_max_step(8.0e-9);
-        b.iter(|| black_box(ckt.transient(&spec).expect("simulates")));
+        let sim = rectifier_bench_circuit().compile().expect("compiles");
+        let cfg = TranConfig::builder(10.0e-6).max_step(8.0e-9).build();
+        b.iter(|| black_box(sim.tran(&cfg).expect("simulates")));
     });
     group.bench_function("rc_step_1000_points", |b| {
         let mut ckt = Circuit::new();
@@ -34,16 +34,17 @@ fn bench_transient(c: &mut Criterion) {
         ckt.voltage_source("V1", vin, Circuit::GND, SourceFn::dc(5.0));
         ckt.resistor("R1", vin, out, 1.0e3);
         ckt.capacitor_with_ic("C1", out, Circuit::GND, 1.0e-6, 0.0);
-        let spec = TransientSpec::new(5.0e-3).with_max_step(5.0e-6);
-        b.iter(|| black_box(ckt.transient(&spec).expect("simulates")));
+        let sim = ckt.compile().expect("compiles");
+        let cfg = TranConfig::builder(5.0e-3).max_step(5.0e-6).build();
+        b.iter(|| black_box(sim.tran(&cfg).expect("simulates")));
     });
     group.finish();
 }
 
 fn bench_dc(c: &mut Criterion) {
     c.bench_function("dc_op_rectifier", |b| {
-        let ckt = rectifier_bench_circuit();
-        b.iter(|| black_box(ckt.dc_op().expect("solves")));
+        let sim = rectifier_bench_circuit().compile().expect("compiles");
+        b.iter(|| black_box(sim.dc_op().expect("solves")));
     });
 }
 
@@ -51,8 +52,9 @@ fn bench_ac(c: &mut Criterion) {
     c.bench_function("ac_sweep_401_points_matching_network", |b| {
         let m = link::matching::CapacitiveMatch::design(10.0e-6, 3.0, 5.0e6, 150.0);
         let ckt = m.bench(1.0);
+        let sim = ckt.compile().expect("compiles");
         let spec = AcSpec::linear_sweep(2.5e6, 7.5e6, 401);
-        b.iter(|| black_box(ckt.ac(&spec).expect("solves")));
+        b.iter(|| black_box(sim.ac(&spec).expect("solves")));
     });
 }
 

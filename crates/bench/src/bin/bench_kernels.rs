@@ -12,6 +12,13 @@
 //! per-phase breakdown (`fig11.build` / `fig11.transient` / … from the
 //! [`obs`] registry) lands in the JSON's `stages` object.
 //!
+//! Since the compile→simulate split, the `fig11` kernel runs on the
+//! compiled sparse engine and a `fig11_interp` kernel re-times the same
+//! scenario on the dense reference engine. The `compiled` object in the
+//! JSON carries the engine's own per-phase accounting (lowering time,
+//! assemble/factorize/solve nanoseconds, refactor-skip rate) plus the
+//! interpreter-vs-compiled p50 speedup that `bench_validate` gates on.
+//!
 //! ```text
 //! cargo run --release --bin bench_kernels -- --json BENCH_kernels.json
 //! cargo run --release --bin bench_kernels -- --smoke --json BENCH_kernels.json
@@ -77,22 +84,31 @@ impl Args {
 
 /// Runs `f` `repeats` times and reports its latency distribution. The
 /// result is folded into a checksum so the optimizer cannot elide the
-/// kernel.
-fn time_kernel(name: &str, repeats: usize, mut f: impl FnMut() -> f64) -> (LatencyHistogram, f64) {
+/// kernel. Alongside the (√2-bucketed) histogram, the best raw
+/// duration is returned for ratio math — bucket quantization would put
+/// up to ±41% of noise on a speedup computed from two p50s.
+fn time_kernel(
+    name: &str,
+    repeats: usize,
+    mut f: impl FnMut() -> f64,
+) -> (LatencyHistogram, f64, std::time::Duration) {
     let mut hist = LatencyHistogram::new();
     let mut checksum = 0.0;
+    let mut best = std::time::Duration::MAX;
     for _ in 0..repeats {
         let started = Instant::now();
         checksum += f();
-        hist.record(started.elapsed());
+        let took = started.elapsed();
+        best = best.min(took);
+        hist.record(took);
     }
     println!(
-        "  {name:<11} {repeats} runs · p50 {:?} · p95 {:?} · p99 {:?}",
+        "  {name:<11} {repeats} runs · best {best:.3?} · p50 {:?} · p95 {:?} · p99 {:?}",
         hist.p50(),
         hist.p95(),
         hist.p99(),
     );
-    (hist, checksum)
+    (hist, checksum, best)
 }
 
 fn main() {
@@ -111,13 +127,30 @@ fn main() {
     let mut kernels: Vec<(&str, LatencyHistogram)> = Vec::new();
 
     let fullchain_cycles = if args.smoke { 15 } else { 30 };
-    let (hist, vo) = time_kernel("fig11", repeats, || {
+    let (hist, vo, fig11_compiled_best) = time_kernel("fig11", repeats, || {
         Fig11Scenario::shortened().run().expect("fig11 runs").vo_worst()
     });
     assert!(vo.is_finite(), "fig11 produced a non-finite Vo");
     kernels.push(("fig11", hist));
 
-    let (hist, vo) = time_kernel("fullchain", repeats, || {
+    // The same scenario on the dense reference engine: the denominator
+    // of the compile-win claim. One rep is enough — it is the slow side.
+    let interp_repeats = repeats.min(2);
+    let (hist, vo, fig11_interp_best) = time_kernel("fig11_interp", interp_repeats, || {
+        Fig11Scenario::shortened().run_reference().expect("fig11 reference runs").vo_worst()
+    });
+    assert!(vo.is_finite(), "fig11_interp produced a non-finite Vo");
+    kernels.push(("fig11_interp", hist));
+
+    let fig11_speedup =
+        duration_us(fig11_interp_best) / duration_us(fig11_compiled_best).max(1e-9);
+    println!("  fig11 speedup: {fig11_speedup:.2}x (best interp run / best compiled run)");
+
+    // One profiled compiled run for the engine's own phase accounting.
+    let (_, stats, compile_ns) =
+        Fig11Scenario::shortened().run_profiled().expect("profiled fig11 runs");
+
+    let (hist, vo, _) = time_kernel("fullchain", repeats, || {
         let mut scenario = FullChainScenario::ironic();
         scenario.cycles = fullchain_cycles;
         scenario.run().expect("fullchain runs").vo_steady()
@@ -126,13 +159,13 @@ fn main() {
     kernels.push(("fullchain", hist));
 
     let mc_trials = args.mc_trials;
-    let (hist, yield_sum) = time_kernel("montecarlo", repeats, || {
+    let (hist, yield_sum, _) = time_kernel("montecarlo", repeats, || {
         MonteCarloStudy::ironic().run_serial(mc_trials).yield_fraction()
     });
     assert!(yield_sum.is_finite(), "montecarlo produced a non-finite yield");
     kernels.push(("montecarlo", hist));
 
-    let (hist, power_sum) = time_kernel("sweep", repeats, || {
+    let (hist, power_sum, _) = time_kernel("sweep", repeats, || {
         let budget = PowerBudget::ironic_air();
         (0..16).map(|i| budget.received_power((2.0 + i as f64 * 2.0) * 1e-3)).sum()
     });
@@ -163,8 +196,28 @@ fn main() {
                 })
                 .collect(),
         );
+        let compiled_json = Json::obj(vec![
+            ("compile_us", Json::Num(compile_ns as f64 / 1e3)),
+            ("unknowns", Json::Num(stats.unknowns as f64)),
+            ("nonzeros", Json::Num(stats.nonzeros as f64)),
+            ("newton_iterations", Json::Num(stats.newton_iterations as f64)),
+            ("assemble_ms", Json::Num(stats.assemble_ns as f64 / 1e6)),
+            ("factor_ms", Json::Num(stats.factor_ns as f64 / 1e6)),
+            ("solve_ms", Json::Num(stats.solve_ns as f64 / 1e6)),
+            ("pivoted_factorizations", Json::Num(stats.lu.pivoted_factorizations as f64)),
+            ("refactorizations", Json::Num(stats.lu.refactorizations as f64)),
+            (
+                "rows_recomputed_per_refactor",
+                Json::Num(
+                    stats.lu.rows_recomputed as f64 / (stats.lu.refactorizations as f64).max(1.0),
+                ),
+            ),
+            ("refactor_skips", Json::Num(stats.lu.refactor_skips as f64)),
+            ("refactor_skip_rate", Json::Num(stats.refactor_skip_rate())),
+            ("fig11_speedup", Json::Num(fig11_speedup)),
+        ]);
         let doc = Json::obj(vec![
-            ("schema", Json::Str("implant-bench-kernels/1".to_string())),
+            ("schema", Json::Str("implant-bench-kernels/2".to_string())),
             (
                 "config",
                 Json::obj(vec![
@@ -175,6 +228,7 @@ fn main() {
                 ]),
             ),
             ("kernels", kernels_json),
+            ("compiled", compiled_json),
             ("stages", stages_json(&rows)),
         ]);
         bench::write_bench_json(path, &doc);

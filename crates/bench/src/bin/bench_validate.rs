@@ -85,7 +85,7 @@ fn validate_serve(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     validate_stages(errors, file, doc);
 }
 
-fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
+fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json, compiled: bool) {
     let Some(Json::Obj(kernels)) = doc.get("kernels") else {
         check(errors, file, false, "missing kernels object");
         return;
@@ -105,6 +105,52 @@ fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
                 file,
                 kernel.get(key).and_then(Json::as_f64).is_some_and(f64::is_finite),
                 &format!("kernel {name:?} missing numeric {key}"),
+            );
+        }
+    }
+    if compiled {
+        check(
+            errors,
+            file,
+            kernels.iter().any(|(k, _)| k == "fig11_interp"),
+            "kernel \"fig11_interp\" missing",
+        );
+        for key in [
+            "compile_us",
+            "unknowns",
+            "nonzeros",
+            "newton_iterations",
+            "assemble_ms",
+            "factor_ms",
+            "solve_ms",
+            "pivoted_factorizations",
+            "refactorizations",
+            "refactor_skips",
+            "refactor_skip_rate",
+            "fig11_speedup",
+        ] {
+            require_num(errors, file, doc, "compiled", key);
+        }
+        // The compile-win gate: a compiled engine that is not at least
+        // 5x faster than the interpreter on fig11 is a regression.
+        let speedup =
+            doc.get("compiled").and_then(|c| c.get("fig11_speedup")).and_then(Json::as_f64);
+        if let Some(speedup) = speedup {
+            check(
+                errors,
+                file,
+                speedup >= 5.0,
+                &format!("compiled fig11 speedup {speedup:.2}x is below the 5x floor"),
+            );
+        }
+        let skip_rate =
+            doc.get("compiled").and_then(|c| c.get("refactor_skip_rate")).and_then(Json::as_f64);
+        if let Some(rate) = skip_rate {
+            check(
+                errors,
+                file,
+                (0.0..=1.0).contains(&rate),
+                &format!("refactor_skip_rate {rate} outside [0, 1]"),
             );
         }
     }
@@ -298,7 +344,8 @@ fn validate_file(errors: &mut Vec<Violation>, file: &str) {
     }
     match doc.get("schema").and_then(Json::as_str) {
         Some("implant-bench-serve/1") => validate_serve(errors, file, &doc),
-        Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc),
+        Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc, false),
+        Some("implant-bench-kernels/2") => validate_kernels(errors, file, &doc, true),
         Some("implant-bench-cluster/1") => validate_cluster(errors, file, &doc),
         Some("implant-bench-fanin/1") => validate_fanin(errors, file, &doc),
         Some("implant-bench-scenario/1") => validate_scenario(errors, file, &doc),
@@ -405,6 +452,78 @@ mod tests {
             fanin_errors(&doc).iter().any(|r| r.contains("stages object is empty")),
             "{:?}",
             fanin_errors(&doc)
+        );
+    }
+
+    /// A minimal artifact satisfying every `implant-bench-kernels/2`
+    /// check, including the compiled-engine object and the 5x gate.
+    fn kernels2_doc() -> String {
+        r#"{"schema":"implant-bench-kernels/2",
+            "config":{"repeats":2,"mc_trials":50,"fullchain_cycles":15,"smoke":true},
+            "kernels":{
+              "fig11":{"runs":2,"p50_us":500000.0,"p95_us":510000.0,"p99_us":520000.0},
+              "fig11_interp":{"runs":2,"p50_us":6000000.0,"p95_us":6100000.0,"p99_us":6200000.0},
+              "fullchain":{"runs":2,"p50_us":20000.0,"p95_us":21000.0,"p99_us":22000.0},
+              "montecarlo":{"runs":2,"p50_us":11000.0,"p95_us":12000.0,"p99_us":13000.0},
+              "sweep":{"runs":2,"p50_us":180.0,"p95_us":190.0,"p99_us":200.0}},
+            "compiled":{"compile_us":120.0,"unknowns":24.0,"nonzeros":120.0,
+              "newton_iterations":80000.0,"assemble_ms":40.0,"factor_ms":90.0,
+              "solve_ms":60.0,"pivoted_factorizations":4.0,"refactorizations":30000.0,
+              "refactor_skips":45000.0,"refactor_skip_rate":0.6,"fig11_speedup":12.0},
+            "stages":{"fig11.transient":{"count":2,"total_us":1000000.0,"share":0.9,
+                      "p50_us":500000.0,"p95_us":510000.0,"p99_us":520000.0}}}"#
+            .to_string()
+    }
+
+    fn kernels2_errors(text: &str) -> Vec<String> {
+        let doc = Json::parse(text).expect("test doc parses");
+        let mut errors = Vec::new();
+        validate_kernels(&mut errors, "test.json", &doc, true);
+        errors.into_iter().map(|Violation(_, reason)| reason).collect()
+    }
+
+    #[test]
+    fn well_formed_kernels2_artifact_validates() {
+        assert_eq!(kernels2_errors(&kernels2_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn kernels2_slow_compiled_engine_is_rejected() {
+        let doc = kernels2_doc().replace(r#""fig11_speedup":12.0"#, r#""fig11_speedup":3.0"#);
+        assert!(
+            kernels2_errors(&doc).iter().any(|r| r.contains("below the 5x floor")),
+            "{:?}",
+            kernels2_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn kernels2_missing_interp_kernel_is_rejected() {
+        let doc = kernels2_doc().replace(r#""fig11_interp""#, r#""fig11_other""#);
+        assert!(
+            kernels2_errors(&doc).iter().any(|r| r.contains("fig11_interp")),
+            "{:?}",
+            kernels2_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn kernels2_missing_compiled_field_is_rejected() {
+        let doc = kernels2_doc().replace(r#""refactor_skip_rate":0.6,"#, "");
+        assert!(
+            kernels2_errors(&doc).iter().any(|r| r.contains("compiled.refactor_skip_rate")),
+            "{:?}",
+            kernels2_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn kernels2_bogus_skip_rate_is_rejected() {
+        let doc = kernels2_doc().replace(r#""refactor_skip_rate":0.6"#, r#""refactor_skip_rate":1.4"#);
+        assert!(
+            kernels2_errors(&doc).iter().any(|r| r.contains("outside [0, 1]")),
+            "{:?}",
+            kernels2_errors(&doc)
         );
     }
 

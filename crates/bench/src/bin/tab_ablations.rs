@@ -17,7 +17,7 @@
 
 use bench::{banner, verdict};
 use analog::analysis::Integration;
-use analog::{Circuit, SourceFn, TransientSpec};
+use analog::{Circuit, SourceFn, TranConfig, TransientSpec};
 use biosensor::SigmaDeltaAdc;
 use comms::bits::BitStream;
 use comms::lsk::{reflected_current, LskDetector};
@@ -40,7 +40,7 @@ fn a1_max_vo(n_clamps: usize) -> f64 {
         SourceFn::dc(1.8),
     );
     let res = ckt
-        .transient(&TransientSpec::new(10.0e-6).with_max_step(8.0e-9))
+        .compile().unwrap().tran(&TranConfig::builder(10.0e-6).max_step(8.0e-9).build())
         .expect("a1 simulates");
     res.trace("vo").expect("vo").max()
 }
@@ -62,7 +62,7 @@ fn a2_droop(m2_always_closed: bool) -> f64 {
         SourceFn::dc(0.0),
     );
     let res = ckt
-        .transient(&TransientSpec::new(50.0e-6).with_max_step(10.0e-9))
+        .compile().unwrap().tran(&TranConfig::builder(50.0e-6).max_step(10.0e-9).build())
         .expect("a2 simulates");
     let vo = res.trace("vo").expect("vo");
     vo.value_at(0.0) - vo.final_value()
@@ -80,7 +80,7 @@ fn a3_worst_error(method: Integration) -> f64 {
         .with_max_step(100.0e-6)
         .with_method(method)
         .without_lte();
-    let res = ckt.transient(&spec).expect("a3 simulates");
+    let res = ckt.compile().unwrap().tran(&TranConfig::from(&spec)).expect("a3 simulates");
     let w = res.trace("out").expect("out");
     let mut worst: f64 = 0.0;
     for k in 1..=20 {

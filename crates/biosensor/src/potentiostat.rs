@@ -183,7 +183,7 @@ mod circuit_tests {
         let cfg = PotentiostatCircuit::at_cell_current(i_cell);
         let mut ckt = analog::Circuit::new();
         let nodes = cfg.build(&mut ckt);
-        let op = ckt.dc_op().expect("loop solves");
+        let op = ckt.compile().unwrap().dc_op().expect("loop solves");
         let name = |n| ckt.node_name(n).to_string();
         (
             op.voltage(&name(nodes.ce)).unwrap(),

@@ -9,7 +9,7 @@
 //! if the rectifier output regulates above 2.1 V here, every link of the
 //! paper's chain works together, not just in isolation.
 
-use analog::{Circuit, SimError, SourceFn, SwitchModel, TransientSpec, Waveform};
+use analog::{Circuit, SimError, SourceFn, SwitchModel, TranConfig, Waveform};
 use coils::mutual::CoilPair;
 use comms::bits::BitStream;
 use comms::lsk::{LskDetector, LskModulator};
@@ -164,10 +164,14 @@ impl FullChainScenario {
             let _build = obs::span!("fullchain.build");
             self.build()
         };
-        let spec = TransientSpec::new(t_stop).with_max_step(period / 40.0);
+        let sim = {
+            let _compile = obs::span!("fullchain.compile");
+            ckt.compile()?
+        };
+        let cfg = TranConfig::builder(t_stop).max_step(period / 40.0).build();
         let res = {
             let _transient = obs::span!("fullchain.transient");
-            ckt.transient(&spec)?
+            sim.tran(&cfg)?
         };
         let _measure = obs::span!("fullchain.measure");
         let vo = res.trace("vo").expect("vo traced");

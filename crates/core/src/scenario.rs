@@ -1,7 +1,7 @@
 //! The Fig. 11 experiment: a transistor-level transient of the full
 //! power-management module under downlink and uplink communication.
 
-use analog::{Circuit, SimError, SourceFn, TransientSpec, Waveform};
+use analog::{Circuit, SimError, SourceFn, TranConfig, Waveform};
 use comms::ask::AskModulator;
 use comms::bits::BitStream;
 use comms::lsk::LskModulator;
@@ -125,11 +125,56 @@ impl Fig11Scenario {
             let _build = obs::span!("fig11.build");
             self.build()
         };
-        let spec = TransientSpec::new(self.t_stop).with_max_step(self.max_step);
+        let sim = {
+            let _compile = obs::span!("fig11.compile");
+            ckt.compile()?
+        };
+        let cfg = TranConfig::builder(self.t_stop).max_step(self.max_step).build();
         let res = {
             let _transient = obs::span!("fig11.transient");
-            ckt.transient(&spec)?
+            sim.tran(&cfg)?
         };
+        Ok(self.evaluate(&res))
+    }
+
+    /// Runs the transient on the uncompiled reference engine and
+    /// evaluates the same claims. This is the validation baseline the
+    /// bench layer compares the compiled engine against; experiment
+    /// code should use [`Fig11Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run_reference(&self) -> Result<Fig11Outcome, SimError> {
+        let ckt = self.build();
+        let spec =
+            analog::TransientSpec::new(self.t_stop).with_max_step(self.max_step);
+        let res = ckt.transient_reference(&spec)?;
+        Ok(self.evaluate(&res))
+    }
+
+    /// Runs the compiled transient with per-phase profiling enabled and
+    /// returns the outcome together with the engine statistics and the
+    /// netlist-lowering time in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run_profiled(
+        &self,
+    ) -> Result<(Fig11Outcome, analog::EngineStats, u64), SimError> {
+        let ckt = self.build();
+        let sim = ckt.compile()?;
+        let cfg = TranConfig::builder(self.t_stop)
+            .max_step(self.max_step)
+            .profile(true)
+            .build();
+        let (res, stats) = sim.tran_with_stats(&cfg)?;
+        Ok((self.evaluate(&res), stats, sim.compile_ns()))
+    }
+
+    /// Evaluates the paper's Fig. 11 claims on a finished transient.
+    fn evaluate(&self, res: &analog::TransientResult) -> Fig11Outcome {
         let _eval = obs::span!("fig11.eval");
         let vo = res.trace("vo").expect("vo traced");
         let vi = res.trace("vi").expect("vi traced");
@@ -168,7 +213,7 @@ impl Fig11Scenario {
             _ => 1.0,
         };
 
-        Ok(Fig11Outcome {
+        Fig11Outcome {
             vo,
             vi,
             vdem,
@@ -180,7 +225,7 @@ impl Fig11Scenario {
                 .downlink_start
                 .min(t_charged.unwrap_or(self.downlink_start)),
             t_stop: self.t_stop,
-        })
+        }
     }
 }
 

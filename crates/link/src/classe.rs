@@ -7,7 +7,7 @@
 //! paper's reference \[26\]), including the finite-Q correction
 //! polynomials.
 
-use analog::{Circuit, NodeId, SourceFn, SwitchModel, TransientSpec};
+use analog::{Circuit, NodeId, SourceFn, SwitchModel, TranConfig};
 use analog::SimError;
 
 /// Input specification of a class-E design.
@@ -149,8 +149,8 @@ impl ClassEAmplifier {
         let period = 1.0 / d.frequency;
         let t_stop = cycles as f64 * period;
         let (ckt, _) = self.build();
-        let spec = TransientSpec::new(t_stop).with_max_step(period / 60.0);
-        let res = ckt.transient(&spec)?;
+        let cfg = TranConfig::builder(t_stop).max_step(period / 60.0).build();
+        let res = ckt.compile()?.tran(&cfg)?;
         let drain = res.trace("drain").expect("drain traced");
         let out = res.trace("output").expect("output traced");
         let i_vdd = res.current_trace("VDD").expect("supply current traced");

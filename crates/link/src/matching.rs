@@ -117,7 +117,7 @@ impl CapacitiveMatch {
     pub fn verify(&self) -> Result<(f64, f64, f64), SimError> {
         let ckt = self.bench(1.0);
         let spec = AcSpec::linear_sweep(0.5 * self.frequency, 1.5 * self.frequency, 401);
-        let res = ckt.ac(&spec)?;
+        let res = ckt.compile()?.ac(&spec)?;
         let phasors = res.phasors("vi").expect("rectifier node traced");
         let powers: Vec<f64> = phasors
             .iter()
@@ -198,7 +198,7 @@ mod tests {
         assert!(gain > 2.0, "gain = {gain}");
         // Cross-check against the simulated transfer at resonance.
         let ckt = m.bench(1.0);
-        let res = ckt.ac(&AcSpec::single(F)).unwrap();
+        let res = ckt.compile().unwrap().ac(&AcSpec::single(F)).unwrap();
         let v = res.phasors("vi").unwrap()[0].abs();
         assert!((v - gain).abs() / gain < 0.25, "simulated {v} vs estimate {gain}");
     }

@@ -249,7 +249,7 @@ impl Default for DemodulatorCircuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use analog::{TransientSpec, Waveform};
+    use analog::{TranConfig, Waveform};
     use comms::ask::AskModulator;
 
     #[test]
@@ -317,8 +317,8 @@ mod tests {
             ..DemodulatorCircuit::ironic()
         };
         dem.build(&mut ckt, vi, vdd);
-        let spec = TransientSpec::new(20.0e-6).with_max_step(10.0e-9);
-        let res = ckt.transient(&spec).unwrap();
+        let cfg = TranConfig::builder(20.0e-6).max_step(10.0e-9).build();
+        let res = ckt.compile().unwrap().tran(&cfg).unwrap();
         let vdem: Waveform = res.trace("vdem").unwrap();
         // Sampled shortly after each ϕ1 rising edge (C2 settles fast).
         let v_bit1 = vdem.value_at(6.0e-6);
@@ -336,8 +336,8 @@ mod tests {
         ckt.voltage_source("Vdd", vdd, Circuit::GND, SourceFn::dc(1.8));
         let dem = DemodulatorCircuit::ironic();
         dem.build(&mut ckt, vi, vdd);
-        let spec = TransientSpec::new(10.0e-6).with_max_step(10.0e-9);
-        let res = ckt.transient(&spec).unwrap();
+        let cfg = TranConfig::builder(10.0e-6).max_step(10.0e-9).build();
+        let res = ckt.compile().unwrap().tran(&cfg).unwrap();
         let c2 = res.trace("c2").unwrap();
         // Charged during ϕ1 (first half period), near zero during ϕ2.
         assert!(c2.max_in(1.0e-6, 4.5e-6) > 0.9, "charged in ϕ1: {}", c2.max_in(1.0e-6, 4.5e-6));

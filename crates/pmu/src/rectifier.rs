@@ -11,7 +11,7 @@
 //!   minimum-selector biasing its triple-well bulk, and the series
 //!   isolation switch M2.
 
-use analog::{Circuit, DiodeModel, MosModel, NodeId, SourceFn, SwitchModel, TransientSpec};
+use analog::{Circuit, DiodeModel, MosModel, NodeId, SourceFn, SwitchModel, TranConfig};
 use analog::source::Pwl;
 use analog::waveform::Waveform;
 use analog::SimError;
@@ -299,8 +299,8 @@ pub fn average_input_impedance(
     let period = 1.0 / frequency;
     // Long enough to approach steady state on Co.
     let t_stop = 400.0 * period;
-    let spec = TransientSpec::new(t_stop).with_max_step(period / 30.0);
-    let res = ckt.transient(&spec)?;
+    let cfg = TranConfig::builder(t_stop).max_step(period / 30.0).build();
+    let res = ckt.compile()?.tran(&cfg)?;
     let vi = res.trace("vi").expect("vi traced");
     // Input current = source branch current (through Rsrc ≈ series sense).
     let ii = res
@@ -370,8 +370,8 @@ mod tests {
             SourceFn::dc(0.0),
             SourceFn::dc(1.8),
         );
-        let spec = TransientSpec::new(20.0e-6).with_max_step(8.0e-9);
-        let res = ckt.transient(&spec).unwrap();
+        let cfg = TranConfig::builder(20.0e-6).max_step(8.0e-9).build();
+        let res = ckt.compile().unwrap().tran(&cfg).unwrap();
         let vo = res.trace("vo").unwrap();
         let v_settled = vo.average_in(15.0e-6, 20.0e-6);
         assert!(
@@ -393,8 +393,8 @@ mod tests {
             SourceFn::dc(0.0),
             SourceFn::dc(1.8),
         );
-        let spec = TransientSpec::new(10.0e-6).with_max_step(8.0e-9);
-        let res = ckt.transient(&spec).unwrap();
+        let cfg = TranConfig::builder(10.0e-6).max_step(8.0e-9).build();
+        let res = ckt.compile().unwrap().tran(&cfg).unwrap();
         let vo_max = res.trace("vo").unwrap().max();
         // The 4-diode stack at heavy conduction clamps near 3.5 V (vs an
         // unclamped ≈ 7.6 V peak): see ablation A1.
@@ -410,8 +410,8 @@ mod tests {
         let m1 = SourceFn::pwl(vec![(0.0, 0.0), (5.0e-6, 0.0), (5.1e-6, 1.8), (20.0e-6, 1.8)]);
         let m2 = SourceFn::pwl(vec![(0.0, 1.8), (5.0e-6, 1.8), (5.1e-6, 0.0), (20.0e-6, 0.0)]);
         let (ckt, _) = cfg.bench(SourceFn::sine(3.0, 5.0e6), 5.0, 1.0e6, m1, m2);
-        let spec = TransientSpec::new(20.0e-6).with_max_step(8.0e-9);
-        let res = ckt.transient(&spec).unwrap();
+        let cfg = TranConfig::builder(20.0e-6).max_step(8.0e-9).build();
+        let res = ckt.compile().unwrap().tran(&cfg).unwrap();
         let vi = res.trace("vi").unwrap();
         let vo = res.trace("vo").unwrap();
         // After the short engages the input swing collapses.
@@ -437,8 +437,8 @@ mod tests {
             let m1 = SourceFn::dc(1.8); // input shorted the whole time
             let m2 = SourceFn::dc(0.0); // correct behaviour: M2 open
             let (ckt, _) = cfg.bench(SourceFn::sine(3.0, 5.0e6), 5.0, 1.0e6, m1, m2);
-            let spec = TransientSpec::new(50.0e-6).with_max_step(10.0e-9);
-            let res = ckt.transient(&spec).unwrap();
+            let cfg = TranConfig::builder(50.0e-6).max_step(10.0e-9).build();
+            let res = ckt.compile().unwrap().tran(&cfg).unwrap();
             let vo = res.trace("vo").unwrap();
             vo.value_at(0.0) - vo.final_value()
         };
@@ -468,8 +468,8 @@ mod tests {
                 SourceFn::dc(-8.0),
                 SourceFn::dc(1.8),
             );
-            let spec = TransientSpec::new(2.0e-6).with_max_step(8.0e-9);
-            let res = ckt.transient(&spec).expect("simulates");
+            let cfg = TranConfig::builder(2.0e-6).max_step(8.0e-9).build();
+            let res = ckt.compile().unwrap().tran(&cfg).expect("simulates");
             // Peak source current during negative half-cycles.
             let i = res.current_trace("Vsrc").expect("traced");
             i.values().iter().copied().fold(f64::NEG_INFINITY, f64::max)

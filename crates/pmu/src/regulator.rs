@@ -207,7 +207,7 @@ mod tests {
 #[cfg(test)]
 mod circuit_tests {
     use super::*;
-    use analog::{SourceFn, TransientSpec};
+    use analog::{SourceFn, TranConfig};
 
     fn regulated_output(v_in: f64, r_load: f64) -> f64 {
         let mut ckt = Circuit::new();
@@ -215,7 +215,7 @@ mod circuit_tests {
         ckt.voltage_source("VIN", vin, Circuit::GND, SourceFn::dc(v_in));
         let nodes = LdoCircuit::ironic().build(&mut ckt, vin);
         ckt.resistor("RL", nodes.out, Circuit::GND, r_load);
-        ckt.dc_op().expect("solves").voltage("ldo_out").expect("traced")
+        ckt.compile().unwrap().dc_op().expect("solves").voltage("ldo_out").expect("traced")
     }
 
     #[test]
@@ -259,7 +259,7 @@ mod circuit_tests {
         let nodes = LdoCircuit::ironic().build(&mut ckt, vin);
         ckt.resistor("RL", nodes.out, Circuit::GND, 1.8e3);
         let res = ckt
-            .transient(&TransientSpec::new(100.0e-6).with_max_step(0.2e-6))
+            .compile().unwrap().tran(&TranConfig::builder(100.0e-6).max_step(0.2e-6).build())
             .expect("simulates");
         let out = res.trace("ldo_out").expect("traced");
         assert!((out.final_value() - 1.8).abs() < 0.03);

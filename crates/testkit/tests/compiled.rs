@@ -1,0 +1,60 @@
+//! Compiled-engine conformance on the golden circuits.
+//!
+//! The golden suite in `goldens.rs` pins the *figures*; these tests pin
+//! the *engine split*: the compiled sparse engine must be run-to-run
+//! deterministic (bitwise, whatever `IMPLANT_WORKERS` the lane sets),
+//! and must land inside the golden tolerance bands of the dense
+//! reference engine on the headline Fig. 11 circuit.
+
+use implant_core::scenario::Fig11Scenario;
+use testkit::golden::{figures, TOLERANCES};
+
+/// Two compiled runs of the same scenario must agree bitwise — the
+/// compiled engine has no iteration-order or worker-count freedom.
+#[test]
+fn compiled_fig11_is_bitwise_deterministic() {
+    let a = figures::fig11();
+    let b = figures::fig11();
+    for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+        assert_eq!(ka, kb);
+        assert!(
+            va.to_bits() == vb.to_bits(),
+            "{ka}: {va:?} vs {vb:?} differ between identical runs"
+        );
+    }
+}
+
+/// The compiled engine must reproduce the reference engine's Fig. 11
+/// figures inside the golden band (the band the checked-in goldens are
+/// themselves held to). Pivot-order and accumulation-order drift is
+/// allowed; physics drift is not.
+#[test]
+fn compiled_fig11_matches_reference_within_golden_band() {
+    let compiled = Fig11Scenario::shortened().run().expect("compiled fig11 runs");
+    let reference = Fig11Scenario::shortened().run_reference().expect("reference fig11 runs");
+    let tol = TOLERANCES.fig11;
+
+    let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+    assert!(
+        rel(compiled.vo_worst(), reference.vo_worst()) <= tol,
+        "vo_worst: compiled {} vs reference {}",
+        compiled.vo_worst(),
+        reference.vo_worst()
+    );
+    assert!(
+        rel(compiled.uplink_contrast, reference.uplink_contrast) <= tol,
+        "uplink_contrast: compiled {} vs reference {}",
+        compiled.uplink_contrast,
+        reference.uplink_contrast
+    );
+    // Discrete outcomes must agree exactly.
+    assert_eq!(compiled.downlink_errors(), reference.downlink_errors());
+    assert_eq!(compiled.vo_compliant(), reference.vo_compliant());
+    match (compiled.t_charged, reference.t_charged) {
+        (Some(tc), Some(tr)) => assert!(
+            rel(tc, tr) <= tol,
+            "t_charged: compiled {tc} vs reference {tr}"
+        ),
+        (c, r) => assert_eq!(c.is_some(), r.is_some(), "t_charged presence differs"),
+    }
+}

@@ -11,7 +11,7 @@
 
 use electronic_implants::analog::parse::parse_netlist;
 use electronic_implants::analog::units::si_format;
-use electronic_implants::analog::TransientSpec;
+use electronic_implants::analog::TranConfig;
 
 const FIG8_DECK: &str = "* Fig. 8 rectifier: half-wave + 4 clamping diodes + Co
 Vin  in  0  SIN(0 3.5 5MEG)
@@ -39,8 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ckt = parse_netlist(&deck)?;
     println!("{} devices, {} nodes", ckt.device_count(), ckt.node_count());
 
-    let spec = TransientSpec::new(t_stop).with_max_step(8.0e-9);
-    let res = ckt.transient(&spec)?;
+    let sim = ckt.compile()?;
+    println!(
+        "compiled: {} unknowns, {} stored nonzeros",
+        sim.unknown_count(),
+        sim.nonzeros()
+    );
+    let res = sim.tran(&TranConfig::builder(t_stop).max_step(8.0e-9).build())?;
     println!(
         "transient to {}: {} accepted steps, {} Newton iterations\n",
         si_format(t_stop, "s"),

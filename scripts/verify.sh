@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification, runnable with no network access.
 #
-#   scripts/verify.sh          # build + test + clippy + serve + testkit
+#   scripts/verify.sh          # build + test + clippy + serve + kernels + testkit
 #   scripts/verify.sh --fuzz   # additionally run the property-test suites
 #
 # Everything resolves from in-tree path dependencies (crates/proptest and
@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 740+ tests; a sharp drop means suites
+# The workspace currently runs 770+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=740
+MIN_TESTS=770
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -80,6 +80,17 @@ lane testkit-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-testkit
 # supported range.
 lane scenario-w1 env IMPLANT_WORKERS=1 cargo test -q -p implant-scenario
 lane scenario-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-scenario
+
+# Kernels lane: the compiled analog engine. The equivalence suite pits
+# the compiled engine against the dense reference on random RLC+diode
+# netlists and the golden circuits; the bench smoke then times the
+# fig11 transient on both engines, and bench_validate holds the
+# artifact's `compiled.fig11_speedup` to the ≥5× floor.
+lane kernels-equiv cargo test -q -p analog --features fuzz --test equivalence
+KERNELS_JSON="$(mktemp -d)/BENCH_kernels.json"
+lane kernels-bench env IMPLANT_OBS=1 \
+    ./target/release/bench_kernels --smoke --profile --json "$KERNELS_JSON"
+lane kernels-gate ./target/release/bench_validate "$KERNELS_JSON"
 
 # Bench lane: the profiling harness must produce valid machine-readable
 # artifacts — scripts/bench.sh runs both benchmarks at smoke sizes and
