@@ -477,6 +477,7 @@ impl Circuit {
     /// [`SimError::NoConvergence`] when Newton, g<sub>min</sub> stepping and
     /// source stepping all fail.
     #[deprecated(since = "0.1.0", note = "use `Circuit::compile()?.dc_op()`")]
+    #[doc(hidden)]
     pub fn dc_op(&self) -> Result<OpPoint, SimError> {
         self.compile()?.dc_op()
     }
@@ -491,6 +492,7 @@ impl Circuit {
         since = "0.1.0",
         note = "use `Circuit::compile()?.tran(&TranConfig::builder(t_stop)...build())`"
     )]
+    #[doc(hidden)]
     pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SimError> {
         self.compile()?.tran(&TranConfig::from(spec))
     }
@@ -502,6 +504,7 @@ impl Circuit {
     /// Propagates DC-op errors; returns [`SimError::SingularMatrix`] if the
     /// complex MNA system is singular at some frequency.
     #[deprecated(since = "0.1.0", note = "use `Circuit::compile()?.ac(spec)`")]
+    #[doc(hidden)]
     pub fn ac(&self, spec: &AcSpec) -> Result<AcResult, SimError> {
         self.compile()?.ac(spec)
     }
@@ -516,6 +519,7 @@ impl Circuit {
     /// # Errors
     ///
     /// As [`CompiledCircuit::dc_op`].
+    #[doc(hidden)]
     pub fn dc_op_reference(&self) -> Result<OpPoint, SimError> {
         Engine::new(&self.for_simulation())?.dc_operating_point()
     }
@@ -529,6 +533,7 @@ impl Circuit {
     /// # Errors
     ///
     /// As [`CompiledCircuit::tran`].
+    #[doc(hidden)]
     pub fn transient_reference(&self, spec: &TransientSpec) -> Result<TransientResult, SimError> {
         Engine::new(&self.for_simulation())?.transient(spec)
     }
@@ -702,6 +707,7 @@ impl Circuit {
     /// [`SimError::NotFound`] if the source does not exist, plus any
     /// DC-op error at a sweep point.
     #[deprecated(since = "0.1.0", note = "use `Circuit::compile()?.dc_sweep(source, values)`")]
+    #[doc(hidden)]
     pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<DcSweepResult, SimError> {
         // Validate the device before compiling so a bad source name is
         // reported even for circuits that fail to compile.

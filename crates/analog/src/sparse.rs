@@ -85,8 +85,8 @@ impl PatternBuilder {
 }
 
 /// An immutable CSR sparsity pattern. Values live in a caller-owned
-/// flat slice indexed by *slot* — the position of an entry in
-/// [`CsrPattern::col_idx`] — so the compiled stamp program can
+/// flat slice indexed by *slot* — the position of an entry in the
+/// pattern's column-index array — so the compiled stamp program can
 /// pre-resolve every stamp to a slot index.
 #[derive(Debug, Clone)]
 pub struct CsrPattern {

@@ -19,6 +19,11 @@
 //! assemble/factorize/solve nanoseconds, refactor-skip rate) plus the
 //! interpreter-vs-compiled p50 speedup that `bench_validate` gates on.
 //!
+//! Since the multi-rate split, a `fig11_cosim` kernel re-times the same
+//! scenario through the partitioned co-simulation engine and the
+//! `compiled` object gains `cosim_speedup` — compiled-monolithic over
+//! cosim — which `bench_validate` holds to a 3x floor.
+//!
 //! ```text
 //! cargo run --release --bin bench_kernels -- --json BENCH_kernels.json
 //! cargo run --release --bin bench_kernels -- --smoke --json BENCH_kernels.json
@@ -29,7 +34,7 @@ use implant_core::fullchain::FullChainScenario;
 use implant_core::montecarlo::MonteCarloStudy;
 use implant_core::scenario::Fig11Scenario;
 use link::budget::PowerBudget;
-use runtime::{Json, LatencyHistogram};
+use runtime::{Json, LatencyHistogram, Pool};
 use std::time::Instant;
 
 struct Args {
@@ -146,6 +151,21 @@ fn main() {
         duration_us(fig11_interp_best) / duration_us(fig11_compiled_best).max(1e-9);
     println!("  fig11 speedup: {fig11_speedup:.2}x (best interp run / best compiled run)");
 
+    // The same scenario again, through the partitioned multi-rate
+    // engine: the numerator stays the compiled monolithic transient, so
+    // the ratio isolates what the domain split buys on top of the
+    // compiled engine.
+    let pool = Pool::auto();
+    let (hist, vo, fig11_cosim_best) = time_kernel("fig11_cosim", repeats, || {
+        Fig11Scenario::shortened().run_cosim(&pool).expect("fig11 cosim runs").vo_worst()
+    });
+    assert!(vo.is_finite(), "fig11_cosim produced a non-finite Vo");
+    kernels.push(("fig11_cosim", hist));
+
+    let cosim_speedup =
+        duration_us(fig11_compiled_best) / duration_us(fig11_cosim_best).max(1e-9);
+    println!("  cosim speedup: {cosim_speedup:.2}x (best compiled run / best cosim run)");
+
     // One profiled compiled run for the engine's own phase accounting.
     let (_, stats, compile_ns) =
         Fig11Scenario::shortened().run_profiled().expect("profiled fig11 runs");
@@ -215,9 +235,10 @@ fn main() {
             ("refactor_skips", Json::Num(stats.lu.refactor_skips as f64)),
             ("refactor_skip_rate", Json::Num(stats.refactor_skip_rate())),
             ("fig11_speedup", Json::Num(fig11_speedup)),
+            ("cosim_speedup", Json::Num(cosim_speedup)),
         ]);
         let doc = Json::obj(vec![
-            ("schema", Json::Str("implant-bench-kernels/2".to_string())),
+            ("schema", Json::Str("implant-bench-kernels/3".to_string())),
             (
                 "config",
                 Json::obj(vec![

@@ -85,7 +85,7 @@ fn validate_serve(errors: &mut Vec<Violation>, file: &str, doc: &Json) {
     validate_stages(errors, file, doc);
 }
 
-fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json, compiled: bool) {
+fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json, compiled: bool, cosim: bool) {
     let Some(Json::Obj(kernels)) = doc.get("kernels") else {
         check(errors, file, false, "missing kernels object");
         return;
@@ -151,6 +151,27 @@ fn validate_kernels(errors: &mut Vec<Violation>, file: &str, doc: &Json, compile
                 file,
                 (0.0..=1.0).contains(&rate),
                 &format!("refactor_skip_rate {rate} outside [0, 1]"),
+            );
+        }
+    }
+    if cosim {
+        check(
+            errors,
+            file,
+            kernels.iter().any(|(k, _)| k == "fig11_cosim"),
+            "kernel \"fig11_cosim\" missing",
+        );
+        require_num(errors, file, doc, "compiled", "cosim_speedup");
+        // The multi-rate-win gate: the partitioned engine must beat the
+        // compiled monolithic transient by at least 3x on fig11.
+        let speedup =
+            doc.get("compiled").and_then(|c| c.get("cosim_speedup")).and_then(Json::as_f64);
+        if let Some(speedup) = speedup {
+            check(
+                errors,
+                file,
+                speedup >= 3.0,
+                &format!("cosim fig11 speedup {speedup:.2}x is below the 3x floor"),
             );
         }
     }
@@ -344,8 +365,9 @@ fn validate_file(errors: &mut Vec<Violation>, file: &str) {
     }
     match doc.get("schema").and_then(Json::as_str) {
         Some("implant-bench-serve/1") => validate_serve(errors, file, &doc),
-        Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc, false),
-        Some("implant-bench-kernels/2") => validate_kernels(errors, file, &doc, true),
+        Some("implant-bench-kernels/1") => validate_kernels(errors, file, &doc, false, false),
+        Some("implant-bench-kernels/2") => validate_kernels(errors, file, &doc, true, false),
+        Some("implant-bench-kernels/3") => validate_kernels(errors, file, &doc, true, true),
         Some("implant-bench-cluster/1") => validate_cluster(errors, file, &doc),
         Some("implant-bench-fanin/1") => validate_fanin(errors, file, &doc),
         Some("implant-bench-scenario/1") => validate_scenario(errors, file, &doc),
@@ -478,7 +500,7 @@ mod tests {
     fn kernels2_errors(text: &str) -> Vec<String> {
         let doc = Json::parse(text).expect("test doc parses");
         let mut errors = Vec::new();
-        validate_kernels(&mut errors, "test.json", &doc, true);
+        validate_kernels(&mut errors, "test.json", &doc, true, false);
         errors.into_iter().map(|Violation(_, reason)| reason).collect()
     }
 
@@ -525,6 +547,74 @@ mod tests {
             "{:?}",
             kernels2_errors(&doc)
         );
+    }
+
+    /// A minimal artifact satisfying every `implant-bench-kernels/3`
+    /// check: /2 plus the cosim kernel and its 3x gate.
+    fn kernels3_doc() -> String {
+        kernels2_doc()
+            .replace(
+                r#""fig11_interp":"#,
+                r#""fig11_cosim":{"runs":2,"p50_us":40000.0,"p95_us":41000.0,"p99_us":42000.0},
+              "fig11_interp":"#,
+            )
+            .replace(r#""fig11_speedup":12.0"#, r#""fig11_speedup":12.0,"cosim_speedup":12.5"#)
+            .replace("implant-bench-kernels/2", "implant-bench-kernels/3")
+    }
+
+    fn kernels3_errors(text: &str) -> Vec<String> {
+        let doc = Json::parse(text).expect("test doc parses");
+        let mut errors = Vec::new();
+        validate_kernels(&mut errors, "test.json", &doc, true, true);
+        errors.into_iter().map(|Violation(_, reason)| reason).collect()
+    }
+
+    #[test]
+    fn well_formed_kernels3_artifact_validates() {
+        assert_eq!(kernels3_errors(&kernels3_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn kernels3_slow_cosim_engine_is_rejected() {
+        let doc = kernels3_doc().replace(r#""cosim_speedup":12.5"#, r#""cosim_speedup":2.2"#);
+        assert!(
+            kernels3_errors(&doc).iter().any(|r| r.contains("below the 3x floor")),
+            "{:?}",
+            kernels3_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn kernels3_missing_cosim_kernel_is_rejected() {
+        let doc = kernels3_doc().replace(r#""fig11_cosim""#, r#""fig11_other""#);
+        assert!(
+            kernels3_errors(&doc).iter().any(|r| r.contains("fig11_cosim")),
+            "{:?}",
+            kernels3_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn kernels3_missing_cosim_speedup_is_rejected() {
+        let doc = kernels3_doc().replace(r#","cosim_speedup":12.5"#, "");
+        assert!(
+            kernels3_errors(&doc).iter().any(|r| r.contains("compiled.cosim_speedup")),
+            "{:?}",
+            kernels3_errors(&doc)
+        );
+    }
+
+    #[test]
+    fn kernels2_artifacts_stay_accepted_without_the_cosim_gate() {
+        // Old artifacts predate the cosim kernel; the /2 dispatch must
+        // not demand it.
+        assert_eq!(kernels2_errors(&kernels2_doc()), Vec::<String>::new());
+        let path = std::env::temp_dir().join("bench_validate_kernels2_dispatch.json");
+        std::fs::write(&path, kernels2_doc()).expect("write temp artifact");
+        let mut errors = Vec::new();
+        validate_file(&mut errors, path.to_str().expect("utf-8 temp path"));
+        let _ = std::fs::remove_file(&path);
+        assert!(errors.is_empty(), "{:?}", errors.iter().map(|Violation(_, r)| r).collect::<Vec<_>>());
     }
 
     #[test]

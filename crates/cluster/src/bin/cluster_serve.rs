@@ -28,6 +28,7 @@ struct Args {
     pool_workers: usize,
     idle_timeout_ms: u64,
     store_dir: Option<std::path::PathBuf>,
+    store_ttl_s: u64,
 }
 
 impl Args {
@@ -41,6 +42,7 @@ impl Args {
             pool_workers: 2,
             idle_timeout_ms: 0,
             store_dir: None,
+            store_ttl_s: 0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -56,7 +58,11 @@ impl Args {
                      --idle-timeout-ms N    per-replica idle close, 0 = off (default 0)\n\
                      --store-dir PATH       shared artifact store root: replicas write\n\
                                             through to it and the proxy hedges slow\n\
-                                            reads from it (default: no store)"
+                                            reads from it (default: no store)\n\
+                     --store-ttl SECS       prune store objects older than SECS and\n\
+                                            rewrite the manifests, swept in the\n\
+                                            background; requires --store-dir\n\
+                                            (default: 0 = keep forever)"
                 );
                 std::process::exit(0);
             }
@@ -79,14 +85,50 @@ impl Args {
                 "--pool-workers" => args.pool_workers = parse(&value).clamp(1, 64) as usize,
                 "--idle-timeout-ms" => args.idle_timeout_ms = parse(&value),
                 "--store-dir" => args.store_dir = Some(std::path::PathBuf::from(value)),
+                "--store-ttl" => args.store_ttl_s = parse(&value),
                 other => {
                     eprintln!("cluster_serve: unknown flag {other} (try --help)");
                     std::process::exit(2);
                 }
             }
         }
+        if args.store_ttl_s > 0 && args.store_dir.is_none() {
+            eprintln!("cluster_serve: --store-ttl requires --store-dir");
+            std::process::exit(2);
+        }
         args
     }
+}
+
+/// Sweeps the shared store every quarter-TTL until the process exits.
+/// The sweeper holds its own read-mostly handle — it never writes
+/// objects, so it does not appear as a replica in the manifests.
+fn spawn_store_gc(dir: std::path::PathBuf, ttl: Duration) {
+    let _ = std::thread::Builder::new().name("store-gc".to_string()).spawn(move || {
+        let store = match store::Store::open(&dir, "gc") {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("cluster_serve: store gc disabled: {e}");
+                return;
+            }
+        };
+        let cadence = (ttl / 4).max(Duration::from_secs(1));
+        loop {
+            std::thread::sleep(cadence);
+            match store.gc(ttl) {
+                Ok(report) if !report.expired.is_empty() => {
+                    println!(
+                        "cluster_serve: store gc pruned {} object(s), {} bytes, {} manifest(s) rewritten",
+                        report.expired.len(),
+                        report.bytes_reclaimed,
+                        report.manifests_rewritten,
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("cluster_serve: store gc sweep failed: {e}"),
+            }
+        }
+    });
 }
 
 fn main() {
@@ -132,6 +174,11 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.store_ttl_s > 0 {
+        if let Some(dir) = args.store_dir.clone() {
+            spawn_store_gc(dir, Duration::from_secs(args.store_ttl_s));
+        }
+    }
     if !set.await_converged(Duration::from_secs(10)) {
         eprintln!("cluster_serve: warning: membership did not converge within 10 s");
     }

@@ -95,6 +95,8 @@ impl CohortCampaign {
             ("offset", Json::Num(shard.offset as f64)),
             ("hours", Json::Num(shard.hours)),
             ("enzyme", Json::Str(shard.enzyme.as_str().to_string())),
+            ("duty_min", Json::Num(shard.duty.0)),
+            ("duty_max", Json::Num(shard.duty.1)),
         ])
     }
 
@@ -274,6 +276,7 @@ mod tests {
             offset: 120,
             hours: 6.0,
             enzyme: EnzymeChoice::Clodx,
+            duty: (0.25, 0.75),
         };
         let params = CohortCampaign::shard_params(&cohort);
         let decoded = server::proto::CohortParams::decode(

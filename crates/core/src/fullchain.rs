@@ -75,6 +75,30 @@ impl FullChainScenario {
     /// Builds the complete netlist. The class-E series inductor *is* the
     /// transmitting coil L1, magnetically coupled to the implanted L2.
     pub fn build(&self) -> Circuit {
+        let (m1, m2) = match &self.uplink {
+            Some((bits, start, rate)) => {
+                let lsk = LoadModulator::with_timing(LskModulator {
+                    bit_rate: *rate,
+                    logic_high: 1.8,
+                    edge_time: 50.0e-9,
+                });
+                lsk.gates(bits, *start)
+            }
+            None => (SourceFn::dc(0.0), SourceFn::dc(1.8)),
+        };
+        let (mut ckt, nodes) = self.build_chain(m1, m2);
+        ckt.resistor("Rload", nodes.vo, Circuit::GND, self.r_load);
+        ckt
+    }
+
+    /// The chain up to (and including) the rectifier, with explicit gate
+    /// drives and *no* output load — the co-simulation probes pin `vo`
+    /// with a staircase source instead (see [`crate::cosim`]).
+    pub(crate) fn build_chain(
+        &self,
+        m1: SourceFn,
+        m2: SourceFn,
+    ) -> (Circuit, pmu::rectifier::RectifierNodes) {
         let amp = self.design.synthesize();
         let f = self.design.frequency;
         let omega = std::f64::consts::TAU * f;
@@ -135,20 +159,8 @@ impl FullChainScenario {
         ckt.resistor("R2esr", rx_hot, coil_tap, r2);
         ckt.capacitor("CA", coil_tap, vi, m.ca);
         ckt.capacitor("CB", vi, Circuit::GND, m.cb);
-        let (m1, m2) = match &self.uplink {
-            Some((bits, start, rate)) => {
-                let lsk = LoadModulator::with_timing(LskModulator {
-                    bit_rate: *rate,
-                    logic_high: 1.8,
-                    edge_time: 50.0e-9,
-                });
-                lsk.gates(bits, *start)
-            }
-            None => (SourceFn::dc(0.0), SourceFn::dc(1.8)),
-        };
         let nodes = self.rectifier.build(&mut ckt, vi, m1, m2);
-        ckt.resistor("Rload", nodes.vo, Circuit::GND, self.r_load);
-        ckt
+        (ckt, nodes)
     }
 
     /// Runs the chain and measures the end-to-end power flow.

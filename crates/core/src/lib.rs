@@ -32,12 +32,14 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cosim;
 pub mod fullchain;
 pub mod montecarlo;
 pub mod report;
 pub mod scenario;
 pub mod system;
 
+pub use cosim::{CosimError, CosimReport, FullChainCosimOutcome, RatePlan};
 pub use fullchain::{FullChainOutcome, FullChainScenario};
 pub use montecarlo::{MonteCarloStudy, VariationModel, YieldReport};
 pub use scenario::{Fig11Outcome, Fig11Scenario};

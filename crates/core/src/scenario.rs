@@ -175,11 +175,23 @@ impl Fig11Scenario {
 
     /// Evaluates the paper's Fig. 11 claims on a finished transient.
     fn evaluate(&self, res: &analog::TransientResult) -> Fig11Outcome {
-        let _eval = obs::span!("fig11.eval");
         let vo = res.trace("vo").expect("vo traced");
         let vi = res.trace("vi").expect("vi traced");
         let vdem = res.trace("vdem").expect("vdem traced");
+        self.evaluate_traces(vo, vi, vdem)
+    }
 
+    /// Evaluates the paper's Fig. 11 claims on the three key traces,
+    /// wherever they came from — the monolithic transient or the
+    /// multi-rate co-simulation (whose `vi` is the carrier envelope,
+    /// which the peak-based checks read the same way).
+    pub(crate) fn evaluate_traces(
+        &self,
+        vo: Waveform,
+        vi: Waveform,
+        vdem: Waveform,
+    ) -> Fig11Outcome {
+        let _eval = obs::span!("fig11.eval");
         // Charge completion: first crossing of 2.75 V.
         let t_charged = vo.first_crossing_after(0.0, 2.75, analog::waveform::Edge::Rising);
 

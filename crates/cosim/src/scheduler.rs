@@ -1,0 +1,244 @@
+//! The macro-step scheduler: bounded waveform relaxation over a pool.
+//!
+//! # Determinism
+//!
+//! Each relaxation iteration evaluates every domain against the *same*
+//! immutable bus snapshot (Jacobi, not Gauss–Seidel), so the proposals
+//! are independent of which worker ran which domain and in what order.
+//! The pool returns results in submission order, commits happen in
+//! fixed domain order, and no domain sees a partially updated bus —
+//! which is the whole determinism argument: a co-simulation is
+//! bit-identical at any `IMPLANT_WORKERS`.
+
+use crate::domain::Domain;
+use crate::error::CosimError;
+use crate::exchange::{Exchange, Port};
+use runtime::{Batch, Pool};
+
+/// Rates and relaxation bounds of a co-simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePlan {
+    /// Macro-step (exchange window), seconds. Keep it near the chain's
+    /// fastest coupling time constant: relaxation over a window `H`
+    /// contracts like `(H/τ)^k / k!`, so windows much longer than τ pay
+    /// for themselves in extra iterations.
+    pub macro_step: f64,
+    /// Envelope-rate sampling step used by the continuous domains,
+    /// seconds.
+    pub envelope_dt: f64,
+    /// Convergence tolerance on the scaled boundary residual
+    /// (volt-equivalent).
+    pub tolerance: f64,
+    /// Iteration guard per macro-step; hitting it raises
+    /// [`CosimError::Diverged`].
+    pub max_iterations: usize,
+}
+
+impl RatePlan {
+    /// The Fig. 11 default: 1 µs exchange windows (just under the
+    /// rectifier's fastest `R_src·Co`, so relaxation contracts in a few
+    /// iterations even while charging), 0.2 µs envelope sampling, 2 µV
+    /// residual, 24 iterations.
+    pub fn fig11() -> Self {
+        RatePlan {
+            macro_step: 1.0e-6,
+            envelope_dt: 0.05e-6,
+            tolerance: 2.0e-6,
+            max_iterations: 24,
+        }
+    }
+
+    /// Checks the plan is usable.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::InvalidPlan`] with the offending field named.
+    pub fn validate(&self) -> Result<(), CosimError> {
+        let bad = |why: &str| Err(CosimError::InvalidPlan(why.to_string()));
+        if !(self.macro_step > 0.0 && self.macro_step.is_finite()) {
+            return bad("macro_step must be positive and finite");
+        }
+        if !(self.envelope_dt > 0.0 && self.envelope_dt.is_finite()) {
+            return bad("envelope_dt must be positive and finite");
+        }
+        if self.envelope_dt > self.macro_step {
+            return bad("envelope_dt must not exceed macro_step");
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return bad("tolerance must be positive and finite");
+        }
+        if self.max_iterations == 0 {
+            return bad("max_iterations must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+impl Default for RatePlan {
+    fn default() -> Self {
+        RatePlan::fig11()
+    }
+}
+
+/// What a finished co-simulation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CosimStats {
+    /// Macro-steps taken.
+    pub macro_steps: u64,
+    /// Total relaxation iterations across all macro-steps.
+    pub iterations: u64,
+    /// Largest iteration count any single macro-step needed.
+    pub worst_step_iterations: u64,
+    /// Largest converged residual any macro-step settled at.
+    pub worst_residual: f64,
+}
+
+/// A configured co-simulation: domains, bus and rate plan.
+pub struct Cosim {
+    plan: RatePlan,
+    seed: u64,
+    domains: Vec<Box<dyn Domain>>,
+    bus: Exchange,
+}
+
+impl Cosim {
+    /// A co-simulation with no domains yet. The seed names the run for
+    /// pool batching; domain physics never draws from it.
+    pub fn new(plan: RatePlan, seed: u64) -> Self {
+        Cosim { plan, seed, domains: Vec::new(), bus: Exchange::new() }
+    }
+
+    /// Adds a domain. Order fixes commit order (and nothing else).
+    pub fn add_domain(&mut self, domain: Box<dyn Domain>) {
+        self.domains.push(domain);
+    }
+
+    /// Seeds a boundary port's initial value (see [`Exchange::seed`]).
+    pub fn seed_port(&mut self, name: impl Into<String>, t0: f64, value: f64, tol_scale: f64) {
+        self.bus.seed(name, t0, value, tol_scale);
+    }
+
+    /// The exchange bus (read the committed boundary waveforms here).
+    pub fn bus(&self) -> &Exchange {
+        &self.bus
+    }
+
+    /// Runs the co-simulation from `t0` to `t_stop`.
+    ///
+    /// # Errors
+    ///
+    /// [`CosimError::InvalidPlan`] for a bad plan,
+    /// [`CosimError::Diverged`] when a macro-step exhausts its
+    /// iteration guard, plus any domain failure.
+    pub fn run(&mut self, pool: &Pool, t0: f64, t_stop: f64) -> Result<CosimStats, CosimError> {
+        let _span = obs::span!("cosim.run");
+        self.plan.validate()?;
+        if t_stop.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
+            return Err(CosimError::InvalidPlan("t_stop must exceed t0".to_string()));
+        }
+        let mut stats = CosimStats::default();
+        let mut t = t0;
+        // Absolute tolerance on the end time: the last window may be
+        // fractional, and accumulating `t += macro_step` must not leave
+        // a vanishing sliver behind.
+        let eps = 1.0e-12 * t_stop.abs().max(1.0);
+        while t < t_stop - eps {
+            let t1 = (t + self.plan.macro_step).min(t_stop);
+            let accepted = self.relax_window(pool, t, t1, &mut stats)?;
+            for port in &accepted {
+                self.bus.commit(port)?;
+            }
+            for domain in &mut self.domains {
+                domain.commit(t, t1, &self.bus)?;
+            }
+            stats.macro_steps += 1;
+            t = t1;
+        }
+        Ok(stats)
+    }
+
+    /// Relaxes one macro-step to convergence and returns the accepted
+    /// proposals (flattened, in domain order).
+    fn relax_window(
+        &self,
+        pool: &Pool,
+        t0: f64,
+        t1: f64,
+        stats: &mut CosimStats,
+    ) -> Result<Vec<Port>, CosimError> {
+        let _span = obs::span!("cosim.window");
+        let n = self.domains.len();
+        let batch = Batch::builder("cosim-relax").seed(self.seed).trials(n).build();
+        // The snapshot the next iteration reads: committed history plus
+        // the previous iterate's proposals (end-clamped sampling makes
+        // the committed bus itself the constant-extrapolation opener).
+        let mut snapshot = self.bus.clone();
+        let mut step_iterations = 0u64;
+        let mut residual = f64::INFINITY;
+        for _ in 0..self.plan.max_iterations {
+            step_iterations += 1;
+            let run = pool.run(&batch, |ctx| {
+                self.domains[ctx.index].advance(t0, t1, &snapshot)
+            });
+            let mut proposals: Vec<Port> = Vec::new();
+            for (index, result) in run.results.into_iter().enumerate() {
+                match result.outcome {
+                    runtime::JobOutcome::Ok(Ok(ports)) => proposals.extend(ports),
+                    runtime::JobOutcome::Ok(Err(e)) => return Err(e),
+                    runtime::JobOutcome::Panicked(message) => {
+                        return Err(CosimError::Panicked {
+                            domain: self.domains[index].name().to_string(),
+                            message,
+                        })
+                    }
+                }
+            }
+            residual = 0.0;
+            for port in &proposals {
+                residual = residual.max(snapshot.residual(port)?);
+            }
+            let mut next = self.bus.clone();
+            for port in &proposals {
+                next.commit(port)?;
+            }
+            snapshot = next;
+            obs::count!("cosim.iteration");
+            if residual.is_finite() && residual <= self.plan.tolerance {
+                stats.iterations += step_iterations;
+                stats.worst_step_iterations = stats.worst_step_iterations.max(step_iterations);
+                stats.worst_residual = stats.worst_residual.max(residual);
+                return Ok(proposals);
+            }
+            if !residual.is_finite() {
+                break;
+            }
+        }
+        stats.iterations += step_iterations;
+        Err(CosimError::Diverged {
+            t: t0,
+            residual,
+            tolerance: self.plan.tolerance,
+            iterations: step_iterations as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_plans_reject_nonsense() {
+        assert!(RatePlan::fig11().validate().is_ok());
+        let bad = |f: fn(&mut RatePlan)| {
+            let mut p = RatePlan::fig11();
+            f(&mut p);
+            p.validate().unwrap_err()
+        };
+        assert!(matches!(bad(|p| p.macro_step = 0.0), CosimError::InvalidPlan(_)));
+        assert!(matches!(bad(|p| p.envelope_dt = -1.0), CosimError::InvalidPlan(_)));
+        assert!(matches!(bad(|p| p.envelope_dt = 1.0), CosimError::InvalidPlan(_)));
+        assert!(matches!(bad(|p| p.tolerance = f64::NAN), CosimError::InvalidPlan(_)));
+        assert!(matches!(bad(|p| p.max_iterations = 0), CosimError::InvalidPlan(_)));
+    }
+}

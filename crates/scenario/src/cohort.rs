@@ -87,6 +87,8 @@ pub struct VirtualPatient {
     pub wear_days: f64,
     /// Cross-linked (true) or wild-type enzyme.
     pub clodx: bool,
+    /// Sensing duty-cycle derating prescribed for this patient, (0, 1].
+    pub duty_scale: f64,
 }
 
 /// One patient's folded outcome (internal currency of the report).
@@ -108,6 +110,8 @@ pub struct PatientOutcome {
     pub sensor_ok: bool,
     /// Received power at the patient's placement, microwatts.
     pub p_rx_uw: u64,
+    /// The patient's prescribed duty cycle, parts per million.
+    pub duty_ppm: u64,
     /// Hottest patch sample of the day, °C.
     pub max_patch_celsius: f64,
 }
@@ -125,19 +129,38 @@ pub struct Cohort {
     pub hours: f64,
     /// Enzyme chemistry.
     pub enzyme: EnzymeChoice,
+    /// `(min, max)` range the per-patient sensing duty-cycle derating
+    /// is drawn from, each in (0, 1]. Sweeping this range reproduces
+    /// the duty-cycle ↔ reliability trade of Abouei et al.: lower duty
+    /// stretches battery life and shrinks the operating budget a
+    /// placement must deliver, at the cost of measurement cadence.
+    /// `(1.0, 1.0)` is the paper's nominal schedule.
+    pub duty: (f64, f64),
 }
 
 impl Cohort {
     /// A full-campaign cohort starting at patient 0: 24 h days, mixed
-    /// enzyme chemistry.
+    /// enzyme chemistry, nominal (undecimated) sensing duty.
     pub fn ironic(seed: u64, patients: u64) -> Self {
-        Cohort { seed, patients, offset: 0, hours: 24.0, enzyme: EnzymeChoice::Mixed }
+        Cohort {
+            seed,
+            patients,
+            offset: 0,
+            hours: 24.0,
+            enzyme: EnzymeChoice::Mixed,
+            duty: (1.0, 1.0),
+        }
     }
 
     fn validate(&self) {
         assert!(self.patients > 0, "a cohort needs at least one patient");
         assert!(self.hours > 0.0 && self.hours.is_finite(), "hours must be positive");
         assert!(self.offset.checked_add(self.patients).is_some(), "cohort window overflows");
+        let (lo, hi) = self.duty;
+        assert!(
+            lo > 0.0 && lo <= hi && hi <= 1.0,
+            "duty range must satisfy 0 < min <= max <= 1"
+        );
     }
 
     /// Samples patient `i` (local index within this shard). Every draw
@@ -166,6 +189,9 @@ impl Cohort {
         let wear_days = rng.range_f64(0.0, 30.0);
         let battery_mah = rng.range_f64(100.0, 140.0);
         let day_seed = rng.next_u64();
+        // Drawn after every pre-existing field so adding the duty axis
+        // left all earlier campaign samples bit-identical.
+        let duty_scale = rng.range_f64(self.duty.0, self.duty.1);
         VirtualPatient {
             index: global,
             day_seed,
@@ -174,6 +200,7 @@ impl Cohort {
             battery_mah,
             wear_days,
             clodx,
+            duty_scale,
         }
     }
 
@@ -189,6 +216,7 @@ impl Cohort {
             profile: p.profile,
             anatomy: p.anatomy,
             low_power_soc: Some(0.05),
+            duty_scale: p.duty_scale,
         };
         let summary: DaySummary = day.run().summary();
 
@@ -204,9 +232,14 @@ impl Cohort {
             low_power: summary.low_power_h.is_some(),
             thermal_ok: summary.thermal_ok,
             link_dropouts: summary.link_dropouts,
-            powered_ok: p_rx_w >= P_IMPLANT_OPERATING_W,
+            // A duty-cycled implant recharges through a proportionally
+            // smaller average budget, so marginal placements become
+            // viable as the prescription drops — the yield half of the
+            // duty ↔ reliability trade.
+            powered_ok: p_rx_w >= p.duty_scale * P_IMPLANT_OPERATING_W,
             sensor_ok: j >= J_SENSE_MIN,
             p_rx_uw: (p_rx_w * 1.0e6).round() as u64,
+            duty_ppm: (p.duty_scale * 1.0e6).round() as u64,
             max_patch_celsius: summary.max_patch_celsius,
         }
     }
@@ -268,6 +301,7 @@ impl Cohort {
                 offset: self.offset + start,
                 hours: self.hours,
                 enzyme: self.enzyme,
+                duty: self.duty,
             });
             start += n;
         }
@@ -300,6 +334,10 @@ pub struct CohortReport {
     pub min_life_ms: u64,
     /// Sum of placement received powers, microwatts.
     pub sum_p_rx_uw: u64,
+    /// Sum of prescribed duty cycles, parts per million (exact integer
+    /// so shard merges stay associative; divide by `patients` for the
+    /// cohort's mean prescription).
+    pub sum_duty_ppm: u64,
     /// Hottest patch sample across the cohort, °C.
     pub max_patch_celsius: f64,
 }
@@ -318,6 +356,7 @@ impl CohortReport {
             sum_life_ms: 0,
             min_life_ms: u64::MAX,
             sum_p_rx_uw: 0,
+            sum_duty_ppm: 0,
             max_patch_celsius: f64::NEG_INFINITY,
         }
     }
@@ -334,6 +373,7 @@ impl CohortReport {
         self.sum_life_ms += o.life_ms;
         self.min_life_ms = self.min_life_ms.min(o.life_ms);
         self.sum_p_rx_uw += o.p_rx_uw;
+        self.sum_duty_ppm += o.duty_ppm;
         self.max_patch_celsius = self.max_patch_celsius.max(o.max_patch_celsius);
     }
 
@@ -350,6 +390,7 @@ impl CohortReport {
         self.sum_life_ms += other.sum_life_ms;
         self.min_life_ms = self.min_life_ms.min(other.min_life_ms);
         self.sum_p_rx_uw += other.sum_p_rx_uw;
+        self.sum_duty_ppm += other.sum_duty_ppm;
         self.max_patch_celsius = self.max_patch_celsius.max(other.max_patch_celsius);
     }
 
@@ -369,12 +410,20 @@ impl CohortReport {
         self.sum_p_rx_uw as f64 / self.patients as f64 / 1.0e3
     }
 
+    /// Mean prescribed sensing duty cycle, in (0, 1].
+    pub fn mean_duty(&self) -> f64 {
+        if self.patients == 0 {
+            return 0.0;
+        }
+        self.sum_duty_ppm as f64 / self.patients as f64 / 1.0e6
+    }
+
     /// Order-independent fingerprint of the exact report contents
     /// (float folded in by bit pattern) — what the bit-identical
     /// campaign tests compare.
     pub fn digest(&self) -> u64 {
         fnv1a64(format!(
-            "{};{};{};{};{};{};{};{};{};{};{:016x}",
+            "{};{};{};{};{};{};{};{};{};{};{};{:016x}",
             self.patients,
             self.depleted,
             self.low_power,
@@ -385,6 +434,7 @@ impl CohortReport {
             self.sum_life_ms,
             self.min_life_ms,
             self.sum_p_rx_uw,
+            self.sum_duty_ppm,
             self.max_patch_celsius.to_bits(),
         )
         .as_bytes())
@@ -404,6 +454,7 @@ impl Artifact for CohortReport {
             ("sum_life_ms", Json::Num(self.sum_life_ms as f64)),
             ("min_life_ms", Json::Num(self.min_life_ms as f64)),
             ("sum_p_rx_uw", Json::Num(self.sum_p_rx_uw as f64)),
+            ("sum_duty_ppm", Json::Num(self.sum_duty_ppm as f64)),
             ("max_patch_celsius", Json::Num(self.max_patch_celsius)),
         ])
     }
@@ -421,6 +472,7 @@ impl Artifact for CohortReport {
             sum_life_ms: count("sum_life_ms")?,
             min_life_ms: count("min_life_ms")?,
             sum_p_rx_uw: count("sum_p_rx_uw")?,
+            sum_duty_ppm: count("sum_duty_ppm")?,
             max_patch_celsius: json.get("max_patch_celsius")?.as_f64()?,
         })
     }
@@ -470,6 +522,71 @@ mod tests {
         assert!(report.powered_ok > 0, "some placements must be powerable");
         assert!(report.powered_ok < 60, "deep misaligned placements must fail");
         assert!(report.max_patch_celsius <= 41.0, "cohort stays in envelope");
+    }
+
+    #[test]
+    fn duty_draw_leaves_earlier_patient_fields_bit_identical() {
+        // The duty axis must be purely additive: a decimated cohort
+        // samples the exact same anatomy, profile, battery, wear and
+        // day seed as the nominal one — only the prescription differs.
+        let nominal = Cohort::ironic(31, 10);
+        let cycled = Cohort { duty: (0.1, 0.6), ..nominal.clone() };
+        for i in 0..10 {
+            let (a, b) = (nominal.patient(i), cycled.patient(i));
+            assert_eq!(a.duty_scale, 1.0);
+            assert!((0.1..=0.6).contains(&b.duty_scale), "duty {}", b.duty_scale);
+            assert_eq!(
+                VirtualPatient { duty_scale: 1.0, ..b },
+                a,
+                "patient {i} drifted under the duty axis"
+            );
+        }
+    }
+
+    #[test]
+    fn duty_cycling_trades_cadence_for_life_and_yield() {
+        // Abouei et al.: decimating the sensing duty stretches battery
+        // life and lets marginal placements meet the (scaled)
+        // operating budget — strictly more powered placements, longer
+        // mean life, and the report records the mean prescription.
+        let nominal = Cohort::ironic(17, 60).run_serial();
+        let cycled = Cohort { duty: (0.1, 0.3), ..Cohort::ironic(17, 60) }.run_serial();
+        assert!(
+            cycled.sum_life_ms > nominal.sum_life_ms,
+            "decimated cohort must live longer ({} vs {} ms)",
+            cycled.sum_life_ms,
+            nominal.sum_life_ms
+        );
+        assert!(
+            cycled.powered_ok > nominal.powered_ok,
+            "a smaller budget must power more placements ({} vs {})",
+            cycled.powered_ok,
+            nominal.powered_ok
+        );
+        assert_eq!(nominal.mean_duty(), 1.0);
+        assert!(
+            (0.1..=0.3).contains(&cycled.mean_duty()),
+            "mean duty {}",
+            cycled.mean_duty()
+        );
+    }
+
+    #[test]
+    fn duty_cohort_shard_merge_stays_bit_identical() {
+        let cohort = Cohort { duty: (0.2, 0.9), ..Cohort::ironic(77, 30) };
+        let serial = cohort.run_serial();
+        let mut merged = CohortReport::empty();
+        for shard in cohort.shards(7) {
+            merged.merge(&shard.run_serial());
+        }
+        assert_eq!(merged, serial);
+        assert_eq!(merged.digest(), serial.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "duty range")]
+    fn inverted_duty_range_is_rejected() {
+        Cohort { duty: (0.8, 0.2), ..Cohort::ironic(1, 2) }.run_serial();
     }
 
     #[test]

@@ -180,6 +180,12 @@ pub struct PatientDay {
     /// disables management — used to show the invariant checker the
     /// failure it exists to catch.
     pub low_power_soc: Option<f64>,
+    /// Duty-cycle derating of sensing sessions, in (0, 1]. Scales the
+    /// PA on-fraction of every sensing segment: the duty-cycle ↔
+    /// battery-life axis of Abouei et al., where trading measurement
+    /// cadence buys wearable lifetime. 1.0 is the paper's nominal
+    /// schedule.
+    pub duty_scale: f64,
 }
 
 impl PatientDay {
@@ -194,6 +200,7 @@ impl PatientDay {
             profile: DayProfile::Routine,
             anatomy: Anatomy::nominal(),
             low_power_soc: Some(0.05),
+            duty_scale: 1.0,
         }
     }
 
@@ -209,6 +216,7 @@ impl PatientDay {
             profile: DayProfile::Pure(state),
             anatomy: Anatomy::nominal(),
             low_power_soc: None,
+            duty_scale: 1.0,
         }
     }
 
@@ -220,6 +228,10 @@ impl PatientDay {
         if let Some(soc) = self.low_power_soc {
             assert!((0.0..1.0).contains(&soc), "low-power threshold must be in [0, 1)");
         }
+        assert!(
+            self.duty_scale > 0.0 && self.duty_scale <= 1.0,
+            "duty scale must be in (0, 1]"
+        );
     }
 
     fn next_segment(&self, rng: &mut Xoshiro256PlusPlus) -> (SegmentKind, f64) {
@@ -238,7 +250,10 @@ impl PatientDay {
                 } else if r < w_idle + w_sync {
                     (SegmentKind::Sync, rng.range_f64(2.0, 8.0) * 60.0)
                 } else {
-                    let duty = rng.range_f64(0.2, 0.8);
+                    // The schedule draw stays in [0.2, 0.8] so the RNG
+                    // stream is independent of the derating; the scale
+                    // only shrinks the realised PA on-fraction.
+                    let duty = rng.range_f64(0.2, 0.8) * self.duty_scale;
                     (SegmentKind::Sense { duty }, rng.range_f64(5.0, 15.0) * 60.0)
                 }
             }
@@ -624,6 +639,45 @@ mod tests {
         assert!(s.sense_h > 0.0);
         assert!(s.mean_p_rx_mw > 0.0, "mean p_rx = {} mW", s.mean_p_rx_mw);
         assert_eq!(s.link_dropouts, 0, "nominal anatomy should never drop the link");
+    }
+
+    #[test]
+    fn duty_derating_trades_sensing_power_for_battery_charge() {
+        // Abouei-style duty-cycling: the same schedule at a quarter of
+        // the PA on-fraction must draw visibly less and deliver
+        // proportionally less implant power — with an unchanged
+        // segment layout (the RNG stream does not see the scale).
+        let mut full = PatientDay::ironic(21);
+        full.profile = DayProfile::Sensing;
+        let mut cycled = full.clone();
+        cycled.duty_scale = 0.25;
+        let (tf, tc) = (full.run(), cycled.run());
+        // Identical schedule until the full-duty battery gives out:
+        // the RNG stream never sees the derating.
+        let k = tf.events.iter().position(|e| e.kind == "low_power").expect("full duty depletes");
+        assert_eq!(tf.events[..k], tc.events[..k], "derating must not reshuffle the schedule");
+        let (sf, sc) = (tf.summary(), tc.summary());
+        assert!(sf.depleted, "a full-duty sensing day on this battery must deplete");
+        assert!(
+            sc.end_h > 1.2 * sf.end_h,
+            "derated day must live longer ({} vs {} h)",
+            sc.end_h,
+            sf.end_h
+        );
+        assert!(
+            sc.mean_p_rx_mw < 0.5 * sf.mean_p_rx_mw,
+            "derated day must deliver less implant power ({} vs {} mW)",
+            sc.mean_p_rx_mw,
+            sf.mean_p_rx_mw
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duty scale")]
+    fn zero_duty_scale_is_rejected() {
+        let mut day = PatientDay::ironic(1);
+        day.duty_scale = 0.0;
+        day.run();
     }
 
     #[test]

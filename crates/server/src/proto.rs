@@ -262,6 +262,9 @@ pub struct Fig11Params {
     pub t_stop_us: Option<f64>,
     /// Maximum solver step override, nanoseconds.
     pub max_step_ns: Option<f64>,
+    /// Serve through the partitioned multi-rate engine instead of the
+    /// monolithic transient.
+    pub cosim: bool,
 }
 
 impl Fig11Params {
@@ -284,6 +287,7 @@ impl Fig11Params {
             r_load: opt_f64(params, "r_load", 10.0, 1.0e6)?,
             t_stop_us: opt_f64(params, "t_stop_us", 1.0, 2000.0)?,
             max_step_ns: opt_f64(params, "max_step_ns", 1.0, 1000.0)?,
+            cosim: opt_bool(params, "cosim")?.unwrap_or(false),
         })
     }
 }
@@ -297,6 +301,9 @@ pub struct FullchainParams {
     pub r_load: Option<f64>,
     /// Carrier cycles to simulate.
     pub cycles: u64,
+    /// Serve through the partitioned multi-rate engine instead of the
+    /// monolithic transient.
+    pub cosim: bool,
 }
 
 impl FullchainParams {
@@ -311,6 +318,7 @@ impl FullchainParams {
             distance_mm: opt_f64(params, "distance_mm", 1.0, 50.0)?.unwrap_or(10.0),
             r_load: opt_f64(params, "r_load", 10.0, 1.0e6)?,
             cycles: opt_u64(params, "cycles", 10, 2000)?.unwrap_or(120),
+            cosim: opt_bool(params, "cosim")?.unwrap_or(false),
         })
     }
 }
@@ -492,6 +500,7 @@ impl PatientdayParams {
                 tissue: self.tissue,
             },
             low_power_soc: Some(0.05),
+            duty_scale: 1.0,
         }
     }
 }
@@ -510,6 +519,8 @@ pub struct CohortParams {
     pub hours: f64,
     /// Enzyme chemistry.
     pub enzyme: scenario::EnzymeChoice,
+    /// Per-patient sensing duty-cycle range, `(min, max)` in (0, 1].
+    pub duty: (f64, f64),
 }
 
 impl CohortParams {
@@ -540,12 +551,21 @@ impl CohortParams {
                 ),
             ));
         }
+        let duty_min = opt_f64(params, "duty_min", 0.01, 1.0)?.unwrap_or(1.0);
+        let duty_max = opt_f64(params, "duty_max", 0.01, 1.0)?.unwrap_or(1.0);
+        if duty_max < duty_min {
+            return Err(DecodeError::bad(
+                "duty_max",
+                format!("duty_max {duty_max} < duty_min {duty_min}"),
+            ));
+        }
         Ok(CohortParams {
             seed: opt_u64(params, "seed", 0, u64::MAX)?.unwrap_or(scenario::DEFAULT_SEED),
             patients,
             offset: opt_u64(params, "offset", 0, 1_000_000_000)?.unwrap_or(0),
             hours,
             enzyme,
+            duty: (duty_min, duty_max),
         })
     }
 
@@ -557,6 +577,7 @@ impl CohortParams {
             offset: self.offset,
             hours: self.hours,
             enzyme: self.enzyme,
+            duty: self.duty,
         }
     }
 }
@@ -677,6 +698,12 @@ impl RequestBody {
                 if let Some(v) = p.max_step_ns {
                     point = point.with("max_step_ns", v);
                 }
+                // Engine choice is part of the request identity, but
+                // only when it deviates from the default — existing
+                // cache keys stay stable.
+                if p.cosim {
+                    point = point.with("cosim", 1u64);
+                }
                 Some(("server-fig11", point))
             }
             RequestBody::Fullchain(p) => {
@@ -685,6 +712,9 @@ impl RequestBody {
                     .with("cycles", p.cycles);
                 if let Some(v) = p.r_load {
                     point = point.with("r_load", v);
+                }
+                if p.cosim {
+                    point = point.with("cosim", 1u64);
                 }
                 Some(("server-fullchain", point))
             }
@@ -720,15 +750,20 @@ impl RequestBody {
                     .with("lateral_mm", p.lateral_mm)
                     .with("tissue", p.tissue.as_str()),
             )),
-            RequestBody::Cohort(p) => Some((
-                "server-cohort",
-                ParamPoint::new()
+            RequestBody::Cohort(p) => {
+                let mut point = ParamPoint::new()
                     .with("seed", p.seed)
                     .with("patients", p.patients)
                     .with("offset", p.offset)
                     .with("hours", p.hours)
-                    .with("enzyme", p.enzyme.as_str()),
-            )),
+                    .with("enzyme", p.enzyme.as_str());
+                // Only a non-nominal prescription enters the identity,
+                // so every pre-duty cache key stays stable.
+                if p.duty != (1.0, 1.0) {
+                    point = point.with("duty_min", p.duty.0).with("duty_max", p.duty.1);
+                }
+                Some(("server-cohort", point))
+            }
         }
     }
 
@@ -795,6 +830,17 @@ fn opt_f64(params: &Json, key: &str, min: f64, max: f64) -> Result<Option<f64>, 
             }
             Ok(Some(v))
         }
+    }
+}
+
+/// Optional boolean parameter.
+fn opt_bool(params: &Json, key: &str) -> Result<Option<bool>, DecodeError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| DecodeError::bad(key, format!("{key:?} must be a boolean"))),
     }
 }
 
@@ -1016,7 +1062,10 @@ mod tests {
 
         let t = TypedRequest::decode_line(r#"{"endpoint":"fullchain"}"#, &limits).unwrap();
         let RequestBody::Fullchain(p) = &t.body else { panic!("expected fullchain") };
-        assert_eq!(*p, FullchainParams { distance_mm: 10.0, r_load: None, cycles: 120 });
+        assert_eq!(
+            *p,
+            FullchainParams { distance_mm: 10.0, r_load: None, cycles: 120, cosim: false }
+        );
 
         let t = TypedRequest::decode_line(
             r#"{"endpoint":"fig11","params":{"preset":"paper"}}"#,
@@ -1053,8 +1102,43 @@ mod tests {
                 offset: 0,
                 hours: 24.0,
                 enzyme: scenario::EnzymeChoice::Mixed,
+                duty: (1.0, 1.0),
             }
         );
+    }
+
+    #[test]
+    fn cohort_duty_knob_decodes_and_extends_route_identity() {
+        let limits = DecodeLimits::default();
+        let t = TypedRequest::decode_line(
+            r#"{"endpoint":"cohort","params":{"duty_min":0.2,"duty_max":0.6}}"#,
+            &limits,
+        )
+        .unwrap();
+        let RequestBody::Cohort(p) = &t.body else { panic!("expected cohort") };
+        assert_eq!(p.duty, (0.2, 0.6));
+
+        // A non-nominal prescription is part of the routing identity;
+        // the nominal one keeps every pre-duty cache key unchanged.
+        let base = TypedRequest::decode_line(r#"{"endpoint":"cohort"}"#, &limits).unwrap();
+        let nominal = TypedRequest::decode_line(
+            r#"{"endpoint":"cohort","params":{"duty_min":1.0,"duty_max":1.0}}"#,
+            &limits,
+        )
+        .unwrap();
+        let cycled = t.body.route_point().unwrap().1.canonical();
+        assert_ne!(cycled, base.body.route_point().unwrap().1.canonical());
+        assert_eq!(
+            base.body.route_point().unwrap().1.canonical(),
+            nominal.body.route_point().unwrap().1.canonical()
+        );
+
+        let err = TypedRequest::decode_line(
+            r#"{"endpoint":"cohort","params":{"duty_min":0.8,"duty_max":0.2}}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("duty_max"));
     }
 
     #[test]
@@ -1127,6 +1211,46 @@ mod tests {
         let line = err_response(3, ErrorCode::Internal, "boom");
         let doc = Json::parse(&line).unwrap();
         assert_eq!(doc.get("error").unwrap().get("field"), None, "no field key when unknown");
+    }
+
+    #[test]
+    fn cosim_knob_decodes_and_extends_route_identity() {
+        let limits = DecodeLimits::default();
+        let on = TypedRequest::decode_line(
+            r#"{"endpoint":"fig11","params":{"cosim":true}}"#,
+            &limits,
+        )
+        .unwrap();
+        let RequestBody::Fig11(p) = &on.body else { panic!("expected fig11") };
+        assert!(p.cosim);
+        // The engine choice is part of the request identity…
+        let base = TypedRequest::decode_line(r#"{"endpoint":"fig11"}"#, &limits).unwrap();
+        assert_ne!(on.body.route_point(), base.body.route_point());
+        // …but only when it deviates from the default, so pre-existing
+        // cache keys stay stable.
+        let off = TypedRequest::decode_line(
+            r#"{"endpoint":"fig11","params":{"cosim":false}}"#,
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(off.body.route_point(), base.body.route_point());
+
+        let on = TypedRequest::decode_line(
+            r#"{"endpoint":"fullchain","params":{"cosim":true}}"#,
+            &limits,
+        )
+        .unwrap();
+        let RequestBody::Fullchain(p) = &on.body else { panic!("expected fullchain") };
+        assert!(p.cosim);
+        let base = TypedRequest::decode_line(r#"{"endpoint":"fullchain"}"#, &limits).unwrap();
+        assert_ne!(on.body.route_point(), base.body.route_point());
+
+        let err = TypedRequest::decode_line(
+            r#"{"endpoint":"fullchain","params":{"cosim":1}}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("cosim"));
     }
 
     #[test]

@@ -313,8 +313,13 @@ impl Router {
                 ),
             ));
         }
-        let outcome =
-            scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
+        let outcome = if p.cosim {
+            scenario
+                .run_cosim(&self.pool)
+                .map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?
+        } else {
+            scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?
+        };
         Ok(Routed::plain(Json::obj(vec![
             ("vo_worst", Json::Num(outcome.vo_worst())),
             ("vo_compliant", Json::Bool(outcome.vo_compliant())),
@@ -325,6 +330,7 @@ impl Router {
                 outcome.t_charged.map_or(Json::Null, |t| Json::Num(t * 1e6)),
             ),
             ("uplink_contrast", Json::Num(outcome.uplink_contrast)),
+            ("cosim", Json::Bool(p.cosim)),
         ])))
     }
 
@@ -337,16 +343,28 @@ impl Router {
             scenario.r_load = v;
         }
         scenario.cycles = p.cycles as usize;
-        let outcome =
-            scenario.run().map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
+        // Both engines report the same scalar summary, so the response
+        // shape is engine-independent (plus the `cosim` marker).
+        let (vo_steady, supply_compliant, efficiency, p_load, p_supply) = if p.cosim {
+            let o = scenario
+                .run_cosim(&self.pool)
+                .map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
+            (o.vo_steady(), o.supply_compliant(), o.efficiency(), o.p_load, o.p_supply)
+        } else {
+            let o = scenario
+                .run()
+                .map_err(|e| RouteError::internal(format!("simulation failed: {e}")))?;
+            (o.vo_steady(), o.supply_compliant(), o.efficiency(), o.p_load, o.p_supply)
+        };
         Ok(Routed::plain(Json::obj(vec![
             ("distance_mm", Json::Num(p.distance_mm)),
             ("cycles", Json::Num(scenario.cycles as f64)),
-            ("vo_steady", Json::Num(outcome.vo_steady())),
-            ("supply_compliant", Json::Bool(outcome.supply_compliant())),
-            ("efficiency", Json::Num(outcome.efficiency())),
-            ("p_load_mw", Json::Num(outcome.p_load * 1e3)),
-            ("p_supply_mw", Json::Num(outcome.p_supply * 1e3)),
+            ("vo_steady", Json::Num(vo_steady)),
+            ("supply_compliant", Json::Bool(supply_compliant)),
+            ("efficiency", Json::Num(efficiency)),
+            ("p_load_mw", Json::Num(p_load * 1e3)),
+            ("p_supply_mw", Json::Num(p_supply * 1e3)),
+            ("cosim", Json::Bool(p.cosim)),
         ])))
     }
 
@@ -704,6 +722,29 @@ mod tests {
     }
 
     #[test]
+    fn fig11_and_fullchain_serve_the_cosim_engine() {
+        let r = router();
+        let mono = r.handle("fullchain", &params(vec![])).unwrap();
+        let co = r.handle("fullchain", &params(vec![("cosim", Json::Bool(true))])).unwrap();
+        assert_eq!(mono.result.get("cosim"), Some(&Json::Bool(false)));
+        assert_eq!(co.result.get("cosim"), Some(&Json::Bool(true)));
+        let vo = |routed: &Routed| {
+            routed.result.get("vo_steady").and_then(Json::as_f64).expect("vo_steady")
+        };
+        let (m, c) = (vo(&mono), vo(&co));
+        assert!((m - c).abs() / m < 0.05, "vo_steady mono {m} vs cosim {c}");
+        assert_eq!(
+            co.result.get("supply_compliant"),
+            mono.result.get("supply_compliant")
+        );
+
+        let co = r.handle("fig11", &params(vec![("cosim", Json::Bool(true))])).unwrap();
+        assert_eq!(co.result.get("cosim"), Some(&Json::Bool(true)));
+        assert_eq!(co.result.get("downlink_errors"), Some(&Json::Num(0.0)));
+        assert_eq!(co.result.get("vo_compliant"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
     fn montecarlo_is_deterministic_and_caches() {
         let r = router();
         let p = params(vec![
@@ -853,8 +894,15 @@ mod tests {
         // The served report round-trips into the scenario type and its
         // digest matches a local run — the cluster-campaign contract.
         let parsed = CohortReport::from_json(report).expect("report parses");
-        let local = scenario::Cohort { seed: 2013, patients: 8, offset: 0, hours: 4.0, enzyme: scenario::EnzymeChoice::Mixed }
-            .run_serial();
+        let local = scenario::Cohort {
+            seed: 2013,
+            patients: 8,
+            offset: 0,
+            hours: 4.0,
+            enzyme: scenario::EnzymeChoice::Mixed,
+            duty: (1.0, 1.0),
+        }
+        .run_serial();
         assert_eq!(parsed, local);
         assert_eq!(
             first.result.get("digest").and_then(Json::as_str),

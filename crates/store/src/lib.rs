@@ -38,6 +38,19 @@ pub mod manifest;
 pub use catchup::{plan, CatchupBudget, CatchupPlan, PlannedKey};
 pub use manifest::{Manifest, ManifestEntry};
 
+/// Outcome of one [`Store::gc`] sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Object files examined.
+    pub scanned: u64,
+    /// Keys whose objects were pruned, oldest write first.
+    pub expired: Vec<u64>,
+    /// Total bytes of pruned objects.
+    pub bytes_reclaimed: u64,
+    /// Manifest files rewritten to drop pruned keys.
+    pub manifests_rewritten: u64,
+}
+
 /// Counter snapshot for one store handle (per-process, not persisted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
@@ -233,6 +246,89 @@ impl Store {
         keys
     }
 
+    /// Prunes every object older than `ttl` (by file modification
+    /// time — a re-`put` of a key refreshes its clock) and rewrites
+    /// every manifest that indexed a pruned key, atomically, so no
+    /// manifest ever points at an object the sweep removed.
+    ///
+    /// Safe to run from any handle: object removal is idempotent and
+    /// manifest rewrites go through the same temp-file + rename
+    /// barrier as ordinary updates. In a live cluster each replica
+    /// sweeps with the same TTL, so concurrently refreshed keys are
+    /// simply re-recorded by their owner's next write.
+    ///
+    /// # Errors
+    ///
+    /// Only on an unreadable object directory; per-file races (an
+    /// object pruned or refreshed by a peer mid-scan) are skipped.
+    pub fn gc(&self, ttl: std::time::Duration) -> io::Result<GcReport> {
+        let _span = obs::span!("store.gc");
+        let now = std::time::SystemTime::now();
+        let mut report = GcReport::default();
+        // (mtime, key, bytes) of every pruned object, for age ordering.
+        let mut pruned: Vec<(std::time::SystemTime, u64, u64)> = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("objects"))? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name();
+            let Some(key) = name
+                .to_str()
+                .and_then(|n| n.strip_suffix(".json"))
+                .and_then(|n| u64::from_str_radix(n, 16).ok())
+            else {
+                continue; // stray files and in-flight temp files
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let Ok(modified) = meta.modified() else { continue };
+            report.scanned += 1;
+            let age = now.duration_since(modified).unwrap_or_default();
+            if age > ttl && std::fs::remove_file(entry.path()).is_ok() {
+                pruned.push((modified, key, meta.len()));
+            }
+        }
+        if pruned.is_empty() {
+            return Ok(report);
+        }
+        pruned.sort();
+        report.bytes_reclaimed = pruned.iter().map(|&(_, _, bytes)| bytes).sum();
+        report.expired = pruned.into_iter().map(|(_, key, _)| key).collect();
+
+        // This handle's manifest first, under the write lock, so a
+        // concurrent `put` cannot resurrect a pruned entry in memory.
+        {
+            let mut manifest = self.manifest.lock().expect("manifest lock");
+            let mut changed = false;
+            for key in &report.expired {
+                changed |= manifest.remove(*key);
+            }
+            if changed
+                && atomic_write(&self.manifest_path(), manifest.to_json().to_string().as_bytes())
+                    .is_ok()
+            {
+                report.manifests_rewritten += 1;
+            }
+        }
+        // Then every peer manifest that still indexes a pruned key.
+        if let Ok(entries) = std::fs::read_dir(self.root.join("manifests")) {
+            for entry in entries.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path == self.manifest_path() {
+                    continue;
+                }
+                let Some(mut manifest) = Manifest::load(&path) else { continue };
+                let mut changed = false;
+                for key in &report.expired {
+                    changed |= manifest.remove(*key);
+                }
+                if changed
+                    && atomic_write(&path, manifest.to_json().to_string().as_bytes()).is_ok()
+                {
+                    report.manifests_rewritten += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Counters accumulated by this handle.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -400,6 +496,96 @@ mod tests {
         let cold: ResultCache<f64> = ResultCache::in_memory().with_tier(shared.clone());
         assert_eq!(cold.get("sweep", &point), Some(0.5));
         assert_eq!(cold.stats(), (1, 0));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Backdates `key`'s object by `secs` seconds.
+    fn backdate(store: &Store, key: u64, secs: u64) {
+        let path = store.object_path(key);
+        let file = std::fs::File::options().append(true).open(&path).unwrap();
+        let then = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+        file.set_modified(then).unwrap();
+    }
+
+    #[test]
+    fn gc_prunes_expired_objects_oldest_first_and_keeps_manifests_consistent() {
+        use std::time::Duration;
+        let root = scratch("gc");
+        let a = Store::open(&root, "r0").unwrap();
+        let b = Store::open(&root, "r1").unwrap();
+        a.put(1, "ns", "p1", &Json::Num(1.0));
+        a.put(2, "ns", "p2", &Json::Num(2.0));
+        b.put(3, "ns", "p3", &Json::Num(3.0));
+        // Key 2 is the oldest, key 1 younger but still expired, key 3
+        // fresh.
+        backdate(&a, 2, 300);
+        backdate(&a, 1, 120);
+
+        let report = a.gc(Duration::from_secs(60)).unwrap();
+        assert_eq!(report.scanned, 3);
+        assert_eq!(report.expired, vec![2, 1], "pruned keys must come oldest first");
+        assert!(report.bytes_reclaimed > 0);
+        // Both manifests referenced pruned keys → both rewritten.
+        assert_eq!(report.manifests_rewritten, 1, "only r0's manifest held pruned keys");
+
+        // Ground truth: expired objects gone, the fresh one intact.
+        assert_eq!(a.object_keys(), vec![3]);
+        assert_eq!(a.get(3), Some(Json::Num(3.0)));
+        // No manifest anywhere still indexes a pruned key.
+        for manifest in a.manifests() {
+            for entry in manifest.entries() {
+                assert!(
+                    a.contains(entry.key),
+                    "manifest {:?} indexes pruned key {}",
+                    manifest.replica,
+                    entry.key
+                );
+            }
+        }
+        // The surviving key is still attributed to its writer.
+        assert_eq!(a.merged_entries()[&3].0, "r1");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_rewrites_peer_manifests_that_index_pruned_keys() {
+        use std::time::Duration;
+        let root = scratch("gc-peer");
+        let a = Store::open(&root, "r0").unwrap();
+        let b = Store::open(&root, "r1").unwrap();
+        a.put(10, "ns", "x", &Json::Num(1.0));
+        b.put(20, "ns", "y", &Json::Num(2.0));
+        backdate(&a, 10, 100);
+        backdate(&b, 20, 100);
+        // One handle sweeps for the whole store: its own manifest and
+        // the peer's are both rewritten.
+        let report = a.gc(Duration::from_secs(10)).unwrap();
+        assert_eq!(report.expired, vec![10, 20]);
+        assert_eq!(report.manifests_rewritten, 2);
+        assert!(a.manifests().iter().all(Manifest::is_empty));
+        assert_eq!(a.object_keys(), Vec::<u64>::new());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_spares_refreshed_objects_and_in_flight_strays() {
+        use std::time::Duration;
+        let root = scratch("gc-refresh");
+        let store = Store::open(&root, "r0").unwrap();
+        store.put(5, "ns", "p", &Json::Num(1.0));
+        backdate(&store, 5, 500);
+        // A re-put refreshes the object's clock: not expired.
+        store.put(5, "ns", "p", &Json::Num(2.0));
+        // Stray non-object files are never touched.
+        std::fs::write(root.join("objects").join("README"), "keep me").unwrap();
+        let report = store.gc(Duration::from_secs(60)).unwrap();
+        assert_eq!(report.scanned, 1);
+        assert_eq!(report.expired, Vec::<u64>::new());
+        assert_eq!(report.manifests_rewritten, 0);
+        assert_eq!(store.get(5), Some(Json::Num(2.0)));
+        assert!(root.join("objects").join("README").exists());
+        // An idempotent second sweep is a no-op too.
+        assert_eq!(store.gc(Duration::from_secs(60)).unwrap().expired, Vec::<u64>::new());
         let _ = std::fs::remove_dir_all(&root);
     }
 

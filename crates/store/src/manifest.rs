@@ -63,6 +63,13 @@ impl Manifest {
             .insert(key, ManifestEntry { key, namespace: namespace.to_string(), bytes });
     }
 
+    /// Drops `key` from the index; `true` when it was recorded. The
+    /// GC sweep uses this to keep manifests consistent with the object
+    /// directory after pruning.
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
     /// Entries in ascending key order.
     pub fn entries(&self) -> impl Iterator<Item = &ManifestEntry> {
         self.entries.values()

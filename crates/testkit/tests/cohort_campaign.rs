@@ -42,6 +42,7 @@ fn thousand_patient_cohort_is_bit_identical_across_the_cluster() {
         offset: 0,
         hours: 4.0,
         enzyme: EnzymeChoice::Mixed,
+        duty: (1.0, 1.0),
     };
     let expected = cohort.run_serial();
 
@@ -90,6 +91,10 @@ fn proxied_parallel_campaign_matches_the_sequential_digest() {
         offset: 0,
         hours: 4.0,
         enzyme: EnzymeChoice::Mixed,
+        // A decimated cohort exercises the duty axis end-to-end: the
+        // per-patient prescription must survive the wire round-trip
+        // into every shard.
+        duty: (0.3, 0.9),
     };
     let expected = cohort.run_serial();
 

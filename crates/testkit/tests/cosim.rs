@@ -1,0 +1,154 @@
+//! Conformance campaigns for the partitioned multi-rate co-simulation.
+//!
+//! The golden suite pins the monolithic figures; these tests pin the
+//! *engine split*: the co-simulated Fig. 11 and full-chain runs must
+//! land inside the documented bands of their monolithic counterparts,
+//! stay inside the paper-envelope invariants, and be bit-identical at
+//! any worker count.
+//!
+//! Bands: the continuous Fig. 11 metrics share the golden tolerance
+//! (1 %); `t_charged` gets its own 2 % band because the threshold
+//! crossing compares a carrier-ripple peak (monolithic) against an
+//! envelope mean (cosim) — see `DESIGN.md` §16.
+
+use comms::bits::BitStream;
+use implant_core::fullchain::FullChainScenario;
+use implant_core::scenario::Fig11Scenario;
+use runtime::Pool;
+use testkit::fault::{FaultInjector, FaultPlan};
+use testkit::golden::TOLERANCES;
+use testkit::invariant::InvariantChecker;
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// The looser band for the charge-time crossing (ripple-peak vs
+/// envelope-mean semantics).
+const T_CHARGED_BAND: f64 = 0.02;
+
+#[test]
+fn cosim_fig11_matches_monolithic_within_golden_band() {
+    let scenario = Fig11Scenario::shortened();
+    let mono = scenario.run().expect("monolithic fig11 runs");
+    let co = scenario.run_cosim(&Pool::auto()).expect("cosim fig11 runs");
+
+    let tol = TOLERANCES.fig11;
+    assert!(
+        rel(co.vo_worst(), mono.vo_worst()) <= tol,
+        "vo_worst: cosim {} vs monolithic {}",
+        co.vo_worst(),
+        mono.vo_worst()
+    );
+    assert!(
+        rel(co.uplink_contrast, mono.uplink_contrast) <= 10.0 * tol,
+        "uplink_contrast: cosim {} vs monolithic {}",
+        co.uplink_contrast,
+        mono.uplink_contrast
+    );
+    // Discrete outcomes must agree exactly: every decoded downlink bit,
+    // compliance, uplink visibility.
+    assert_eq!(co.downlink_detected, mono.downlink_detected, "decoded downlink bits differ");
+    assert_eq!(co.downlink_errors(), 0, "cosim drops downlink bits");
+    assert_eq!(co.vo_compliant(), mono.vo_compliant());
+    assert_eq!(co.uplink_visible(), mono.uplink_visible());
+    match (co.t_charged, mono.t_charged) {
+        (Some(tc), Some(tm)) => assert!(
+            rel(tc, tm) <= T_CHARGED_BAND,
+            "t_charged: cosim {tc} vs monolithic {tm}"
+        ),
+        (c, m) => assert_eq!(c.is_some(), m.is_some(), "t_charged presence differs"),
+    }
+
+    // The envelope trace must satisfy the same paper-envelope
+    // invariants the monolithic trace is held to.
+    assert!(co.vo.max() <= pmu::V_CLAMP + 1.0e-9, "cosim vo exceeds the clamp stack");
+    let clean = FaultInjector::ironic(&FaultPlan::new(scenario.t_stop));
+    let mut checker = InvariantChecker::new();
+    checker.check_power_trace(&co.vo, co.compliance_from, &clean);
+    checker.assert_clean();
+}
+
+#[test]
+fn cosim_fig11_is_bit_identical_at_any_worker_count() {
+    let scenario = Fig11Scenario::shortened();
+    let base = scenario.run_cosim(&Pool::new(1)).expect("cosim runs");
+    for workers in [2usize, 8] {
+        let other = scenario.run_cosim(&Pool::new(workers)).expect("cosim runs");
+        for (name, a, b) in [
+            ("vo", &base.vo, &other.vo),
+            ("vi", &base.vi, &other.vi),
+            ("vdem", &base.vdem, &other.vdem),
+        ] {
+            assert_eq!(a.time().len(), b.time().len(), "{name} grids differ at {workers} workers");
+            for (va, vb) in a.values().iter().zip(b.values()) {
+                assert!(
+                    va.to_bits() == vb.to_bits(),
+                    "{name}: {va:?} vs {vb:?} differ at {workers} workers"
+                );
+            }
+        }
+        assert_eq!(base.downlink_detected, other.downlink_detected);
+    }
+    // And run-to-run on the same pool.
+    let again = scenario.run_cosim(&Pool::new(1)).expect("cosim runs");
+    assert_eq!(base.vo.values(), again.vo.values(), "cosim is not run-to-run deterministic");
+}
+
+/// The paper's full 1.5 ms timeline through the cosim engine must meet
+/// the paper's own claims (the monolithic comparison happens on the
+/// shortened timeline; at the paper's operating point `t_charged` is
+/// ill-conditioned — the output creeps asymptotically into the 2.75 V
+/// threshold — so it is checked against the paper's envelope instead).
+#[test]
+fn cosim_fig11_paper_meets_the_paper_claims() {
+    let outcome = Fig11Scenario::paper().run_cosim(&Pool::auto()).expect("cosim paper runs");
+    assert!(outcome.vo_compliant(), "vo dips below 2.1 V after charge-up");
+    assert_eq!(outcome.downlink_errors(), 0, "downlink bits lost");
+    assert_eq!(outcome.downlink_sent.len(), 18, "paper burst is 18 bits");
+    assert!(outcome.uplink_visible(), "LSK uplink invisible in vi");
+    let t_charged = outcome.t_charged.expect("storage capacitor charges") * 1e6;
+    assert!(
+        (150.0..=400.0).contains(&t_charged),
+        "t_charged {t_charged} µs outside the paper's charge-up envelope"
+    );
+}
+
+#[test]
+fn cosim_fullchain_matches_monolithic() {
+    let pool = Pool::auto();
+    let scenario = FullChainScenario::ironic();
+    let mono = scenario.run().expect("monolithic fullchain runs");
+    let co = scenario.run_cosim(&pool).expect("cosim fullchain runs");
+    // The monolithic average rides carrier ripple peaks slightly above
+    // the clamp; the envelope model cannot, so the band is 2 %.
+    assert!(
+        rel(co.vo_steady(), mono.vo_steady()) <= 0.02,
+        "vo_steady: cosim {} vs monolithic {}",
+        co.vo_steady(),
+        mono.vo_steady()
+    );
+    assert!(
+        rel(co.efficiency(), mono.efficiency()) <= 0.05,
+        "efficiency: cosim {} vs monolithic {}",
+        co.efficiency(),
+        mono.efficiency()
+    );
+    assert!(
+        rel(co.p_supply, mono.p_supply) <= 0.02,
+        "p_supply: cosim {} vs monolithic {}",
+        co.p_supply,
+        mono.p_supply
+    );
+    assert_eq!(co.supply_compliant(), mono.supply_compliant());
+
+    // With an uplink burst the patch must recover the same bits from
+    // the reconstructed supply-power sense as from the transistor-level
+    // supply current.
+    let bits = BitStream::from_str("10110010");
+    let scenario = FullChainScenario::ironic().with_uplink(bits, 60.0e-6);
+    let mono = scenario.run().expect("monolithic uplink runs");
+    let co = scenario.run_cosim(&pool).expect("cosim uplink runs");
+    assert_eq!(co.uplink_detected, mono.uplink_detected, "recovered uplink bits differ");
+    assert!(rel(co.vo_steady(), mono.vo_steady()) <= 0.02);
+}

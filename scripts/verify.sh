@@ -13,10 +13,10 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-# The workspace currently runs 770+ tests; a sharp drop means suites
+# The workspace currently runs 800+ tests; a sharp drop means suites
 # silently fell out of the build (feature gate, dead test file, a
 # `#[cfg]` typo), which a plain exit code would never catch.
-MIN_TESTS=770
+MIN_TESTS=800
 
 TEST_LOG="$(mktemp)"
 trap 'rm -f "$TEST_LOG"' EXIT
@@ -84,13 +84,22 @@ lane scenario-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-scenario
 # Kernels lane: the compiled analog engine. The equivalence suite pits
 # the compiled engine against the dense reference on random RLC+diode
 # netlists and the golden circuits; the bench smoke then times the
-# fig11 transient on both engines, and bench_validate holds the
-# artifact's `compiled.fig11_speedup` to the ≥5× floor.
+# fig11 transient on all three engines (dense reference, compiled
+# monolithic, partitioned cosim), and bench_validate holds the
+# artifact's `compiled.fig11_speedup` to the ≥5× floor and
+# `compiled.cosim_speedup` to the ≥3× floor.
 lane kernels-equiv cargo test -q -p analog --features fuzz --test equivalence
 KERNELS_JSON="$(mktemp -d)/BENCH_kernels.json"
 lane kernels-bench env IMPLANT_OBS=1 \
     ./target/release/bench_kernels --smoke --profile --json "$KERNELS_JSON"
 lane kernels-gate ./target/release/bench_validate "$KERNELS_JSON"
+
+# Cosim lane: the partitioned multi-rate engine must land inside the
+# monolithic golden bands and produce bit-identical waveforms at any
+# worker count, so run the conformance campaign at both ends of the
+# supported range. (The kernels gate above enforces its speedup floor.)
+lane cosim-w1 env IMPLANT_WORKERS=1 cargo test -q -p implant-testkit --test cosim
+lane cosim-w8 env IMPLANT_WORKERS=8 cargo test -q -p implant-testkit --test cosim
 
 # Bench lane: the profiling harness must produce valid machine-readable
 # artifacts — scripts/bench.sh runs both benchmarks at smoke sizes and
@@ -99,7 +108,7 @@ lane kernels-gate ./target/release/bench_validate "$KERNELS_JSON"
 lane bench env BENCH_DIR="$(mktemp -d)" ./scripts/bench.sh --smoke
 
 if [[ "${1:-}" == "--fuzz" ]]; then
-    for crate in analog biosensor coils comms patch pmu implant-server; do
+    for crate in analog biosensor coils comms patch pmu implant-server implant-cosim; do
         lane "fuzz-$crate" cargo test -q -p "$crate" --features fuzz
     done
 fi
